@@ -1,0 +1,188 @@
+//! The Pauli intermediate representation.
+//!
+//! "The output of this step is an array of Pauli strings and their
+//! parameters, which can be considered as a new intermediate representation
+//! (IR) above quantum circuits." (paper §I)
+
+use pauli::PauliString;
+
+/// One parameterized Pauli-evolution entry: the unitary
+/// `exp(i·θ_{param}·coefficient·P)`.
+///
+/// With the rotation-gate convention `Rz(φ) = exp(-i·φ/2·Z)`, the center
+/// rotation angle of this entry's simulation circuit is
+/// `φ = −2·coefficient·θ` (see [`IrEntry::rotation_angle`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IrEntry {
+    /// The Pauli string `P`.
+    pub string: PauliString,
+    /// Index of the shared variational parameter.
+    pub param: usize,
+    /// Fixed real coefficient `c` multiplying the parameter.
+    pub coefficient: f64,
+}
+
+impl IrEntry {
+    /// The evolution angle `φ` such that this entry equals
+    /// `exp(-i·φ/2·P)`, for a parameter value `theta`.
+    #[inline]
+    pub fn rotation_angle(&self, theta: f64) -> f64 {
+        -2.0 * self.coefficient * theta
+    }
+}
+
+/// An ordered sequence of parameterized Pauli strings plus the initial
+/// Hartree-Fock state — the program representation handed to the compiler.
+///
+/// # Examples
+///
+/// ```
+/// use ansatz::{IrEntry, PauliIr};
+///
+/// let mut ir = PauliIr::new(2, 0b01);
+/// ir.push(IrEntry { string: "XY".parse()?, param: 0, coefficient: 0.5 });
+/// ir.push(IrEntry { string: "YX".parse()?, param: 0, coefficient: -0.5 });
+/// assert_eq!(ir.num_parameters(), 1);
+/// assert_eq!(ir.len(), 2);
+/// # Ok::<(), pauli::ParsePauliError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PauliIr {
+    num_qubits: usize,
+    initial_state: u64,
+    entries: Vec<IrEntry>,
+}
+
+impl PauliIr {
+    /// Creates an empty IR with the given initial basis state (bitmask of
+    /// qubits prepared in `|1⟩` by X gates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero or exceeds 64, or the initial state
+    /// has bits outside the register.
+    pub fn new(num_qubits: usize, initial_state: u64) -> Self {
+        assert!(num_qubits >= 1 && num_qubits <= 64, "1..=64 qubits supported");
+        if num_qubits < 64 {
+            assert!(initial_state < (1u64 << num_qubits), "initial state outside register");
+        }
+        PauliIr { num_qubits, initial_state, entries: Vec::new() }
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string width differs from the register.
+    pub fn push(&mut self, entry: IrEntry) {
+        assert_eq!(entry.string.num_qubits(), self.num_qubits, "string width must match IR");
+        self.entries.push(entry);
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The Hartree-Fock initial state bitmask.
+    #[inline]
+    pub fn initial_state(&self) -> u64 {
+        self.initial_state
+    }
+
+    /// Number of Pauli-string entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the IR has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Borrows the entries in program order.
+    #[inline]
+    pub fn entries(&self) -> &[IrEntry] {
+        &self.entries
+    }
+
+    /// Number of distinct parameters (`max(param) + 1`, or 0 when empty).
+    pub fn num_parameters(&self) -> usize {
+        self.entries.iter().map(|e| e.param + 1).max().unwrap_or(0)
+    }
+
+    /// Groups entry indices by parameter: element `p` lists the entries
+    /// sharing parameter `p`, in program order.
+    pub fn entries_by_parameter(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.num_parameters()];
+        for (i, e) in self.entries.iter().enumerate() {
+            groups[e.param].push(i);
+        }
+        groups
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, IrEntry> {
+        self.entries.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a PauliIr {
+    type Item = &'a IrEntry;
+    type IntoIter = std::slice::Iter<'a, IrEntry>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ir() -> PauliIr {
+        let mut ir = PauliIr::new(3, 0b011);
+        ir.push(IrEntry { string: "IXY".parse().unwrap(), param: 0, coefficient: 0.5 });
+        ir.push(IrEntry { string: "IYX".parse().unwrap(), param: 0, coefficient: -0.5 });
+        ir.push(IrEntry { string: "ZZX".parse().unwrap(), param: 1, coefficient: 0.125 });
+        ir
+    }
+
+    #[test]
+    fn accessors() {
+        let ir = sample_ir();
+        assert_eq!(ir.num_qubits(), 3);
+        assert_eq!(ir.initial_state(), 0b011);
+        assert_eq!(ir.len(), 3);
+        assert_eq!(ir.num_parameters(), 2);
+        assert!(!ir.is_empty());
+    }
+
+    #[test]
+    fn groups_by_parameter() {
+        let groups = sample_ir().entries_by_parameter();
+        assert_eq!(groups, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn rotation_angle_convention() {
+        let e = IrEntry { string: "Z".parse().unwrap(), param: 0, coefficient: 0.5 };
+        // exp(iθcP) = exp(-i·φ/2·P) with φ = -2cθ.
+        assert_eq!(e.rotation_angle(0.3), -2.0 * 0.5 * 0.3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_initial_state_outside_register() {
+        let _ = PauliIr::new(2, 0b100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_width_mismatch() {
+        let mut ir = PauliIr::new(2, 0);
+        ir.push(IrEntry { string: "XYZ".parse().unwrap(), param: 0, coefficient: 1.0 });
+    }
+}

@@ -1,0 +1,41 @@
+//! UCCSD ansatz generation and the paper's ansatz compression (§III).
+//!
+//! The ansatz layer works on the paper's key intermediate representation:
+//! an ordered sequence of parameterized Pauli strings ([`PauliIr`]) rather
+//! than a gate-level circuit. This is what enables the compiler (paper §V)
+//! to synthesize each Pauli-string simulation circuit adaptively.
+//!
+//! * [`uccsd`] — the Unitary Coupled Cluster Singles-and-Doubles generator
+//!   in block-spin Jordan–Wigner form, reproducing the paper's Table I
+//!   parameter and Pauli-string counts exactly;
+//! * [`ir`] — the Pauli IR: parameterized weighted Pauli strings plus the
+//!   Hartree-Fock initial state;
+//! * [`importance`] — Algorithm 1: parameter importance estimation by
+//!   comparing ansatz Pauli strings against the Hamiltonian;
+//! * [`compression`] — hardware-friendly compressed-ansatz construction
+//!   (§III-B) and the random-selection baseline used in the evaluation.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use ansatz::uccsd::UccsdAnsatz;
+//! use chem::Benchmark;
+//!
+//! let system = Benchmark::LiH.build(1.6)?;
+//! let ansatz = UccsdAnsatz::for_system(&system);
+//! assert_eq!(ansatz.ir().num_parameters(), 8); // Table I
+//! assert_eq!(ansatz.ir().len(), 40);           // Pauli strings
+//! # Ok::<(), chem::ChemError>(())
+//! ```
+
+pub mod compression;
+pub mod importance;
+pub mod ir;
+pub mod trotter;
+pub mod uccsd;
+
+pub use compression::{compress, compress_random, CompressionReport};
+pub use importance::{parameter_importance, ImportanceScores};
+pub use ir::{IrEntry, PauliIr};
+pub use trotter::{trotterize, TrotterOrder};
+pub use uccsd::{enumerate_excitations, enumerate_generalized_excitations, Excitation, UccsdAnsatz};

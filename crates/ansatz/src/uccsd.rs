@@ -1,0 +1,397 @@
+//! The UCCSD ansatz generator (paper §II-C).
+//!
+//! Excitations are enumerated in block-spin ordering over the active space:
+//! spin-conserving singles, same-spin doubles, and opposite-spin doubles.
+//! Each excitation carries one variational parameter shared by all the
+//! Pauli strings of its Jordan–Wigner expansion (2 strings per single,
+//! 8 per double), reproducing the paper's Table I counts.
+
+use chem::fermion::{antihermitian_pauli_terms, spin_orbital, LadderOp};
+use chem::MolecularSystem;
+
+use crate::ir::{IrEntry, PauliIr};
+
+/// A spin-conserving excitation in spin-orbital indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Excitation {
+    /// Single excitation `occ → virt`.
+    Single {
+        /// Occupied spin orbital.
+        occ: usize,
+        /// Virtual spin orbital.
+        virt: usize,
+    },
+    /// Double excitation `(occ0, occ1) → (virt0, virt1)`.
+    Double {
+        /// Occupied spin-orbital pair.
+        occ: (usize, usize),
+        /// Virtual spin-orbital pair.
+        virt: (usize, usize),
+    },
+}
+
+impl Excitation {
+    /// The cluster operator `T` as a ladder-operator product.
+    pub fn cluster_operator(&self) -> Vec<LadderOp> {
+        match *self {
+            Excitation::Single { occ, virt } => {
+                vec![LadderOp::create(virt), LadderOp::annihilate(occ)]
+            }
+            Excitation::Double { occ, virt } => vec![
+                LadderOp::create(virt.0),
+                LadderOp::create(virt.1),
+                LadderOp::annihilate(occ.1),
+                LadderOp::annihilate(occ.0),
+            ],
+        }
+    }
+
+    /// All spin orbitals touched by the excitation.
+    pub fn spin_orbitals(&self) -> Vec<usize> {
+        match *self {
+            Excitation::Single { occ, virt } => vec![occ, virt],
+            Excitation::Double { occ, virt } => vec![occ.0, occ.1, virt.0, virt.1],
+        }
+    }
+}
+
+/// Enumerates the UCCSD excitations for `num_spatial` active orbitals and
+/// `num_electrons` active electrons (closed shell): singles first, then
+/// same-spin doubles (αα, ββ), then opposite-spin doubles.
+///
+/// # Panics
+///
+/// Panics if the electron count is odd or does not fit the active space.
+pub fn enumerate_excitations(num_spatial: usize, num_electrons: usize) -> Vec<Excitation> {
+    assert!(num_electrons % 2 == 0, "closed-shell UCCSD requires even electrons");
+    let nocc = num_electrons / 2;
+    assert!(nocc >= 1 && nocc <= num_spatial, "electrons do not fit the active space");
+    let nvirt = num_spatial - nocc;
+    let mut out = Vec::new();
+
+    // Singles: α then β.
+    for beta in [false, true] {
+        for i in 0..nocc {
+            for a in nocc..num_spatial {
+                out.push(Excitation::Single {
+                    occ: spin_orbital(num_spatial, i, beta),
+                    virt: spin_orbital(num_spatial, a, beta),
+                });
+            }
+        }
+    }
+
+    // Same-spin doubles.
+    for beta in [false, true] {
+        for i in 0..nocc {
+            for j in (i + 1)..nocc {
+                for a in nocc..num_spatial {
+                    for b in (a + 1)..num_spatial {
+                        out.push(Excitation::Double {
+                            occ: (
+                                spin_orbital(num_spatial, i, beta),
+                                spin_orbital(num_spatial, j, beta),
+                            ),
+                            virt: (
+                                spin_orbital(num_spatial, a, beta),
+                                spin_orbital(num_spatial, b, beta),
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Opposite-spin doubles (α occupied/virtual × β occupied/virtual).
+    for i in 0..nocc {
+        for j in 0..nocc {
+            for a in nocc..num_spatial {
+                for b in nocc..num_spatial {
+                    out.push(Excitation::Double {
+                        occ: (
+                            spin_orbital(num_spatial, i, false),
+                            spin_orbital(num_spatial, j, true),
+                        ),
+                        virt: (
+                            spin_orbital(num_spatial, a, false),
+                            spin_orbital(num_spatial, b, true),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    let _ = nvirt;
+    out
+}
+
+/// Enumerates *generalized* singles and doubles (Lee et al.-style, the
+/// paper's reference \[19\]): excitations between any same-spin orbital
+/// pairs, not only occupied→virtual. Used as a richer ADAPT-VQE pool —
+/// essential for models like Hubbard where the reference determinant is
+/// not a Hartree-Fock stationary point of the plain UCCSD pool.
+///
+/// # Panics
+///
+/// Panics if `num_spatial` is zero.
+pub fn enumerate_generalized_excitations(num_spatial: usize) -> Vec<Excitation> {
+    assert!(num_spatial >= 1, "at least one spatial orbital required");
+    let m = num_spatial;
+    let mut out = Vec::new();
+
+    // Generalized singles: any ordered same-spin pair p < q.
+    for beta in [false, true] {
+        for p in 0..m {
+            for q in (p + 1)..m {
+                out.push(Excitation::Single {
+                    occ: spin_orbital(m, p, beta),
+                    virt: spin_orbital(m, q, beta),
+                });
+            }
+        }
+    }
+
+    // Generalized same-spin doubles: distinct pairs {p<q} → {r<s}.
+    for beta in [false, true] {
+        for p in 0..m {
+            for q in (p + 1)..m {
+                for r in 0..m {
+                    for s in (r + 1)..m {
+                        if (r, s) <= (p, q) {
+                            continue; // avoid duplicates and identity pairs
+                        }
+                        out.push(Excitation::Double {
+                            occ: (spin_orbital(m, p, beta), spin_orbital(m, q, beta)),
+                            virt: (spin_orbital(m, r, beta), spin_orbital(m, s, beta)),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Generalized opposite-spin doubles: (pα, qβ) → (rα, sβ), distinct.
+    for p in 0..m {
+        for q in 0..m {
+            for r in 0..m {
+                for s in 0..m {
+                    if (r, s) <= (p, q) {
+                        continue;
+                    }
+                    if p == r || q == s {
+                        // Same mode created and annihilated on one spin
+                        // channel: reduces to a single or vanishes.
+                        continue;
+                    }
+                    out.push(Excitation::Double {
+                        occ: (spin_orbital(m, p, false), spin_orbital(m, q, true)),
+                        virt: (spin_orbital(m, r, false), spin_orbital(m, s, true)),
+                    });
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// A full UCCSD ansatz: the excitation list and its Pauli IR.
+///
+/// # Examples
+///
+/// ```
+/// use ansatz::uccsd::UccsdAnsatz;
+///
+/// // H2-sized problem: 2 spatial orbitals, 2 electrons.
+/// let ansatz = UccsdAnsatz::new(2, 2);
+/// assert_eq!(ansatz.ir().num_parameters(), 3);
+/// assert_eq!(ansatz.ir().len(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UccsdAnsatz {
+    excitations: Vec<Excitation>,
+    ir: PauliIr,
+}
+
+impl UccsdAnsatz {
+    /// Builds the UCCSD ansatz for an active space of `num_spatial` orbitals
+    /// and `num_electrons` electrons, with the Hartree-Fock determinant as
+    /// the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the electron count is odd or does not fit.
+    pub fn new(num_spatial: usize, num_electrons: usize) -> Self {
+        let n_qubits = 2 * num_spatial;
+        let excitations = enumerate_excitations(num_spatial, num_electrons);
+        let hf = chem::fermion::hartree_fock_bitmask(num_spatial, num_electrons);
+        let mut ir = PauliIr::new(n_qubits, hf);
+        for (param, exc) in excitations.iter().enumerate() {
+            for (coefficient, string) in
+                antihermitian_pauli_terms(n_qubits, &exc.cluster_operator())
+            {
+                ir.push(IrEntry { string, param, coefficient });
+            }
+        }
+        UccsdAnsatz { excitations, ir }
+    }
+
+    /// Builds the ansatz matching a [`MolecularSystem`]'s active space.
+    pub fn for_system(system: &MolecularSystem) -> Self {
+        UccsdAnsatz::new(system.num_qubits() / 2, system.num_active_electrons())
+    }
+
+    /// The excitation list (one parameter each, in parameter order).
+    pub fn excitations(&self) -> &[Excitation] {
+        &self.excitations
+    }
+
+    /// The Pauli IR.
+    pub fn ir(&self) -> &PauliIr {
+        &self.ir
+    }
+
+    /// Consumes the ansatz, returning the IR.
+    pub fn into_ir(self) -> PauliIr {
+        self.ir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (spatial, electrons) → expected (params, Pauli strings) per Table I.
+    const TABLE1: [(usize, usize, usize, usize); 9] = [
+        (2, 2, 3, 12),      // H2
+        (3, 2, 8, 40),      // LiH
+        (4, 2, 15, 84),     // NaH
+        (5, 8, 24, 144),    // HF
+        (6, 4, 92, 640),    // BeH2
+        (6, 4, 92, 640),    // H2O
+        (7, 6, 204, 1488),  // BH3
+        (7, 6, 204, 1488),  // NH3
+        (8, 8, 360, 2688),  // CH4
+    ];
+
+    #[test]
+    fn table1_parameter_and_pauli_counts() {
+        for (m, ne, params, paulis) in TABLE1 {
+            let a = UccsdAnsatz::new(m, ne);
+            assert_eq!(a.ir().num_parameters(), params, "params for ({m},{ne})");
+            assert_eq!(a.ir().len(), paulis, "paulis for ({m},{ne})");
+            assert_eq!(a.excitations().len(), params);
+        }
+    }
+
+    #[test]
+    fn h2_excitation_structure() {
+        let a = UccsdAnsatz::new(2, 2);
+        // Two singles (0→1 α, 2→3 β) and one double.
+        assert_eq!(
+            a.excitations()[0],
+            Excitation::Single { occ: 0, virt: 1 }
+        );
+        assert_eq!(
+            a.excitations()[1],
+            Excitation::Single { occ: 2, virt: 3 }
+        );
+        assert_eq!(
+            a.excitations()[2],
+            Excitation::Double { occ: (0, 2), virt: (1, 3) }
+        );
+    }
+
+    #[test]
+    fn singles_have_two_strings_doubles_eight() {
+        let a = UccsdAnsatz::new(3, 2);
+        let groups = a.ir().entries_by_parameter();
+        for (exc, group) in a.excitations().iter().zip(&groups) {
+            match exc {
+                Excitation::Single { .. } => assert_eq!(group.len(), 2),
+                Excitation::Double { .. } => assert_eq!(group.len(), 8),
+            }
+        }
+    }
+
+    #[test]
+    fn initial_state_is_hartree_fock() {
+        let a = UccsdAnsatz::new(3, 4);
+        // 4 electrons in 3 spatial orbitals: α qubits 0,1; β qubits 3,4.
+        assert_eq!(a.ir().initial_state(), 0b011011);
+    }
+
+    #[test]
+    fn adjacent_single_excitations_have_no_z_chain() {
+        // H2's single 0→1 acts on adjacent qubits: weight-2 strings.
+        let a = UccsdAnsatz::new(2, 2);
+        let groups = a.ir().entries_by_parameter();
+        for &idx in &groups[0] {
+            assert_eq!(a.ir().entries()[idx].string.weight(), 2);
+        }
+        // LiH's single 0→2 must carry a Z on qubit 1: weight 3.
+        let b = UccsdAnsatz::new(3, 2);
+        let exc_with_gap = b
+            .excitations()
+            .iter()
+            .position(|e| matches!(e, Excitation::Single { occ: 0, virt: 2 }))
+            .unwrap();
+        for &idx in &b.ir().entries_by_parameter()[exc_with_gap] {
+            assert_eq!(b.ir().entries()[idx].string.weight(), 3);
+        }
+    }
+
+    #[test]
+    fn all_strings_share_parameter_coefficient_magnitudes() {
+        let a = UccsdAnsatz::new(3, 2);
+        for e in a.ir().entries() {
+            let c = e.coefficient.abs();
+            assert!((c - 0.5).abs() < 1e-12 || (c - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_electrons_rejected() {
+        let _ = UccsdAnsatz::new(3, 3);
+    }
+
+    #[test]
+    fn generalized_pool_contains_the_plain_pool() {
+        let plain = enumerate_excitations(3, 2);
+        let general = enumerate_generalized_excitations(3);
+        for exc in &plain {
+            let found = match exc {
+                Excitation::Single { occ, virt } => general.iter().any(|g| {
+                    matches!(g, Excitation::Single { occ: o, virt: v } if o == occ && v == virt)
+                }),
+                Excitation::Double { occ, virt } => general.iter().any(|g| {
+                    matches!(g, Excitation::Double { occ: o, virt: v } if o == occ && v == virt)
+                }),
+            };
+            assert!(found, "missing {exc:?} from the generalized pool");
+        }
+        assert!(general.len() > plain.len());
+    }
+
+    #[test]
+    fn generalized_pool_has_no_duplicates() {
+        let general = enumerate_generalized_excitations(3);
+        let mut seen = std::collections::HashSet::new();
+        for exc in &general {
+            assert!(seen.insert(format!("{exc:?}")), "duplicate {exc:?}");
+        }
+    }
+
+    #[test]
+    fn generalized_excitations_are_valid_operators() {
+        // Every generalized excitation must produce a nonzero
+        // anti-Hermitian Pauli expansion.
+        for exc in enumerate_generalized_excitations(2) {
+            let terms = chem::fermion::antihermitian_pauli_terms(4, &exc.cluster_operator());
+            assert!(!terms.is_empty(), "{exc:?} expands to nothing");
+        }
+    }
+}

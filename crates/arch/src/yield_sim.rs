@@ -1,0 +1,368 @@
+//! Fabrication-yield Monte Carlo under frequency collisions (Fig 11).
+//!
+//! Fixed-frequency transmons with cross-resonance gates fail when fabricated
+//! frequencies land on (or near) resonance conditions between coupled qubits
+//! or their spectators. Following the methodology of the paper's reference
+//! \[56\] (Li, Ding, Xie, ASPLOS'20) and the IBM collision taxonomy
+//! Brink et al. (IEDM'18):
+//!
+//! 1. allocate target frequencies on the coupling graph (a deterministic
+//!    greedy margin-maximizing pass over a small candidate ladder);
+//! 2. sample fabricated frequencies `f ~ N(f_target, σ²)` where σ is the
+//!    *fabrication precision* on the x-axis of Fig 11;
+//! 3. a sample is a working chip iff no collision condition fires; yield is
+//!    the fraction of working chips.
+//!
+//! Sparser graphs expose fewer condition instances, which is exactly why the
+//! X-Tree's N−1 edges beat the grid's ~2N.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::topology::Topology;
+
+/// Thresholds (GHz) of the frequency-collision conditions.
+///
+/// Conditions for a coupled control/target pair `(j, k)` with transmon
+/// anharmonicity `α < 0`, plus spectator conditions for each additional
+/// neighbor `m` of the control:
+///
+/// | # | condition | default threshold |
+/// |---|-----------|-------------------|
+/// | 1 | `f_j = f_k` | 17 MHz |
+/// | 2 | `f_j = f_k − α/2` | 4 MHz |
+/// | 3 | `f_j = f_k − α` | 25 MHz |
+/// | 4 | CR band: `0 < f_j − f_k < −α` must hold in at least one direction | — |
+/// | 5 | `f_k = f_m` | 17 MHz |
+/// | 6 | `f_k = f_m − α/2` | 4 MHz |
+/// | 7 | `2f_j + α = f_k + f_m` | 17 MHz |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollisionModel {
+    /// Transmon anharmonicity α (GHz, negative).
+    pub anharmonicity: f64,
+    /// Threshold for conditions 1 and 5 (GHz).
+    pub degeneracy_threshold: f64,
+    /// Threshold for conditions 2 and 6 (GHz).
+    pub half_anharmonicity_threshold: f64,
+    /// Threshold for condition 3 (GHz).
+    pub anharmonicity_threshold: f64,
+    /// Threshold for condition 7 (GHz).
+    pub two_photon_threshold: f64,
+    /// Whether to enforce the CR-band condition 4.
+    pub enforce_cr_band: bool,
+}
+
+impl Default for CollisionModel {
+    fn default() -> Self {
+        CollisionModel {
+            anharmonicity: -0.34,
+            degeneracy_threshold: 0.017,
+            half_anharmonicity_threshold: 0.004,
+            anharmonicity_threshold: 0.025,
+            two_photon_threshold: 0.017,
+            enforce_cr_band: false,
+        }
+    }
+}
+
+impl CollisionModel {
+    /// Counts collision conditions violated by fabricated frequencies `f`
+    /// on the given topology.
+    pub fn count_collisions(&self, topology: &Topology, f: &[f64]) -> usize {
+        let a = self.anharmonicity;
+        let mut collisions = 0;
+
+        for &(x, y) in topology.edges() {
+            // Partially-allocated registers (NaN) are skipped — used by the
+            // incremental allocator.
+            if f[x].is_nan() || f[y].is_nan() {
+                continue;
+            }
+            // Pairwise, direction-independent conditions 1–3 (checked with
+            // the higher-frequency qubit as control).
+            let (j, k) = if f[x] >= f[y] { (x, y) } else { (y, x) };
+            if (f[j] - f[k]).abs() < self.degeneracy_threshold {
+                collisions += 1;
+            }
+            if (f[j] - f[k] + a / 2.0).abs() < self.half_anharmonicity_threshold {
+                collisions += 1;
+            }
+            if (f[j] - f[k] + a).abs() < self.anharmonicity_threshold {
+                collisions += 1;
+            }
+            // Condition 4: the CR gate needs the target inside the
+            // control's straddle band in at least one direction.
+            if self.enforce_cr_band {
+                let band = |c: usize, t: usize| f[c] - f[t] > 0.0 && f[c] - f[t] < -a;
+                if !band(j, k) && !band(k, j) {
+                    collisions += 1;
+                }
+            }
+            // Spectator conditions 5–7: m is another neighbor of the
+            // control j.
+            for &m in topology.neighbors(j) {
+                if m == k || f[m].is_nan() {
+                    continue;
+                }
+                if (f[k] - f[m]).abs() < self.degeneracy_threshold {
+                    collisions += 1;
+                }
+                if (f[k] - f[m] + a / 2.0).abs() < self.half_anharmonicity_threshold {
+                    collisions += 1;
+                }
+                if (2.0 * f[j] + a - f[k] - f[m]).abs() < self.two_photon_threshold {
+                    collisions += 1;
+                }
+            }
+        }
+        collisions
+    }
+}
+
+/// Deterministic greedy frequency allocation: BFS order over the graph,
+/// each qubit choosing from a 5-step candidate ladder the frequency that
+/// maximizes its collision margin against already-allocated neighbors and
+/// two-hop neighbors.
+pub fn allocate_frequencies(topology: &Topology, model: &CollisionModel) -> Vec<f64> {
+    let n = topology.num_qubits();
+    let base = 5.0;
+    // A ladder step that keeps every integer combination of steps away from
+    // the collision lines at 0, |α|/2 and |α| (for α = -0.34: multiples of
+    // 0.075 stay ≥ 20 MHz clear of 0.17 and ≥ 40 MHz clear of 0.34).
+    let step = -model.anharmonicity * 0.075 / 0.34;
+    let candidates: Vec<f64> = (0..5).map(|k| base + step * k as f64).collect();
+    let mut freq = vec![f64::NAN; n];
+
+    // BFS order from qubit 0 (fall back to unvisited for disconnected).
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut queue = std::collections::VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(q) = queue.pop_front() {
+            order.push(q);
+            for &nb in topology.neighbors(q) {
+                if !seen[nb] {
+                    seen[nb] = true;
+                    queue.push_back(nb);
+                }
+            }
+        }
+    }
+
+    let margin = |fq: f64, other: f64, model: &CollisionModel| -> f64 {
+        let a = model.anharmonicity;
+        let d = (fq - other).abs();
+        // Distance to the nearest collision line.
+        [d, (d + a / 2.0).abs(), (d + a).abs()]
+            .into_iter()
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    for &q in &order {
+        // Primary criterion: fewest collisions with the partial assignment
+        // (count_collisions skips NaN entries). Tie-break: largest margin
+        // against allocated one- and two-hop neighbors.
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &cand in &candidates {
+            freq[q] = cand;
+            let collisions = model.count_collisions(topology, &freq);
+            let mut m = f64::INFINITY;
+            for &nb in topology.neighbors(q) {
+                if !freq[nb].is_nan() {
+                    m = m.min(margin(cand, freq[nb], model));
+                    for &nb2 in topology.neighbors(nb) {
+                        if nb2 != q && !freq[nb2].is_nan() {
+                            m = m.min(margin(cand, freq[nb2], model));
+                        }
+                    }
+                }
+            }
+            let better = match best {
+                None => true,
+                Some((bc, bm, _)) => collisions < bc || (collisions == bc && m > bm),
+            };
+            if better {
+                best = Some((collisions, m, cand));
+            }
+        }
+        freq[q] = best.expect("non-empty candidate ladder").2;
+    }
+
+    // Min-conflict repair sweeps: the one-pass greedy can leave a few
+    // spectator collisions on dense graphs (the grid's degree-4 ancillas);
+    // re-optimize each qubit against the full assignment until fixed point.
+    for _ in 0..8 {
+        let before = model.count_collisions(topology, &freq);
+        if before == 0 {
+            break;
+        }
+        for q in 0..n {
+            let mut best = (model.count_collisions(topology, &freq), freq[q]);
+            let current = freq[q];
+            for &cand in &candidates {
+                if cand == current {
+                    continue;
+                }
+                freq[q] = cand;
+                let c = model.count_collisions(topology, &freq);
+                if c < best.0 {
+                    best = (c, cand);
+                }
+            }
+            freq[q] = best.1;
+        }
+        if model.count_collisions(topology, &freq) == before {
+            break; // fixed point
+        }
+    }
+    freq
+}
+
+/// Result of a yield simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldEstimate {
+    /// Fraction of collision-free fabricated chips, in `[0, 1]`.
+    pub yield_rate: f64,
+    /// Monte-Carlo samples drawn.
+    pub samples: usize,
+    /// Mean number of collisions per chip.
+    pub mean_collisions: f64,
+}
+
+/// Monte-Carlo yield of a topology at fabrication precision `sigma` (GHz).
+///
+/// Deterministic for a fixed `seed`.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or `samples` is zero.
+pub fn simulate_yield(
+    topology: &Topology,
+    model: &CollisionModel,
+    sigma: f64,
+    samples: usize,
+    seed: u64,
+) -> YieldEstimate {
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    assert!(samples > 0, "at least one sample required");
+    let targets = allocate_frequencies(topology, model);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut good = 0usize;
+    let mut total_collisions = 0usize;
+    let mut fabricated = vec![0.0f64; targets.len()];
+    for _ in 0..samples {
+        for (f, &t) in fabricated.iter_mut().zip(&targets) {
+            *f = t + sigma * gaussian(&mut rng);
+        }
+        let c = model.count_collisions(topology, &fabricated);
+        total_collisions += c;
+        if c == 0 {
+            good += 1;
+        }
+    }
+    YieldEstimate {
+        yield_rate: good as f64 / samples as f64,
+        samples,
+        mean_collisions: total_collisions as f64 / samples as f64,
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_assigns_every_qubit_a_candidate() {
+        let t = Topology::xtree(17);
+        let model = CollisionModel::default();
+        let f = allocate_frequencies(&t, &model);
+        assert_eq!(f.len(), 17);
+        for &x in &f {
+            assert!(x.is_finite() && x >= 5.0 && x <= 5.0 + 0.34);
+        }
+    }
+
+    #[test]
+    fn allocation_separates_neighbors() {
+        let t = Topology::grid17q();
+        let model = CollisionModel::default();
+        let f = allocate_frequencies(&t, &model);
+        for &(a, b) in t.edges() {
+            assert!(
+                (f[a] - f[b]).abs() > model.degeneracy_threshold,
+                "neighbors {a},{b} collide at allocation time"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_dispersion_yields_one() {
+        for t in [Topology::xtree(17), Topology::grid17q()] {
+            let e = simulate_yield(&t, &CollisionModel::default(), 0.0, 200, 1);
+            assert_eq!(e.yield_rate, 1.0, "{}", t.name());
+            assert_eq!(e.mean_collisions, 0.0);
+        }
+    }
+
+    #[test]
+    fn yield_decreases_with_dispersion() {
+        let t = Topology::grid17q();
+        let m = CollisionModel::default();
+        let y1 = simulate_yield(&t, &m, 0.02, 2000, 7).yield_rate;
+        let y2 = simulate_yield(&t, &m, 0.2, 2000, 7).yield_rate;
+        assert!(y1 > y2, "{y1} vs {y2}");
+    }
+
+    #[test]
+    fn xtree_beats_grid_at_same_dispersion() {
+        let m = CollisionModel::default();
+        let xt = simulate_yield(&Topology::xtree(17), &m, 0.3, 4000, 11);
+        let gr = simulate_yield(&Topology::grid17q(), &m, 0.3, 4000, 11);
+        assert!(
+            xt.yield_rate > gr.yield_rate,
+            "xtree {} vs grid {}",
+            xt.yield_rate,
+            gr.yield_rate
+        );
+        assert!(xt.mean_collisions < gr.mean_collisions);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let t = Topology::xtree(8);
+        let m = CollisionModel::default();
+        let a = simulate_yield(&t, &m, 0.25, 500, 99);
+        let b = simulate_yield(&t, &m, 0.25, 500, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collision_counter_sees_engineered_degeneracy() {
+        let t = Topology::line(2);
+        let m = CollisionModel::default();
+        assert_eq!(m.count_collisions(&t, &[5.0, 5.0]), 1); // condition 1
+        assert_eq!(m.count_collisions(&t, &[5.0, 5.0 + 0.34]), 1); // condition 3
+        assert_eq!(m.count_collisions(&t, &[5.0, 5.1]), 0);
+    }
+
+    #[test]
+    fn spectator_collision_detected() {
+        // Path 0-1-2 with the outer qubits degenerate: when 1 is the
+        // control of one edge, its spectator matches the target.
+        let t = Topology::line(3);
+        let m = CollisionModel::default();
+        let c = m.count_collisions(&t, &[5.0, 5.2, 5.0]);
+        assert!(c >= 1, "degenerate spectators must collide");
+    }
+}

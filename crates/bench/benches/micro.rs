@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks backing the paper's complexity claims:
+//! Algorithm 1 importance estimation is `O(n·#Pa·#PH)` ("several minutes
+//! for CH4" in the paper's Python; microseconds here), Merge-to-Root is
+//! `O(n·#Pa)`, and the simulator inner loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
+use pauli_codesign::ansatz::parameter_importance;
+use pauli_codesign::arch::Topology;
+use pauli_codesign::compiler::pipeline::compile_mtr;
+use pauli_codesign::pauli::{PauliString, WeightedPauliSum};
+use pauli_codesign::sim::Statevector;
+
+fn synthetic_hamiltonian(n: usize, terms: usize) -> WeightedPauliSum {
+    // Deterministic pseudo-random Pauli sum (no chemistry needed here).
+    let mut h = WeightedPauliSum::new(n);
+    let mut state = 0x1234_5678_9abc_def0u64;
+    for k in 0..terms {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let x = state & ((1 << n) - 1);
+        state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let z = state & ((1 << n) - 1);
+        h.push(0.01 * (k as f64 + 1.0), PauliString::from_symplectic(n, x, z));
+    }
+    h
+}
+
+fn bench_importance(c: &mut Criterion) {
+    // CH4-sized: 16 qubits, 2688 ansatz strings; Hamiltonian ~2000 terms.
+    let ir = UccsdAnsatz::new(8, 8).into_ir();
+    let h = synthetic_hamiltonian(16, 2000);
+    c.bench_function("importance_estimation_ch4_sized", |b| {
+        b.iter(|| black_box(parameter_importance(black_box(&ir), black_box(&h))))
+    });
+}
+
+fn bench_mtr_compile(c: &mut Criterion) {
+    let ir = UccsdAnsatz::new(8, 8).into_ir();
+    let t = Topology::xtree(17);
+    c.bench_function("mtr_compile_ch4_sized", |b| {
+        b.iter(|| black_box(compile_mtr(black_box(&ir), black_box(&t))))
+    });
+}
+
+fn bench_pauli_evolution(c: &mut Criterion) {
+    let p: PauliString = "XYZXYZXYZXYZXYZX".parse().unwrap();
+    let mut sv = Statevector::zero_state(16);
+    c.bench_function("pauli_evolution_16q", |b| {
+        b.iter(|| {
+            sv.apply_pauli_evolution(black_box(&p), 0.1);
+        })
+    });
+}
+
+fn bench_expectation(c: &mut Criterion) {
+    let h = synthetic_hamiltonian(12, 640);
+    let sv = Statevector::basis_state(12, 0b0101_0101_0101);
+    c.bench_function("expectation_640_terms_12q", |b| {
+        b.iter(|| black_box(sv.expectation(black_box(&h))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_importance, bench_mtr_compile, bench_pauli_evolution, bench_expectation
+}
+criterion_main!(benches);

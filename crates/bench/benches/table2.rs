@@ -1,0 +1,76 @@
+//! Table II regeneration: mapping overhead (added CNOTs) of the three
+//! compilation pipelines across all nine molecules and five compression
+//! ratios.
+//!
+//! Columns match the paper: original CNOTs, MtR on XTree17Q, SABRE on
+//! XTree17Q, SABRE on Grid17Q. The default run covers molecules through
+//! H₂O; `PC_FULL=1` adds BH₃, NH₃ and CH₄ (SABRE on tens of thousands of
+//! gates takes a few minutes each).
+
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
+use pauli_codesign::ansatz::compress;
+use pauli_codesign::arch::Topology;
+use pauli_codesign::chem::Benchmark;
+use pauli_codesign::compiler::pipeline::{compile_mtr, compile_sabre};
+use pauli_codesign_bench::{build_system, full_sweep, section, RATIOS};
+
+fn main() {
+    let xtree = Topology::xtree(17);
+    let grid = Topology::grid17q();
+    let molecules: Vec<Benchmark> = if full_sweep() {
+        Benchmark::ALL.to_vec()
+    } else {
+        vec![
+            Benchmark::H2,
+            Benchmark::LiH,
+            Benchmark::NaH,
+            Benchmark::HF,
+            Benchmark::BeH2,
+            Benchmark::H2O,
+        ]
+    };
+
+    section("Table II — mapping overhead (# additional CNOTs)");
+    println!(
+        "{:<6} {:<6} {:>9} {:>12} {:>13} {:>12}",
+        "mol", "ratio", "original", "MtR/XTree", "SABRE/XTree", "SABRE/Grid"
+    );
+
+    let mut totals = (0usize, 0usize, 0usize, 0usize);
+    for molecule in molecules {
+        let system = build_system(molecule, molecule.equilibrium_bond_length());
+        let full_ir = UccsdAnsatz::for_system(&system).into_ir();
+        for &ratio in &RATIOS {
+            let (ir, _) = compress(&full_ir, system.qubit_hamiltonian(), ratio);
+            let mtr = compile_mtr(&ir, &xtree);
+            let sab_x = compile_sabre(&ir, &xtree, 1);
+            let sab_g = compile_sabre(&ir, &grid, 1);
+            println!(
+                "{:<6} {:<6} {:>9} {:>12} {:>13} {:>12}",
+                molecule.name(),
+                format!("{:.0}%", ratio * 100.0),
+                mtr.original_cnots(),
+                mtr.added_cnots(),
+                sab_x.added_cnots(),
+                sab_g.added_cnots()
+            );
+            totals.0 += mtr.original_cnots();
+            totals.1 += mtr.added_cnots();
+            totals.2 += sab_x.added_cnots();
+            totals.3 += sab_g.added_cnots();
+        }
+    }
+
+    section("aggregate");
+    let pct = |x: usize| 100.0 * x as f64 / totals.0 as f64;
+    println!("original CNOTs            : {}", totals.0);
+    println!("MtR/XTree added           : {} ({:.2}% of original; paper avg 1.4%)", totals.1, pct(totals.1));
+    println!("SABRE/XTree added         : {} ({:.1}% of original; paper avg ~177%)", totals.2, pct(totals.2));
+    println!("SABRE/Grid added          : {} ({:.1}% of original)", totals.3, pct(totals.3));
+    if totals.2 > 0 {
+        println!(
+            "MtR vs SABRE on XTree     : {:.1}% of the baseline overhead (paper: ~1%)",
+            100.0 * totals.1 as f64 / totals.2 as f64
+        );
+    }
+}

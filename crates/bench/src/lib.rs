@@ -1,0 +1,84 @@
+//! Shared helpers for the table/figure regeneration benches.
+//!
+//! Every bench target (`cargo bench -p pauli-codesign-bench --bench <id>`)
+//! prints the rows of one table or figure from the paper. Set `PC_FULL=1`
+//! in the environment to run the complete (slow) parameter sweeps; the
+//! default configuration subsamples bond lengths and the largest molecules
+//! so the whole suite finishes in minutes.
+
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
+use pauli_codesign::ansatz::{compress, PauliIr};
+use pauli_codesign::chem::{Benchmark, MolecularSystem};
+use pauli_codesign::vqe::driver::{run_vqe, VqeOptions, VqeResult};
+
+/// Whether the full (paper-scale) sweep was requested via `PC_FULL=1`.
+pub fn full_sweep() -> bool {
+    std::env::var("PC_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The bond lengths to scan for a molecule: the paper's 0.1 Å grid when
+/// `PC_FULL=1`, otherwise three points around equilibrium.
+pub fn scan_bonds(benchmark: Benchmark) -> Vec<f64> {
+    if full_sweep() {
+        benchmark.bond_length_scan()
+    } else {
+        let eq = benchmark.equilibrium_bond_length();
+        vec![eq - 0.2, eq, eq + 0.2]
+    }
+}
+
+/// Builds a molecular system, panicking with a readable message on failure
+/// (bench context: failures should abort loudly).
+pub fn build_system(benchmark: Benchmark, bond: f64) -> MolecularSystem {
+    benchmark
+        .build(bond)
+        .unwrap_or_else(|e| panic!("electronic structure failed for {benchmark} @ {bond} Å: {e}"))
+}
+
+/// Runs VQE on the compressed ansatz at the given ratio; `ratio = None`
+/// means the full UCCSD ansatz.
+pub fn vqe_at_ratio(system: &MolecularSystem, ratio: Option<f64>) -> (VqeResult, PauliIr) {
+    let full = UccsdAnsatz::for_system(system).into_ir();
+    let ir = match ratio {
+        Some(r) => compress(&full, system.qubit_hamiltonian(), r).0,
+        None => full,
+    };
+    let result = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
+    (result, ir)
+}
+
+/// Prints a section header in the bench output.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Formats a mean ± standard deviation pair.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// The compression ratios evaluated throughout the paper.
+pub const RATIOS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_bonds_brackets_equilibrium() {
+        let bonds = scan_bonds(Benchmark::H2);
+        let eq = Benchmark::H2.equilibrium_bond_length();
+        assert!(bonds.iter().any(|&b| (b - eq).abs() < 1e-12));
+        assert!(bonds.len() >= 3);
+    }
+
+    #[test]
+    fn mean_std_computes() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+    }
+}

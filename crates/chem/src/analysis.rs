@@ -1,0 +1,249 @@
+//! State analysis: reduced density matrices and symmetry observables.
+//!
+//! Diagnostics for variational states: the one-particle reduced density
+//! matrix (natural occupations measure how correlated a state is), and the
+//! `N̂`, `Ŝ_z`, `Ŝ²` operators for checking that an ansatz respects the
+//! symmetries it is supposed to conserve.
+
+use std::collections::HashMap;
+
+use numeric::{jacobi_eigen, Complex64, RealMatrix};
+use pauli::WeightedPauliSum;
+
+use crate::fermion::{accumulate_term, into_real_sum, ComplexPauliMap, LadderOp};
+
+/// The one-particle reduced density matrix `D_pq = ⟨ψ|a†_p a_q|ψ⟩` over
+/// spin orbitals (real for the real-amplitude states produced by our
+/// ansatzes; asserts the imaginary parts vanish).
+///
+/// # Panics
+///
+/// Panics if the state length is not `2^n` or the 1-RDM comes out
+/// non-Hermitian/complex beyond tolerance.
+pub fn one_rdm(num_spin_orbitals: usize, state: &[Complex64]) -> RealMatrix {
+    let dim = 1usize << num_spin_orbitals;
+    assert_eq!(state.len(), dim, "state length must be 2^n");
+    let mut d = RealMatrix::zeros(num_spin_orbitals, num_spin_orbitals);
+    for p in 0..num_spin_orbitals {
+        for q in 0..=p {
+            let mut acc: ComplexPauliMap = HashMap::new();
+            accumulate_term(
+                &mut acc,
+                num_spin_orbitals,
+                &[LadderOp::create(p), LadderOp::annihilate(q)],
+                1.0,
+            );
+            // ⟨a†_p a_q⟩ directly from the complex map (not Hermitian for
+            // p ≠ q on its own, so evaluate term by term).
+            let mut val = Complex64::ZERO;
+            for (string, w) in &acc {
+                let mut term = Complex64::ZERO;
+                for b in 0..dim as u64 {
+                    let (flip, phase) = string.apply_to_basis_state(b);
+                    term += state[flip as usize].conj() * state[b as usize] * phase;
+                }
+                val += *w * term;
+            }
+            assert!(
+                val.im.abs() < 1e-8,
+                "complex 1-RDM entry ({p},{q}): {val}"
+            );
+            d[(p, q)] = val.re;
+            d[(q, p)] = val.re;
+        }
+    }
+    d
+}
+
+/// Natural occupations: eigenvalues of the 1-RDM, descending, each in
+/// `[0, 1]` per spin orbital. Deviations from {0, 1} measure correlation.
+pub fn natural_occupations(rdm: &RealMatrix) -> Vec<f64> {
+    let mut v = jacobi_eigen(rdm).values;
+    v.reverse();
+    v
+}
+
+/// The particle-number operator `N̂ = Σ_p a†_p a_p` as a Pauli sum.
+pub fn number_operator(num_spin_orbitals: usize) -> WeightedPauliSum {
+    let mut acc: ComplexPauliMap = HashMap::new();
+    for p in 0..num_spin_orbitals {
+        accumulate_term(
+            &mut acc,
+            num_spin_orbitals,
+            &[LadderOp::create(p), LadderOp::annihilate(p)],
+            1.0,
+        );
+    }
+    into_real_sum(num_spin_orbitals, acc)
+}
+
+/// The spin-projection operator `Ŝ_z = ½·Σ_i (n_{iα} − n_{iβ})` (block
+/// ordering: α spin orbitals first).
+///
+/// # Panics
+///
+/// Panics on an odd spin-orbital count.
+pub fn spin_z_operator(num_spin_orbitals: usize) -> WeightedPauliSum {
+    assert!(num_spin_orbitals % 2 == 0, "block ordering needs an even count");
+    let m = num_spin_orbitals / 2;
+    let mut acc: ComplexPauliMap = HashMap::new();
+    for i in 0..m {
+        accumulate_term(
+            &mut acc,
+            num_spin_orbitals,
+            &[LadderOp::create(i), LadderOp::annihilate(i)],
+            0.5,
+        );
+        accumulate_term(
+            &mut acc,
+            num_spin_orbitals,
+            &[LadderOp::create(m + i), LadderOp::annihilate(m + i)],
+            -0.5,
+        );
+    }
+    into_real_sum(num_spin_orbitals, acc)
+}
+
+/// The total-spin operator `Ŝ² = Ŝ_z² + ½(Ŝ₊Ŝ₋ + Ŝ₋Ŝ₊)` as a Pauli sum
+/// (built from ladder products; exact, not projected).
+///
+/// # Panics
+///
+/// Panics on an odd spin-orbital count.
+pub fn spin_squared_operator(num_spin_orbitals: usize) -> WeightedPauliSum {
+    assert!(num_spin_orbitals % 2 == 0, "block ordering needs an even count");
+    let m = num_spin_orbitals / 2;
+    let mut acc: ComplexPauliMap = HashMap::new();
+
+    // S+ = Σ_i a†_{iα} a_{iβ}; S- = (S+)†.
+    // S² = S- S+ + S_z (S_z + 1) = Σ_ij a†_{iβ} a_{iα} a†_{jα} a_{jβ} + …
+    for i in 0..m {
+        for j in 0..m {
+            accumulate_term(
+                &mut acc,
+                num_spin_orbitals,
+                &[
+                    LadderOp::create(m + i),
+                    LadderOp::annihilate(i),
+                    LadderOp::create(j),
+                    LadderOp::annihilate(m + j),
+                ],
+                1.0,
+            );
+        }
+    }
+    // + S_z² + S_z, expanded over ladder products.
+    // S_z = ½ Σ_i (n_{iα} − n_{iβ}).
+    for i in 0..m {
+        for s_i in [(i, 0.5), (m + i, -0.5)] {
+            // linear S_z term
+            accumulate_term(
+                &mut acc,
+                num_spin_orbitals,
+                &[LadderOp::create(s_i.0), LadderOp::annihilate(s_i.0)],
+                s_i.1,
+            );
+            for j in 0..m {
+                for s_j in [(j, 0.5), (m + j, -0.5)] {
+                    accumulate_term(
+                        &mut acc,
+                        num_spin_orbitals,
+                        &[
+                            LadderOp::create(s_i.0),
+                            LadderOp::annihilate(s_i.0),
+                            LadderOp::create(s_j.0),
+                            LadderOp::annihilate(s_j.0),
+                        ],
+                        s_i.1 * s_j.1,
+                    );
+                }
+            }
+        }
+    }
+    into_real_sum(num_spin_orbitals, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fermion::hartree_fock_bitmask;
+
+    fn basis_state(n: usize, b: u64) -> Vec<Complex64> {
+        let mut v = vec![Complex64::ZERO; 1 << n];
+        v[b as usize] = Complex64::ONE;
+        v
+    }
+
+    #[test]
+    fn hf_one_rdm_is_idempotent_projector() {
+        // 2 spatial orbitals, 2 electrons: occupations (1,1,0,0) in some
+        // order, D² = D.
+        let hf = hartree_fock_bitmask(2, 2);
+        let state = basis_state(4, hf);
+        let d = one_rdm(4, &state);
+        assert!((d.trace() - 2.0).abs() < 1e-10);
+        let d2 = d.mul(&d);
+        assert!(d2.max_abs_diff(&d) < 1e-10, "HF 1-RDM must be a projector");
+        let occ = natural_occupations(&d);
+        assert!((occ[0] - 1.0).abs() < 1e-10);
+        assert!((occ[1] - 1.0).abs() < 1e-10);
+        assert!(occ[3].abs() < 1e-10);
+    }
+
+    #[test]
+    fn correlated_state_has_fractional_occupations() {
+        // An equal superposition of |0101⟩ and |1010⟩ (H2-style pair
+        // correlation) has all four occupations equal to ½.
+        let mut state = vec![Complex64::ZERO; 16];
+        state[0b0101] = Complex64::from_real(std::f64::consts::FRAC_1_SQRT_2);
+        state[0b1010] = Complex64::from_real(std::f64::consts::FRAC_1_SQRT_2);
+        let d = one_rdm(4, &state);
+        let occ = natural_occupations(&d);
+        for o in occ {
+            assert!((o - 0.5).abs() < 1e-10, "occupation {o}");
+        }
+    }
+
+    #[test]
+    fn number_and_sz_on_reference_states() {
+        let n_op = number_operator(4);
+        let sz = spin_z_operator(4);
+        // Closed shell: N = 2, Sz = 0.
+        let hf = basis_state(4, hartree_fock_bitmask(2, 2));
+        assert!((n_op.expectation(&hf) - 2.0).abs() < 1e-10);
+        assert!(sz.expectation(&hf).abs() < 1e-10);
+        // Two α electrons: N = 2, Sz = 1.
+        let polarized = basis_state(4, 0b0011);
+        assert!((n_op.expectation(&polarized) - 2.0).abs() < 1e-10);
+        assert!((sz.expectation(&polarized) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn s_squared_classifies_singlets_and_triplets() {
+        let s2 = spin_squared_operator(4);
+        // Closed-shell determinant: singlet, S² = 0.
+        let hf = basis_state(4, hartree_fock_bitmask(2, 2));
+        assert!(s2.expectation(&hf).abs() < 1e-10, "S² of closed shell");
+        // Two parallel α spins: triplet, S² = s(s+1) = 2.
+        let triplet = basis_state(4, 0b0011);
+        assert!((s2.expectation(&triplet) - 2.0).abs() < 1e-10, "S² of triplet");
+        // Open-shell Sz=0 determinant |α₀ β₁⟩: mixed singlet/triplet, S² = 1.
+        let mixed = basis_state(4, 0b1001);
+        assert!((s2.expectation(&mixed) - 1.0).abs() < 1e-10, "S² of broken pair");
+    }
+
+    #[test]
+    fn variance_vanishes_on_eigenstates() {
+        let mut h = WeightedPauliSum::new(2);
+        h.push(1.0, "ZZ".parse().unwrap());
+        h.push(0.3, "ZI".parse().unwrap());
+        // |00⟩ is an eigenstate of this diagonal Hamiltonian.
+        let state = basis_state(2, 0);
+        assert!(h.variance(&state) < 1e-12);
+        // A superposition across eigenspaces has positive variance.
+        let mut sup = vec![Complex64::ZERO; 4];
+        sup[0] = Complex64::from_real(std::f64::consts::FRAC_1_SQRT_2);
+        sup[1] = Complex64::from_real(std::f64::consts::FRAC_1_SQRT_2);
+        assert!(h.variance(&sup) > 0.1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Chemical elements and their STO-3G Slater exponents.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The elements appearing in the paper's benchmark set.
+///
+/// # Examples
+///
+/// ```
+/// use chem::Element;
+///
+/// assert_eq!(Element::O.atomic_number(), 8);
+/// assert_eq!("C".parse::<Element>().unwrap(), Element::C);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Element {
+    /// Hydrogen.
+    H,
+    /// Lithium.
+    Li,
+    /// Beryllium.
+    Be,
+    /// Boron.
+    B,
+    /// Carbon.
+    C,
+    /// Nitrogen.
+    N,
+    /// Oxygen.
+    O,
+    /// Fluorine.
+    F,
+    /// Sodium.
+    Na,
+}
+
+impl Element {
+    /// Nuclear charge Z.
+    pub fn atomic_number(self) -> u32 {
+        match self {
+            Element::H => 1,
+            Element::Li => 3,
+            Element::Be => 4,
+            Element::B => 5,
+            Element::C => 6,
+            Element::N => 7,
+            Element::O => 8,
+            Element::F => 9,
+            Element::Na => 11,
+        }
+    }
+
+    /// The element symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::H => "H",
+            Element::Li => "Li",
+            Element::Be => "Be",
+            Element::B => "B",
+            Element::C => "C",
+            Element::N => "N",
+            Element::O => "O",
+            Element::F => "F",
+            Element::Na => "Na",
+        }
+    }
+
+    /// Slater exponents `ζ` per shell for the STO-3G basis, in shell order
+    /// `[1s, 2sp, 3sp]` (only the shells the element uses are returned).
+    ///
+    /// These are the standard "best atom + molecular" exponents of Hehre,
+    /// Stewart & Pople; expanding each Slater orbital in three Gaussians
+    /// with the fixed STO-3G fit constants reproduces the published STO-3G
+    /// primitives (e.g. H 1s exponents 3.42525, 0.62391, 0.16886 from
+    /// ζ = 1.24).
+    pub fn sto3g_zetas(self) -> &'static [(Shell, f64)] {
+        match self {
+            Element::H => &[(Shell::S1, 1.24)],
+            Element::Li => &[(Shell::S1, 2.69), (Shell::SP2, 0.80)],
+            Element::Be => &[(Shell::S1, 3.68), (Shell::SP2, 1.15)],
+            Element::B => &[(Shell::S1, 4.68), (Shell::SP2, 1.50)],
+            Element::C => &[(Shell::S1, 5.67), (Shell::SP2, 1.72)],
+            Element::N => &[(Shell::S1, 6.67), (Shell::SP2, 1.95)],
+            Element::O => &[(Shell::S1, 7.66), (Shell::SP2, 2.25)],
+            Element::F => &[(Shell::S1, 8.65), (Shell::SP2, 2.55)],
+            // Na third-row exponents; the 3sp Gaussian expansion constants
+            // are fitted (see `basis::sto3g_fit_constants`), a documented
+            // substitution in DESIGN.md.
+            Element::Na => &[(Shell::S1, 10.61), (Shell::SP2, 3.48), (Shell::SP3, 1.75)],
+        }
+    }
+
+    /// Number of core *spatial* orbitals conventionally frozen for this
+    /// element (1s for Li–F; 1s2s2p for Na; none for H).
+    pub fn core_orbital_count(self) -> usize {
+        match self {
+            Element::H => 0,
+            Element::Li | Element::Be | Element::B | Element::C | Element::N | Element::O
+            | Element::F => 1,
+            Element::Na => 5,
+        }
+    }
+}
+
+/// A Slater shell used by the STO-3G basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shell {
+    /// 1s shell (one s function).
+    S1,
+    /// 2sp shell (one s and three p functions sharing exponents).
+    SP2,
+    /// 3sp shell (one s and three p functions sharing exponents).
+    SP3,
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// Error for parsing an unknown element symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseElementError(String);
+
+impl fmt::Display for ParseElementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown element symbol `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseElementError {}
+
+impl FromStr for Element {
+    type Err = ParseElementError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "H" => Ok(Element::H),
+            "Li" => Ok(Element::Li),
+            "Be" => Ok(Element::Be),
+            "B" => Ok(Element::B),
+            "C" => Ok(Element::C),
+            "N" => Ok(Element::N),
+            "O" => Ok(Element::O),
+            "F" => Ok(Element::F),
+            "Na" => Ok(Element::Na),
+            other => Err(ParseElementError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_numbers() {
+        assert_eq!(Element::H.atomic_number(), 1);
+        assert_eq!(Element::Na.atomic_number(), 11);
+        assert_eq!(Element::C.atomic_number(), 6);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for e in [
+            Element::H,
+            Element::Li,
+            Element::Be,
+            Element::B,
+            Element::C,
+            Element::N,
+            Element::O,
+            Element::F,
+            Element::Na,
+        ] {
+            assert_eq!(e.symbol().parse::<Element>().unwrap(), e);
+        }
+        assert!("Xx".parse::<Element>().is_err());
+    }
+
+    #[test]
+    fn shell_structure() {
+        assert_eq!(Element::H.sto3g_zetas().len(), 1);
+        assert_eq!(Element::O.sto3g_zetas().len(), 2);
+        assert_eq!(Element::Na.sto3g_zetas().len(), 3);
+    }
+
+    #[test]
+    fn frozen_core_counts() {
+        assert_eq!(Element::H.core_orbital_count(), 0);
+        assert_eq!(Element::O.core_orbital_count(), 1);
+        assert_eq!(Element::Na.core_orbital_count(), 5);
+    }
+}

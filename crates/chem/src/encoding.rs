@@ -1,0 +1,368 @@
+//! Alternative fermion→qubit encodings: the parity transform and its
+//! two-qubit reduction.
+//!
+//! The paper fixes Jordan–Wigner (§VI-A); a production chemistry stack also
+//! offers the *parity* encoding (Seeley–Richard–Love), where qubit `j`
+//! stores the occupation parity of modes `0..=j`. The encodings are related
+//! by a basis change, so every spectrum is identical — which the tests
+//! verify — but parity moves the non-locality from the Z-strings below a
+//! mode to X-strings above it, and, with block-spin ordering, makes two
+//! qubits redundant: qubit `m−1` stores the conserved α-electron parity and
+//! qubit `2m−1` the conserved total parity, so both can be *tapered* off.
+//!
+//! For the paper's pipeline this matters because tapering shrinks H₂ from
+//! 4 to 2 qubits (and every benchmark by 2) at zero accuracy cost.
+
+use std::collections::HashMap;
+
+use numeric::Complex64;
+use pauli::{Pauli, PauliString, WeightedPauliSum};
+
+use crate::fermion::{ComplexPauliMap, LadderOp};
+use crate::mo::ActiveIntegrals;
+
+/// A fermion→qubit encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FermionEncoding {
+    /// Jordan–Wigner: qubit `j` stores occupation `n_j`; Z-chains below.
+    #[default]
+    JordanWigner,
+    /// Parity: qubit `j` stores `n_0 ⊕ … ⊕ n_j`; X-chains above.
+    Parity,
+}
+
+/// The two-term Pauli expansion of one ladder operator under an encoding.
+pub fn encoded_ladder(
+    encoding: FermionEncoding,
+    num_qubits: usize,
+    op: LadderOp,
+) -> [(Complex64, PauliString); 2] {
+    match encoding {
+        FermionEncoding::JordanWigner => crate::fermion::jordan_wigner_ladder(num_qubits, op),
+        FermionEncoding::Parity => parity_ladder(num_qubits, op),
+    }
+}
+
+/// Parity-encoded ladder operator (Seeley–Richard–Love):
+/// `a†_j = ½·X_{n-1}…X_{j+1} ⊗ (X_j·Z_{j-1} − i·Y_j)` and the conjugate
+/// for `a_j` (with `Z_{-1} = I`).
+pub fn parity_ladder(num_qubits: usize, op: LadderOp) -> [(Complex64, PauliString); 2] {
+    assert!(op.index < num_qubits, "mode {} out of range", op.index);
+    let j = op.index;
+
+    // X-chain on every qubit above j (they all flip parity when n_j flips).
+    let mut x_part = PauliString::identity(num_qubits);
+    let mut y_part = PauliString::identity(num_qubits);
+    for q in (j + 1)..num_qubits {
+        x_part.set_op(q, Pauli::X);
+        y_part.set_op(q, Pauli::X);
+    }
+    x_part.set_op(j, Pauli::X);
+    y_part.set_op(j, Pauli::Y);
+    if j > 0 {
+        // The sign (−1)^{parity of modes < j} = Z_{j-1} in parity encoding.
+        x_part.set_op(j - 1, Pauli::Z);
+    }
+
+    let half = Complex64::from_real(0.5);
+    let y_coef = if op.creation {
+        Complex64::new(0.0, -0.5)
+    } else {
+        Complex64::new(0.0, 0.5)
+    };
+    [(half, x_part), (y_coef, y_part)]
+}
+
+/// Expands a product of ladder operators under an encoding (the parity
+/// analogue of [`crate::fermion::jordan_wigner_product`]).
+pub fn encoded_product(
+    encoding: FermionEncoding,
+    num_qubits: usize,
+    ops: &[LadderOp],
+) -> ComplexPauliMap {
+    let mut acc: ComplexPauliMap = HashMap::new();
+    acc.insert(PauliString::identity(num_qubits), Complex64::ONE);
+    for &op in ops {
+        let factors = encoded_ladder(encoding, num_qubits, op);
+        let mut next: ComplexPauliMap = HashMap::with_capacity(acc.len() * 2);
+        for (p, w) in &acc {
+            for (fw, fp) in &factors {
+                let (phase, prod) = p.mul(fp);
+                *next.entry(prod).or_insert(Complex64::ZERO) += *w * *fw * phase.to_complex();
+            }
+        }
+        next.retain(|_, w| w.norm() > 1e-14);
+        acc = next;
+    }
+    acc
+}
+
+/// Builds the qubit Hamiltonian of an active space under the chosen
+/// encoding — the encoding-generic version of
+/// [`crate::fermion::build_qubit_hamiltonian`].
+pub fn build_qubit_hamiltonian_encoded(
+    act: &ActiveIntegrals,
+    encoding: FermionEncoding,
+) -> WeightedPauliSum {
+    let m = act.h.rows();
+    let n_so = 2 * m;
+    let mut acc: ComplexPauliMap = HashMap::new();
+    acc.insert(PauliString::identity(n_so), Complex64::from_real(act.core_energy));
+
+    let add = |acc: &mut ComplexPauliMap, ops: &[LadderOp], scale: f64| {
+        if scale == 0.0 {
+            return;
+        }
+        for (p, w) in encoded_product(encoding, n_so, ops) {
+            *acc.entry(p).or_insert(Complex64::ZERO) += w * scale;
+        }
+    };
+
+    for p in 0..m {
+        for q in 0..m {
+            let hpq = act.h[(p, q)];
+            if hpq.abs() < 1e-12 {
+                continue;
+            }
+            for beta in [false, true] {
+                let sp = crate::fermion::spin_orbital(m, p, beta);
+                let sq = crate::fermion::spin_orbital(m, q, beta);
+                add(&mut acc, &[LadderOp::create(sp), LadderOp::annihilate(sq)], hpq);
+            }
+        }
+    }
+    for p in 0..m {
+        for q in 0..m {
+            for r in 0..m {
+                for s in 0..m {
+                    let g = act.eri.get(p, r, q, s);
+                    if g.abs() < 1e-12 {
+                        continue;
+                    }
+                    for sigma in [false, true] {
+                        for tau in [false, true] {
+                            let a = crate::fermion::spin_orbital(m, p, sigma);
+                            let b = crate::fermion::spin_orbital(m, q, tau);
+                            let c = crate::fermion::spin_orbital(m, s, tau);
+                            let d = crate::fermion::spin_orbital(m, r, sigma);
+                            if a == b || c == d {
+                                continue;
+                            }
+                            add(
+                                &mut acc,
+                                &[
+                                    LadderOp::create(a),
+                                    LadderOp::create(b),
+                                    LadderOp::annihilate(c),
+                                    LadderOp::annihilate(d),
+                                ],
+                                0.5 * g,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut h = crate::fermion::into_real_sum(n_so, acc);
+    h.simplify(1e-12);
+    h
+}
+
+/// Two-qubit reduction of a parity-encoded, block-spin-ordered Hamiltonian:
+/// qubit `m−1` (α parity) and qubit `2m−1` (total parity) are conserved, so
+/// they are replaced by their eigenvalue signs and removed.
+///
+/// `num_alpha` / `num_beta` fix the symmetry sector (the signs are
+/// `(−1)^{n_α}` and `(−1)^{n_α + n_β}`).
+///
+/// # Panics
+///
+/// Panics if any term acts with X or Y on the tapered qubits (which would
+/// mean the Hamiltonian does not conserve the parities) or the register is
+/// not block-ordered even-sized.
+pub fn taper_two_qubits(
+    hamiltonian: &WeightedPauliSum,
+    num_alpha: usize,
+    num_beta: usize,
+) -> WeightedPauliSum {
+    let n = hamiltonian.num_qubits();
+    assert!(n % 2 == 0 && n >= 4, "block ordering needs an even register of ≥ 4");
+    let m = n / 2;
+    let (q_alpha, q_total) = (m - 1, n - 1);
+    let sign_alpha: f64 = if num_alpha % 2 == 0 { 1.0 } else { -1.0 };
+    let sign_total: f64 = if (num_alpha + num_beta) % 2 == 0 { 1.0 } else { -1.0 };
+
+    let mut out = WeightedPauliSum::new(n - 2);
+    for &(w, p) in hamiltonian.iter() {
+        let mut weight = w;
+        let mut reduced = PauliString::identity(n - 2);
+        let mut dest = 0usize;
+        for q in 0..n {
+            let op = p.op(q);
+            if q == q_alpha || q == q_total {
+                match op {
+                    Pauli::I => {}
+                    Pauli::Z => {
+                        weight *= if q == q_alpha { sign_alpha } else { sign_total };
+                    }
+                    _ => panic!(
+                        "term {p} acts with {op} on tapered qubit {q}: parity not conserved"
+                    ),
+                }
+            } else {
+                reduced.set_op(dest, op);
+                dest += 1;
+            }
+        }
+        out.push(weight, reduced);
+    }
+    out.simplify(1e-12);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fermion::jordan_wigner_product;
+
+    /// Verify {a_p, a†_q} = δ_pq under the parity encoding.
+    #[test]
+    fn parity_ladder_anticommutation() {
+        let n = 4;
+        for p in 0..n {
+            for q in 0..n {
+                let mut acc: ComplexPauliMap = HashMap::new();
+                for (first, second) in [
+                    (LadderOp::annihilate(p), LadderOp::create(q)),
+                    (LadderOp::create(q), LadderOp::annihilate(p)),
+                ] {
+                    for (string, w) in
+                        encoded_product(FermionEncoding::Parity, n, &[first, second])
+                    {
+                        *acc.entry(string).or_insert(Complex64::ZERO) += w;
+                    }
+                }
+                acc.retain(|_, w| w.norm() > 1e-12);
+                if p == q {
+                    assert_eq!(acc.len(), 1, "{{a_{p}, a†_{q}}} should be I");
+                    let id = PauliString::identity(n);
+                    assert!(acc[&id].approx_eq(Complex64::ONE, 1e-12));
+                } else {
+                    assert!(acc.is_empty(), "{{a_{p}, a†_{q}}} should vanish");
+                }
+            }
+        }
+    }
+
+    /// The number operator must be diagonal in both encodings with the same
+    /// spectrum {0, 1} per mode.
+    #[test]
+    fn parity_number_operator() {
+        let n = 3;
+        for j in 0..n {
+            let map = encoded_product(
+                FermionEncoding::Parity,
+                n,
+                &[LadderOp::create(j), LadderOp::annihilate(j)],
+            );
+            let sum = crate::fermion::into_real_sum(n, map);
+            // n_j = (I − Z_j·Z_{j-1})/2: only I/Z operators appear.
+            for (_, p) in sum.iter() {
+                for q in 0..n {
+                    assert!(
+                        matches!(p.op(q), Pauli::I | Pauli::Z),
+                        "number operator must be diagonal, got {p}"
+                    );
+                }
+            }
+            let vals = sum.lowest_eigenvalues(1);
+            assert!(vals[0].abs() < 1e-9);
+        }
+    }
+
+    /// Jordan–Wigner and parity encodings of the same operator product are
+    /// isospectral (they differ by a basis change).
+    #[test]
+    fn encodings_are_isospectral_on_hopping() {
+        let n = 3;
+        // Hermitian hopping a†_0 a_2 + a†_2 a_0.
+        let build = |enc: FermionEncoding| {
+            let mut acc: ComplexPauliMap = HashMap::new();
+            for ops in [
+                [LadderOp::create(0), LadderOp::annihilate(2)],
+                [LadderOp::create(2), LadderOp::annihilate(0)],
+            ] {
+                for (p, w) in encoded_product(enc, n, &ops) {
+                    *acc.entry(p).or_insert(Complex64::ZERO) += w;
+                }
+            }
+            crate::fermion::into_real_sum(n, acc)
+        };
+        let jw = build(FermionEncoding::JordanWigner);
+        let parity = build(FermionEncoding::Parity);
+        let a = jw.lowest_eigenvalues(3);
+        let b = parity.lowest_eigenvalues(3);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-7, "{x} vs {y}");
+        }
+    }
+
+    /// Full-stack check on H2: the parity-encoded Hamiltonian is
+    /// isospectral with Jordan–Wigner, and the two-qubit tapering preserves
+    /// the neutral-sector ground-state energy on a 2-qubit register.
+    #[test]
+    fn h2_parity_and_tapering_preserve_ground_state() {
+        use crate::basis::build_basis;
+        use crate::geometry::shapes::diatomic;
+        use crate::integrals::compute_ao_integrals;
+        use crate::mo::{active_space_integrals, transform_to_mo, ActiveSpace};
+        use crate::scf::{restricted_hartree_fock, ScfOptions};
+
+        let molecule = diatomic(crate::Element::H, crate::Element::H, 0.74);
+        let basis = build_basis(&molecule);
+        let ints = compute_ao_integrals(&molecule, &basis);
+        let scf = restricted_hartree_fock(&ints, 2, ScfOptions::default()).unwrap();
+        let mo = transform_to_mo(&ints, &scf);
+        let act = active_space_integrals(&mo, &ActiveSpace::full(2), ints.nuclear_repulsion);
+
+        let jw = crate::fermion::build_qubit_hamiltonian(&act);
+        let parity = build_qubit_hamiltonian_encoded(&act, FermionEncoding::Parity);
+        assert_eq!(parity.num_qubits(), 4);
+        let e_jw = jw.ground_state_energy();
+        let e_parity = parity.ground_state_energy();
+        assert!((e_jw - e_parity).abs() < 1e-8, "JW {e_jw} vs parity {e_parity}");
+
+        // Taper the α-parity and total-parity qubits (n_α = n_β = 1).
+        let tapered = taper_two_qubits(&parity, 1, 1);
+        assert_eq!(tapered.num_qubits(), 2);
+        let e_tapered = tapered.ground_state_energy();
+        assert!(
+            (e_tapered - e_jw).abs() < 1e-8,
+            "tapered {e_tapered} vs full {e_jw}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn tapering_rejects_parity_breaking_terms() {
+        let mut h = WeightedPauliSum::new(4);
+        // X on the α-parity qubit (m−1 = 1) breaks the symmetry.
+        h.push(1.0, "IIXI".parse().unwrap());
+        let _ = taper_two_qubits(&h, 1, 1);
+    }
+
+    /// Cross-check against the JW machinery already validated elsewhere.
+    #[test]
+    fn jw_paths_agree() {
+        let n = 4;
+        let ops = [LadderOp::create(2), LadderOp::annihilate(1)];
+        let via_encoding = encoded_product(FermionEncoding::JordanWigner, n, &ops);
+        let direct = jordan_wigner_product(n, &ops);
+        assert_eq!(via_encoding.len(), direct.len());
+        for (p, w) in &direct {
+            assert!(via_encoding[p].approx_eq(*w, 1e-12));
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Second quantization and the Jordan–Wigner encoding.
+//!
+//! Spin orbitals use *block ordering*: for `m` active spatial orbitals,
+//! qubits `0..m` are the α spin orbitals and qubits `m..2m` the β spin
+//! orbitals, matching the Qiskit convention the paper's Table I counts are
+//! based on.
+
+use std::collections::HashMap;
+
+use numeric::Complex64;
+use pauli::{Pauli, PauliString, WeightedPauliSum};
+
+use crate::mo::ActiveIntegrals;
+
+/// A fermionic ladder operator: creation (`a†_p`) or annihilation (`a_p`) on
+/// spin orbital `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LadderOp {
+    /// Spin-orbital index.
+    pub index: usize,
+    /// `true` for creation, `false` for annihilation.
+    pub creation: bool,
+}
+
+impl LadderOp {
+    /// Creation operator `a†_p`.
+    pub fn create(index: usize) -> Self {
+        LadderOp { index, creation: true }
+    }
+
+    /// Annihilation operator `a_p`.
+    pub fn annihilate(index: usize) -> Self {
+        LadderOp { index, creation: false }
+    }
+}
+
+/// A sparse complex-weighted Pauli expansion, used as the working
+/// representation while multiplying Jordan–Wigner factors.
+///
+/// # Examples
+///
+/// ```
+/// use chem::fermion::{jordan_wigner_product, LadderOp};
+///
+/// // The number operator a†_0 a_0 = (I − Z_0)/2.
+/// let n0 = jordan_wigner_product(2, &[LadderOp::create(0), LadderOp::annihilate(0)]);
+/// assert_eq!(n0.len(), 2);
+/// ```
+pub type ComplexPauliMap = HashMap<PauliString, Complex64>;
+
+/// The Jordan–Wigner image of one ladder operator: two weighted strings
+/// `a†_p = ½(X_p − iY_p)·Z_{p-1}…Z_0`, `a_p = ½(X_p + iY_p)·Z_{p-1}…Z_0`.
+pub fn jordan_wigner_ladder(num_qubits: usize, op: LadderOp) -> [(Complex64, PauliString); 2] {
+    assert!(op.index < num_qubits, "spin orbital {} out of range", op.index);
+    let mut x_string = PauliString::identity(num_qubits);
+    let mut y_string = PauliString::identity(num_qubits);
+    for q in 0..op.index {
+        x_string.set_op(q, Pauli::Z);
+        y_string.set_op(q, Pauli::Z);
+    }
+    x_string.set_op(op.index, Pauli::X);
+    y_string.set_op(op.index, Pauli::Y);
+    let half = Complex64::from_real(0.5);
+    let y_coef = if op.creation {
+        Complex64::new(0.0, -0.5)
+    } else {
+        Complex64::new(0.0, 0.5)
+    };
+    [(half, x_string), (y_coef, y_string)]
+}
+
+/// Expands a product of ladder operators into its Pauli decomposition.
+pub fn jordan_wigner_product(num_qubits: usize, ops: &[LadderOp]) -> ComplexPauliMap {
+    let mut acc: ComplexPauliMap = HashMap::new();
+    acc.insert(PauliString::identity(num_qubits), Complex64::ONE);
+    for &op in ops {
+        let factors = jordan_wigner_ladder(num_qubits, op);
+        let mut next: ComplexPauliMap = HashMap::with_capacity(acc.len() * 2);
+        for (p, w) in &acc {
+            for (fw, fp) in &factors {
+                let (phase, prod) = p.mul(fp);
+                let coef = *w * *fw * phase.to_complex();
+                *next.entry(prod).or_insert(Complex64::ZERO) += coef;
+            }
+        }
+        next.retain(|_, w| w.norm() > 1e-14);
+        acc = next;
+    }
+    acc
+}
+
+/// Adds `scale · JW(ops)` into an accumulator map.
+pub fn accumulate_term(
+    acc: &mut ComplexPauliMap,
+    num_qubits: usize,
+    ops: &[LadderOp],
+    scale: f64,
+) {
+    if scale == 0.0 {
+        return;
+    }
+    for (p, w) in jordan_wigner_product(num_qubits, ops) {
+        *acc.entry(p).or_insert(Complex64::ZERO) += w * scale;
+    }
+}
+
+/// Converts an accumulated (Hermitian) complex map into a real weighted sum.
+///
+/// # Panics
+///
+/// Panics if any coefficient has an imaginary part above `1e-8` — that would
+/// mean the assembled operator is not Hermitian.
+pub fn into_real_sum(num_qubits: usize, acc: ComplexPauliMap) -> WeightedPauliSum {
+    let mut terms: Vec<(f64, PauliString)> = acc
+        .into_iter()
+        .filter(|(_, w)| w.norm() > 1e-12)
+        .map(|(p, w)| {
+            assert!(
+                w.im.abs() < 1e-8,
+                "non-Hermitian accumulation: {p} has imaginary weight {}",
+                w.im
+            );
+            (w.re, p)
+        })
+        .collect();
+    // Deterministic order: sort by string for reproducibility.
+    terms.sort_by(|a, b| a.1.cmp(&b.1));
+    WeightedPauliSum::from_terms(num_qubits, terms)
+}
+
+/// The anti-Hermitian cluster operator `T − T†` of an excitation, expanded
+/// as `i·Σ_k c_k·P_k` with real `c_k`; returns the `(c_k, P_k)` pairs.
+///
+/// `excitation` is the ladder-operator product for `T` (e.g.
+/// `[a†_a, a_i]` for a single excitation `i→a`).
+///
+/// # Panics
+///
+/// Panics if the expansion is not of the form `i·(real combination)`, which
+/// would indicate `T` was not a proper excitation product.
+pub fn antihermitian_pauli_terms(
+    num_qubits: usize,
+    excitation: &[LadderOp],
+) -> Vec<(f64, PauliString)> {
+    let mut acc: ComplexPauliMap = HashMap::new();
+    accumulate_term(&mut acc, num_qubits, excitation, 1.0);
+    // Subtract the Hermitian conjugate: reverse order, flip dagger.
+    let conj: Vec<LadderOp> = excitation
+        .iter()
+        .rev()
+        .map(|op| LadderOp { index: op.index, creation: !op.creation })
+        .collect();
+    accumulate_term(&mut acc, num_qubits, &conj, -1.0);
+
+    let mut out: Vec<(f64, PauliString)> = acc
+        .into_iter()
+        .filter(|(_, w)| w.norm() > 1e-12)
+        .map(|(p, w)| {
+            assert!(
+                w.re.abs() < 1e-10,
+                "anti-Hermitian operator must be purely imaginary in the Pauli basis"
+            );
+            (w.im, p)
+        })
+        .collect();
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    out
+}
+
+/// Spin-orbital index for spatial orbital `i` with the given spin in block
+/// ordering (`false` = α, `true` = β).
+pub fn spin_orbital(num_spatial: usize, spatial: usize, beta: bool) -> usize {
+    assert!(spatial < num_spatial, "spatial orbital out of range");
+    if beta {
+        num_spatial + spatial
+    } else {
+        spatial
+    }
+}
+
+/// Builds the qubit Hamiltonian of an active space under Jordan–Wigner:
+/// `H = E_core + Σ h_pq a†p aq + ½ Σ ⟨pq|rs⟩ a†p a†q a_s a_r`.
+///
+/// The physicist-notation element `⟨pq|rs⟩` is `(pr|qs)` of the chemist
+/// tensor with the spin selection rules `σ_p = σ_r`, `σ_q = σ_s`.
+pub fn build_qubit_hamiltonian(act: &ActiveIntegrals) -> WeightedPauliSum {
+    let m = act.h.rows();
+    let n_so = 2 * m;
+    let mut acc: ComplexPauliMap = HashMap::new();
+
+    // Constant core energy on the identity string.
+    acc.insert(PauliString::identity(n_so), Complex64::from_real(act.core_energy));
+
+    // One-body terms (spin-diagonal).
+    for p in 0..m {
+        for q in 0..m {
+            let h = act.h[(p, q)];
+            if h.abs() < 1e-12 {
+                continue;
+            }
+            for beta in [false, true] {
+                let sp = spin_orbital(m, p, beta);
+                let sq = spin_orbital(m, q, beta);
+                accumulate_term(
+                    &mut acc,
+                    n_so,
+                    &[LadderOp::create(sp), LadderOp::annihilate(sq)],
+                    h,
+                );
+            }
+        }
+    }
+
+    // Two-body terms: ½ Σ_{pqrs,στ} (pr|qs) a†_{pσ} a†_{qτ} a_{sτ} a_{rσ}.
+    for p in 0..m {
+        for q in 0..m {
+            for r in 0..m {
+                for s in 0..m {
+                    let g = act.eri.get(p, r, q, s);
+                    if g.abs() < 1e-12 {
+                        continue;
+                    }
+                    for sigma in [false, true] {
+                        for tau in [false, true] {
+                            let a = spin_orbital(m, p, sigma);
+                            let b = spin_orbital(m, q, tau);
+                            let c = spin_orbital(m, s, tau);
+                            let d = spin_orbital(m, r, sigma);
+                            if a == b || c == d {
+                                continue; // a†a† or aa on the same mode is zero
+                            }
+                            accumulate_term(
+                                &mut acc,
+                                n_so,
+                                &[
+                                    LadderOp::create(a),
+                                    LadderOp::create(b),
+                                    LadderOp::annihilate(c),
+                                    LadderOp::annihilate(d),
+                                ],
+                                0.5 * g,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    into_real_sum(n_so, acc)
+}
+
+/// The Hartree-Fock reference determinant as a computational-basis bitmask
+/// (block spin ordering; closed shell).
+///
+/// # Panics
+///
+/// Panics if the electron count is odd or exceeds the orbital capacity.
+pub fn hartree_fock_bitmask(num_spatial: usize, num_electrons: usize) -> u64 {
+    assert!(num_electrons % 2 == 0, "closed-shell reference requires even electrons");
+    let pairs = num_electrons / 2;
+    assert!(pairs <= num_spatial, "too many electrons for the active space");
+    let mut mask = 0u64;
+    for i in 0..pairs {
+        mask |= 1 << spin_orbital(num_spatial, i, false);
+        mask |= 1 << spin_orbital(num_spatial, i, true);
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_operator_expansion() {
+        // a†_0 a_0 = (I − Z_0)/2.
+        let map = jordan_wigner_product(2, &[LadderOp::create(0), LadderOp::annihilate(0)]);
+        let id = PauliString::identity(2);
+        let z0: PauliString = "IZ".parse().unwrap();
+        assert!(map[&id].approx_eq(Complex64::from_real(0.5), 1e-12));
+        assert!(map[&z0].approx_eq(Complex64::from_real(-0.5), 1e-12));
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn anticommutation_a_adagger() {
+        // a_0 a†_0 = (I + Z_0)/2.
+        let map = jordan_wigner_product(1, &[LadderOp::annihilate(0), LadderOp::create(0)]);
+        let id = PauliString::identity(1);
+        let z: PauliString = "Z".parse().unwrap();
+        assert!(map[&id].approx_eq(Complex64::from_real(0.5), 1e-12));
+        assert!(map[&z].approx_eq(Complex64::from_real(0.5), 1e-12));
+    }
+
+    #[test]
+    fn pauli_exclusion_adagger_squared_is_zero() {
+        let map = jordan_wigner_product(2, &[LadderOp::create(1), LadderOp::create(1)]);
+        assert!(map.is_empty(), "a†a† must vanish, got {map:?}");
+    }
+
+    #[test]
+    fn hopping_term_has_z_chain() {
+        // a†_2 a_0 + h.c. on 3 qubits → ½(X Z X + Y Z Y).
+        let mut acc: ComplexPauliMap = HashMap::new();
+        accumulate_term(&mut acc, 3, &[LadderOp::create(2), LadderOp::annihilate(0)], 1.0);
+        accumulate_term(&mut acc, 3, &[LadderOp::create(0), LadderOp::annihilate(2)], 1.0);
+        let sum = into_real_sum(3, acc);
+        let mut found = std::collections::HashMap::new();
+        for (w, p) in sum.iter() {
+            found.insert(p.to_string(), *w);
+        }
+        assert!((found["XZX"] - 0.5).abs() < 1e-12);
+        assert!((found["YZY"] - 0.5).abs() < 1e-12);
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn single_excitation_antihermitian_terms() {
+        // T = a†_1 a_0; T−T† = (i/2)(X_1 Y_0 − Y_1 X_0) → coefficients ±½.
+        let terms =
+            antihermitian_pauli_terms(2, &[LadderOp::create(1), LadderOp::annihilate(0)]);
+        assert_eq!(terms.len(), 2);
+        let mut m = std::collections::HashMap::new();
+        for (c, p) in &terms {
+            m.insert(p.to_string(), *c);
+        }
+        assert!((m["XY"].abs() - 0.5).abs() < 1e-12);
+        assert!((m["YX"].abs() - 0.5).abs() < 1e-12);
+        assert!((m["XY"] + m["YX"]).abs() < 1e-12, "opposite signs expected");
+    }
+
+    #[test]
+    fn double_excitation_has_eight_strings() {
+        // T = a†_2 a†_3 a_1 a_0 on 4 qubits → 8 Pauli strings (paper §II-C).
+        let terms = antihermitian_pauli_terms(
+            4,
+            &[
+                LadderOp::create(2),
+                LadderOp::create(3),
+                LadderOp::annihilate(1),
+                LadderOp::annihilate(0),
+            ],
+        );
+        assert_eq!(terms.len(), 8);
+        for (c, p) in &terms {
+            assert!((c.abs() - 0.125).abs() < 1e-12);
+            assert_eq!(p.weight(), 4);
+        }
+    }
+
+    #[test]
+    fn spin_orbital_block_ordering() {
+        assert_eq!(spin_orbital(3, 0, false), 0);
+        assert_eq!(spin_orbital(3, 2, false), 2);
+        assert_eq!(spin_orbital(3, 0, true), 3);
+        assert_eq!(spin_orbital(3, 2, true), 5);
+    }
+
+    #[test]
+    fn hartree_fock_bitmask_blocks() {
+        // 2 spatial orbitals, 2 electrons: qubits 0 (α) and 2 (β) occupied.
+        assert_eq!(hartree_fock_bitmask(2, 2), 0b0101);
+        // 3 spatial, 4 electrons: qubits 0,1 (α) and 3,4 (β).
+        assert_eq!(hartree_fock_bitmask(3, 4), 0b011011);
+    }
+
+    #[test]
+    fn number_operator_counts_in_hf_state() {
+        // ⟨HF| Σ_p n_p |HF⟩ = electron count.
+        let m = 2;
+        let n_so = 4;
+        let mut acc: ComplexPauliMap = HashMap::new();
+        for p in 0..n_so {
+            accumulate_term(&mut acc, n_so, &[LadderOp::create(p), LadderOp::annihilate(p)], 1.0);
+        }
+        let op = into_real_sum(n_so, acc);
+        let hf = hartree_fock_bitmask(m, 2);
+        let mut state = vec![Complex64::ZERO; 1 << n_so];
+        state[hf as usize] = Complex64::ONE;
+        assert!((op.expectation(&state) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,243 @@
+//! Molecular geometries.
+//!
+//! Positions are stored in Bohr (atomic units); constructors take Angstrom
+//! because the paper reports bond lengths in Angstrom (§VI-A).
+
+use crate::element::Element;
+use crate::ANGSTROM_TO_BOHR;
+
+/// An atom at a fixed position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Atom {
+    /// The element.
+    pub element: Element,
+    /// Position in Bohr.
+    pub position: [f64; 3],
+}
+
+impl Atom {
+    /// Creates an atom from a position given in Angstrom.
+    pub fn new_angstrom(element: Element, pos: [f64; 3]) -> Self {
+        Atom {
+            element,
+            position: [
+                pos[0] * ANGSTROM_TO_BOHR,
+                pos[1] * ANGSTROM_TO_BOHR,
+                pos[2] * ANGSTROM_TO_BOHR,
+            ],
+        }
+    }
+}
+
+/// A neutral molecule: a list of atoms.
+///
+/// # Examples
+///
+/// ```
+/// use chem::{Atom, Element, Molecule};
+///
+/// let h2 = Molecule::new(vec![
+///     Atom::new_angstrom(Element::H, [0.0, 0.0, 0.0]),
+///     Atom::new_angstrom(Element::H, [0.0, 0.0, 0.74]),
+/// ]);
+/// assert_eq!(h2.num_electrons(), 2);
+/// assert!(h2.nuclear_repulsion() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Molecule {
+    atoms: Vec<Atom>,
+}
+
+impl Molecule {
+    /// Creates a molecule from its atoms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `atoms` is empty.
+    pub fn new(atoms: Vec<Atom>) -> Self {
+        assert!(!atoms.is_empty(), "molecule must have at least one atom");
+        Molecule { atoms }
+    }
+
+    /// Borrows the atom list.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Total electron count (neutral molecule).
+    pub fn num_electrons(&self) -> usize {
+        self.atoms.iter().map(|a| a.element.atomic_number() as usize).sum()
+    }
+
+    /// Nuclear repulsion energy `Σ Z_a Z_b / r_ab` in Hartree.
+    pub fn nuclear_repulsion(&self) -> f64 {
+        let mut e = 0.0;
+        for i in 0..self.atoms.len() {
+            for j in (i + 1)..self.atoms.len() {
+                let a = &self.atoms[i];
+                let b = &self.atoms[j];
+                let r = dist(a.position, b.position);
+                e += (a.element.atomic_number() * b.element.atomic_number()) as f64 / r;
+            }
+        }
+        e
+    }
+
+    /// Number of conventionally frozen core spatial orbitals.
+    pub fn core_orbital_count(&self) -> usize {
+        self.atoms.iter().map(|a| a.element.core_orbital_count()).sum()
+    }
+}
+
+fn dist(a: [f64; 3], b: [f64; 3]) -> f64 {
+    ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
+}
+
+/// Builders for the geometric families in the paper's benchmark set, all
+/// parameterized by the varied bond length `d` in Angstrom.
+pub mod shapes {
+    use super::*;
+
+    /// A diatomic `A–B` along z with bond length `d` Å.
+    pub fn diatomic(a: Element, b: Element, d: f64) -> Molecule {
+        Molecule::new(vec![
+            Atom::new_angstrom(a, [0.0, 0.0, 0.0]),
+            Atom::new_angstrom(b, [0.0, 0.0, d]),
+        ])
+    }
+
+    /// Linear symmetric `H–A–H` (BeH₂) with both bonds `d` Å.
+    pub fn linear_xh2(center: Element, d: f64) -> Molecule {
+        Molecule::new(vec![
+            Atom::new_angstrom(center, [0.0, 0.0, 0.0]),
+            Atom::new_angstrom(Element::H, [0.0, 0.0, d]),
+            Atom::new_angstrom(Element::H, [0.0, 0.0, -d]),
+        ])
+    }
+
+    /// Bent `H–A–H` (H₂O) with bond `d` Å and the given H-A-H angle in
+    /// degrees.
+    pub fn bent_xh2(center: Element, d: f64, angle_deg: f64) -> Molecule {
+        let half = angle_deg.to_radians() / 2.0;
+        Molecule::new(vec![
+            Atom::new_angstrom(center, [0.0, 0.0, 0.0]),
+            Atom::new_angstrom(Element::H, [d * half.sin(), 0.0, d * half.cos()]),
+            Atom::new_angstrom(Element::H, [-d * half.sin(), 0.0, d * half.cos()]),
+        ])
+    }
+
+    /// Trigonal-planar `AH₃` (BH₃) with bond `d` Å.
+    pub fn planar_xh3(center: Element, d: f64) -> Molecule {
+        let mut atoms = vec![Atom::new_angstrom(center, [0.0, 0.0, 0.0])];
+        for k in 0..3 {
+            let phi = 2.0 * std::f64::consts::PI * k as f64 / 3.0;
+            atoms.push(Atom::new_angstrom(Element::H, [d * phi.cos(), d * phi.sin(), 0.0]));
+        }
+        Molecule::new(atoms)
+    }
+
+    /// Pyramidal `AH₃` (NH₃) with bond `d` Å and H-A-H angle in degrees.
+    pub fn pyramidal_xh3(center: Element, d: f64, hah_angle_deg: f64) -> Molecule {
+        // Place the three H on a cone around z; the cone half-angle θ
+        // satisfies sin(θ)·√3 = 2·sin(HAH/2) per the circumradius relation.
+        let half_hah = hah_angle_deg.to_radians() / 2.0;
+        let sin_theta = 2.0 * half_hah.sin() / 3f64.sqrt();
+        let theta = sin_theta.asin();
+        let mut atoms = vec![Atom::new_angstrom(center, [0.0, 0.0, 0.0])];
+        for k in 0..3 {
+            let phi = 2.0 * std::f64::consts::PI * k as f64 / 3.0;
+            atoms.push(Atom::new_angstrom(
+                Element::H,
+                [
+                    d * theta.sin() * phi.cos(),
+                    d * theta.sin() * phi.sin(),
+                    d * theta.cos(),
+                ],
+            ));
+        }
+        Molecule::new(atoms)
+    }
+
+    /// Tetrahedral `AH₄` (CH₄) with bond `d` Å.
+    pub fn tetrahedral_xh4(center: Element, d: f64) -> Molecule {
+        let s = d / 3f64.sqrt();
+        Molecule::new(vec![
+            Atom::new_angstrom(center, [0.0, 0.0, 0.0]),
+            Atom::new_angstrom(Element::H, [s, s, s]),
+            Atom::new_angstrom(Element::H, [s, -s, -s]),
+            Atom::new_angstrom(Element::H, [-s, s, -s]),
+            Atom::new_angstrom(Element::H, [-s, -s, s]),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::shapes::*;
+    use super::*;
+
+    fn bond_lengths(m: &Molecule) -> Vec<f64> {
+        let c = m.atoms()[0].position;
+        m.atoms()[1..].iter().map(|a| dist(c, a.position) / ANGSTROM_TO_BOHR).collect()
+    }
+
+    #[test]
+    fn h2_nuclear_repulsion_at_1p4_bohr() {
+        // Szabo–Ostlund reference geometry: R = 1.4 Bohr → E_nn = 1/1.4.
+        let d_ang = 1.4 / ANGSTROM_TO_BOHR;
+        let m = diatomic(Element::H, Element::H, d_ang);
+        assert!((m.nuclear_repulsion() - 1.0 / 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn electron_counts() {
+        assert_eq!(diatomic(Element::Li, Element::H, 1.6).num_electrons(), 4);
+        assert_eq!(tetrahedral_xh4(Element::C, 1.09).num_electrons(), 10);
+        assert_eq!(pyramidal_xh3(Element::N, 1.01, 107.0).num_electrons(), 10);
+    }
+
+    #[test]
+    fn shape_bond_lengths_match_parameter() {
+        for m in [
+            linear_xh2(Element::Be, 1.3),
+            bent_xh2(Element::O, 0.96, 104.5),
+            planar_xh3(Element::B, 1.19),
+            pyramidal_xh3(Element::N, 1.01, 107.0),
+            tetrahedral_xh4(Element::C, 1.09),
+        ] {
+            for b in bond_lengths(&m) {
+                assert!((b - bond_lengths(&m)[0]).abs() < 1e-12, "bonds must be symmetric");
+            }
+        }
+        let m = tetrahedral_xh4(Element::C, 1.09);
+        assert!((bond_lengths(&m)[0] - 1.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tetrahedral_angles() {
+        let m = tetrahedral_xh4(Element::C, 1.0);
+        let a = m.atoms()[1].position;
+        let b = m.atoms()[2].position;
+        let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let cos = dot / (ANGSTROM_TO_BOHR * ANGSTROM_TO_BOHR);
+        assert!((cos - (-1.0 / 3.0)).abs() < 1e-12, "tetrahedral angle must be 109.47°");
+    }
+
+    #[test]
+    fn pyramidal_hah_angle_is_respected() {
+        let m = pyramidal_xh3(Element::N, 1.0, 107.0);
+        let a = m.atoms()[1].position;
+        let b = m.atoms()[2].position;
+        let d2 = dist(a, b);
+        // law of cosines with unit bond lengths (in Å → Bohr scale cancels).
+        let bond = ANGSTROM_TO_BOHR;
+        let cos = 1.0 - d2 * d2 / (2.0 * bond * bond);
+        assert!((cos.acos().to_degrees() - 107.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_molecule_rejected() {
+        let _ = Molecule::new(vec![]);
+    }
+}

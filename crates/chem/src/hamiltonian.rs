@@ -1,0 +1,229 @@
+//! End-to-end driver: molecule → qubit Hamiltonian.
+
+use std::error::Error;
+use std::fmt;
+
+use pauli::WeightedPauliSum;
+
+use crate::basis::build_basis;
+use crate::fermion::{build_qubit_hamiltonian, hartree_fock_bitmask};
+use crate::geometry::Molecule;
+use crate::integrals::compute_ao_integrals;
+use crate::mo::{active_space_integrals, transform_to_mo, ActiveSpace};
+use crate::scf::{restricted_hartree_fock, ScfError, ScfOptions};
+
+/// Errors from the electronic-structure pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChemError {
+    /// The SCF stage failed.
+    Scf(ScfError),
+    /// The requested active space does not fit the molecule.
+    InvalidActiveSpace(String),
+}
+
+impl fmt::Display for ChemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChemError::Scf(e) => write!(f, "SCF failure: {e}"),
+            ChemError::InvalidActiveSpace(msg) => write!(f, "invalid active space: {msg}"),
+        }
+    }
+}
+
+impl Error for ChemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ChemError::Scf(e) => Some(e),
+            ChemError::InvalidActiveSpace(_) => None,
+        }
+    }
+}
+
+impl From<ScfError> for ChemError {
+    fn from(e: ScfError) -> Self {
+        ChemError::Scf(e)
+    }
+}
+
+/// A molecular simulation problem reduced to qubits: the Jordan–Wigner
+/// Hamiltonian over an active space, plus the metadata the ansatz and VQE
+/// layers need.
+///
+/// # Examples
+///
+/// ```no_run
+/// use chem::{Molecule, MolecularSystem};
+/// use chem::geometry::shapes::diatomic;
+/// use chem::mo::ActiveSpace;
+/// use chem::Element;
+///
+/// # fn main() -> Result<(), chem::ChemError> {
+/// let h2 = diatomic(Element::H, Element::H, 0.74);
+/// let system = MolecularSystem::build(h2, ActiveSpace::full(2), "H2")?;
+/// assert_eq!(system.num_qubits(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MolecularSystem {
+    name: String,
+    molecule: Molecule,
+    active_space: ActiveSpace,
+    num_active_electrons: usize,
+    hamiltonian: WeightedPauliSum,
+    hf_total_energy: f64,
+    hf_bitmask: u64,
+}
+
+impl MolecularSystem {
+    /// Runs the full pipeline: integrals → RHF → MO transform → active-space
+    /// reduction → Jordan–Wigner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemError`] if SCF fails or the active space does not fit.
+    pub fn build(
+        molecule: Molecule,
+        active_space: ActiveSpace,
+        name: &str,
+    ) -> Result<Self, ChemError> {
+        let basis = build_basis(&molecule);
+        let n_mo = basis.len();
+        if active_space.active().iter().any(|&i| i >= n_mo) {
+            return Err(ChemError::InvalidActiveSpace(format!(
+                "active orbitals exceed the {n_mo} molecular orbitals"
+            )));
+        }
+        let n_electrons = molecule.num_electrons();
+        let active_e = active_space.active_electrons(n_electrons);
+        let n_active = active_space.num_active();
+        if active_e > 2 * n_active {
+            return Err(ChemError::InvalidActiveSpace(format!(
+                "{active_e} active electrons exceed {n_active} active orbitals"
+            )));
+        }
+
+        let ints = compute_ao_integrals(&molecule, &basis);
+        let scf = restricted_hartree_fock(&ints, n_electrons, ScfOptions::default())?;
+        let mo = transform_to_mo(&ints, &scf);
+        let act = active_space_integrals(&mo, &active_space, ints.nuclear_repulsion);
+        let mut hamiltonian = build_qubit_hamiltonian(&act);
+        hamiltonian.simplify(1e-12);
+
+        let hf_bitmask = hartree_fock_bitmask(n_active, active_e);
+        Ok(MolecularSystem {
+            name: name.to_string(),
+            molecule,
+            active_space,
+            num_active_electrons: active_e,
+            hamiltonian,
+            hf_total_energy: scf.total_energy,
+            hf_bitmask,
+        })
+    }
+
+    /// The system's display name (e.g. `"LiH"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying molecule.
+    pub fn molecule(&self) -> &Molecule {
+        &self.molecule
+    }
+
+    /// The active-space partition used.
+    pub fn active_space(&self) -> &ActiveSpace {
+        &self.active_space
+    }
+
+    /// Number of qubits (2 × active spatial orbitals).
+    pub fn num_qubits(&self) -> usize {
+        2 * self.active_space.num_active()
+    }
+
+    /// Number of active electrons.
+    pub fn num_active_electrons(&self) -> usize {
+        self.num_active_electrons
+    }
+
+    /// The Jordan–Wigner qubit Hamiltonian (weights in Hartree).
+    pub fn qubit_hamiltonian(&self) -> &WeightedPauliSum {
+        &self.hamiltonian
+    }
+
+    /// The Hartree-Fock total energy from the SCF stage (Hartree).
+    pub fn hartree_fock_energy(&self) -> f64 {
+        self.hf_total_energy
+    }
+
+    /// The Hartree-Fock reference determinant as a basis-state bitmask in
+    /// block spin ordering.
+    pub fn hartree_fock_state(&self) -> u64 {
+        self.hf_bitmask
+    }
+
+    /// Exact ground-state energy of the active-space Hamiltonian (Lanczos) —
+    /// the paper's "Ground State" reference.
+    pub fn exact_ground_state_energy(&self) -> f64 {
+        self.hamiltonian.ground_state_energy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::shapes::diatomic;
+    use crate::Element;
+    use numeric::Complex64;
+
+    fn h2_system() -> MolecularSystem {
+        let m = diatomic(Element::H, Element::H, 0.7414);
+        MolecularSystem::build(m, ActiveSpace::full(2), "H2").unwrap()
+    }
+
+    #[test]
+    fn h2_qubit_hamiltonian_shape() {
+        let sys = h2_system();
+        assert_eq!(sys.num_qubits(), 4);
+        assert_eq!(sys.num_active_electrons(), 2);
+        // JW H2/STO-3G has 15 distinct Pauli terms (incl. identity).
+        assert_eq!(sys.qubit_hamiltonian().len(), 15);
+    }
+
+    #[test]
+    fn h2_hf_expectation_matches_scf_energy() {
+        // ⟨HF|H_qubit|HF⟩ must reproduce the SCF total energy exactly:
+        // the qubit Hamiltonian and the HF determinant share the MO basis.
+        let sys = h2_system();
+        let dim = 1usize << sys.num_qubits();
+        let mut state = vec![Complex64::ZERO; dim];
+        state[sys.hartree_fock_state() as usize] = Complex64::ONE;
+        let e = sys.qubit_hamiltonian().expectation(&state);
+        assert!(
+            (e - sys.hartree_fock_energy()).abs() < 1e-8,
+            "⟨HF|H|HF⟩ = {e} vs SCF {}",
+            sys.hartree_fock_energy()
+        );
+    }
+
+    #[test]
+    fn h2_exact_ground_state_below_hf() {
+        let sys = h2_system();
+        let exact = sys.exact_ground_state_energy();
+        // FCI < HF (correlation energy), both near literature values:
+        // E_FCI(H2/STO-3G, 0.7414 Å) ≈ −1.1373 Ha.
+        assert!(exact < sys.hartree_fock_energy());
+        assert!((exact + 1.137).abs() < 5e-3, "exact = {exact}");
+    }
+
+    #[test]
+    fn invalid_active_space_is_reported() {
+        let m = diatomic(Element::H, Element::H, 0.74);
+        let bad = ActiveSpace::new(9, vec![], vec![]);
+        assert!(matches!(
+            MolecularSystem::build(m, bad, "H2"),
+            Err(ChemError::InvalidActiveSpace(_))
+        ));
+    }
+}

@@ -1,0 +1,482 @@
+//! One- and two-electron integrals over contracted Cartesian Gaussians,
+//! McMurchie–Davidson scheme.
+//!
+//! The minimal STO-3G basis only needs s and p functions, but the recursions
+//! are implemented for general angular momentum. References: Helgaker,
+//! Jørgensen & Olsen, *Molecular Electronic-Structure Theory*, ch. 9; test
+//! values from Szabo & Ostlund appendix tables.
+
+use numeric::RealMatrix;
+
+use crate::basis::BasisFunction;
+use crate::boys::boys;
+use crate::geometry::Molecule;
+
+/// Hermite expansion coefficient `E_t^{ij}` for a 1D Gaussian product.
+///
+/// `qx = Ax − Bx`; `a`, `b` are the primitive exponents.
+fn hermite_e(i: i32, j: i32, t: i32, qx: f64, a: f64, b: f64) -> f64 {
+    let p = a + b;
+    let q = a * b / p;
+    if t < 0 || t > i + j {
+        return 0.0;
+    }
+    if i == 0 && j == 0 && t == 0 {
+        return (-q * qx * qx).exp();
+    }
+    if i > 0 {
+        // Decrement i.
+        hermite_e(i - 1, j, t - 1, qx, a, b) / (2.0 * p)
+            - q * qx / a * hermite_e(i - 1, j, t, qx, a, b)
+            + (t + 1) as f64 * hermite_e(i - 1, j, t + 1, qx, a, b)
+    } else {
+        // Decrement j.
+        hermite_e(i, j - 1, t - 1, qx, a, b) / (2.0 * p)
+            + q * qx / b * hermite_e(i, j - 1, t, qx, a, b)
+            + (t + 1) as f64 * hermite_e(i, j - 1, t + 1, qx, a, b)
+    }
+}
+
+/// Hermite Coulomb integral `R^0_{tuv}(p, PC)` by downward recursion on the
+/// Boys order.
+fn hermite_coulomb(t: i32, u: i32, v: i32, n: usize, p: f64, pc: [f64; 3], fb: &[f64]) -> f64 {
+    if t < 0 || u < 0 || v < 0 {
+        return 0.0;
+    }
+    if t == 0 && u == 0 && v == 0 {
+        return (-2.0 * p).powi(n as i32) * fb[n];
+    }
+    if t > 0 {
+        (t - 1) as f64 * hermite_coulomb(t - 2, u, v, n + 1, p, pc, fb)
+            + pc[0] * hermite_coulomb(t - 1, u, v, n + 1, p, pc, fb)
+    } else if u > 0 {
+        (u - 1) as f64 * hermite_coulomb(t, u - 2, v, n + 1, p, pc, fb)
+            + pc[1] * hermite_coulomb(t, u - 1, v, n + 1, p, pc, fb)
+    } else {
+        (v - 1) as f64 * hermite_coulomb(t, u, v - 2, n + 1, p, pc, fb)
+            + pc[2] * hermite_coulomb(t, u, v - 1, n + 1, p, pc, fb)
+    }
+}
+
+fn dist_sq(a: [f64; 3], b: [f64; 3]) -> f64 {
+    (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)
+}
+
+/// Overlap of two primitive Gaussians (unnormalized, unit coefficients).
+fn overlap_prim(a: f64, la: [u32; 3], ra: [f64; 3], b: f64, lb: [u32; 3], rb: [f64; 3]) -> f64 {
+    let p = a + b;
+    let mut s = (std::f64::consts::PI / p).powf(1.5);
+    for d in 0..3 {
+        s *= hermite_e(la[d] as i32, lb[d] as i32, 0, ra[d] - rb[d], a, b);
+    }
+    s
+}
+
+/// Kinetic-energy integral of two primitives.
+fn kinetic_prim(a: f64, la: [u32; 3], ra: [f64; 3], b: f64, lb: [u32; 3], rb: [f64; 3]) -> f64 {
+    // 1D overlap factors s(i, j) per dimension, with shifted j.
+    let sd = |d: usize, di: i32, dj: i32| -> f64 {
+        let i = la[d] as i32 + di;
+        let j = lb[d] as i32 + dj;
+        if i < 0 || j < 0 {
+            0.0
+        } else {
+            hermite_e(i, j, 0, ra[d] - rb[d], a, b)
+        }
+    };
+    let t1d = |d: usize| -> f64 {
+        let j = lb[d] as f64;
+        -2.0 * b * b * sd(d, 0, 2) + b * (2.0 * j + 1.0) * sd(d, 0, 0)
+            - 0.5 * j * (j - 1.0) * sd(d, 0, -2)
+    };
+    let p = a + b;
+    let pref = (std::f64::consts::PI / p).powf(1.5);
+    let (sx, sy, sz) = (sd(0, 0, 0), sd(1, 0, 0), sd(2, 0, 0));
+    pref * (t1d(0) * sy * sz + sx * t1d(1) * sz + sx * sy * t1d(2))
+}
+
+/// Nuclear-attraction integral of two primitives with a nucleus at `rc`
+/// (charge +1; multiply by −Z externally).
+fn nuclear_prim(
+    a: f64,
+    la: [u32; 3],
+    ra: [f64; 3],
+    b: f64,
+    lb: [u32; 3],
+    rb: [f64; 3],
+    rc: [f64; 3],
+) -> f64 {
+    let p = a + b;
+    let rp = [
+        (a * ra[0] + b * rb[0]) / p,
+        (a * ra[1] + b * rb[1]) / p,
+        (a * ra[2] + b * rb[2]) / p,
+    ];
+    let pc = [rp[0] - rc[0], rp[1] - rc[1], rp[2] - rc[2]];
+    let l_total = (la.iter().sum::<u32>() + lb.iter().sum::<u32>()) as usize;
+    let fb = boys(l_total, p * dist_sq(rp, rc));
+
+    let mut acc = 0.0;
+    for t in 0..=(la[0] + lb[0]) as i32 {
+        for u in 0..=(la[1] + lb[1]) as i32 {
+            for v in 0..=(la[2] + lb[2]) as i32 {
+                let e = hermite_e(la[0] as i32, lb[0] as i32, t, ra[0] - rb[0], a, b)
+                    * hermite_e(la[1] as i32, lb[1] as i32, u, ra[1] - rb[1], a, b)
+                    * hermite_e(la[2] as i32, lb[2] as i32, v, ra[2] - rb[2], a, b);
+                acc += e * hermite_coulomb(t, u, v, 0, p, pc, &fb);
+            }
+        }
+    }
+    2.0 * std::f64::consts::PI / p * acc
+}
+
+/// Electron-repulsion integral `(ab|cd)` of four primitives (chemist
+/// notation).
+#[allow(clippy::too_many_arguments)]
+fn eri_prim(
+    a: f64,
+    la: [u32; 3],
+    ra: [f64; 3],
+    b: f64,
+    lb: [u32; 3],
+    rb: [f64; 3],
+    c: f64,
+    lc: [u32; 3],
+    rc: [f64; 3],
+    d: f64,
+    ld: [u32; 3],
+    rd: [f64; 3],
+) -> f64 {
+    let p = a + b;
+    let q = c + d;
+    let alpha = p * q / (p + q);
+    let rp = [
+        (a * ra[0] + b * rb[0]) / p,
+        (a * ra[1] + b * rb[1]) / p,
+        (a * ra[2] + b * rb[2]) / p,
+    ];
+    let rq = [
+        (c * rc[0] + d * rd[0]) / q,
+        (c * rc[1] + d * rd[1]) / q,
+        (c * rc[2] + d * rd[2]) / q,
+    ];
+    let pq = [rp[0] - rq[0], rp[1] - rq[1], rp[2] - rq[2]];
+    let l_total = (la.iter().sum::<u32>()
+        + lb.iter().sum::<u32>()
+        + lc.iter().sum::<u32>()
+        + ld.iter().sum::<u32>()) as usize;
+    let fb = boys(l_total, alpha * dist_sq(rp, rq));
+
+    let e1 = |d_: usize, t: i32| {
+        hermite_e(la[d_] as i32, lb[d_] as i32, t, ra[d_] - rb[d_], a, b)
+    };
+    let e2 = |d_: usize, t: i32| {
+        hermite_e(lc[d_] as i32, ld[d_] as i32, t, rc[d_] - rd[d_], c, d)
+    };
+
+    let mut acc = 0.0;
+    for t in 0..=(la[0] + lb[0]) as i32 {
+        for u in 0..=(la[1] + lb[1]) as i32 {
+            for v in 0..=(la[2] + lb[2]) as i32 {
+                let eab = e1(0, t) * e1(1, u) * e1(2, v);
+                if eab == 0.0 {
+                    continue;
+                }
+                for tau in 0..=(lc[0] + ld[0]) as i32 {
+                    for nu in 0..=(lc[1] + ld[1]) as i32 {
+                        for phi in 0..=(lc[2] + ld[2]) as i32 {
+                            let ecd = e2(0, tau) * e2(1, nu) * e2(2, phi);
+                            if ecd == 0.0 {
+                                continue;
+                            }
+                            let sign = if (tau + nu + phi) % 2 == 0 { 1.0 } else { -1.0 };
+                            acc += eab
+                                * ecd
+                                * sign
+                                * hermite_coulomb(t + tau, u + nu, v + phi, 0, alpha, pq, &fb);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    2.0 * std::f64::consts::PI.powf(2.5) / (p * q * (p + q).sqrt()) * acc
+}
+
+// ---------------------------------------------------------------------------
+// Contracted wrappers.
+// ---------------------------------------------------------------------------
+
+fn contract2(fa: &BasisFunction, fb: &BasisFunction, f: impl Fn(f64, f64) -> f64) -> f64 {
+    let mut acc = 0.0;
+    for pa in &fa.primitives {
+        for pb in &fb.primitives {
+            acc += pa.coefficient * pb.coefficient * f(pa.exponent, pb.exponent);
+        }
+    }
+    acc
+}
+
+/// Overlap integral `⟨a|b⟩` of two contracted functions.
+pub fn overlap(fa: &BasisFunction, fb: &BasisFunction) -> f64 {
+    contract2(fa, fb, |a, b| overlap_prim(a, fa.angmom, fa.center, b, fb.angmom, fb.center))
+}
+
+/// Kinetic-energy integral `⟨a|−∇²/2|b⟩`.
+pub fn kinetic(fa: &BasisFunction, fb: &BasisFunction) -> f64 {
+    contract2(fa, fb, |a, b| kinetic_prim(a, fa.angmom, fa.center, b, fb.angmom, fb.center))
+}
+
+/// Nuclear-attraction integral `⟨a|Σ_C −Z_C/r_C|b⟩` over all nuclei.
+pub fn nuclear(fa: &BasisFunction, fb: &BasisFunction, molecule: &Molecule) -> f64 {
+    let mut acc = 0.0;
+    for atom in molecule.atoms() {
+        let z = atom.element.atomic_number() as f64;
+        acc -= z * contract2(fa, fb, |a, b| {
+            nuclear_prim(a, fa.angmom, fa.center, b, fb.angmom, fb.center, atom.position)
+        });
+    }
+    acc
+}
+
+/// Dipole-moment integral `⟨a| r̂_axis |b⟩` about the origin
+/// (`axis ∈ {0, 1, 2}` for x, y, z).
+///
+/// Uses the Hermite moment relation `∫ x·Λ(x) dx = (E₁ + P_x·E₀)·√(π/p)`.
+///
+/// # Panics
+///
+/// Panics if `axis > 2`.
+pub fn dipole(fa: &BasisFunction, fb: &BasisFunction, axis: usize) -> f64 {
+    assert!(axis <= 2, "axis must be 0, 1, or 2");
+    contract2(fa, fb, |a, b| {
+        let p = a + b;
+        let pref = (std::f64::consts::PI / p).powf(1.5);
+        let mut v = pref;
+        for d in 0..3 {
+            let (i, j) = (fa.angmom[d] as i32, fb.angmom[d] as i32);
+            let qx = fa.center[d] - fb.center[d];
+            if d == axis {
+                let p_center = (a * fa.center[d] + b * fb.center[d]) / p;
+                v *= hermite_e(i, j, 1, qx, a, b) + p_center * hermite_e(i, j, 0, qx, a, b);
+            } else {
+                v *= hermite_e(i, j, 0, qx, a, b);
+            }
+        }
+        v
+    })
+}
+
+/// Electron-repulsion integral `(ab|cd)` in chemist notation.
+pub fn eri(
+    fa: &BasisFunction,
+    fb: &BasisFunction,
+    fc: &BasisFunction,
+    fd: &BasisFunction,
+) -> f64 {
+    let mut acc = 0.0;
+    for pa in &fa.primitives {
+        for pb in &fb.primitives {
+            for pc in &fc.primitives {
+                for pd in &fd.primitives {
+                    acc += pa.coefficient
+                        * pb.coefficient
+                        * pc.coefficient
+                        * pd.coefficient
+                        * eri_prim(
+                            pa.exponent, fa.angmom, fa.center, //
+                            pb.exponent, fb.angmom, fb.center, //
+                            pc.exponent, fc.angmom, fc.center, //
+                            pd.exponent, fd.angmom, fd.center,
+                        );
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// The dense two-electron integral tensor `(pq|rs)` with 8-fold symmetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EriTensor {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl EriTensor {
+    /// Number of basis functions per index.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The integral `(pq|rs)` (chemist notation).
+    #[inline]
+    pub fn get(&self, p: usize, q: usize, r: usize, s: usize) -> f64 {
+        self.data[((p * self.n + q) * self.n + r) * self.n + s]
+    }
+
+    fn set_sym(&mut self, p: usize, q: usize, r: usize, s: usize, v: f64) {
+        let n = self.n;
+        let mut put = |a: usize, b: usize, c: usize, d: usize| {
+            self.data[((a * n + b) * n + c) * n + d] = v;
+        };
+        put(p, q, r, s);
+        put(q, p, r, s);
+        put(p, q, s, r);
+        put(q, p, s, r);
+        put(r, s, p, q);
+        put(s, r, p, q);
+        put(r, s, q, p);
+        put(s, r, q, p);
+    }
+
+    /// Builds a tensor by evaluating `f(p,q,r,s)` on the canonical octant
+    /// and mirroring. Exposed for the MO transform.
+    pub fn from_fn_symmetric(n: usize, mut f: impl FnMut(usize, usize, usize, usize) -> f64) -> Self {
+        let mut t = EriTensor { n, data: vec![0.0; n * n * n * n] };
+        for p in 0..n {
+            for q in 0..=p {
+                for r in 0..=p {
+                    let s_max = if r == p { q } else { r };
+                    for s in 0..=s_max {
+                        let v = f(p, q, r, s);
+                        t.set_sym(p, q, r, s, v);
+                    }
+                }
+            }
+        }
+        t
+    }
+}
+
+/// All AO integrals needed by the SCF procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AoIntegrals {
+    /// Overlap matrix `S`.
+    pub overlap: RealMatrix,
+    /// Core Hamiltonian `h = T + V`.
+    pub core_hamiltonian: RealMatrix,
+    /// Two-electron tensor `(pq|rs)`.
+    pub eri: EriTensor,
+    /// Nuclear repulsion energy.
+    pub nuclear_repulsion: f64,
+}
+
+/// Computes every AO integral for a molecule in the given basis.
+pub fn compute_ao_integrals(molecule: &Molecule, basis: &[BasisFunction]) -> AoIntegrals {
+    let n = basis.len();
+    let s = RealMatrix::from_fn(n, n, |i, j| overlap(&basis[i], &basis[j]));
+    let t = RealMatrix::from_fn(n, n, |i, j| kinetic(&basis[i], &basis[j]));
+    let v = RealMatrix::from_fn(n, n, |i, j| nuclear(&basis[i], &basis[j], molecule));
+    let h = &t + &v;
+    let eri_t =
+        EriTensor::from_fn_symmetric(n, |p, q, r, s| eri(&basis[p], &basis[q], &basis[r], &basis[s]));
+    AoIntegrals {
+        overlap: s,
+        core_hamiltonian: h,
+        eri: eri_t,
+        nuclear_repulsion: molecule.nuclear_repulsion(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::build_basis;
+    use crate::geometry::shapes::diatomic;
+    use crate::{Element, ANGSTROM_TO_BOHR};
+
+    /// H2 with R = 1.4 Bohr — the Szabo–Ostlund reference system.
+    fn h2_szabo() -> (Molecule, Vec<BasisFunction>) {
+        let d_ang = 1.4 / ANGSTROM_TO_BOHR;
+        let m = diatomic(Element::H, Element::H, d_ang);
+        let b = build_basis(&m);
+        (m, b)
+    }
+
+    #[test]
+    fn h2_overlap_matches_szabo_ostlund() {
+        let (_, b) = h2_szabo();
+        assert!((overlap(&b[0], &b[0]) - 1.0).abs() < 1e-10);
+        // S12 = 0.6593 (Szabo & Ostlund table 3.5).
+        assert!((overlap(&b[0], &b[1]) - 0.6593).abs() < 5e-4);
+    }
+
+    #[test]
+    fn h2_kinetic_matches_szabo_ostlund() {
+        let (_, b) = h2_szabo();
+        // T11 = 0.7600, T12 = 0.2365.
+        assert!((kinetic(&b[0], &b[0]) - 0.7600).abs() < 5e-4);
+        assert!((kinetic(&b[0], &b[1]) - 0.2365).abs() < 5e-4);
+    }
+
+    #[test]
+    fn h2_nuclear_matches_szabo_ostlund() {
+        let (m, b) = h2_szabo();
+        // V11 (both nuclei) = -1.2266 + -0.6538 = -1.8804;
+        // V12 = -0.5974·2 = -1.1948 (tables 3.5/3.6).
+        assert!((nuclear(&b[0], &b[0], &m) + 1.8804).abs() < 1e-3);
+        assert!((nuclear(&b[0], &b[1], &m) + 1.1948).abs() < 1e-3);
+    }
+
+    #[test]
+    fn h2_eri_matches_szabo_ostlund() {
+        let (_, b) = h2_szabo();
+        // (11|11) = 0.7746, (11|22) = 0.5697, (21|21) = 0.2970,
+        // (21|11) = 0.4441 (table 3.8 values).
+        assert!((eri(&b[0], &b[0], &b[0], &b[0]) - 0.7746).abs() < 1e-3);
+        assert!((eri(&b[0], &b[0], &b[1], &b[1]) - 0.5697).abs() < 1e-3);
+        assert!((eri(&b[1], &b[0], &b[1], &b[0]) - 0.2970).abs() < 1e-3);
+        assert!((eri(&b[1], &b[0], &b[0], &b[0]) - 0.4441).abs() < 1e-3);
+    }
+
+    #[test]
+    fn eri_tensor_symmetries() {
+        let m = diatomic(Element::Li, Element::H, 1.6);
+        let b = build_basis(&m);
+        let ints = compute_ao_integrals(&m, &b);
+        let n = b.len();
+        // Spot-check the 8-fold symmetry on a few random-ish indices.
+        for &(p, q, r, s) in &[(0, 1, 2, 3), (1, 4, 5, 2), (3, 3, 1, 0), (5, 2, 4, 4)] {
+            let v = ints.eri.get(p, q, r, s);
+            assert_eq!(v, ints.eri.get(q, p, r, s));
+            assert_eq!(v, ints.eri.get(p, q, s, r));
+            assert_eq!(v, ints.eri.get(r, s, p, q));
+            assert_eq!(v, ints.eri.get(s, r, q, p));
+            assert!(p < n && q < n && r < n && s < n);
+        }
+    }
+
+    #[test]
+    fn overlap_matrix_is_symmetric_positive_diagonal() {
+        let m = diatomic(Element::Li, Element::H, 1.6);
+        let b = build_basis(&m);
+        let ints = compute_ao_integrals(&m, &b);
+        assert!(ints.overlap.is_symmetric(1e-10));
+        for i in 0..b.len() {
+            assert!((ints.overlap[(i, i)] - 1.0).abs() < 1e-8, "diag {i}");
+        }
+    }
+
+    #[test]
+    fn p_function_overlap_vanishes_by_symmetry() {
+        // For a diatomic along z, s–px overlap must vanish.
+        let m = diatomic(Element::Li, Element::H, 1.6);
+        let b = build_basis(&m);
+        // b[2] is Li 2px, b[5] is H 1s.
+        assert_eq!(b[2].angmom, [1, 0, 0]);
+        assert!(overlap(&b[2], &b[5]).abs() < 1e-12);
+        // s–pz overlap is nonzero.
+        assert_eq!(b[4].angmom, [0, 0, 1]);
+        assert!(overlap(&b[4], &b[5]).abs() > 1e-3);
+    }
+
+    #[test]
+    fn kinetic_is_positive_definite_on_diagonal() {
+        let m = diatomic(Element::O, Element::H, 0.96);
+        let b = build_basis(&m);
+        for f in &b {
+            assert!(kinetic(f, f) > 0.0);
+        }
+    }
+}

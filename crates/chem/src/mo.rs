@@ -1,0 +1,289 @@
+//! AO→MO integral transformation and active-space reduction.
+//!
+//! The paper freezes core electrons and simulates only the outermost
+//! electrons (§VI-A). [`ActiveSpace`] captures which molecular orbitals are
+//! frozen (doubly occupied, folded into the core energy), removed (discarded
+//! virtuals), or active; [`active_space_integrals`] produces the effective
+//! one-/two-electron integrals over the active orbitals.
+
+use numeric::RealMatrix;
+
+use crate::integrals::{AoIntegrals, EriTensor};
+use crate::scf::ScfResult;
+
+/// Integrals in the molecular-orbital basis (chemist notation `(pq|rs)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoIntegrals {
+    /// One-electron integrals `h_pq`.
+    pub h: RealMatrix,
+    /// Two-electron integrals `(pq|rs)`.
+    pub eri: EriTensor,
+}
+
+/// Transforms AO integrals into the MO basis given SCF coefficients.
+pub fn transform_to_mo(ints: &AoIntegrals, scf: &ScfResult) -> MoIntegrals {
+    let c = &scf.mo_coefficients;
+    let n = c.rows();
+    let h = c.transpose().mul(&ints.core_hamiltonian).mul(c);
+
+    // Staged O(N⁵) four-index transform.
+    let idx = |a: usize, b: usize, cc: usize, d: usize| ((a * n + b) * n + cc) * n + d;
+    let mut t1 = vec![0.0f64; n * n * n * n]; // (p ν|λ σ)
+    for p in 0..n {
+        for nu in 0..n {
+            for la in 0..n {
+                for si in 0..n {
+                    let mut acc = 0.0;
+                    for mu in 0..n {
+                        acc += c[(mu, p)] * ints.eri.get(mu, nu, la, si);
+                    }
+                    t1[idx(p, nu, la, si)] = acc;
+                }
+            }
+        }
+    }
+    let mut t2 = vec![0.0f64; n * n * n * n]; // (p q|λ σ)
+    for p in 0..n {
+        for q in 0..n {
+            for la in 0..n {
+                for si in 0..n {
+                    let mut acc = 0.0;
+                    for nu in 0..n {
+                        acc += c[(nu, q)] * t1[idx(p, nu, la, si)];
+                    }
+                    t2[idx(p, q, la, si)] = acc;
+                }
+            }
+        }
+    }
+    for p in 0..n {
+        for q in 0..n {
+            for r in 0..n {
+                for si in 0..n {
+                    let mut acc = 0.0;
+                    for la in 0..n {
+                        acc += c[(la, r)] * t2[idx(p, q, la, si)];
+                    }
+                    t1[idx(p, q, r, si)] = acc;
+                }
+            }
+        }
+    }
+    let eri = EriTensor::from_fn_symmetric(n, |p, q, r, s| {
+        let mut acc = 0.0;
+        for si in 0..n {
+            acc += c[(si, s)] * t1[idx(p, q, r, si)];
+        }
+        acc
+    });
+
+    MoIntegrals { h, eri }
+}
+
+/// A partition of the molecular orbitals (indices in ascending orbital-energy
+/// order) into frozen, active, and removed sets.
+///
+/// # Examples
+///
+/// ```
+/// use chem::mo::ActiveSpace;
+///
+/// // LiH: freeze the Li 1s core, remove the two degenerate π virtuals.
+/// let space = ActiveSpace::new(6, vec![0], vec![3, 4]);
+/// assert_eq!(space.active(), &[1, 2, 5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveSpace {
+    num_mo: usize,
+    frozen: Vec<usize>,
+    active: Vec<usize>,
+}
+
+impl ActiveSpace {
+    /// Creates an active space on `num_mo` orbitals, freezing `frozen` and
+    /// dropping `removed`; everything else is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or overlap.
+    pub fn new(num_mo: usize, frozen: Vec<usize>, removed: Vec<usize>) -> Self {
+        for &i in frozen.iter().chain(&removed) {
+            assert!(i < num_mo, "orbital index {i} out of range");
+        }
+        for f in &frozen {
+            assert!(!removed.contains(f), "orbital {f} both frozen and removed");
+        }
+        let active: Vec<usize> = (0..num_mo)
+            .filter(|i| !frozen.contains(i) && !removed.contains(i))
+            .collect();
+        assert!(!active.is_empty(), "active space must be non-empty");
+        ActiveSpace { num_mo, frozen, active }
+    }
+
+    /// All orbitals active (no reduction).
+    pub fn full(num_mo: usize) -> Self {
+        ActiveSpace::new(num_mo, vec![], vec![])
+    }
+
+    /// The frozen orbital indices.
+    pub fn frozen(&self) -> &[usize] {
+        &self.frozen
+    }
+
+    /// The active orbital indices, ascending.
+    pub fn active(&self) -> &[usize] {
+        &self.active
+    }
+
+    /// Number of active spatial orbitals.
+    pub fn num_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Electrons left for the active space given the molecule's total count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frozen orbitals would hold more electrons than exist.
+    pub fn active_electrons(&self, total_electrons: usize) -> usize {
+        let frozen_e = 2 * self.frozen.len();
+        assert!(frozen_e <= total_electrons, "frozen orbitals exceed electron count");
+        total_electrons - frozen_e
+    }
+}
+
+/// Effective integrals over an active space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveIntegrals {
+    /// Constant energy: nuclear repulsion plus the frozen-core contribution.
+    pub core_energy: f64,
+    /// Effective one-electron integrals over active orbitals.
+    pub h: RealMatrix,
+    /// Two-electron integrals over active orbitals (chemist notation).
+    pub eri: EriTensor,
+}
+
+/// Folds frozen orbitals into the core energy and effective one-electron
+/// integrals, and restricts the integrals to the active orbitals.
+pub fn active_space_integrals(
+    mo: &MoIntegrals,
+    space: &ActiveSpace,
+    nuclear_repulsion: f64,
+) -> ActiveIntegrals {
+    let frozen = space.frozen();
+    let active = space.active();
+    let na = active.len();
+
+    // Frozen-core energy: Σ_i 2h_ii + Σ_ij [2(ii|jj) − (ij|ji)].
+    let mut core = nuclear_repulsion;
+    for &i in frozen {
+        core += 2.0 * mo.h[(i, i)];
+        for &j in frozen {
+            core += 2.0 * mo.eri.get(i, i, j, j) - mo.eri.get(i, j, j, i);
+        }
+    }
+
+    // Effective one-electron integrals:
+    // h'_tu = h_tu + Σ_i [2(tu|ii) − (ti|iu)].
+    let h = RealMatrix::from_fn(na, na, |t, u| {
+        let (ot, ou) = (active[t], active[u]);
+        let mut v = mo.h[(ot, ou)];
+        for &i in frozen {
+            v += 2.0 * mo.eri.get(ot, ou, i, i) - mo.eri.get(ot, i, i, ou);
+        }
+        v
+    });
+
+    let eri = EriTensor::from_fn_symmetric(na, |p, q, r, s| {
+        mo.eri.get(active[p], active[q], active[r], active[s])
+    });
+
+    ActiveIntegrals { core_energy: core, h, eri }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::build_basis;
+    use crate::geometry::shapes::diatomic;
+    use crate::integrals::compute_ao_integrals;
+    use crate::scf::{restricted_hartree_fock, ScfOptions};
+    use crate::{Element, ANGSTROM_TO_BOHR};
+
+    fn h2_mo() -> (AoIntegrals, ScfResult, MoIntegrals) {
+        let m = diatomic(Element::H, Element::H, 1.4 / ANGSTROM_TO_BOHR);
+        let b = build_basis(&m);
+        let ints = compute_ao_integrals(&m, &b);
+        let scf = restricted_hartree_fock(&ints, 2, ScfOptions::default()).unwrap();
+        let mo = transform_to_mo(&ints, &scf);
+        (ints, scf, mo)
+    }
+
+    #[test]
+    fn mo_one_electron_is_diagonal_for_h2_symmetry() {
+        // H2's two MOs are symmetry-distinct (σ_g, σ_u): h must be diagonal.
+        let (_, _, mo) = h2_mo();
+        assert!(mo.h[(0, 1)].abs() < 1e-8);
+        assert!(mo.h[(0, 0)] < 0.0);
+    }
+
+    #[test]
+    fn hf_energy_reconstructed_from_mo_integrals() {
+        // E_elec = 2 Σ_i h_ii + Σ_ij [2(ii|jj) − (ij|ji)] over occupied MOs.
+        let (ints, scf, mo) = h2_mo();
+        let mut e = 0.0;
+        for i in 0..scf.num_occupied {
+            e += 2.0 * mo.h[(i, i)];
+            for j in 0..scf.num_occupied {
+                e += 2.0 * mo.eri.get(i, i, j, j) - mo.eri.get(i, j, j, i);
+            }
+        }
+        assert!((e - scf.electronic_energy).abs() < 1e-8);
+        assert!((e + ints.nuclear_repulsion - scf.total_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn mo_eri_keeps_permutation_symmetry() {
+        let (_, _, mo) = h2_mo();
+        assert!((mo.eri.get(0, 1, 0, 1) - mo.eri.get(1, 0, 1, 0)).abs() < 1e-12);
+        assert!((mo.eri.get(0, 0, 1, 1) - mo.eri.get(1, 1, 0, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_space_partition() {
+        let s = ActiveSpace::new(6, vec![0], vec![3, 4]);
+        assert_eq!(s.frozen(), &[0]);
+        assert_eq!(s.active(), &[1, 2, 5]);
+        assert_eq!(s.num_active(), 3);
+        assert_eq!(s.active_electrons(4), 2);
+    }
+
+    #[test]
+    fn full_space_reduction_is_identity() {
+        let (ints, _, mo) = h2_mo();
+        let act = active_space_integrals(&mo, &ActiveSpace::full(2), ints.nuclear_repulsion);
+        assert!((act.core_energy - ints.nuclear_repulsion).abs() < 1e-12);
+        assert!((act.h[(0, 0)] - mo.h[(0, 0)]).abs() < 1e-12);
+        assert!((act.eri.get(0, 1, 0, 1) - mo.eri.get(0, 1, 0, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frozen_core_energy_matches_scf_for_fully_frozen_occupied() {
+        // Freezing ALL occupied orbitals puts the whole HF energy into the
+        // core constant.
+        let m = diatomic(Element::Li, Element::H, 1.6);
+        let b = build_basis(&m);
+        let ints = compute_ao_integrals(&m, &b);
+        let scf = restricted_hartree_fock(&ints, 4, ScfOptions::default()).unwrap();
+        let mo = transform_to_mo(&ints, &scf);
+        let space = ActiveSpace::new(b.len(), vec![0, 1], vec![]);
+        let act = active_space_integrals(&mo, &space, ints.nuclear_repulsion);
+        assert!((act.core_energy - scf.total_energy).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_frozen_and_removed_rejected() {
+        let _ = ActiveSpace::new(4, vec![0], vec![0]);
+    }
+}

@@ -1,0 +1,262 @@
+//! The paper's nine benchmark molecules (Table I).
+//!
+//! Each benchmark fixes a geometry family (parameterized by the scanned bond
+//! length) and an active space chosen so the qubit counts match the paper's
+//! Table I exactly: frozen chemical cores, plus the two documented orbital
+//! reductions (LiH drops its two degenerate π virtuals, NaH its highest
+//! virtual — the same reductions used by the Qiskit chemistry stack the
+//! paper built on).
+
+use crate::element::Element;
+use crate::geometry::{shapes, Molecule};
+use crate::hamiltonian::{ChemError, MolecularSystem};
+use crate::mo::ActiveSpace;
+
+/// One of the paper's benchmark molecules.
+///
+/// # Examples
+///
+/// ```no_run
+/// use chem::Benchmark;
+///
+/// let sys = Benchmark::LiH.build(1.6)?;
+/// assert_eq!(sys.num_qubits(), 6);
+/// # Ok::<(), chem::ChemError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// Hydrogen, 4 qubits.
+    H2,
+    /// Lithium hydride, 6 qubits.
+    LiH,
+    /// Sodium hydride, 8 qubits.
+    NaH,
+    /// Hydrogen fluoride, 10 qubits.
+    HF,
+    /// Beryllium hydride, 12 qubits.
+    BeH2,
+    /// Water, 12 qubits.
+    H2O,
+    /// Borane, 14 qubits.
+    BH3,
+    /// Ammonia, 14 qubits.
+    NH3,
+    /// Methane, 16 qubits.
+    CH4,
+}
+
+impl Benchmark {
+    /// All nine benchmarks in Table I order.
+    pub const ALL: [Benchmark; 9] = [
+        Benchmark::H2,
+        Benchmark::LiH,
+        Benchmark::NaH,
+        Benchmark::HF,
+        Benchmark::BeH2,
+        Benchmark::H2O,
+        Benchmark::BH3,
+        Benchmark::NH3,
+        Benchmark::CH4,
+    ];
+
+    /// The display name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::H2 => "H2",
+            Benchmark::LiH => "LiH",
+            Benchmark::NaH => "NaH",
+            Benchmark::HF => "HF",
+            Benchmark::BeH2 => "BeH2",
+            Benchmark::H2O => "H2O",
+            Benchmark::BH3 => "BH3",
+            Benchmark::NH3 => "NH3",
+            Benchmark::CH4 => "CH4",
+        }
+    }
+
+    /// Geometry at the given varied bond length (Angstrom).
+    pub fn molecule(self, bond_length: f64) -> Molecule {
+        match self {
+            Benchmark::H2 => shapes::diatomic(Element::H, Element::H, bond_length),
+            Benchmark::LiH => shapes::diatomic(Element::Li, Element::H, bond_length),
+            Benchmark::NaH => shapes::diatomic(Element::Na, Element::H, bond_length),
+            Benchmark::HF => shapes::diatomic(Element::F, Element::H, bond_length),
+            Benchmark::BeH2 => shapes::linear_xh2(Element::Be, bond_length),
+            Benchmark::H2O => shapes::bent_xh2(Element::O, bond_length, 104.5),
+            Benchmark::BH3 => shapes::planar_xh3(Element::B, bond_length),
+            Benchmark::NH3 => shapes::pyramidal_xh3(Element::N, bond_length, 107.0),
+            Benchmark::CH4 => shapes::tetrahedral_xh4(Element::C, bond_length),
+        }
+    }
+
+    /// Equilibrium (experimental) bond length in Angstrom, the default
+    /// evaluation point.
+    pub fn equilibrium_bond_length(self) -> f64 {
+        match self {
+            Benchmark::H2 => 0.74,
+            Benchmark::LiH => 1.60,
+            Benchmark::NaH => 1.89,
+            Benchmark::HF => 0.92,
+            Benchmark::BeH2 => 1.33,
+            Benchmark::H2O => 0.96,
+            Benchmark::BH3 => 1.19,
+            Benchmark::NH3 => 1.01,
+            Benchmark::CH4 => 1.09,
+        }
+    }
+
+    /// The bond-length scan used in the paper's Fig 9-style sweeps
+    /// (Angstrom, 0.1 Å steps around equilibrium).
+    pub fn bond_length_scan(self) -> Vec<f64> {
+        let eq = self.equilibrium_bond_length();
+        let lo = (eq - 0.3).max(0.3);
+        (0..7).map(|k| lo + 0.1 * k as f64).collect()
+    }
+
+    /// The number of molecular orbitals in the STO-3G basis.
+    pub fn num_molecular_orbitals(self) -> usize {
+        match self {
+            Benchmark::H2 => 2,
+            Benchmark::LiH => 6,
+            Benchmark::NaH => 10,
+            Benchmark::HF => 6,
+            Benchmark::BeH2 => 7,
+            Benchmark::H2O => 7,
+            Benchmark::BH3 => 8,
+            Benchmark::NH3 => 8,
+            Benchmark::CH4 => 9,
+        }
+    }
+
+    /// The active space reproducing the paper's Table I qubit counts.
+    pub fn active_space(self) -> ActiveSpace {
+        let n_mo = self.num_molecular_orbitals();
+        match self {
+            // LiH: freeze Li 1s; drop the two degenerate 2pπ virtuals.
+            Benchmark::LiH => ActiveSpace::new(n_mo, vec![0], vec![3, 4]),
+            // NaH: freeze the Na 1s2s2p core; drop the highest virtual.
+            Benchmark::NaH => ActiveSpace::new(n_mo, vec![0, 1, 2, 3, 4], vec![9]),
+            // Everything else: freeze the chemical core only.
+            _ => {
+                let frozen: Vec<usize> =
+                    (0..self.molecule(self.equilibrium_bond_length()).core_orbital_count())
+                        .collect();
+                ActiveSpace::new(n_mo, frozen, vec![])
+            }
+        }
+    }
+
+    /// Expected qubit count (Table I column 2).
+    pub fn expected_qubits(self) -> usize {
+        match self {
+            Benchmark::H2 => 4,
+            Benchmark::LiH => 6,
+            Benchmark::NaH => 8,
+            Benchmark::HF => 10,
+            Benchmark::BeH2 | Benchmark::H2O => 12,
+            Benchmark::BH3 | Benchmark::NH3 => 14,
+            Benchmark::CH4 => 16,
+        }
+    }
+
+    /// Expected UCCSD parameter count (Table I column 4).
+    pub fn expected_parameters(self) -> usize {
+        match self {
+            Benchmark::H2 => 3,
+            Benchmark::LiH => 8,
+            Benchmark::NaH => 15,
+            Benchmark::HF => 24,
+            Benchmark::BeH2 | Benchmark::H2O => 92,
+            Benchmark::BH3 | Benchmark::NH3 => 204,
+            Benchmark::CH4 => 360,
+        }
+    }
+
+    /// Expected UCCSD Pauli-string count (Table I column 3).
+    pub fn expected_pauli_strings(self) -> usize {
+        match self {
+            Benchmark::H2 => 12,
+            Benchmark::LiH => 40,
+            Benchmark::NaH => 84,
+            Benchmark::HF => 144,
+            Benchmark::BeH2 | Benchmark::H2O => 640,
+            Benchmark::BH3 | Benchmark::NH3 => 1488,
+            Benchmark::CH4 => 2688,
+        }
+    }
+
+    /// Runs the electronic-structure pipeline at the given bond length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemError`] if the SCF stage fails at this geometry.
+    pub fn build(self, bond_length: f64) -> Result<MolecularSystem, ChemError> {
+        MolecularSystem::build(self.molecule(bond_length), self.active_space(), self.name())
+    }
+
+    /// Convenience: build at the equilibrium bond length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemError`] if the SCF stage fails.
+    pub fn build_equilibrium(self) -> Result<MolecularSystem, ChemError> {
+        self.build(self.equilibrium_bond_length())
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::build_basis;
+
+    #[test]
+    fn basis_sizes_match_declared_mo_counts() {
+        for b in Benchmark::ALL {
+            let m = b.molecule(b.equilibrium_bond_length());
+            assert_eq!(
+                build_basis(&m).len(),
+                b.num_molecular_orbitals(),
+                "{b}: basis size mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn active_spaces_reproduce_table1_qubit_counts() {
+        for b in Benchmark::ALL {
+            let space = b.active_space();
+            assert_eq!(2 * space.num_active(), b.expected_qubits(), "{b}");
+        }
+    }
+
+    #[test]
+    fn active_electron_counts_are_even_and_fit() {
+        for b in Benchmark::ALL {
+            let m = b.molecule(b.equilibrium_bond_length());
+            let space = b.active_space();
+            let ae = space.active_electrons(m.num_electrons());
+            assert!(ae % 2 == 0, "{b}: odd active electrons");
+            assert!(ae <= 2 * space.num_active(), "{b}: overfull active space");
+            assert!(ae >= 2, "{b}: empty active space");
+        }
+    }
+
+    #[test]
+    fn h2_and_lih_build_end_to_end() {
+        let h2 = Benchmark::H2.build_equilibrium().unwrap();
+        assert_eq!(h2.num_qubits(), 4);
+        let lih = Benchmark::LiH.build_equilibrium().unwrap();
+        assert_eq!(lih.num_qubits(), 6);
+        assert_eq!(lih.num_active_electrons(), 2);
+        // LiH exact active-space energy must be below HF and near -7.88 Ha.
+        let e = lih.exact_ground_state_energy();
+        assert!(e < lih.hartree_fock_energy() + 1e-8);
+        assert!((e + 7.88).abs() < 0.1, "LiH exact {e}");
+    }
+}

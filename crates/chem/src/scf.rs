@@ -1,0 +1,315 @@
+//! Restricted Hartree-Fock with DIIS convergence acceleration.
+
+use std::error::Error;
+use std::fmt;
+
+use numeric::{jacobi_eigen, lu_solve, RealMatrix};
+
+use crate::integrals::AoIntegrals;
+
+/// Error from the SCF procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScfError {
+    /// Odd electron count (RHF is closed-shell only).
+    OddElectronCount(usize),
+    /// More occupied orbitals than basis functions.
+    BasisTooSmall {
+        /// Doubly-occupied orbitals required.
+        occupied: usize,
+        /// Basis functions available.
+        basis: usize,
+    },
+    /// SCF failed to converge within the iteration limit.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Last energy change seen.
+        delta_e: f64,
+    },
+}
+
+impl fmt::Display for ScfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScfError::OddElectronCount(n) => {
+                write!(f, "restricted Hartree-Fock requires an even electron count, got {n}")
+            }
+            ScfError::BasisTooSmall { occupied, basis } => {
+                write!(f, "{occupied} occupied orbitals exceed {basis} basis functions")
+            }
+            ScfError::NotConverged { iterations, delta_e } => {
+                write!(f, "SCF did not converge in {iterations} iterations (ΔE = {delta_e:e})")
+            }
+        }
+    }
+}
+
+impl Error for ScfError {}
+
+/// Converged Hartree-Fock solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScfResult {
+    /// Total energy (electronic + nuclear repulsion), Hartree.
+    pub total_energy: f64,
+    /// Electronic energy, Hartree.
+    pub electronic_energy: f64,
+    /// MO coefficients: column `k` is orbital `k` in the AO basis, sorted by
+    /// ascending orbital energy.
+    pub mo_coefficients: RealMatrix,
+    /// Orbital energies, ascending.
+    pub orbital_energies: Vec<f64>,
+    /// Number of doubly-occupied orbitals.
+    pub num_occupied: usize,
+    /// SCF iterations used.
+    pub iterations: usize,
+}
+
+/// SCF convergence options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScfOptions {
+    /// Maximum iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on the energy change.
+    pub energy_tol: f64,
+    /// Convergence threshold on the DIIS error norm.
+    pub error_tol: f64,
+    /// Maximum DIIS history length.
+    pub diis_depth: usize,
+}
+
+impl Default for ScfOptions {
+    fn default() -> Self {
+        ScfOptions { max_iter: 200, energy_tol: 1e-10, error_tol: 1e-8, diis_depth: 8 }
+    }
+}
+
+/// Runs restricted Hartree-Fock for `num_electrons` electrons.
+///
+/// # Errors
+///
+/// Returns [`ScfError`] for odd electron counts, too-small bases, or
+/// non-convergence.
+pub fn restricted_hartree_fock(
+    ints: &AoIntegrals,
+    num_electrons: usize,
+    options: ScfOptions,
+) -> Result<ScfResult, ScfError> {
+    if num_electrons % 2 != 0 {
+        return Err(ScfError::OddElectronCount(num_electrons));
+    }
+    let n = ints.overlap.rows();
+    let nocc = num_electrons / 2;
+    if nocc > n {
+        return Err(ScfError::BasisTooSmall { occupied: nocc, basis: n });
+    }
+
+    // Symmetric orthogonalization X = S^{-1/2}.
+    let s_eig = jacobi_eigen(&ints.overlap);
+    let x = {
+        let u = &s_eig.vectors;
+        RealMatrix::from_fn(n, n, |i, j| {
+            (0..n).map(|k| u[(i, k)] / s_eig.values[k].sqrt() * u[(j, k)]).sum()
+        })
+    };
+
+    let h = &ints.core_hamiltonian;
+    let mut fock = h.clone();
+    #[allow(unused_assignments)]
+    let mut density = RealMatrix::zeros(n, n);
+    let mut energy = 0.0;
+    let mut fock_history: Vec<RealMatrix> = Vec::new();
+    let mut error_history: Vec<RealMatrix> = Vec::new();
+
+    for it in 1..=options.max_iter {
+        // Orthogonalize, diagonalize, back-transform.
+        let f_ortho = x.mul(&fock).mul(&x);
+        let f_eig = jacobi_eigen(&f_ortho);
+        let c = x.mul(&f_eig.vectors);
+
+        // Closed-shell density D = 2 C_occ C_occᵀ.
+        density = RealMatrix::from_fn(n, n, |mu, nu| {
+            2.0 * (0..nocc).map(|i| c[(mu, i)] * c[(nu, i)]).sum::<f64>()
+        });
+
+        // New Fock matrix F = h + G(D).
+        let mut g = RealMatrix::zeros(n, n);
+        for mu in 0..n {
+            for nu in 0..n {
+                let mut acc = 0.0;
+                for la in 0..n {
+                    for si in 0..n {
+                        acc += density[(la, si)]
+                            * (ints.eri.get(mu, nu, la, si) - 0.5 * ints.eri.get(mu, si, la, nu));
+                    }
+                }
+                g[(mu, nu)] = acc;
+            }
+        }
+        let new_fock = h + &g;
+
+        // Electronic energy E = ½ Σ D (h + F).
+        let mut e_elec = 0.0;
+        for mu in 0..n {
+            for nu in 0..n {
+                e_elec += 0.5 * density[(mu, nu)] * (h[(mu, nu)] + new_fock[(mu, nu)]);
+            }
+        }
+
+        // DIIS error e = X(FDS − SDF)X.
+        let fds = new_fock.mul(&density).mul(&ints.overlap);
+        let sdf = ints.overlap.mul(&density).mul(&new_fock);
+        let err = x.mul(&(&fds - &sdf)).mul(&x);
+        let err_norm = err.frobenius_norm();
+        let delta_e = (e_elec - energy).abs();
+        energy = e_elec;
+
+        if delta_e < options.energy_tol && err_norm < options.error_tol {
+            // Recompute final orbitals from the converged Fock matrix.
+            let f_ortho = x.mul(&new_fock).mul(&x);
+            let f_eig = jacobi_eigen(&f_ortho);
+            let c = x.mul(&f_eig.vectors);
+            return Ok(ScfResult {
+                total_energy: energy + ints.nuclear_repulsion,
+                electronic_energy: energy,
+                mo_coefficients: c,
+                orbital_energies: f_eig.values,
+                num_occupied: nocc,
+                iterations: it,
+            });
+        }
+
+        // DIIS extrapolation.
+        fock_history.push(new_fock.clone());
+        error_history.push(err);
+        if fock_history.len() > options.diis_depth {
+            fock_history.remove(0);
+            error_history.remove(0);
+        }
+        fock = if fock_history.len() >= 2 {
+            diis_extrapolate(&fock_history, &error_history).unwrap_or(new_fock)
+        } else {
+            new_fock
+        };
+    }
+
+    Err(ScfError::NotConverged { iterations: options.max_iter, delta_e: f64::NAN })
+}
+
+/// Solves the DIIS least-squares problem and returns the extrapolated Fock
+/// matrix, or `None` if the system is singular.
+fn diis_extrapolate(focks: &[RealMatrix], errors: &[RealMatrix]) -> Option<RealMatrix> {
+    let m = focks.len();
+    // B_ij = ⟨e_i, e_j⟩ bordered with -1 row/col (Pulay).
+    let mut b = RealMatrix::zeros(m + 1, m + 1);
+    for i in 0..m {
+        for j in 0..m {
+            let dot: f64 = errors[i]
+                .as_slice()
+                .iter()
+                .zip(errors[j].as_slice())
+                .map(|(a, c)| a * c)
+                .sum();
+            b[(i, j)] = dot;
+        }
+        b[(i, m)] = -1.0;
+        b[(m, i)] = -1.0;
+    }
+    let mut rhs = vec![0.0; m + 1];
+    rhs[m] = -1.0;
+    let coeffs = lu_solve(&b, &rhs).ok()?;
+
+    let n = focks[0].rows();
+    let mut out = RealMatrix::zeros(n, n);
+    for (k, f) in focks.iter().enumerate() {
+        for i in 0..n {
+            for j in 0..n {
+                out[(i, j)] += coeffs[k] * f[(i, j)];
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::build_basis;
+    use crate::geometry::shapes::{bent_xh2, diatomic};
+    use crate::integrals::compute_ao_integrals;
+    use crate::{Element, ANGSTROM_TO_BOHR};
+
+    fn run(molecule: &crate::Molecule) -> ScfResult {
+        let basis = build_basis(molecule);
+        let ints = compute_ao_integrals(molecule, &basis);
+        restricted_hartree_fock(&ints, molecule.num_electrons(), ScfOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn h2_energy_matches_szabo_ostlund() {
+        // E(HF/STO-3G) at R = 1.4 Bohr: −1.1167 Hartree.
+        let m = diatomic(Element::H, Element::H, 1.4 / ANGSTROM_TO_BOHR);
+        let r = run(&m);
+        assert!((r.total_energy + 1.1167).abs() < 2e-3, "E = {}", r.total_energy);
+        assert_eq!(r.num_occupied, 1);
+    }
+
+    #[test]
+    fn h2o_energy_near_literature() {
+        // HF/STO-3G water ≈ −74.96 Hartree near equilibrium.
+        let m = bent_xh2(Element::O, 0.96, 104.5);
+        let r = run(&m);
+        assert!((r.total_energy + 74.96).abs() < 0.05, "E = {}", r.total_energy);
+        assert_eq!(r.num_occupied, 5);
+    }
+
+    #[test]
+    fn lih_energy_near_literature() {
+        // HF/STO-3G LiH ≈ −7.86 Hartree near equilibrium.
+        let m = diatomic(Element::Li, Element::H, 1.60);
+        let r = run(&m);
+        assert!((r.total_energy + 7.86).abs() < 0.02, "E = {}", r.total_energy);
+    }
+
+    #[test]
+    fn orbital_energies_sorted_and_aufbau() {
+        let m = bent_xh2(Element::O, 0.96, 104.5);
+        let r = run(&m);
+        for w in r.orbital_energies.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        // Occupied orbitals must be below the LUMO.
+        assert!(r.orbital_energies[r.num_occupied - 1] < r.orbital_energies[r.num_occupied]);
+    }
+
+    #[test]
+    fn mo_coefficients_are_s_orthonormal() {
+        let m = diatomic(Element::Li, Element::H, 1.6);
+        let basis = build_basis(&m);
+        let ints = compute_ao_integrals(&m, &basis);
+        let r = restricted_hartree_fock(&ints, 4, ScfOptions::default()).unwrap();
+        let ctsc = r.mo_coefficients.transpose().mul(&ints.overlap).mul(&r.mo_coefficients);
+        assert!(ctsc.max_abs_diff(&RealMatrix::identity(basis.len())) < 1e-8);
+    }
+
+    #[test]
+    fn odd_electron_count_is_rejected() {
+        let m = diatomic(Element::H, Element::H, 0.74);
+        let basis = build_basis(&m);
+        let ints = compute_ao_integrals(&m, &basis);
+        assert!(matches!(
+            restricted_hartree_fock(&ints, 3, ScfOptions::default()),
+            Err(ScfError::OddElectronCount(3))
+        ));
+    }
+
+    #[test]
+    fn energy_is_variational_in_bond_length() {
+        // HF energy curve of H2 must have a minimum near 0.73 Å.
+        let energies: Vec<f64> = [0.5, 0.7, 0.9]
+            .iter()
+            .map(|&d| run(&diatomic(Element::H, Element::H, d)).total_energy)
+            .collect();
+        assert!(energies[1] < energies[0]);
+        assert!(energies[1] < energies[2]);
+    }
+}

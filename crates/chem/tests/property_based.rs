@@ -1,0 +1,73 @@
+//! Property-based tests on the electronic-structure numerics (proptest).
+
+use proptest::prelude::*;
+
+use chem::basis::build_basis;
+use chem::boys::boys;
+use chem::geometry::shapes::diatomic;
+use chem::integrals::{eri, kinetic, nuclear, overlap};
+use chem::Element;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The Boys function is positive, bounded by F_m(0) = 1/(2m+1), and
+    /// decreasing in both m and x.
+    #[test]
+    fn boys_bounds_and_monotonicity(x in 0.0f64..60.0, m_max in 1usize..8) {
+        let f = boys(m_max, x);
+        for (m, v) in f.iter().enumerate() {
+            prop_assert!(*v > 0.0);
+            prop_assert!(*v <= 1.0 / (2.0 * m as f64 + 1.0) + 1e-12);
+        }
+        for w in f.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-15, "not decreasing in m");
+        }
+        let g = boys(m_max, x + 0.5);
+        for (a, b) in f.iter().zip(&g) {
+            prop_assert!(b <= a, "not decreasing in x");
+        }
+    }
+
+    /// Gaussian-basis integral symmetries and positivity on H2 at random
+    /// bond lengths: S and T symmetric, diagonal overlap 1, self-repulsion
+    /// (aa|aa) positive and bounded by pairwise Schwarz products.
+    #[test]
+    fn integral_symmetries_hold_for_h2(bond in 0.3f64..3.0) {
+        let m = diatomic(Element::H, Element::H, bond);
+        let b = build_basis(&m);
+        let (f0, f1) = (&b[0], &b[1]);
+
+        prop_assert!((overlap(f0, f1) - overlap(f1, f0)).abs() < 1e-12);
+        prop_assert!((kinetic(f0, f1) - kinetic(f1, f0)).abs() < 1e-12);
+        prop_assert!((overlap(f0, f0) - 1.0).abs() < 1e-9);
+        prop_assert!(kinetic(f0, f0) > 0.0);
+        prop_assert!(nuclear(f0, f0, &m) < 0.0, "attraction must be negative");
+
+        let aaaa = eri(f0, f0, f0, f0);
+        let abab = eri(f0, f1, f0, f1);
+        let aabb = eri(f0, f0, f1, f1);
+        prop_assert!(aaaa > 0.0);
+        prop_assert!(abab >= -1e-12);
+        // Cauchy–Schwarz: (ab|ab) ≤ √((aa|aa)(bb|bb)).
+        let bbbb = eri(f1, f1, f1, f1);
+        prop_assert!(abab <= (aaaa * bbbb).sqrt() + 1e-10);
+        // Overlap-squared bound keeps (aa|bb) below the self-repulsions.
+        prop_assert!(aabb <= aaaa.max(bbbb) + 1e-10);
+
+        // ERI 8-fold symmetry on the mixed integral.
+        let perm = eri(f1, f0, f0, f1);
+        let base = eri(f0, f1, f1, f0);
+        prop_assert!((perm - base).abs() < 1e-12);
+    }
+
+    /// Overlap decays monotonically with separation (s functions).
+    #[test]
+    fn overlap_decays_with_distance(b1 in 0.4f64..2.0, delta in 0.1f64..1.0) {
+        let near = diatomic(Element::H, Element::H, b1);
+        let far = diatomic(Element::H, Element::H, b1 + delta);
+        let bn = build_basis(&near);
+        let bf = build_basis(&far);
+        prop_assert!(overlap(&bf[0], &bf[1]) < overlap(&bn[0], &bn[1]));
+    }
+}

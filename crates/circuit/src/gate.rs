@@ -1,0 +1,273 @@
+//! The gate alphabet.
+
+use std::fmt;
+
+use numeric::Complex64;
+
+/// A quantum gate applied to specific qubits.
+///
+/// Angles follow the standard convention `Rp(θ) = exp(-i·θ/2·P)` for
+/// `P ∈ {X, Y, Z}`, matching Qiskit. `Gate::Rz(q, 2.0 * theta)` therefore
+/// implements the paper's `exp(-i·θ·Z)` center rotation (§II-A: "a rotation
+/// gate is applied to rotate angle 2θ along the Z axis").
+///
+/// # Examples
+///
+/// ```
+/// use circuit::Gate;
+///
+/// let g = Gate::Cnot { control: 3, target: 1 };
+/// assert!(g.is_two_qubit());
+/// assert_eq!(g.qubits(), vec![3, 1]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard gate.
+    H(usize),
+    /// Pauli-X gate.
+    X(usize),
+    /// Pauli-Y gate.
+    Y(usize),
+    /// Pauli-Z gate.
+    Z(usize),
+    /// Phase gate `S = diag(1, i)`.
+    S(usize),
+    /// Inverse phase gate `S† = diag(1, -i)`.
+    Sdg(usize),
+    /// X-rotation `exp(-i·θ/2·X)`.
+    Rx(usize, f64),
+    /// Y-rotation `exp(-i·θ/2·Y)`.
+    Ry(usize, f64),
+    /// Z-rotation `exp(-i·θ/2·Z)`.
+    Rz(usize, f64),
+    /// Controlled-NOT.
+    Cnot {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// SWAP of two qubits (counted as 3 CNOTs by cost metrics).
+    Swap(usize, usize),
+}
+
+impl Gate {
+    /// The qubits the gate acts on, control first for `Cnot`.
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _) => vec![q],
+            Gate::Cnot { control, target } => vec![control, target],
+            Gate::Swap(a, b) => vec![a, b],
+        }
+    }
+
+    /// Whether the gate acts on two qubits.
+    #[inline]
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::Cnot { .. } | Gate::Swap(_, _))
+    }
+
+    /// Whether the gate carries a continuous parameter.
+    #[inline]
+    pub fn is_parameterized(&self) -> bool {
+        matches!(self, Gate::Rx(_, _) | Gate::Ry(_, _) | Gate::Rz(_, _))
+    }
+
+    /// The gate's inverse.
+    pub fn inverse(&self) -> Gate {
+        match *self {
+            Gate::S(q) => Gate::Sdg(q),
+            Gate::Sdg(q) => Gate::S(q),
+            Gate::Rx(q, t) => Gate::Rx(q, -t),
+            Gate::Ry(q, t) => Gate::Ry(q, -t),
+            Gate::Rz(q, t) => Gate::Rz(q, -t),
+            // H, X, Y, Z, CNOT, SWAP are self-inverse.
+            g => g,
+        }
+    }
+
+    /// Remaps qubit indices through `map` (logical→physical relabeling).
+    pub fn remapped(&self, map: impl Fn(usize) -> usize) -> Gate {
+        match *self {
+            Gate::H(q) => Gate::H(map(q)),
+            Gate::X(q) => Gate::X(map(q)),
+            Gate::Y(q) => Gate::Y(map(q)),
+            Gate::Z(q) => Gate::Z(map(q)),
+            Gate::S(q) => Gate::S(map(q)),
+            Gate::Sdg(q) => Gate::Sdg(map(q)),
+            Gate::Rx(q, t) => Gate::Rx(map(q), t),
+            Gate::Ry(q, t) => Gate::Ry(map(q), t),
+            Gate::Rz(q, t) => Gate::Rz(map(q), t),
+            Gate::Cnot { control, target } => {
+                Gate::Cnot { control: map(control), target: map(target) }
+            }
+            Gate::Swap(a, b) => Gate::Swap(map(a), map(b)),
+        }
+    }
+
+    /// The 2×2 unitary of a single-qubit gate, row-major
+    /// `[u00, u01, u10, u11]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for two-qubit gates.
+    pub fn single_qubit_matrix(&self) -> [Complex64; 4] {
+        use Complex64 as C;
+        let zero = C::ZERO;
+        let one = C::ONE;
+        let i = C::I;
+        match *self {
+            Gate::H(_) => {
+                let s = C::from_real(std::f64::consts::FRAC_1_SQRT_2);
+                [s, s, s, -s]
+            }
+            Gate::X(_) => [zero, one, one, zero],
+            Gate::Y(_) => [zero, -i, i, zero],
+            Gate::Z(_) => [one, zero, zero, -one],
+            Gate::S(_) => [one, zero, zero, i],
+            Gate::Sdg(_) => [one, zero, zero, -i],
+            Gate::Rx(_, t) => {
+                let c = C::from_real((t / 2.0).cos());
+                let s = (t / 2.0).sin();
+                [c, -i * s, -i * s, c]
+            }
+            Gate::Ry(_, t) => {
+                let c = C::from_real((t / 2.0).cos());
+                let s = C::from_real((t / 2.0).sin());
+                [c, -s, s, c]
+            }
+            Gate::Rz(_, t) => {
+                [C::cis(-t / 2.0), zero, zero, C::cis(t / 2.0)]
+            }
+            Gate::Cnot { .. } | Gate::Swap(_, _) => {
+                panic!("single_qubit_matrix called on a two-qubit gate")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Gate::H(q) => write!(f, "h q{q}"),
+            Gate::X(q) => write!(f, "x q{q}"),
+            Gate::Y(q) => write!(f, "y q{q}"),
+            Gate::Z(q) => write!(f, "z q{q}"),
+            Gate::S(q) => write!(f, "s q{q}"),
+            Gate::Sdg(q) => write!(f, "sdg q{q}"),
+            Gate::Rx(q, t) => write!(f, "rx({t:.6}) q{q}"),
+            Gate::Ry(q, t) => write!(f, "ry({t:.6}) q{q}"),
+            Gate::Rz(q, t) => write!(f, "rz({t:.6}) q{q}"),
+            Gate::Cnot { control, target } => write!(f, "cx q{control}, q{target}"),
+            Gate::Swap(a, b) => write!(f, "swap q{a}, q{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_mul(a: [Complex64; 4], b: [Complex64; 4]) -> [Complex64; 4] {
+        [
+            a[0] * b[0] + a[1] * b[2],
+            a[0] * b[1] + a[1] * b[3],
+            a[2] * b[0] + a[3] * b[2],
+            a[2] * b[1] + a[3] * b[3],
+        ]
+    }
+
+    fn approx_id(m: [Complex64; 4]) -> bool {
+        m[0].approx_eq(Complex64::ONE, 1e-12)
+            && m[3].approx_eq(Complex64::ONE, 1e-12)
+            && m[1].approx_eq(Complex64::ZERO, 1e-12)
+            && m[2].approx_eq(Complex64::ZERO, 1e-12)
+    }
+
+    #[test]
+    fn inverses_compose_to_identity() {
+        let gates = [
+            Gate::H(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::Rx(0, 0.7),
+            Gate::Ry(0, -1.3),
+            Gate::Rz(0, 2.1),
+        ];
+        for g in gates {
+            let m = mat_mul(g.inverse().single_qubit_matrix(), g.single_qubit_matrix());
+            assert!(approx_id(m), "{g} inverse failed");
+        }
+    }
+
+    #[test]
+    fn matrices_are_unitary() {
+        for g in [Gate::H(0), Gate::S(0), Gate::Rx(0, 0.4), Gate::Ry(0, 0.4), Gate::Rz(0, 0.4)] {
+            let m = g.single_qubit_matrix();
+            let dag = [m[0].conj(), m[2].conj(), m[1].conj(), m[3].conj()];
+            assert!(approx_id(mat_mul(dag, m)), "{g} not unitary");
+        }
+    }
+
+    #[test]
+    fn s_squared_is_z() {
+        let s2 = mat_mul(Gate::S(0).single_qubit_matrix(), Gate::S(0).single_qubit_matrix());
+        let z = Gate::Z(0).single_qubit_matrix();
+        for k in 0..4 {
+            assert!(s2[k].approx_eq(z[k], 1e-12));
+        }
+    }
+
+    #[test]
+    fn hzh_equals_x() {
+        let h = Gate::H(0).single_qubit_matrix();
+        let z = Gate::Z(0).single_qubit_matrix();
+        let hzh = mat_mul(mat_mul(h, z), h);
+        let x = Gate::X(0).single_qubit_matrix();
+        for k in 0..4 {
+            assert!(hzh[k].approx_eq(x[k], 1e-12));
+        }
+    }
+
+    #[test]
+    fn y_basis_change_conjugates_z_to_y() {
+        // V = S·H maps Z to Y: V Z V† = Y.
+        let s = Gate::S(0).single_qubit_matrix();
+        let h = Gate::H(0).single_qubit_matrix();
+        let v = mat_mul(s, h);
+        let vdag = [v[0].conj(), v[2].conj(), v[1].conj(), v[3].conj()];
+        let z = Gate::Z(0).single_qubit_matrix();
+        let vzv = mat_mul(mat_mul(v, z), vdag);
+        let y = Gate::Y(0).single_qubit_matrix();
+        for k in 0..4 {
+            assert!(vzv[k].approx_eq(y[k], 1e-12), "SH basis change wrong at {k}");
+        }
+    }
+
+    #[test]
+    fn remap_and_metadata() {
+        let g = Gate::Cnot { control: 0, target: 1 };
+        let r = g.remapped(|q| q + 10);
+        assert_eq!(r, Gate::Cnot { control: 10, target: 11 });
+        assert!(g.is_two_qubit());
+        assert!(!g.is_parameterized());
+        assert!(Gate::Rz(0, 0.1).is_parameterized());
+    }
+
+    #[test]
+    #[should_panic]
+    fn two_qubit_gate_has_no_single_qubit_matrix() {
+        let _ = Gate::Swap(0, 1).single_qubit_matrix();
+    }
+}

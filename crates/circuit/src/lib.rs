@@ -1,0 +1,25 @@
+//! Quantum circuit intermediate representation.
+//!
+//! A deliberately small gate set covering everything the paper's circuits
+//! use: the Clifford basis-change gates around Pauli evolution blocks
+//! (`H`, `S`, `S†`, `X`), parameterized rotations (`Rx`, `Ry`, `Rz`), and the
+//! two-qubit `CNOT`/`SWAP` gates whose counts are the paper's compilation
+//! metric (§VI-A).
+//!
+//! # Examples
+//!
+//! ```
+//! use circuit::{Circuit, Gate};
+//!
+//! let mut c = Circuit::new(2);
+//! c.push(Gate::H(0));
+//! c.push(Gate::Cnot { control: 0, target: 1 });
+//! assert_eq!(c.cnot_count(), 1);
+//! assert_eq!(c.len(), 2);
+//! ```
+
+pub mod gate;
+pub mod ir;
+
+pub use gate::Gate;
+pub use ir::Circuit;

@@ -1,0 +1,143 @@
+//! Approximate compilation — the paper's §VII direction: "the variational
+//! quantum simulation is a numerical optimization algorithm. It is thus
+//! possible to allow approximate compilation for more aggressive compiler
+//! optimization."
+//!
+//! A Pauli-evolution block with rotation angle φ deviates from identity by
+//! at most `|φ|/2` in spectral norm (`‖exp(-i·φ/2·P) − I‖ = 2|sin(φ/4)| ≤
+//! |φ|/2`), so blocks whose optimized angle is tiny can be dropped with a
+//! bounded, accumulating error. This pass filters the IR by angle threshold
+//! *before* Merge-to-Root, trading a certified fidelity bound for CNOTs.
+
+use ansatz::{IrEntry, PauliIr};
+
+/// Result of angle-threshold filtering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproximationReport {
+    /// Entries kept.
+    pub kept_entries: usize,
+    /// Entries dropped.
+    pub dropped_entries: usize,
+    /// Upper bound on the accumulated operator-norm error:
+    /// `Σ_dropped |φ|/2`.
+    pub error_bound: f64,
+}
+
+/// Drops every IR entry whose evolution angle at `params` is below
+/// `angle_threshold` (radians), renumbering parameters compactly. Returns
+/// the filtered IR, the parameter values matching its new numbering, and
+/// the report.
+///
+/// `angle_threshold = 0` keeps everything (and the bound is 0).
+///
+/// # Panics
+///
+/// Panics if `params` has the wrong length or the threshold is negative.
+pub fn approximate_ir(
+    ir: &PauliIr,
+    params: &[f64],
+    angle_threshold: f64,
+) -> (PauliIr, Vec<f64>, ApproximationReport) {
+    assert_eq!(params.len(), ir.num_parameters(), "parameter count mismatch");
+    assert!(angle_threshold >= 0.0, "threshold must be non-negative");
+
+    let mut out = PauliIr::new(ir.num_qubits(), ir.initial_state());
+    let mut new_params: Vec<f64> = Vec::new();
+    let mut param_map: Vec<Option<usize>> = vec![None; ir.num_parameters()];
+    let mut dropped = 0usize;
+    let mut error_bound = 0.0;
+
+    for e in ir.entries() {
+        let angle = e.rotation_angle(params[e.param]);
+        if angle.abs() < angle_threshold {
+            dropped += 1;
+            error_bound += angle.abs() / 2.0;
+            continue;
+        }
+        let new_idx = *param_map[e.param].get_or_insert_with(|| {
+            new_params.push(params[e.param]);
+            new_params.len() - 1
+        });
+        out.push(IrEntry { string: e.string, param: new_idx, coefficient: e.coefficient });
+    }
+
+    let report = ApproximationReport {
+        kept_entries: out.len(),
+        dropped_entries: dropped,
+        error_bound,
+    };
+    (out, new_params, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ansatz::uccsd::UccsdAnsatz;
+
+    fn sample() -> (PauliIr, Vec<f64>) {
+        let ir = UccsdAnsatz::new(3, 2).into_ir();
+        // Mixed magnitudes: some parameters essentially zero.
+        let params = vec![0.2, 1e-6, -0.15, 2e-7, 0.0, 0.3, -1e-5, 0.08];
+        (ir, params)
+    }
+
+    #[test]
+    fn zero_threshold_is_identity() {
+        let (ir, params) = sample();
+        let (out, p2, report) = approximate_ir(&ir, &params, 0.0);
+        assert_eq!(out.len(), ir.len());
+        assert_eq!(report.dropped_entries, 0);
+        assert_eq!(report.error_bound, 0.0);
+        assert_eq!(p2.len(), ir.num_parameters());
+    }
+
+    #[test]
+    fn tiny_angles_are_dropped_with_bound() {
+        let (ir, params) = sample();
+        let (out, _, report) = approximate_ir(&ir, &params, 1e-3);
+        assert!(report.dropped_entries > 0);
+        assert!(out.len() < ir.len());
+        assert!(report.error_bound < 1e-3 * report.dropped_entries as f64 / 2.0 + 1e-12);
+        assert_eq!(out.len() + report.dropped_entries, ir.len());
+    }
+
+    #[test]
+    fn kept_entries_preserve_angles() {
+        let (ir, params) = sample();
+        let (out, p2, _) = approximate_ir(&ir, &params, 1e-3);
+        // Every surviving entry must evolve by exactly its original angle.
+        for e in out.entries() {
+            let original = ir
+                .entries()
+                .iter()
+                .find(|o| o.string == e.string && (o.coefficient - e.coefficient).abs() < 1e-15)
+                .expect("entry originates from the input IR");
+            assert!(
+                (e.rotation_angle(p2[e.param]) - original.rotation_angle(params[original.param]))
+                    .abs()
+                    < 1e-15
+            );
+        }
+    }
+
+    #[test]
+    fn dropping_everything_leaves_reference_state() {
+        let (ir, _) = sample();
+        let zeros = vec![0.0; ir.num_parameters()];
+        let (out, p2, report) = approximate_ir(&ir, &zeros, 1e-12);
+        assert!(out.is_empty());
+        assert!(p2.is_empty());
+        assert_eq!(report.dropped_entries, ir.len());
+        assert_eq!(report.error_bound, 0.0);
+    }
+
+    #[test]
+    fn parameters_renumber_compactly() {
+        let (ir, params) = sample();
+        let (out, p2, _) = approximate_ir(&ir, &params, 1e-3);
+        assert_eq!(out.num_parameters(), p2.len());
+        // Parameter ids must be a contiguous 0..k range.
+        let max = out.entries().iter().map(|e| e.param).max().unwrap_or(0);
+        assert_eq!(max + 1, p2.len());
+    }
+}

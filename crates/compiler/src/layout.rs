@@ -1,0 +1,295 @@
+//! Hierarchical Initial Layout — the paper's Algorithm 2 (§V-A).
+//!
+//! Logical qubits that co-occur in many Pauli strings need short paths to
+//! their partners; the X-Tree's low-level physical qubits provide them.
+//! The algorithm counts pairwise co-occurrence, sorts logical qubits by
+//! total connectivity demand, and fills the tree level by level, attaching
+//! each qubit under the already-placed parent it shares the most strings
+//! with.
+
+use arch::Topology;
+
+use ansatz::PauliIr;
+
+/// A logical↔physical qubit mapping.
+///
+/// # Examples
+///
+/// ```
+/// use compiler::Layout;
+///
+/// let l = Layout::trivial(3, 5);
+/// assert_eq!(l.physical(2), 2);
+/// assert_eq!(l.logical(4), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    log2phys: Vec<usize>,
+    phys2log: Vec<Option<usize>>,
+}
+
+impl Layout {
+    /// The identity mapping of `num_logical` qubits onto the first physical
+    /// qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more logical than physical qubits.
+    pub fn trivial(num_logical: usize, num_physical: usize) -> Self {
+        assert!(num_logical <= num_physical, "more logical than physical qubits");
+        let log2phys: Vec<usize> = (0..num_logical).collect();
+        let mut phys2log = vec![None; num_physical];
+        for (l, &p) in log2phys.iter().enumerate() {
+            phys2log[p] = Some(l);
+        }
+        Layout { log2phys, phys2log }
+    }
+
+    /// Builds a layout from an explicit logical→physical assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or duplicate physical targets.
+    pub fn from_assignment(log2phys: Vec<usize>, num_physical: usize) -> Self {
+        let mut phys2log = vec![None; num_physical];
+        for (l, &p) in log2phys.iter().enumerate() {
+            assert!(p < num_physical, "physical qubit {p} out of range");
+            assert!(phys2log[p].is_none(), "physical qubit {p} assigned twice");
+            phys2log[p] = Some(l);
+        }
+        Layout { log2phys, phys2log }
+    }
+
+    /// Number of logical qubits.
+    pub fn num_logical(&self) -> usize {
+        self.log2phys.len()
+    }
+
+    /// Number of physical qubits.
+    pub fn num_physical(&self) -> usize {
+        self.phys2log.len()
+    }
+
+    /// The physical qubit hosting logical `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    #[inline]
+    pub fn physical(&self, l: usize) -> usize {
+        self.log2phys[l]
+    }
+
+    /// The logical qubit on physical `p`, if any.
+    #[inline]
+    pub fn logical(&self, p: usize) -> Option<usize> {
+        self.phys2log[p]
+    }
+
+    /// Swaps the contents of two physical qubits (either may be empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn swap_physical(&mut self, a: usize, b: usize) {
+        let la = self.phys2log[a];
+        let lb = self.phys2log[b];
+        self.phys2log[a] = lb;
+        self.phys2log[b] = la;
+        if let Some(l) = la {
+            self.log2phys[l] = b;
+        }
+        if let Some(l) = lb {
+            self.log2phys[l] = a;
+        }
+    }
+
+    /// The logical→physical assignment vector.
+    pub fn as_assignment(&self) -> &[usize] {
+        &self.log2phys
+    }
+}
+
+/// Pairwise co-occurrence counts of logical qubits across the IR's Pauli
+/// strings (Algorithm 2's `Mat`).
+pub fn cooccurrence_matrix(ir: &PauliIr) -> Vec<Vec<usize>> {
+    let n = ir.num_qubits();
+    let mut mat = vec![vec![0usize; n]; n];
+    for e in ir.entries() {
+        let support = e.string.support();
+        for (i, &a) in support.iter().enumerate() {
+            for &b in &support[i + 1..] {
+                mat[a][b] += 1;
+                mat[b][a] += 1;
+            }
+        }
+    }
+    mat
+}
+
+/// Algorithm 2: places logical qubits on a tree topology level by level,
+/// highest-demand first, each under the placed parent sharing the most
+/// Pauli strings.
+///
+/// # Panics
+///
+/// Panics if `topology` is not a tree topology (no level structure) or has
+/// fewer qubits than the IR.
+pub fn hierarchical_initial_layout(ir: &PauliIr, topology: &Topology) -> Layout {
+    let n = ir.num_qubits();
+    assert!(
+        topology.num_qubits() >= n,
+        "topology has {} qubits for {} logical",
+        topology.num_qubits(),
+        n
+    );
+    assert!(
+        topology.root().is_some(),
+        "hierarchical layout requires a tree topology with levels"
+    );
+
+    let mat = cooccurrence_matrix(ir);
+    let occurrence: Vec<usize> = mat.iter().map(|row| row.iter().sum()).collect();
+
+    // Logical qubits by decreasing connectivity demand (stable on ties).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| occurrence[b].cmp(&occurrence[a]).then(a.cmp(&b)));
+
+    // Physical spots grouped by level, each level in qubit-id order.
+    let max_level = topology.num_levels().expect("tree topology");
+    let mut spots_by_level: Vec<Vec<usize>> = vec![Vec::new(); max_level];
+    for p in 0..topology.num_qubits() {
+        spots_by_level[topology.level(p).expect("tree topology")].push(p);
+    }
+
+    let mut log2phys = vec![usize::MAX; n];
+    let mut occupied = vec![false; topology.num_qubits()];
+    for &l in &order {
+        // Lowest level with a free spot.
+        let (level, _) = spots_by_level
+            .iter()
+            .enumerate()
+            .find(|(_, spots)| spots.iter().any(|&p| !occupied[p]))
+            .expect("enough physical qubits");
+        // Among free spots at this level, prefer the one whose parent hosts
+        // the logical qubit sharing the most strings with `l`.
+        let mut best: Option<(usize, usize)> = None; // (shared, physical)
+        for &p in &spots_by_level[level] {
+            if occupied[p] {
+                continue;
+            }
+            let shared = topology
+                .parent(p)
+                .and_then(|parent| {
+                    log2phys
+                        .iter()
+                        .position(|&ph| ph == parent)
+                        .map(|parent_logical| mat[l][parent_logical])
+                })
+                .unwrap_or(0);
+            match best {
+                Some((s, _)) if s >= shared => {}
+                _ => best = Some((shared, p)),
+            }
+        }
+        let (_, p) = best.expect("free spot exists at this level");
+        log2phys[l] = p;
+        occupied[p] = true;
+    }
+
+    Layout::from_assignment(log2phys, topology.num_qubits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ansatz::IrEntry;
+
+    fn ir_from(strings: &[&str]) -> PauliIr {
+        let n = strings[0].len();
+        let mut ir = PauliIr::new(n, 0);
+        for (i, s) in strings.iter().enumerate() {
+            ir.push(IrEntry { string: s.parse().unwrap(), param: i, coefficient: 1.0 });
+        }
+        ir
+    }
+
+    #[test]
+    fn layout_swap_updates_both_directions() {
+        let mut l = Layout::trivial(2, 4);
+        l.swap_physical(0, 3);
+        assert_eq!(l.physical(0), 3);
+        assert_eq!(l.logical(3), Some(0));
+        assert_eq!(l.logical(0), None);
+        // Swapping an empty with an empty is a no-op.
+        l.swap_physical(0, 2);
+        assert_eq!(l.logical(0), None);
+        assert_eq!(l.logical(2), None);
+    }
+
+    #[test]
+    fn cooccurrence_counts_pairs() {
+        // Strings over qubits: ZZI (q1,q2 from the right: ops q0=I? "ZZI"
+        // → q2=Z,q1=Z,q0=I) and ZIZ (q2,q0).
+        let ir = ir_from(&["ZZI", "ZIZ"]);
+        let mat = cooccurrence_matrix(&ir);
+        assert_eq!(mat[1][2], 1);
+        assert_eq!(mat[0][2], 1);
+        assert_eq!(mat[0][1], 0);
+    }
+
+    #[test]
+    fn paper_figure7_example() {
+        // Figure 7: q0 appears in all strings and lands on the root; q5
+        // participates in one string shared with q3 and attaches under q3.
+        // Strings on 6 qubits (textual form: q5…q0 left to right).
+        let ir = ir_from(&[
+            "IIIIZZ", // q0,q1
+            "IIIIZZ",
+            "IIIZIZ", // q0,q2
+            "IIIZIZ",
+            "IIZIIZ", // q0,q3
+            "IIZIIZ",
+            "IZIIIZ", // q0,q4
+            "IZIIIZ",
+            "ZIZIIZ", // q0,q3,q5
+        ]);
+        let t = Topology::xtree(17);
+        let layout = hierarchical_initial_layout(&ir, &t);
+        // q0 has the highest occurrence → root (physical 0).
+        assert_eq!(layout.physical(0), 0);
+        // q1..q4 occupy level 1.
+        for l in 1..=4 {
+            assert_eq!(t.level(layout.physical(l)), Some(1), "q{l}");
+        }
+        // q5 sits at level 2, attached under q3's physical qubit.
+        let p5 = layout.physical(5);
+        assert_eq!(t.level(p5), Some(2));
+        assert_eq!(t.parent(p5), Some(layout.physical(3)));
+    }
+
+    #[test]
+    fn all_logical_qubits_get_distinct_spots() {
+        let ir = ir_from(&["XXXXXX", "ZZZZZZ"]);
+        let t = Topology::xtree(8);
+        let layout = hierarchical_initial_layout(&ir, &t);
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..6 {
+            assert!(seen.insert(layout.physical(l)));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_tree_topology_rejected() {
+        let ir = ir_from(&["ZZ"]);
+        let t = Topology::grid(2, 2);
+        let _ = hierarchical_initial_layout(&ir, &t);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_assignment_rejected() {
+        let _ = Layout::from_assignment(vec![1, 1], 3);
+    }
+}

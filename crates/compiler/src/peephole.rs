@@ -1,0 +1,246 @@
+//! Peephole circuit optimization — the paper's §VII "deeper compiler
+//! optimization" direction ("other passes in the traditional compilation
+//! flow, e.g., gate cancellation, may be customized to variational quantum
+//! chemistry simulation programs").
+//!
+//! The pass repeatedly applies local rewrites until a fixed point:
+//!
+//! * cancel adjacent self-inverse pairs (`H·H`, `X·X`, `Y·Y`, `Z·Z`,
+//!   `CNOT·CNOT`, `SWAP·SWAP`, `S·S†`);
+//! * merge adjacent rotations on the same axis and qubit
+//!   (`Rz(a)·Rz(b) → Rz(a+b)`), dropping angles that become ≈ 0;
+//! * commute through *disjoint* gates only (adjacency is tracked per
+//!   qubit, so rewrites never reorder gates that share a qubit).
+//!
+//! This is exactly the cancellation opportunity between consecutive Pauli
+//! simulation circuits: the mirror basis-change layer of one block often
+//! meets the opening layer of the next.
+
+use circuit::{Circuit, Gate};
+
+/// Statistics from one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeepholeStats {
+    /// Self-inverse pairs removed.
+    pub pairs_cancelled: usize,
+    /// Rotation pairs merged.
+    pub rotations_merged: usize,
+    /// Near-zero rotations dropped.
+    pub rotations_dropped: usize,
+}
+
+/// Runs the peephole optimizer to a fixed point; returns the optimized
+/// circuit and the rewrite statistics.
+pub fn peephole_optimize(circuit: &Circuit) -> (Circuit, PeepholeStats) {
+    let mut gates: Vec<Gate> = circuit.gates().to_vec();
+    let mut stats = PeepholeStats::default();
+
+    loop {
+        let mut changed = false;
+
+        // Drop near-zero rotations first.
+        let before = gates.len();
+        gates.retain(|g| match g {
+            Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Rz(_, t) => t.abs() > 1e-12,
+            _ => true,
+        });
+        if gates.len() != before {
+            stats.rotations_dropped += before - gates.len();
+            changed = true;
+        }
+
+        // Scan for adjacent-in-dependency-order rewrites.
+        let mut i = 0;
+        'scan: while i < gates.len() {
+            let qs = gates[i].qubits();
+            // Find the next gate sharing any qubit with gates[i].
+            let mut j = i + 1;
+            while j < gates.len() {
+                let qj = gates[j].qubits();
+                if qj.iter().any(|q| qs.contains(q)) {
+                    // Candidate neighbor found; only rewrite when the pair
+                    // touches identical qubit sets (otherwise the shared
+                    // qubit blocks further scanning).
+                    if let Some(rewrite) = rewrite_pair(&gates[i], &gates[j]) {
+                        match rewrite {
+                            Rewrite::CancelBoth => {
+                                gates.remove(j);
+                                gates.remove(i);
+                                stats.pairs_cancelled += 1;
+                            }
+                            Rewrite::Replace(g) => {
+                                gates[i] = g;
+                                gates.remove(j);
+                                stats.rotations_merged += 1;
+                            }
+                        }
+                        changed = true;
+                        continue 'scan; // re-examine position i
+                    }
+                    break;
+                }
+                j += 1;
+            }
+            i += 1;
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out = Circuit::new(circuit.num_qubits());
+    for g in gates {
+        out.push(g);
+    }
+    (out, stats)
+}
+
+enum Rewrite {
+    CancelBoth,
+    Replace(Gate),
+}
+
+fn rewrite_pair(a: &Gate, b: &Gate) -> Option<Rewrite> {
+    use Gate::*;
+    match (*a, *b) {
+        // Self-inverse pairs.
+        (H(p), H(q)) | (X(p), X(q)) | (Y(p), Y(q)) | (Z(p), Z(q)) if p == q => {
+            Some(Rewrite::CancelBoth)
+        }
+        (S(p), Sdg(q)) | (Sdg(p), S(q)) if p == q => Some(Rewrite::CancelBoth),
+        (Cnot { control: c1, target: t1 }, Cnot { control: c2, target: t2 })
+            if c1 == c2 && t1 == t2 =>
+        {
+            Some(Rewrite::CancelBoth)
+        }
+        (Swap(a1, b1), Swap(a2, b2))
+            if (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2) =>
+        {
+            Some(Rewrite::CancelBoth)
+        }
+        // Rotation merging.
+        (Rx(p, t1), Rx(q, t2)) if p == q => Some(merge_rotation(Rx(p, t1 + t2), t1 + t2)),
+        (Ry(p, t1), Ry(q, t2)) if p == q => Some(merge_rotation(Ry(p, t1 + t2), t1 + t2)),
+        (Rz(p, t1), Rz(q, t2)) if p == q => Some(merge_rotation(Rz(p, t1 + t2), t1 + t2)),
+        // S·S = Z (keeps the pass closed over the gate set).
+        (S(p), S(q)) if p == q => Some(Rewrite::Replace(Z(p))),
+        (Sdg(p), Sdg(q)) if p == q => Some(Rewrite::Replace(Z(p))),
+        _ => None,
+    }
+}
+
+fn merge_rotation(g: Gate, total: f64) -> Rewrite {
+    if total.abs() < 1e-12 {
+        Rewrite::CancelBoth
+    } else {
+        Rewrite::Replace(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_equivalent(original: &Circuit, optimized: &Circuit) {
+        // Compare action on a few basis states via the numeric simulator
+        // is done in sim-dependent tests; here compare structurally by
+        // reapplying the optimizer (idempotence) and gate-count sanity.
+        let (again, _) = peephole_optimize(optimized);
+        assert_eq!(again.gates(), optimized.gates(), "optimizer must be idempotent");
+        assert!(optimized.gate_count() <= original.gate_count());
+    }
+
+    #[test]
+    fn cancels_adjacent_hadamards() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::H(0));
+        c.push(Gate::X(1));
+        let (opt, stats) = peephole_optimize(&c);
+        assert_eq!(opt.gate_count(), 1);
+        assert_eq!(stats.pairs_cancelled, 1);
+        assert_equivalent(&c, &opt);
+    }
+
+    #[test]
+    fn merges_rotations_and_drops_zero() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0, 0.4));
+        c.push(Gate::Rz(0, 0.6));
+        let (opt, stats) = peephole_optimize(&c);
+        assert_eq!(opt.gates(), &[Gate::Rz(0, 1.0)]);
+        assert_eq!(stats.rotations_merged, 1);
+
+        let mut d = Circuit::new(1);
+        d.push(Gate::Rx(0, 0.4));
+        d.push(Gate::Rx(0, -0.4));
+        let (opt, stats) = peephole_optimize(&d);
+        assert!(opt.is_empty());
+        assert_eq!(stats.pairs_cancelled, 1);
+    }
+
+    #[test]
+    fn disjoint_gates_do_not_block_cancellation() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0));
+        c.push(Gate::Rz(2, 0.3)); // disjoint qubit
+        c.push(Gate::H(0));
+        let (opt, _) = peephole_optimize(&c);
+        assert_eq!(opt.gate_count(), 1);
+        assert_eq!(opt.gates()[0], Gate::Rz(2, 0.3));
+    }
+
+    #[test]
+    fn shared_qubit_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot { control: 0, target: 1 }); // touches qubit 0
+        c.push(Gate::H(0));
+        let (opt, _) = peephole_optimize(&c);
+        assert_eq!(opt.gate_count(), 3, "CNOT must block the H·H rewrite");
+    }
+
+    #[test]
+    fn cnot_pairs_cancel_through_disjoint_gates() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Rz(3, 0.5));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        let (opt, _) = peephole_optimize(&c);
+        assert_eq!(opt.cnot_count(), 0);
+    }
+
+    #[test]
+    fn s_pairs_become_z_then_cancel_z() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::S(0));
+        c.push(Gate::S(0));
+        c.push(Gate::Z(0));
+        let (opt, _) = peephole_optimize(&c);
+        // S·S → Z, then Z·Z → nothing.
+        assert!(opt.is_empty(), "left: {:?}", opt.gates());
+    }
+
+    #[test]
+    fn cascading_cancellations_reach_fixed_point() {
+        // X (H H) X: inner pair cancels, then outer pair.
+        let mut c = Circuit::new(1);
+        c.push(Gate::X(0));
+        c.push(Gate::H(0));
+        c.push(Gate::H(0));
+        c.push(Gate::X(0));
+        let (opt, stats) = peephole_optimize(&c);
+        assert!(opt.is_empty());
+        assert_eq!(stats.pairs_cancelled, 2);
+    }
+
+    #[test]
+    fn swap_pairs_cancel_in_either_orientation() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Swap(0, 1));
+        c.push(Gate::Swap(1, 0));
+        let (opt, _) = peephole_optimize(&c);
+        assert!(opt.is_empty());
+    }
+}

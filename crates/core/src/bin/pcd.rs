@@ -1,0 +1,394 @@
+//! `pcd` — the pauli-codesign command-line driver.
+//!
+//! ```console
+//! pcd info LiH
+//! pcd vqe LiH --bond 1.6 --ratio 0.5
+//! pcd scan H2 --from 0.4 --to 1.6 --step 0.1
+//! pcd compile NaH --ratio 0.5 --arch xtree17 --compiler both
+//! pcd yield --sigma 0.04 --samples 20000
+//! ```
+
+use std::process::ExitCode;
+
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
+use pauli_codesign::ansatz::compress;
+use pauli_codesign::arch::{simulate_yield, CollisionModel, Topology};
+use pauli_codesign::chem::Benchmark;
+use pauli_codesign::compiler::pipeline::{compile_mtr, compile_sabre};
+use pauli_codesign::compiler::synthesis::synthesize_chain_nominal;
+use pauli_codesign::pauli::group_qubit_wise;
+use pauli_codesign::vqe::driver::{run_vqe, VqeOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: pcd <command> [options]
+
+commands:
+  info <molecule>                     benchmark statistics (Table I view)
+  vqe <molecule> [--bond Å] [--ratio R]
+                                      run compressed-ansatz VQE
+  adapt <molecule> [--bond Å] [--pool plain|generalized]
+                                      run ADAPT-VQE
+  excited <molecule> [--states K]     run a VQD excited-state ladder
+  scan <molecule> [--ratio R] [--from Å --to Å --step Å]
+                                      bond-length energy scan
+  compile <molecule> [--ratio R] [--arch xtree17|grid17|line17|heavyhex]
+          [--compiler mtr|sabre|both] compile onto an architecture
+  qasm <molecule> [--ratio R] [--out FILE]
+                                      export the X-Tree-compiled circuit
+  yield [--arch ...] [--sigma GHz] [--samples N]
+                                      fabrication-yield Monte Carlo
+  help                                this message
+
+molecules: H2 LiH NaH HF BeH2 H2O BH3 NH3 CH4";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "info" => cmd_info(&parse_flags(&args[1..])?),
+        "vqe" => cmd_vqe(&parse_flags(&args[1..])?),
+        "adapt" => cmd_adapt(&parse_flags(&args[1..])?),
+        "excited" => cmd_excited(&parse_flags(&args[1..])?),
+        "scan" => cmd_scan(&parse_flags(&args[1..])?),
+        "compile" => cmd_compile(&parse_flags(&args[1..])?),
+        "qasm" => cmd_qasm(&parse_flags(&args[1..])?),
+        "yield" => cmd_yield(&parse_flags(&args[1..])?),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Positional arguments plus `--flag value` pairs.
+struct Flags {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
+        }
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+        }
+    }
+
+    fn molecule(&self) -> Result<Benchmark, String> {
+        let name = self
+            .positional
+            .first()
+            .ok_or_else(|| "a molecule name is required".to_string())?;
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown molecule `{name}`"))
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut positional = Vec::new();
+    let mut options = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("--{key} expects a value"))?;
+            options.push((key.to_string(), value.clone()));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Flags { positional, options })
+}
+
+fn parse_arch(name: &str) -> Result<Topology, String> {
+    match name {
+        "xtree17" => Ok(Topology::xtree(17)),
+        "grid17" => Ok(Topology::grid17q()),
+        "line17" => Ok(Topology::line(17)),
+        "heavyhex" => Ok(Topology::heavy_hex(2, 7)),
+        other => Err(format!("unknown architecture `{other}`")),
+    }
+}
+
+fn cmd_info(flags: &Flags) -> Result<(), String> {
+    let molecule = flags.molecule()?;
+    let bond = flags.get_f64("bond", molecule.equilibrium_bond_length())?;
+    let system = molecule.build(bond).map_err(|e| e.to_string())?;
+    let ansatz = UccsdAnsatz::for_system(&system);
+    let circuit = synthesize_chain_nominal(ansatz.ir());
+    let groups = group_qubit_wise(system.qubit_hamiltonian());
+
+    println!("{} @ {bond} Å", molecule.name());
+    println!("  qubits                 : {}", system.num_qubits());
+    println!("  active electrons       : {}", system.num_active_electrons());
+    println!("  Hamiltonian terms      : {}", system.qubit_hamiltonian().len());
+    println!("  measurement groups     : {}", groups.len());
+    println!("  UCCSD parameters       : {}", ansatz.ir().num_parameters());
+    println!("  UCCSD Pauli strings    : {}", ansatz.ir().len());
+    println!("  circuit gates (CNOTs)  : {} ({})", circuit.gate_count(), circuit.cnot_count());
+    println!("  Hartree-Fock energy    : {:.6} Ha", system.hartree_fock_energy());
+    println!("  exact ground state     : {:.6} Ha", system.exact_ground_state_energy());
+    Ok(())
+}
+
+fn cmd_vqe(flags: &Flags) -> Result<(), String> {
+    let molecule = flags.molecule()?;
+    let bond = flags.get_f64("bond", molecule.equilibrium_bond_length())?;
+    let ratio = flags.get_f64("ratio", 0.5)?;
+    if !(0.0..=1.0).contains(&ratio) || ratio == 0.0 {
+        return Err("--ratio must be in (0, 1]".to_string());
+    }
+    let system = molecule.build(bond).map_err(|e| e.to_string())?;
+    let full = UccsdAnsatz::for_system(&system).into_ir();
+    let (ir, report) = compress(&full, system.qubit_hamiltonian(), ratio);
+    let run = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
+    let exact = system.exact_ground_state_energy();
+
+    println!("{} @ {bond} Å, ratio {:.0}%", molecule.name(), ratio * 100.0);
+    println!("  parameters   : {} of {}", report.kept_parameters, report.original_parameters);
+    println!("  VQE energy   : {:.6} Ha", run.energy);
+    println!("  exact energy : {exact:.6} Ha");
+    println!("  error        : {:+.2e} Ha", run.energy - exact);
+    println!("  iterations   : {}", run.iterations);
+    println!("  evaluations  : {}", run.evaluations);
+    Ok(())
+}
+
+fn cmd_scan(flags: &Flags) -> Result<(), String> {
+    let molecule = flags.molecule()?;
+    let ratio = flags.get_f64("ratio", 1.0)?;
+    let eq = molecule.equilibrium_bond_length();
+    let from = flags.get_f64("from", (eq - 0.3).max(0.3))?;
+    let to = flags.get_f64("to", eq + 0.3)?;
+    let step = flags.get_f64("step", 0.1)?;
+    if step <= 0.0 || to < from {
+        return Err("scan needs --from ≤ --to and --step > 0".to_string());
+    }
+
+    println!("bond (Å)   VQE (Ha)      exact (Ha)");
+    let mut bond = from;
+    while bond <= to + 1e-9 {
+        let system = molecule.build(bond).map_err(|e| e.to_string())?;
+        let full = UccsdAnsatz::for_system(&system).into_ir();
+        let (ir, _) = compress(&full, system.qubit_hamiltonian(), ratio);
+        let run = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
+        println!(
+            "{bond:<9.2}  {:>11.6}   {:>11.6}",
+            run.energy,
+            system.exact_ground_state_energy()
+        );
+        bond += step;
+    }
+    Ok(())
+}
+
+fn cmd_compile(flags: &Flags) -> Result<(), String> {
+    let molecule = flags.molecule()?;
+    let ratio = flags.get_f64("ratio", 0.5)?;
+    let arch = parse_arch(flags.get("arch").unwrap_or("xtree17"))?;
+    let which = flags.get("compiler").unwrap_or("both");
+    let system = molecule
+        .build(molecule.equilibrium_bond_length())
+        .map_err(|e| e.to_string())?;
+    if arch.num_qubits() < system.num_qubits() {
+        return Err(format!(
+            "{} needs {} qubits but {} has {}",
+            molecule.name(),
+            system.num_qubits(),
+            arch.name(),
+            arch.num_qubits()
+        ));
+    }
+    let full = UccsdAnsatz::for_system(&system).into_ir();
+    let (ir, _) = compress(&full, system.qubit_hamiltonian(), ratio);
+
+    println!("{} at {:.0}% on {}", molecule.name(), ratio * 100.0, arch);
+    if which == "mtr" || which == "both" {
+        if arch.root().is_some() {
+            let p = compile_mtr(&ir, &arch);
+            println!(
+                "  MtR   : {} original CNOTs, +{} added ({} swaps)",
+                p.original_cnots(),
+                p.added_cnots(),
+                p.swap_count()
+            );
+        } else {
+            println!("  MtR   : (skipped — requires a tree architecture)");
+        }
+    }
+    if which == "sabre" || which == "both" {
+        let p = compile_sabre(&ir, &arch, 1);
+        println!(
+            "  SABRE : {} original CNOTs, +{} added ({} swaps)",
+            p.original_cnots(),
+            p.added_cnots(),
+            p.swap_count()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_adapt(flags: &Flags) -> Result<(), String> {
+    use pauli_codesign::ansatz::uccsd::enumerate_generalized_excitations;
+    use pauli_codesign::vqe::adapt::{pool_from_excitations, run_adapt_vqe, uccsd_pool, AdaptOptions};
+    let molecule = flags.molecule()?;
+    let bond = flags.get_f64("bond", molecule.equilibrium_bond_length())?;
+    let system = molecule.build(bond).map_err(|e| e.to_string())?;
+    let m = system.num_qubits() / 2;
+    let pool = match flags.get("pool").unwrap_or("plain") {
+        "plain" => uccsd_pool(m, system.num_active_electrons()),
+        "generalized" => {
+            pool_from_excitations(system.num_qubits(), &enumerate_generalized_excitations(m))
+        }
+        other => return Err(format!("unknown pool `{other}`")),
+    };
+    let r = run_adapt_vqe(
+        system.qubit_hamiltonian(),
+        system.hartree_fock_state(),
+        &pool,
+        AdaptOptions::default(),
+    );
+    let exact = system.exact_ground_state_energy();
+    println!("{} @ {bond} Å — ADAPT-VQE ({} pool operators)", molecule.name(), pool.len());
+    println!("  energy     : {:.6} Ha (exact {exact:.6}, error {:+.2e})", r.energy, r.energy - exact);
+    println!("  operators  : {} selected ({:?})", r.selected.len(), r.selected);
+    println!("  iterations : {}", r.total_iterations);
+    println!("  converged  : {}", r.converged);
+    Ok(())
+}
+
+fn cmd_excited(flags: &Flags) -> Result<(), String> {
+    use pauli_codesign::vqe::vqd::{run_vqd, VqdOptions};
+    let molecule = flags.molecule()?;
+    let bond = flags.get_f64("bond", molecule.equilibrium_bond_length())?;
+    let k = flags.get_usize("states", 3)?;
+    if k == 0 {
+        return Err("--states must be positive".to_string());
+    }
+    let system = molecule.build(bond).map_err(|e| e.to_string())?;
+    let ir = UccsdAnsatz::for_system(&system).into_ir();
+    let states = run_vqd(system.qubit_hamiltonian(), &ir, k, VqdOptions::default());
+    println!("{} @ {bond} Å — VQD ladder", molecule.name());
+    for (i, s) in states.iter().enumerate() {
+        println!(
+            "  state {i}: E = {:.6} Ha ({} iters, residual overlap {:.1e})",
+            s.energy, s.iterations, s.max_overlap_with_lower
+        );
+    }
+    Ok(())
+}
+
+fn cmd_qasm(flags: &Flags) -> Result<(), String> {
+    let molecule = flags.molecule()?;
+    let ratio = flags.get_f64("ratio", 0.5)?;
+    let system = molecule
+        .build(molecule.equilibrium_bond_length())
+        .map_err(|e| e.to_string())?;
+    let full = UccsdAnsatz::for_system(&system).into_ir();
+    let (ir, _) = compress(&full, system.qubit_hamiltonian(), ratio);
+    let arch = Topology::xtree(system.num_qubits().max(5) + 1);
+    let compiled = compile_mtr(&ir, &arch);
+    let qasm = compiled.circuit().to_qasm();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &qasm).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "wrote {} gates ({} CNOTs) to {path}",
+                compiled.circuit().gate_count(),
+                compiled.total_cnots()
+            );
+        }
+        None => print!("{qasm}"),
+    }
+    Ok(())
+}
+
+fn cmd_yield(flags: &Flags) -> Result<(), String> {
+    let arch = parse_arch(flags.get("arch").unwrap_or("xtree17"))?;
+    let sigma = flags.get_f64("sigma", 0.04)?;
+    let samples = flags.get_usize("samples", 20_000)?;
+    if samples == 0 {
+        return Err("--samples must be positive".to_string());
+    }
+    let est = simulate_yield(&arch, &CollisionModel::default(), sigma, samples, 17);
+    println!("{arch}");
+    println!("  sigma           : {sigma} GHz");
+    println!("  samples         : {samples}");
+    println!("  yield           : {:.4}", est.yield_rate);
+    println!("  mean collisions : {:.2}", est.mean_collisions);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Flags {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let f = flags(&["LiH", "--bond", "1.6", "--ratio", "0.5"]);
+        assert_eq!(f.positional, vec!["LiH"]);
+        assert_eq!(f.get("bond"), Some("1.6"));
+        assert_eq!(f.get_f64("ratio", 1.0).unwrap(), 0.5);
+        assert_eq!(f.get_f64("missing", 2.5).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn molecule_lookup_is_case_insensitive() {
+        assert_eq!(flags(&["lih"]).molecule().unwrap(), Benchmark::LiH);
+        assert!(flags(&["Xe"]).molecule().is_err());
+        assert!(flags(&[]).molecule().is_err());
+    }
+
+    #[test]
+    fn arch_lookup() {
+        assert_eq!(parse_arch("xtree17").unwrap().num_qubits(), 17);
+        assert_eq!(parse_arch("grid17").unwrap().num_edges(), 24);
+        assert!(parse_arch("torus").is_err());
+    }
+
+    #[test]
+    fn missing_flag_value_is_an_error() {
+        let r = parse_flags(&["--bond".to_string()]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+    }
+}

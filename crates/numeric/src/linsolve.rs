@@ -1,0 +1,166 @@
+//! Dense linear system solution via LU factorization with partial pivoting.
+//!
+//! Used by DIIS extrapolation in the SCF loop and by small least-squares
+//! subproblems elsewhere in the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::matrix::RealMatrix;
+
+/// Error returned when a linear system cannot be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinSolveError {
+    /// The coefficient matrix is not square.
+    NotSquare,
+    /// The right-hand side length does not match the matrix dimension.
+    DimensionMismatch,
+    /// A zero (or numerically negligible) pivot was encountered.
+    Singular,
+}
+
+impl fmt::Display for LinSolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinSolveError::NotSquare => write!(f, "coefficient matrix is not square"),
+            LinSolveError::DimensionMismatch => {
+                write!(f, "right-hand side length does not match matrix dimension")
+            }
+            LinSolveError::Singular => write!(f, "matrix is singular to working precision"),
+        }
+    }
+}
+
+impl Error for LinSolveError {}
+
+/// Solves `A·x = b` by LU factorization with partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`LinSolveError`] when `a` is not square, `b` has the wrong
+/// length, or a pivot smaller than `1e-13` (relative to the largest entry)
+/// is encountered.
+///
+/// # Examples
+///
+/// ```
+/// use numeric::{lu_solve, RealMatrix};
+///
+/// # fn main() -> Result<(), numeric::LinSolveError> {
+/// let a = RealMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+/// let x = lu_solve(&a, &[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lu_solve(a: &RealMatrix, b: &[f64]) -> Result<Vec<f64>, LinSolveError> {
+    if a.rows() != a.cols() {
+        return Err(LinSolveError::NotSquare);
+    }
+    let n = a.rows();
+    if b.len() != n {
+        return Err(LinSolveError::DimensionMismatch);
+    }
+
+    let mut lu = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+    let scale = a
+        .as_slice()
+        .iter()
+        .map(|v| v.abs())
+        .fold(0.0, f64::max)
+        .max(1.0);
+
+    for col in 0..n {
+        // Partial pivot.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, lu[(r, col)].abs()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN pivot"))
+            .expect("non-empty pivot range");
+        if pivot_val <= 1e-13 * scale {
+            return Err(LinSolveError::Singular);
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = lu[(col, j)];
+                lu[(col, j)] = lu[(pivot_row, j)];
+                lu[(pivot_row, j)] = tmp;
+            }
+            x.swap(col, pivot_row);
+        }
+        // Eliminate below the pivot, folding the permuted RHS along.
+        let inv_pivot = 1.0 / lu[(col, col)];
+        for r in (col + 1)..n {
+            let factor = lu[(r, col)] * inv_pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                let v = lu[(col, j)];
+                lu[(r, j)] -= factor * v;
+            }
+            x[r] -= factor * x[col];
+        }
+    }
+
+    // Back substitution.
+    for r in (0..n).rev() {
+        let mut acc = x[r];
+        for j in (r + 1)..n {
+            acc -= lu[(r, j)] * x[j];
+        }
+        x[r] = acc / lu[(r, r)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = RealMatrix::identity(4);
+        let b = [1.0, -2.0, 3.0, 0.5];
+        let x = lu_solve(&a, &b).unwrap();
+        assert_eq!(x, b.to_vec());
+    }
+
+    #[test]
+    fn residual_is_tiny_for_random_like_system() {
+        let n = 8;
+        let a = RealMatrix::from_fn(n, n, |i, j| {
+            ((i * 31 + j * 17 + 7) % 13) as f64 - 6.0 + if i == j { 20.0 } else { 0.0 }
+        });
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let x = lu_solve(&a, &b).unwrap();
+        let ax = a.mul_vec(&x);
+        for (p, q) in ax.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = RealMatrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = lu_solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = RealMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(lu_solve(&a, &[1.0, 2.0]), Err(LinSolveError::Singular));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = RealMatrix::zeros(2, 3);
+        assert_eq!(lu_solve(&a, &[0.0, 0.0]), Err(LinSolveError::NotSquare));
+        let b = RealMatrix::identity(3);
+        assert_eq!(lu_solve(&b, &[0.0, 0.0]), Err(LinSolveError::DimensionMismatch));
+    }
+}

@@ -1,0 +1,304 @@
+//! Dense row-major real matrices.
+//!
+//! Sized for quantum-chemistry workloads: Fock/overlap/density matrices of a
+//! handful of basis functions, and the four-index integral transforms built
+//! on top of them. No attempt is made at cache blocking — matrices here are
+//! at most a few dozen rows.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense real matrix stored in row-major order.
+///
+/// # Examples
+///
+/// ```
+/// use numeric::RealMatrix;
+///
+/// let mut a = RealMatrix::zeros(2, 2);
+/// a[(0, 0)] = 1.0;
+/// a[(1, 1)] = 2.0;
+/// let b = a.mul(&a);
+/// assert_eq!(b[(1, 1)], 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl RealMatrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        RealMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = RealMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        RealMatrix { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(i, j)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = RealMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrows one row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn mul(&self, rhs: &RealMatrix) -> RealMatrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = RealMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.data[i * self.cols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, r) in orow.iter_mut().zip(rrow) {
+                    *o += aik * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "vector length must equal cols");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> RealMatrix {
+        RealMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Scales every entry by `k`.
+    pub fn scaled(&self, k: f64) -> RealMatrix {
+        RealMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * k).collect(),
+        }
+    }
+
+    /// Trace of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry-wise difference from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &RealMatrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns `true` when `|self - selfᵀ|` is entry-wise below `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Index<(usize, usize)> for RealMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RealMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &RealMatrix {
+    type Output = RealMatrix;
+    fn add(self, rhs: &RealMatrix) -> RealMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        RealMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub for &RealMatrix {
+    type Output = RealMatrix;
+    fn sub(self, rhs: &RealMatrix) -> RealMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        RealMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+impl Mul for &RealMatrix {
+    type Output = RealMatrix;
+    fn mul(self, rhs: &RealMatrix) -> RealMatrix {
+        RealMatrix::mul(self, rhs)
+    }
+}
+
+impl fmt::Display for RealMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>12.6} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = RealMatrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let id = RealMatrix::identity(3);
+        assert_eq!(a.mul(&id), a);
+        assert_eq!(id.mul(&a), a);
+    }
+
+    #[test]
+    fn mul_matches_hand_computation() {
+        let a = RealMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = RealMatrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.mul(&b);
+        assert_eq!(c, RealMatrix::from_vec(2, 2, vec![58.0, 64.0, 139.0, 154.0]));
+    }
+
+    #[test]
+    fn transpose_involutes() {
+        let a = RealMatrix::from_fn(2, 4, |i, j| (i + 2 * j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let a = RealMatrix::from_fn(3, 3, |i, j| (i as f64) - (j as f64) * 0.5);
+        let v = vec![1.0, -2.0, 0.5];
+        let col = RealMatrix::from_vec(3, 1, v.clone());
+        let via_mat = a.mul(&col);
+        let via_vec = a.mul_vec(&v);
+        for i in 0..3 {
+            assert!((via_mat[(i, 0)] - via_vec[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn trace_and_norm() {
+        let a = RealMatrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 4.0]);
+        assert_eq!(a.trace(), 7.0);
+        assert_eq!(a.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = RealMatrix::from_vec(2, 2, vec![1.0, 0.3, 0.3, 2.0]);
+        assert!(s.is_symmetric(0.0));
+        let n = RealMatrix::from_vec(2, 2, vec![1.0, 0.3, 0.4, 2.0]);
+        assert!(!n.is_symmetric(1e-3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mul_rejects_shape_mismatch() {
+        let a = RealMatrix::zeros(2, 3);
+        let b = RealMatrix::zeros(2, 3);
+        let _ = a.mul(&b);
+    }
+}

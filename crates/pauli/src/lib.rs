@@ -1,0 +1,37 @@
+//! Pauli strings — the paper's central abstraction layer.
+//!
+//! The ISCA 2021 co-design coordinates algorithm, compiler, and hardware
+//! optimizations through *Pauli strings*: tensor products of the single-qubit
+//! operators `I`, `X`, `Y`, `Z`. This crate provides
+//!
+//! * [`Pauli`] — the single-qubit operator alphabet;
+//! * [`PauliString`] — an n-qubit string in compact symplectic form, with the
+//!   group algebra (products, commutation, phases);
+//! * [`WeightedPauliSum`] — weighted sums of Pauli strings, i.e. Hermitian
+//!   observables such as molecular Hamiltonians, with fast statevector
+//!   action, expectation values, and exact ground states via Lanczos.
+//!
+//! # Examples
+//!
+//! ```
+//! use pauli::{Pauli, PauliString};
+//!
+//! // The paper's Figure 2 example on four qubits: X I Y Z
+//! // (leftmost operator acts on the highest qubit, q3).
+//! let p: PauliString = "XIYZ".parse()?;
+//! assert_eq!(p.num_qubits(), 4);
+//! assert_eq!(p.op(3), Pauli::X);
+//! assert_eq!(p.op(2), Pauli::I);
+//! assert_eq!(p.op(1), Pauli::Y);
+//! assert_eq!(p.op(0), Pauli::Z);
+//! assert_eq!(p.weight(), 3); // three non-identity operators
+//! # Ok::<(), pauli::ParsePauliError>(())
+//! ```
+
+pub mod grouping;
+pub mod string;
+pub mod sum;
+
+pub use grouping::{group_qubit_wise, qubit_wise_commute, MeasurementGroup};
+pub use string::{ParsePauliError, Pauli, PauliString, Phase};
+pub use sum::WeightedPauliSum;

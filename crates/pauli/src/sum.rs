@@ -1,0 +1,522 @@
+//! Weighted sums of Pauli strings: Hermitian observables.
+//!
+//! A molecular Hamiltonian after Jordan–Wigner encoding is exactly such a sum
+//! `H = Σ_j w_j P_j` (paper §II-A). This module provides the container plus
+//! the numerics the evaluation needs: statevector action, expectation values,
+//! and exact ground-state energies through the Lanczos solver.
+
+use std::fmt;
+use std::ops::Index;
+
+use numeric::{lanczos_ground_state, Complex64, LanczosOptions};
+
+use crate::string::PauliString;
+
+/// A weighted sum of Pauli strings, `H = Σ_j w_j P_j`, with real weights.
+///
+/// Terms with the same string are combined on insertion via [`simplify`];
+/// near-zero weights can be pruned. Iteration order is insertion order,
+/// which downstream code (ansatz ordering, compiler) relies on.
+///
+/// [`simplify`]: WeightedPauliSum::simplify
+///
+/// # Examples
+///
+/// ```
+/// use pauli::{PauliString, WeightedPauliSum};
+///
+/// // H = 0.5·ZZ − 0.25·XI
+/// let mut h = WeightedPauliSum::new(2);
+/// h.push(0.5, "ZZ".parse()?);
+/// h.push(-0.25, "XI".parse()?);
+/// assert_eq!(h.len(), 2);
+/// # Ok::<(), pauli::ParsePauliError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedPauliSum {
+    num_qubits: usize,
+    terms: Vec<(f64, PauliString)>,
+}
+
+impl WeightedPauliSum {
+    /// Creates an empty sum on `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero or exceeds 64.
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(num_qubits >= 1 && num_qubits <= 64, "1..=64 qubits supported");
+        WeightedPauliSum { num_qubits, terms: Vec::new() }
+    }
+
+    /// Builds a sum from `(weight, string)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any string has a different qubit count.
+    pub fn from_terms(
+        num_qubits: usize,
+        terms: impl IntoIterator<Item = (f64, PauliString)>,
+    ) -> Self {
+        let mut s = WeightedPauliSum::new(num_qubits);
+        for (w, p) in terms {
+            s.push(w, p);
+        }
+        s
+    }
+
+    /// Appends a term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `string.num_qubits()` differs from the sum's.
+    pub fn push(&mut self, weight: f64, string: PauliString) {
+        assert_eq!(
+            string.num_qubits(),
+            self.num_qubits,
+            "term qubit count must match the sum"
+        );
+        self.terms.push((weight, string));
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of terms.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the sum has no terms.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(weight, string)` terms in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (f64, PauliString)> {
+        self.terms.iter()
+    }
+
+    /// Combines duplicate strings and removes terms with `|w| ≤ tol`.
+    pub fn simplify(&mut self, tol: f64) {
+        let mut combined: Vec<(f64, PauliString)> = Vec::with_capacity(self.terms.len());
+        // Keep first-occurrence order while merging duplicates; the term
+        // counts here are a few thousand at most, and order stability
+        // matters more than asymptotics.
+        for &(w, p) in &self.terms {
+            if let Some(entry) = combined.iter_mut().find(|(_, q)| *q == p) {
+                entry.0 += w;
+            } else {
+                combined.push((w, p));
+            }
+        }
+        combined.retain(|(w, _)| w.abs() > tol);
+        self.terms = combined;
+    }
+
+    /// Sum of absolute weights, an upper bound on the spectral norm.
+    pub fn one_norm(&self) -> f64 {
+        self.terms.iter().map(|(w, _)| w.abs()).sum()
+    }
+
+    /// The weight of the identity term, if present (the constant offset of a
+    /// molecular Hamiltonian).
+    pub fn identity_weight(&self) -> f64 {
+        self.terms.iter().filter(|(_, p)| p.is_identity()).map(|(w, _)| w).sum()
+    }
+
+    /// Applies `H` to a statevector: `out = H·state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths are not `2^num_qubits`.
+    pub fn apply(&self, state: &[Complex64], out: &mut [Complex64]) {
+        let dim = 1usize << self.num_qubits;
+        assert_eq!(state.len(), dim, "state length must be 2^n");
+        assert_eq!(out.len(), dim, "output length must be 2^n");
+        out.fill(Complex64::ZERO);
+        for &(w, p) in &self.terms {
+            let x = p.x_mask();
+            let ny = (p.x_mask() & p.z_mask()).count_ones();
+            let base = crate::string::Phase::from_power_of_i(ny).to_complex() * w;
+            let z = p.z_mask();
+            for b in 0..dim as u64 {
+                let sign = if (b & z).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                out[(b ^ x) as usize] += state[b as usize] * (base * sign);
+            }
+        }
+    }
+
+    /// The real expectation value `⟨state|H|state⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != 2^num_qubits`.
+    pub fn expectation(&self, state: &[Complex64]) -> f64 {
+        let dim = 1usize << self.num_qubits;
+        assert_eq!(state.len(), dim, "state length must be 2^n");
+        let mut total = 0.0;
+        for &(w, p) in &self.terms {
+            let x = p.x_mask();
+            let z = p.z_mask();
+            let ny = (x & z).count_ones();
+            let base = crate::string::Phase::from_power_of_i(ny).to_complex();
+            let mut acc = Complex64::ZERO;
+            for b in 0..dim as u64 {
+                let sign = if (b & z).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                acc += state[(b ^ x) as usize].conj() * state[b as usize] * (base * sign);
+            }
+            total += w * acc.re;
+        }
+        total
+    }
+
+    /// Applies the exact time evolution `|ψ⟩ ← exp(-i·H·t)|ψ⟩` by a
+    /// scaled Taylor expansion (sub-stepped so each partial sum converges
+    /// rapidly). The reference for validating Trotterized circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != 2^num_qubits`.
+    pub fn evolve_exact(&self, t: f64, state: &mut Vec<Complex64>) {
+        let dim = 1usize << self.num_qubits;
+        assert_eq!(state.len(), dim, "state length must be 2^n");
+        let norm_bound = self.one_norm().max(1e-12);
+        let substeps = (norm_bound * t.abs()).ceil().max(1.0) as usize;
+        let dt = t / substeps as f64;
+
+        let mut term = vec![Complex64::ZERO; dim];
+        let mut scratch = vec![Complex64::ZERO; dim];
+        for _ in 0..substeps {
+            // |ψ⟩ ← Σ_k (-i·H·dt)^k / k! |ψ⟩
+            term.copy_from_slice(state);
+            let mut out: Vec<Complex64> = state.clone();
+            for k in 1..200 {
+                self.apply(&term, &mut scratch);
+                let factor = Complex64::new(0.0, -dt) / k as f64;
+                for (ti, si) in term.iter_mut().zip(&scratch) {
+                    *ti = *si * factor;
+                }
+                let mut term_norm = 0.0;
+                for (oi, ti) in out.iter_mut().zip(&term) {
+                    *oi += *ti;
+                    term_norm += ti.norm_sqr();
+                }
+                if term_norm.sqrt() < 1e-15 {
+                    break;
+                }
+            }
+            state.copy_from_slice(&out);
+        }
+    }
+
+    /// The energy variance `⟨H²⟩ − ⟨H⟩²` in a state — zero exactly on
+    /// eigenstates, making it an eigenstate witness for variational
+    /// results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != 2^num_qubits`.
+    pub fn variance(&self, state: &[Complex64]) -> f64 {
+        let dim = 1usize << self.num_qubits;
+        assert_eq!(state.len(), dim, "state length must be 2^n");
+        let mut h_psi = vec![Complex64::ZERO; dim];
+        self.apply(state, &mut h_psi);
+        let e: f64 = state.iter().zip(&h_psi).map(|(a, b)| (a.conj() * *b).re).sum();
+        let e2: f64 = h_psi.iter().map(|z| z.norm_sqr()).sum();
+        (e2 - e * e).max(0.0)
+    }
+
+    /// Exact smallest eigenvalue (ground-state energy) via Lanczos.
+    ///
+    /// This regenerates the paper's "Ground State" reference curves. The
+    /// computation is deterministic for a given `seed`.
+    pub fn ground_state_energy(&self) -> f64 {
+        let dim = 1usize << self.num_qubits;
+        let r = lanczos_ground_state(
+            dim,
+            |x, y| self.apply(x, y),
+            LanczosOptions::default(),
+            0x5eed,
+        );
+        r.eigenvalue
+    }
+
+    /// Exact ground state energy *and* normalized eigenvector.
+    pub fn ground_state(&self) -> (f64, Vec<Complex64>) {
+        let dim = 1usize << self.num_qubits;
+        let (r, v) = numeric::lanczos_ground_state_with_vector(
+            dim,
+            |x, y| self.apply(x, y),
+            LanczosOptions { tol: 1e-12, ..Default::default() },
+            0x5eed,
+        );
+        (r.eigenvalue, v)
+    }
+
+    /// The `k` lowest eigenvalues via Lanczos with deflation: each found
+    /// eigenvector is projected up by a large shift before the next solve.
+    ///
+    /// Degenerate eigenvalues are returned once per copy (the deflated
+    /// operator still contains the remaining degenerate partners).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the space dimension.
+    pub fn lowest_eigenvalues(&self, k: usize) -> Vec<f64> {
+        let dim = 1usize << self.num_qubits;
+        assert!(k >= 1 && k <= dim, "k must be in 1..=2^n");
+        let shift = 10.0 * self.one_norm().max(1.0);
+        let mut deflated: Vec<Vec<Complex64>> = Vec::new();
+        let mut values = Vec::with_capacity(k);
+        for round in 0..k {
+            let (r, v) = numeric::lanczos_ground_state_with_vector(
+                dim,
+                |x, y| {
+                    self.apply(x, y);
+                    // + shift · Σ_j |v_j⟩⟨v_j| x
+                    for vj in &deflated {
+                        let overlap: Complex64 =
+                            vj.iter().zip(x).map(|(a, b)| a.conj() * *b).sum();
+                        for (yi, vi) in y.iter_mut().zip(vj) {
+                            *yi += *vi * overlap * shift;
+                        }
+                    }
+                },
+                LanczosOptions { tol: 1e-12, max_iter: 400, ..Default::default() },
+                0x5eed + round as u64,
+            );
+            values.push(r.eigenvalue);
+            deflated.push(v);
+        }
+        values
+    }
+}
+
+impl Index<usize> for WeightedPauliSum {
+    type Output = (f64, PauliString);
+    fn index(&self, i: usize) -> &(f64, PauliString) {
+        &self.terms[i]
+    }
+}
+
+impl Extend<(f64, PauliString)> for WeightedPauliSum {
+    fn extend<T: IntoIterator<Item = (f64, PauliString)>>(&mut self, iter: T) {
+        for (w, p) in iter {
+            self.push(w, p);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a WeightedPauliSum {
+    type Item = &'a (f64, PauliString);
+    type IntoIter = std::slice::Iter<'a, (f64, PauliString)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.terms.iter()
+    }
+}
+
+impl fmt::Display for WeightedPauliSum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (w, p)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{w:+.6}·{p}")?;
+        }
+        if self.terms.is_empty() {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basis_state(n: usize, b: usize) -> Vec<Complex64> {
+        let mut v = vec![Complex64::ZERO; 1 << n];
+        v[b] = Complex64::ONE;
+        v
+    }
+
+    #[test]
+    fn expectation_of_z_on_basis_states() {
+        let mut h = WeightedPauliSum::new(1);
+        h.push(1.0, "Z".parse().unwrap());
+        assert!((h.expectation(&basis_state(1, 0)) - 1.0).abs() < 1e-15);
+        assert!((h.expectation(&basis_state(1, 1)) + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn expectation_of_x_on_plus_state() {
+        let mut h = WeightedPauliSum::new(1);
+        h.push(2.0, "X".parse().unwrap());
+        let s = 1.0 / 2f64.sqrt();
+        let plus = vec![Complex64::from_real(s), Complex64::from_real(s)];
+        assert!((h.expectation(&plus) - 2.0).abs() < 1e-14);
+        let minus = vec![Complex64::from_real(s), Complex64::from_real(-s)];
+        assert!((h.expectation(&minus) + 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn apply_matches_expectation() {
+        // ⟨ψ|H|ψ⟩ computed via apply must agree with expectation().
+        let mut h = WeightedPauliSum::new(2);
+        h.push(0.3, "ZZ".parse().unwrap());
+        h.push(-0.7, "XY".parse().unwrap());
+        h.push(0.1, "IX".parse().unwrap());
+        let state: Vec<Complex64> = (0..4)
+            .map(|k| Complex64::new((k as f64 * 0.9).cos(), (k as f64 * 0.4).sin()))
+            .collect();
+        let nrm = state.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        let state: Vec<Complex64> = state.into_iter().map(|z| z / nrm).collect();
+        let mut hs = vec![Complex64::ZERO; 4];
+        h.apply(&state, &mut hs);
+        let direct: Complex64 = state.iter().zip(&hs).map(|(a, b)| a.conj() * *b).sum();
+        assert!((direct.re - h.expectation(&state)).abs() < 1e-13);
+        assert!(direct.im.abs() < 1e-13);
+    }
+
+    #[test]
+    fn simplify_merges_and_prunes() {
+        let mut h = WeightedPauliSum::new(2);
+        h.push(0.5, "ZZ".parse().unwrap());
+        h.push(0.5, "ZZ".parse().unwrap());
+        h.push(1e-14, "XX".parse().unwrap());
+        h.simplify(1e-12);
+        assert_eq!(h.len(), 1);
+        assert!((h[0].0 - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ground_state_of_simple_ising_pair() {
+        // H = -Z0·Z1 has ground energy -1 (degenerate |00>, |11>).
+        let mut h = WeightedPauliSum::new(2);
+        h.push(-1.0, "ZZ".parse().unwrap());
+        assert!((h.ground_state_energy() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ground_state_of_transverse_field() {
+        // H = -X on one qubit: eigenvalues ±1, ground = -1.
+        let mut h = WeightedPauliSum::new(1);
+        h.push(-1.0, "X".parse().unwrap());
+        assert!((h.ground_state_energy() + 1.0).abs() < 1e-9);
+        // H = Z + X: eigenvalues ±√2.
+        let mut h2 = WeightedPauliSum::new(1);
+        h2.push(1.0, "Z".parse().unwrap());
+        h2.push(1.0, "X".parse().unwrap());
+        assert!((h2.ground_state_energy() + 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lowest_eigenvalues_of_known_spectrum() {
+        // H = Z0 + 2·Z1 on 2 qubits: spectrum {-3, -1, 1, 3}.
+        let mut h = WeightedPauliSum::new(2);
+        h.push(1.0, "IZ".parse().unwrap());
+        h.push(2.0, "ZI".parse().unwrap());
+        let vals = h.lowest_eigenvalues(3);
+        let expected = [-3.0, -1.0, 1.0];
+        for (v, e) in vals.iter().zip(&expected) {
+            assert!((v - e).abs() < 1e-7, "{v} vs {e}");
+        }
+    }
+
+    #[test]
+    fn ground_state_vector_has_correct_energy() {
+        let mut h = WeightedPauliSum::new(2);
+        h.push(-1.0, "ZZ".parse().unwrap());
+        h.push(0.5, "XI".parse().unwrap());
+        let (e, v) = h.ground_state();
+        assert!((h.expectation(&v) - e).abs() < 1e-8);
+        let norm: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exact_evolution_matches_single_term_formula() {
+        // For a single Pauli term, exp(-i·w·t·P) has the closed form
+        // cos(wt)·I − i·sin(wt)·P.
+        let mut h = WeightedPauliSum::new(2);
+        h.push(0.7, "XY".parse().unwrap());
+        let mut state = vec![Complex64::ZERO; 4];
+        state[0b01] = Complex64::ONE;
+        let mut evolved = state.clone();
+        h.evolve_exact(0.9, &mut evolved);
+
+        let (w, p) = h[0];
+        let angle = w * 0.9;
+        let mut expected = vec![Complex64::ZERO; 4];
+        let (flip, phase) = p.apply_to_basis_state(0b01);
+        expected[0b01] = Complex64::from_real(angle.cos());
+        expected[flip as usize] += Complex64::new(0.0, -angle.sin()) * phase;
+        for (a, b) in evolved.iter().zip(&expected) {
+            assert!(a.approx_eq(*b, 1e-12), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn exact_evolution_is_unitary_and_conserves_energy() {
+        let mut h = WeightedPauliSum::new(3);
+        h.push(0.5, "ZZI".parse().unwrap());
+        h.push(-0.3, "IXX".parse().unwrap());
+        h.push(0.2, "YIY".parse().unwrap());
+        let mut state: Vec<Complex64> =
+            (0..8).map(|k| Complex64::new(1.0 + k as f64, 0.5 * k as f64)).collect();
+        let norm = state.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        for z in &mut state {
+            *z = *z / norm;
+        }
+        let e_before = h.expectation(&state);
+        h.evolve_exact(2.3, &mut state);
+        let norm_after = state.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        assert!((norm_after - 1.0).abs() < 1e-10);
+        assert!((h.expectation(&state) - e_before).abs() < 1e-10, "energy drift");
+    }
+
+    #[test]
+    fn forward_backward_evolution_round_trips() {
+        let mut h = WeightedPauliSum::new(2);
+        h.push(1.1, "XZ".parse().unwrap());
+        h.push(-0.4, "ZX".parse().unwrap());
+        let mut state = vec![Complex64::ZERO; 4];
+        state[2] = Complex64::ONE;
+        let original = state.clone();
+        h.evolve_exact(1.7, &mut state);
+        h.evolve_exact(-1.7, &mut state);
+        for (a, b) in state.iter().zip(&original) {
+            assert!(a.approx_eq(*b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn identity_weight_and_one_norm() {
+        let mut h = WeightedPauliSum::new(2);
+        h.push(-3.5, PauliString::identity(2));
+        h.push(1.0, "ZI".parse().unwrap());
+        assert_eq!(h.identity_weight(), -3.5);
+        assert_eq!(h.one_norm(), 4.5);
+    }
+
+    #[test]
+    fn display_formats_terms() {
+        let mut h = WeightedPauliSum::new(2);
+        h.push(0.5, "ZZ".parse().unwrap());
+        assert_eq!(h.to_string(), "+0.500000·ZZ");
+        assert_eq!(WeightedPauliSum::new(1).to_string(), "0");
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_rejects_mismatched_width() {
+        let mut h = WeightedPauliSum::new(2);
+        h.push(1.0, "ZZZ".parse().unwrap());
+    }
+}

@@ -1,0 +1,426 @@
+//! Mixed-state simulation with depolarizing noise.
+//!
+//! The density matrix `ρ` is stored dense (dimension `2ⁿ × 2ⁿ`), so this
+//! simulator is intended for the paper's noisy *case studies* (LiH on 6
+//! qubits, NaH on 8 — §VI-D) rather than the largest benchmarks.
+
+use circuit::{Circuit, Gate};
+use numeric::Complex64;
+use pauli::WeightedPauliSum;
+
+use crate::noise::NoiseModel;
+use crate::statevector::Statevector;
+
+/// A density matrix on `n ≤ 12` qubits.
+///
+/// # Examples
+///
+/// ```
+/// use sim::{DensityMatrix, NoiseModel};
+/// use circuit::{Circuit, Gate};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::H(0));
+/// c.push(Gate::Cnot { control: 0, target: 1 });
+/// let mut rho = DensityMatrix::zero_state(2);
+/// rho.apply_circuit_noisy(&c, &NoiseModel::cnot_only(0.01));
+/// assert!(rho.purity() < 1.0); // the depolarizing channel mixed the state
+/// assert!((rho.trace() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    num_qubits: usize,
+    dim: usize,
+    /// Row-major `dim × dim` matrix.
+    data: Vec<Complex64>,
+}
+
+impl DensityMatrix {
+    /// The pure state `|0…0⟩⟨0…0|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero or exceeds 12.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(num_qubits >= 1 && num_qubits <= 12, "1..=12 qubits supported");
+        let dim = 1usize << num_qubits;
+        let mut data = vec![Complex64::ZERO; dim * dim];
+        data[0] = Complex64::ONE;
+        DensityMatrix { num_qubits, dim, data }
+    }
+
+    /// The pure-state density matrix `|ψ⟩⟨ψ|` of a statevector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state has more than 12 qubits.
+    pub fn from_statevector(sv: &Statevector) -> Self {
+        let n = sv.num_qubits();
+        assert!(n <= 12, "1..=12 qubits supported");
+        let dim = 1usize << n;
+        let amps = sv.amplitudes();
+        let mut data = vec![Complex64::ZERO; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                data[r * dim + c] = amps[r] * amps[c].conj();
+            }
+        }
+        DensityMatrix { num_qubits: n, dim, data }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> Complex64 {
+        self.data[r * self.dim + c]
+    }
+
+    /// Trace of ρ (1 for physical states).
+    pub fn trace(&self) -> f64 {
+        (0..self.dim).map(|i| self.at(i, i).re).sum()
+    }
+
+    /// Purity `Tr(ρ²)`; 1 for pure states, `1/2ⁿ` for maximally mixed.
+    pub fn purity(&self) -> f64 {
+        let mut acc = 0.0;
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                acc += (self.at(r, c) * self.at(c, r)).re;
+            }
+        }
+        acc
+    }
+
+    /// Applies a unitary gate: `ρ → U ρ U†` (no noise).
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::Cnot { control, target } => {
+                self.permute_rows(|b| cnot_perm(b, control, target));
+                self.permute_cols(|b| cnot_perm(b, control, target));
+            }
+            Gate::Swap(a, b) => {
+                self.permute_rows(|x| swap_perm(x, a, b));
+                self.permute_cols(|x| swap_perm(x, a, b));
+            }
+            ref g => {
+                let q = g.qubits()[0];
+                assert!(q < self.num_qubits, "qubit out of range");
+                let m = g.single_qubit_matrix();
+                self.left_mul_single(q, &m);
+                let mconj = [m[0].conj(), m[1].conj(), m[2].conj(), m[3].conj()];
+                self.right_mul_conj_single(q, &mconj);
+            }
+        }
+    }
+
+    /// Applies a circuit with a noise model: each gate is followed by the
+    /// corresponding depolarizing channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the state.
+    pub fn apply_circuit_noisy(&mut self, circuit: &Circuit, noise: &NoiseModel) {
+        assert!(circuit.num_qubits() <= self.num_qubits, "circuit wider than state");
+        for g in circuit {
+            self.apply_gate(g);
+            match *g {
+                Gate::Cnot { control, target } => {
+                    if noise.cnot_error > 0.0 {
+                        self.depolarize_two(control, target, noise.cnot_error);
+                    }
+                }
+                Gate::Swap(a, b) => {
+                    // A SWAP executes as 3 CNOTs on hardware; apply the
+                    // channel three times.
+                    if noise.cnot_error > 0.0 {
+                        for _ in 0..3 {
+                            self.depolarize_two(a, b, noise.cnot_error);
+                        }
+                    }
+                }
+                ref sg => {
+                    if noise.single_qubit_error > 0.0 {
+                        self.depolarize_one(sg.qubits()[0], noise.single_qubit_error);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One-qubit depolarizing channel with probability `p`:
+    /// `E(ρ) = (1−p)ρ + p/3·(XρX + YρY + ZρZ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range or `p ∉ [0, 1]`.
+    pub fn depolarize_one(&mut self, q: usize, p: f64) {
+        assert!(q < self.num_qubits, "qubit out of range");
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        // E(ρ) = (1-λ)ρ + λ·Tr_q(ρ)⊗I/2 with λ = 4p/3.
+        let lambda = 4.0 * p / 3.0;
+        self.mix_toward_marginal(&[q], lambda);
+    }
+
+    /// Two-qubit depolarizing channel with probability `p`:
+    /// `E(ρ) = (1−p)ρ + p/15·Σ_{P≠I⊗I} PρP`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubits coincide or are out of range, or `p ∉ [0, 1]`.
+    pub fn depolarize_two(&mut self, a: usize, b: usize, p: f64) {
+        assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+        assert_ne!(a, b, "depolarize_two requires distinct qubits");
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        // E(ρ) = (1-λ)ρ + λ·Tr_ab(ρ)⊗I/4 with λ = 16p/15.
+        let lambda = 16.0 * p / 15.0;
+        self.mix_toward_marginal(&[a, b], lambda);
+    }
+
+    /// Replaces ρ by `(1−λ)·ρ + λ·(Tr_qs(ρ) ⊗ I/2^k)` on the given qubits.
+    fn mix_toward_marginal(&mut self, qs: &[usize], lambda: f64) {
+        let k = qs.len();
+        let sub = 1usize << k;
+        let dim = self.dim;
+        let mask: u64 = qs.iter().map(|&q| 1u64 << q).sum();
+
+        // Insert the k sub-index bits of `m` into `base` at positions qs.
+        let place = |base: u64, m: u64| -> u64 {
+            let mut out = base & !mask;
+            for (j, &q) in qs.iter().enumerate() {
+                out |= ((m >> j) & 1) << q;
+            }
+            out
+        };
+
+        let mut out = vec![Complex64::ZERO; dim * dim];
+        for r in 0..dim as u64 {
+            for c in 0..dim as u64 {
+                let mut v = self.at(r as usize, c as usize) * (1.0 - lambda);
+                if (r & mask) == (c & mask) {
+                    let mut acc = Complex64::ZERO;
+                    for m in 0..sub as u64 {
+                        acc += self.at(place(r, m) as usize, place(c, m) as usize);
+                    }
+                    v += acc * (lambda / sub as f64);
+                }
+                out[(r as usize) * dim + c as usize] = v;
+            }
+        }
+        self.data = out;
+    }
+
+    fn left_mul_single(&mut self, q: usize, m: &[Complex64; 4]) {
+        let stride = 1usize << q;
+        let dim = self.dim;
+        for col in 0..dim {
+            let mut base = 0;
+            while base < dim {
+                for lo in base..base + stride {
+                    let hi = lo + stride;
+                    let a0 = self.data[lo * dim + col];
+                    let a1 = self.data[hi * dim + col];
+                    self.data[lo * dim + col] = m[0] * a0 + m[1] * a1;
+                    self.data[hi * dim + col] = m[2] * a0 + m[3] * a1;
+                }
+                base += stride << 1;
+            }
+        }
+    }
+
+    /// Right-multiplication by `U†` expressed as applying `conj(U)` on the
+    /// column index.
+    fn right_mul_conj_single(&mut self, q: usize, mconj: &[Complex64; 4]) {
+        let stride = 1usize << q;
+        let dim = self.dim;
+        for row in 0..dim {
+            let r = row * dim;
+            let mut base = 0;
+            while base < dim {
+                for lo in base..base + stride {
+                    let hi = lo + stride;
+                    let a0 = self.data[r + lo];
+                    let a1 = self.data[r + hi];
+                    self.data[r + lo] = mconj[0] * a0 + mconj[1] * a1;
+                    self.data[r + hi] = mconj[2] * a0 + mconj[3] * a1;
+                }
+                base += stride << 1;
+            }
+        }
+    }
+
+    fn permute_rows(&mut self, f: impl Fn(u64) -> u64) {
+        let dim = self.dim;
+        let mut out = vec![Complex64::ZERO; dim * dim];
+        for r in 0..dim as u64 {
+            let fr = f(r) as usize;
+            for c in 0..dim {
+                out[fr * dim + c] = self.data[(r as usize) * dim + c];
+            }
+        }
+        self.data = out;
+    }
+
+    fn permute_cols(&mut self, f: impl Fn(u64) -> u64) {
+        let dim = self.dim;
+        let mut out = vec![Complex64::ZERO; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim as u64 {
+                out[r * dim + f(c) as usize] = self.data[r * dim + c as usize];
+            }
+        }
+        self.data = out;
+    }
+
+    /// Expectation value `Tr(H·ρ)` of a weighted Pauli sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observable width differs.
+    pub fn expectation(&self, observable: &WeightedPauliSum) -> f64 {
+        assert_eq!(observable.num_qubits(), self.num_qubits, "observable width must match");
+        let mut total = 0.0;
+        for (w, p) in observable.iter() {
+            // Tr(Pρ) = Σ_b ⟨b|Pρ|b⟩ = Σ_b conj(ph_b)·ρ[b⊕x, b]
+            // where P|b⟩ = ph_b·|b⊕x⟩.
+            let mut acc = Complex64::ZERO;
+            for b in 0..self.dim as u64 {
+                let (flipped, ph) = p.apply_to_basis_state(b);
+                acc += ph.conj() * self.at(flipped as usize, b as usize);
+            }
+            total += w * acc.re;
+        }
+        total
+    }
+}
+
+fn cnot_perm(b: u64, control: usize, target: usize) -> u64 {
+    if (b >> control) & 1 == 1 {
+        b ^ (1 << target)
+    } else {
+        b
+    }
+}
+
+fn swap_perm(b: u64, x: usize, y: usize) -> u64 {
+    let bx = (b >> x) & 1;
+    let by = (b >> y) & 1;
+    if bx == by {
+        b
+    } else {
+        b ^ (1 << x) ^ (1 << y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        c
+    }
+
+    #[test]
+    fn noiseless_density_matches_statevector() {
+        let c = bell_circuit();
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_circuit_noisy(&c, &NoiseModel::noiseless());
+        let mut sv = Statevector::zero_state(2);
+        sv.apply_circuit(&c);
+        let expected = DensityMatrix::from_statevector(&sv);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!(rho.at(r, c).approx_eq(expected.at(r, c), 1e-12));
+            }
+        }
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_matches_statevector_on_random_circuit() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Ry(0, 0.4));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Rz(1, 1.1));
+        c.push(Gate::H(2));
+        c.push(Gate::Cnot { control: 2, target: 0 });
+        c.push(Gate::Rx(2, -0.6));
+        let mut rho = DensityMatrix::zero_state(3);
+        rho.apply_circuit_noisy(&c, &NoiseModel::noiseless());
+        let mut sv = Statevector::zero_state(3);
+        sv.apply_circuit(&c);
+        let mut obs = WeightedPauliSum::new(3);
+        obs.push(0.7, "ZXZ".parse().unwrap());
+        obs.push(-0.2, "IYX".parse().unwrap());
+        obs.push(1.3, "ZII".parse().unwrap());
+        assert!((rho.expectation(&obs) - sv.expectation(&obs)).abs() < 1e-11);
+    }
+
+    #[test]
+    fn full_depolarizing_maximally_mixes() {
+        // p = 15/16 makes λ = 1: the pair is fully replaced by I/4.
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.depolarize_two(0, 1, 15.0 / 16.0);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_qubit_depolarizing_shrinks_bloch_vector() {
+        let mut rho = DensityMatrix::zero_state(1);
+        let mut z = WeightedPauliSum::new(1);
+        z.push(1.0, "Z".parse().unwrap());
+        assert!((rho.expectation(&z) - 1.0).abs() < 1e-12);
+        rho.depolarize_one(0, 0.3);
+        // ⟨Z⟩ shrinks by (1 - 4p/3).
+        assert!((rho.expectation(&z) - (1.0 - 0.4)).abs() < 1e-12);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_reduces_bell_correlations() {
+        let c = bell_circuit();
+        let mut zz = WeightedPauliSum::new(2);
+        zz.push(1.0, "ZZ".parse().unwrap());
+        let mut clean = DensityMatrix::zero_state(2);
+        clean.apply_circuit_noisy(&c, &NoiseModel::noiseless());
+        let mut noisy = DensityMatrix::zero_state(2);
+        noisy.apply_circuit_noisy(&c, &NoiseModel::cnot_only(0.05));
+        assert!(noisy.expectation(&zz) < clean.expectation(&zz));
+        assert!((noisy.trace() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_channel_preserves_trace_through_long_circuit() {
+        let mut c = Circuit::new(3);
+        for k in 0..6 {
+            c.push(Gate::Ry(k % 3, 0.3 * k as f64));
+            c.push(Gate::Cnot { control: k % 3, target: (k + 1) % 3 });
+        }
+        let mut rho = DensityMatrix::zero_state(3);
+        rho.apply_circuit_noisy(&c, &NoiseModel { cnot_error: 0.01, single_qubit_error: 0.001 });
+        assert!((rho.trace() - 1.0).abs() < 1e-10);
+        assert!(rho.purity() < 1.0);
+    }
+
+    #[test]
+    fn swap_charged_three_channels() {
+        // SWAP with noise must mix more than a single CNOT with noise.
+        let mut a = DensityMatrix::zero_state(2);
+        a.apply_gate(&Gate::H(0));
+        let mut b = a.clone();
+        let mut ca = Circuit::new(2);
+        ca.push(Gate::Swap(0, 1));
+        a.apply_circuit_noisy(&ca, &NoiseModel::cnot_only(0.02));
+        let mut cb = Circuit::new(2);
+        cb.push(Gate::Cnot { control: 0, target: 1 });
+        b.apply_circuit_noisy(&cb, &NoiseModel::cnot_only(0.02));
+        assert!(a.purity() < b.purity());
+    }
+}

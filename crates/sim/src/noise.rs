@@ -1,0 +1,95 @@
+//! Noise models.
+//!
+//! The paper's noisy case studies (§VI-D, Fig 10) use "a depolarizing error
+//! model with realistic CNOT error rates of 0.0001". [`NoiseModel`] carries
+//! the per-gate depolarizing probabilities; the density-matrix simulator
+//! applies the corresponding channels, and
+//! [`NoiseModel::global_fidelity`] provides the closed-form global
+//! depolarizing approximation used for large sweeps.
+
+/// Depolarizing noise parameters.
+///
+/// `cnot_error` is the probability `p` of the two-qubit depolarizing channel
+/// `E(ρ) = (1−p)·ρ + p/15·Σ_{P≠I⊗I} P ρ P` applied after each CNOT;
+/// `single_qubit_error` is its one-qubit analogue applied after each
+/// single-qubit gate.
+///
+/// # Examples
+///
+/// ```
+/// use sim::NoiseModel;
+///
+/// let noise = NoiseModel::paper_default();
+/// assert_eq!(noise.cnot_error, 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NoiseModel {
+    /// Two-qubit depolarizing probability per CNOT.
+    pub cnot_error: f64,
+    /// One-qubit depolarizing probability per single-qubit gate.
+    pub single_qubit_error: f64,
+}
+
+impl NoiseModel {
+    /// A noiseless model.
+    pub fn noiseless() -> Self {
+        NoiseModel { cnot_error: 0.0, single_qubit_error: 0.0 }
+    }
+
+    /// The paper's §VI-D configuration: depolarizing CNOT error `1e-4`,
+    /// ideal single-qubit gates.
+    pub fn paper_default() -> Self {
+        NoiseModel { cnot_error: 1e-4, single_qubit_error: 0.0 }
+    }
+
+    /// Creates a model with only CNOT errors.
+    pub fn cnot_only(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        NoiseModel { cnot_error: p, single_qubit_error: 0.0 }
+    }
+
+    /// Whether all error rates are zero.
+    pub fn is_noiseless(&self) -> bool {
+        self.cnot_error == 0.0 && self.single_qubit_error == 0.0
+    }
+
+    /// The surviving-circuit fidelity of the *global depolarizing
+    /// approximation* for a circuit with the given gate counts:
+    /// `F = (1−p₂)^#CNOT · (1−p₁)^#1q`.
+    ///
+    /// Under this approximation the noisy expectation of a traceless
+    /// observable is `F·⟨H⟩_pure + (1−F)·Tr(H)/2ⁿ`; it composes the
+    /// per-gate channels into one global channel and is accurate when the
+    /// per-gate error is small (the paper's regime, p = 1e-4).
+    pub fn global_fidelity(&self, cnot_count: usize, single_qubit_count: usize) -> f64 {
+        (1.0 - self.cnot_error).powi(cnot_count as i32)
+            * (1.0 - self.single_qubit_error).powi(single_qubit_count as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_fidelity_is_one() {
+        let n = NoiseModel::noiseless();
+        assert!(n.is_noiseless());
+        assert_eq!(n.global_fidelity(1000, 1000), 1.0);
+    }
+
+    #[test]
+    fn fidelity_decays_with_gate_count() {
+        let n = NoiseModel::paper_default();
+        let f1 = n.global_fidelity(100, 0);
+        let f2 = n.global_fidelity(1000, 0);
+        assert!(f2 < f1 && f1 < 1.0);
+        assert!((f1 - (1.0 - 1e-4f64).powi(100)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_invalid_probability() {
+        let _ = NoiseModel::cnot_only(1.5);
+    }
+}

@@ -1,0 +1,370 @@
+//! Exact pure-state simulation.
+
+use circuit::{Circuit, Gate};
+use numeric::Complex64;
+use pauli::{PauliString, WeightedPauliSum};
+
+/// A pure quantum state on `n ≤ 24` qubits.
+///
+/// Amplitudes are indexed by computational-basis integers where bit `i` of
+/// the index is the state of qubit `i`.
+///
+/// # Examples
+///
+/// ```
+/// use sim::Statevector;
+///
+/// let sv = Statevector::basis_state(3, 0b101);
+/// assert_eq!(sv.probability(0b101), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statevector {
+    num_qubits: usize,
+    amps: Vec<Complex64>,
+}
+
+impl Statevector {
+    /// The all-zeros state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero or exceeds 24 (16 GiB of amplitudes).
+    pub fn zero_state(num_qubits: usize) -> Self {
+        Statevector::basis_state(num_qubits, 0)
+    }
+
+    /// A computational basis state `|b⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is out of the supported range or `b` has bits
+    /// beyond the register.
+    pub fn basis_state(num_qubits: usize, b: u64) -> Self {
+        assert!(num_qubits >= 1 && num_qubits <= 24, "1..=24 qubits supported");
+        let dim = 1usize << num_qubits;
+        assert!((b as usize) < dim, "basis index outside register");
+        let mut amps = vec![Complex64::ZERO; dim];
+        amps[b as usize] = Complex64::ONE;
+        Statevector { num_qubits, amps }
+    }
+
+    /// Builds a state from raw amplitudes (normalized by the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two in the supported range.
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
+        let dim = amps.len();
+        assert!(dim.is_power_of_two() && dim >= 2, "length must be a power of two ≥ 2");
+        let num_qubits = dim.trailing_zeros() as usize;
+        assert!(num_qubits <= 24, "1..=24 qubits supported");
+        Statevector { num_qubits, amps }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Borrows the amplitude vector.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Probability of measuring basis state `b`.
+    pub fn probability(&self, b: u64) -> f64 {
+        self.amps[b as usize].norm_sqr()
+    }
+
+    /// The 2-norm of the state (1 for physical states).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubit counts differ.
+    pub fn inner(&self, other: &Statevector) -> Complex64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit counts must match");
+        self.amps.iter().zip(&other.amps).map(|(a, b)| a.conj() * *b).sum()
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &Statevector) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Applies a single gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate addresses qubits outside the register.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::Cnot { control, target } => self.apply_cnot(control, target),
+            Gate::Swap(a, b) => self.apply_swap(a, b),
+            ref g => {
+                let q = g.qubits()[0];
+                let m = g.single_qubit_matrix();
+                self.apply_single_qubit_matrix(q, &m);
+            }
+        }
+    }
+
+    /// Applies every gate of a circuit in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the state.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(circuit.num_qubits() <= self.num_qubits, "circuit wider than state");
+        for g in circuit {
+            self.apply_gate(g);
+        }
+    }
+
+    /// Applies a 2×2 unitary `[u00,u01,u10,u11]` to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_single_qubit_matrix(&mut self, q: usize, m: &[Complex64; 4]) {
+        assert!(q < self.num_qubits, "qubit out of range");
+        let stride = 1usize << q;
+        let dim = self.amps.len();
+        let mut base = 0;
+        while base < dim {
+            for lo in base..base + stride {
+                let hi = lo + stride;
+                let a0 = self.amps[lo];
+                let a1 = self.amps[hi];
+                self.amps[lo] = m[0] * a0 + m[1] * a1;
+                self.amps[hi] = m[2] * a0 + m[3] * a1;
+            }
+            base += stride << 1;
+        }
+    }
+
+    fn apply_cnot(&mut self, control: usize, target: usize) {
+        assert!(control < self.num_qubits && target < self.num_qubits, "qubit out of range");
+        assert_ne!(control, target, "control equals target");
+        let cbit = 1u64 << control;
+        let tbit = 1u64 << target;
+        for b in 0..self.amps.len() as u64 {
+            // Swap amplitudes of (b, b^t) once per pair, only when control set.
+            if b & cbit != 0 && b & tbit == 0 {
+                self.amps.swap(b as usize, (b | tbit) as usize);
+            }
+        }
+    }
+
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+        assert_ne!(a, b, "swap of identical qubits");
+        let abit = 1u64 << a;
+        let bbit = 1u64 << b;
+        for idx in 0..self.amps.len() as u64 {
+            if idx & abit != 0 && idx & bbit == 0 {
+                self.amps.swap(idx as usize, ((idx ^ abit) | bbit) as usize);
+            }
+        }
+    }
+
+    /// Applies the Pauli evolution `exp(-i·θ/2·P)` directly, without gate
+    /// decomposition — the VQE inner-loop fast path (one O(2ⁿ) sweep).
+    ///
+    /// Uses `P² = I`: `exp(-i·θ/2·P) = cos(θ/2)·I − i·sin(θ/2)·P`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string width differs from the state.
+    pub fn apply_pauli_evolution(&mut self, p: &PauliString, theta: f64) {
+        assert_eq!(p.num_qubits(), self.num_qubits, "Pauli width must match state");
+        let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        let cc = Complex64::from_real(c);
+        let mis = Complex64::new(0.0, -s); // -i·sin(θ/2)
+        let x = p.x_mask();
+        let z = p.z_mask();
+        let ny = (x & z).count_ones();
+        let base_phase = pauli::Phase::from_power_of_i(ny).to_complex();
+
+        if x == 0 {
+            // Diagonal: amp[b] *= exp(-i·θ/2·s_b) with s_b = ±1.
+            for b in 0..self.amps.len() as u64 {
+                let sgn = if (b & z).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                let factor = cc + mis * sgn;
+                self.amps[b as usize] *= factor;
+            }
+        } else {
+            for b in 0..self.amps.len() as u64 {
+                let partner = b ^ x;
+                if b < partner {
+                    // P|b⟩ = ph_b |partner⟩, P|partner⟩ = ph_p |b⟩.
+                    let sign_b = if (b & z).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                    let sign_p = if (partner & z).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                    let ph_b = base_phase * sign_b;
+                    let ph_p = base_phase * sign_p;
+                    let ab = self.amps[b as usize];
+                    let ap = self.amps[partner as usize];
+                    self.amps[b as usize] = cc * ab + mis * (ph_p * ap);
+                    self.amps[partner as usize] = cc * ap + mis * (ph_b * ab);
+                }
+            }
+        }
+    }
+
+    /// Expectation value of a weighted Pauli sum in this state.
+    pub fn expectation(&self, observable: &WeightedPauliSum) -> f64 {
+        observable.expectation(&self.amps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> Statevector {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        let mut sv = Statevector::zero_state(2);
+        sv.apply_circuit(&c);
+        sv
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let sv = bell();
+        assert!((sv.probability(0b00) - 0.5).abs() < 1e-14);
+        assert!((sv.probability(0b11) - 0.5).abs() < 1e-14);
+        assert!(sv.probability(0b01) < 1e-14);
+        assert!((sv.norm() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn bell_state_correlations() {
+        let sv = bell();
+        let mut zz = WeightedPauliSum::new(2);
+        zz.push(1.0, "ZZ".parse().unwrap());
+        assert!((sv.expectation(&zz) - 1.0).abs() < 1e-13);
+        let mut xx = WeightedPauliSum::new(2);
+        xx.push(1.0, "XX".parse().unwrap());
+        assert!((sv.expectation(&xx) - 1.0).abs() < 1e-13);
+        let mut zi = WeightedPauliSum::new(2);
+        zi.push(1.0, "ZI".parse().unwrap());
+        assert!(sv.expectation(&zi).abs() < 1e-13);
+    }
+
+    #[test]
+    fn x_gate_flips_basis_state() {
+        let mut sv = Statevector::zero_state(3);
+        sv.apply_gate(&Gate::X(1));
+        assert_eq!(sv.probability(0b010), 1.0);
+    }
+
+    #[test]
+    fn cnot_truth_table() {
+        for (input, expected) in [(0b00u64, 0b00u64), (0b01, 0b11), (0b10, 0b10), (0b11, 0b01)] {
+            // qubit 0 = control.
+            let mut sv = Statevector::basis_state(2, input);
+            sv.apply_gate(&Gate::Cnot { control: 0, target: 1 });
+            assert_eq!(sv.probability(expected), 1.0, "input {input:#b}");
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let mut sv = Statevector::basis_state(2, 0b01);
+        sv.apply_gate(&Gate::Swap(0, 1));
+        assert_eq!(sv.probability(0b10), 1.0);
+    }
+
+    #[test]
+    fn swap_equals_three_cnots() {
+        let mut a = Statevector::basis_state(3, 0b011);
+        a.apply_gate(&Gate::H(0));
+        let mut b = a.clone();
+        a.apply_gate(&Gate::Swap(0, 2));
+        let mut c = Circuit::new(3);
+        c.push(Gate::Swap(0, 2));
+        for g in c.decompose_swaps().gates() {
+            b.apply_gate(g);
+        }
+        assert!(a.fidelity(&b) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn pauli_evolution_matches_rz_gate() {
+        // exp(-iθ/2 Z) on qubit 0 must equal Gate::Rz.
+        let mut a = Statevector::zero_state(1);
+        a.apply_gate(&Gate::H(0));
+        let mut b = a.clone();
+        a.apply_gate(&Gate::Rz(0, 0.77));
+        b.apply_pauli_evolution(&"Z".parse().unwrap(), 0.77);
+        assert!((a.inner(&b).re - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn pauli_evolution_matches_rx_and_ry() {
+        let mut a = Statevector::basis_state(1, 1);
+        let mut b = a.clone();
+        a.apply_gate(&Gate::Rx(0, -0.4));
+        b.apply_pauli_evolution(&"X".parse().unwrap(), -0.4);
+        assert!(a.fidelity(&b) > 1.0 - 1e-12);
+        assert!(a.inner(&b).approx_eq(Complex64::ONE, 1e-12));
+
+        let mut c = Statevector::basis_state(1, 0);
+        let mut d = c.clone();
+        c.apply_gate(&Gate::Ry(0, 1.3));
+        d.apply_pauli_evolution(&"Y".parse().unwrap(), 1.3);
+        assert!(c.inner(&d).approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn multi_qubit_pauli_evolution_preserves_norm_and_rotates() {
+        let mut sv = Statevector::zero_state(4);
+        // Put the register in a non-trivial product state first.
+        for q in 0..4 {
+            sv.apply_gate(&Gate::Ry(q, 0.3 + q as f64 * 0.2));
+        }
+        let p: PauliString = "XIYZ".parse().unwrap();
+        let before = sv.clone();
+        sv.apply_pauli_evolution(&p, 0.9);
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+        assert!(sv.fidelity(&before) < 1.0 - 1e-6, "evolution must act nontrivially");
+        // Evolving back must return the original state.
+        sv.apply_pauli_evolution(&p, -0.9);
+        assert!(sv.fidelity(&before) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn evolution_generated_by_commuting_strings_composes() {
+        // exp(-ia Z0)·exp(-ib Z1) = exp applied in any order.
+        let z0: PauliString = "IZ".parse().unwrap();
+        let z1: PauliString = "ZI".parse().unwrap();
+        let mut a = bell();
+        let mut b = a.clone();
+        a.apply_pauli_evolution(&z0, 0.3);
+        a.apply_pauli_evolution(&z1, 0.8);
+        b.apply_pauli_evolution(&z1, 0.8);
+        b.apply_pauli_evolution(&z0, 0.3);
+        assert!(a.inner(&b).approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn identity_evolution_adds_global_phase_only() {
+        let p = PauliString::identity(2);
+        let mut sv = bell();
+        let before = sv.clone();
+        sv.apply_pauli_evolution(&p, 1.1);
+        // exp(-iθ/2 I) is a pure global phase.
+        assert!((sv.fidelity(&before) - 1.0).abs() < 1e-12);
+        let phase = sv.inner(&before);
+        assert!((phase.norm() - 1.0).abs() < 1e-12);
+        assert!((phase.arg().abs() - 0.55).abs() < 1e-12);
+    }
+}

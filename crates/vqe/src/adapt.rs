@@ -1,0 +1,323 @@
+//! ADAPT-VQE — the adaptive ansatz-construction alternative the paper
+//! compares against in related work (§VIII-A, Grimsley et al. \[20\]).
+//!
+//! Where the paper's §III compression selects a *static* subset of UCCSD
+//! parameters up front by Pauli-string comparison, ADAPT grows the ansatz
+//! *dynamically*: at each macro-cycle it measures the energy gradient of
+//! every pool operator at the current state, appends the largest, and
+//! re-optimizes. Implementing both in one stack makes the trade-off
+//! measurable: compression needs no extra quantum evaluations to choose
+//! its operators; ADAPT spends pool-gradient measurements but adapts to
+//! the state it actually reached.
+
+use numeric::Complex64;
+use pauli::{PauliString, WeightedPauliSum};
+
+use ansatz::uccsd::Excitation;
+use ansatz::{IrEntry, PauliIr};
+use chem::fermion::antihermitian_pauli_terms;
+
+use crate::optimize::{lbfgs, OptimizeControls};
+use crate::state::{energy_and_gradient, prepare_state};
+
+/// Options for an ADAPT-VQE run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptOptions {
+    /// Stop when the largest pool gradient magnitude falls below this.
+    pub gradient_tolerance: f64,
+    /// Maximum number of operators to add.
+    pub max_operators: usize,
+    /// Inner VQE convergence controls.
+    pub vqe_controls: OptimizeControls,
+}
+
+impl Default for AdaptOptions {
+    fn default() -> Self {
+        AdaptOptions {
+            gradient_tolerance: 1e-4,
+            max_operators: 64,
+            vqe_controls: OptimizeControls::default(),
+        }
+    }
+}
+
+/// Result of an ADAPT-VQE run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptResult {
+    /// Final energy.
+    pub energy: f64,
+    /// The grown ansatz (one parameter per selected pool operator).
+    pub ir: PauliIr,
+    /// Final parameter values (same order as the IR's parameters).
+    pub params: Vec<f64>,
+    /// Pool indices selected, in order of addition.
+    pub selected: Vec<usize>,
+    /// Energy after each macro-cycle.
+    pub energy_trace: Vec<f64>,
+    /// Total inner-loop optimizer iterations across all macro-cycles.
+    pub total_iterations: usize,
+    /// Whether the gradient criterion was met before `max_operators`.
+    pub converged: bool,
+}
+
+/// One pool operator: an anti-Hermitian generator's Pauli expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolOperator {
+    /// Human-readable label.
+    pub label: String,
+    /// The `(coefficient, string)` pairs with `T − T† = i·Σ c_k·P_k`.
+    pub terms: Vec<(f64, PauliString)>,
+}
+
+/// Builds the standard UCCSD excitation pool for an active space.
+pub fn uccsd_pool(num_spatial: usize, num_electrons: usize) -> Vec<PoolOperator> {
+    ansatz::uccsd::enumerate_excitations(num_spatial, num_electrons)
+        .into_iter()
+        .map(|exc| PoolOperator {
+            label: format!("{exc:?}"),
+            terms: antihermitian_pauli_terms(2 * num_spatial, &exc.cluster_operator()),
+        })
+        .collect()
+}
+
+/// Builds a pool from explicit excitations (e.g. generalized or model-
+/// specific operators).
+pub fn pool_from_excitations(num_qubits: usize, excitations: &[Excitation]) -> Vec<PoolOperator> {
+    excitations
+        .iter()
+        .map(|exc| PoolOperator {
+            label: format!("{exc:?}"),
+            terms: antihermitian_pauli_terms(num_qubits, &exc.cluster_operator()),
+        })
+        .collect()
+}
+
+/// The energy gradient of appending pool operator `op` (at angle 0) to the
+/// current state: `∂E/∂θ = ⟨ψ|[H, T−T†]|ψ⟩ = 2·Σ_k c_k·Re(i·⟨ψ|H·P_k|ψ⟩)`.
+pub fn pool_gradient(
+    state_amps: &[Complex64],
+    h_psi: &[Complex64],
+    op: &PoolOperator,
+) -> f64 {
+    let mut g = 0.0;
+    for &(c, p) in &op.terms {
+        // ⟨Hψ| P |ψ⟩
+        let mut acc = Complex64::ZERO;
+        let x = p.x_mask();
+        let z = p.z_mask();
+        let base = pauli::Phase::from_power_of_i((x & z).count_ones()).to_complex();
+        for b in 0..state_amps.len() as u64 {
+            let sign = if (b & z).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            acc += h_psi[(b ^ x) as usize].conj() * state_amps[b as usize] * (base * sign);
+        }
+        // d/dθ ⟨ψ|e^{-iθcP} H e^{iθcP}|ψ⟩ at 0 = 2c·Re(i·⟨Hψ|P|ψ⟩).
+        g += 2.0 * c * (Complex64::I * acc).re;
+    }
+    g
+}
+
+/// Runs ADAPT-VQE from the given reference determinant.
+///
+/// # Panics
+///
+/// Panics if the pool is empty or register widths differ.
+pub fn run_adapt_vqe(
+    hamiltonian: &WeightedPauliSum,
+    initial_state: u64,
+    pool: &[PoolOperator],
+    options: AdaptOptions,
+) -> AdaptResult {
+    assert!(!pool.is_empty(), "operator pool must be non-empty");
+    let n = hamiltonian.num_qubits();
+    let mut ir = PauliIr::new(n, initial_state);
+    let mut params: Vec<f64> = Vec::new();
+    let mut selected = Vec::new();
+    let mut energy_trace = Vec::new();
+    let mut total_iterations = 0;
+
+    for _cycle in 0..options.max_operators {
+        // Current state and H|ψ⟩ for pool gradients.
+        let sv = prepare_state(&ir, &params);
+        let mut h_psi = vec![Complex64::ZERO; sv.amplitudes().len()];
+        hamiltonian.apply(sv.amplitudes(), &mut h_psi);
+        let current_energy: f64 = sv
+            .amplitudes()
+            .iter()
+            .zip(&h_psi)
+            .map(|(a, b)| (a.conj() * *b).re)
+            .sum();
+        energy_trace.push(current_energy);
+
+        // Pick the pool operator with the largest gradient magnitude.
+        let (best_idx, best_grad) = pool
+            .iter()
+            .enumerate()
+            .map(|(i, op)| (i, pool_gradient(sv.amplitudes(), &h_psi, op)))
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite gradients"))
+            .expect("non-empty pool");
+
+        if best_grad.abs() < options.gradient_tolerance {
+            return AdaptResult {
+                energy: current_energy,
+                ir,
+                params,
+                selected,
+                energy_trace,
+                total_iterations,
+                converged: true,
+            };
+        }
+
+        // Append the operator as a fresh parameter and re-optimize all.
+        let new_param = params.len();
+        for &(c, p) in &pool[best_idx].terms {
+            ir.push(IrEntry { string: p, param: new_param, coefficient: c });
+        }
+        params.push(0.0);
+        selected.push(best_idx);
+
+        let outcome = lbfgs(
+            |theta| energy_and_gradient(hamiltonian, &ir, theta),
+            &params,
+            options.vqe_controls,
+        );
+        params = outcome.params;
+        total_iterations += outcome.iterations;
+    }
+
+    let final_energy = crate::state::energy(hamiltonian, &ir, &params);
+    energy_trace.push(final_energy);
+    AdaptResult {
+        energy: final_energy,
+        ir,
+        params,
+        selected,
+        energy_trace,
+        total_iterations,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chem::fermion::hartree_fock_bitmask;
+
+    /// A synthetic 4-qubit problem with known structure.
+    fn toy_h() -> WeightedPauliSum {
+        let mut h = WeightedPauliSum::new(4);
+        h.push(-1.2, "IIZZ".parse().unwrap());
+        h.push(-0.4, "ZZII".parse().unwrap());
+        h.push(0.18, "XXYY".parse().unwrap());
+        h.push(0.18, "YYXX".parse().unwrap());
+        h.push(0.05, "ZIIZ".parse().unwrap());
+        h
+    }
+
+    #[test]
+    fn pool_gradients_match_finite_differences() {
+        let h = toy_h();
+        let pool = uccsd_pool(2, 2);
+        let hf = hartree_fock_bitmask(2, 2);
+        let ir = PauliIr::new(4, hf);
+        let sv = prepare_state(&ir, &[]);
+        let mut h_psi = vec![Complex64::ZERO; 16];
+        h.apply(sv.amplitudes(), &mut h_psi);
+
+        for op in &pool {
+            let analytic = pool_gradient(sv.amplitudes(), &h_psi, op);
+            // Finite difference: append the operator and evaluate E(±ε).
+            let mut probe = PauliIr::new(4, hf);
+            for &(c, p) in &op.terms {
+                probe.push(IrEntry { string: p, param: 0, coefficient: c });
+            }
+            let eps = 1e-6;
+            let ep = crate::state::energy(&h, &probe, &[eps]);
+            let em = crate::state::energy(&h, &probe, &[-eps]);
+            let fd = (ep - em) / (2.0 * eps);
+            assert!(
+                (analytic - fd).abs() < 1e-6,
+                "{}: analytic {analytic} vs fd {fd}",
+                op.label
+            );
+        }
+    }
+
+    #[test]
+    fn adapt_selects_the_coupling_operator_first() {
+        // The XXYY/XYYX terms couple |0101⟩ ↔ |1010⟩: only the double
+        // excitation has nonzero gradient at HF.
+        let h = toy_h();
+        let pool = uccsd_pool(2, 2);
+        let r = run_adapt_vqe(&h, hartree_fock_bitmask(2, 2), &pool, AdaptOptions::default());
+        assert!(!r.selected.is_empty());
+        // Pool order: two singles then the double (index 2).
+        assert_eq!(r.selected[0], 2, "ADAPT must pick the double first");
+    }
+
+    #[test]
+    fn adapt_converges_to_sector_minimum() {
+        let h = toy_h();
+        let pool = uccsd_pool(2, 2);
+        let r = run_adapt_vqe(&h, hartree_fock_bitmask(2, 2), &pool, AdaptOptions::default());
+        assert!(r.converged);
+        // Compare against full-UCCSD VQE on the same problem.
+        let full = ansatz::uccsd::UccsdAnsatz::new(2, 2).into_ir();
+        let full_run = crate::driver::run_vqe(&h, &full, crate::driver::VqeOptions::default());
+        assert!(
+            (r.energy - full_run.energy).abs() < 1e-6,
+            "adapt {} vs full {}",
+            r.energy,
+            full_run.energy
+        );
+        // And with fewer parameters than the full ansatz.
+        assert!(r.ir.num_parameters() <= full.num_parameters());
+    }
+
+    #[test]
+    fn energy_trace_is_monotone() {
+        let h = toy_h();
+        let pool = uccsd_pool(2, 2);
+        let r = run_adapt_vqe(&h, hartree_fock_bitmask(2, 2), &pool, AdaptOptions::default());
+        for w in r.energy_trace.windows(2) {
+            assert!(w[1] <= w[0] + 1e-10, "trace must not increase: {:?}", r.energy_trace);
+        }
+    }
+
+    #[test]
+    fn adapt_with_generalized_pool_solves_hubbard() {
+        // The static compression struggles on site-basis Hubbard (doubles
+        // have zero first-order gradients at the reference); ADAPT with the
+        // generalized pool walks to the exact ground state.
+        use ansatz::uccsd::enumerate_generalized_excitations;
+        use chem::hubbard::HubbardModel;
+        let model = HubbardModel::chain(2, 1.0, 4.0).with_chemical_potential(2.0);
+        let h = model.qubit_hamiltonian();
+        let exact = h.ground_state_energy(); // PHS point: half filling is global
+        let pool = pool_from_excitations(4, &enumerate_generalized_excitations(2));
+        let r = run_adapt_vqe(
+            &h,
+            model.half_filling_state(),
+            &pool,
+            AdaptOptions { gradient_tolerance: 1e-6, ..Default::default() },
+        );
+        assert!(
+            (r.energy - exact).abs() < 1e-6,
+            "adapt {} vs exact {exact}",
+            r.energy
+        );
+    }
+
+    #[test]
+    fn max_operators_caps_growth() {
+        let h = toy_h();
+        let pool = uccsd_pool(2, 2);
+        let r = run_adapt_vqe(
+            &h,
+            hartree_fock_bitmask(2, 2),
+            &pool,
+            AdaptOptions { max_operators: 1, ..Default::default() },
+        );
+        assert_eq!(r.ir.num_parameters(), 1);
+    }
+}

@@ -1,0 +1,459 @@
+//! Classical optimizers for the VQE outer loop.
+//!
+//! The paper optimizes with SciPy's SLSQP; the default here is L-BFGS with a
+//! strong-Wolfe line search — also a smooth quasi-Newton method, so the
+//! *relative* iteration counts across compression ratios (the paper's
+//! convergence metric, Fig 9 bottom) are preserved. Nelder–Mead and SPSA are
+//! provided for noisy objectives.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which optimizer to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// L-BFGS with strong-Wolfe line search (needs gradients).
+    Lbfgs,
+    /// Nelder–Mead simplex (derivative-free).
+    NelderMead,
+    /// Simultaneous perturbation stochastic approximation (derivative-free,
+    /// noise-tolerant); the payload is the RNG seed.
+    Spsa(u64),
+}
+
+/// Result of an optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeOutcome {
+    /// Best parameters found.
+    pub params: Vec<f64>,
+    /// Objective value at `params`.
+    pub value: f64,
+    /// Outer iterations used (the paper's convergence-speed metric).
+    pub iterations: usize,
+    /// Objective evaluations consumed.
+    pub evaluations: usize,
+    /// Objective value after each outer iteration.
+    pub trace: Vec<f64>,
+    /// Whether the tolerance was met before the iteration cap.
+    pub converged: bool,
+}
+
+/// Convergence controls shared by all optimizers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizeControls {
+    /// Maximum outer iterations.
+    pub max_iterations: usize,
+    /// Stop when the objective improves less than this between iterations.
+    pub value_tolerance: f64,
+    /// Stop when the gradient norm falls below this (gradient methods).
+    pub gradient_tolerance: f64,
+}
+
+impl Default for OptimizeControls {
+    fn default() -> Self {
+        OptimizeControls {
+            max_iterations: 500,
+            value_tolerance: 1e-9,
+            gradient_tolerance: 1e-6,
+        }
+    }
+}
+
+/// Minimizes `f` (with gradient `fg`) by L-BFGS.
+///
+/// `fg` returns `(value, gradient)`; `evaluations` counts `fg` calls plus
+/// the line search's value-only probes.
+pub fn lbfgs(
+    mut fg: impl FnMut(&[f64]) -> (f64, Vec<f64>),
+    x0: &[f64],
+    controls: OptimizeControls,
+) -> OptimizeOutcome {
+    let n = x0.len();
+    let memory = 8usize;
+    let mut x = x0.to_vec();
+    let mut evaluations = 0usize;
+    let (mut f, mut g) = fg(&x);
+    evaluations += 1;
+    let mut trace = vec![f];
+    let mut s_list: Vec<Vec<f64>> = Vec::new();
+    let mut y_list: Vec<Vec<f64>> = Vec::new();
+
+    let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(p, q)| p * q).sum::<f64>();
+
+    if n == 0 {
+        return OptimizeOutcome {
+            params: x,
+            value: f,
+            iterations: 0,
+            evaluations,
+            trace,
+            converged: true,
+        };
+    }
+
+    for it in 1..=controls.max_iterations {
+        if norm(&g) < controls.gradient_tolerance {
+            return OptimizeOutcome {
+                params: x,
+                value: f,
+                iterations: it - 1,
+                evaluations,
+                trace,
+                converged: true,
+            };
+        }
+
+        // Two-loop recursion for the search direction d = -H·g.
+        let mut q = g.clone();
+        let k = s_list.len();
+        let mut alphas = vec![0.0; k];
+        for i in (0..k).rev() {
+            let rho = 1.0 / dot(&y_list[i], &s_list[i]);
+            alphas[i] = rho * dot(&s_list[i], &q);
+            for j in 0..n {
+                q[j] -= alphas[i] * y_list[i][j];
+            }
+        }
+        if k > 0 {
+            let gamma = dot(&s_list[k - 1], &y_list[k - 1]) / dot(&y_list[k - 1], &y_list[k - 1]);
+            for v in q.iter_mut() {
+                *v *= gamma;
+            }
+        }
+        for i in 0..k {
+            let rho = 1.0 / dot(&y_list[i], &s_list[i]);
+            let beta = rho * dot(&y_list[i], &q);
+            for j in 0..n {
+                q[j] += s_list[i][j] * (alphas[i] - beta);
+            }
+        }
+        let d: Vec<f64> = q.iter().map(|v| -v).collect();
+
+        // Strong-Wolfe line search (backtracking with curvature check).
+        let dg0 = dot(&d, &g);
+        if dg0 >= 0.0 {
+            // Not a descent direction (numerical breakdown): reset memory.
+            s_list.clear();
+            y_list.clear();
+            continue;
+        }
+        let c1 = 1e-4;
+        let c2 = 0.9;
+        let mut step = 1.0f64;
+        let mut accepted: Option<(f64, Vec<f64>, Vec<f64>)> = None;
+        for _ in 0..30 {
+            let xt: Vec<f64> = x.iter().zip(&d).map(|(xi, di)| xi + step * di).collect();
+            let (ft, gt) = fg(&xt);
+            evaluations += 1;
+            if ft <= f + c1 * step * dg0 && dot(&d, &gt).abs() <= c2 * dg0.abs() {
+                accepted = Some((ft, gt, xt));
+                break;
+            }
+            if ft > f + c1 * step * dg0 {
+                step *= 0.5;
+            } else {
+                step *= 2.1;
+            }
+        }
+        let (ft, gt, xt) = match accepted {
+            Some(t) => t,
+            None => {
+                // Fall back to the best backtracked point.
+                let xt: Vec<f64> =
+                    x.iter().zip(&d).map(|(xi, di)| xi + step * di).collect();
+                let (ft, gt) = fg(&xt);
+                evaluations += 1;
+                if ft >= f {
+                    // No progress possible along d.
+                    return OptimizeOutcome {
+                        params: x,
+                        value: f,
+                        iterations: it,
+                        evaluations,
+                        trace,
+                        converged: true,
+                    };
+                }
+                (ft, gt, xt)
+            }
+        };
+
+        let s: Vec<f64> = xt.iter().zip(&x).map(|(a, b)| a - b).collect();
+        let y: Vec<f64> = gt.iter().zip(&g).map(|(a, b)| a - b).collect();
+        if dot(&s, &y) > 1e-12 {
+            s_list.push(s);
+            y_list.push(y);
+            if s_list.len() > memory {
+                s_list.remove(0);
+                y_list.remove(0);
+            }
+        }
+
+        let improvement = f - ft;
+        x = xt;
+        f = ft;
+        g = gt;
+        trace.push(f);
+        if improvement.abs() < controls.value_tolerance {
+            return OptimizeOutcome {
+                params: x,
+                value: f,
+                iterations: it,
+                evaluations,
+                trace,
+                converged: true,
+            };
+        }
+    }
+
+    OptimizeOutcome {
+        params: x,
+        value: f,
+        iterations: controls.max_iterations,
+        evaluations,
+        trace,
+        converged: false,
+    }
+}
+
+/// Minimizes `f` with the Nelder–Mead simplex method.
+pub fn nelder_mead(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    initial_step: f64,
+    controls: OptimizeControls,
+) -> OptimizeOutcome {
+    let n = x0.len();
+    let mut evaluations = 0usize;
+    if n == 0 {
+        let v = f(x0);
+        return OptimizeOutcome {
+            params: x0.to_vec(),
+            value: v,
+            iterations: 0,
+            evaluations: 1,
+            trace: vec![v],
+            converged: true,
+        };
+    }
+    let mut simplex: Vec<Vec<f64>> = vec![x0.to_vec()];
+    for k in 0..n {
+        let mut v = x0.to_vec();
+        v[k] += initial_step;
+        simplex.push(v);
+    }
+    let mut values: Vec<f64> = simplex
+        .iter()
+        .map(|v| {
+            evaluations += 1;
+            f(v)
+        })
+        .collect();
+    let mut trace = Vec::new();
+
+    for it in 1..=controls.max_iterations {
+        // Order ascending.
+        let mut idx: Vec<usize> = (0..simplex.len()).collect();
+        idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite objective"));
+        simplex = idx.iter().map(|&i| simplex[i].clone()).collect();
+        values = idx.iter().map(|&i| values[i]).collect();
+        trace.push(values[0]);
+
+        if (values[n] - values[0]).abs() < controls.value_tolerance {
+            return OptimizeOutcome {
+                params: simplex[0].clone(),
+                value: values[0],
+                iterations: it,
+                evaluations,
+                trace,
+                converged: true,
+            };
+        }
+
+        let centroid: Vec<f64> = (0..n)
+            .map(|j| simplex[..n].iter().map(|v| v[j]).sum::<f64>() / n as f64)
+            .collect();
+        let worst = simplex[n].clone();
+        let reflect: Vec<f64> =
+            centroid.iter().zip(&worst).map(|(c, w)| c + (c - w)).collect();
+        evaluations += 1;
+        let fr = f(&reflect);
+        if fr < values[0] {
+            let expand: Vec<f64> =
+                centroid.iter().zip(&worst).map(|(c, w)| c + 2.0 * (c - w)).collect();
+            evaluations += 1;
+            let fe = f(&expand);
+            if fe < fr {
+                simplex[n] = expand;
+                values[n] = fe;
+            } else {
+                simplex[n] = reflect;
+                values[n] = fr;
+            }
+        } else if fr < values[n - 1] {
+            simplex[n] = reflect;
+            values[n] = fr;
+        } else {
+            let contract: Vec<f64> =
+                centroid.iter().zip(&worst).map(|(c, w)| c + 0.5 * (w - c)).collect();
+            evaluations += 1;
+            let fc = f(&contract);
+            if fc < values[n] {
+                simplex[n] = contract;
+                values[n] = fc;
+            } else {
+                for j in 1..=n {
+                    let shrunk: Vec<f64> = simplex[0]
+                        .iter()
+                        .zip(&simplex[j])
+                        .map(|(b, v)| b + 0.5 * (v - b))
+                        .collect();
+                    evaluations += 1;
+                    values[j] = f(&shrunk);
+                    simplex[j] = shrunk;
+                }
+            }
+        }
+    }
+
+    let best = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite objective"))
+        .map(|(i, _)| i)
+        .expect("non-empty simplex");
+    OptimizeOutcome {
+        params: simplex[best].clone(),
+        value: values[best],
+        iterations: controls.max_iterations,
+        evaluations,
+        trace,
+        converged: false,
+    }
+}
+
+/// Minimizes `f` with SPSA (deterministic for a fixed seed).
+pub fn spsa(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    seed: u64,
+    controls: OptimizeControls,
+) -> OptimizeOutcome {
+    let n = x0.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = x0.to_vec();
+    let mut evaluations = 1usize;
+    let mut best_f = f(&x);
+    let mut best_x = x.clone();
+    let mut trace = vec![best_f];
+    let (a0, c0, big_a, alpha, gamma) = (0.2, 0.1, 10.0, 0.602, 0.101);
+
+    for it in 1..=controls.max_iterations {
+        let ak = a0 / ((it as f64 + big_a).powf(alpha));
+        let ck = c0 / (it as f64).powf(gamma);
+        let delta: Vec<f64> =
+            (0..n).map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 }).collect();
+        let xp: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi + ck * d).collect();
+        let xm: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi - ck * d).collect();
+        let fp = f(&xp);
+        let fm = f(&xm);
+        evaluations += 2;
+        for j in 0..n {
+            x[j] -= ak * (fp - fm) / (2.0 * ck * delta[j]);
+        }
+        let fx = f(&x);
+        evaluations += 1;
+        if fx < best_f {
+            best_f = fx;
+            best_x = x.clone();
+        }
+        trace.push(best_f);
+    }
+
+    OptimizeOutcome {
+        params: best_x,
+        value: best_f,
+        iterations: controls.max_iterations,
+        evaluations,
+        trace,
+        converged: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic(x: &[f64]) -> f64 {
+        // Minimum 1.5 at (1, -2, 3).
+        (x[0] - 1.0).powi(2) + 2.0 * (x[1] + 2.0).powi(2) + 0.5 * (x[2] - 3.0).powi(2) + 1.5
+    }
+
+    fn quadratic_grad(x: &[f64]) -> (f64, Vec<f64>) {
+        (
+            quadratic(x),
+            vec![
+                2.0 * (x[0] - 1.0),
+                4.0 * (x[1] + 2.0),
+                1.0 * (x[2] - 3.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn lbfgs_minimizes_quadratic() {
+        let out = lbfgs(quadratic_grad, &[0.0, 0.0, 0.0], OptimizeControls::default());
+        assert!(out.converged);
+        assert!((out.value - 1.5).abs() < 1e-8, "value {}", out.value);
+        assert!((out.params[0] - 1.0).abs() < 1e-5);
+        assert!((out.params[1] + 2.0).abs() < 1e-5);
+        assert!(out.iterations <= 20);
+    }
+
+    #[test]
+    fn lbfgs_handles_rosenbrock() {
+        let fg = |x: &[f64]| {
+            let f = (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+            let g = vec![
+                -2.0 * (1.0 - x[0]) - 400.0 * x[0] * (x[1] - x[0] * x[0]),
+                200.0 * (x[1] - x[0] * x[0]),
+            ];
+            (f, g)
+        };
+        let out = lbfgs(fg, &[-1.2, 1.0], OptimizeControls::default());
+        assert!(out.value < 1e-8, "rosenbrock value {}", out.value);
+    }
+
+    #[test]
+    fn nelder_mead_minimizes_quadratic() {
+        let controls = OptimizeControls { max_iterations: 2000, ..Default::default() };
+        let out = nelder_mead(quadratic, &[0.0, 0.0, 0.0], 0.5, controls);
+        assert!((out.value - 1.5).abs() < 1e-6, "value {}", out.value);
+    }
+
+    #[test]
+    fn spsa_approaches_quadratic_minimum() {
+        let controls = OptimizeControls { max_iterations: 4000, ..Default::default() };
+        let out = spsa(quadratic, &[0.0, 0.0, 0.0], 7, controls);
+        assert!(out.value < 1.7, "value {}", out.value);
+        // Deterministic for the same seed.
+        let out2 = spsa(quadratic, &[0.0, 0.0, 0.0], 7, controls);
+        assert_eq!(out.value, out2.value);
+    }
+
+    #[test]
+    fn traces_are_monotone_nonincreasing_for_lbfgs() {
+        let out = lbfgs(quadratic_grad, &[4.0, 4.0, 4.0], OptimizeControls::default());
+        for w in out.trace.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_parameter_vector_is_handled() {
+        let out = lbfgs(|_| (2.5, vec![]), &[], OptimizeControls::default());
+        assert_eq!(out.value, 2.5);
+        assert!(out.converged);
+    }
+}

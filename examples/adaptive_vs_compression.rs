@@ -1,0 +1,83 @@
+//! Static ansatz compression (the paper's §III) head-to-head with
+//! ADAPT-VQE (the dynamic alternative from the related work, Grimsley et
+//! al.), plus the measurement-grouping view of the inner loop.
+//!
+//! Run with:
+//! `cargo run --release -p pauli-codesign --example adaptive_vs_compression`
+
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
+use pauli_codesign::ansatz::compress;
+use pauli_codesign::chem::Benchmark;
+use pauli_codesign::pauli::group_qubit_wise;
+use pauli_codesign::vqe::adapt::{run_adapt_vqe, uccsd_pool, AdaptOptions};
+use pauli_codesign::vqe::driver::{run_vqe, VqeOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = Benchmark::LiH.build(1.6)?;
+    let h = system.qubit_hamiltonian();
+    let exact = system.exact_ground_state_energy();
+    println!("LiH @ 1.6 Å — exact ground state {exact:.6} Ha");
+
+    // The inner loop: measurement settings per energy evaluation.
+    let groups = group_qubit_wise(h);
+    println!(
+        "Hamiltonian: {} Pauli terms → {} qubit-wise commuting measurement groups",
+        h.len(),
+        groups.len()
+    );
+    println!();
+
+    // Static compression (paper §III): selection is free — it only compares
+    // Pauli strings classically.
+    println!("method                params   energy (Ha)    error      outer iters");
+    let full = UccsdAnsatz::for_system(&system).into_ir();
+    for ratio in [0.3, 0.5] {
+        let (ir, _) = compress(&full, h, ratio);
+        let run = run_vqe(h, &ir, VqeOptions::default());
+        println!(
+            "compression {:>3.0}%     {:>5}   {:>11.6}   {:>8.2e}   {:>6}",
+            ratio * 100.0,
+            ir.num_parameters(),
+            run.energy,
+            run.energy - exact,
+            run.iterations
+        );
+    }
+
+    // ADAPT-VQE: grows the ansatz operator by operator using measured pool
+    // gradients (extra quantum cost per macro-cycle, but state-adapted).
+    let pool = uccsd_pool(system.num_qubits() / 2, system.num_active_electrons());
+    let adapt = run_adapt_vqe(
+        h,
+        system.hartree_fock_state(),
+        &pool,
+        AdaptOptions { gradient_tolerance: 1e-5, ..Default::default() },
+    );
+    println!(
+        "ADAPT-VQE             {:>5}   {:>11.6}   {:>8.2e}   {:>6}",
+        adapt.ir.num_parameters(),
+        adapt.energy,
+        adapt.energy - exact,
+        adapt.total_iterations
+    );
+    println!();
+    println!("ADAPT selection order (pool indices): {:?}", adapt.selected);
+    println!(
+        "energy after each added operator: {:?}",
+        adapt
+            .energy_trace
+            .iter()
+            .map(|e| format!("{e:.5}"))
+            .collect::<Vec<_>>()
+    );
+    println!();
+    println!(
+        "reading: compression picks its operators for free (a classical \
+         Pauli comparison) and lands within ~1e-3 Ha; ADAPT spends {} \
+         pool-gradient sweeps and extra optimizer cycles but walks all the \
+         way down to the exact energy. The two are complementary, exactly \
+         as the paper's related-work section frames them.",
+        adapt.selected.len() + 1
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Zero-noise extrapolation on a noisy LiH energy (the paper's §VII
+//! "compiler-based error mitigation" direction).
+//!
+//! The compressed LiH ansatz is evaluated under depolarizing CNOT noise at
+//! amplified noise levels (by CNOT folding and by error-rate scaling), and
+//! Richardson extrapolation recovers most of the noise-free energy.
+//!
+//! Run with: `cargo run --release -p pauli-codesign --example error_mitigation`
+
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
+use pauli_codesign::ansatz::compress;
+use pauli_codesign::chem::Benchmark;
+use pauli_codesign::sim::NoiseModel;
+use pauli_codesign::vqe::driver::{run_vqe, VqeOptions};
+use pauli_codesign::vqe::mitigation::{zne_energy, NoiseScaling};
+use pauli_codesign::vqe::state::energy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = Benchmark::LiH.build(1.6)?;
+    let h = system.qubit_hamiltonian();
+    let full = UccsdAnsatz::for_system(&system).into_ir();
+    let (ir, _) = compress(&full, h, 0.5);
+
+    // Optimize noiselessly, then study the noisy evaluation of the optimum.
+    let run = run_vqe(h, &ir, VqeOptions::default());
+    let ideal = energy(h, &ir, &run.params);
+    println!("noise-free energy at the optimum : {ideal:.6} Ha");
+
+    // A noise level strong enough to visibly bias the energy.
+    let noise = NoiseModel::cnot_only(2e-3);
+
+    for (label, scaling, scales) in [
+        ("error-rate scaling (λ = 1,2,3)", NoiseScaling::ErrorRate, vec![1.0, 2.0, 3.0]),
+        ("CNOT folding       (λ = 1,3,5)", NoiseScaling::CnotFolding, vec![1.0, 3.0, 5.0]),
+    ] {
+        let r = zne_energy(h, &ir, &run.params, &noise, &scales, scaling);
+        println!();
+        println!("{label}");
+        for (s, e) in &r.samples {
+            println!("  λ = {s:>3}: E = {e:.6} Ha (bias {:+.2e})", e - ideal);
+        }
+        println!(
+            "  extrapolated: {:.6} Ha — residual bias {:+.2e} vs raw {:+.2e} ({}x reduction)",
+            r.mitigated,
+            r.mitigated - ideal,
+            r.raw - ideal,
+            ((r.raw - ideal) / (r.mitigated - ideal)).abs().round()
+        );
+    }
+    Ok(())
+}

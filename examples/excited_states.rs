@@ -1,0 +1,48 @@
+//! Excited states of H₂ with Variational Quantum Deflation on the same
+//! compressed-ansatz stack, validated against deflated-Lanczos exact
+//! eigenvalues.
+//!
+//! Run with: `cargo run --release -p pauli-codesign --example excited_states`
+
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
+use pauli_codesign::chem::Benchmark;
+use pauli_codesign::vqe::vqd::{run_vqd, VqdOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = Benchmark::H2.build(0.74)?;
+    let h = system.qubit_hamiltonian();
+    let ir = UccsdAnsatz::for_system(&system).into_ir();
+
+    println!("H2 @ 0.74 Å — exact low spectrum (deflated Lanczos):");
+    let exact = h.lowest_eigenvalues(5);
+    for (k, e) in exact.iter().enumerate() {
+        println!("  E{k} = {e:.6} Ha");
+    }
+
+    println!();
+    println!("VQD ladder (UCCSD ansatz from the Hartree-Fock determinant):");
+    let states = run_vqd(h, &ir, 3, VqdOptions { penalty: 5.0, ..Default::default() });
+    for (k, s) in states.iter().enumerate() {
+        // Distance to the nearest exact eigenvalue.
+        let nearest = exact
+            .iter()
+            .map(|e| (s.energy - e).abs())
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "  state {k}: E = {:.6} Ha ({} iters, residual overlap {:.1e}, \
+             nearest exact level {:.1e} away)",
+            s.energy, s.iterations, s.max_overlap_with_lower, nearest
+        );
+    }
+    println!();
+    println!(
+        "note: the ground state is exact to machine precision. The 3-parameter \
+         UCCSD manifold cannot express every 2-electron eigenstate (the exact \
+         E1/E2 pair are triplet-like states outside its reach), so VQD's upper \
+         rungs are the lowest *ansatz-expressible* excited states — mutually \
+         orthogonal and variationally above the levels they approximate. A \
+         richer pool (e.g. the generalized excitations used by ADAPT) closes \
+         that gap."
+    );
+    Ok(())
+}

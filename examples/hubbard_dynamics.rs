@@ -1,0 +1,108 @@
+//! Trotterized quench dynamics of a Hubbard chain, compiled with the same
+//! co-designed stack.
+//!
+//! A charge-density-wave state (both electrons piled on the first two
+//! sites) is released and evolved under the Hubbard Hamiltonian. The
+//! Trotter circuits are ordinary Pauli IRs, so Merge-to-Root compiles the
+//! *dynamics* program onto the X-Tree exactly as it compiles VQE ansatzes —
+//! the generality the paper claims for its Pauli-string-centric design.
+//!
+//! Run with: `cargo run --release -p pauli-codesign --example hubbard_dynamics`
+
+use pauli_codesign::ansatz::trotter::{trotterize, TrotterOrder};
+use pauli_codesign::arch::Topology;
+use pauli_codesign::chem::fermion::{accumulate_term, into_real_sum, LadderOp};
+use pauli_codesign::chem::hubbard::HubbardModel;
+use pauli_codesign::compiler::pipeline::{compile_mtr, compile_sabre};
+use pauli_codesign::numeric::Complex64;
+use pauli_codesign::pauli::WeightedPauliSum;
+use pauli_codesign::vqe::state::prepare_state;
+
+/// Number operator of one site (both spins) as a Pauli sum.
+fn site_occupation(sites: usize, site: usize) -> WeightedPauliSum {
+    let n = 2 * sites;
+    let mut acc = std::collections::HashMap::new();
+    for spin_orbital in [site, sites + site] {
+        accumulate_term(
+            &mut acc,
+            n,
+            &[LadderOp::create(spin_orbital), LadderOp::annihilate(spin_orbital)],
+            1.0,
+        );
+    }
+    into_real_sum(n, acc)
+}
+
+fn main() {
+    let sites = 4;
+    let model = HubbardModel::chain(sites, 1.0, 2.0);
+    let h = model.qubit_hamiltonian();
+
+    // CDW initial state: site 0 doubly occupied, site 1 doubly occupied.
+    let initial: u64 = (1 << 0) | (1 << 1) | (1 << sites) | (1 << (sites + 1));
+
+    println!("4-site Hubbard quench (t = 1, U = 2), CDW initial state");
+    println!();
+    println!("time    n(site0)  n(site1)  n(site2)  n(site3)   energy");
+    let occupations: Vec<WeightedPauliSum> =
+        (0..sites).map(|s| site_occupation(sites, s)).collect();
+
+    for k in 0..=6 {
+        let time = 0.5 * k as f64;
+        let state: Vec<Complex64> = if k == 0 {
+            let mut v = vec![Complex64::ZERO; 1 << (2 * sites)];
+            v[initial as usize] = Complex64::ONE;
+            v
+        } else {
+            let ir = trotterize(&h, time, 40, TrotterOrder::Second, initial);
+            prepare_state(&ir, &[1.0]).amplitudes().to_vec()
+        };
+        print!("{time:<7.2}");
+        for occ in &occupations {
+            print!(" {:>9.4}", occ.expectation(&state));
+        }
+        println!("  {:>8.4}", h.expectation(&state));
+    }
+
+    // Trotter-order accuracy at t = 2.0 against exact evolution.
+    println!();
+    let mut exact = vec![Complex64::ZERO; 1 << (2 * sites)];
+    exact[initial as usize] = Complex64::ONE;
+    h.evolve_exact(2.0, &mut exact);
+    for (order, label) in [(TrotterOrder::First, "first"), (TrotterOrder::Second, "second")] {
+        let ir = trotterize(&h, 2.0, 20, order, initial);
+        let approx = prepare_state(&ir, &[1.0]);
+        let overlap: Complex64 = exact
+            .iter()
+            .zip(approx.amplitudes())
+            .map(|(a, b)| a.conj() * *b)
+            .sum();
+        println!(
+            "{label}-order Trotter, 20 steps: infidelity {:.2e}, {} Pauli rotations",
+            1.0 - overlap.norm_sqr(),
+            ir.len()
+        );
+    }
+
+    // The same IR compiles onto hardware like any chemistry program.
+    let ir = trotterize(&h, 0.5, 5, TrotterOrder::Second, initial);
+    let xtree = Topology::xtree(17);
+    let mtr = compile_mtr(&ir, &xtree);
+    let sab = compile_sabre(&ir, &xtree, 1);
+    println!();
+    println!(
+        "one quench segment on XTree17Q: {} original CNOTs, MtR +{} vs SABRE +{}",
+        mtr.original_cnots(),
+        mtr.added_cnots(),
+        sab.added_cnots()
+    );
+    println!();
+    println!(
+        "note: unlike the chemistry programs (and the Hubbard *VQE* ansatz, \
+         where MtR wins by orders of magnitude), this raw Trotter stream has \
+         uniform 1D-lattice locality with no important-qubit hierarchy, and \
+         the general-purpose SABRE baseline routes it better — exactly the \
+         kind of model-dependent trade-off the paper's §VII anticipates for \
+         periodic systems."
+    );
+}

@@ -1,0 +1,76 @@
+//! Beyond chemistry: the Fermi–Hubbard model through the same co-designed
+//! stack (the paper's §VII "More physical systems" direction).
+//!
+//! A condensed-matter Hamiltonian is Jordan–Wigner-encoded, prepared with
+//! the same UCCSD-style ansatz, compressed against its own Hamiltonian, run
+//! through VQE, and compiled onto the X-Tree — no chemistry-specific code
+//! involved anywhere.
+//!
+//! Run with: `cargo run --release -p pauli-codesign --example hubbard_model`
+
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
+use pauli_codesign::ansatz::compress;
+use pauli_codesign::arch::Topology;
+use pauli_codesign::chem::hubbard::HubbardModel;
+use pauli_codesign::compiler::pipeline::{compile_mtr, compile_sabre};
+use pauli_codesign::vqe::driver::{run_vqe, run_vqe_from, VqeOptions};
+
+fn main() {
+    // A 4-site Hubbard chain at half filling, pinned with μ = U/2.
+    let (t, u) = (1.0, 4.0);
+    let model = HubbardModel::chain(4, t, u).with_chemical_potential(u / 2.0);
+    let h = model.qubit_hamiltonian();
+    println!(
+        "4-site Hubbard chain, t = {t}, U = {u}: {} qubits, {} Pauli strings",
+        model.num_qubits(),
+        h.len()
+    );
+
+    let exact = h.ground_state_energy();
+    println!("exact ground state (Lanczos): {exact:.6}");
+
+    // Same ansatz machinery as the molecules: singles+doubles from the
+    // half-filling determinant.
+    let ansatz = UccsdAnsatz::new(model.num_sites(), model.half_filling_electrons());
+    println!(
+        "UCC ansatz: {} parameters, {} Pauli strings",
+        ansatz.ir().num_parameters(),
+        ansatz.ir().len()
+    );
+
+    // A model-specific wrinkle the paper anticipated (§VII: "the actual
+    // optimizations may need to change according to the characteristics of
+    // these models"): in the site basis Hubbard's U term is diagonal, so
+    // *double* excitations have zero first-order gradient at the reference
+    // determinant — the opposite of molecules, where Brillouin's theorem
+    // zeroes the singles instead. A doubles-heavy compressed selection
+    // therefore starts on a gradient plateau; a tiny symmetry-breaking
+    // start lets the optimizer leave it.
+    println!();
+    println!("ratio    energy        error      iters");
+    for ratio in [0.3, 0.5, 1.0] {
+        let (ir, _) = compress(ansatz.ir(), &h, ratio);
+        let x0 = vec![0.02; ir.num_parameters()];
+        let run = run_vqe_from(&h, &ir, &x0, VqeOptions::default());
+        println!(
+            "{:>4.0}%   {:>9.6}   {:>9.2e}   {:>5}",
+            ratio * 100.0,
+            run.energy,
+            run.energy - exact,
+            run.iterations
+        );
+    }
+
+    // And the same compiler stack.
+    let xtree = Topology::xtree(17);
+    let (ir, _) = compress(ansatz.ir(), &h, 0.5);
+    let mtr = compile_mtr(&ir, &xtree);
+    let sab = compile_sabre(&ir, &xtree, 1);
+    println!();
+    println!(
+        "X-Tree compilation at 50%: MtR +{} CNOTs vs SABRE +{} (original {})",
+        mtr.added_cnots(),
+        sab.added_cnots(),
+        mtr.original_cnots()
+    );
+}

@@ -1,0 +1,33 @@
+//! Quickstart: the whole co-design pipeline on LiH in a dozen lines.
+//!
+//! Run with: `cargo run --release -p pauli-codesign --example quickstart`
+
+use pauli_codesign::chem::Benchmark;
+use pauli_codesign::CoDesignPipeline;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let report = CoDesignPipeline::new(Benchmark::LiH)
+        .bond_length(1.6)
+        .compression_ratio(0.5)
+        .run()?;
+
+    println!("molecule            : LiH @ 1.6 Å ({} qubits)", report.system.num_qubits());
+    println!("Hartree-Fock energy : {:>12.6} Ha", report.hartree_fock_energy);
+    println!("exact ground state  : {:>12.6} Ha", report.exact_energy);
+    println!("VQE energy          : {:>12.6} Ha", report.energy);
+    println!("energy error        : {:>12.2e} Ha", report.energy_error());
+    println!(
+        "correlation         : {:>11.1}% recovered",
+        100.0 * report.correlation_recovered()
+    );
+    println!(
+        "ansatz              : {} of {} UCCSD parameters kept",
+        report.kept_parameters, report.original_parameters
+    );
+    println!("VQE iterations      : {}", report.iterations);
+    println!(
+        "X-Tree mapping      : {} original CNOTs, {} added by routing",
+        report.original_cnots, report.added_cnots
+    );
+    Ok(())
+}

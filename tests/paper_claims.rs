@@ -1,0 +1,133 @@
+//! Tests pinning the paper's quantitative claims (the fast ones; the slow
+//! sweeps live in the bench targets and EXPERIMENTS.md).
+
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
+use pauli_codesign::ansatz::{compress, compress_random};
+use pauli_codesign::arch::{simulate_yield, CollisionModel, Topology};
+use pauli_codesign::chem::Benchmark;
+use pauli_codesign::compiler::pipeline::{compile_mtr, compile_sabre};
+use pauli_codesign::compiler::synthesis::synthesize_chain_nominal;
+use pauli_codesign::vqe::driver::{run_vqe, VqeOptions};
+
+/// Table I: parameter and Pauli-string counts match the paper exactly for
+/// all nine molecules, and CNOT counts match for the synthesized circuits.
+#[test]
+fn table1_counts_match_paper() {
+    let cnots = [56usize, 280, 768, 1616, 8064, 8064, 21072, 21072, 42368];
+    for (b, &expected_cnots) in Benchmark::ALL.iter().zip(&cnots) {
+        let m = b.expected_qubits() / 2;
+        let e = match b {
+            Benchmark::H2 | Benchmark::LiH | Benchmark::NaH => 2,
+            Benchmark::HF => 8,
+            Benchmark::BeH2 | Benchmark::H2O => 4,
+            Benchmark::BH3 | Benchmark::NH3 => 6,
+            Benchmark::CH4 => 8,
+        };
+        let a = UccsdAnsatz::new(m, e);
+        assert_eq!(a.ir().num_parameters(), b.expected_parameters(), "{b} params");
+        assert_eq!(a.ir().len(), b.expected_pauli_strings(), "{b} Pauli strings");
+        assert_eq!(
+            synthesize_chain_nominal(a.ir()).cnot_count(),
+            expected_cnots,
+            "{b} CNOTs"
+        );
+    }
+}
+
+/// §VI-C: the importance-based 50% selection beats random 50% selection on
+/// simulated energy (LiH, 3 seeds).
+#[test]
+fn importance_selection_beats_random() {
+    let system = Benchmark::LiH.build(1.6).expect("LiH chemistry");
+    let h = system.qubit_hamiltonian();
+    let full = UccsdAnsatz::for_system(&system).into_ir();
+    let (smart, _) = compress(&full, h, 0.5);
+    let smart_energy = run_vqe(h, &smart, VqeOptions::default()).energy;
+
+    let mut random_energies = Vec::new();
+    for seed in 0..3 {
+        let (ir, _) = compress_random(&full, 0.5, seed);
+        random_energies.push(run_vqe(h, &ir, VqeOptions::default()).energy);
+    }
+    let random_mean = random_energies.iter().sum::<f64>() / random_energies.len() as f64;
+    assert!(
+        smart_energy <= random_mean + 1e-9,
+        "importance {smart_energy} vs random mean {random_mean}"
+    );
+}
+
+/// §VI-C: the paper's "50% ratio → ~0.05% energy error" claim (relative to
+/// the total energy) holds for LiH.
+#[test]
+fn half_ratio_error_is_tiny() {
+    let system = Benchmark::LiH.build(1.6).expect("LiH chemistry");
+    let h = system.qubit_hamiltonian();
+    let (ir, _) = compress(&UccsdAnsatz::for_system(&system).into_ir(), h, 0.5);
+    let run = run_vqe(h, &ir, VqeOptions::default());
+    let exact = system.exact_ground_state_energy();
+    let relative = ((run.energy - exact) / exact).abs();
+    assert!(relative < 5e-4, "relative error {relative}");
+}
+
+/// §VI-F: Merge-to-Root's overhead on the X-Tree is a tiny fraction of
+/// SABRE's on the same architecture (paper: ~1%); checked on NaH at 50%.
+#[test]
+fn mtr_overhead_fraction_of_sabre() {
+    let system = Benchmark::NaH.build(1.89).expect("NaH chemistry");
+    let full = UccsdAnsatz::for_system(&system).into_ir();
+    let (ir, _) = compress(&full, system.qubit_hamiltonian(), 0.5);
+    let xtree = Topology::xtree(17);
+    let mtr = compile_mtr(&ir, &xtree);
+    let sab = compile_sabre(&ir, &xtree, 1);
+    assert!(sab.added_cnots() > 0, "SABRE must pay overhead on the sparse tree");
+    let fraction = mtr.added_cnots() as f64 / sab.added_cnots() as f64;
+    assert!(fraction < 0.1, "MtR/SABRE overhead fraction {fraction}");
+}
+
+/// §VI-E: the X-Tree's fabrication yield beats the grid's at every
+/// dispersion level tested (paper: ≈ 8×).
+#[test]
+fn xtree_yield_dominates_grid() {
+    let model = CollisionModel::default();
+    let xtree = Topology::xtree(17);
+    let grid = Topology::grid17q();
+    for sigma in [0.03, 0.2, 0.4] {
+        let x = simulate_yield(&xtree, &model, sigma, 4000, 1);
+        let g = simulate_yield(&grid, &model, sigma, 4000, 1);
+        assert!(
+            x.yield_rate > g.yield_rate,
+            "σ={sigma}: xtree {} vs grid {}",
+            x.yield_rate,
+            g.yield_rate
+        );
+    }
+}
+
+/// §IV: the X-Tree uses the minimum possible number of connections.
+#[test]
+fn xtree_connection_minimality() {
+    for n in [5, 8, 17, 26] {
+        let t = Topology::xtree(n);
+        assert_eq!(t.num_edges(), n - 1);
+        assert!(t.is_connected());
+    }
+}
+
+/// §VI-C convergence: fewer parameters converge in at most as many
+/// iterations, monotonically across the ratio sweep (LiH).
+#[test]
+fn compression_speeds_convergence() {
+    let system = Benchmark::LiH.build(1.6).expect("LiH chemistry");
+    let h = system.qubit_hamiltonian();
+    let full = UccsdAnsatz::for_system(&system).into_ir();
+    let mut last = usize::MAX;
+    for ratio in [0.9, 0.5, 0.1] {
+        let (ir, _) = compress(&full, h, ratio);
+        let run = run_vqe(h, &ir, VqeOptions::default());
+        assert!(
+            run.iterations <= last,
+            "iterations should not grow as parameters shrink"
+        );
+        last = run.iterations;
+    }
+}
