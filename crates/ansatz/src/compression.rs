@@ -42,11 +42,19 @@ pub fn compress(
     hamiltonian: &WeightedPauliSum,
     ratio: f64,
 ) -> (PauliIr, CompressionReport) {
-    assert!(ratio > 0.0 && ratio <= 1.0, "compression ratio must be in (0, 1]");
+    assert!(
+        ratio > 0.0 && ratio <= 1.0,
+        "compression ratio must be in (0, 1]"
+    );
+    let mut span = obs::span("ansatz.compress");
     let scores = parameter_importance(ir, hamiltonian);
     let k = ((ratio * ir.num_parameters() as f64).ceil() as usize).max(1);
     let kept = scores.top(k);
     let compressed = rebuild_in_order(ir, &kept);
+    span.record("ratio", ratio);
+    span.record("original_parameters", ir.num_parameters());
+    span.record("kept_parameters", kept.len());
+    span.record("dropped_parameters", ir.num_parameters() - kept.len());
     let report = CompressionReport {
         original_parameters: ir.num_parameters(),
         kept_parameters: kept.len(),
@@ -63,7 +71,10 @@ pub fn compress(
 ///
 /// Panics if `ratio` is not in `(0, 1]`.
 pub fn compress_random(ir: &PauliIr, ratio: f64, seed: u64) -> (PauliIr, CompressionReport) {
-    assert!(ratio > 0.0 && ratio <= 1.0, "compression ratio must be in (0, 1]");
+    assert!(
+        ratio > 0.0 && ratio <= 1.0,
+        "compression ratio must be in (0, 1]"
+    );
     let k_total = ir.num_parameters();
     let k = ((ratio * k_total as f64).ceil() as usize).max(1);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -89,7 +100,11 @@ fn rebuild_in_order(ir: &PauliIr, ordered_params: &[usize]) -> PauliIr {
     for (new_param, &old_param) in ordered_params.iter().enumerate() {
         for &idx in &groups[old_param] {
             let e = ir.entries()[idx];
-            out.push(IrEntry { string: e.string, param: new_param, coefficient: e.coefficient });
+            out.push(IrEntry {
+                string: e.string,
+                param: new_param,
+                coefficient: e.coefficient,
+            });
         }
     }
     out

@@ -41,7 +41,10 @@ impl ImportanceScores {
     pub fn ranking(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.scores.len()).collect();
         idx.sort_by(|&a, &b| {
-            self.scores[b].partial_cmp(&self.scores[a]).expect("finite scores").then(a.cmp(&b))
+            self.scores[b]
+                .partial_cmp(&self.scores[a])
+                .expect("finite scores")
+                .then(a.cmp(&b))
         });
         idx
     }
@@ -58,13 +61,7 @@ impl ImportanceScores {
 /// in O(1): the number of qubits where `P_a` is `I`, `P_H` is `I`, or both
 /// operators agree.
 #[inline]
-fn decay_factor(
-    ax: u64,
-    az: u64,
-    hx: u64,
-    hz: u64,
-    mask: u64,
-) -> u32 {
+fn decay_factor(ax: u64, az: u64, hx: u64, hz: u64, mask: u64) -> u32 {
     let a_support = ax | az;
     let h_support = hx | hz;
     let equal = !((ax ^ hx) | (az ^ hz));
@@ -82,6 +79,14 @@ pub fn parameter_importance(ir: &PauliIr, hamiltonian: &WeightedPauliSum) -> Imp
         ir.num_qubits(),
         hamiltonian.num_qubits(),
         "ansatz and Hamiltonian must share the qubit register"
+    );
+    let mut span = obs::span("ansatz.importance");
+    span.record("ansatz_strings", ir.len());
+    span.record("hamiltonian_terms", hamiltonian.len());
+    span.record("terms_scored", ir.len() * hamiltonian.len());
+    obs::counter_add(
+        "ansatz.importance.pairs_scored",
+        (ir.len() * hamiltonian.len()) as u64,
     );
     let n = ir.num_qubits();
     let mask: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
@@ -110,7 +115,11 @@ mod tests {
         let n = strings[0].0.len();
         let mut ir = PauliIr::new(n, 0);
         for &(s, p) in strings {
-            ir.push(IrEntry { string: s.parse().unwrap(), param: p, coefficient: 1.0 });
+            ir.push(IrEntry {
+                string: s.parse().unwrap(),
+                param: p,
+                coefficient: 1.0,
+            });
         }
         ir
     }
@@ -119,7 +128,9 @@ mod tests {
         let n = terms[0].1.len();
         WeightedPauliSum::from_terms(
             n,
-            terms.iter().map(|&(w, s)| (w, s.parse::<PauliString>().unwrap())),
+            terms
+                .iter()
+                .map(|&(w, s)| (w, s.parse::<PauliString>().unwrap())),
         )
     }
 
@@ -142,8 +153,7 @@ mod tests {
             for h in alphabet {
                 let pa: PauliString = a.parse().unwrap();
                 let ph: PauliString = h.parse().unwrap();
-                let fast =
-                    decay_factor(pa.x_mask(), pa.z_mask(), ph.x_mask(), ph.z_mask(), 0b1111);
+                let fast = decay_factor(pa.x_mask(), pa.z_mask(), ph.x_mask(), ph.z_mask(), 0b1111);
                 assert_eq!(fast, pa.importance_decay_factor(&ph), "{a} vs {h}");
             }
         }

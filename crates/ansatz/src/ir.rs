@@ -62,11 +62,18 @@ impl PauliIr {
     /// Panics if `num_qubits` is zero or exceeds 64, or the initial state
     /// has bits outside the register.
     pub fn new(num_qubits: usize, initial_state: u64) -> Self {
-        assert!(num_qubits >= 1 && num_qubits <= 64, "1..=64 qubits supported");
+        assert!((1..=64).contains(&num_qubits), "1..=64 qubits supported");
         if num_qubits < 64 {
-            assert!(initial_state < (1u64 << num_qubits), "initial state outside register");
+            assert!(
+                initial_state < (1u64 << num_qubits),
+                "initial state outside register"
+            );
         }
-        PauliIr { num_qubits, initial_state, entries: Vec::new() }
+        PauliIr {
+            num_qubits,
+            initial_state,
+            entries: Vec::new(),
+        }
     }
 
     /// Appends an entry.
@@ -75,7 +82,11 @@ impl PauliIr {
     ///
     /// Panics if the string width differs from the register.
     pub fn push(&mut self, entry: IrEntry) {
-        assert_eq!(entry.string.num_qubits(), self.num_qubits, "string width must match IR");
+        assert_eq!(
+            entry.string.num_qubits(),
+            self.num_qubits,
+            "string width must match IR"
+        );
         self.entries.push(entry);
     }
 
@@ -144,9 +155,21 @@ mod tests {
 
     fn sample_ir() -> PauliIr {
         let mut ir = PauliIr::new(3, 0b011);
-        ir.push(IrEntry { string: "IXY".parse().unwrap(), param: 0, coefficient: 0.5 });
-        ir.push(IrEntry { string: "IYX".parse().unwrap(), param: 0, coefficient: -0.5 });
-        ir.push(IrEntry { string: "ZZX".parse().unwrap(), param: 1, coefficient: 0.125 });
+        ir.push(IrEntry {
+            string: "IXY".parse().unwrap(),
+            param: 0,
+            coefficient: 0.5,
+        });
+        ir.push(IrEntry {
+            string: "IYX".parse().unwrap(),
+            param: 0,
+            coefficient: -0.5,
+        });
+        ir.push(IrEntry {
+            string: "ZZX".parse().unwrap(),
+            param: 1,
+            coefficient: 0.125,
+        });
         ir
     }
 
@@ -168,7 +191,11 @@ mod tests {
 
     #[test]
     fn rotation_angle_convention() {
-        let e = IrEntry { string: "Z".parse().unwrap(), param: 0, coefficient: 0.5 };
+        let e = IrEntry {
+            string: "Z".parse().unwrap(),
+            param: 0,
+            coefficient: 0.5,
+        };
         // exp(iθcP) = exp(-i·φ/2·P) with φ = -2cθ.
         assert_eq!(e.rotation_angle(0.3), -2.0 * 0.5 * 0.3);
     }
@@ -183,6 +210,10 @@ mod tests {
     #[should_panic]
     fn rejects_width_mismatch() {
         let mut ir = PauliIr::new(2, 0);
-        ir.push(IrEntry { string: "XYZ".parse().unwrap(), param: 0, coefficient: 1.0 });
+        ir.push(IrEntry {
+            string: "XYZ".parse().unwrap(),
+            param: 0,
+            coefficient: 1.0,
+        });
     }
 }

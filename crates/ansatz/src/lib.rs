@@ -38,4 +38,6 @@ pub use compression::{compress, compress_random, CompressionReport};
 pub use importance::{parameter_importance, ImportanceScores};
 pub use ir::{IrEntry, PauliIr};
 pub use trotter::{trotterize, TrotterOrder};
-pub use uccsd::{enumerate_excitations, enumerate_generalized_excitations, Excitation, UccsdAnsatz};
+pub use uccsd::{
+    enumerate_excitations, enumerate_generalized_excitations, Excitation, UccsdAnsatz,
+};

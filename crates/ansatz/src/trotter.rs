@@ -40,7 +40,10 @@ pub fn trotterize(
     initial_state: u64,
 ) -> PauliIr {
     assert!(steps >= 1, "at least one Trotter step required");
-    assert!(!hamiltonian.is_empty(), "cannot Trotterize an empty Hamiltonian");
+    assert!(
+        !hamiltonian.is_empty(),
+        "cannot Trotterize an empty Hamiltonian"
+    );
     let n = hamiltonian.num_qubits();
     let dt = t / steps as f64;
     let mut ir = PauliIr::new(n, initial_state);
@@ -51,7 +54,11 @@ pub fn trotterize(
         if p.is_identity() {
             return; // global phase
         }
-        ir.push(IrEntry { string: p, param: 0, coefficient: -w * delta });
+        ir.push(IrEntry {
+            string: p,
+            param: 0,
+            coefficient: -w * delta,
+        });
     };
 
     for _ in 0..steps {
@@ -113,7 +120,11 @@ mod tests {
     }
 
     fn fidelity(a: &[Complex64], b: &[Complex64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| x.conj() * *y).sum::<Complex64>().norm_sqr()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.conj() * *y)
+            .sum::<Complex64>()
+            .norm_sqr()
     }
 
     #[test]

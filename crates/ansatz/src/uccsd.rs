@@ -63,9 +63,15 @@ impl Excitation {
 ///
 /// Panics if the electron count is odd or does not fit the active space.
 pub fn enumerate_excitations(num_spatial: usize, num_electrons: usize) -> Vec<Excitation> {
-    assert!(num_electrons % 2 == 0, "closed-shell UCCSD requires even electrons");
+    assert!(
+        num_electrons.is_multiple_of(2),
+        "closed-shell UCCSD requires even electrons"
+    );
     let nocc = num_electrons / 2;
-    assert!(nocc >= 1 && nocc <= num_spatial, "electrons do not fit the active space");
+    assert!(
+        nocc >= 1 && nocc <= num_spatial,
+        "electrons do not fit the active space"
+    );
     let nvirt = num_spatial - nocc;
     let mut out = Vec::new();
 
@@ -232,7 +238,11 @@ impl UccsdAnsatz {
             for (coefficient, string) in
                 antihermitian_pauli_terms(n_qubits, &exc.cluster_operator())
             {
-                ir.push(IrEntry { string, param, coefficient });
+                ir.push(IrEntry {
+                    string,
+                    param,
+                    coefficient,
+                });
             }
         }
         UccsdAnsatz { excitations, ir }
@@ -265,15 +275,15 @@ mod tests {
 
     /// (spatial, electrons) → expected (params, Pauli strings) per Table I.
     const TABLE1: [(usize, usize, usize, usize); 9] = [
-        (2, 2, 3, 12),      // H2
-        (3, 2, 8, 40),      // LiH
-        (4, 2, 15, 84),     // NaH
-        (5, 8, 24, 144),    // HF
-        (6, 4, 92, 640),    // BeH2
-        (6, 4, 92, 640),    // H2O
-        (7, 6, 204, 1488),  // BH3
-        (7, 6, 204, 1488),  // NH3
-        (8, 8, 360, 2688),  // CH4
+        (2, 2, 3, 12),     // H2
+        (3, 2, 8, 40),     // LiH
+        (4, 2, 15, 84),    // NaH
+        (5, 8, 24, 144),   // HF
+        (6, 4, 92, 640),   // BeH2
+        (6, 4, 92, 640),   // H2O
+        (7, 6, 204, 1488), // BH3
+        (7, 6, 204, 1488), // NH3
+        (8, 8, 360, 2688), // CH4
     ];
 
     #[test]
@@ -290,17 +300,14 @@ mod tests {
     fn h2_excitation_structure() {
         let a = UccsdAnsatz::new(2, 2);
         // Two singles (0→1 α, 2→3 β) and one double.
-        assert_eq!(
-            a.excitations()[0],
-            Excitation::Single { occ: 0, virt: 1 }
-        );
-        assert_eq!(
-            a.excitations()[1],
-            Excitation::Single { occ: 2, virt: 3 }
-        );
+        assert_eq!(a.excitations()[0], Excitation::Single { occ: 0, virt: 1 });
+        assert_eq!(a.excitations()[1], Excitation::Single { occ: 2, virt: 3 });
         assert_eq!(
             a.excitations()[2],
-            Excitation::Double { occ: (0, 2), virt: (1, 3) }
+            Excitation::Double {
+                occ: (0, 2),
+                virt: (1, 3)
+            }
         );
     }
 

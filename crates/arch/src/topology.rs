@@ -47,7 +47,10 @@ impl Topology {
         let mut adjacency = vec![Vec::new(); num_qubits];
         let mut seen = std::collections::HashSet::new();
         for &(a, b) in &edges {
-            assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+            assert!(
+                a < num_qubits && b < num_qubits,
+                "edge ({a},{b}) out of range"
+            );
             assert_ne!(a, b, "reflexive edge ({a},{b})");
             let key = (a.min(b), a.max(b));
             assert!(seen.insert(key), "duplicate edge ({a},{b})");
@@ -57,7 +60,13 @@ impl Topology {
         for adj in &mut adjacency {
             adj.sort_unstable();
         }
-        Topology { name: name.to_string(), num_qubits, edges, adjacency, tree: None }
+        Topology {
+            name: name.to_string(),
+            num_qubits,
+            edges,
+            adjacency,
+            tree: None,
+        }
     }
 
     /// The X-Tree architecture on `n` qubits (Fig 6): grow breadth-first
@@ -78,7 +87,9 @@ impl Topology {
         queue.push_back((0, 4));
         let mut next = 1;
         while next < n {
-            let (q, cap) = queue.pop_front().expect("capacity exhausted before placing qubits");
+            let (q, cap) = queue
+                .pop_front()
+                .expect("capacity exhausted before placing qubits");
             let take = cap.min(n - next);
             for _ in 0..take {
                 edges.push((q, next));
@@ -89,7 +100,11 @@ impl Topology {
             }
         }
         let mut t = Topology::from_edges(&format!("XTree{n}Q"), n, edges);
-        t.tree = Some(TreeInfo { root: 0, levels, parents });
+        t.tree = Some(TreeInfo {
+            root: 0,
+            levels,
+            parents,
+        });
         t
     }
 
@@ -104,8 +119,14 @@ impl Topology {
     /// Panics if `n` is zero, `degrees` is empty, or contains a zero.
     pub fn xtree_with_degrees(n: usize, degrees: &[usize]) -> Self {
         assert!(n >= 1, "X-Tree needs at least one qubit");
-        assert!(!degrees.is_empty(), "at least one branching degree required");
-        assert!(degrees.iter().all(|&d| d >= 1), "branching degrees must be positive");
+        assert!(
+            !degrees.is_empty(),
+            "at least one branching degree required"
+        );
+        assert!(
+            degrees.iter().all(|&d| d >= 1),
+            "branching degrees must be positive"
+        );
         let cap_at = |level: usize| degrees[level.min(degrees.len() - 1)];
         let mut edges = Vec::with_capacity(n.saturating_sub(1));
         let mut parents: Vec<Option<usize>> = vec![None; n];
@@ -114,7 +135,9 @@ impl Topology {
         queue.push_back((0, cap_at(0)));
         let mut next = 1;
         while next < n {
-            let (q, cap) = queue.pop_front().expect("capacity exhausted before placing qubits");
+            let (q, cap) = queue
+                .pop_front()
+                .expect("capacity exhausted before placing qubits");
             let take = cap.min(n - next);
             for _ in 0..take {
                 edges.push((q, next));
@@ -126,10 +149,18 @@ impl Topology {
         }
         let name = format!(
             "XTree{n}Q[{}]",
-            degrees.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(",")
+            degrees
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
         );
         let mut t = Topology::from_edges(&name, n, edges);
-        t.tree = Some(TreeInfo { root: 0, levels, parents });
+        t.tree = Some(TreeInfo {
+            root: 0,
+            levels,
+            parents,
+        });
         t
     }
 
@@ -142,7 +173,10 @@ impl Topology {
     ///
     /// Panics if either dimension is zero.
     pub fn heavy_hex(rows: usize, cols: usize) -> Self {
-        assert!(rows >= 1 && cols >= 1, "heavy-hex dimensions must be positive");
+        assert!(
+            rows >= 1 && cols >= 1,
+            "heavy-hex dimensions must be positive"
+        );
         let row_qubit = |r: usize, c: usize| r * cols + c;
         let mut edges = Vec::new();
         for r in 0..rows {
@@ -228,7 +262,9 @@ impl Topology {
         t.tree = Some(TreeInfo {
             root: 0,
             levels: (0..n).collect(),
-            parents: (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect(),
+            parents: (0..n)
+                .map(|i| if i == 0 { None } else { Some(i - 1) })
+                .collect(),
         });
         t
     }
@@ -318,7 +354,9 @@ impl Topology {
 
     /// For tree topologies: the maximum level.
     pub fn num_levels(&self) -> Option<usize> {
-        self.tree.as_ref().map(|t| t.levels.iter().max().copied().unwrap_or(0) + 1)
+        self.tree
+            .as_ref()
+            .map(|t| t.levels.iter().max().copied().unwrap_or(0) + 1)
     }
 
     /// BFS distances from `source` (`usize::MAX` when unreachable).
@@ -339,7 +377,9 @@ impl Topology {
 
     /// The all-pairs distance matrix (BFS from every qubit).
     pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
-        (0..self.num_qubits).map(|q| self.bfs_distances(q)).collect()
+        (0..self.num_qubits)
+            .map(|q| self.bfs_distances(q))
+            .collect()
     }
 
     /// A shortest path between two qubits (inclusive of both endpoints).
@@ -349,7 +389,10 @@ impl Topology {
     /// Panics if the qubits are disconnected.
     pub fn shortest_path(&self, from: usize, to: usize) -> Vec<usize> {
         let dist = self.bfs_distances(to);
-        assert!(dist[from] != usize::MAX, "qubits {from} and {to} are disconnected");
+        assert!(
+            dist[from] != usize::MAX,
+            "qubits {from} and {to} are disconnected"
+        );
         let mut path = vec![from];
         let mut cur = from;
         while cur != to {
@@ -366,7 +409,10 @@ impl Topology {
     /// Count of adjacent edge pairs (edges sharing a qubit) — a simple
     /// proxy for simultaneous-gate crosstalk exposure.
     pub fn adjacent_edge_pairs(&self) -> usize {
-        self.adjacency.iter().map(|adj| adj.len() * adj.len().saturating_sub(1) / 2).sum()
+        self.adjacency
+            .iter()
+            .map(|adj| adj.len() * adj.len().saturating_sub(1) / 2)
+            .sum()
     }
 }
 
@@ -498,7 +544,10 @@ mod tests {
         // Complete binary tree of 15 nodes has 4 levels (0..=3).
         assert_eq!(b.num_levels(), Some(4));
         // Wider trees are shallower.
-        assert_eq!(Topology::xtree_with_degrees(15, &[6, 5]).num_levels(), Some(3));
+        assert_eq!(
+            Topology::xtree_with_degrees(15, &[6, 5]).num_levels(),
+            Some(3)
+        );
     }
 
     #[test]

@@ -289,7 +289,7 @@ mod tests {
         let f = allocate_frequencies(&t, &model);
         assert_eq!(f.len(), 17);
         for &x in &f {
-            assert!(x.is_finite() && x >= 5.0 && x <= 5.0 + 0.34);
+            assert!(x.is_finite() && (5.0..=5.0 + 0.34).contains(&x));
         }
     }
 

@@ -12,9 +12,7 @@ use pauli_codesign::arch::Topology;
 use pauli_codesign::chem::Benchmark;
 use pauli_codesign::compiler::layout::{hierarchical_initial_layout, Layout};
 use pauli_codesign::compiler::mtr::MtrOptions;
-use pauli_codesign::compiler::pipeline::{
-    compile_mtr_from_layout, compile_sabre,
-};
+use pauli_codesign::compiler::pipeline::{compile_mtr_from_layout, compile_sabre};
 use pauli_codesign_bench::{build_system, section};
 
 fn main() {
@@ -129,8 +127,14 @@ fn main() {
         MtrOptions::default(),
     );
     let chain_then_route = compile_sabre(&ir, &xtree, 1);
-    println!("adaptive tree synthesis (MtR)   : +{}", adaptive.added_cnots());
-    println!("fixed chain + SABRE routing     : +{}", chain_then_route.added_cnots());
+    println!(
+        "adaptive tree synthesis (MtR)   : +{}",
+        adaptive.added_cnots()
+    );
+    println!(
+        "fixed chain + SABRE routing     : +{}",
+        chain_then_route.added_cnots()
+    );
 }
 
 fn importance_with_base(
@@ -156,7 +160,11 @@ fn rebuild(ir: &PauliIr, params: &[usize]) -> PauliIr {
     for (new_p, &old_p) in params.iter().enumerate() {
         for &idx in &groups[old_p] {
             let e = ir.entries()[idx];
-            out.push(IrEntry { string: e.string, param: new_p, coefficient: e.coefficient });
+            out.push(IrEntry {
+                string: e.string,
+                param: new_p,
+                coefficient: e.coefficient,
+            });
         }
     }
     out

@@ -5,8 +5,8 @@
 //! uses the global-depolarizing evaluator, which the LiH section validates
 //! against the exact channel in the same output.
 
-use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::ansatz::compress;
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::chem::Benchmark;
 use pauli_codesign::sim::NoiseModel;
 use pauli_codesign::vqe::driver::{
@@ -19,7 +19,9 @@ fn main() {
     let noise = NoiseModel::paper_default();
 
     for molecule in [Benchmark::LiH, Benchmark::NaH] {
-        section(&format!("Figure 10 — noisy {molecule} (depolarizing CNOT error 1e-4)"));
+        section(&format!(
+            "Figure 10 — noisy {molecule} (depolarizing CNOT error 1e-4)"
+        ));
         println!(
             "{:<9} {:<7} {:>12} {:>11} {:>6}",
             "bond (Å)", "ratio", "energy (Ha)", "error (Ha)", "iters"
@@ -76,5 +78,8 @@ fn main() {
         + (1.0 - f) * system.qubit_hamiltonian().identity_weight();
     println!("density-matrix energy   : {exact_noisy:.8} Ha");
     println!("global-depolarizing     : {approx:.8} Ha");
-    println!("approximation gap       : {:.2e} Ha", (exact_noisy - approx).abs());
+    println!(
+        "approximation gap       : {:.2e} Ha",
+        (exact_noisy - approx).abs()
+    );
 }

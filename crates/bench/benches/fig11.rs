@@ -21,10 +21,20 @@ fn main() {
     print_rows(&xtree, &grid, &model, &[0.2, 0.3, 0.4, 0.5, 0.6], samples);
 
     section("tight-dispersion regime (σ = 0.02–0.06 GHz)");
-    print_rows(&xtree, &grid, &model, &[0.02, 0.03, 0.04, 0.05, 0.06], samples);
+    print_rows(
+        &xtree,
+        &grid,
+        &model,
+        &[0.02, 0.03, 0.04, 0.05, 0.06],
+        samples,
+    );
 
     section("structural comparison");
-    println!("edges            : XTree {} vs Grid {}", xtree.num_edges(), grid.num_edges());
+    println!(
+        "edges            : XTree {} vs Grid {}",
+        xtree.num_edges(),
+        grid.num_edges()
+    );
     println!(
         "crosstalk pairs  : XTree {} vs Grid {}",
         xtree.adjacent_edge_pairs(),

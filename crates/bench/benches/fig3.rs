@@ -5,7 +5,10 @@ use pauli_codesign_bench::{build_system, section, vqe_at_ratio};
 
 fn main() {
     section("Figure 3 — H2 energy vs bond length (full UCCSD VQE)");
-    println!("{:<10} {:>12} {:>12} {:>12}", "bond (Å)", "VQE (Ha)", "exact (Ha)", "HF (Ha)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "bond (Å)", "VQE (Ha)", "exact (Ha)", "HF (Ha)"
+    );
     let mut minimum = (0.0f64, f64::INFINITY);
     for k in 0..18 {
         let bond = 0.3 + 0.1 * k as f64;

@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::ansatz::parameter_importance;
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::arch::Topology;
 use pauli_codesign::compiler::pipeline::compile_mtr;
 use pauli_codesign::pauli::{PauliString, WeightedPauliSum};
@@ -24,7 +24,10 @@ fn synthetic_hamiltonian(n: usize, terms: usize) -> WeightedPauliSum {
         let x = state & ((1 << n) - 1);
         state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
         let z = state & ((1 << n) - 1);
-        h.push(0.01 * (k as f64 + 1.0), PauliString::from_symplectic(n, x, z));
+        h.push(
+            0.01 * (k as f64 + 1.0),
+            PauliString::from_symplectic(n, x, z),
+        );
     }
     h
 }

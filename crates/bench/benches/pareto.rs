@@ -8,8 +8,8 @@
 //! the compilation overhead of an H₂O 50% program — Merge-to-Root on
 //! trees, SABRE on non-trees.
 
-use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::ansatz::compress;
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::arch::{simulate_yield, CollisionModel, Topology};
 use pauli_codesign::chem::Benchmark;
 use pauli_codesign::compiler::pipeline::{compile_mtr, compile_sabre};

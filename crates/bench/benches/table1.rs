@@ -7,7 +7,10 @@ use pauli_codesign::compiler::synthesis::synthesize_chain_nominal;
 
 fn main() {
     println!("Table I — benchmark molecules and their original cost");
-    println!("{:<6} {:>8} {:>10} {:>9} {:>10} {:>9}", "mol", "qubits", "#Pauli", "#param", "gates", "CNOTs");
+    println!(
+        "{:<6} {:>8} {:>10} {:>9} {:>10} {:>9}",
+        "mol", "qubits", "#Pauli", "#param", "gates", "CNOTs"
+    );
     for b in Benchmark::ALL {
         let m = b.expected_qubits() / 2;
         let e = electrons_for(b);
@@ -22,14 +25,24 @@ fn main() {
             circuit.gate_count(),
             circuit.cnot_count()
         );
-        assert_eq!(ansatz.ir().num_parameters(), b.expected_parameters(), "{b}: params");
-        assert_eq!(ansatz.ir().len(), b.expected_pauli_strings(), "{b}: Pauli strings");
+        assert_eq!(
+            ansatz.ir().num_parameters(),
+            b.expected_parameters(),
+            "{b}: params"
+        );
+        assert_eq!(
+            ansatz.ir().len(),
+            b.expected_pauli_strings(),
+            "{b}: Pauli strings"
+        );
     }
     println!();
     println!("paper reference rows:");
     println!("H2 4/12/3/150(56)  LiH 6/40/8/610(280)  NaH 8/84/15/1476(768)");
     println!("HF 10/144/24/2856(1616)  BeH2 12/640/92/13704(8064)  H2O 12/640/92/13704(8064)");
-    println!("BH3 14/1488/204/34280(21072)  NH3 14/1488/204/34280(21072)  CH4 16/2688/360/66312(42368)");
+    println!(
+        "BH3 14/1488/204/34280(21072)  NH3 14/1488/204/34280(21072)  CH4 16/2688/360/66312(42368)"
+    );
 }
 
 /// Active electron counts implied by the paper's Table I parameter counts.

@@ -7,8 +7,8 @@
 //! H₂O; `PC_FULL=1` adds BH₃, NH₃ and CH₄ (SABRE on tens of thousands of
 //! gates takes a few minutes each).
 
-use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::ansatz::compress;
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::arch::Topology;
 use pauli_codesign::chem::Benchmark;
 use pauli_codesign::compiler::pipeline::{compile_mtr, compile_sabre};
@@ -64,9 +64,21 @@ fn main() {
     section("aggregate");
     let pct = |x: usize| 100.0 * x as f64 / totals.0 as f64;
     println!("original CNOTs            : {}", totals.0);
-    println!("MtR/XTree added           : {} ({:.2}% of original; paper avg 1.4%)", totals.1, pct(totals.1));
-    println!("SABRE/XTree added         : {} ({:.1}% of original; paper avg ~177%)", totals.2, pct(totals.2));
-    println!("SABRE/Grid added          : {} ({:.1}% of original)", totals.3, pct(totals.3));
+    println!(
+        "MtR/XTree added           : {} ({:.2}% of original; paper avg 1.4%)",
+        totals.1,
+        pct(totals.1)
+    );
+    println!(
+        "SABRE/XTree added         : {} ({:.1}% of original; paper avg ~177%)",
+        totals.2,
+        pct(totals.2)
+    );
+    println!(
+        "SABRE/Grid added          : {} ({:.1}% of original)",
+        totals.3,
+        pct(totals.3)
+    );
     if totals.2 > 0 {
         println!(
             "MtR vs SABRE on XTree     : {:.1}% of the baseline overhead (paper: ~1%)",

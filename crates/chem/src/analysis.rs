@@ -44,10 +44,7 @@ pub fn one_rdm(num_spin_orbitals: usize, state: &[Complex64]) -> RealMatrix {
                 }
                 val += *w * term;
             }
-            assert!(
-                val.im.abs() < 1e-8,
-                "complex 1-RDM entry ({p},{q}): {val}"
-            );
+            assert!(val.im.abs() < 1e-8, "complex 1-RDM entry ({p},{q}): {val}");
             d[(p, q)] = val.re;
             d[(q, p)] = val.re;
         }
@@ -84,7 +81,10 @@ pub fn number_operator(num_spin_orbitals: usize) -> WeightedPauliSum {
 ///
 /// Panics on an odd spin-orbital count.
 pub fn spin_z_operator(num_spin_orbitals: usize) -> WeightedPauliSum {
-    assert!(num_spin_orbitals % 2 == 0, "block ordering needs an even count");
+    assert!(
+        num_spin_orbitals.is_multiple_of(2),
+        "block ordering needs an even count"
+    );
     let m = num_spin_orbitals / 2;
     let mut acc: ComplexPauliMap = HashMap::new();
     for i in 0..m {
@@ -111,7 +111,10 @@ pub fn spin_z_operator(num_spin_orbitals: usize) -> WeightedPauliSum {
 ///
 /// Panics on an odd spin-orbital count.
 pub fn spin_squared_operator(num_spin_orbitals: usize) -> WeightedPauliSum {
-    assert!(num_spin_orbitals % 2 == 0, "block ordering needs an even count");
+    assert!(
+        num_spin_orbitals.is_multiple_of(2),
+        "block ordering needs an even count"
+    );
     let m = num_spin_orbitals / 2;
     let mut acc: ComplexPauliMap = HashMap::new();
 
@@ -226,10 +229,16 @@ mod tests {
         assert!(s2.expectation(&hf).abs() < 1e-10, "S² of closed shell");
         // Two parallel α spins: triplet, S² = s(s+1) = 2.
         let triplet = basis_state(4, 0b0011);
-        assert!((s2.expectation(&triplet) - 2.0).abs() < 1e-10, "S² of triplet");
+        assert!(
+            (s2.expectation(&triplet) - 2.0).abs() < 1e-10,
+            "S² of triplet"
+        );
         // Open-shell Sz=0 determinant |α₀ β₁⟩: mixed singlet/triplet, S² = 1.
         let mixed = basis_state(4, 0b1001);
-        assert!((s2.expectation(&mixed) - 1.0).abs() < 1e-10, "S² of broken pair");
+        assert!(
+            (s2.expectation(&mixed) - 1.0).abs() < 1e-10,
+            "S² of broken pair"
+        );
     }
 
     #[test]

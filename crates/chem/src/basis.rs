@@ -103,7 +103,13 @@ pub fn build_basis(molecule: &Molecule) -> Vec<BasisFunction> {
             let fit = shell_fit(shell);
             let z2 = zeta * zeta;
             // s function.
-            out.push(contracted(atom.position, [0, 0, 0], &fit.alpha_scale, &fit.coeff_s, z2));
+            out.push(contracted(
+                atom.position,
+                [0, 0, 0],
+                &fit.alpha_scale,
+                &fit.coeff_s,
+                z2,
+            ));
             // p functions for sp shells.
             if !matches!(shell, Shell::S1) {
                 for axis in 0..3 {
@@ -127,7 +133,10 @@ pub fn build_basis(molecule: &Molecule) -> Vec<BasisFunction> {
 /// and angular momentum `(i, j, k)`.
 pub fn primitive_norm(alpha: f64, angmom: [u32; 3]) -> f64 {
     let l: u32 = angmom.iter().sum();
-    let dfac: f64 = angmom.iter().map(|&m| double_factorial(2 * m as i64 - 1)).product();
+    let dfac: f64 = angmom
+        .iter()
+        .map(|&m| double_factorial(2 * m as i64 - 1))
+        .product();
     let base = (2.0 * alpha / std::f64::consts::PI).powf(0.75);
     base * ((4.0 * alpha).powi(l as i32) / dfac).sqrt()
 }
@@ -154,7 +163,10 @@ fn contracted(
         .zip(coeffs)
         .map(|(&a, &c)| {
             let alpha = a * zeta_sq;
-            Primitive { exponent: alpha, coefficient: c * primitive_norm(alpha, angmom) }
+            Primitive {
+                exponent: alpha,
+                coefficient: c * primitive_norm(alpha, angmom),
+            }
         })
         .collect();
 
@@ -171,7 +183,11 @@ fn contracted(
     for p in &mut prims {
         p.coefficient *= scale;
     }
-    BasisFunction { center, angmom, primitives: prims }
+    BasisFunction {
+        center,
+        angmom,
+        primitives: prims,
+    }
 }
 
 /// Overlap of two *unnormalized* same-center Cartesian Gaussians with the
@@ -197,7 +213,7 @@ fn primitive_pair_overlap(a: f64, b: f64, angmom: [u32; 3]) -> f64 {
 /// Deterministic: a fixed-seed Nelder–Mead over the three log-exponents,
 /// with the optimal coefficients obtained in closed form at each step.
 pub fn fit_shell(n: u32) -> ShellFit {
-    assert!(n >= 1 && n <= 3, "fit implemented for n = 1..=3");
+    assert!((1..=3).contains(&n), "fit implemented for n = 1..=3");
     let objective = |logs: &[f64; 3]| -> f64 {
         let alphas = [logs[0].exp(), logs[1].exp(), logs[2].exp()];
         let (ov_s, _) = best_coefficients(n, 0, &alphas);
@@ -221,8 +237,16 @@ pub fn fit_shell(n: u32) -> ShellFit {
     alphas.sort_by(|a, b| b.partial_cmp(a).expect("finite exponents"));
 
     let (_, cs) = best_coefficients(n, 0, &alphas);
-    let cp = if n == 1 { [0.0; 3] } else { best_coefficients(n, 1, &alphas).1 };
-    ShellFit { alpha_scale: alphas, coeff_s: cs, coeff_p: cp }
+    let cp = if n == 1 {
+        [0.0; 3]
+    } else {
+        best_coefficients(n, 1, &alphas).1
+    };
+    ShellFit {
+        alpha_scale: alphas,
+        coeff_s: cs,
+        coeff_p: cp,
+    }
 }
 
 /// For fixed exponents, the coefficients maximizing overlap with the Slater
@@ -276,12 +300,15 @@ fn slater_gaussian_overlap(n: u32, l: u32, zeta: f64, alpha: f64) -> f64 {
     //   l = 1: x-type primitive = n_g·r·(x/r)·e^{-αr²}; Slater p shares the
     //   (x/r)·√(3/4π) angular factor; ∫(x/r)² dΩ = 4π/3.
     let radial_power = match l {
-        0 => n as i32 + 1,      // r^{n-1} · r² from measure, Gaussian r^0
-        _ => n as i32 + 2,      // r^{n-1} · r (gaussian) · r² … combined below
+        0 => n as i32 + 1, // r^{n-1} · r² from measure, Gaussian r^0
+        _ => n as i32 + 2, // r^{n-1} · r (gaussian) · r² … combined below
     };
     // For l=0: integrand r^{n-1}·e^{-ζr} · e^{-αr²} · r² = r^{n+1}…
     // For l=1: gaussian radial part is r·e^{-αr²}; integrand r^{n-1}·r·r².
-    let radial = simpson(|r| r.powi(radial_power) * (-alpha * r * r - zeta * r).exp(), 60.0);
+    let radial = simpson(
+        |r| r.powi(radial_power) * (-alpha * r * r - zeta * r).exp(),
+        60.0,
+    );
     let angular = match l {
         0 => 1.0,
         _ => {
@@ -342,7 +369,7 @@ fn nelder_mead_3(f: impl Fn(&[f64; 3]) -> f64, start: [f64; 3], iters: usize) ->
         v[k] += 0.35;
         simplex.push(v);
     }
-    let mut values: Vec<f64> = simplex.iter().map(|v| f(v)).collect();
+    let mut values: Vec<f64> = simplex.iter().map(&f).collect();
     for _ in 0..iters {
         // Sort ascending by value.
         let mut idx: Vec<usize> = (0..4).collect();
@@ -385,9 +412,10 @@ fn nelder_mead_3(f: impl Fn(&[f64; 3]) -> f64, start: [f64; 3], iters: usize) ->
                 values[3] = fc;
             } else {
                 // Shrink toward best.
+                let top = simplex[0];
                 for j in 1..4 {
-                    for k in 0..3 {
-                        simplex[j][k] = simplex[0][k] + 0.5 * (simplex[j][k] - simplex[0][k]);
+                    for (s, b) in simplex[j].iter_mut().zip(&top) {
+                        *s = b + 0.5 * (*s - b);
                     }
                     values[j] = f(&simplex[j]);
                 }
@@ -425,10 +453,16 @@ mod tests {
     fn basis_sizes_match_minimal_basis() {
         use crate::geometry::shapes::*;
         assert_eq!(build_basis(&diatomic(Element::H, Element::H, 0.7)).len(), 2);
-        assert_eq!(build_basis(&diatomic(Element::Li, Element::H, 1.6)).len(), 6);
+        assert_eq!(
+            build_basis(&diatomic(Element::Li, Element::H, 1.6)).len(),
+            6
+        );
         assert_eq!(build_basis(&bent_xh2(Element::O, 0.96, 104.5)).len(), 7);
         assert_eq!(build_basis(&tetrahedral_xh4(Element::C, 1.09)).len(), 9);
-        assert_eq!(build_basis(&diatomic(Element::Na, Element::H, 1.9)).len(), 10);
+        assert_eq!(
+            build_basis(&diatomic(Element::Na, Element::H, 1.9)).len(),
+            10
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@
 /// assert!((f[0] - 1.0).abs() < 1e-15); // F_0(0) = 1
 /// ```
 pub fn boys(m_max: usize, x: f64) -> Vec<f64> {
-    assert!(x.is_finite() && x >= 0.0, "Boys argument must be finite and non-negative");
+    assert!(
+        x.is_finite() && x >= 0.0,
+        "Boys argument must be finite and non-negative"
+    );
     let mut out = vec![0.0; m_max + 1];
 
     if x < 1e-14 {
@@ -108,13 +111,9 @@ mod tests {
     fn higher_orders_match_quadrature() {
         for &x in &[0.05, 0.7, 2.3, 8.0, 20.0, 34.0] {
             let f = boys(6, x);
-            for m in 0..=6 {
+            for (m, &fm) in f.iter().enumerate() {
                 let r = reference(m, x);
-                assert!(
-                    (f[m] - r).abs() < 1e-8,
-                    "m={m}, x={x}: {} vs {r}",
-                    f[m]
-                );
+                assert!((fm - r).abs() < 1e-8, "m={m}, x={x}: {fm} vs {r}");
             }
         }
     }

@@ -96,7 +96,12 @@ impl Element {
     pub fn core_orbital_count(self) -> usize {
         match self {
             Element::H => 0,
-            Element::Li | Element::Be | Element::B | Element::C | Element::N | Element::O
+            Element::Li
+            | Element::Be
+            | Element::B
+            | Element::C
+            | Element::N
+            | Element::O
             | Element::F => 1,
             Element::Na => 5,
         }

@@ -107,7 +107,10 @@ pub fn build_qubit_hamiltonian_encoded(
     let m = act.h.rows();
     let n_so = 2 * m;
     let mut acc: ComplexPauliMap = HashMap::new();
-    acc.insert(PauliString::identity(n_so), Complex64::from_real(act.core_energy));
+    acc.insert(
+        PauliString::identity(n_so),
+        Complex64::from_real(act.core_energy),
+    );
 
     let add = |acc: &mut ComplexPauliMap, ops: &[LadderOp], scale: f64| {
         if scale == 0.0 {
@@ -127,7 +130,11 @@ pub fn build_qubit_hamiltonian_encoded(
             for beta in [false, true] {
                 let sp = crate::fermion::spin_orbital(m, p, beta);
                 let sq = crate::fermion::spin_orbital(m, q, beta);
-                add(&mut acc, &[LadderOp::create(sp), LadderOp::annihilate(sq)], hpq);
+                add(
+                    &mut acc,
+                    &[LadderOp::create(sp), LadderOp::annihilate(sq)],
+                    hpq,
+                );
             }
         }
     }
@@ -188,11 +195,22 @@ pub fn taper_two_qubits(
     num_beta: usize,
 ) -> WeightedPauliSum {
     let n = hamiltonian.num_qubits();
-    assert!(n % 2 == 0 && n >= 4, "block ordering needs an even register of ≥ 4");
+    assert!(
+        n.is_multiple_of(2) && n >= 4,
+        "block ordering needs an even register of ≥ 4"
+    );
     let m = n / 2;
     let (q_alpha, q_total) = (m - 1, n - 1);
-    let sign_alpha: f64 = if num_alpha % 2 == 0 { 1.0 } else { -1.0 };
-    let sign_total: f64 = if (num_alpha + num_beta) % 2 == 0 { 1.0 } else { -1.0 };
+    let sign_alpha: f64 = if num_alpha.is_multiple_of(2) {
+        1.0
+    } else {
+        -1.0
+    };
+    let sign_total: f64 = if (num_alpha + num_beta).is_multiple_of(2) {
+        1.0
+    } else {
+        -1.0
+    };
 
     let mut out = WeightedPauliSum::new(n - 2);
     for &(w, p) in hamiltonian.iter() {
@@ -207,9 +225,9 @@ pub fn taper_two_qubits(
                     Pauli::Z => {
                         weight *= if q == q_alpha { sign_alpha } else { sign_total };
                     }
-                    _ => panic!(
-                        "term {p} acts with {op} on tapered qubit {q}: parity not conserved"
-                    ),
+                    _ => {
+                        panic!("term {p} acts with {op} on tapered qubit {q}: parity not conserved")
+                    }
                 }
             } else {
                 reduced.set_op(dest, op);
@@ -238,8 +256,7 @@ mod tests {
                     (LadderOp::annihilate(p), LadderOp::create(q)),
                     (LadderOp::create(q), LadderOp::annihilate(p)),
                 ] {
-                    for (string, w) in
-                        encoded_product(FermionEncoding::Parity, n, &[first, second])
+                    for (string, w) in encoded_product(FermionEncoding::Parity, n, &[first, second])
                     {
                         *acc.entry(string).or_insert(Complex64::ZERO) += w;
                     }
@@ -332,7 +349,10 @@ mod tests {
         assert_eq!(parity.num_qubits(), 4);
         let e_jw = jw.ground_state_energy();
         let e_parity = parity.ground_state_energy();
-        assert!((e_jw - e_parity).abs() < 1e-8, "JW {e_jw} vs parity {e_parity}");
+        assert!(
+            (e_jw - e_parity).abs() < 1e-8,
+            "JW {e_jw} vs parity {e_parity}"
+        );
 
         // Taper the α-parity and total-parity qubits (n_α = n_β = 1).
         let tapered = taper_two_qubits(&parity, 1, 1);

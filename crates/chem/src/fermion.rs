@@ -25,12 +25,18 @@ pub struct LadderOp {
 impl LadderOp {
     /// Creation operator `a†_p`.
     pub fn create(index: usize) -> Self {
-        LadderOp { index, creation: true }
+        LadderOp {
+            index,
+            creation: true,
+        }
     }
 
     /// Annihilation operator `a_p`.
     pub fn annihilate(index: usize) -> Self {
-        LadderOp { index, creation: false }
+        LadderOp {
+            index,
+            creation: false,
+        }
     }
 }
 
@@ -51,7 +57,11 @@ pub type ComplexPauliMap = HashMap<PauliString, Complex64>;
 /// The Jordan–Wigner image of one ladder operator: two weighted strings
 /// `a†_p = ½(X_p − iY_p)·Z_{p-1}…Z_0`, `a_p = ½(X_p + iY_p)·Z_{p-1}…Z_0`.
 pub fn jordan_wigner_ladder(num_qubits: usize, op: LadderOp) -> [(Complex64, PauliString); 2] {
-    assert!(op.index < num_qubits, "spin orbital {} out of range", op.index);
+    assert!(
+        op.index < num_qubits,
+        "spin orbital {} out of range",
+        op.index
+    );
     let mut x_string = PauliString::identity(num_qubits);
     let mut y_string = PauliString::identity(num_qubits);
     for q in 0..op.index {
@@ -90,12 +100,7 @@ pub fn jordan_wigner_product(num_qubits: usize, ops: &[LadderOp]) -> ComplexPaul
 }
 
 /// Adds `scale · JW(ops)` into an accumulator map.
-pub fn accumulate_term(
-    acc: &mut ComplexPauliMap,
-    num_qubits: usize,
-    ops: &[LadderOp],
-    scale: f64,
-) {
+pub fn accumulate_term(acc: &mut ComplexPauliMap, num_qubits: usize, ops: &[LadderOp], scale: f64) {
     if scale == 0.0 {
         return;
     }
@@ -124,7 +129,7 @@ pub fn into_real_sum(num_qubits: usize, acc: ComplexPauliMap) -> WeightedPauliSu
         })
         .collect();
     // Deterministic order: sort by string for reproducibility.
-    terms.sort_by(|a, b| a.1.cmp(&b.1));
+    terms.sort_by_key(|a| a.1);
     WeightedPauliSum::from_terms(num_qubits, terms)
 }
 
@@ -148,7 +153,10 @@ pub fn antihermitian_pauli_terms(
     let conj: Vec<LadderOp> = excitation
         .iter()
         .rev()
-        .map(|op| LadderOp { index: op.index, creation: !op.creation })
+        .map(|op| LadderOp {
+            index: op.index,
+            creation: !op.creation,
+        })
         .collect();
     accumulate_term(&mut acc, num_qubits, &conj, -1.0);
 
@@ -163,7 +171,7 @@ pub fn antihermitian_pauli_terms(
             (w.im, p)
         })
         .collect();
-    out.sort_by(|a, b| a.1.cmp(&b.1));
+    out.sort_by_key(|a| a.1);
     out
 }
 
@@ -189,7 +197,10 @@ pub fn build_qubit_hamiltonian(act: &ActiveIntegrals) -> WeightedPauliSum {
     let mut acc: ComplexPauliMap = HashMap::new();
 
     // Constant core energy on the identity string.
-    acc.insert(PauliString::identity(n_so), Complex64::from_real(act.core_energy));
+    acc.insert(
+        PauliString::identity(n_so),
+        Complex64::from_real(act.core_energy),
+    );
 
     // One-body terms (spin-diagonal).
     for p in 0..m {
@@ -257,9 +268,15 @@ pub fn build_qubit_hamiltonian(act: &ActiveIntegrals) -> WeightedPauliSum {
 ///
 /// Panics if the electron count is odd or exceeds the orbital capacity.
 pub fn hartree_fock_bitmask(num_spatial: usize, num_electrons: usize) -> u64 {
-    assert!(num_electrons % 2 == 0, "closed-shell reference requires even electrons");
+    assert!(
+        num_electrons.is_multiple_of(2),
+        "closed-shell reference requires even electrons"
+    );
     let pairs = num_electrons / 2;
-    assert!(pairs <= num_spatial, "too many electrons for the active space");
+    assert!(
+        pairs <= num_spatial,
+        "too many electrons for the active space"
+    );
     let mut mask = 0u64;
     for i in 0..pairs {
         mask |= 1 << spin_orbital(num_spatial, i, false);
@@ -303,8 +320,18 @@ mod tests {
     fn hopping_term_has_z_chain() {
         // a†_2 a_0 + h.c. on 3 qubits → ½(X Z X + Y Z Y).
         let mut acc: ComplexPauliMap = HashMap::new();
-        accumulate_term(&mut acc, 3, &[LadderOp::create(2), LadderOp::annihilate(0)], 1.0);
-        accumulate_term(&mut acc, 3, &[LadderOp::create(0), LadderOp::annihilate(2)], 1.0);
+        accumulate_term(
+            &mut acc,
+            3,
+            &[LadderOp::create(2), LadderOp::annihilate(0)],
+            1.0,
+        );
+        accumulate_term(
+            &mut acc,
+            3,
+            &[LadderOp::create(0), LadderOp::annihilate(2)],
+            1.0,
+        );
         let sum = into_real_sum(3, acc);
         let mut found = std::collections::HashMap::new();
         for (w, p) in sum.iter() {
@@ -318,8 +345,7 @@ mod tests {
     #[test]
     fn single_excitation_antihermitian_terms() {
         // T = a†_1 a_0; T−T† = (i/2)(X_1 Y_0 − Y_1 X_0) → coefficients ±½.
-        let terms =
-            antihermitian_pauli_terms(2, &[LadderOp::create(1), LadderOp::annihilate(0)]);
+        let terms = antihermitian_pauli_terms(2, &[LadderOp::create(1), LadderOp::annihilate(0)]);
         assert_eq!(terms.len(), 2);
         let mut m = std::collections::HashMap::new();
         for (c, p) in &terms {
@@ -372,7 +398,12 @@ mod tests {
         let n_so = 4;
         let mut acc: ComplexPauliMap = HashMap::new();
         for p in 0..n_so {
-            accumulate_term(&mut acc, n_so, &[LadderOp::create(p), LadderOp::annihilate(p)], 1.0);
+            accumulate_term(
+                &mut acc,
+                n_so,
+                &[LadderOp::create(p), LadderOp::annihilate(p)],
+                1.0,
+            );
         }
         let op = into_real_sum(n_so, acc);
         let hf = hartree_fock_bitmask(m, 2);

@@ -66,7 +66,10 @@ impl Molecule {
 
     /// Total electron count (neutral molecule).
     pub fn num_electrons(&self) -> usize {
-        self.atoms.iter().map(|a| a.element.atomic_number() as usize).sum()
+        self.atoms
+            .iter()
+            .map(|a| a.element.atomic_number() as usize)
+            .sum()
     }
 
     /// Nuclear repulsion energy `Σ Z_a Z_b / r_ab` in Hartree.
@@ -85,7 +88,10 @@ impl Molecule {
 
     /// Number of conventionally frozen core spatial orbitals.
     pub fn core_orbital_count(&self) -> usize {
-        self.atoms.iter().map(|a| a.element.core_orbital_count()).sum()
+        self.atoms
+            .iter()
+            .map(|a| a.element.core_orbital_count())
+            .sum()
     }
 }
 
@@ -131,7 +137,10 @@ pub mod shapes {
         let mut atoms = vec![Atom::new_angstrom(center, [0.0, 0.0, 0.0])];
         for k in 0..3 {
             let phi = 2.0 * std::f64::consts::PI * k as f64 / 3.0;
-            atoms.push(Atom::new_angstrom(Element::H, [d * phi.cos(), d * phi.sin(), 0.0]));
+            atoms.push(Atom::new_angstrom(
+                Element::H,
+                [d * phi.cos(), d * phi.sin(), 0.0],
+            ));
         }
         Molecule::new(atoms)
     }
@@ -178,7 +187,10 @@ mod tests {
 
     fn bond_lengths(m: &Molecule) -> Vec<f64> {
         let c = m.atoms()[0].position;
-        m.atoms()[1..].iter().map(|a| dist(c, a.position) / ANGSTROM_TO_BOHR).collect()
+        m.atoms()[1..]
+            .iter()
+            .map(|a| dist(c, a.position) / ANGSTROM_TO_BOHR)
+            .collect()
     }
 
     #[test]
@@ -206,7 +218,10 @@ mod tests {
             tetrahedral_xh4(Element::C, 1.09),
         ] {
             for b in bond_lengths(&m) {
-                assert!((b - bond_lengths(&m)[0]).abs() < 1e-12, "bonds must be symmetric");
+                assert!(
+                    (b - bond_lengths(&m)[0]).abs() < 1e-12,
+                    "bonds must be symmetric"
+                );
             }
         }
         let m = tetrahedral_xh4(Element::C, 1.09);
@@ -220,7 +235,10 @@ mod tests {
         let b = m.atoms()[2].position;
         let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         let cos = dot / (ANGSTROM_TO_BOHR * ANGSTROM_TO_BOHR);
-        assert!((cos - (-1.0 / 3.0)).abs() < 1e-12, "tetrahedral angle must be 109.47°");
+        assert!(
+            (cos - (-1.0 / 3.0)).abs() < 1e-12,
+            "tetrahedral angle must be 109.47°"
+        );
     }
 
     #[test]

@@ -105,10 +105,15 @@ impl MolecularSystem {
 
         let ints = compute_ao_integrals(&molecule, &basis);
         let scf = restricted_hartree_fock(&ints, n_electrons, ScfOptions::default())?;
+        let mut encode_span = obs::span("chem.encode");
         let mo = transform_to_mo(&ints, &scf);
         let act = active_space_integrals(&mo, &active_space, ints.nuclear_repulsion);
         let mut hamiltonian = build_qubit_hamiltonian(&act);
         hamiltonian.simplify(1e-12);
+        encode_span.record("system", name);
+        encode_span.record("qubits", 2 * n_active);
+        encode_span.record("pauli_terms", hamiltonian.len());
+        drop(encode_span);
 
         let hf_bitmask = hartree_fock_bitmask(n_active, active_e);
         Ok(MolecularSystem {

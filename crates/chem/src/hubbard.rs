@@ -16,8 +16,7 @@ use std::collections::HashMap;
 use pauli::WeightedPauliSum;
 
 use crate::fermion::{
-    accumulate_term, hartree_fock_bitmask, into_real_sum, spin_orbital, ComplexPauliMap,
-    LadderOp,
+    accumulate_term, hartree_fock_bitmask, into_real_sum, spin_orbital, ComplexPauliMap, LadderOp,
 };
 
 /// A Fermi–Hubbard lattice model.
@@ -63,7 +62,10 @@ impl HubbardModel {
     ) -> Self {
         assert!(num_sites >= 1, "at least one site required");
         for &(a, b) in &edges {
-            assert!(a < num_sites && b < num_sites, "edge ({a},{b}) out of range");
+            assert!(
+                a < num_sites && b < num_sites,
+                "edge ({a},{b}) out of range"
+            );
             assert_ne!(a, b, "reflexive bond ({a},{b})");
         }
         HubbardModel {
@@ -201,7 +203,7 @@ impl HubbardModel {
     /// Panics if the site count is odd (no closed-shell half filling).
     pub fn half_filling_state(&self) -> u64 {
         assert!(
-            self.num_sites % 2 == 0,
+            self.num_sites.is_multiple_of(2),
             "closed-shell half filling requires an even site count"
         );
         hartree_fock_bitmask(self.num_sites, self.num_sites)
@@ -225,8 +227,7 @@ mod tests {
         // the half-filled sector with the particle-hole-symmetric chemical
         // potential μ = U/2 and shift back by μ·N.
         for (t, u) in [(1.0, 0.0), (1.0, 4.0), (0.5, 8.0), (2.0, 1.0)] {
-            let model =
-                HubbardModel::chain(2, t, u).with_chemical_potential(u / 2.0);
+            let model = HubbardModel::chain(2, t, u).with_chemical_potential(u / 2.0);
             let shifted = model.qubit_hamiltonian().ground_state_energy();
             let exact = shifted + u / 2.0 * 2.0; // N = 2 electrons
             let analytic = (u - (u * u + 16.0 * t * t).sqrt()) / 2.0;

@@ -167,12 +167,8 @@ fn eri_prim(
         + ld.iter().sum::<u32>()) as usize;
     let fb = boys(l_total, alpha * dist_sq(rp, rq));
 
-    let e1 = |d_: usize, t: i32| {
-        hermite_e(la[d_] as i32, lb[d_] as i32, t, ra[d_] - rb[d_], a, b)
-    };
-    let e2 = |d_: usize, t: i32| {
-        hermite_e(lc[d_] as i32, ld[d_] as i32, t, rc[d_] - rd[d_], c, d)
-    };
+    let e1 = |d_: usize, t: i32| hermite_e(la[d_] as i32, lb[d_] as i32, t, ra[d_] - rb[d_], a, b);
+    let e2 = |d_: usize, t: i32| hermite_e(lc[d_] as i32, ld[d_] as i32, t, rc[d_] - rd[d_], c, d);
 
     let mut acc = 0.0;
     for t in 0..=(la[0] + lb[0]) as i32 {
@@ -219,12 +215,16 @@ fn contract2(fa: &BasisFunction, fb: &BasisFunction, f: impl Fn(f64, f64) -> f64
 
 /// Overlap integral `⟨a|b⟩` of two contracted functions.
 pub fn overlap(fa: &BasisFunction, fb: &BasisFunction) -> f64 {
-    contract2(fa, fb, |a, b| overlap_prim(a, fa.angmom, fa.center, b, fb.angmom, fb.center))
+    contract2(fa, fb, |a, b| {
+        overlap_prim(a, fa.angmom, fa.center, b, fb.angmom, fb.center)
+    })
 }
 
 /// Kinetic-energy integral `⟨a|−∇²/2|b⟩`.
 pub fn kinetic(fa: &BasisFunction, fb: &BasisFunction) -> f64 {
-    contract2(fa, fb, |a, b| kinetic_prim(a, fa.angmom, fa.center, b, fb.angmom, fb.center))
+    contract2(fa, fb, |a, b| {
+        kinetic_prim(a, fa.angmom, fa.center, b, fb.angmom, fb.center)
+    })
 }
 
 /// Nuclear-attraction integral `⟨a|Σ_C −Z_C/r_C|b⟩` over all nuclei.
@@ -233,7 +233,15 @@ pub fn nuclear(fa: &BasisFunction, fb: &BasisFunction, molecule: &Molecule) -> f
     for atom in molecule.atoms() {
         let z = atom.element.atomic_number() as f64;
         acc -= z * contract2(fa, fb, |a, b| {
-            nuclear_prim(a, fa.angmom, fa.center, b, fb.angmom, fb.center, atom.position)
+            nuclear_prim(
+                a,
+                fa.angmom,
+                fa.center,
+                b,
+                fb.angmom,
+                fb.center,
+                atom.position,
+            )
         });
     }
     acc
@@ -268,12 +276,7 @@ pub fn dipole(fa: &BasisFunction, fb: &BasisFunction, axis: usize) -> f64 {
 }
 
 /// Electron-repulsion integral `(ab|cd)` in chemist notation.
-pub fn eri(
-    fa: &BasisFunction,
-    fb: &BasisFunction,
-    fc: &BasisFunction,
-    fd: &BasisFunction,
-) -> f64 {
+pub fn eri(fa: &BasisFunction, fb: &BasisFunction, fc: &BasisFunction, fd: &BasisFunction) -> f64 {
     let mut acc = 0.0;
     for pa in &fa.primitives {
         for pb in &fb.primitives {
@@ -284,10 +287,18 @@ pub fn eri(
                         * pc.coefficient
                         * pd.coefficient
                         * eri_prim(
-                            pa.exponent, fa.angmom, fa.center, //
-                            pb.exponent, fb.angmom, fb.center, //
-                            pc.exponent, fc.angmom, fc.center, //
-                            pd.exponent, fd.angmom, fd.center,
+                            pa.exponent,
+                            fa.angmom,
+                            fa.center, //
+                            pb.exponent,
+                            fb.angmom,
+                            fb.center, //
+                            pc.exponent,
+                            fc.angmom,
+                            fc.center, //
+                            pd.exponent,
+                            fd.angmom,
+                            fd.center,
                         );
                 }
             }
@@ -332,8 +343,14 @@ impl EriTensor {
 
     /// Builds a tensor by evaluating `f(p,q,r,s)` on the canonical octant
     /// and mirroring. Exposed for the MO transform.
-    pub fn from_fn_symmetric(n: usize, mut f: impl FnMut(usize, usize, usize, usize) -> f64) -> Self {
-        let mut t = EriTensor { n, data: vec![0.0; n * n * n * n] };
+    pub fn from_fn_symmetric(
+        n: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f64,
+    ) -> Self {
+        let mut t = EriTensor {
+            n,
+            data: vec![0.0; n * n * n * n],
+        };
         for p in 0..n {
             for q in 0..=p {
                 for r in 0..=p {
@@ -369,8 +386,9 @@ pub fn compute_ao_integrals(molecule: &Molecule, basis: &[BasisFunction]) -> AoI
     let t = RealMatrix::from_fn(n, n, |i, j| kinetic(&basis[i], &basis[j]));
     let v = RealMatrix::from_fn(n, n, |i, j| nuclear(&basis[i], &basis[j], molecule));
     let h = &t + &v;
-    let eri_t =
-        EriTensor::from_fn_symmetric(n, |p, q, r, s| eri(&basis[p], &basis[q], &basis[r], &basis[s]));
+    let eri_t = EriTensor::from_fn_symmetric(n, |p, q, r, s| {
+        eri(&basis[p], &basis[q], &basis[r], &basis[s])
+    });
     AoIntegrals {
         overlap: s,
         core_hamiltonian: h,

@@ -117,7 +117,11 @@ impl ActiveSpace {
             .filter(|i| !frozen.contains(i) && !removed.contains(i))
             .collect();
         assert!(!active.is_empty(), "active space must be non-empty");
-        ActiveSpace { num_mo, frozen, active }
+        ActiveSpace {
+            num_mo,
+            frozen,
+            active,
+        }
     }
 
     /// All orbitals active (no reduction).
@@ -147,7 +151,10 @@ impl ActiveSpace {
     /// Panics if the frozen orbitals would hold more electrons than exist.
     pub fn active_electrons(&self, total_electrons: usize) -> usize {
         let frozen_e = 2 * self.frozen.len();
-        assert!(frozen_e <= total_electrons, "frozen orbitals exceed electron count");
+        assert!(
+            frozen_e <= total_electrons,
+            "frozen orbitals exceed electron count"
+        );
         total_electrons - frozen_e
     }
 }
@@ -198,7 +205,11 @@ pub fn active_space_integrals(
         mo.eri.get(active[p], active[q], active[r], active[s])
     });
 
-    ActiveIntegrals { core_energy: core, h, eri }
+    ActiveIntegrals {
+        core_energy: core,
+        h,
+        eri,
+    }
 }
 
 #[cfg(test)]

@@ -138,9 +138,10 @@ impl Benchmark {
             Benchmark::NaH => ActiveSpace::new(n_mo, vec![0, 1, 2, 3, 4], vec![9]),
             // Everything else: freeze the chemical core only.
             _ => {
-                let frozen: Vec<usize> =
-                    (0..self.molecule(self.equilibrium_bond_length()).core_orbital_count())
-                        .collect();
+                let frozen: Vec<usize> = (0..self
+                    .molecule(self.equilibrium_bond_length())
+                    .core_orbital_count())
+                    .collect();
                 ActiveSpace::new(n_mo, frozen, vec![])
             }
         }

@@ -56,33 +56,29 @@ pub fn mp2_correlation_energy(mo: &MoIntegrals, scf: &ScfResult) -> f64 {
 /// The molecular dipole moment vector in atomic units (e·a₀):
 /// `μ = Σ_A Z_A·R_A − Σ_{μν} D_{μν} ⟨μ|r|ν⟩` with the closed-shell SCF
 /// density `D = 2·C_occ·C_occᵀ`.
-pub fn dipole_moment(
-    molecule: &Molecule,
-    basis: &[BasisFunction],
-    scf: &ScfResult,
-) -> [f64; 3] {
+pub fn dipole_moment(molecule: &Molecule, basis: &[BasisFunction], scf: &ScfResult) -> [f64; 3] {
     let n = basis.len();
     // SCF density matrix.
     let mut density = vec![vec![0.0; n]; n];
-    for mu in 0..n {
-        for nu in 0..n {
-            density[mu][nu] =
-                2.0 * (0..scf.num_occupied)
+    for (mu, row) in density.iter_mut().enumerate() {
+        for (nu, d) in row.iter_mut().enumerate() {
+            *d = 2.0
+                * (0..scf.num_occupied)
                     .map(|i| scf.mo_coefficients[(mu, i)] * scf.mo_coefficients[(nu, i)])
                     .sum::<f64>();
         }
     }
 
     let mut mu_vec = [0.0f64; 3];
-    for axis in 0..3 {
+    for (axis, out) in mu_vec.iter_mut().enumerate() {
         // Nuclear part.
         for atom in molecule.atoms() {
-            mu_vec[axis] += atom.element.atomic_number() as f64 * atom.position[axis];
+            *out += atom.element.atomic_number() as f64 * atom.position[axis];
         }
         // Electronic part.
         for m in 0..n {
             for v in 0..n {
-                mu_vec[axis] -= density[m][v] * dipole(&basis[m], &basis[v], axis);
+                *out -= density[m][v] * dipole(&basis[m], &basis[v], axis);
             }
         }
     }
@@ -107,9 +103,8 @@ mod tests {
     fn solve(molecule: &Molecule) -> (Vec<BasisFunction>, ScfResult, MoIntegrals) {
         let basis = build_basis(molecule);
         let ints = compute_ao_integrals(molecule, &basis);
-        let scf =
-            restricted_hartree_fock(&ints, molecule.num_electrons(), ScfOptions::default())
-                .unwrap();
+        let scf = restricted_hartree_fock(&ints, molecule.num_electrons(), ScfOptions::default())
+            .unwrap();
         let mo = transform_to_mo(&ints, &scf);
         (basis, scf, mo)
     }
@@ -159,7 +154,10 @@ mod tests {
         let m = diatomic(Element::F, Element::H, 0.92);
         let (basis, scf, _) = solve(&m);
         let mu = dipole_moment(&m, &basis, &scf);
-        assert!(mu[0].abs() < 1e-8 && mu[1].abs() < 1e-8, "off-axis dipole {mu:?}");
+        assert!(
+            mu[0].abs() < 1e-8 && mu[1].abs() < 1e-8,
+            "off-axis dipole {mu:?}"
+        );
         let mag = dipole_magnitude(mu);
         assert!((0.3..=0.8).contains(&mag), "HF dipole magnitude {mag}");
         // F is at the origin, H at +z; the negative end sits on F, so the

@@ -32,13 +32,25 @@ impl fmt::Display for ScfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScfError::OddElectronCount(n) => {
-                write!(f, "restricted Hartree-Fock requires an even electron count, got {n}")
+                write!(
+                    f,
+                    "restricted Hartree-Fock requires an even electron count, got {n}"
+                )
             }
             ScfError::BasisTooSmall { occupied, basis } => {
-                write!(f, "{occupied} occupied orbitals exceed {basis} basis functions")
+                write!(
+                    f,
+                    "{occupied} occupied orbitals exceed {basis} basis functions"
+                )
             }
-            ScfError::NotConverged { iterations, delta_e } => {
-                write!(f, "SCF did not converge in {iterations} iterations (ΔE = {delta_e:e})")
+            ScfError::NotConverged {
+                iterations,
+                delta_e,
+            } => {
+                write!(
+                    f,
+                    "SCF did not converge in {iterations} iterations (ΔE = {delta_e:e})"
+                )
             }
         }
     }
@@ -79,7 +91,12 @@ pub struct ScfOptions {
 
 impl Default for ScfOptions {
     fn default() -> Self {
-        ScfOptions { max_iter: 200, energy_tol: 1e-10, error_tol: 1e-8, diis_depth: 8 }
+        ScfOptions {
+            max_iter: 200,
+            energy_tol: 1e-10,
+            error_tol: 1e-8,
+            diis_depth: 8,
+        }
     }
 }
 
@@ -94,13 +111,19 @@ pub fn restricted_hartree_fock(
     num_electrons: usize,
     options: ScfOptions,
 ) -> Result<ScfResult, ScfError> {
-    if num_electrons % 2 != 0 {
+    if !num_electrons.is_multiple_of(2) {
         return Err(ScfError::OddElectronCount(num_electrons));
     }
+    let mut scf_span = obs::span("chem.scf");
+    scf_span.record("electrons", num_electrons);
+    scf_span.record("max_iter", options.max_iter);
     let n = ints.overlap.rows();
     let nocc = num_electrons / 2;
     if nocc > n {
-        return Err(ScfError::BasisTooSmall { occupied: nocc, basis: n });
+        return Err(ScfError::BasisTooSmall {
+            occupied: nocc,
+            basis: n,
+        });
     }
 
     // Symmetric orthogonalization X = S^{-1/2}.
@@ -108,7 +131,9 @@ pub fn restricted_hartree_fock(
     let x = {
         let u = &s_eig.vectors;
         RealMatrix::from_fn(n, n, |i, j| {
-            (0..n).map(|k| u[(i, k)] / s_eig.values[k].sqrt() * u[(j, k)]).sum()
+            (0..n)
+                .map(|k| u[(i, k)] / s_eig.values[k].sqrt() * u[(j, k)])
+                .sum()
         })
     };
 
@@ -163,11 +188,25 @@ pub fn restricted_hartree_fock(
         let delta_e = (e_elec - energy).abs();
         energy = e_elec;
 
+        obs::event!(
+            "chem.scf.iter",
+            iter = it,
+            energy = e_elec,
+            delta_e = delta_e,
+            diis_error = err_norm
+        );
+        obs::histogram_record("chem.scf.diis_error", err_norm);
+
         if delta_e < options.energy_tol && err_norm < options.error_tol {
             // Recompute final orbitals from the converged Fock matrix.
             let f_ortho = x.mul(&new_fock).mul(&x);
             let f_eig = jacobi_eigen(&f_ortho);
             let c = x.mul(&f_eig.vectors);
+            scf_span.record("iterations", it);
+            scf_span.record("converged", true);
+            scf_span.record("electronic_energy", energy);
+            scf_span.record("total_energy", energy + ints.nuclear_repulsion);
+            obs::counter_add("chem.scf.iterations", it as u64);
             return Ok(ScfResult {
                 total_energy: energy + ints.nuclear_repulsion,
                 electronic_energy: energy,
@@ -192,7 +231,13 @@ pub fn restricted_hartree_fock(
         };
     }
 
-    Err(ScfError::NotConverged { iterations: options.max_iter, delta_e: f64::NAN })
+    scf_span.record("iterations", options.max_iter);
+    scf_span.record("converged", false);
+    obs::counter_add("chem.scf.iterations", options.max_iter as u64);
+    Err(ScfError::NotConverged {
+        iterations: options.max_iter,
+        delta_e: f64::NAN,
+    })
 }
 
 /// Solves the DIIS least-squares problem and returns the extrapolated Fock
@@ -249,7 +294,11 @@ mod tests {
         // E(HF/STO-3G) at R = 1.4 Bohr: −1.1167 Hartree.
         let m = diatomic(Element::H, Element::H, 1.4 / ANGSTROM_TO_BOHR);
         let r = run(&m);
-        assert!((r.total_energy + 1.1167).abs() < 2e-3, "E = {}", r.total_energy);
+        assert!(
+            (r.total_energy + 1.1167).abs() < 2e-3,
+            "E = {}",
+            r.total_energy
+        );
         assert_eq!(r.num_occupied, 1);
     }
 
@@ -258,7 +307,11 @@ mod tests {
         // HF/STO-3G water ≈ −74.96 Hartree near equilibrium.
         let m = bent_xh2(Element::O, 0.96, 104.5);
         let r = run(&m);
-        assert!((r.total_energy + 74.96).abs() < 0.05, "E = {}", r.total_energy);
+        assert!(
+            (r.total_energy + 74.96).abs() < 0.05,
+            "E = {}",
+            r.total_energy
+        );
         assert_eq!(r.num_occupied, 5);
     }
 
@@ -267,7 +320,11 @@ mod tests {
         // HF/STO-3G LiH ≈ −7.86 Hartree near equilibrium.
         let m = diatomic(Element::Li, Element::H, 1.60);
         let r = run(&m);
-        assert!((r.total_energy + 7.86).abs() < 0.02, "E = {}", r.total_energy);
+        assert!(
+            (r.total_energy + 7.86).abs() < 0.02,
+            "E = {}",
+            r.total_energy
+        );
     }
 
     #[test]
@@ -287,7 +344,11 @@ mod tests {
         let basis = build_basis(&m);
         let ints = compute_ao_integrals(&m, &basis);
         let r = restricted_hartree_fock(&ints, 4, ScfOptions::default()).unwrap();
-        let ctsc = r.mo_coefficients.transpose().mul(&ints.overlap).mul(&r.mo_coefficients);
+        let ctsc = r
+            .mo_coefficients
+            .transpose()
+            .mul(&ints.overlap)
+            .mul(&r.mo_coefficients);
         assert!(ctsc.max_abs_diff(&RealMatrix::identity(basis.len())) < 1e-8);
     }
 

@@ -24,7 +24,10 @@ fn transform(m: &Molecule, rot: [[f64; 3]; 3], shift: [f64; 3]) -> Molecule {
                 rot[1][0] * p[0] + rot[1][1] * p[1] + rot[1][2] * p[2] + shift[1],
                 rot[2][0] * p[0] + rot[2][1] * p[1] + rot[2][2] * p[2] + shift[2],
             ];
-            Atom { element: a.element, position: rotated }
+            Atom {
+                element: a.element,
+                position: rotated,
+            }
         })
         .collect();
     Molecule::new(atoms)
@@ -81,8 +84,7 @@ fn mp2_and_dipole_magnitude_are_rotation_invariant() {
     let solve = |m: &Molecule| {
         let basis = build_basis(m);
         let ints = compute_ao_integrals(m, &basis);
-        let scf =
-            restricted_hartree_fock(&ints, m.num_electrons(), ScfOptions::default()).unwrap();
+        let scf = restricted_hartree_fock(&ints, m.num_electrons(), ScfOptions::default()).unwrap();
         let mo = transform_to_mo(&ints, &scf);
         let e2 = mp2_correlation_energy(&mo, &scf);
         let mu = dipole_magnitude(dipole_moment(m, &basis, &scf));

@@ -106,9 +106,10 @@ impl Gate {
             Gate::Rx(q, t) => Gate::Rx(map(q), t),
             Gate::Ry(q, t) => Gate::Ry(map(q), t),
             Gate::Rz(q, t) => Gate::Rz(map(q), t),
-            Gate::Cnot { control, target } => {
-                Gate::Cnot { control: map(control), target: map(target) }
-            }
+            Gate::Cnot { control, target } => Gate::Cnot {
+                control: map(control),
+                target: map(target),
+            },
             Gate::Swap(a, b) => Gate::Swap(map(a), map(b)),
         }
     }
@@ -144,9 +145,7 @@ impl Gate {
                 let s = C::from_real((t / 2.0).sin());
                 [c, -s, s, c]
             }
-            Gate::Rz(_, t) => {
-                [C::cis(-t / 2.0), zero, zero, C::cis(t / 2.0)]
-            }
+            Gate::Rz(_, t) => [C::cis(-t / 2.0), zero, zero, C::cis(t / 2.0)],
             Gate::Cnot { .. } | Gate::Swap(_, _) => {
                 panic!("single_qubit_matrix called on a two-qubit gate")
             }
@@ -213,7 +212,13 @@ mod tests {
 
     #[test]
     fn matrices_are_unitary() {
-        for g in [Gate::H(0), Gate::S(0), Gate::Rx(0, 0.4), Gate::Ry(0, 0.4), Gate::Rz(0, 0.4)] {
+        for g in [
+            Gate::H(0),
+            Gate::S(0),
+            Gate::Rx(0, 0.4),
+            Gate::Ry(0, 0.4),
+            Gate::Rz(0, 0.4),
+        ] {
             let m = g.single_qubit_matrix();
             let dag = [m[0].conj(), m[2].conj(), m[1].conj(), m[3].conj()];
             assert!(approx_id(mat_mul(dag, m)), "{g} not unitary");
@@ -222,7 +227,10 @@ mod tests {
 
     #[test]
     fn s_squared_is_z() {
-        let s2 = mat_mul(Gate::S(0).single_qubit_matrix(), Gate::S(0).single_qubit_matrix());
+        let s2 = mat_mul(
+            Gate::S(0).single_qubit_matrix(),
+            Gate::S(0).single_qubit_matrix(),
+        );
         let z = Gate::Z(0).single_qubit_matrix();
         for k in 0..4 {
             assert!(s2[k].approx_eq(z[k], 1e-12));
@@ -251,15 +259,27 @@ mod tests {
         let vzv = mat_mul(mat_mul(v, z), vdag);
         let y = Gate::Y(0).single_qubit_matrix();
         for k in 0..4 {
-            assert!(vzv[k].approx_eq(y[k], 1e-12), "SH basis change wrong at {k}");
+            assert!(
+                vzv[k].approx_eq(y[k], 1e-12),
+                "SH basis change wrong at {k}"
+            );
         }
     }
 
     #[test]
     fn remap_and_metadata() {
-        let g = Gate::Cnot { control: 0, target: 1 };
+        let g = Gate::Cnot {
+            control: 0,
+            target: 1,
+        };
         let r = g.remapped(|q| q + 10);
-        assert_eq!(r, Gate::Cnot { control: 10, target: 11 });
+        assert_eq!(
+            r,
+            Gate::Cnot {
+                control: 10,
+                target: 11
+            }
+        );
         assert!(g.is_two_qubit());
         assert!(!g.is_parameterized());
         assert!(Gate::Rz(0, 0.1).is_parameterized());

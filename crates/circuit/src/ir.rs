@@ -35,7 +35,10 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit on `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        Circuit { num_qubits, gates: Vec::new() }
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+        }
     }
 
     /// Number of qubits in the register.
@@ -65,10 +68,17 @@ impl Circuit {
     pub fn push(&mut self, gate: Gate) {
         let qs = gate.qubits();
         for &q in &qs {
-            assert!(q < self.num_qubits, "gate {gate} outside register of {}", self.num_qubits);
+            assert!(
+                q < self.num_qubits,
+                "gate {gate} outside register of {}",
+                self.num_qubits
+            );
         }
         if qs.len() == 2 {
-            assert_ne!(qs[0], qs[1], "two-qubit gate with identical operands: {gate}");
+            assert_ne!(
+                qs[0], qs[1],
+                "two-qubit gate with identical operands: {gate}"
+            );
         }
         self.gates.push(gate);
     }
@@ -79,7 +89,10 @@ impl Circuit {
     ///
     /// Panics if `other` is wider than this circuit.
     pub fn append(&mut self, other: &Circuit) {
-        assert!(other.num_qubits <= self.num_qubits, "appended circuit too wide");
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "appended circuit too wide"
+        );
         for &g in &other.gates {
             self.push(g);
         }
@@ -162,9 +175,18 @@ impl Circuit {
         let mut out = Circuit::new(self.num_qubits);
         for &g in &self.gates {
             if let Gate::Swap(a, b) = g {
-                out.push(Gate::Cnot { control: a, target: b });
-                out.push(Gate::Cnot { control: b, target: a });
-                out.push(Gate::Cnot { control: a, target: b });
+                out.push(Gate::Cnot {
+                    control: a,
+                    target: b,
+                });
+                out.push(Gate::Cnot {
+                    control: b,
+                    target: a,
+                });
+                out.push(Gate::Cnot {
+                    control: a,
+                    target: b,
+                });
             } else {
                 out.push(g);
             }
@@ -220,7 +242,10 @@ impl Circuit {
                 break;
             }
         }
-        Circuit { num_qubits: self.num_qubits, gates }
+        Circuit {
+            num_qubits: self.num_qubits,
+            gates,
+        }
     }
 
     /// Serializes to OpenQASM 2.0, the interchange format understood by
@@ -271,7 +296,11 @@ impl Circuit {
                 used[q] = true;
             }
         }
-        used.iter().enumerate().filter(|(_, &u)| u).map(|(q, _)| q).collect()
+        used.iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(q, _)| q)
+            .collect()
     }
 }
 
@@ -310,9 +339,15 @@ mod tests {
         let mut c = Circuit::new(3);
         c.push(Gate::H(0));
         c.push(Gate::H(1));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         c.push(Gate::Rz(1, 0.5));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         assert_eq!(c.gate_count(), 5);
         assert_eq!(c.cnot_count(), 2);
         assert_eq!(c.single_qubit_count(), 3);
@@ -344,26 +379,53 @@ mod tests {
     #[test]
     fn cancel_adjacent_cnots_removes_pairs() {
         let mut c = Circuit::new(3);
-        c.push(Gate::Cnot { control: 0, target: 1 });
-        c.push(Gate::Cnot { control: 0, target: 1 });
-        c.push(Gate::Cnot { control: 1, target: 2 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        c.push(Gate::Cnot {
+            control: 1,
+            target: 2,
+        });
         let r = c.cancel_adjacent_cnots();
         assert_eq!(r.cnot_count(), 1);
-        assert_eq!(r.gates()[0], Gate::Cnot { control: 1, target: 2 });
+        assert_eq!(
+            r.gates()[0],
+            Gate::Cnot {
+                control: 1,
+                target: 2
+            }
+        );
     }
 
     #[test]
     fn cancel_respects_intervening_gates() {
         let mut c = Circuit::new(2);
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         c.push(Gate::Rz(1, 0.1)); // blocks cancellation
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         assert_eq!(c.cancel_adjacent_cnots().cnot_count(), 2);
 
         let mut d = Circuit::new(3);
-        d.push(Gate::Cnot { control: 0, target: 1 });
+        d.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         d.push(Gate::Rz(2, 0.1)); // disjoint qubit: does not block
-        d.push(Gate::Cnot { control: 0, target: 1 });
+        d.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         assert_eq!(d.cancel_adjacent_cnots().cnot_count(), 0);
     }
 
@@ -371,26 +433,50 @@ mod tests {
     fn cancel_runs_to_fixed_point() {
         // Nested pairs: outer pair only cancels after inner pair is gone.
         let mut c = Circuit::new(2);
-        c.push(Gate::Cnot { control: 0, target: 1 });
-        c.push(Gate::Cnot { control: 1, target: 0 });
-        c.push(Gate::Cnot { control: 1, target: 0 });
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        c.push(Gate::Cnot {
+            control: 1,
+            target: 0,
+        });
+        c.push(Gate::Cnot {
+            control: 1,
+            target: 0,
+        });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         assert_eq!(c.cancel_adjacent_cnots().cnot_count(), 0);
     }
 
     #[test]
     fn remap_relabels() {
         let mut c = Circuit::new(4);
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let r = c.remapped(|q| 3 - q);
-        assert_eq!(r.gates()[0], Gate::Cnot { control: 3, target: 2 });
+        assert_eq!(
+            r.gates()[0],
+            Gate::Cnot {
+                control: 3,
+                target: 2
+            }
+        );
     }
 
     #[test]
     fn active_qubits_reports_touched() {
         let mut c = Circuit::new(5);
         c.push(Gate::H(1));
-        c.push(Gate::Cnot { control: 3, target: 1 });
+        c.push(Gate::Cnot {
+            control: 3,
+            target: 1,
+        });
         assert_eq!(c.active_qubits(), vec![1, 3]);
     }
 
@@ -406,7 +492,10 @@ mod tests {
         c.push(Gate::Rx(1, 0.25));
         c.push(Gate::Ry(2, -0.5));
         c.push(Gate::Rz(0, 1.0));
-        c.push(Gate::Cnot { control: 0, target: 2 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 2,
+        });
         c.push(Gate::Swap(1, 2));
         let qasm = c.to_qasm();
         assert!(qasm.starts_with("OPENQASM 2.0;"));
@@ -431,6 +520,9 @@ mod tests {
     #[should_panic]
     fn push_rejects_degenerate_two_qubit() {
         let mut c = Circuit::new(2);
-        c.push(Gate::Cnot { control: 1, target: 1 });
+        c.push(Gate::Cnot {
+            control: 1,
+            target: 1,
+        });
     }
 }

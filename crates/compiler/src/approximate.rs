@@ -38,7 +38,11 @@ pub fn approximate_ir(
     params: &[f64],
     angle_threshold: f64,
 ) -> (PauliIr, Vec<f64>, ApproximationReport) {
-    assert_eq!(params.len(), ir.num_parameters(), "parameter count mismatch");
+    assert_eq!(
+        params.len(),
+        ir.num_parameters(),
+        "parameter count mismatch"
+    );
     assert!(angle_threshold >= 0.0, "threshold must be non-negative");
 
     let mut out = PauliIr::new(ir.num_qubits(), ir.initial_state());
@@ -58,7 +62,11 @@ pub fn approximate_ir(
             new_params.push(params[e.param]);
             new_params.len() - 1
         });
-        out.push(IrEntry { string: e.string, param: new_idx, coefficient: e.coefficient });
+        out.push(IrEntry {
+            string: e.string,
+            param: new_idx,
+            coefficient: e.coefficient,
+        });
     }
 
     let report = ApproximationReport {

@@ -36,7 +36,10 @@ impl Layout {
     ///
     /// Panics if there are more logical than physical qubits.
     pub fn trivial(num_logical: usize, num_physical: usize) -> Self {
-        assert!(num_logical <= num_physical, "more logical than physical qubits");
+        assert!(
+            num_logical <= num_physical,
+            "more logical than physical qubits"
+        );
         let log2phys: Vec<usize> = (0..num_logical).collect();
         let mut phys2log = vec![None; num_physical];
         for (l, &p) in log2phys.iter().enumerate() {
@@ -148,6 +151,10 @@ pub fn hierarchical_initial_layout(ir: &PauliIr, topology: &Topology) -> Layout 
         "hierarchical layout requires a tree topology with levels"
     );
 
+    let mut span = obs::span("compiler.layout.hierarchical");
+    span.record("logical_qubits", n);
+    span.record("physical_qubits", topology.num_qubits());
+
     let mat = cooccurrence_matrix(ir);
     let occurrence: Vec<usize> = mat.iter().map(|row| row.iter().sum()).collect();
 
@@ -197,6 +204,24 @@ pub fn hierarchical_initial_layout(ir: &PauliIr, topology: &Topology) -> Layout 
         occupied[p] = true;
     }
 
+    if obs::is_enabled() {
+        // Layout quality: co-occurrence-weighted mean physical distance
+        // between interacting logical qubits (1.0 = every pair adjacent).
+        let dist = topology.distance_matrix();
+        let (mut weighted, mut weight) = (0.0f64, 0.0f64);
+        for a in 0..n {
+            for b in a + 1..n {
+                if mat[a][b] > 0 {
+                    weighted += mat[a][b] as f64 * dist[log2phys[a]][log2phys[b]] as f64;
+                    weight += mat[a][b] as f64;
+                }
+            }
+        }
+        if weight > 0.0 {
+            span.record("mean_pair_distance", weighted / weight);
+        }
+    }
+
     Layout::from_assignment(log2phys, topology.num_qubits())
 }
 
@@ -209,7 +234,11 @@ mod tests {
         let n = strings[0].len();
         let mut ir = PauliIr::new(n, 0);
         for (i, s) in strings.iter().enumerate() {
-            ir.push(IrEntry { string: s.parse().unwrap(), param: i, coefficient: 1.0 });
+            ir.push(IrEntry {
+                string: s.parse().unwrap(),
+                param: i,
+                coefficient: 1.0,
+            });
         }
         ir
     }
@@ -245,14 +274,10 @@ mod tests {
         // Strings on 6 qubits (textual form: q5…q0 left to right).
         let ir = ir_from(&[
             "IIIIZZ", // q0,q1
-            "IIIIZZ",
-            "IIIZIZ", // q0,q2
-            "IIIZIZ",
-            "IIZIIZ", // q0,q3
-            "IIZIIZ",
-            "IZIIIZ", // q0,q4
-            "IZIIIZ",
-            "ZIZIIZ", // q0,q3,q5
+            "IIIIZZ", "IIIZIZ", // q0,q2
+            "IIIZIZ", "IIZIIZ", // q0,q3
+            "IIZIIZ", "IZIIIZ", // q0,q4
+            "IZIIIZ", "ZIZIIZ", // q0,q3,q5
         ]);
         let t = Topology::xtree(17);
         let layout = hierarchical_initial_layout(&ir, &t);

@@ -58,7 +58,10 @@ pub struct MtrOptions {
 
 impl Default for MtrOptions {
     fn default() -> Self {
-        MtrOptions { consolidate_swaps: true, lone_child: LoneChildPolicy::Lookahead(32) }
+        MtrOptions {
+            consolidate_swaps: true,
+            lone_child: LoneChildPolicy::Lookahead(32),
+        }
     }
 }
 
@@ -90,13 +93,27 @@ pub fn merge_to_root(
     params: &[f64],
     options: MtrOptions,
 ) -> MtrOutput {
-    assert!(topology.root().is_some(), "Merge-to-Root requires a tree topology");
-    assert_eq!(params.len(), ir.num_parameters(), "parameter count mismatch");
-    assert_eq!(initial_layout.num_logical(), ir.num_qubits(), "layout width mismatch");
+    assert!(
+        topology.root().is_some(),
+        "Merge-to-Root requires a tree topology"
+    );
+    assert_eq!(
+        params.len(),
+        ir.num_parameters(),
+        "parameter count mismatch"
+    );
+    assert_eq!(
+        initial_layout.num_logical(),
+        ir.num_qubits(),
+        "layout width mismatch"
+    );
     assert!(
         initial_layout.num_physical() == topology.num_qubits(),
         "layout does not match the topology"
     );
+
+    let mut span = obs::span("compiler.mtr.merge");
+    span.record("strings", ir.len());
 
     let mut layout = initial_layout;
     let mut circuit = Circuit::new(topology.num_qubits());
@@ -111,17 +128,23 @@ pub fn merge_to_root(
     }
 
     // Positions that still hold |0⟩ (never touched by an occupied swap).
-    let mut pristine: Vec<bool> =
-        (0..topology.num_qubits()).map(|p| layout.logical(p).is_none()).collect();
+    let mut pristine: Vec<bool> = (0..topology.num_qubits())
+        .map(|p| layout.logical(p).is_none())
+        .collect();
 
     // Per-string future-occurrence counts for the lookahead heuristic.
-    let occurrences: Vec<u64> = ir.entries().iter().map(|e| e.string.support_mask()).collect();
+    let occurrences: Vec<u64> = ir
+        .entries()
+        .iter()
+        .map(|e| e.string.support_mask())
+        .collect();
 
     for (idx, entry) in ir.entries().iter().enumerate() {
         let support = entry.string.support();
         if support.is_empty() {
             continue; // identity: global phase only
         }
+        obs::histogram_record("compiler.mtr.string_weight", support.len() as f64);
         let angle = entry.rotation_angle(params[entry.param]);
 
         // --- Swap phase --------------------------------------------------
@@ -140,29 +163,38 @@ pub fn merge_to_root(
         }
 
         // --- Basis change (pre) ------------------------------------------
-        crate::synthesis::basis_change(&mut circuit, &entry.string, false, |q| {
-            layout.physical(q)
-        });
+        crate::synthesis::basis_change(&mut circuit, &entry.string, false, |q| layout.physical(q));
 
         // --- Merge phase --------------------------------------------------
         let s_phys: Vec<usize> = support.iter().map(|&l| layout.physical(l)).collect();
         let (merge_cnots, merge_root, bridges) = plan_merge(topology, &s_phys);
         bridge_count += bridges;
         for &(c, t) in &merge_cnots {
-            circuit.push(Gate::Cnot { control: c, target: t });
+            circuit.push(Gate::Cnot {
+                control: c,
+                target: t,
+            });
         }
         circuit.push(Gate::Rz(merge_root, angle));
         for &(c, t) in merge_cnots.iter().rev() {
-            circuit.push(Gate::Cnot { control: c, target: t });
+            circuit.push(Gate::Cnot {
+                control: c,
+                target: t,
+            });
         }
 
         // --- Basis change (post) ------------------------------------------
-        crate::synthesis::basis_change(&mut circuit, &entry.string, true, |q| {
-            layout.physical(q)
-        });
+        crate::synthesis::basis_change(&mut circuit, &entry.string, true, |q| layout.physical(q));
     }
 
-    MtrOutput { circuit, final_layout: layout, swap_count, bridge_count }
+    span.record("swaps", swap_count);
+    span.record("bridges", bridge_count);
+    MtrOutput {
+        circuit,
+        final_layout: layout,
+        swap_count,
+        bridge_count,
+    }
 }
 
 /// Persistent locality swaps for one string (levels outer → inner).
@@ -232,12 +264,8 @@ fn swap_phase(
                             layout.logical(children[0]),
                             h,
                         );
-                        let parent_occ = future_occurrence(
-                            occurrences,
-                            current_idx,
-                            layout.logical(parent),
-                            h,
-                        );
+                        let parent_occ =
+                            future_occurrence(occurrences, current_idx, layout.logical(parent), h);
                         child_occ > parent_occ
                     }
                 }
@@ -278,15 +306,19 @@ fn emit_swap(
     *swap_count += 1;
     if pristine[to] {
         // (x, 0) → (0, x) with two CNOTs.
-        circuit.push(Gate::Cnot { control: from, target: to });
-        circuit.push(Gate::Cnot { control: to, target: from });
+        circuit.push(Gate::Cnot {
+            control: from,
+            target: to,
+        });
+        circuit.push(Gate::Cnot {
+            control: to,
+            target: from,
+        });
         pristine[to] = false;
         pristine[from] = true;
     } else {
         circuit.push(Gate::Swap(from, to));
-        let tmp = pristine[to];
-        pristine[to] = pristine[from];
-        pristine[from] = tmp;
+        pristine.swap(to, from);
     }
 }
 
@@ -357,7 +389,15 @@ fn plan_merge(topology: &Topology, s_phys: &[usize]) -> (Vec<(usize, usize)>, us
             cnots.push((u, parent_of[&u]));
         }
     }
-    emit(merge_root, merge_root, &in_s, &parent_of, &children, &mut cnots, &mut bridges);
+    emit(
+        merge_root,
+        merge_root,
+        &in_s,
+        &parent_of,
+        &children,
+        &mut cnots,
+        &mut bridges,
+    );
 
     (cnots, merge_root, bridges)
 }
@@ -431,7 +471,11 @@ mod tests {
         let n = strings[0].len();
         let mut ir = PauliIr::new(n, initial);
         for (i, s) in strings.iter().enumerate() {
-            ir.push(IrEntry { string: s.parse().unwrap(), param: i, coefficient: 0.5 });
+            ir.push(IrEntry {
+                string: s.parse().unwrap(),
+                param: i,
+                coefficient: 0.5,
+            });
         }
         ir
     }
@@ -442,8 +486,7 @@ mod tests {
         let ir = ir_from(&["IIIZZ", "IIIXX"], 0b00001);
         let t = Topology::xtree(5);
         let layout = hierarchical_initial_layout(&ir, &t);
-        let out =
-            merge_to_root(&ir, &t, layout, &[0.3, 0.7], MtrOptions::default());
+        let out = merge_to_root(&ir, &t, layout, &[0.3, 0.7], MtrOptions::default());
         assert_eq!(out.swap_count, 0);
         // Overhead = compiled CNOTs − ideal CNOTs (2 per weight-2 string).
         assert_eq!(out.circuit.cnot_count(), 4);
@@ -458,11 +501,19 @@ mod tests {
         ];
         for (strings, init) in cases {
             let ir = ir_from(&strings, init);
-            let params: Vec<f64> = (0..ir.num_parameters()).map(|k| 0.2 + 0.3 * k as f64).collect();
+            let params: Vec<f64> = (0..ir.num_parameters())
+                .map(|k| 0.2 + 0.3 * k as f64)
+                .collect();
             for opts in [
                 MtrOptions::default(),
-                MtrOptions { consolidate_swaps: false, lone_child: LoneChildPolicy::Never },
-                MtrOptions { consolidate_swaps: true, lone_child: LoneChildPolicy::Always },
+                MtrOptions {
+                    consolidate_swaps: false,
+                    lone_child: LoneChildPolicy::Never,
+                },
+                MtrOptions {
+                    consolidate_swaps: true,
+                    lone_child: LoneChildPolicy::Always,
+                },
             ] {
                 assert_equivalent(&ir, &Topology::xtree(8), &params, opts);
             }
@@ -500,7 +551,11 @@ mod tests {
         // q0→phys0 (root), q1→phys1... use a string on qubits mapped to
         // separated leaves via a custom layout.
         let mut ir = PauliIr::new(2, 0);
-        ir.push(IrEntry { string: "ZZ".parse().unwrap(), param: 0, coefficient: 0.5 });
+        ir.push(IrEntry {
+            string: "ZZ".parse().unwrap(),
+            param: 0,
+            coefficient: 0.5,
+        });
         let t = Topology::xtree(8);
         // Map logical 0 → physical 6, logical 1 → physical 7 (two leaves
         // under physical 1): their subtree includes bridge node 1 unless
@@ -511,7 +566,10 @@ mod tests {
             &t,
             layout,
             &[0.4],
-            MtrOptions { consolidate_swaps: false, lone_child: LoneChildPolicy::Never },
+            MtrOptions {
+                consolidate_swaps: false,
+                lone_child: LoneChildPolicy::Never,
+            },
         );
         assert!(out.bridge_count >= 1);
         // Bridged weight-2 merge: pre + child + main, mirrored → 6 CNOTs.
@@ -525,7 +583,11 @@ mod tests {
         // bridging pays every time.
         let mut ir = PauliIr::new(2, 0);
         for k in 0..6 {
-            ir.push(IrEntry { string: "ZZ".parse().unwrap(), param: k, coefficient: 0.5 });
+            ir.push(IrEntry {
+                string: "ZZ".parse().unwrap(),
+                param: k,
+                coefficient: 0.5,
+            });
         }
         let t = Topology::xtree(8);
         let params = vec![0.1; 6];
@@ -534,7 +596,10 @@ mod tests {
             &t,
             Layout::from_assignment(vec![6, 7], t.num_qubits()),
             &params,
-            MtrOptions { consolidate_swaps: false, lone_child: LoneChildPolicy::Never },
+            MtrOptions {
+                consolidate_swaps: false,
+                lone_child: LoneChildPolicy::Never,
+            },
         );
         let consolidate = merge_to_root(
             &ir,

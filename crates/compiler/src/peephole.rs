@@ -109,14 +109,17 @@ fn rewrite_pair(a: &Gate, b: &Gate) -> Option<Rewrite> {
             Some(Rewrite::CancelBoth)
         }
         (S(p), Sdg(q)) | (Sdg(p), S(q)) if p == q => Some(Rewrite::CancelBoth),
-        (Cnot { control: c1, target: t1 }, Cnot { control: c2, target: t2 })
-            if c1 == c2 && t1 == t2 =>
-        {
-            Some(Rewrite::CancelBoth)
-        }
-        (Swap(a1, b1), Swap(a2, b2))
-            if (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2) =>
-        {
+        (
+            Cnot {
+                control: c1,
+                target: t1,
+            },
+            Cnot {
+                control: c2,
+                target: t2,
+            },
+        ) if c1 == c2 && t1 == t2 => Some(Rewrite::CancelBoth),
+        (Swap(a1, b1), Swap(a2, b2)) if (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2) => {
             Some(Rewrite::CancelBoth)
         }
         // Rotation merging.
@@ -147,7 +150,11 @@ mod tests {
         // is done in sim-dependent tests; here compare structurally by
         // reapplying the optimizer (idempotence) and gate-count sanity.
         let (again, _) = peephole_optimize(optimized);
-        assert_eq!(again.gates(), optimized.gates(), "optimizer must be idempotent");
+        assert_eq!(
+            again.gates(),
+            optimized.gates(),
+            "optimizer must be idempotent"
+        );
         assert!(optimized.gate_count() <= original.gate_count());
     }
 
@@ -195,7 +202,10 @@ mod tests {
     fn shared_qubit_blocks_cancellation() {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 }); // touches qubit 0
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        }); // touches qubit 0
         c.push(Gate::H(0));
         let (opt, _) = peephole_optimize(&c);
         assert_eq!(opt.gate_count(), 3, "CNOT must block the H·H rewrite");
@@ -204,9 +214,15 @@ mod tests {
     #[test]
     fn cnot_pairs_cancel_through_disjoint_gates() {
         let mut c = Circuit::new(4);
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         c.push(Gate::Rz(3, 0.5));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let (opt, _) = peephole_optimize(&c);
         assert_eq!(opt.cnot_count(), 0);
     }

@@ -70,11 +70,7 @@ pub fn compile_mtr(ir: &PauliIr, topology: &Topology) -> CompiledProgram {
 }
 
 /// [`compile_mtr`] with explicit Merge-to-Root options (used by ablations).
-pub fn compile_mtr_with(
-    ir: &PauliIr,
-    topology: &Topology,
-    options: MtrOptions,
-) -> CompiledProgram {
+pub fn compile_mtr_with(ir: &PauliIr, topology: &Topology, options: MtrOptions) -> CompiledProgram {
     let layout = hierarchical_initial_layout(ir, topology);
     compile_mtr_from_layout(ir, topology, layout, options)
 }
@@ -86,19 +82,30 @@ pub fn compile_mtr_from_layout(
     layout: Layout,
     options: MtrOptions,
 ) -> CompiledProgram {
+    let mut span = obs::span("compiler.mtr");
     let params = vec![0.1; ir.num_parameters()];
     let out = merge_to_root(ir, topology, layout, &params, options);
-    CompiledProgram {
+    let program = CompiledProgram {
         method: "MtR".to_string(),
         circuit: out.circuit,
         original_cnots: original_cnot_count(ir),
         swap_count: out.swap_count,
-    }
+    };
+    span.record("strings", ir.len());
+    span.record("original_cnots", program.original_cnots());
+    span.record("total_cnots", program.total_cnots());
+    span.record("added_cnots", program.added_cnots());
+    span.record("swaps", program.swap_count());
+    span.record("bridges", out.bridge_count);
+    obs::counter_add("compiler.mtr.swaps", program.swap_count() as u64);
+    obs::counter_add("compiler.mtr.added_cnots", program.added_cnots() as u64);
+    program
 }
 
 /// The traditional pipeline: chain synthesis, SABRE bidirectional layout
 /// (`layout_rounds` round trips), SABRE routing.
 pub fn compile_sabre(ir: &PauliIr, topology: &Topology, layout_rounds: usize) -> CompiledProgram {
+    let mut span = obs::span("compiler.sabre");
     let logical = synthesize_chain_nominal(ir);
     let options = SabreOptions::default();
     let layout = if layout_rounds > 0 {
@@ -107,12 +114,19 @@ pub fn compile_sabre(ir: &PauliIr, topology: &Topology, layout_rounds: usize) ->
         Layout::trivial(logical.num_qubits(), topology.num_qubits())
     };
     let out = sabre_route(&logical, topology, layout, options);
-    CompiledProgram {
+    let program = CompiledProgram {
         method: "SABRE".to_string(),
         circuit: out.circuit,
         original_cnots: original_cnot_count(ir),
         swap_count: out.swap_count,
-    }
+    };
+    span.record("layout_rounds", layout_rounds);
+    span.record("original_cnots", program.original_cnots());
+    span.record("total_cnots", program.total_cnots());
+    span.record("added_cnots", program.added_cnots());
+    span.record("swaps", program.swap_count());
+    obs::counter_add("compiler.sabre.swaps", program.swap_count() as u64);
+    program
 }
 
 #[cfg(test)]

@@ -38,11 +38,18 @@ pub fn reorder_for_cancellation(ir: &PauliIr) -> (PauliIr, usize) {
             if !a.string.commutes_with(&b.string) {
                 continue;
             }
-            let prev = if i > 0 { Some(entries[i - 1].string) } else { None };
-            let next = if i + 2 < entries.len() { Some(entries[i + 2].string) } else { None };
+            let prev = if i > 0 {
+                Some(entries[i - 1].string)
+            } else {
+                None
+            };
+            let next = if i + 2 < entries.len() {
+                Some(entries[i + 2].string)
+            } else {
+                None
+            };
             let score = |first: &PauliString, second: &PauliString| {
-                prev.map_or(0, |p| affinity(&p, first))
-                    + next.map_or(0, |n| affinity(second, &n))
+                prev.map_or(0, |p| affinity(&p, first)) + next.map_or(0, |n| affinity(second, &n))
             };
             if score(&b.string, &a.string) > score(&a.string, &b.string) {
                 entries.swap(i, i + 1);

@@ -28,7 +28,12 @@ pub struct SabreOptions {
 
 impl Default for SabreOptions {
     fn default() -> Self {
-        SabreOptions { lookahead: 20, lookahead_weight: 0.5, decay_delta: 0.001, decay_reset: 5 }
+        SabreOptions {
+            lookahead: 20,
+            lookahead_weight: 0.5,
+            decay_delta: 0.001,
+            decay_reset: 5,
+        }
     }
 }
 
@@ -59,7 +64,12 @@ pub fn sabre_route(
         topology.num_qubits() >= circuit.num_qubits(),
         "topology too small for the circuit"
     );
-    assert!(topology.is_connected(), "SABRE requires a connected topology");
+    assert!(
+        topology.is_connected(),
+        "SABRE requires a connected topology"
+    );
+    let mut span = obs::span("compiler.sabre.route");
+    span.record("gates", circuit.gates().len());
     let dist = topology.distance_matrix();
     let gates = circuit.gates();
     let n_gates = gates.len();
@@ -85,13 +95,11 @@ pub fn sabre_route(
     let mut unresolved: Vec<usize> = deps.iter().map(Vec::len).collect();
 
     // The ordered list of remaining two-qubit gates, for the lookahead set.
-    let two_qubit_order: Vec<usize> =
-        (0..n_gates).filter(|&i| gates[i].is_two_qubit()).collect();
+    let two_qubit_order: Vec<usize> = (0..n_gates).filter(|&i| gates[i].is_two_qubit()).collect();
     let mut next_2q_cursor = 0usize;
     let mut executed = vec![false; n_gates];
 
-    let mut front: Vec<usize> =
-        (0..n_gates).filter(|&i| unresolved[i] == 0).collect();
+    let mut front: Vec<usize> = (0..n_gates).filter(|&i| unresolved[i] == 0).collect();
     let mut layout = initial_layout;
     let mut out = Circuit::new(topology.num_qubits());
     let mut swap_count = 0usize;
@@ -136,8 +144,7 @@ pub fn sabre_route(
         }
 
         // Advance the lookahead cursor past executed gates.
-        while next_2q_cursor < two_qubit_order.len() && executed[two_qubit_order[next_2q_cursor]]
-        {
+        while next_2q_cursor < two_qubit_order.len() && executed[two_qubit_order[next_2q_cursor]] {
             next_2q_cursor += 1;
         }
 
@@ -231,7 +238,13 @@ pub fn sabre_route(
         }
     }
 
-    SabreOutput { circuit: out, final_layout: layout, swap_count }
+    span.record("swaps", swap_count);
+    obs::counter_add("compiler.sabre.route.swaps", swap_count as u64);
+    SabreOutput {
+        circuit: out,
+        final_layout: layout,
+        swap_count,
+    }
 }
 
 /// SABRE's bidirectional initial-layout search: route the circuit forward
@@ -243,6 +256,8 @@ pub fn sabre_layout(
     rounds: usize,
     options: SabreOptions,
 ) -> Layout {
+    let mut span = obs::span("compiler.sabre.layout");
+    span.record("rounds", rounds);
     let mut layout = Layout::trivial(circuit.num_qubits(), topology.num_qubits());
     let reversed = {
         let mut r = Circuit::new(circuit.num_qubits());
@@ -270,15 +285,24 @@ mod tests {
         // CNOT between the two ends of a 4-qubit register.
         let mut c = Circuit::new(4);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 3 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 3,
+        });
         c
     }
 
     #[test]
     fn adjacent_gates_need_no_swaps() {
         let mut c = Circuit::new(3);
-        c.push(Gate::Cnot { control: 0, target: 1 });
-        c.push(Gate::Cnot { control: 1, target: 2 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        c.push(Gate::Cnot {
+            control: 1,
+            target: 2,
+        });
         let t = Topology::line(3);
         let out = sabre_route(&c, &t, Layout::trivial(3, 3), SabreOptions::default());
         assert_eq!(out.swap_count, 0);
@@ -288,9 +312,17 @@ mod tests {
     #[test]
     fn distant_gate_gets_routed() {
         let t = Topology::line(4);
-        let out =
-            sabre_route(&line_circuit(), &t, Layout::trivial(4, 4), SabreOptions::default());
-        assert!(out.swap_count >= 2, "distance-3 CNOT needs ≥ 2 swaps, got {}", out.swap_count);
+        let out = sabre_route(
+            &line_circuit(),
+            &t,
+            Layout::trivial(4, 4),
+            SabreOptions::default(),
+        );
+        assert!(
+            out.swap_count >= 2,
+            "distance-3 CNOT needs ≥ 2 swaps, got {}",
+            out.swap_count
+        );
         // Every emitted 2q gate must respect the coupling.
         for g in &out.circuit {
             if g.is_two_qubit() {
@@ -334,7 +366,11 @@ mod tests {
             .zip(&extracted)
             .map(|(a, b)| a.conj() * *b)
             .sum();
-        assert!((overlap.norm() - 1.0).abs() < 1e-9, "|overlap| = {}", overlap.norm());
+        assert!(
+            (overlap.norm() - 1.0).abs() < 1e-9,
+            "|overlap| = {}",
+            overlap.norm()
+        );
     }
 
     #[test]
@@ -346,12 +382,24 @@ mod tests {
     fn routing_preserves_semantics_on_xtree() {
         let mut c = Circuit::new(5);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 4 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 4,
+        });
         c.push(Gate::Ry(2, 0.3));
-        c.push(Gate::Cnot { control: 4, target: 2 });
-        c.push(Gate::Cnot { control: 1, target: 3 });
+        c.push(Gate::Cnot {
+            control: 4,
+            target: 2,
+        });
+        c.push(Gate::Cnot {
+            control: 1,
+            target: 3,
+        });
         c.push(Gate::Rz(3, 0.7));
-        c.push(Gate::Cnot { control: 3, target: 0 });
+        c.push(Gate::Cnot {
+            control: 3,
+            target: 0,
+        });
         assert_routed_equivalent(&c, &Topology::xtree(8));
     }
 
@@ -362,7 +410,10 @@ mod tests {
             c.push(Gate::Ry(k, 0.1 + k as f64 * 0.2));
         }
         for (a, b) in [(0, 5), (2, 4), (1, 3), (5, 2), (0, 4)] {
-            c.push(Gate::Cnot { control: a, target: b });
+            c.push(Gate::Cnot {
+                control: a,
+                target: b,
+            });
         }
         assert_routed_equivalent(&c, &Topology::grid17q());
     }
@@ -372,15 +423,24 @@ mod tests {
         // A circuit whose hot pair is far apart under the trivial layout.
         let mut c = Circuit::new(6);
         for _ in 0..10 {
-            c.push(Gate::Cnot { control: 0, target: 5 });
+            c.push(Gate::Cnot {
+                control: 0,
+                target: 5,
+            });
         }
         let t = Topology::line(6);
         let trivial =
             sabre_route(&c, &t, Layout::trivial(6, 6), SabreOptions::default()).swap_count;
         let improved = sabre_layout(&c, &t, 2, SabreOptions::default());
         let tuned = sabre_route(&c, &t, improved, SabreOptions::default()).swap_count;
-        assert!(tuned <= trivial, "layout search must not hurt: {tuned} vs {trivial}");
-        assert!(tuned <= 1, "qubits 0 and 5 should end up adjacent, swaps = {tuned}");
+        assert!(
+            tuned <= trivial,
+            "layout search must not hurt: {tuned} vs {trivial}"
+        );
+        assert!(
+            tuned <= 1,
+            "qubits 0 and 5 should end up adjacent, swaps = {tuned}"
+        );
     }
 
     #[test]
@@ -388,7 +448,12 @@ mod tests {
         let mut c = Circuit::new(3);
         c.push(Gate::H(0));
         c.push(Gate::Rz(2, 0.4));
-        let out = sabre_route(&c, &Topology::xtree(5), Layout::trivial(3, 5), SabreOptions::default());
+        let out = sabre_route(
+            &c,
+            &Topology::xtree(5),
+            Layout::trivial(3, 5),
+            SabreOptions::default(),
+        );
         assert_eq!(out.swap_count, 0);
         assert_eq!(out.circuit.gate_count(), 2);
     }

@@ -53,12 +53,18 @@ pub fn chain_pauli_evolution(circuit: &mut Circuit, string: &PauliString, angle:
     basis_change(circuit, string, false, |q| q);
     // Chain: CNOT(s0→s1), …, CNOT(s_{k-2}→s_{k-1}); rotation on the last.
     for w in support.windows(2) {
-        circuit.push(Gate::Cnot { control: w[0], target: w[1] });
+        circuit.push(Gate::Cnot {
+            control: w[0],
+            target: w[1],
+        });
     }
     let root = *support.last().expect("non-empty support");
     circuit.push(Gate::Rz(root, angle));
     for w in support.windows(2).rev() {
-        circuit.push(Gate::Cnot { control: w[0], target: w[1] });
+        circuit.push(Gate::Cnot {
+            control: w[0],
+            target: w[1],
+        });
     }
     basis_change(circuit, string, true, |q| q);
 }
@@ -70,7 +76,11 @@ pub fn chain_pauli_evolution(circuit: &mut Circuit, string: &PauliString, angle:
 ///
 /// Panics if `params.len()` differs from the IR's parameter count.
 pub fn synthesize_chain(ir: &PauliIr, params: &[f64]) -> Circuit {
-    assert_eq!(params.len(), ir.num_parameters(), "parameter count mismatch");
+    assert_eq!(
+        params.len(),
+        ir.num_parameters(),
+        "parameter count mismatch"
+    );
     let mut c = Circuit::new(ir.num_qubits());
     for q in 0..ir.num_qubits() {
         if (ir.initial_state() >> q) & 1 == 1 {
@@ -118,8 +128,14 @@ mod tests {
         let gates = c.gates();
         assert_eq!(c.cnot_count(), 4);
         assert!(gates.contains(&Gate::H(3)));
-        assert!(gates.contains(&Gate::Cnot { control: 0, target: 1 }));
-        assert!(gates.contains(&Gate::Cnot { control: 1, target: 3 }));
+        assert!(gates.contains(&Gate::Cnot {
+            control: 0,
+            target: 1
+        }));
+        assert!(gates.contains(&Gate::Cnot {
+            control: 1,
+            target: 3
+        }));
         assert!(gates.contains(&Gate::Rz(3, 0.6)));
     }
 
@@ -180,7 +196,11 @@ mod tests {
         // total differs by 2 single-qubit gates (initial-state X
         // accounting), within ±4 across the whole benchmark set.
         assert_eq!(c.cnot_count(), 768);
-        assert!((c.gate_count() as i64 - 1476).abs() <= 4, "gates = {}", c.gate_count());
+        assert!(
+            (c.gate_count() as i64 - 1476).abs() <= 4,
+            "gates = {}",
+            c.gate_count()
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use std::process::ExitCode;
 
-use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::ansatz::compress;
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::arch::{simulate_yield, CollisionModel, Topology};
 use pauli_codesign::chem::Benchmark;
 use pauli_codesign::compiler::pipeline::{compile_mtr, compile_sabre};
@@ -52,25 +52,50 @@ commands:
                                       fabrication-yield Monte Carlo
   help                                this message
 
+observability (any command):
+  --trace FILE    write a JSONL trace of spans/events/counters/histograms
+  --metrics       print an end-of-run summary table of recorded metrics
+
 molecules: H2 LiH NaH HF BeH2 H2O BH3 NH3 CH4";
 
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().map(String::as_str).unwrap_or("help");
-    match command {
-        "info" => cmd_info(&parse_flags(&args[1..])?),
-        "vqe" => cmd_vqe(&parse_flags(&args[1..])?),
-        "adapt" => cmd_adapt(&parse_flags(&args[1..])?),
-        "excited" => cmd_excited(&parse_flags(&args[1..])?),
-        "scan" => cmd_scan(&parse_flags(&args[1..])?),
-        "compile" => cmd_compile(&parse_flags(&args[1..])?),
-        "qasm" => cmd_qasm(&parse_flags(&args[1..])?),
-        "yield" => cmd_yield(&parse_flags(&args[1..])?),
+    let flags = parse_flags(args.get(1..).unwrap_or(&[]))?;
+
+    let trace_path = flags.get("trace").map(str::to_string);
+    let metrics = flags.is_set("metrics");
+    if trace_path.is_some() || metrics {
+        obs::reset();
+        obs::enable();
+    }
+
+    let result = match command {
+        "info" => cmd_info(&flags),
+        "vqe" => cmd_vqe(&flags),
+        "adapt" => cmd_adapt(&flags),
+        "excited" => cmd_excited(&flags),
+        "scan" => cmd_scan(&flags),
+        "compile" => cmd_compile(&flags),
+        "qasm" => cmd_qasm(&flags),
+        "yield" => cmd_yield(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
+    };
+
+    if result.is_ok() {
+        if let Some(path) = &trace_path {
+            obs::write_jsonl(path).map_err(|e| format!("writing trace {path}: {e}"))?;
+            eprintln!("trace written to {path}");
+        }
+        if metrics {
+            println!();
+            print!("{}", obs::summary());
+        }
     }
+    result
 }
 
 /// Positional arguments plus `--flag value` pairs.
@@ -79,7 +104,14 @@ struct Flags {
     options: Vec<(String, String)>,
 }
 
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["metrics"];
+
 impl Flags {
+    fn is_set(&self, key: &str) -> bool {
+        self.options.iter().any(|(k, _)| k == key)
+    }
+
     fn get(&self, key: &str) -> Option<&str> {
         self.options
             .iter()
@@ -91,14 +123,18 @@ impl Flags {
     fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got `{v}`")),
         }
     }
 
     fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
         }
     }
 
@@ -120,6 +156,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         if let Some(key) = a.strip_prefix("--") {
+            if BOOLEAN_FLAGS.contains(&key) {
+                options.push((key.to_string(), "true".to_string()));
+                continue;
+            }
             let value = iter
                 .next()
                 .ok_or_else(|| format!("--{key} expects a value"))?;
@@ -128,7 +168,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             positional.push(a.clone());
         }
     }
-    Ok(Flags { positional, options })
+    Ok(Flags {
+        positional,
+        options,
+    })
 }
 
 fn parse_arch(name: &str) -> Result<Topology, String> {
@@ -151,14 +194,33 @@ fn cmd_info(flags: &Flags) -> Result<(), String> {
 
     println!("{} @ {bond} Å", molecule.name());
     println!("  qubits                 : {}", system.num_qubits());
-    println!("  active electrons       : {}", system.num_active_electrons());
-    println!("  Hamiltonian terms      : {}", system.qubit_hamiltonian().len());
+    println!(
+        "  active electrons       : {}",
+        system.num_active_electrons()
+    );
+    println!(
+        "  Hamiltonian terms      : {}",
+        system.qubit_hamiltonian().len()
+    );
     println!("  measurement groups     : {}", groups.len());
-    println!("  UCCSD parameters       : {}", ansatz.ir().num_parameters());
+    println!(
+        "  UCCSD parameters       : {}",
+        ansatz.ir().num_parameters()
+    );
     println!("  UCCSD Pauli strings    : {}", ansatz.ir().len());
-    println!("  circuit gates (CNOTs)  : {} ({})", circuit.gate_count(), circuit.cnot_count());
-    println!("  Hartree-Fock energy    : {:.6} Ha", system.hartree_fock_energy());
-    println!("  exact ground state     : {:.6} Ha", system.exact_ground_state_energy());
+    println!(
+        "  circuit gates (CNOTs)  : {} ({})",
+        circuit.gate_count(),
+        circuit.cnot_count()
+    );
+    println!(
+        "  Hartree-Fock energy    : {:.6} Ha",
+        system.hartree_fock_energy()
+    );
+    println!(
+        "  exact ground state     : {:.6} Ha",
+        system.exact_ground_state_energy()
+    );
     Ok(())
 }
 
@@ -175,8 +237,15 @@ fn cmd_vqe(flags: &Flags) -> Result<(), String> {
     let run = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
     let exact = system.exact_ground_state_energy();
 
-    println!("{} @ {bond} Å, ratio {:.0}%", molecule.name(), ratio * 100.0);
-    println!("  parameters   : {} of {}", report.kept_parameters, report.original_parameters);
+    println!(
+        "{} @ {bond} Å, ratio {:.0}%",
+        molecule.name(),
+        ratio * 100.0
+    );
+    println!(
+        "  parameters   : {} of {}",
+        report.kept_parameters, report.original_parameters
+    );
     println!("  VQE energy   : {:.6} Ha", run.energy);
     println!("  exact energy : {exact:.6} Ha");
     println!("  error        : {:+.2e} Ha", run.energy - exact);
@@ -261,7 +330,9 @@ fn cmd_compile(flags: &Flags) -> Result<(), String> {
 
 fn cmd_adapt(flags: &Flags) -> Result<(), String> {
     use pauli_codesign::ansatz::uccsd::enumerate_generalized_excitations;
-    use pauli_codesign::vqe::adapt::{pool_from_excitations, run_adapt_vqe, uccsd_pool, AdaptOptions};
+    use pauli_codesign::vqe::adapt::{
+        pool_from_excitations, run_adapt_vqe, uccsd_pool, AdaptOptions,
+    };
     let molecule = flags.molecule()?;
     let bond = flags.get_f64("bond", molecule.equilibrium_bond_length())?;
     let system = molecule.build(bond).map_err(|e| e.to_string())?;
@@ -280,9 +351,21 @@ fn cmd_adapt(flags: &Flags) -> Result<(), String> {
         AdaptOptions::default(),
     );
     let exact = system.exact_ground_state_energy();
-    println!("{} @ {bond} Å — ADAPT-VQE ({} pool operators)", molecule.name(), pool.len());
-    println!("  energy     : {:.6} Ha (exact {exact:.6}, error {:+.2e})", r.energy, r.energy - exact);
-    println!("  operators  : {} selected ({:?})", r.selected.len(), r.selected);
+    println!(
+        "{} @ {bond} Å — ADAPT-VQE ({} pool operators)",
+        molecule.name(),
+        pool.len()
+    );
+    println!(
+        "  energy     : {:.6} Ha (exact {exact:.6}, error {:+.2e})",
+        r.energy,
+        r.energy - exact
+    );
+    println!(
+        "  operators  : {} selected ({:?})",
+        r.selected.len(),
+        r.selected
+    );
     println!("  iterations : {}", r.total_iterations);
     println!("  converged  : {}", r.converged);
     Ok(())
@@ -385,6 +468,18 @@ mod tests {
     fn missing_flag_value_is_an_error() {
         let r = parse_flags(&["--bond".to_string()]);
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let f = flags(&["LiH", "--metrics", "--ratio", "0.5"]);
+        assert!(f.is_set("metrics"));
+        assert_eq!(f.get_f64("ratio", 1.0).unwrap(), 0.5);
+        assert!(!f.is_set("trace"));
+        // Trailing boolean flag must not consume a phantom value.
+        let f = flags(&["H2", "--metrics"]);
+        assert!(f.is_set("metrics"));
+        assert_eq!(f.positional, vec!["H2"]);
     }
 
     #[test]

@@ -96,7 +96,10 @@ impl CoDesignPipeline {
     ///
     /// Panics if the ratio is outside `(0, 1]`.
     pub fn compression_ratio(&mut self, ratio: f64) -> &mut Self {
-        assert!(ratio > 0.0 && ratio <= 1.0, "compression ratio must be in (0, 1]");
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "compression ratio must be in (0, 1]"
+        );
         self.compression_ratio = ratio;
         self
     }
@@ -126,27 +129,62 @@ impl CoDesignPipeline {
     ///
     /// Returns [`ChemError`] if the electronic-structure stage fails.
     pub fn run(&self) -> Result<CoDesignReport, ChemError> {
-        let bond = self.bond_length.unwrap_or_else(|| self.benchmark.equilibrium_bond_length());
-        let system = self.benchmark.build(bond)?;
-        let full = UccsdAnsatz::for_system(&system).into_ir();
-        let (ir, compression) = compress(&full, system.qubit_hamiltonian(), self.compression_ratio);
+        let mut run_span = obs::span("pipeline.run");
+        run_span.record("compression_ratio", self.compression_ratio);
+        run_span.record("noisy", self.noise.is_some());
 
-        let vqe_result = match self.noise {
-            None => run_vqe(system.qubit_hamiltonian(), &ir, self.vqe_options),
-            Some(noise) => run_vqe_noisy(
-                system.qubit_hamiltonian(),
-                &ir,
-                NoisyEvaluator::GlobalDepolarizing(noise),
-                self.vqe_options,
-            ),
+        let bond = self
+            .bond_length
+            .unwrap_or_else(|| self.benchmark.equilibrium_bond_length());
+        let system = {
+            let mut stage = obs::span("pipeline.chemistry");
+            stage.record("bond_length", bond);
+            let system = self.benchmark.build(bond)?;
+            stage.record("system", system.name());
+            stage.record("qubits", system.num_qubits());
+            system
         };
-        let measurement_groups = pauli::group_qubit_wise(system.qubit_hamiltonian()).len();
+        run_span.record("system", system.name());
 
-        let topology = self
-            .topology
-            .clone()
-            .unwrap_or_else(|| Topology::xtree(system.num_qubits().max(5) + 1));
-        let compiled = compile_mtr(&ir, &topology);
+        let (ir, compression) = {
+            let mut stage = obs::span("pipeline.ansatz");
+            let full = UccsdAnsatz::for_system(&system).into_ir();
+            let out = compress(&full, system.qubit_hamiltonian(), self.compression_ratio);
+            stage.record("original_parameters", out.1.original_parameters);
+            stage.record("kept_parameters", out.1.kept_parameters);
+            out
+        };
+
+        let vqe_result = {
+            let _stage = obs::span("pipeline.vqe");
+            match self.noise {
+                None => run_vqe(system.qubit_hamiltonian(), &ir, self.vqe_options),
+                Some(noise) => run_vqe_noisy(
+                    system.qubit_hamiltonian(),
+                    &ir,
+                    NoisyEvaluator::GlobalDepolarizing(noise),
+                    self.vqe_options,
+                ),
+            }
+        };
+        let measurement_groups = {
+            let mut stage = obs::span("pipeline.measure");
+            let groups = pauli::group_qubit_wise(system.qubit_hamiltonian()).len();
+            stage.record("groups", groups);
+            groups
+        };
+
+        let compiled = {
+            let _stage = obs::span("pipeline.compile");
+            let topology = self
+                .topology
+                .clone()
+                .unwrap_or_else(|| Topology::xtree(system.num_qubits().max(5) + 1));
+            compile_mtr(&ir, &topology)
+        };
+
+        run_span.record("energy", vqe_result.energy);
+        run_span.record("added_cnots", compiled.added_cnots());
 
         Ok(CoDesignReport {
             exact_energy: system.exact_ground_state_energy(),
@@ -224,7 +262,11 @@ mod tests {
             .compression_ratio(1.0)
             .run()
             .expect("H2 pipeline");
-        assert!(report.energy_error() < 1e-6, "error {}", report.energy_error());
+        assert!(
+            report.energy_error() < 1e-6,
+            "error {}",
+            report.energy_error()
+        );
         assert!(report.correlation_recovered() > 0.999);
         assert_eq!(report.original_parameters, 3);
         // Paper Table II: full-ish H2 costs at most 6 added CNOTs on a tree.
@@ -240,7 +282,11 @@ mod tests {
         assert_eq!(report.original_parameters, 8);
         assert_eq!(report.kept_parameters, 4);
         // Paper: ~0.05% error at the 50% ratio.
-        assert!(report.energy_error() < 5e-3, "error {}", report.energy_error());
+        assert!(
+            report.energy_error() < 5e-3,
+            "error {}",
+            report.energy_error()
+        );
     }
 
     #[test]
@@ -260,7 +306,12 @@ mod tests {
             .noise(sim::NoiseModel::cnot_only(1e-3))
             .run()
             .expect("noisy pipeline");
-        assert!(noisy.energy > clean.energy, "{} vs {}", noisy.energy, clean.energy);
+        assert!(
+            noisy.energy > clean.energy,
+            "{} vs {}",
+            noisy.energy,
+            clean.energy
+        );
         assert!(noisy.measurement_groups >= 2);
     }
 }

@@ -67,7 +67,10 @@ impl Complex64 {
     /// Returns the complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Returns the squared modulus `|z|²`.
@@ -91,19 +94,28 @@ impl Complex64 {
     /// Multiplies by the imaginary unit: `i·z`.
     #[inline]
     pub fn mul_i(self) -> Self {
-        Complex64 { re: -self.im, im: self.re }
+        Complex64 {
+            re: -self.im,
+            im: self.re,
+        }
     }
 
     /// Multiplies by `-i`: `-i·z`.
     #[inline]
     pub fn mul_neg_i(self) -> Self {
-        Complex64 { re: self.im, im: -self.re }
+        Complex64 {
+            re: self.im,
+            im: -self.re,
+        }
     }
 
     /// Scales by a real factor.
     #[inline]
     pub fn scale(self, k: f64) -> Self {
-        Complex64 { re: self.re * k, im: self.im * k }
+        Complex64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 
     /// Returns the multiplicative inverse `1/z`.
@@ -112,7 +124,10 @@ impl Complex64 {
     #[inline]
     pub fn inv(self) -> Self {
         let d = self.norm_sqr();
-        Complex64 { re: self.re / d, im: -self.im / d }
+        Complex64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Returns true when both parts are within `tol` of `other`'s.
@@ -133,7 +148,10 @@ impl Add for Complex64 {
     type Output = Complex64;
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -141,7 +159,10 @@ impl Sub for Complex64 {
     type Output = Complex64;
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -175,6 +196,7 @@ impl Mul<Complex64> for f64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division as multiply-by-inverse
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }
@@ -184,7 +206,10 @@ impl Div<f64> for Complex64 {
     type Output = Complex64;
     #[inline]
     fn div(self, rhs: f64) -> Self {
-        Complex64 { re: self.re / rhs, im: self.im / rhs }
+        Complex64 {
+            re: self.re / rhs,
+            im: self.im / rhs,
+        }
     }
 }
 
@@ -192,7 +217,10 @@ impl Neg for Complex64 {
     type Output = Complex64;
     #[inline]
     fn neg(self) -> Self {
-        Complex64 { re: -self.re, im: -self.im }
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -254,11 +282,15 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::neg_multiply)] // keep the literal (ac−bd, ad+bc) shape
     fn mul_matches_textbook_formula() {
         let a = Complex64::new(2.0, 3.0);
         let b = Complex64::new(-1.0, 4.0);
         let p = a * b;
-        assert_eq!(p, Complex64::new(2.0 * -1.0 - 3.0 * 4.0, 2.0 * 4.0 + 3.0 * -1.0));
+        assert_eq!(
+            p,
+            Complex64::new(2.0 * (-1.0) - 3.0 * 4.0, 2.0 * 4.0 + 3.0 * (-1.0))
+        );
     }
 
     #[test]

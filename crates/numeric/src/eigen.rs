@@ -36,8 +36,15 @@ pub struct Eigen {
 /// assert!((e.values[1] - 3.0).abs() < 1e-12);
 /// ```
 pub fn jacobi_eigen(a: &RealMatrix) -> Eigen {
-    assert_eq!(a.rows(), a.cols(), "eigendecomposition requires a square matrix");
-    assert!(a.is_symmetric(1e-9), "jacobi_eigen requires a symmetric matrix");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "eigendecomposition requires a square matrix"
+    );
+    assert!(
+        a.is_symmetric(1e-9),
+        "jacobi_eigen requires a symmetric matrix"
+    );
     let n = a.rows();
     let mut m = a.clone();
     let mut v = RealMatrix::identity(n);
@@ -120,7 +127,11 @@ pub fn tridiagonal_eigenvalues(diag: &[f64], offdiag: &[f64]) -> Vec<f64> {
 ///
 /// Panics if `offdiag.len() + 1 != diag.len()`.
 pub fn tridiagonal_eigen(diag: &[f64], offdiag: &[f64]) -> Eigen {
-    assert_eq!(offdiag.len() + 1, diag.len(), "offdiag must be one shorter than diag");
+    assert_eq!(
+        offdiag.len() + 1,
+        diag.len(),
+        "offdiag must be one shorter than diag"
+    );
     let n = diag.len();
     let a = RealMatrix::from_fn(n, n, |i, j| {
         if i == j {
@@ -141,7 +152,9 @@ mod tests {
     fn reconstruct(e: &Eigen) -> RealMatrix {
         let n = e.values.len();
         RealMatrix::from_fn(n, n, |i, j| {
-            (0..n).map(|k| e.vectors[(i, k)] * e.values[k] * e.vectors[(j, k)]).sum()
+            (0..n)
+                .map(|k| e.vectors[(i, k)] * e.values[k] * e.vectors[(j, k)])
+                .sum()
         })
     }
 

@@ -26,7 +26,10 @@ pub struct LanczosOptions {
 
 impl Default for LanczosOptions {
     fn default() -> Self {
-        LanczosOptions { max_iter: 300, tol: 1e-10 }
+        LanczosOptions {
+            max_iter: 300,
+            tol: 1e-10,
+        }
     }
 }
 
@@ -154,7 +157,11 @@ pub fn lanczos_ground_state_with_vector(
         if (prev_ritz - ritz).abs() < options.tol || beta < 1e-13 {
             let vector = ritz_vector(&basis, &alphas, &betas, dim);
             return (
-                LanczosResult { eigenvalue: ritz, iterations: it + 1, converged: true },
+                LanczosResult {
+                    eigenvalue: ritz,
+                    iterations: it + 1,
+                    converged: true,
+                },
                 vector,
             );
         }
@@ -169,7 +176,11 @@ pub fn lanczos_ground_state_with_vector(
     let k = basis.len();
     let vector = ritz_vector(&basis, &alphas[..k], &betas[..k.saturating_sub(1)], dim);
     (
-        LanczosResult { eigenvalue: prev_ritz, iterations: max_iter, converged: false },
+        LanczosResult {
+            eigenvalue: prev_ritz,
+            iterations: max_iter,
+            converged: false,
+        },
         vector,
     )
 }
@@ -251,8 +262,8 @@ mod tests {
         let r = lanczos_ground_state(
             16,
             |x, y| {
-                for i in 0..16 {
-                    y[i] = if i == 0 { x[0] * 5.0 } else { Complex64::ZERO };
+                for (i, out) in y.iter_mut().enumerate().take(16) {
+                    *out = if i == 0 { x[0] * 5.0 } else { Complex64::ZERO };
                 }
             },
             LanczosOptions::default(),
@@ -273,7 +284,10 @@ mod tests {
                     y[i] = x[i] * diag[i];
                 }
             },
-            LanczosOptions { tol: 1e-14, ..Default::default() },
+            LanczosOptions {
+                tol: 1e-14,
+                ..Default::default()
+            },
             5,
         );
         assert!(r.converged);

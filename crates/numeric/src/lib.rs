@@ -34,6 +34,8 @@ pub mod matrix;
 
 pub use complex::Complex64;
 pub use eigen::{jacobi_eigen, tridiagonal_eigen, tridiagonal_eigenvalues, Eigen};
-pub use lanczos::{lanczos_ground_state, lanczos_ground_state_with_vector, LanczosOptions, LanczosResult};
+pub use lanczos::{
+    lanczos_ground_state, lanczos_ground_state_with_vector, LanczosOptions, LanczosResult,
+};
 pub use linsolve::{lu_solve, LinSolveError};
 pub use matrix::RealMatrix;

@@ -161,6 +161,9 @@ mod tests {
         let a = RealMatrix::zeros(2, 3);
         assert_eq!(lu_solve(&a, &[0.0, 0.0]), Err(LinSolveError::NotSquare));
         let b = RealMatrix::identity(3);
-        assert_eq!(lu_solve(&b, &[0.0, 0.0]), Err(LinSolveError::DimensionMismatch));
+        assert_eq!(
+            lu_solve(&b, &[0.0, 0.0]),
+            Err(LinSolveError::DimensionMismatch)
+        );
     }
 }

@@ -31,7 +31,11 @@ pub struct RealMatrix {
 impl RealMatrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        RealMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        RealMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -205,7 +209,12 @@ impl Add for &RealMatrix {
         RealMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -217,7 +226,12 @@ impl Sub for &RealMatrix {
         RealMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }
@@ -258,7 +272,10 @@ mod tests {
         let a = RealMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let b = RealMatrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
         let c = a.mul(&b);
-        assert_eq!(c, RealMatrix::from_vec(2, 2, vec![58.0, 64.0, 139.0, 154.0]));
+        assert_eq!(
+            c,
+            RealMatrix::from_vec(2, 2, vec![58.0, 64.0, 139.0, 154.0])
+        );
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Human-readable end-of-run summary rendering.
+
+use std::collections::BTreeMap;
+
+use crate::{stats_of, Snapshot};
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.3} s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.3} ms", us / 1e3)
+    } else {
+        format!("{us:.1} µs")
+    }
+}
+
+/// Renders a [`Snapshot`] as a summary table: spans grouped by name with
+/// count/total/mean/min/max wall time, then counter totals, then histogram
+/// statistics. Sections with no data are omitted; an empty snapshot yields
+/// a one-line notice.
+pub fn summary_from_snapshot(snap: &Snapshot) -> String {
+    let mut out = String::new();
+
+    if !snap.spans.is_empty() {
+        let mut groups: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+        for s in &snap.spans {
+            groups.entry(&s.name).or_default().push(s.duration_us);
+        }
+        out.push_str("spans\n");
+        out.push_str(&format!(
+            "  {:<34} {:>6} {:>12} {:>12} {:>12} {:>12}\n",
+            "name", "count", "total", "mean", "min", "max"
+        ));
+        for (name, durations) in &groups {
+            let total: f64 = durations.iter().sum();
+            let min = durations.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = durations.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            out.push_str(&format!(
+                "  {:<34} {:>6} {:>12} {:>12} {:>12} {:>12}\n",
+                name,
+                durations.len(),
+                fmt_us(total),
+                fmt_us(total / durations.len() as f64),
+                fmt_us(min),
+                fmt_us(max),
+            ));
+        }
+    }
+
+    if !snap.counters.is_empty() {
+        out.push_str("counters\n");
+        for (name, value) in &snap.counters {
+            out.push_str(&format!("  {name:<34} {value:>10}\n"));
+        }
+    }
+
+    let histograms: Vec<_> = snap
+        .histograms
+        .iter()
+        .filter_map(|(name, samples)| stats_of(samples).map(|st| (name, st)))
+        .collect();
+    if !histograms.is_empty() {
+        out.push_str("histograms\n");
+        out.push_str(&format!(
+            "  {:<34} {:>6} {:>12} {:>12} {:>12} {:>12}\n",
+            "name", "count", "mean", "p50", "p90", "p99"
+        ));
+        for (name, st) in histograms {
+            out.push_str(&format!(
+                "  {:<34} {:>6} {:>12.4} {:>12.4} {:>12.4} {:>12.4}\n",
+                name, st.count, st.mean, st.p50, st.p90, st.p99
+            ));
+        }
+    }
+
+    if out.is_empty() {
+        out.push_str("(no observability data recorded)\n");
+    }
+    out
+}

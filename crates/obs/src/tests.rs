@@ -1,0 +1,289 @@
+//! Unit tests for the obs registry. The registry is process-global, so
+//! every test takes `GATE` to serialize against the others in this binary.
+
+use super::*;
+use std::sync::MutexGuard;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    let gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    reset();
+    enable();
+    gate
+}
+
+#[test]
+fn counters_accumulate_monotonically() {
+    let _g = exclusive();
+    counter_add("mtr.swaps", 3);
+    counter_add("mtr.swaps", 4);
+    counter_add("vqe.evals", 1);
+    let snap = snapshot();
+    assert_eq!(snap.counter("mtr.swaps"), 7);
+    assert_eq!(snap.counter("vqe.evals"), 1);
+    assert_eq!(snap.counter("never.bumped"), 0);
+    disable();
+}
+
+#[test]
+fn histogram_stats_match_samples() {
+    let _g = exclusive();
+    for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+        histogram_record("probe", x);
+    }
+    let st = snapshot().histogram_stats("probe").unwrap();
+    assert_eq!(st.count, 5);
+    assert_eq!(st.min, 1.0);
+    assert_eq!(st.max, 5.0);
+    assert!((st.mean - 3.0).abs() < 1e-12);
+    assert_eq!(st.p50, 3.0);
+    assert_eq!(st.p99, 5.0);
+    assert!(snapshot().histogram_stats("missing").is_none());
+    disable();
+}
+
+#[test]
+fn spans_record_duration_fields_and_parent() {
+    let _g = exclusive();
+    {
+        let mut outer = span("pipeline.compile");
+        outer.record("method", "mtr");
+        {
+            let mut inner = span("compiler.mtr");
+            inner.record("swaps", 2u64);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    let snap = snapshot();
+    let outer = snap.span("pipeline.compile").unwrap();
+    let inner = snap.span("compiler.mtr").unwrap();
+    assert_eq!(outer.parent, None);
+    assert_eq!(inner.parent.as_deref(), Some("pipeline.compile"));
+    assert_eq!(outer.field("method"), Some(&Value::Str("mtr".to_string())));
+    assert_eq!(inner.field("swaps").and_then(Value::as_u64), Some(2));
+    assert!(
+        inner.duration_us >= 1000.0,
+        "slept 2ms but span saw {}",
+        inner.duration_us
+    );
+    assert!(outer.duration_us >= inner.duration_us);
+    assert!(inner.start_us >= outer.start_us);
+    disable();
+}
+
+#[test]
+fn events_capture_fields_in_order() {
+    let _g = exclusive();
+    event!("scf.iter", iter = 1u64, energy = -1.5, converged = false);
+    event!("scf.iter", iter = 2u64, energy = -1.8, converged = true);
+    let snap = snapshot();
+    assert_eq!(snap.events.len(), 2);
+    assert_eq!(
+        snap.events[0].field("iter").and_then(Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        snap.events[1].field("energy").and_then(Value::as_f64),
+        Some(-1.8)
+    );
+    assert_eq!(snap.events[1].field("converged"), Some(&Value::Bool(true)));
+    assert!(snap.events[1].at_us >= snap.events[0].at_us);
+    disable();
+}
+
+#[test]
+fn disabled_mode_records_nothing() {
+    let _g = exclusive();
+    disable();
+    {
+        let mut s = span("ghost");
+        s.record("k", 1u64);
+    }
+    event!("ghost.event", x = 1.0);
+    counter_add("ghost.counter", 5);
+    histogram_record("ghost.hist", 1.0);
+    let snap = snapshot();
+    assert!(snap.spans.is_empty());
+    assert!(snap.events.is_empty());
+    assert!(snap.counters.is_empty());
+    assert!(snap.histograms.is_empty());
+}
+
+#[test]
+fn span_started_while_enabled_still_records_after_disable() {
+    let _g = exclusive();
+    let s = span("straddler");
+    disable();
+    drop(s);
+    // The guard captured its enablement at creation; recording on drop keeps
+    // the trace consistent (no half-open spans).
+    assert_eq!(snapshot().spans_named("straddler").len(), 1);
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    let _g = exclusive();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 250;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter_add("shared.counter", 1);
+                    histogram_record("shared.hist", i as f64);
+                    let mut s = span(&format!("thread.{t}"));
+                    s.record("i", i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = snapshot();
+    assert_eq!(snap.counter("shared.counter"), THREADS as u64 * PER_THREAD);
+    assert_eq!(
+        snap.histograms["shared.hist"].len(),
+        THREADS * PER_THREAD as usize
+    );
+    for t in 0..THREADS {
+        assert_eq!(
+            snap.spans_named(&format!("thread.{t}")).len(),
+            PER_THREAD as usize
+        );
+    }
+    // Spans on different threads never see a cross-thread parent.
+    assert!(snap.spans.iter().all(|s| s.parent.is_none()));
+    disable();
+}
+
+#[test]
+fn jsonl_round_trip_preserves_records() {
+    let _g = exclusive();
+    {
+        let mut s = span("compiler.mtr");
+        s.record("swaps", 3u64);
+        s.record("label", "x-tree");
+        s.record("ratio", 0.75);
+    }
+    event!("vqe.iter", iter = 1u64, energy = -1.1372);
+    counter_add("vqe.evals", 42);
+    histogram_record("mtr.pass_us", 10.0);
+    histogram_record("mtr.pass_us", 30.0);
+
+    let before = snapshot();
+    let text = export_jsonl();
+    let records = parse_jsonl(&text).unwrap();
+    assert_eq!(records.len(), 4);
+
+    let span_rec = records
+        .iter()
+        .find_map(|r| match r {
+            Record::Span(s) => Some(s),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(span_rec.name, "compiler.mtr");
+    assert_eq!(span_rec.field("swaps").and_then(Value::as_u64), Some(3));
+    assert_eq!(
+        span_rec.field("label"),
+        Some(&Value::Str("x-tree".to_string()))
+    );
+    assert_eq!(span_rec.field("ratio").and_then(Value::as_f64), Some(0.75));
+    assert!((span_rec.duration_us - before.spans[0].duration_us).abs() < 0.5);
+
+    let event_rec = records
+        .iter()
+        .find_map(|r| match r {
+            Record::Event(e) => Some(e),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(
+        event_rec.field("energy").and_then(Value::as_f64),
+        Some(-1.1372)
+    );
+
+    assert!(records
+        .iter()
+        .any(|r| matches!(r, Record::Counter { name, value: 42 } if name == "vqe.evals")));
+    let hist = records
+        .iter()
+        .find_map(|r| match r {
+            Record::Histogram { name, stats } if name == "mtr.pass_us" => Some(stats),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(hist.count, 2);
+    assert_eq!(hist.mean, 20.0);
+    disable();
+}
+
+#[test]
+fn parse_jsonl_rejects_malformed_lines() {
+    assert!(parse_jsonl("not json\n").is_err());
+    assert!(parse_jsonl("{\"name\":\"x\"}\n")
+        .unwrap_err()
+        .contains("type"));
+    assert!(parse_jsonl("{\"type\":\"span\"}\n")
+        .unwrap_err()
+        .contains("name"));
+    assert!(parse_jsonl("{\"type\":\"widget\",\"name\":\"x\"}\n").is_err());
+    assert_eq!(parse_jsonl("\n\n").unwrap().len(), 0);
+}
+
+#[test]
+fn summary_lists_all_sections() {
+    let _g = exclusive();
+    {
+        let _s = span("chem.scf");
+    }
+    counter_add("scf.iterations", 9);
+    histogram_record("scf.diis_error", 0.25);
+    let text = summary();
+    assert!(text.contains("spans"), "{text}");
+    assert!(text.contains("chem.scf"), "{text}");
+    assert!(text.contains("counters"), "{text}");
+    assert!(text.contains("scf.iterations"), "{text}");
+    assert!(text.contains("histograms"), "{text}");
+    assert!(text.contains("scf.diis_error"), "{text}");
+
+    reset();
+    assert!(summary().contains("no observability data"));
+    disable();
+}
+
+#[test]
+fn reset_clears_registry_and_restarts_epoch() {
+    let _g = exclusive();
+    counter_add("a", 1);
+    {
+        let _s = span("b");
+    }
+    reset();
+    let snap = snapshot();
+    assert!(snap.spans.is_empty() && snap.counters.is_empty());
+    {
+        let _s = span("after");
+    }
+    let snap = snapshot();
+    // Fresh epoch: the new span starts near zero.
+    assert!(snap.span("after").unwrap().start_us < 1e6);
+    disable();
+}
+
+#[test]
+fn write_jsonl_produces_parseable_file() {
+    let _g = exclusive();
+    counter_add("file.counter", 7);
+    let path = std::env::temp_dir().join("obs_write_jsonl_test.jsonl");
+    write_jsonl(&path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let records = parse_jsonl(&text).unwrap();
+    assert!(records
+        .iter()
+        .any(|r| matches!(r, Record::Counter { name, value: 7 } if name == "file.counter")));
+    disable();
+}

@@ -59,7 +59,12 @@ pub fn group_qubit_wise(sum: &WeightedPauliSum) -> Vec<MeasurementGroup> {
     let n = sum.num_qubits();
     let mut order: Vec<usize> = (0..sum.len()).collect();
     order.sort_by(|&i, &j| {
-        sum[j].0.abs().partial_cmp(&sum[i].0.abs()).expect("finite weights").then(i.cmp(&j))
+        sum[j]
+            .0
+            .abs()
+            .partial_cmp(&sum[i].0.abs())
+            .expect("finite weights")
+            .then(i.cmp(&j))
     });
 
     let mut groups: Vec<MeasurementGroup> = Vec::new();
@@ -80,7 +85,10 @@ pub fn group_qubit_wise(sum: &WeightedPauliSum) -> Vec<MeasurementGroup> {
             }
         }
         if !placed {
-            groups.push(MeasurementGroup { basis: term, term_indices: vec![idx] });
+            groups.push(MeasurementGroup {
+                basis: term,
+                term_indices: vec![idx],
+            });
         }
     }
     groups
@@ -94,7 +102,9 @@ mod tests {
         let n = terms[0].0.len();
         WeightedPauliSum::from_terms(
             n,
-            terms.iter().map(|&(s, w)| (w, s.parse::<PauliString>().unwrap())),
+            terms
+                .iter()
+                .map(|&(s, w)| (w, s.parse::<PauliString>().unwrap())),
         )
     }
 

@@ -65,6 +65,7 @@ impl Pauli {
 
     /// Multiplies two single-qubit Paulis, returning the phase and result:
     /// `self · rhs = phase · result`.
+    #[allow(clippy::should_implement_trait)] // returns (Phase, Pauli), not Self
     pub fn mul(self, rhs: Pauli) -> (Phase, Pauli) {
         use Pauli::*;
         match (self, rhs) {
@@ -142,6 +143,7 @@ impl Phase {
 
     /// Multiplies two phases.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // small Copy enum; free-standing name reads fine
     pub fn mul(self, rhs: Phase) -> Phase {
         Phase::from_power_of_i(self.power_of_i() + rhs.power_of_i())
     }
@@ -221,8 +223,12 @@ impl PauliString {
     ///
     /// Panics if `num_qubits` is zero or exceeds 64.
     pub fn identity(num_qubits: usize) -> Self {
-        assert!(num_qubits >= 1 && num_qubits <= 64, "1..=64 qubits supported");
-        PauliString { num_qubits: num_qubits as u8, x: 0, z: 0 }
+        assert!((1..=64).contains(&num_qubits), "1..=64 qubits supported");
+        PauliString {
+            num_qubits: num_qubits as u8,
+            x: 0,
+            z: 0,
+        }
     }
 
     /// Creates a string from a list of `(qubit, operator)` pairs; unlisted
@@ -235,7 +241,10 @@ impl PauliString {
     pub fn from_ops(num_qubits: usize, ops: &[(usize, Pauli)]) -> Self {
         let mut s = PauliString::identity(num_qubits);
         for &(q, p) in ops {
-            assert!(q < num_qubits, "qubit {q} out of range for {num_qubits} qubits");
+            assert!(
+                q < num_qubits,
+                "qubit {q} out of range for {num_qubits} qubits"
+            );
             let existing = s.op(q);
             assert!(
                 existing == Pauli::I || existing == p,
@@ -256,7 +265,11 @@ impl PauliString {
         let valid = s.qubit_mask();
         assert_eq!(x & !valid, 0, "x mask has bits outside the register");
         assert_eq!(z & !valid, 0, "z mask has bits outside the register");
-        PauliString { num_qubits: s.num_qubits, x, z }
+        PauliString {
+            num_qubits: s.num_qubits,
+            x,
+            z,
+        }
     }
 
     #[inline]
@@ -319,7 +332,9 @@ impl PauliString {
 
     /// The qubits carrying a non-identity operator, ascending.
     pub fn support(&self) -> Vec<usize> {
-        (0..self.num_qubits()).filter(|&q| (self.support_mask() >> q) & 1 == 1).collect()
+        (0..self.num_qubits())
+            .filter(|&q| (self.support_mask() >> q) & 1 == 1)
+            .collect()
     }
 
     /// Number of non-identity operators (Hamming weight of the support).
@@ -347,7 +362,7 @@ impl PauliString {
     pub fn commutes_with(&self, other: &PauliString) -> bool {
         assert_eq!(self.num_qubits, other.num_qubits, "qubit counts must match");
         let anti = (self.x & other.z).count_ones() + (self.z & other.x).count_ones();
-        anti % 2 == 0
+        anti.is_multiple_of(2)
     }
 
     /// The group product `self · other = phase · string`.
@@ -364,7 +379,11 @@ impl PauliString {
         }
         (
             Phase::from_power_of_i(k),
-            PauliString { num_qubits: self.num_qubits, x: self.x ^ other.x, z: self.z ^ other.z },
+            PauliString {
+                num_qubits: self.num_qubits,
+                x: self.x ^ other.x,
+                z: self.z ^ other.z,
+            },
         )
     }
 
@@ -395,7 +414,10 @@ impl PauliString {
     ///
     /// Panics if qubit counts differ.
     pub fn importance_decay_factor(&self, hamiltonian_term: &PauliString) -> u32 {
-        assert_eq!(self.num_qubits, hamiltonian_term.num_qubits, "qubit counts must match");
+        assert_eq!(
+            self.num_qubits, hamiltonian_term.num_qubits,
+            "qubit counts must match"
+        );
         let mut d = 0;
         for q in 0..self.num_qubits() {
             let a = self.op(q);
@@ -488,9 +510,15 @@ mod tests {
     #[test]
     fn parse_rejects_bad_input() {
         assert_eq!("".parse::<PauliString>(), Err(ParsePauliError::Empty));
-        assert_eq!("XAZ".parse::<PauliString>(), Err(ParsePauliError::InvalidChar('A')));
+        assert_eq!(
+            "XAZ".parse::<PauliString>(),
+            Err(ParsePauliError::InvalidChar('A'))
+        );
         let long = "I".repeat(65);
-        assert_eq!(long.parse::<PauliString>(), Err(ParsePauliError::TooLong(65)));
+        assert_eq!(
+            long.parse::<PauliString>(),
+            Err(ParsePauliError::TooLong(65))
+        );
     }
 
     #[test]

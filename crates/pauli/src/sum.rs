@@ -45,8 +45,11 @@ impl WeightedPauliSum {
     ///
     /// Panics if `num_qubits` is zero or exceeds 64.
     pub fn new(num_qubits: usize) -> Self {
-        assert!(num_qubits >= 1 && num_qubits <= 64, "1..=64 qubits supported");
-        WeightedPauliSum { num_qubits, terms: Vec::new() }
+        assert!((1..=64).contains(&num_qubits), "1..=64 qubits supported");
+        WeightedPauliSum {
+            num_qubits,
+            terms: Vec::new(),
+        }
     }
 
     /// Builds a sum from `(weight, string)` pairs.
@@ -127,7 +130,11 @@ impl WeightedPauliSum {
     /// The weight of the identity term, if present (the constant offset of a
     /// molecular Hamiltonian).
     pub fn identity_weight(&self) -> f64 {
-        self.terms.iter().filter(|(_, p)| p.is_identity()).map(|(w, _)| w).sum()
+        self.terms
+            .iter()
+            .filter(|(_, p)| p.is_identity())
+            .map(|(w, _)| w)
+            .sum()
     }
 
     /// Applies `H` to a statevector: `out = H·state`.
@@ -146,7 +153,11 @@ impl WeightedPauliSum {
             let base = crate::string::Phase::from_power_of_i(ny).to_complex() * w;
             let z = p.z_mask();
             for b in 0..dim as u64 {
-                let sign = if (b & z).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                let sign = if (b & z).count_ones() % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 out[(b ^ x) as usize] += state[b as usize] * (base * sign);
             }
         }
@@ -168,7 +179,11 @@ impl WeightedPauliSum {
             let base = crate::string::Phase::from_power_of_i(ny).to_complex();
             let mut acc = Complex64::ZERO;
             for b in 0..dim as u64 {
-                let sign = if (b & z).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                let sign = if (b & z).count_ones() % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 acc += state[(b ^ x) as usize].conj() * state[b as usize] * (base * sign);
             }
             total += w * acc.re;
@@ -183,7 +198,7 @@ impl WeightedPauliSum {
     /// # Panics
     ///
     /// Panics if `state.len() != 2^num_qubits`.
-    pub fn evolve_exact(&self, t: f64, state: &mut Vec<Complex64>) {
+    pub fn evolve_exact(&self, t: f64, state: &mut [Complex64]) {
         let dim = 1usize << self.num_qubits;
         assert_eq!(state.len(), dim, "state length must be 2^n");
         let norm_bound = self.one_norm().max(1e-12);
@@ -195,7 +210,7 @@ impl WeightedPauliSum {
         for _ in 0..substeps {
             // |ψ⟩ ← Σ_k (-i·H·dt)^k / k! |ψ⟩
             term.copy_from_slice(state);
-            let mut out: Vec<Complex64> = state.clone();
+            let mut out: Vec<Complex64> = state.to_vec();
             for k in 1..200 {
                 self.apply(&term, &mut scratch);
                 let factor = Complex64::new(0.0, -dt) / k as f64;
@@ -227,7 +242,11 @@ impl WeightedPauliSum {
         assert_eq!(state.len(), dim, "state length must be 2^n");
         let mut h_psi = vec![Complex64::ZERO; dim];
         self.apply(state, &mut h_psi);
-        let e: f64 = state.iter().zip(&h_psi).map(|(a, b)| (a.conj() * *b).re).sum();
+        let e: f64 = state
+            .iter()
+            .zip(&h_psi)
+            .map(|(a, b)| (a.conj() * *b).re)
+            .sum();
         let e2: f64 = h_psi.iter().map(|z| z.norm_sqr()).sum();
         (e2 - e * e).max(0.0)
     }
@@ -253,7 +272,10 @@ impl WeightedPauliSum {
         let (r, v) = numeric::lanczos_ground_state_with_vector(
             dim,
             |x, y| self.apply(x, y),
-            LanczosOptions { tol: 1e-12, ..Default::default() },
+            LanczosOptions {
+                tol: 1e-12,
+                ..Default::default()
+            },
             0x5eed,
         );
         (r.eigenvalue, v)
@@ -281,14 +303,16 @@ impl WeightedPauliSum {
                     self.apply(x, y);
                     // + shift · Σ_j |v_j⟩⟨v_j| x
                     for vj in &deflated {
-                        let overlap: Complex64 =
-                            vj.iter().zip(x).map(|(a, b)| a.conj() * *b).sum();
+                        let overlap: Complex64 = vj.iter().zip(x).map(|(a, b)| a.conj() * *b).sum();
                         for (yi, vi) in y.iter_mut().zip(vj) {
                             *yi += *vi * overlap * shift;
                         }
                     }
                 },
-                LanczosOptions { tol: 1e-12, max_iter: 400, ..Default::default() },
+                LanczosOptions {
+                    tol: 1e-12,
+                    max_iter: 400,
+                },
                 0x5eed + round as u64,
             );
             values.push(r.eigenvalue);
@@ -468,8 +492,9 @@ mod tests {
         h.push(0.5, "ZZI".parse().unwrap());
         h.push(-0.3, "IXX".parse().unwrap());
         h.push(0.2, "YIY".parse().unwrap());
-        let mut state: Vec<Complex64> =
-            (0..8).map(|k| Complex64::new(1.0 + k as f64, 0.5 * k as f64)).collect();
+        let mut state: Vec<Complex64> = (0..8)
+            .map(|k| Complex64::new(1.0 + k as f64, 0.5 * k as f64))
+            .collect();
         let norm = state.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
         for z in &mut state {
             *z = *z / norm;
@@ -478,7 +503,10 @@ mod tests {
         h.evolve_exact(2.3, &mut state);
         let norm_after = state.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
         assert!((norm_after - 1.0).abs() < 1e-10);
-        assert!((h.expectation(&state) - e_before).abs() < 1e-10, "energy drift");
+        assert!(
+            (h.expectation(&state) - e_before).abs() < 1e-10,
+            "energy drift"
+        );
     }
 
     #[test]

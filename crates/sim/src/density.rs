@@ -42,11 +42,15 @@ impl DensityMatrix {
     ///
     /// Panics if `num_qubits` is zero or exceeds 12.
     pub fn zero_state(num_qubits: usize) -> Self {
-        assert!(num_qubits >= 1 && num_qubits <= 12, "1..=12 qubits supported");
+        assert!((1..=12).contains(&num_qubits), "1..=12 qubits supported");
         let dim = 1usize << num_qubits;
         let mut data = vec![Complex64::ZERO; dim * dim];
         data[0] = Complex64::ONE;
-        DensityMatrix { num_qubits, dim, data }
+        DensityMatrix {
+            num_qubits,
+            dim,
+            data,
+        }
     }
 
     /// The pure-state density matrix `|ψ⟩⟨ψ|` of a statevector.
@@ -65,7 +69,11 @@ impl DensityMatrix {
                 data[r * dim + c] = amps[r] * amps[c].conj();
             }
         }
-        DensityMatrix { num_qubits: n, dim, data }
+        DensityMatrix {
+            num_qubits: n,
+            dim,
+            data,
+        }
     }
 
     /// Number of qubits.
@@ -124,7 +132,10 @@ impl DensityMatrix {
     ///
     /// Panics if the circuit is wider than the state.
     pub fn apply_circuit_noisy(&mut self, circuit: &Circuit, noise: &NoiseModel) {
-        assert!(circuit.num_qubits() <= self.num_qubits, "circuit wider than state");
+        assert!(
+            circuit.num_qubits() <= self.num_qubits,
+            "circuit wider than state"
+        );
         for g in circuit {
             self.apply_gate(g);
             match *g {
@@ -172,7 +183,10 @@ impl DensityMatrix {
     ///
     /// Panics if qubits coincide or are out of range, or `p ∉ [0, 1]`.
     pub fn depolarize_two(&mut self, a: usize, b: usize, p: f64) {
-        assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+        assert!(
+            a < self.num_qubits && b < self.num_qubits,
+            "qubit out of range"
+        );
         assert_ne!(a, b, "depolarize_two requires distinct qubits");
         assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
         // E(ρ) = (1-λ)ρ + λ·Tr_ab(ρ)⊗I/4 with λ = 16p/15.
@@ -281,7 +295,11 @@ impl DensityMatrix {
     ///
     /// Panics if the observable width differs.
     pub fn expectation(&self, observable: &WeightedPauliSum) -> f64 {
-        assert_eq!(observable.num_qubits(), self.num_qubits, "observable width must match");
+        assert_eq!(
+            observable.num_qubits(),
+            self.num_qubits,
+            "observable width must match"
+        );
         let mut total = 0.0;
         for (w, p) in observable.iter() {
             // Tr(Pρ) = Σ_b ⟨b|Pρ|b⟩ = Σ_b conj(ph_b)·ρ[b⊕x, b]
@@ -322,7 +340,10 @@ mod tests {
     fn bell_circuit() -> Circuit {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         c
     }
 
@@ -346,10 +367,16 @@ mod tests {
     fn expectation_matches_statevector_on_random_circuit() {
         let mut c = Circuit::new(3);
         c.push(Gate::Ry(0, 0.4));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         c.push(Gate::Rz(1, 1.1));
         c.push(Gate::H(2));
-        c.push(Gate::Cnot { control: 2, target: 0 });
+        c.push(Gate::Cnot {
+            control: 2,
+            target: 0,
+        });
         c.push(Gate::Rx(2, -0.6));
         let mut rho = DensityMatrix::zero_state(3);
         rho.apply_circuit_noisy(&c, &NoiseModel::noiseless());
@@ -401,10 +428,19 @@ mod tests {
         let mut c = Circuit::new(3);
         for k in 0..6 {
             c.push(Gate::Ry(k % 3, 0.3 * k as f64));
-            c.push(Gate::Cnot { control: k % 3, target: (k + 1) % 3 });
+            c.push(Gate::Cnot {
+                control: k % 3,
+                target: (k + 1) % 3,
+            });
         }
         let mut rho = DensityMatrix::zero_state(3);
-        rho.apply_circuit_noisy(&c, &NoiseModel { cnot_error: 0.01, single_qubit_error: 0.001 });
+        rho.apply_circuit_noisy(
+            &c,
+            &NoiseModel {
+                cnot_error: 0.01,
+                single_qubit_error: 0.001,
+            },
+        );
         assert!((rho.trace() - 1.0).abs() < 1e-10);
         assert!(rho.purity() < 1.0);
     }
@@ -419,7 +455,10 @@ mod tests {
         ca.push(Gate::Swap(0, 1));
         a.apply_circuit_noisy(&ca, &NoiseModel::cnot_only(0.02));
         let mut cb = Circuit::new(2);
-        cb.push(Gate::Cnot { control: 0, target: 1 });
+        cb.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         b.apply_circuit_noisy(&cb, &NoiseModel::cnot_only(0.02));
         assert!(a.purity() < b.purity());
     }

@@ -33,19 +33,28 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// A noiseless model.
     pub fn noiseless() -> Self {
-        NoiseModel { cnot_error: 0.0, single_qubit_error: 0.0 }
+        NoiseModel {
+            cnot_error: 0.0,
+            single_qubit_error: 0.0,
+        }
     }
 
     /// The paper's §VI-D configuration: depolarizing CNOT error `1e-4`,
     /// ideal single-qubit gates.
     pub fn paper_default() -> Self {
-        NoiseModel { cnot_error: 1e-4, single_qubit_error: 0.0 }
+        NoiseModel {
+            cnot_error: 1e-4,
+            single_qubit_error: 0.0,
+        }
     }
 
     /// Creates a model with only CNOT errors.
     pub fn cnot_only(p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
-        NoiseModel { cnot_error: p, single_qubit_error: 0.0 }
+        NoiseModel {
+            cnot_error: p,
+            single_qubit_error: 0.0,
+        }
     }
 
     /// Whether all error rates are zero.

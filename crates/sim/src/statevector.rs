@@ -40,7 +40,7 @@ impl Statevector {
     /// Panics if `num_qubits` is out of the supported range or `b` has bits
     /// beyond the register.
     pub fn basis_state(num_qubits: usize, b: u64) -> Self {
-        assert!(num_qubits >= 1 && num_qubits <= 24, "1..=24 qubits supported");
+        assert!((1..=24).contains(&num_qubits), "1..=24 qubits supported");
         let dim = 1usize << num_qubits;
         assert!((b as usize) < dim, "basis index outside register");
         let mut amps = vec![Complex64::ZERO; dim];
@@ -55,7 +55,10 @@ impl Statevector {
     /// Panics if the length is not a power of two in the supported range.
     pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
         let dim = amps.len();
-        assert!(dim.is_power_of_two() && dim >= 2, "length must be a power of two ≥ 2");
+        assert!(
+            dim.is_power_of_two() && dim >= 2,
+            "length must be a power of two ≥ 2"
+        );
         let num_qubits = dim.trailing_zeros() as usize;
         assert!(num_qubits <= 24, "1..=24 qubits supported");
         Statevector { num_qubits, amps }
@@ -90,7 +93,11 @@ impl Statevector {
     /// Panics if qubit counts differ.
     pub fn inner(&self, other: &Statevector) -> Complex64 {
         assert_eq!(self.num_qubits, other.num_qubits, "qubit counts must match");
-        self.amps.iter().zip(&other.amps).map(|(a, b)| a.conj() * *b).sum()
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
     }
 
     /// Fidelity `|⟨self|other⟩|²`.
@@ -121,7 +128,10 @@ impl Statevector {
     ///
     /// Panics if the circuit is wider than the state.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
-        assert!(circuit.num_qubits() <= self.num_qubits, "circuit wider than state");
+        assert!(
+            circuit.num_qubits() <= self.num_qubits,
+            "circuit wider than state"
+        );
         for g in circuit {
             self.apply_gate(g);
         }
@@ -150,7 +160,10 @@ impl Statevector {
     }
 
     fn apply_cnot(&mut self, control: usize, target: usize) {
-        assert!(control < self.num_qubits && target < self.num_qubits, "qubit out of range");
+        assert!(
+            control < self.num_qubits && target < self.num_qubits,
+            "qubit out of range"
+        );
         assert_ne!(control, target, "control equals target");
         let cbit = 1u64 << control;
         let tbit = 1u64 << target;
@@ -163,7 +176,10 @@ impl Statevector {
     }
 
     fn apply_swap(&mut self, a: usize, b: usize) {
-        assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+        assert!(
+            a < self.num_qubits && b < self.num_qubits,
+            "qubit out of range"
+        );
         assert_ne!(a, b, "swap of identical qubits");
         let abit = 1u64 << a;
         let bbit = 1u64 << b;
@@ -183,7 +199,11 @@ impl Statevector {
     ///
     /// Panics if the string width differs from the state.
     pub fn apply_pauli_evolution(&mut self, p: &PauliString, theta: f64) {
-        assert_eq!(p.num_qubits(), self.num_qubits, "Pauli width must match state");
+        assert_eq!(
+            p.num_qubits(),
+            self.num_qubits,
+            "Pauli width must match state"
+        );
         let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
         let cc = Complex64::from_real(c);
         let mis = Complex64::new(0.0, -s); // -i·sin(θ/2)
@@ -195,7 +215,11 @@ impl Statevector {
         if x == 0 {
             // Diagonal: amp[b] *= exp(-i·θ/2·s_b) with s_b = ±1.
             for b in 0..self.amps.len() as u64 {
-                let sgn = if (b & z).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                let sgn = if (b & z).count_ones().is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                };
                 let factor = cc + mis * sgn;
                 self.amps[b as usize] *= factor;
             }
@@ -204,8 +228,16 @@ impl Statevector {
                 let partner = b ^ x;
                 if b < partner {
                     // P|b⟩ = ph_b |partner⟩, P|partner⟩ = ph_p |b⟩.
-                    let sign_b = if (b & z).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
-                    let sign_p = if (partner & z).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                    let sign_b = if (b & z).count_ones().is_multiple_of(2) {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                    let sign_p = if (partner & z).count_ones().is_multiple_of(2) {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     let ph_b = base_phase * sign_b;
                     let ph_p = base_phase * sign_p;
                     let ab = self.amps[b as usize];
@@ -230,7 +262,10 @@ mod tests {
     fn bell() -> Statevector {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let mut sv = Statevector::zero_state(2);
         sv.apply_circuit(&c);
         sv
@@ -271,7 +306,10 @@ mod tests {
         for (input, expected) in [(0b00u64, 0b00u64), (0b01, 0b11), (0b10, 0b10), (0b11, 0b01)] {
             // qubit 0 = control.
             let mut sv = Statevector::basis_state(2, input);
-            sv.apply_gate(&Gate::Cnot { control: 0, target: 1 });
+            sv.apply_gate(&Gate::Cnot {
+                control: 0,
+                target: 1,
+            });
             assert_eq!(sv.probability(expected), 1.0, "input {input:#b}");
         }
     }
@@ -335,7 +373,10 @@ mod tests {
         let before = sv.clone();
         sv.apply_pauli_evolution(&p, 0.9);
         assert!((sv.norm() - 1.0).abs() < 1e-12);
-        assert!(sv.fidelity(&before) < 1.0 - 1e-6, "evolution must act nontrivially");
+        assert!(
+            sv.fidelity(&before) < 1.0 - 1e-6,
+            "evolution must act nontrivially"
+        );
         // Evolving back must return the original state.
         sv.apply_pauli_evolution(&p, -0.9);
         assert!(sv.fidelity(&before) > 1.0 - 1e-12);

@@ -94,11 +94,7 @@ pub fn pool_from_excitations(num_qubits: usize, excitations: &[Excitation]) -> V
 
 /// The energy gradient of appending pool operator `op` (at angle 0) to the
 /// current state: `∂E/∂θ = ⟨ψ|[H, T−T†]|ψ⟩ = 2·Σ_k c_k·Re(i·⟨ψ|H·P_k|ψ⟩)`.
-pub fn pool_gradient(
-    state_amps: &[Complex64],
-    h_psi: &[Complex64],
-    op: &PoolOperator,
-) -> f64 {
+pub fn pool_gradient(state_amps: &[Complex64], h_psi: &[Complex64], op: &PoolOperator) -> f64 {
     let mut g = 0.0;
     for &(c, p) in &op.terms {
         // ⟨Hψ| P |ψ⟩
@@ -107,7 +103,11 @@ pub fn pool_gradient(
         let z = p.z_mask();
         let base = pauli::Phase::from_power_of_i((x & z).count_ones()).to_complex();
         for b in 0..state_amps.len() as u64 {
-            let sign = if (b & z).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if (b & z).count_ones() % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             acc += h_psi[(b ^ x) as usize].conj() * state_amps[b as usize] * (base * sign);
         }
         // d/dθ ⟨ψ|e^{-iθcP} H e^{iθcP}|ψ⟩ at 0 = 2c·Re(i·⟨Hψ|P|ψ⟩).
@@ -171,7 +171,11 @@ pub fn run_adapt_vqe(
         // Append the operator as a fresh parameter and re-optimize all.
         let new_param = params.len();
         for &(c, p) in &pool[best_idx].terms {
-            ir.push(IrEntry { string: p, param: new_param, coefficient: c });
+            ir.push(IrEntry {
+                string: p,
+                param: new_param,
+                coefficient: c,
+            });
         }
         params.push(0.0);
         selected.push(best_idx);
@@ -229,7 +233,11 @@ mod tests {
             // Finite difference: append the operator and evaluate E(±ε).
             let mut probe = PauliIr::new(4, hf);
             for &(c, p) in &op.terms {
-                probe.push(IrEntry { string: p, param: 0, coefficient: c });
+                probe.push(IrEntry {
+                    string: p,
+                    param: 0,
+                    coefficient: c,
+                });
             }
             let eps = 1e-6;
             let ep = crate::state::energy(&h, &probe, &[eps]);
@@ -249,7 +257,12 @@ mod tests {
         // excitation has nonzero gradient at HF.
         let h = toy_h();
         let pool = uccsd_pool(2, 2);
-        let r = run_adapt_vqe(&h, hartree_fock_bitmask(2, 2), &pool, AdaptOptions::default());
+        let r = run_adapt_vqe(
+            &h,
+            hartree_fock_bitmask(2, 2),
+            &pool,
+            AdaptOptions::default(),
+        );
         assert!(!r.selected.is_empty());
         // Pool order: two singles then the double (index 2).
         assert_eq!(r.selected[0], 2, "ADAPT must pick the double first");
@@ -259,7 +272,12 @@ mod tests {
     fn adapt_converges_to_sector_minimum() {
         let h = toy_h();
         let pool = uccsd_pool(2, 2);
-        let r = run_adapt_vqe(&h, hartree_fock_bitmask(2, 2), &pool, AdaptOptions::default());
+        let r = run_adapt_vqe(
+            &h,
+            hartree_fock_bitmask(2, 2),
+            &pool,
+            AdaptOptions::default(),
+        );
         assert!(r.converged);
         // Compare against full-UCCSD VQE on the same problem.
         let full = ansatz::uccsd::UccsdAnsatz::new(2, 2).into_ir();
@@ -278,9 +296,18 @@ mod tests {
     fn energy_trace_is_monotone() {
         let h = toy_h();
         let pool = uccsd_pool(2, 2);
-        let r = run_adapt_vqe(&h, hartree_fock_bitmask(2, 2), &pool, AdaptOptions::default());
+        let r = run_adapt_vqe(
+            &h,
+            hartree_fock_bitmask(2, 2),
+            &pool,
+            AdaptOptions::default(),
+        );
         for w in r.energy_trace.windows(2) {
-            assert!(w[1] <= w[0] + 1e-10, "trace must not increase: {:?}", r.energy_trace);
+            assert!(
+                w[1] <= w[0] + 1e-10,
+                "trace must not increase: {:?}",
+                r.energy_trace
+            );
         }
     }
 
@@ -299,7 +326,10 @@ mod tests {
             &h,
             model.half_filling_state(),
             &pool,
-            AdaptOptions { gradient_tolerance: 1e-6, ..Default::default() },
+            AdaptOptions {
+                gradient_tolerance: 1e-6,
+                ..Default::default()
+            },
         );
         assert!(
             (r.energy - exact).abs() < 1e-6,
@@ -316,7 +346,10 @@ mod tests {
             &h,
             hartree_fock_bitmask(2, 2),
             &pool,
-            AdaptOptions { max_operators: 1, ..Default::default() },
+            AdaptOptions {
+                max_operators: 1,
+                ..Default::default()
+            },
         );
         assert_eq!(r.ir.num_parameters(), 1);
     }

@@ -6,9 +6,7 @@ use sim::{DensityMatrix, NoiseModel};
 use ansatz::PauliIr;
 use compiler::synthesis::synthesize_chain;
 
-use crate::optimize::{
-    lbfgs, nelder_mead, spsa, OptimizeControls, OptimizeOutcome, OptimizerKind,
-};
+use crate::optimize::{lbfgs, nelder_mead, spsa, OptimizeControls, OptimizeOutcome, OptimizerKind};
 use crate::state::energy_and_gradient;
 
 /// Options for a VQE run.
@@ -22,7 +20,10 @@ pub struct VqeOptions {
 
 impl Default for VqeOptions {
     fn default() -> Self {
-        VqeOptions { optimizer: OptimizerKind::Lbfgs, controls: OptimizeControls::default() }
+        VqeOptions {
+            optimizer: OptimizerKind::Lbfgs,
+            controls: OptimizeControls::default(),
+        }
     }
 }
 
@@ -66,6 +67,35 @@ pub fn run_vqe(hamiltonian: &WeightedPauliSum, ir: &PauliIr, options: VqeOptions
     run_vqe_from(hamiltonian, ir, &vec![0.0; ir.num_parameters()], options)
 }
 
+fn optimizer_name(kind: OptimizerKind) -> &'static str {
+    match kind {
+        OptimizerKind::Lbfgs => "lbfgs",
+        OptimizerKind::NelderMead => "nelder-mead",
+        OptimizerKind::Spsa(_) => "spsa",
+    }
+}
+
+fn record_vqe_outcome(span: &mut obs::SpanGuard, options: &VqeOptions, result: &VqeResult) {
+    span.record("optimizer", optimizer_name(options.optimizer));
+    span.record("iterations", result.iterations);
+    span.record("evaluations", result.evaluations);
+    span.record("energy", result.energy);
+    span.record("converged", result.converged);
+    obs::counter_add("vqe.outer_iterations", result.iterations as u64);
+    obs::counter_add("vqe.objective_evaluations", result.evaluations as u64);
+    if obs::is_enabled() {
+        for (i, &e) in result.trace.iter().enumerate() {
+            obs::event_fields(
+                "vqe.iter",
+                vec![
+                    ("iter".to_string(), obs::Value::from(i + 1)),
+                    ("energy".to_string(), obs::Value::from(e)),
+                ],
+            );
+        }
+    }
+}
+
 /// [`run_vqe`] from an explicit starting point.
 ///
 /// Useful when the reference determinant is a stationary point of the
@@ -82,10 +112,20 @@ pub fn run_vqe_from(
     x0: &[f64],
     options: VqeOptions,
 ) -> VqeResult {
-    assert_eq!(hamiltonian.num_qubits(), ir.num_qubits(), "register mismatch");
-    assert_eq!(x0.len(), ir.num_parameters(), "starting point has wrong length");
+    assert_eq!(
+        hamiltonian.num_qubits(),
+        ir.num_qubits(),
+        "register mismatch"
+    );
+    assert_eq!(
+        x0.len(),
+        ir.num_parameters(),
+        "starting point has wrong length"
+    );
+    let mut span = obs::span("vqe.run");
+    span.record("parameters", ir.num_parameters());
     let x0 = x0.to_vec();
-    match options.optimizer {
+    let result: VqeResult = match options.optimizer {
         OptimizerKind::Lbfgs => lbfgs(
             |theta| energy_and_gradient(hamiltonian, ir, theta),
             &x0,
@@ -106,7 +146,9 @@ pub fn run_vqe_from(
             options.controls,
         )
         .into(),
-    }
+    };
+    record_vqe_outcome(&mut span, &options, &result);
+    result
 }
 
 /// How to evaluate noisy energies for the Fig 10 case studies.
@@ -138,9 +180,16 @@ pub fn run_vqe_noisy(
     evaluator: NoisyEvaluator,
     options: VqeOptions,
 ) -> VqeResult {
-    assert_eq!(hamiltonian.num_qubits(), ir.num_qubits(), "register mismatch");
+    assert_eq!(
+        hamiltonian.num_qubits(),
+        ir.num_qubits(),
+        "register mismatch"
+    );
+    let mut span = obs::span("vqe.run");
+    span.record("parameters", ir.num_parameters());
+    span.record("noisy", true);
     let x0 = vec![0.0; ir.num_parameters()];
-    match evaluator {
+    let result: VqeResult = match evaluator {
         NoisyEvaluator::GlobalDepolarizing(noise) => {
             let cnots = compiler::pipeline::original_cnot_count(ir);
             let fidelity = noise.global_fidelity(cnots, 0);
@@ -189,7 +238,9 @@ pub fn run_vqe_noisy(
                 _ => nelder_mead(objective, &x0, 0.1, options.controls).into(),
             }
         }
-    }
+    };
+    record_vqe_outcome(&mut span, &options, &result);
+    result
 }
 
 /// One noisy energy evaluation via density-matrix simulation of the
@@ -220,8 +271,16 @@ mod tests {
         h.push(-0.5, "ZI".parse().unwrap());
         h.push(0.4, "XX".parse().unwrap());
         let mut ir = PauliIr::new(2, 0b01);
-        ir.push(IrEntry { string: "XY".parse().unwrap(), param: 0, coefficient: 0.5 });
-        ir.push(IrEntry { string: "YX".parse().unwrap(), param: 0, coefficient: -0.5 });
+        ir.push(IrEntry {
+            string: "XY".parse().unwrap(),
+            param: 0,
+            coefficient: 0.5,
+        });
+        ir.push(IrEntry {
+            string: "YX".parse().unwrap(),
+            param: 0,
+            coefficient: -0.5,
+        });
         (h, ir)
     }
 
@@ -253,7 +312,10 @@ mod tests {
             &ir,
             VqeOptions {
                 optimizer: OptimizerKind::NelderMead,
-                controls: OptimizeControls { max_iterations: 2000, ..Default::default() },
+                controls: OptimizeControls {
+                    max_iterations: 2000,
+                    ..Default::default()
+                },
             },
         );
         assert!((lb.energy - nm.energy).abs() < 1e-5);
@@ -278,9 +340,11 @@ mod tests {
         let exact = noisy_energy_density(&h, &ir, &theta, &noise);
         let cnots = compiler::pipeline::original_cnot_count(&ir);
         let f = noise.global_fidelity(cnots, 0);
-        let approx = f * crate::state::energy(&h, &ir, &theta)
-            + (1.0 - f) * h.identity_weight();
-        assert!((exact - approx).abs() < 1e-4, "exact {exact} vs approx {approx}");
+        let approx = f * crate::state::energy(&h, &ir, &theta) + (1.0 - f) * h.identity_weight();
+        assert!(
+            (exact - approx).abs() < 1e-4,
+            "exact {exact} vs approx {approx}"
+        );
     }
 
     #[test]
@@ -293,10 +357,18 @@ mod tests {
             NoisyEvaluator::DensityMatrix(NoiseModel::cnot_only(0.01)),
             VqeOptions {
                 optimizer: OptimizerKind::NelderMead,
-                controls: OptimizeControls { max_iterations: 400, ..Default::default() },
+                controls: OptimizeControls {
+                    max_iterations: 400,
+                    ..Default::default()
+                },
             },
         );
-        assert!(noisy.energy > clean.energy, "noisy {} clean {}", noisy.energy, clean.energy);
+        assert!(
+            noisy.energy > clean.energy,
+            "noisy {} clean {}",
+            noisy.energy,
+            clean.energy
+        );
     }
 
     #[test]

@@ -33,10 +33,14 @@ pub mod optimize;
 pub mod state;
 pub mod vqd;
 
-pub use adapt::{pool_from_excitations, run_adapt_vqe, uccsd_pool, AdaptOptions, AdaptResult, PoolOperator};
+pub use adapt::{
+    pool_from_excitations, run_adapt_vqe, uccsd_pool, AdaptOptions, AdaptResult, PoolOperator,
+};
 pub use driver::{run_vqe, run_vqe_from, run_vqe_noisy, NoisyEvaluator, VqeOptions, VqeResult};
 pub use measurement::{estimate_energy_sampled, measurement_basis_circuit, SampledEnergy};
-pub use mitigation::{fold_cnots, richardson_extrapolate, zne_energy, MitigatedEnergy, NoiseScaling};
-pub use optimize::{OptimizerKind, OptimizeOutcome};
+pub use mitigation::{
+    fold_cnots, richardson_extrapolate, zne_energy, MitigatedEnergy, NoiseScaling,
+};
+pub use optimize::{OptimizeOutcome, OptimizerKind};
 pub use state::{energy, energy_and_gradient, overlap_and_gradient, prepare_state};
 pub use vqd::{run_vqd, VqdOptions, VqdState};

@@ -107,14 +107,24 @@ pub fn estimate_energy_sampled(
             let support = term.support_mask();
             let mean: f64 = outcomes
                 .iter()
-                .map(|&b| if (b & support).count_ones() % 2 == 0 { 1.0 } else { -1.0 })
+                .map(|&b| {
+                    if (b & support).count_ones() % 2 == 0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                })
                 .sum::<f64>()
                 / shots_per_group as f64;
             energy += w * mean;
         }
     }
 
-    SampledEnergy { energy, num_groups: groups.len(), total_shots }
+    SampledEnergy {
+        energy,
+        num_groups: groups.len(),
+        total_shots,
+    }
 }
 
 #[cfg(test)]
@@ -124,7 +134,10 @@ mod tests {
     fn bell() -> Statevector {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let mut sv = Statevector::zero_state(2);
         sv.apply_circuit(&c);
         sv

@@ -73,7 +73,10 @@ pub fn fold_cnots(circuit: &Circuit, folds: usize) -> Circuit {
 ///
 /// Panics with fewer than two samples or duplicate abscissae.
 pub fn richardson_extrapolate(samples: &[(f64, f64)]) -> f64 {
-    assert!(samples.len() >= 2, "extrapolation needs at least two noise levels");
+    assert!(
+        samples.len() >= 2,
+        "extrapolation needs at least two noise levels"
+    );
     let mut total = 0.0;
     for (i, &(xi, yi)) in samples.iter().enumerate() {
         let mut weight = 1.0;
@@ -106,7 +109,10 @@ pub fn zne_energy(
     scales: &[f64],
     scaling: NoiseScaling,
 ) -> MitigatedEnergy {
-    assert!(!scales.is_empty() && (scales[0] - 1.0).abs() < 1e-12, "scales must start at 1.0");
+    assert!(
+        !scales.is_empty() && (scales[0] - 1.0).abs() < 1e-12,
+        "scales must start at 1.0"
+    );
     let circuit = synthesize_chain(ir, params);
 
     let samples: Vec<(f64, f64)> = scales
@@ -154,8 +160,8 @@ fn run_density(circuit: &Circuit, hamiltonian: &WeightedPauliSum, noise: &NoiseM
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ansatz::IrEntry;
     use crate::state::energy;
+    use ansatz::IrEntry;
 
     fn toy() -> (WeightedPauliSum, PauliIr, Vec<f64>) {
         let mut h = WeightedPauliSum::new(2);
@@ -163,8 +169,16 @@ mod tests {
         h.push(-0.5, "ZI".parse().unwrap());
         h.push(0.4, "XX".parse().unwrap());
         let mut ir = PauliIr::new(2, 0b01);
-        ir.push(IrEntry { string: "XY".parse().unwrap(), param: 0, coefficient: 0.5 });
-        ir.push(IrEntry { string: "YX".parse().unwrap(), param: 0, coefficient: -0.5 });
+        ir.push(IrEntry {
+            string: "XY".parse().unwrap(),
+            param: 0,
+            coefficient: 0.5,
+        });
+        ir.push(IrEntry {
+            string: "YX".parse().unwrap(),
+            param: 0,
+            coefficient: -0.5,
+        });
         (h, ir, vec![0.42])
     }
 
@@ -207,7 +221,10 @@ mod tests {
                 mit_err < raw_err,
                 "{scaling:?}: mitigated {mit_err} vs raw {raw_err}"
             );
-            assert!(mit_err < 0.15 * raw_err, "{scaling:?}: weak mitigation ({mit_err} vs {raw_err})");
+            assert!(
+                mit_err < 0.15 * raw_err,
+                "{scaling:?}: weak mitigation ({mit_err} vs {raw_err})"
+            );
         }
     }
 

@@ -141,11 +141,13 @@ pub fn lbfgs(
         let c1 = 1e-4;
         let c2 = 0.9;
         let mut step = 1.0f64;
+        let mut probes = 0usize;
         let mut accepted: Option<(f64, Vec<f64>, Vec<f64>)> = None;
         for _ in 0..30 {
             let xt: Vec<f64> = x.iter().zip(&d).map(|(xi, di)| xi + step * di).collect();
             let (ft, gt) = fg(&xt);
             evaluations += 1;
+            probes += 1;
             if ft <= f + c1 * step * dg0 && dot(&d, &gt).abs() <= c2 * dg0.abs() {
                 accepted = Some((ft, gt, xt));
                 break;
@@ -156,12 +158,13 @@ pub fn lbfgs(
                 step *= 2.1;
             }
         }
+        obs::histogram_record("vqe.lbfgs.linesearch_probes", probes as f64);
+        obs::histogram_record("vqe.lbfgs.step_size", step);
         let (ft, gt, xt) = match accepted {
             Some(t) => t,
             None => {
                 // Fall back to the best backtracked point.
-                let xt: Vec<f64> =
-                    x.iter().zip(&d).map(|(xi, di)| xi + step * di).collect();
+                let xt: Vec<f64> = x.iter().zip(&d).map(|(xi, di)| xi + step * di).collect();
                 let (ft, gt) = fg(&xt);
                 evaluations += 1;
                 if ft >= f {
@@ -275,13 +278,19 @@ pub fn nelder_mead(
             .map(|j| simplex[..n].iter().map(|v| v[j]).sum::<f64>() / n as f64)
             .collect();
         let worst = simplex[n].clone();
-        let reflect: Vec<f64> =
-            centroid.iter().zip(&worst).map(|(c, w)| c + (c - w)).collect();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst)
+            .map(|(c, w)| c + (c - w))
+            .collect();
         evaluations += 1;
         let fr = f(&reflect);
         if fr < values[0] {
-            let expand: Vec<f64> =
-                centroid.iter().zip(&worst).map(|(c, w)| c + 2.0 * (c - w)).collect();
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&worst)
+                .map(|(c, w)| c + 2.0 * (c - w))
+                .collect();
             evaluations += 1;
             let fe = f(&expand);
             if fe < fr {
@@ -295,8 +304,11 @@ pub fn nelder_mead(
             simplex[n] = reflect;
             values[n] = fr;
         } else {
-            let contract: Vec<f64> =
-                centroid.iter().zip(&worst).map(|(c, w)| c + 0.5 * (w - c)).collect();
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&worst)
+                .map(|(c, w)| c + 0.5 * (w - c))
+                .collect();
             evaluations += 1;
             let fc = f(&contract);
             if fc < values[n] {
@@ -352,8 +364,9 @@ pub fn spsa(
     for it in 1..=controls.max_iterations {
         let ak = a0 / ((it as f64 + big_a).powf(alpha));
         let ck = c0 / (it as f64).powf(gamma);
-        let delta: Vec<f64> =
-            (0..n).map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 }).collect();
+        let delta: Vec<f64> = (0..n)
+            .map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 })
+            .collect();
         let xp: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi + ck * d).collect();
         let xm: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi - ck * d).collect();
         let fp = f(&xp);
@@ -393,17 +406,17 @@ mod tests {
     fn quadratic_grad(x: &[f64]) -> (f64, Vec<f64>) {
         (
             quadratic(x),
-            vec![
-                2.0 * (x[0] - 1.0),
-                4.0 * (x[1] + 2.0),
-                1.0 * (x[2] - 3.0),
-            ],
+            vec![2.0 * (x[0] - 1.0), 4.0 * (x[1] + 2.0), 1.0 * (x[2] - 3.0)],
         )
     }
 
     #[test]
     fn lbfgs_minimizes_quadratic() {
-        let out = lbfgs(quadratic_grad, &[0.0, 0.0, 0.0], OptimizeControls::default());
+        let out = lbfgs(
+            quadratic_grad,
+            &[0.0, 0.0, 0.0],
+            OptimizeControls::default(),
+        );
         assert!(out.converged);
         assert!((out.value - 1.5).abs() < 1e-8, "value {}", out.value);
         assert!((out.params[0] - 1.0).abs() < 1e-5);
@@ -427,14 +440,20 @@ mod tests {
 
     #[test]
     fn nelder_mead_minimizes_quadratic() {
-        let controls = OptimizeControls { max_iterations: 2000, ..Default::default() };
+        let controls = OptimizeControls {
+            max_iterations: 2000,
+            ..Default::default()
+        };
         let out = nelder_mead(quadratic, &[0.0, 0.0, 0.0], 0.5, controls);
         assert!((out.value - 1.5).abs() < 1e-6, "value {}", out.value);
     }
 
     #[test]
     fn spsa_approaches_quadratic_minimum() {
-        let controls = OptimizeControls { max_iterations: 4000, ..Default::default() };
+        let controls = OptimizeControls {
+            max_iterations: 4000,
+            ..Default::default()
+        };
         let out = spsa(quadratic, &[0.0, 0.0, 0.0], 7, controls);
         assert!(out.value < 1.7, "value {}", out.value);
         // Deterministic for the same seed.
@@ -444,7 +463,11 @@ mod tests {
 
     #[test]
     fn traces_are_monotone_nonincreasing_for_lbfgs() {
-        let out = lbfgs(quadratic_grad, &[4.0, 4.0, 4.0], OptimizeControls::default());
+        let out = lbfgs(
+            quadratic_grad,
+            &[4.0, 4.0, 4.0],
+            OptimizeControls::default(),
+        );
         for w in out.trace.windows(2) {
             assert!(w[1] <= w[0] + 1e-12);
         }

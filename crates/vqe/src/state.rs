@@ -18,7 +18,11 @@ use ansatz::PauliIr;
 ///
 /// Panics if `params.len()` differs from the IR's parameter count.
 pub fn prepare_state(ir: &PauliIr, params: &[f64]) -> Statevector {
-    assert_eq!(params.len(), ir.num_parameters(), "parameter count mismatch");
+    assert_eq!(
+        params.len(),
+        ir.num_parameters(),
+        "parameter count mismatch"
+    );
     let mut sv = Statevector::basis_state(ir.num_qubits(), ir.initial_state());
     for e in ir.entries() {
         sv.apply_pauli_evolution(&e.string, e.rotation_angle(params[e.param]));
@@ -45,8 +49,16 @@ pub fn energy_and_gradient(
     ir: &PauliIr,
     params: &[f64],
 ) -> (f64, Vec<f64>) {
-    assert_eq!(params.len(), ir.num_parameters(), "parameter count mismatch");
-    assert_eq!(hamiltonian.num_qubits(), ir.num_qubits(), "register mismatch");
+    assert_eq!(
+        params.len(),
+        ir.num_parameters(),
+        "parameter count mismatch"
+    );
+    assert_eq!(
+        hamiltonian.num_qubits(),
+        ir.num_qubits(),
+        "register mismatch"
+    );
 
     let mut phi = prepare_state(ir, params);
     let dim = phi.amplitudes().len();
@@ -93,13 +105,17 @@ pub fn energy_and_gradient(
 /// # Panics
 ///
 /// Panics if dimensions disagree.
-pub fn overlap_and_gradient(
-    phi: &[Complex64],
-    ir: &PauliIr,
-    params: &[f64],
-) -> (f64, Vec<f64>) {
-    assert_eq!(params.len(), ir.num_parameters(), "parameter count mismatch");
-    assert_eq!(phi.len(), 1usize << ir.num_qubits(), "reference state has wrong length");
+pub fn overlap_and_gradient(phi: &[Complex64], ir: &PauliIr, params: &[f64]) -> (f64, Vec<f64>) {
+    assert_eq!(
+        params.len(),
+        ir.num_parameters(),
+        "parameter count mismatch"
+    );
+    assert_eq!(
+        phi.len(),
+        1usize << ir.num_qubits(),
+        "reference state has wrong length"
+    );
 
     let mut psi = prepare_state(ir, params);
     let c: Complex64 = phi
@@ -138,7 +154,11 @@ fn apply_pauli(p: &pauli::PauliString, state: &[Complex64], out: &mut [Complex64
     let z = p.z_mask();
     let base = pauli::Phase::from_power_of_i((x & z).count_ones()).to_complex();
     for b in 0..state.len() as u64 {
-        let sign = if (b & z).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if (b & z).count_ones().is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         out[(b ^ x) as usize] = state[b as usize] * (base * sign);
     }
 }
@@ -155,9 +175,21 @@ mod tests {
         h.push(0.3, "XX".parse().unwrap());
         h.push(0.2, "ZZ".parse().unwrap());
         let mut ir = PauliIr::new(2, 0b01);
-        ir.push(IrEntry { string: "XY".parse().unwrap(), param: 0, coefficient: 0.5 });
-        ir.push(IrEntry { string: "YX".parse().unwrap(), param: 0, coefficient: -0.5 });
-        ir.push(IrEntry { string: "ZY".parse().unwrap(), param: 1, coefficient: 0.25 });
+        ir.push(IrEntry {
+            string: "XY".parse().unwrap(),
+            param: 0,
+            coefficient: 0.5,
+        });
+        ir.push(IrEntry {
+            string: "YX".parse().unwrap(),
+            param: 0,
+            coefficient: -0.5,
+        });
+        ir.push(IrEntry {
+            string: "ZY".parse().unwrap(),
+            param: 1,
+            coefficient: 0.25,
+        });
         (h, ir)
     }
 

@@ -62,7 +62,11 @@ pub fn run_vqd(
     options: VqdOptions,
 ) -> Vec<VqdState> {
     assert!(num_states >= 1, "at least one state required");
-    assert_eq!(hamiltonian.num_qubits(), ir.num_qubits(), "register mismatch");
+    assert_eq!(
+        hamiltonian.num_qubits(),
+        ir.num_qubits(),
+        "register mismatch"
+    );
     let n_params = ir.num_parameters();
     let mut found: Vec<Vec<Complex64>> = Vec::new();
     let mut out = Vec::with_capacity(num_states);
@@ -126,8 +130,16 @@ mod tests {
         h.push(-0.5, "ZI".parse().unwrap());
         h.push(0.4, "XX".parse().unwrap());
         let mut ir = PauliIr::new(2, 0b01);
-        ir.push(IrEntry { string: "XY".parse().unwrap(), param: 0, coefficient: 0.5 });
-        ir.push(IrEntry { string: "YX".parse().unwrap(), param: 0, coefficient: -0.5 });
+        ir.push(IrEntry {
+            string: "XY".parse().unwrap(),
+            param: 0,
+            coefficient: 0.5,
+        });
+        ir.push(IrEntry {
+            string: "YX".parse().unwrap(),
+            param: 0,
+            coefficient: -0.5,
+        });
         (h, ir)
     }
 
@@ -136,8 +148,16 @@ mod tests {
         let (h, ir) = toy();
         let states = run_vqd(&h, &ir, 2, VqdOptions::default());
         let gap = (0.41f64).sqrt();
-        assert!((states[0].energy + gap).abs() < 1e-6, "ground {}", states[0].energy);
-        assert!((states[1].energy - gap).abs() < 1e-6, "excited {}", states[1].energy);
+        assert!(
+            (states[0].energy + gap).abs() < 1e-6,
+            "ground {}",
+            states[0].energy
+        );
+        assert!(
+            (states[1].energy - gap).abs() < 1e-6,
+            "excited {}",
+            states[1].energy
+        );
         assert!(states[1].max_overlap_with_lower < 1e-4);
     }
 
@@ -165,7 +185,10 @@ mod tests {
             &h,
             &ir,
             2,
-            VqdOptions { penalty: 0.0, ..Default::default() },
+            VqdOptions {
+                penalty: 0.0,
+                ..Default::default()
+            },
         );
         assert!(states[1].max_overlap_with_lower > 0.9);
     }

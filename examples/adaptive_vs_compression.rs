@@ -5,8 +5,8 @@
 //! Run with:
 //! `cargo run --release -p pauli-codesign --example adaptive_vs_compression`
 
-use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::ansatz::compress;
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::chem::Benchmark;
 use pauli_codesign::pauli::group_qubit_wise;
 use pauli_codesign::vqe::adapt::{run_adapt_vqe, uccsd_pool, AdaptOptions};
@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         h,
         system.hartree_fock_state(),
         &pool,
-        AdaptOptions { gradient_tolerance: 1e-5, ..Default::default() },
+        AdaptOptions {
+            gradient_tolerance: 1e-5,
+            ..Default::default()
+        },
     );
     println!(
         "ADAPT-VQE             {:>5}   {:>11.6}   {:>8.2e}   {:>6}",

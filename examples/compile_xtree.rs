@@ -12,6 +12,9 @@ use pauli_codesign::chem::Benchmark;
 use pauli_codesign::compiler::pipeline::{compile_mtr, compile_sabre};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Per-pass compiler timings and swap/CNOT counters land in obs.
+    obs::enable();
+
     let system = Benchmark::NaH.build(1.89)?;
     let full = UccsdAnsatz::for_system(&system).into_ir();
     let xtree = Topology::xtree(17);
@@ -38,5 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     println!("(every two-qubit gate in every compiled circuit respects the coupling graph)");
+    println!();
+    print!("{}", obs::summary());
     Ok(())
 }

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = Benchmark::LiH.build(1.6)?;
     let full = UccsdAnsatz::for_system(&system).into_ir();
     let exact = system.exact_ground_state_energy();
-    println!("LiH @ 1.6 Å — exact ground state {exact:.6} Ha, {} UCCSD parameters", full.num_parameters());
+    println!(
+        "LiH @ 1.6 Å — exact ground state {exact:.6} Ha, {} UCCSD parameters",
+        full.num_parameters()
+    );
     println!();
     println!("selection        params   energy (Ha)    error (Ha)   iterations");
 
@@ -39,12 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         energies.push(vqe.energy);
     }
     let mean = energies.iter().sum::<f64>() / energies.len() as f64;
-    let std = (energies.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
-        / energies.len() as f64)
-        .sqrt();
+    let std =
+        (energies.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / energies.len() as f64).sqrt();
     println!(
         "random     50%    {:>5}   {mean:>11.6}   {:>9.2e}   (σ = {std:.1e}, 5 seeds)",
-        (full.num_parameters() + 1) / 2,
+        full.num_parameters().div_ceil(2),
         mean - exact
     );
     Ok(())

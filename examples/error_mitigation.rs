@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release -p pauli-codesign --example error_mitigation`
 
-use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::ansatz::compress;
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::chem::Benchmark;
 use pauli_codesign::sim::NoiseModel;
 use pauli_codesign::vqe::driver::{run_vqe, VqeOptions};
@@ -30,8 +30,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let noise = NoiseModel::cnot_only(2e-3);
 
     for (label, scaling, scales) in [
-        ("error-rate scaling (λ = 1,2,3)", NoiseScaling::ErrorRate, vec![1.0, 2.0, 3.0]),
-        ("CNOT folding       (λ = 1,3,5)", NoiseScaling::CnotFolding, vec![1.0, 3.0, 5.0]),
+        (
+            "error-rate scaling (λ = 1,2,3)",
+            NoiseScaling::ErrorRate,
+            vec![1.0, 2.0, 3.0],
+        ),
+        (
+            "CNOT folding       (λ = 1,3,5)",
+            NoiseScaling::CnotFolding,
+            vec![1.0, 3.0, 5.0],
+        ),
     ] {
         let r = zne_energy(h, &ir, &run.params, &noise, &scales, scaling);
         println!();

@@ -21,7 +21,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("VQD ladder (UCCSD ansatz from the Hartree-Fock determinant):");
-    let states = run_vqd(h, &ir, 3, VqdOptions { penalty: 5.0, ..Default::default() });
+    let states = run_vqd(
+        h,
+        &ir,
+        3,
+        VqdOptions {
+            penalty: 5.0,
+            ..Default::default()
+        },
+    );
     for (k, s) in states.iter().enumerate() {
         // Distance to the nearest exact eigenvalue.
         let nearest = exact

@@ -26,7 +26,10 @@ fn site_occupation(sites: usize, site: usize) -> WeightedPauliSum {
         accumulate_term(
             &mut acc,
             n,
-            &[LadderOp::create(spin_orbital), LadderOp::annihilate(spin_orbital)],
+            &[
+                LadderOp::create(spin_orbital),
+                LadderOp::annihilate(spin_orbital),
+            ],
             1.0,
         );
     }
@@ -69,7 +72,10 @@ fn main() {
     let mut exact = vec![Complex64::ZERO; 1 << (2 * sites)];
     exact[initial as usize] = Complex64::ONE;
     h.evolve_exact(2.0, &mut exact);
-    for (order, label) in [(TrotterOrder::First, "first"), (TrotterOrder::Second, "second")] {
+    for (order, label) in [
+        (TrotterOrder::First, "first"),
+        (TrotterOrder::Second, "second"),
+    ] {
         let ir = trotterize(&h, 2.0, 20, order, initial);
         let approx = prepare_state(&ir, &[1.0]);
         let overlap: Complex64 = exact

@@ -8,12 +8,12 @@
 //!
 //! Run with: `cargo run --release -p pauli-codesign --example hubbard_model`
 
-use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::ansatz::compress;
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::arch::Topology;
 use pauli_codesign::chem::hubbard::HubbardModel;
 use pauli_codesign::compiler::pipeline::{compile_mtr, compile_sabre};
-use pauli_codesign::vqe::driver::{run_vqe, run_vqe_from, VqeOptions};
+use pauli_codesign::vqe::driver::{run_vqe_from, VqeOptions};
 
 fn main() {
     // A 4-site Hubbard chain at half filling, pinned with μ = U/2.

@@ -6,13 +6,22 @@ use pauli_codesign::chem::Benchmark;
 use pauli_codesign::CoDesignPipeline;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Record structured timings/metrics for every pipeline stage.
+    obs::enable();
+
     let report = CoDesignPipeline::new(Benchmark::LiH)
         .bond_length(1.6)
         .compression_ratio(0.5)
         .run()?;
 
-    println!("molecule            : LiH @ 1.6 Å ({} qubits)", report.system.num_qubits());
-    println!("Hartree-Fock energy : {:>12.6} Ha", report.hartree_fock_energy);
+    println!(
+        "molecule            : LiH @ 1.6 Å ({} qubits)",
+        report.system.num_qubits()
+    );
+    println!(
+        "Hartree-Fock energy : {:>12.6} Ha",
+        report.hartree_fock_energy
+    );
     println!("exact ground state  : {:>12.6} Ha", report.exact_energy);
     println!("VQE energy          : {:>12.6} Ha", report.energy);
     println!("energy error        : {:>12.2e} Ha", report.energy_error());
@@ -29,5 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "X-Tree mapping      : {} original CNOTs, {} added by routing",
         report.original_cnots, report.added_cnots
     );
+    println!();
+    print!("{}", obs::summary());
     Ok(())
 }

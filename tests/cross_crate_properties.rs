@@ -6,9 +6,9 @@ use pauli_codesign::ansatz::{IrEntry, PauliIr};
 use pauli_codesign::arch::{simulate_yield, CollisionModel, Topology};
 use pauli_codesign::circuit::{Circuit, Gate};
 use pauli_codesign::compiler::layout::hierarchical_initial_layout;
+use pauli_codesign::compiler::layout::Layout;
 use pauli_codesign::compiler::mtr::{merge_to_root, MtrOptions};
 use pauli_codesign::compiler::sabre::{sabre_route, SabreOptions};
-use pauli_codesign::compiler::layout::Layout;
 use pauli_codesign::numeric::Complex64;
 use pauli_codesign::pauli::{Pauli, PauliString, WeightedPauliSum};
 use pauli_codesign::sim::Statevector;
@@ -42,7 +42,10 @@ fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
         ((0..n), -3.0f64..3.0).prop_map(|(q, t)| Gate::Rz(q, t)),
         ((0..n), -3.0f64..3.0).prop_map(|(q, t)| Gate::Ry(q, t)),
         (q, q2).prop_filter_map("distinct", |(a, b)| {
-            (a != b).then_some(Gate::Cnot { control: a, target: b })
+            (a != b).then_some(Gate::Cnot {
+                control: a,
+                target: b,
+            })
         }),
     ]
 }

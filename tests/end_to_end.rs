@@ -1,8 +1,8 @@
 //! End-to-end integration tests spanning the whole stack:
 //! chemistry → ansatz → compression → VQE → compilation → simulation.
 
-use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::ansatz::compress;
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::arch::Topology;
 use pauli_codesign::chem::Benchmark;
 use pauli_codesign::compiler::layout::hierarchical_initial_layout;
@@ -201,7 +201,10 @@ fn vqe_state_symmetries_and_diagnostics() {
     let n = system.num_qubits();
     assert!((number_operator(n).expectation(amps) - 2.0).abs() < 1e-10);
     assert!(spin_z_operator(n).expectation(amps).abs() < 1e-10);
-    assert!(spin_squared_operator(n).expectation(amps).abs() < 1e-8, "singlet expected");
+    assert!(
+        spin_squared_operator(n).expectation(amps).abs() < 1e-8,
+        "singlet expected"
+    );
     // Eigenstate witness: variance ≈ 0 at the optimum.
     assert!(h.variance(amps) < 1e-10, "variance {}", h.variance(amps));
     // Correlation shows up as fractional natural occupations.

@@ -24,8 +24,16 @@ fn table1_counts_match_paper() {
             Benchmark::CH4 => 8,
         };
         let a = UccsdAnsatz::new(m, e);
-        assert_eq!(a.ir().num_parameters(), b.expected_parameters(), "{b} params");
-        assert_eq!(a.ir().len(), b.expected_pauli_strings(), "{b} Pauli strings");
+        assert_eq!(
+            a.ir().num_parameters(),
+            b.expected_parameters(),
+            "{b} params"
+        );
+        assert_eq!(
+            a.ir().len(),
+            b.expected_pauli_strings(),
+            "{b} Pauli strings"
+        );
         assert_eq!(
             synthesize_chain_nominal(a.ir()).cnot_count(),
             expected_cnots,
@@ -79,7 +87,10 @@ fn mtr_overhead_fraction_of_sabre() {
     let xtree = Topology::xtree(17);
     let mtr = compile_mtr(&ir, &xtree);
     let sab = compile_sabre(&ir, &xtree, 1);
-    assert!(sab.added_cnots() > 0, "SABRE must pay overhead on the sparse tree");
+    assert!(
+        sab.added_cnots() > 0,
+        "SABRE must pay overhead on the sparse tree"
+    );
     let fraction = mtr.added_cnots() as f64 / sab.added_cnots() as f64;
     assert!(fraction < 0.1, "MtR/SABRE overhead fraction {fraction}");
 }

@@ -3,8 +3,8 @@
 //! silently degrade them fail loudly. (Everything asserted here is
 //! deterministic: fixed seeds, fixed geometries, exact arithmetic paths.)
 
-use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::ansatz::compress;
+use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::arch::Topology;
 use pauli_codesign::chem::Benchmark;
 use pauli_codesign::compiler::peephole::peephole_optimize;
@@ -15,7 +15,7 @@ use pauli_codesign::compiler::synthesis::synthesize_chain_nominal;
 #[test]
 fn golden_mtr_overheads() {
     let cases: [(Benchmark, [usize; 3]); 3] = [
-        (Benchmark::H2, [0, 0, 3]),    // 10%, 50%, 90%
+        (Benchmark::H2, [0, 0, 3]), // 10%, 50%, 90%
         (Benchmark::LiH, [0, 0, 6]),
         (Benchmark::NaH, [0, 0, 12]),
     ];
@@ -80,9 +80,9 @@ fn golden_peephole_reductions() {
 #[test]
 fn golden_reference_energies() {
     let cases = [
-        (Benchmark::H2, -1.116759, -1.137284),   // HF, exact @ 0.74 Å
-        (Benchmark::LiH, -7.861865, -7.881072),  // @ 1.60 Å
-        (Benchmark::H2O, -74.963319, -75.013077),// @ 0.96 Å
+        (Benchmark::H2, -1.116759, -1.137284),    // HF, exact @ 0.74 Å
+        (Benchmark::LiH, -7.861865, -7.881072),   // @ 1.60 Å
+        (Benchmark::H2O, -74.963319, -75.013077), // @ 0.96 Å
     ];
     for (molecule, hf, exact) in cases {
         let system = molecule

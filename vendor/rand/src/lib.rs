@@ -1,0 +1,260 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides exactly the subset of the rand 0.9 API the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::random`] for
+//! `f64`/`bool`, [`Rng::random_range`] over integer ranges, and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! seeding scheme `rand` uses for `seed_from_u64` — so streams are
+//! deterministic per seed, statistically well-behaved for the Monte-Carlo
+//! workloads in this repository (yield simulation, SPSA, trajectory
+//! sampling, shot noise), and distinct across seeds with overwhelming
+//! probability. It is **not** cryptographically secure, which matches the
+//! guarantees the real `StdRng` is relied on for here (none).
+
+use std::ops::Range;
+
+/// A random number generator core: a source of `u64` words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a `u64` seed via SplitMix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution of `T`:
+    /// uniform `[0, 1)` for `f64`, fair coin for `bool`, uniform over all
+    /// values for the integer types.
+    fn random<T: distr::StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: distr::UniformSampled>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Distribution traits backing [`Rng::random`] and [`Rng::random_range`].
+pub mod distr {
+    use super::RngCore;
+    use std::ops::Range;
+
+    /// Types samplable from their "standard" distribution.
+    pub trait StandardUniform: Sized {
+        /// Draws one value.
+        fn sample<R: RngCore>(rng: &mut R) -> Self;
+    }
+
+    impl StandardUniform for f64 {
+        fn sample<R: RngCore>(rng: &mut R) -> f64 {
+            // 53 uniform mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardUniform for bool {
+        fn sample<R: RngCore>(rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl StandardUniform for u64 {
+        fn sample<R: RngCore>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    /// Types samplable uniformly from a half-open range.
+    pub trait UniformSampled: Sized {
+        /// Draws one value from `range`.
+        fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl UniformSampled for $t {
+                fn sample_range<R: RngCore>(rng: &mut R, range: Range<$t>) -> $t {
+                    assert!(range.start < range.end, "cannot sample from an empty range");
+                    let span = (range.end - range.start) as u64;
+                    // Rejection sampling to avoid modulo bias.
+                    let zone = u64::MAX - (u64::MAX % span);
+                    loop {
+                        let v = rng.next_u64();
+                        if v < zone {
+                            return range.start + (v % span) as $t;
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+    impl_uniform_int!(u8, u16, u32, u64, usize);
+
+    impl UniformSampled for f64 {
+        fn sample_range<R: RngCore>(rng: &mut R, range: Range<f64>) -> f64 {
+            assert!(range.start < range.end, "cannot sample from an empty range");
+            let u = <f64 as StandardUniform>::sample(rng);
+            range.start + u * (range.end - range.start)
+        }
+    }
+}
+
+/// The provided generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as rand's seed_from_u64 does.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related sampling helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension methods for slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<f64>(), b.random::<f64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<f64> = (0..8).map(|_| a.random()).collect();
+        let vb: Vec<f64> = (0..8).map(|_| b.random()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_sampling_is_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 15];
+        for _ in 0..2000 {
+            let k = rng.random_range(1..16u8);
+            assert!((1..16).contains(&k));
+            seen[(k - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 1..16 should appear");
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_600..5_400).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn shuffle_permutes_deterministically() {
+        let mut a: Vec<usize> = (0..20).collect();
+        let mut b: Vec<usize> = (0..20).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(11));
+        b.shuffle(&mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        let mut c: Vec<usize> = (0..20).collect();
+        c.shuffle(&mut StdRng::seed_from_u64(12));
+        assert_ne!(a, c, "different seeds should shuffle differently (w.h.p.)");
+    }
+}
