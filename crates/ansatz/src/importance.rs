@@ -40,12 +40,7 @@ impl ImportanceScores {
     /// original parameter order (stable, deterministic).
     pub fn ranking(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.scores.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.scores[b]
-                .partial_cmp(&self.scores[a])
-                .expect("finite scores")
-                .then(a.cmp(&b))
-        });
+        idx.sort_by(|&a, &b| self.scores[b].total_cmp(&self.scores[a]).then(a.cmp(&b)));
         idx
     }
 

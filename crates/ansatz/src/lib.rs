@@ -28,6 +28,8 @@
 //! # Ok::<(), chem::ChemError>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod compression;
 pub mod importance;
 pub mod ir;

@@ -20,6 +20,8 @@
 //! assert!(xtree.max_degree() <= 4);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod topology;
 pub mod yield_sim;
 

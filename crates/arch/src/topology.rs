@@ -87,9 +87,11 @@ impl Topology {
         queue.push_back((0, 4));
         let mut next = 1;
         while next < n {
-            let (q, cap) = queue
-                .pop_front()
-                .expect("capacity exhausted before placing qubits");
+            // Every placed qubit enqueues with capacity ≥ 1, so the queue
+            // cannot drain before all n qubits are placed.
+            let Some((q, cap)) = queue.pop_front() else {
+                unreachable!("capacity exhausted before placing qubits")
+            };
             let take = cap.min(n - next);
             for _ in 0..take {
                 edges.push((q, next));
@@ -135,9 +137,9 @@ impl Topology {
         queue.push_back((0, cap_at(0)));
         let mut next = 1;
         while next < n {
-            let (q, cap) = queue
-                .pop_front()
-                .expect("capacity exhausted before placing qubits");
+            let Some((q, cap)) = queue.pop_front() else {
+                unreachable!("capacity exhausted before placing qubits")
+            };
             let take = cap.min(n - next);
             for _ in 0..take {
                 edges.push((q, next));
@@ -386,24 +388,33 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics if the qubits are disconnected.
+    /// Panics if the qubits are disconnected. Use [`try_shortest_path`]
+    /// (Topology::try_shortest_path) to handle broken coupling graphs
+    /// without panicking.
     pub fn shortest_path(&self, from: usize, to: usize) -> Vec<usize> {
+        match self.try_shortest_path(from, to) {
+            Some(path) => path,
+            None => panic!("qubits {from} and {to} are disconnected"),
+        }
+    }
+
+    /// A shortest path between two qubits (inclusive of both endpoints), or
+    /// `None` when they lie in different connected components.
+    pub fn try_shortest_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
         let dist = self.bfs_distances(to);
-        assert!(
-            dist[from] != usize::MAX,
-            "qubits {from} and {to} are disconnected"
-        );
+        if dist[from] == usize::MAX {
+            return None;
+        }
         let mut path = vec![from];
         let mut cur = from;
         while cur != to {
             let next = *self.adjacency[cur]
                 .iter()
-                .find(|&&nb| dist[nb] + 1 == dist[cur])
-                .expect("BFS tree is consistent");
+                .find(|&&nb| dist[nb] + 1 == dist[cur])?;
             path.push(next);
             cur = next;
         }
-        path
+        Some(path)
     }
 
     /// Count of adjacent edge pairs (edges sharing a qubit) — a simple

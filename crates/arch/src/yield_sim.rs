@@ -189,7 +189,11 @@ pub fn allocate_frequencies(topology: &Topology, model: &CollisionModel) -> Vec<
                 best = Some((collisions, m, cand));
             }
         }
-        freq[q] = best.expect("non-empty candidate ladder").2;
+        // `candidates` is a fixed non-empty ladder, so `best` is always set.
+        let Some((_, _, chosen)) = best else {
+            unreachable!("non-empty candidate ladder")
+        };
+        freq[q] = chosen;
     }
 
     // Min-conflict repair sweeps: the one-pass greedy can leave a few

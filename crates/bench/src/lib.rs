@@ -6,6 +6,8 @@
 //! default configuration subsamples bond lengths and the largest molecules
 //! so the whole suite finishes in minutes.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::ansatz::{compress, PauliIr};
 use pauli_codesign::chem::{Benchmark, MolecularSystem};

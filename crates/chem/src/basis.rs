@@ -234,7 +234,7 @@ pub fn fit_shell(n: u32) -> ShellFit {
     let logs = nelder_mead_3(objective, start, 600);
     let mut alphas = [logs[0].exp(), logs[1].exp(), logs[2].exp()];
     // Sort descending to match the published convention.
-    alphas.sort_by(|a, b| b.partial_cmp(a).expect("finite exponents"));
+    alphas.sort_by(|a, b| b.total_cmp(a));
 
     let (_, cs) = best_coefficients(n, 0, &alphas);
     let cp = if n == 1 {
@@ -373,7 +373,7 @@ fn nelder_mead_3(f: impl Fn(&[f64; 3]) -> f64, start: [f64; 3], iters: usize) ->
     for _ in 0..iters {
         // Sort ascending by value.
         let mut idx: Vec<usize> = (0..4).collect();
-        idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite objective"));
+        idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
         let reorder: Vec<[f64; 3]> = idx.iter().map(|&i| simplex[i]).collect();
         let revals: Vec<f64> = idx.iter().map(|&i| values[i]).collect();
         simplex = reorder;

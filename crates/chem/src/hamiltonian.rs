@@ -19,6 +19,13 @@ pub enum ChemError {
     Scf(ScfError),
     /// The requested active space does not fit the molecule.
     InvalidActiveSpace(String),
+    /// Two atoms are (nearly) coincident, so the integrals are singular.
+    DegenerateGeometry {
+        /// Indices of the offending atom pair.
+        atoms: (usize, usize),
+        /// Their separation in Bohr.
+        distance: f64,
+    },
 }
 
 impl fmt::Display for ChemError {
@@ -26,6 +33,11 @@ impl fmt::Display for ChemError {
         match self {
             ChemError::Scf(e) => write!(f, "SCF failure: {e}"),
             ChemError::InvalidActiveSpace(msg) => write!(f, "invalid active space: {msg}"),
+            ChemError::DegenerateGeometry { atoms, distance } => write!(
+                f,
+                "degenerate geometry: atoms {} and {} are {distance:.3e} Bohr apart",
+                atoms.0, atoms.1
+            ),
         }
     }
 }
@@ -34,7 +46,7 @@ impl Error for ChemError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ChemError::Scf(e) => Some(e),
-            ChemError::InvalidActiveSpace(_) => None,
+            _ => None,
         }
     }
 }
@@ -87,6 +99,42 @@ impl MolecularSystem {
         active_space: ActiveSpace,
         name: &str,
     ) -> Result<Self, ChemError> {
+        Self::build_with_options(molecule, active_space, name, ScfOptions::default())
+    }
+
+    /// Like [`MolecularSystem::build`], but with explicit SCF convergence
+    /// options — the hook the resilience layer uses to retry with damping or
+    /// a level shift after a failed default attempt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemError`] if the geometry is degenerate, SCF fails, or the
+    /// active space does not fit.
+    pub fn build_with_options(
+        molecule: Molecule,
+        active_space: ActiveSpace,
+        name: &str,
+        scf_options: ScfOptions,
+    ) -> Result<Self, ChemError> {
+        // Coincident nuclei make the overlap matrix singular and the nuclear
+        // repulsion infinite; reject before spending time on integrals.
+        const MIN_SEPARATION_BOHR: f64 = 1e-3;
+        let atoms = molecule.atoms();
+        for i in 0..atoms.len() {
+            for j in (i + 1)..atoms.len() {
+                let d: f64 = (0..3)
+                    .map(|k| (atoms[i].position[k] - atoms[j].position[k]).powi(2))
+                    .sum::<f64>()
+                    .sqrt();
+                if !d.is_finite() || d < MIN_SEPARATION_BOHR {
+                    return Err(ChemError::DegenerateGeometry {
+                        atoms: (i, j),
+                        distance: d,
+                    });
+                }
+            }
+        }
+
         let basis = build_basis(&molecule);
         let n_mo = basis.len();
         if active_space.active().iter().any(|&i| i >= n_mo) {
@@ -104,7 +152,7 @@ impl MolecularSystem {
         }
 
         let ints = compute_ao_integrals(&molecule, &basis);
-        let scf = restricted_hartree_fock(&ints, n_electrons, ScfOptions::default())?;
+        let scf = restricted_hartree_fock(&ints, n_electrons, scf_options)?;
         let mut encode_span = obs::span("chem.encode");
         let mo = transform_to_mo(&ints, &scf);
         let act = active_space_integrals(&mo, &active_space, ints.nuclear_repulsion);

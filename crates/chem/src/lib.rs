@@ -32,6 +32,8 @@
 //! # Ok::<(), chem::ChemError>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod analysis;
 pub mod basis;
 pub mod boys;

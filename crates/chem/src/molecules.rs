@@ -195,6 +195,25 @@ impl Benchmark {
         MolecularSystem::build(self.molecule(bond_length), self.active_space(), self.name())
     }
 
+    /// Like [`Benchmark::build`], with explicit SCF options (used by the
+    /// resilience retry ladder).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemError`] if the SCF stage fails at this geometry.
+    pub fn build_with_scf(
+        self,
+        bond_length: f64,
+        scf_options: crate::scf::ScfOptions,
+    ) -> Result<MolecularSystem, ChemError> {
+        MolecularSystem::build_with_options(
+            self.molecule(bond_length),
+            self.active_space(),
+            self.name(),
+            scf_options,
+        )
+    }
+
     /// Convenience: build at the equilibrium bond length.
     ///
     /// # Errors

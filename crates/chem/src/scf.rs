@@ -26,6 +26,15 @@ pub enum ScfError {
         /// Last energy change seen.
         delta_e: f64,
     },
+    /// The electronic energy or DIIS error became NaN/±∞. Raised on the
+    /// first iteration a non-finite value appears, so callers can retry
+    /// (e.g. with damping or a level shift) instead of iterating on garbage.
+    NonFiniteEnergy {
+        /// Iteration at which the non-finite value appeared.
+        iteration: usize,
+        /// The offending electronic energy.
+        energy: f64,
+    },
 }
 
 impl fmt::Display for ScfError {
@@ -50,6 +59,12 @@ impl fmt::Display for ScfError {
                 write!(
                     f,
                     "SCF did not converge in {iterations} iterations (ΔE = {delta_e:e})"
+                )
+            }
+            ScfError::NonFiniteEnergy { iteration, energy } => {
+                write!(
+                    f,
+                    "SCF energy became non-finite ({energy}) at iteration {iteration}"
                 )
             }
         }
@@ -87,6 +102,15 @@ pub struct ScfOptions {
     pub error_tol: f64,
     /// Maximum DIIS history length.
     pub diis_depth: usize,
+    /// Fock damping factor `α ∈ [0, 1)`: the next Fock matrix becomes
+    /// `(1−α)·F_new + α·F_prev`. `0.0` disables damping. When damping or a
+    /// level shift is active, DIIS extrapolation is bypassed — this is the
+    /// conservative convergence ladder used for difficult geometries.
+    pub damping: f64,
+    /// Level shift `λ` (Hartree) added to the virtual orbitals via
+    /// `F ← F + λ(S − ½·S·D·S)`, separating occupied and virtual manifolds
+    /// on near-degenerate problems. `0.0` disables the shift.
+    pub level_shift: f64,
 }
 
 impl Default for ScfOptions {
@@ -96,6 +120,8 @@ impl Default for ScfOptions {
             energy_tol: 1e-10,
             error_tol: 1e-8,
             diis_depth: 8,
+            damping: 0.0,
+            level_shift: 0.0,
         }
     }
 }
@@ -142,8 +168,12 @@ pub fn restricted_hartree_fock(
     #[allow(unused_assignments)]
     let mut density = RealMatrix::zeros(n, n);
     let mut energy = 0.0;
+    let mut last_delta_e = f64::NAN;
     let mut fock_history: Vec<RealMatrix> = Vec::new();
     let mut error_history: Vec<RealMatrix> = Vec::new();
+    // Damping/level-shift take precedence over DIIS: they are the stable,
+    // slow ladder used on retries after divergence.
+    let use_ladder = options.damping != 0.0 || options.level_shift != 0.0;
 
     for it in 1..=options.max_iter {
         // Orthogonalize, diagonalize, back-transform.
@@ -185,8 +215,18 @@ pub fn restricted_hartree_fock(
         let sdf = ints.overlap.mul(&density).mul(&new_fock);
         let err = x.mul(&(&fds - &sdf)).mul(&x);
         let err_norm = err.frobenius_norm();
+        if !e_elec.is_finite() || !err_norm.is_finite() {
+            scf_span.record("iterations", it);
+            scf_span.record("converged", false);
+            scf_span.record("non_finite", true);
+            return Err(ScfError::NonFiniteEnergy {
+                iteration: it,
+                energy: e_elec,
+            });
+        }
         let delta_e = (e_elec - energy).abs();
         energy = e_elec;
+        last_delta_e = delta_e;
 
         obs::event!(
             "chem.scf.iter",
@@ -217,17 +257,39 @@ pub fn restricted_hartree_fock(
             });
         }
 
-        // DIIS extrapolation.
-        fock_history.push(new_fock.clone());
-        error_history.push(err);
-        if fock_history.len() > options.diis_depth {
-            fock_history.remove(0);
-            error_history.remove(0);
-        }
-        fock = if fock_history.len() >= 2 {
-            diis_extrapolate(&fock_history, &error_history).unwrap_or(new_fock)
+        fock = if use_ladder {
+            // Damping: mix the fresh Fock with the one used this iteration.
+            let alpha = options.damping;
+            let mut next = if alpha != 0.0 {
+                RealMatrix::from_fn(n, n, |i, j| {
+                    (1.0 - alpha) * new_fock[(i, j)] + alpha * fock[(i, j)]
+                })
+            } else {
+                new_fock
+            };
+            // Level shift: F += λ(S − ½·S·D·S) raises virtual orbital
+            // energies by λ while leaving the occupied space untouched.
+            if options.level_shift != 0.0 {
+                let sds = ints.overlap.mul(&density).mul(&ints.overlap);
+                let lam = options.level_shift;
+                next = RealMatrix::from_fn(n, n, |i, j| {
+                    next[(i, j)] + lam * (ints.overlap[(i, j)] - 0.5 * sds[(i, j)])
+                });
+            }
+            next
         } else {
-            new_fock
+            // DIIS extrapolation.
+            fock_history.push(new_fock.clone());
+            error_history.push(err);
+            if fock_history.len() > options.diis_depth {
+                fock_history.remove(0);
+                error_history.remove(0);
+            }
+            if fock_history.len() >= 2 {
+                diis_extrapolate(&fock_history, &error_history).unwrap_or(new_fock)
+            } else {
+                new_fock
+            }
         };
     }
 
@@ -236,7 +298,7 @@ pub fn restricted_hartree_fock(
     obs::counter_add("chem.scf.iterations", options.max_iter as u64);
     Err(ScfError::NotConverged {
         iterations: options.max_iter,
-        delta_e: f64::NAN,
+        delta_e: last_delta_e,
     })
 }
 

@@ -18,6 +18,8 @@
 //! assert_eq!(c.len(), 2);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod gate;
 pub mod ir;
 

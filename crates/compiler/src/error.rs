@@ -1,0 +1,89 @@
+//! Typed compilation errors.
+//!
+//! Every fallible entry point in this crate has a `try_*` variant returning
+//! [`CompileError`]; the original panicking names are kept as thin wrappers
+//! for callers that have already validated their inputs. The resilience
+//! layer matches on these variants to decide between retrying and degrading
+//! (e.g. Merge-to-Root falling back to SABRE on [`CompileError::NotATree`]).
+
+use std::error::Error;
+use std::fmt;
+
+/// Error from the compilation pipelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Merge-to-Root and the hierarchical layout require a tree topology
+    /// with level structure; this coupling graph has none (it is cyclic,
+    /// disconnected, or was built from raw edges).
+    NotATree {
+        /// Qubits in the offending topology.
+        qubits: usize,
+        /// Edges in the offending topology.
+        edges: usize,
+    },
+    /// Two qubits that must interact have no connecting path.
+    Disconnected {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// The topology has fewer physical qubits than the program needs.
+    TopologyTooSmall {
+        /// Logical qubits required.
+        needed: usize,
+        /// Physical qubits available.
+        available: usize,
+    },
+    /// The supplied parameter vector does not match the IR.
+    ParameterCountMismatch {
+        /// Parameters the IR declares.
+        expected: usize,
+        /// Parameters supplied.
+        actual: usize,
+    },
+    /// The initial layout does not fit the IR/topology pair.
+    LayoutMismatch {
+        /// Logical qubits in the layout.
+        layout_logical: usize,
+        /// Physical qubits in the layout.
+        layout_physical: usize,
+        /// Logical qubits in the IR.
+        ir_qubits: usize,
+        /// Physical qubits in the topology.
+        topology_qubits: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NotATree { qubits, edges } => write!(
+                f,
+                "coupling graph with {qubits} qubits / {edges} edges is not a tree topology"
+            ),
+            CompileError::Disconnected { a, b } => {
+                write!(f, "qubits {a} and {b} are disconnected in the topology")
+            }
+            CompileError::TopologyTooSmall { needed, available } => write!(
+                f,
+                "topology has {available} qubits but the program needs {needed}"
+            ),
+            CompileError::ParameterCountMismatch { expected, actual } => {
+                write!(f, "expected {expected} parameters, got {actual}")
+            }
+            CompileError::LayoutMismatch {
+                layout_logical,
+                layout_physical,
+                ir_qubits,
+                topology_qubits,
+            } => write!(
+                f,
+                "layout maps {layout_logical}→{layout_physical} qubits but the program \
+                 has {ir_qubits} logical on {topology_qubits} physical"
+            ),
+        }
+    }
+}
+
+impl Error for CompileError {}

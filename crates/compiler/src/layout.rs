@@ -11,6 +11,8 @@ use arch::Topology;
 
 use ansatz::PauliIr;
 
+use crate::error::CompileError;
+
 /// A logical↔physical qubit mapping.
 ///
 /// # Examples
@@ -137,19 +139,38 @@ pub fn cooccurrence_matrix(ir: &PauliIr) -> Vec<Vec<usize>> {
 /// # Panics
 ///
 /// Panics if `topology` is not a tree topology (no level structure) or has
-/// fewer qubits than the IR.
+/// fewer qubits than the IR. Use [`try_hierarchical_initial_layout`] for a
+/// typed error instead.
 pub fn hierarchical_initial_layout(ir: &PauliIr, topology: &Topology) -> Layout {
+    match try_hierarchical_initial_layout(ir, topology) {
+        Ok(layout) => layout,
+        Err(e) => panic!("hierarchical_initial_layout: {e}"),
+    }
+}
+
+/// Fallible [`hierarchical_initial_layout`].
+///
+/// # Errors
+///
+/// [`CompileError::TopologyTooSmall`] if the tree has fewer qubits than the
+/// IR, [`CompileError::NotATree`] if the topology has no level structure.
+pub fn try_hierarchical_initial_layout(
+    ir: &PauliIr,
+    topology: &Topology,
+) -> Result<Layout, CompileError> {
     let n = ir.num_qubits();
-    assert!(
-        topology.num_qubits() >= n,
-        "topology has {} qubits for {} logical",
-        topology.num_qubits(),
-        n
-    );
-    assert!(
-        topology.root().is_some(),
-        "hierarchical layout requires a tree topology with levels"
-    );
+    if topology.num_qubits() < n {
+        return Err(CompileError::TopologyTooSmall {
+            needed: n,
+            available: topology.num_qubits(),
+        });
+    }
+    let Some(max_level) = topology.num_levels() else {
+        return Err(CompileError::NotATree {
+            qubits: topology.num_qubits(),
+            edges: topology.edges().len(),
+        });
+    };
 
     let mut span = obs::span("compiler.layout.hierarchical");
     span.record("logical_qubits", n);
@@ -162,22 +183,27 @@ pub fn hierarchical_initial_layout(ir: &PauliIr, topology: &Topology) -> Layout 
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| occurrence[b].cmp(&occurrence[a]).then(a.cmp(&b)));
 
-    // Physical spots grouped by level, each level in qubit-id order.
-    let max_level = topology.num_levels().expect("tree topology");
+    // Physical spots grouped by level, each level in qubit-id order. Tree
+    // level structure covers every qubit.
     let mut spots_by_level: Vec<Vec<usize>> = vec![Vec::new(); max_level];
     for p in 0..topology.num_qubits() {
-        spots_by_level[topology.level(p).expect("tree topology")].push(p);
+        let Some(level) = topology.level(p) else {
+            unreachable!("tree levels cover qubit {p}")
+        };
+        spots_by_level[level].push(p);
     }
 
     let mut log2phys = vec![usize::MAX; n];
     let mut occupied = vec![false; topology.num_qubits()];
     for &l in &order {
-        // Lowest level with a free spot.
-        let (level, _) = spots_by_level
+        // Lowest level with a free spot: n ≤ num_qubits guarantees one.
+        let Some((level, _)) = spots_by_level
             .iter()
             .enumerate()
             .find(|(_, spots)| spots.iter().any(|&p| !occupied[p]))
-            .expect("enough physical qubits");
+        else {
+            unreachable!("enough physical qubits")
+        };
         // Among free spots at this level, prefer the one whose parent hosts
         // the logical qubit sharing the most strings with `l`.
         let mut best: Option<(usize, usize)> = None; // (shared, physical)
@@ -199,7 +225,9 @@ pub fn hierarchical_initial_layout(ir: &PauliIr, topology: &Topology) -> Layout 
                 _ => best = Some((shared, p)),
             }
         }
-        let (_, p) = best.expect("free spot exists at this level");
+        let Some((_, p)) = best else {
+            unreachable!("free spot exists at this level")
+        };
         log2phys[l] = p;
         occupied[p] = true;
     }
@@ -222,7 +250,7 @@ pub fn hierarchical_initial_layout(ir: &PauliIr, topology: &Topology) -> Layout 
         }
     }
 
-    Layout::from_assignment(log2phys, topology.num_qubits())
+    Ok(Layout::from_assignment(log2phys, topology.num_qubits()))
 }
 
 #[cfg(test)]

@@ -30,7 +30,10 @@
 //! # Ok::<(), chem::ChemError>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod approximate;
+pub mod error;
 pub mod layout;
 pub mod mtr;
 pub mod peephole;
@@ -40,9 +43,12 @@ pub mod sabre;
 pub mod synthesis;
 
 pub use approximate::{approximate_ir, ApproximationReport};
-pub use layout::{hierarchical_initial_layout, Layout};
-pub use mtr::{merge_to_root, MtrOptions};
+pub use error::CompileError;
+pub use layout::{hierarchical_initial_layout, try_hierarchical_initial_layout, Layout};
+pub use mtr::{merge_to_root, try_merge_to_root, MtrOptions};
 pub use peephole::{peephole_optimize, PeepholeStats};
-pub use pipeline::{compile_mtr, compile_sabre, CompiledProgram};
+pub use pipeline::{
+    compile_mtr, compile_sabre, try_compile_mtr, try_compile_sabre, CompiledProgram,
+};
 pub use reorder::reorder_for_cancellation;
-pub use sabre::{sabre_route, SabreOptions};
+pub use sabre::{sabre_route, try_sabre_route, SabreOptions};

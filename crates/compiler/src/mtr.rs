@@ -32,6 +32,7 @@ use circuit::{Circuit, Gate};
 
 use ansatz::PauliIr;
 
+use crate::error::CompileError;
 use crate::layout::Layout;
 
 /// Policy for a support qubit whose parent holds no other support qubit.
@@ -85,7 +86,8 @@ pub struct MtrOutput {
 /// # Panics
 ///
 /// Panics if the topology is not a tree with levels, the layout does not
-/// match, or `params` is the wrong length.
+/// match, or `params` is the wrong length. Use [`try_merge_to_root`] to get
+/// a typed error instead.
 pub fn merge_to_root(
     ir: &PauliIr,
     topology: &Topology,
@@ -93,24 +95,51 @@ pub fn merge_to_root(
     params: &[f64],
     options: MtrOptions,
 ) -> MtrOutput {
-    assert!(
-        topology.root().is_some(),
-        "Merge-to-Root requires a tree topology"
-    );
-    assert_eq!(
-        params.len(),
-        ir.num_parameters(),
-        "parameter count mismatch"
-    );
-    assert_eq!(
-        initial_layout.num_logical(),
-        ir.num_qubits(),
-        "layout width mismatch"
-    );
-    assert!(
-        initial_layout.num_physical() == topology.num_qubits(),
-        "layout does not match the topology"
-    );
+    match try_merge_to_root(ir, topology, initial_layout, params, options) {
+        Ok(out) => out,
+        Err(e) => panic!("merge_to_root: {e}"),
+    }
+}
+
+/// Fallible [`merge_to_root`]: validates the topology, layout, and
+/// parameter vector and returns a [`CompileError`] instead of panicking.
+///
+/// # Errors
+///
+/// [`CompileError::NotATree`] if the topology has no tree level structure
+/// (cyclic or edge-built coupling graphs), [`CompileError::Disconnected`]
+/// if support qubits cannot reach each other,
+/// [`CompileError::ParameterCountMismatch`] / [`CompileError::LayoutMismatch`]
+/// on inconsistent inputs.
+pub fn try_merge_to_root(
+    ir: &PauliIr,
+    topology: &Topology,
+    initial_layout: Layout,
+    params: &[f64],
+    options: MtrOptions,
+) -> Result<MtrOutput, CompileError> {
+    let Some(max_level) = topology.num_levels() else {
+        return Err(CompileError::NotATree {
+            qubits: topology.num_qubits(),
+            edges: topology.edges().len(),
+        });
+    };
+    if params.len() != ir.num_parameters() {
+        return Err(CompileError::ParameterCountMismatch {
+            expected: ir.num_parameters(),
+            actual: params.len(),
+        });
+    }
+    if initial_layout.num_logical() != ir.num_qubits()
+        || initial_layout.num_physical() != topology.num_qubits()
+    {
+        return Err(CompileError::LayoutMismatch {
+            layout_logical: initial_layout.num_logical(),
+            layout_physical: initial_layout.num_physical(),
+            ir_qubits: ir.num_qubits(),
+            topology_qubits: topology.num_qubits(),
+        });
+    }
 
     let mut span = obs::span("compiler.mtr.merge");
     span.record("strings", ir.len());
@@ -151,6 +180,7 @@ pub fn merge_to_root(
         if support.len() > 1 {
             swap_phase(
                 topology,
+                max_level,
                 &mut layout,
                 &mut circuit,
                 &mut pristine,
@@ -167,7 +197,7 @@ pub fn merge_to_root(
 
         // --- Merge phase --------------------------------------------------
         let s_phys: Vec<usize> = support.iter().map(|&l| layout.physical(l)).collect();
-        let (merge_cnots, merge_root, bridges) = plan_merge(topology, &s_phys);
+        let (merge_cnots, merge_root, bridges) = plan_merge(topology, &s_phys)?;
         bridge_count += bridges;
         for &(c, t) in &merge_cnots {
             circuit.push(Gate::Cnot {
@@ -189,18 +219,19 @@ pub fn merge_to_root(
 
     span.record("swaps", swap_count);
     span.record("bridges", bridge_count);
-    MtrOutput {
+    Ok(MtrOutput {
         circuit,
         final_layout: layout,
         swap_count,
         bridge_count,
-    }
+    })
 }
 
 /// Persistent locality swaps for one string (levels outer → inner).
 #[allow(clippy::too_many_arguments)]
 fn swap_phase(
     topology: &Topology,
+    max_level: usize,
     layout: &mut Layout,
     circuit: &mut Circuit,
     pristine: &mut [bool],
@@ -210,7 +241,6 @@ fn swap_phase(
     options: MtrOptions,
     swap_count: &mut usize,
 ) {
-    let max_level = topology.num_levels().expect("tree topology");
     // Physical support set, updated as swaps happen.
     let mut in_support: Vec<bool> = vec![false; topology.num_qubits()];
     for &l in support {
@@ -240,7 +270,10 @@ fn swap_phase(
             if !in_support[p] || topology.level(p) != Some(level) {
                 continue;
             }
-            let parent = topology.parent(p).expect("non-root has a parent");
+            // Level ≥ 1 in a tree topology implies a parent exists.
+            let Some(parent) = topology.parent(p) else {
+                unreachable!("non-root qubit {p} has a parent")
+            };
             if in_support[parent] {
                 continue; // already consolidated
             }
@@ -280,12 +313,12 @@ fn swap_phase(
                 LoneChildPolicy::Lookahead(h) => h,
                 _ => 32,
             };
-            let &best = children
-                .iter()
-                .max_by_key(|&&c| {
-                    future_occurrence(occurrences, current_idx, layout.logical(c), horizon)
-                })
-                .expect("non-empty children");
+            // `by_parent` groups are created with at least one child.
+            let Some(&best) = children.iter().max_by_key(|&&c| {
+                future_occurrence(occurrences, current_idx, layout.logical(c), horizon)
+            }) else {
+                unreachable!("non-empty children")
+            };
             emit_swap(circuit, pristine, best, parent, swap_count);
             layout.swap_physical(best, parent);
             in_support[best] = false;
@@ -322,21 +355,28 @@ fn emit_swap(
     }
 }
 
+/// A planned merge phase: the CNOT list (each `(control, target)` adjacent
+/// in the topology), the merge root, and the bridge-node count.
+type MergePlan = (Vec<(usize, usize)>, usize, usize);
+
 /// Plans the merge-phase CNOT list over the minimal subtree connecting
 /// `s_phys`. Returns `(cnots, merge_root, bridge_node_count)`; `cnots` is
 /// emitted in order, each `(control, target)` adjacent in the topology.
-fn plan_merge(topology: &Topology, s_phys: &[usize]) -> (Vec<(usize, usize)>, usize, usize) {
+fn plan_merge(topology: &Topology, s_phys: &[usize]) -> Result<MergePlan, CompileError> {
     if s_phys.len() == 1 {
-        return (Vec::new(), s_phys[0], 0);
+        return Ok((Vec::new(), s_phys[0], 0));
     }
     let in_s: std::collections::HashSet<usize> = s_phys.iter().copied().collect();
 
     // Merge root: the support position closest to the tree root (minimal
-    // level) — ties to the smallest id for determinism.
-    let merge_root = *s_phys
+    // level) — ties to the smallest id for determinism. Callers only reach
+    // this with a non-empty support.
+    let Some(&merge_root) = s_phys
         .iter()
         .min_by_key(|&&p| (topology.level(p).unwrap_or(usize::MAX), p))
-        .expect("non-empty support");
+    else {
+        unreachable!("non-empty support")
+    };
 
     // Minimal connecting subtree: union of tree paths from each support
     // position to the merge root. `parent_of[u]` points one hop toward the
@@ -346,7 +386,13 @@ fn plan_merge(topology: &Topology, s_phys: &[usize]) -> (Vec<(usize, usize)>, us
         if s == merge_root {
             continue;
         }
-        for w in topology.shortest_path(s, merge_root).windows(2) {
+        let Some(path) = topology.try_shortest_path(s, merge_root) else {
+            return Err(CompileError::Disconnected {
+                a: s,
+                b: merge_root,
+            });
+        };
+        for w in path.windows(2) {
             parent_of.insert(w[0], w[1]);
         }
     }
@@ -399,7 +445,7 @@ fn plan_merge(topology: &Topology, s_phys: &[usize]) -> (Vec<(usize, usize)>, us
         &mut bridges,
     );
 
-    (cnots, merge_root, bridges)
+    Ok((cnots, merge_root, bridges))
 }
 
 #[cfg(test)]

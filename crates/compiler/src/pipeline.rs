@@ -5,9 +5,10 @@ use circuit::Circuit;
 
 use ansatz::PauliIr;
 
-use crate::layout::{hierarchical_initial_layout, Layout};
-use crate::mtr::{merge_to_root, MtrOptions};
-use crate::sabre::{sabre_layout, sabre_route, SabreOptions};
+use crate::error::CompileError;
+use crate::layout::{try_hierarchical_initial_layout, Layout};
+use crate::mtr::{try_merge_to_root, MtrOptions};
+use crate::sabre::{sabre_layout, try_sabre_route, SabreOptions};
 use crate::synthesis::synthesize_chain_nominal;
 
 /// A compiled program plus the bookkeeping for Table II's metric: the
@@ -65,26 +66,84 @@ pub fn original_cnot_count(ir: &PauliIr) -> usize {
 /// The co-designed pipeline: Hierarchical Initial Layout + Merge-to-Root
 /// with default options and nominal parameters (gate counts are
 /// parameter-independent).
+///
+/// # Panics
+///
+/// Panics on invalid topology/IR combinations; use [`try_compile_mtr`] for
+/// a typed error instead.
 pub fn compile_mtr(ir: &PauliIr, topology: &Topology) -> CompiledProgram {
     compile_mtr_with(ir, topology, MtrOptions::default())
 }
 
+/// Fallible [`compile_mtr`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the topology is not a tree, too small, or
+/// disconnected.
+pub fn try_compile_mtr(ir: &PauliIr, topology: &Topology) -> Result<CompiledProgram, CompileError> {
+    try_compile_mtr_with(ir, topology, MtrOptions::default())
+}
+
 /// [`compile_mtr`] with explicit Merge-to-Root options (used by ablations).
+///
+/// # Panics
+///
+/// Panics on invalid topology/IR combinations.
 pub fn compile_mtr_with(ir: &PauliIr, topology: &Topology, options: MtrOptions) -> CompiledProgram {
-    let layout = hierarchical_initial_layout(ir, topology);
-    compile_mtr_from_layout(ir, topology, layout, options)
+    match try_compile_mtr_with(ir, topology, options) {
+        Ok(program) => program,
+        Err(e) => panic!("compile_mtr: {e}"),
+    }
+}
+
+/// Fallible [`compile_mtr_with`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the topology is not a tree, too small, or
+/// disconnected.
+pub fn try_compile_mtr_with(
+    ir: &PauliIr,
+    topology: &Topology,
+    options: MtrOptions,
+) -> Result<CompiledProgram, CompileError> {
+    let layout = try_hierarchical_initial_layout(ir, topology)?;
+    try_compile_mtr_from_layout(ir, topology, layout, options)
 }
 
 /// Merge-to-Root from an explicit initial layout (ablation entry point).
+///
+/// # Panics
+///
+/// Panics on invalid topology/layout combinations.
 pub fn compile_mtr_from_layout(
     ir: &PauliIr,
     topology: &Topology,
     layout: Layout,
     options: MtrOptions,
 ) -> CompiledProgram {
+    match try_compile_mtr_from_layout(ir, topology, layout, options) {
+        Ok(program) => program,
+        Err(e) => panic!("compile_mtr_from_layout: {e}"),
+    }
+}
+
+/// Fallible [`compile_mtr_from_layout`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the topology is not a tree, disconnected, or
+/// inconsistent with the layout.
+pub fn try_compile_mtr_from_layout(
+    ir: &PauliIr,
+    topology: &Topology,
+    layout: Layout,
+    options: MtrOptions,
+) -> Result<CompiledProgram, CompileError> {
     let mut span = obs::span("compiler.mtr");
     let params = vec![0.1; ir.num_parameters()];
-    let out = merge_to_root(ir, topology, layout, &params, options);
+    let out = try_merge_to_root(ir, topology, layout, &params, options)?;
     let program = CompiledProgram {
         method: "MtR".to_string(),
         circuit: out.circuit,
@@ -99,21 +158,55 @@ pub fn compile_mtr_from_layout(
     span.record("bridges", out.bridge_count);
     obs::counter_add("compiler.mtr.swaps", program.swap_count() as u64);
     obs::counter_add("compiler.mtr.added_cnots", program.added_cnots() as u64);
-    program
+    Ok(program)
 }
 
 /// The traditional pipeline: chain synthesis, SABRE bidirectional layout
 /// (`layout_rounds` round trips), SABRE routing.
+///
+/// # Panics
+///
+/// Panics on too-small or disconnected topologies; use
+/// [`try_compile_sabre`] for a typed error instead.
 pub fn compile_sabre(ir: &PauliIr, topology: &Topology, layout_rounds: usize) -> CompiledProgram {
+    match try_compile_sabre(ir, topology, layout_rounds) {
+        Ok(program) => program,
+        Err(e) => panic!("compile_sabre: {e}"),
+    }
+}
+
+/// Fallible [`compile_sabre`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the topology is too small for the circuit or
+/// disconnected.
+pub fn try_compile_sabre(
+    ir: &PauliIr,
+    topology: &Topology,
+    layout_rounds: usize,
+) -> Result<CompiledProgram, CompileError> {
     let mut span = obs::span("compiler.sabre");
     let logical = synthesize_chain_nominal(ir);
+    if topology.num_qubits() < logical.num_qubits() {
+        return Err(CompileError::TopologyTooSmall {
+            needed: logical.num_qubits(),
+            available: topology.num_qubits(),
+        });
+    }
     let options = SabreOptions::default();
     let layout = if layout_rounds > 0 {
+        // `sabre_layout` routes internally, so connectivity must hold before
+        // it runs; `try_sabre_route` re-checks for the 0-round path.
+        if !topology.is_connected() {
+            let (a, b) = crate::sabre::disconnected_pair(topology);
+            return Err(CompileError::Disconnected { a, b });
+        }
         sabre_layout(&logical, topology, layout_rounds, options)
     } else {
         Layout::trivial(logical.num_qubits(), topology.num_qubits())
     };
-    let out = sabre_route(&logical, topology, layout, options);
+    let out = try_sabre_route(&logical, topology, layout, options)?;
     let program = CompiledProgram {
         method: "SABRE".to_string(),
         circuit: out.circuit,
@@ -126,7 +219,7 @@ pub fn compile_sabre(ir: &PauliIr, topology: &Topology, layout_rounds: usize) ->
     span.record("added_cnots", program.added_cnots());
     span.record("swaps", program.swap_count());
     obs::counter_add("compiler.sabre.swaps", program.swap_count() as u64);
-    program
+    Ok(program)
 }
 
 #[cfg(test)]

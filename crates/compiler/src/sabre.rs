@@ -11,6 +11,7 @@
 use arch::Topology;
 use circuit::{Circuit, Gate};
 
+use crate::error::CompileError;
 use crate::layout::Layout;
 
 /// Options for SABRE routing.
@@ -53,21 +54,43 @@ pub struct SabreOutput {
 /// # Panics
 ///
 /// Panics if the topology has fewer qubits than the circuit or is
-/// disconnected.
+/// disconnected. Use [`try_sabre_route`] for a typed error instead.
 pub fn sabre_route(
     circuit: &Circuit,
     topology: &Topology,
     initial_layout: Layout,
     options: SabreOptions,
 ) -> SabreOutput {
-    assert!(
-        topology.num_qubits() >= circuit.num_qubits(),
-        "topology too small for the circuit"
-    );
-    assert!(
-        topology.is_connected(),
-        "SABRE requires a connected topology"
-    );
+    match try_sabre_route(circuit, topology, initial_layout, options) {
+        Ok(out) => out,
+        Err(e) => panic!("sabre_route: {e}"),
+    }
+}
+
+/// Fallible [`sabre_route`].
+///
+/// # Errors
+///
+/// [`CompileError::TopologyTooSmall`] if the topology cannot host the
+/// circuit, [`CompileError::Disconnected`] if the coupling graph is not
+/// connected.
+pub fn try_sabre_route(
+    circuit: &Circuit,
+    topology: &Topology,
+    initial_layout: Layout,
+    options: SabreOptions,
+) -> Result<SabreOutput, CompileError> {
+    if topology.num_qubits() < circuit.num_qubits() {
+        return Err(CompileError::TopologyTooSmall {
+            needed: circuit.num_qubits(),
+            available: topology.num_qubits(),
+        });
+    }
+    if !topology.is_connected() {
+        // Report a concrete unreachable pair for the error message.
+        let (a, b) = disconnected_pair(topology);
+        return Err(CompileError::Disconnected { a, b });
+    }
     let mut span = obs::span("compiler.sabre.route");
     span.record("gates", circuit.gates().len());
     let dist = topology.distance_matrix();
@@ -154,7 +177,10 @@ pub fn sabre_route(
             let g = front[0];
             let qs = gates[g].qubits();
             let (pc, pt) = (layout.physical(qs[0]), layout.physical(qs[1]));
-            let path = topology.shortest_path(pc, pt);
+            // Connectivity was checked on entry, so a path always exists.
+            let Some(path) = topology.try_shortest_path(pc, pt) else {
+                unreachable!("connected topology has a path {pc}→{pt}")
+            };
             for w in path.windows(2).take(path.len().saturating_sub(2)) {
                 out.push(Gate::Swap(w[0], w[1]));
                 layout.swap_physical(w[0], w[1]);
@@ -224,7 +250,11 @@ pub fn sabre_route(
                 best = Some((score, (pa, pb)));
             }
         }
-        let (_, (pa, pb)) = best.expect("front layer blocked with no candidate swaps");
+        // A blocked two-qubit gate marks its physical homes as involved, and
+        // every qubit of a connected (n ≥ 2) graph has an incident edge.
+        let Some((_, (pa, pb))) = best else {
+            unreachable!("front layer blocked with no candidate swaps")
+        };
         out.push(Gate::Swap(pa, pb));
         layout.swap_physical(pa, pb);
         swap_count += 1;
@@ -240,11 +270,22 @@ pub fn sabre_route(
 
     span.record("swaps", swap_count);
     obs::counter_add("compiler.sabre.route.swaps", swap_count as u64);
-    SabreOutput {
+    Ok(SabreOutput {
         circuit: out,
         final_layout: layout,
         swap_count,
+    })
+}
+
+/// Finds one pair of disconnected qubits for error reporting; falls back to
+/// `(0, 0)` for the degenerate empty topology.
+pub(crate) fn disconnected_pair(topology: &Topology) -> (usize, usize) {
+    for q in 1..topology.num_qubits() {
+        if topology.try_shortest_path(0, q).is_none() {
+            return (0, q);
+        }
     }
+    (0, 0)
 }
 
 /// SABRE's bidirectional initial-layout search: route the circuit forward

@@ -58,7 +58,10 @@ pub fn chain_pauli_evolution(circuit: &mut Circuit, string: &PauliString, angle:
             target: w[1],
         });
     }
-    let root = *support.last().expect("non-empty support");
+    // Guarded above: empty-support strings return early.
+    let Some(&root) = support.last() else {
+        unreachable!("non-empty support")
+    };
     circuit.push(Gate::Rz(root, angle));
     for w in support.windows(2).rev() {
         circuit.push(Gate::Cnot {

@@ -6,28 +6,99 @@
 //! pcd scan H2 --from 0.4 --to 1.6 --step 0.1
 //! pcd compile NaH --ratio 0.5 --arch xtree17 --compiler both
 //! pcd yield --sigma 0.04 --samples 20000
+//! pcd chaos H2 --seed 42 --fault-rate 0.1
 //! ```
+//!
+//! # Exit codes
+//!
+//! `0` success · `1` usage error · `10` chemistry · `11` SCF · `12`
+//! encoding · `13` compile · `14` VQE · `20` chaos run had unrecovered
+//! trials. Codes 10–14 follow [`PcdError::exit_code`].
 
 use std::process::ExitCode;
 
 use pauli_codesign::ansatz::compress;
 use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
 use pauli_codesign::arch::{simulate_yield, CollisionModel, Topology};
-use pauli_codesign::chem::Benchmark;
+use pauli_codesign::chem::{Benchmark, ChemError};
 use pauli_codesign::compiler::pipeline::{compile_mtr, compile_sabre};
 use pauli_codesign::compiler::synthesis::synthesize_chain_nominal;
 use pauli_codesign::pauli::group_qubit_wise;
+use pauli_codesign::resilience::{run_chaos, ChaosOptions, FaultKind, PcdError};
 use pauli_codesign::vqe::driver::{run_vqe, VqeOptions};
+
+/// A CLI failure: either bad usage (exit 1, prints usage) or a typed
+/// pipeline error carrying its own exit code.
+#[derive(Debug)]
+enum CliError {
+    /// Bad arguments or unknown command.
+    Usage(String),
+    /// A pipeline stage failed; exit code from [`PcdError::exit_code`].
+    Pipeline(PcdError),
+    /// The chaos harness had trials that did not recover.
+    ChaosUnsurvived {
+        /// Trials that failed despite recovery.
+        failed: usize,
+        /// Trials executed.
+        trials: usize,
+    },
+}
+
+/// Exit code for a chaos run with unrecovered trials.
+const EXIT_CHAOS_UNSURVIVED: u8 = 20;
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 1,
+            // PcdError codes are 10..=14, always in u8 range.
+            CliError::Pipeline(e) => e.exit_code() as u8,
+            CliError::ChaosUnsurvived { .. } => EXIT_CHAOS_UNSURVIVED,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Pipeline(e) => write!(f, "{e}"),
+            CliError::ChaosUnsurvived { failed, trials } => {
+                write!(f, "chaos: {failed} of {trials} trials did not recover")
+            }
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<ChemError> for CliError {
+    fn from(e: ChemError) -> Self {
+        CliError::Pipeline(e.into())
+    }
+}
+
+impl From<PcdError> for CliError {
+    fn from(e: PcdError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -50,6 +121,10 @@ commands:
                                       export the X-Tree-compiled circuit
   yield [--arch ...] [--sigma GHz] [--samples N]
                                       fabrication-yield Monte Carlo
+  chaos [molecule] [--seed N] [--fault-rate R] [--trials N] [--restarts N]
+                                      fault-injection chaos harness: run the
+                                      pipeline under injected faults and
+                                      verify every one is recovered
   help                                this message
 
 observability (any command):
@@ -58,7 +133,7 @@ observability (any command):
 
 molecules: H2 LiH NaH HF BeH2 H2O BH3 NH3 CH4";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let command = args.first().map(String::as_str).unwrap_or("help");
     let flags = parse_flags(args.get(1..).unwrap_or(&[]))?;
 
@@ -78,11 +153,12 @@ fn run(args: &[String]) -> Result<(), String> {
         "compile" => cmd_compile(&flags),
         "qasm" => cmd_qasm(&flags),
         "yield" => cmd_yield(&flags),
+        "chaos" => cmd_chaos(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     };
 
     if result.is_ok() {
@@ -138,6 +214,15 @@ impl Flags {
         }
     }
 
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+        }
+    }
+
     fn molecule(&self) -> Result<Benchmark, String> {
         let name = self
             .positional
@@ -184,10 +269,10 @@ fn parse_arch(name: &str) -> Result<Topology, String> {
     }
 }
 
-fn cmd_info(flags: &Flags) -> Result<(), String> {
+fn cmd_info(flags: &Flags) -> Result<(), CliError> {
     let molecule = flags.molecule()?;
     let bond = flags.get_f64("bond", molecule.equilibrium_bond_length())?;
-    let system = molecule.build(bond).map_err(|e| e.to_string())?;
+    let system = molecule.build(bond)?;
     let ansatz = UccsdAnsatz::for_system(&system);
     let circuit = synthesize_chain_nominal(ansatz.ir());
     let groups = group_qubit_wise(system.qubit_hamiltonian());
@@ -224,14 +309,14 @@ fn cmd_info(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_vqe(flags: &Flags) -> Result<(), String> {
+fn cmd_vqe(flags: &Flags) -> Result<(), CliError> {
     let molecule = flags.molecule()?;
     let bond = flags.get_f64("bond", molecule.equilibrium_bond_length())?;
     let ratio = flags.get_f64("ratio", 0.5)?;
     if !(0.0..=1.0).contains(&ratio) || ratio == 0.0 {
-        return Err("--ratio must be in (0, 1]".to_string());
+        return Err(CliError::Usage("--ratio must be in (0, 1]".to_string()));
     }
-    let system = molecule.build(bond).map_err(|e| e.to_string())?;
+    let system = molecule.build(bond)?;
     let full = UccsdAnsatz::for_system(&system).into_ir();
     let (ir, report) = compress(&full, system.qubit_hamiltonian(), ratio);
     let run = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
@@ -254,7 +339,7 @@ fn cmd_vqe(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_scan(flags: &Flags) -> Result<(), String> {
+fn cmd_scan(flags: &Flags) -> Result<(), CliError> {
     let molecule = flags.molecule()?;
     let ratio = flags.get_f64("ratio", 1.0)?;
     let eq = molecule.equilibrium_bond_length();
@@ -262,13 +347,15 @@ fn cmd_scan(flags: &Flags) -> Result<(), String> {
     let to = flags.get_f64("to", eq + 0.3)?;
     let step = flags.get_f64("step", 0.1)?;
     if step <= 0.0 || to < from {
-        return Err("scan needs --from ≤ --to and --step > 0".to_string());
+        return Err(CliError::Usage(
+            "scan needs --from ≤ --to and --step > 0".to_string(),
+        ));
     }
 
     println!("bond (Å)   VQE (Ha)      exact (Ha)");
     let mut bond = from;
     while bond <= to + 1e-9 {
-        let system = molecule.build(bond).map_err(|e| e.to_string())?;
+        let system = molecule.build(bond)?;
         let full = UccsdAnsatz::for_system(&system).into_ir();
         let (ir, _) = compress(&full, system.qubit_hamiltonian(), ratio);
         let run = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
@@ -282,22 +369,20 @@ fn cmd_scan(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compile(flags: &Flags) -> Result<(), String> {
+fn cmd_compile(flags: &Flags) -> Result<(), CliError> {
     let molecule = flags.molecule()?;
     let ratio = flags.get_f64("ratio", 0.5)?;
     let arch = parse_arch(flags.get("arch").unwrap_or("xtree17"))?;
     let which = flags.get("compiler").unwrap_or("both");
-    let system = molecule
-        .build(molecule.equilibrium_bond_length())
-        .map_err(|e| e.to_string())?;
+    let system = molecule.build(molecule.equilibrium_bond_length())?;
     if arch.num_qubits() < system.num_qubits() {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "{} needs {} qubits but {} has {}",
             molecule.name(),
             system.num_qubits(),
             arch.name(),
             arch.num_qubits()
-        ));
+        )));
     }
     let full = UccsdAnsatz::for_system(&system).into_ir();
     let (ir, _) = compress(&full, system.qubit_hamiltonian(), ratio);
@@ -328,21 +413,21 @@ fn cmd_compile(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_adapt(flags: &Flags) -> Result<(), String> {
+fn cmd_adapt(flags: &Flags) -> Result<(), CliError> {
     use pauli_codesign::ansatz::uccsd::enumerate_generalized_excitations;
     use pauli_codesign::vqe::adapt::{
         pool_from_excitations, run_adapt_vqe, uccsd_pool, AdaptOptions,
     };
     let molecule = flags.molecule()?;
     let bond = flags.get_f64("bond", molecule.equilibrium_bond_length())?;
-    let system = molecule.build(bond).map_err(|e| e.to_string())?;
+    let system = molecule.build(bond)?;
     let m = system.num_qubits() / 2;
     let pool = match flags.get("pool").unwrap_or("plain") {
         "plain" => uccsd_pool(m, system.num_active_electrons()),
         "generalized" => {
             pool_from_excitations(system.num_qubits(), &enumerate_generalized_excitations(m))
         }
-        other => return Err(format!("unknown pool `{other}`")),
+        other => return Err(CliError::Usage(format!("unknown pool `{other}`"))),
     };
     let r = run_adapt_vqe(
         system.qubit_hamiltonian(),
@@ -371,15 +456,15 @@ fn cmd_adapt(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_excited(flags: &Flags) -> Result<(), String> {
+fn cmd_excited(flags: &Flags) -> Result<(), CliError> {
     use pauli_codesign::vqe::vqd::{run_vqd, VqdOptions};
     let molecule = flags.molecule()?;
     let bond = flags.get_f64("bond", molecule.equilibrium_bond_length())?;
     let k = flags.get_usize("states", 3)?;
     if k == 0 {
-        return Err("--states must be positive".to_string());
+        return Err(CliError::Usage("--states must be positive".to_string()));
     }
-    let system = molecule.build(bond).map_err(|e| e.to_string())?;
+    let system = molecule.build(bond)?;
     let ir = UccsdAnsatz::for_system(&system).into_ir();
     let states = run_vqd(system.qubit_hamiltonian(), &ir, k, VqdOptions::default());
     println!("{} @ {bond} Å — VQD ladder", molecule.name());
@@ -392,12 +477,10 @@ fn cmd_excited(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_qasm(flags: &Flags) -> Result<(), String> {
+fn cmd_qasm(flags: &Flags) -> Result<(), CliError> {
     let molecule = flags.molecule()?;
     let ratio = flags.get_f64("ratio", 0.5)?;
-    let system = molecule
-        .build(molecule.equilibrium_bond_length())
-        .map_err(|e| e.to_string())?;
+    let system = molecule.build(molecule.equilibrium_bond_length())?;
     let full = UccsdAnsatz::for_system(&system).into_ir();
     let (ir, _) = compress(&full, system.qubit_hamiltonian(), ratio);
     let arch = Topology::xtree(system.num_qubits().max(5) + 1);
@@ -417,12 +500,12 @@ fn cmd_qasm(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_yield(flags: &Flags) -> Result<(), String> {
+fn cmd_yield(flags: &Flags) -> Result<(), CliError> {
     let arch = parse_arch(flags.get("arch").unwrap_or("xtree17"))?;
     let sigma = flags.get_f64("sigma", 0.04)?;
     let samples = flags.get_usize("samples", 20_000)?;
     if samples == 0 {
-        return Err("--samples must be positive".to_string());
+        return Err(CliError::Usage("--samples must be positive".to_string()));
     }
     let est = simulate_yield(&arch, &CollisionModel::default(), sigma, samples, 17);
     println!("{arch}");
@@ -430,6 +513,91 @@ fn cmd_yield(flags: &Flags) -> Result<(), String> {
     println!("  samples         : {samples}");
     println!("  yield           : {:.4}", est.yield_rate);
     println!("  mean collisions : {:.2}", est.mean_collisions);
+    Ok(())
+}
+
+fn cmd_chaos(flags: &Flags) -> Result<(), CliError> {
+    let molecule = if flags.positional.is_empty() {
+        Benchmark::H2
+    } else {
+        flags.molecule()?
+    };
+    let seed = flags.get_u64("seed", 42)?;
+    let fault_rate = flags.get_f64("fault-rate", 0.1)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(CliError::Usage(
+            "--fault-rate must be in [0, 1]".to_string(),
+        ));
+    }
+    let trials = flags.get_usize("trials", 40)?;
+    if trials == 0 {
+        return Err(CliError::Usage("--trials must be positive".to_string()));
+    }
+    let max_restarts = flags.get_usize("restarts", 3)?;
+    let bond_length = match flags.get("bond") {
+        Some(_) => Some(flags.get_f64("bond", 0.0)?),
+        None => None,
+    };
+
+    // The chaos harness always records, so the report below can be
+    // cross-checked against obs counters even without --trace/--metrics.
+    obs::enable();
+
+    let report = run_chaos(&ChaosOptions {
+        seed,
+        fault_rate,
+        trials,
+        benchmark: molecule,
+        bond_length,
+        max_restarts,
+    });
+
+    println!(
+        "chaos: {} × {} trials, fault rate {:.0}%, seed {seed}",
+        molecule.name(),
+        report.trials,
+        fault_rate * 100.0
+    );
+    println!("  faults injected : {}", report.faults_injected);
+    for kind in FaultKind::ALL {
+        let count = report.injected_by_kind.get(&kind).copied().unwrap_or(0);
+        if count > 0 {
+            println!("    {:<24}: {count}", kind.site());
+        }
+    }
+    println!("  recovered faults by policy class:");
+    for class in ["scf_retry", "compiler_fallback", "vqe_restart"] {
+        println!(
+            "    {:<24}: {}",
+            class,
+            report.recovered_by_class.get(class).copied().unwrap_or(0)
+        );
+    }
+    let snapshot = obs::snapshot();
+    for counter in [
+        "resilience.faults_injected",
+        "resilience.retries",
+        "resilience.fallbacks",
+    ] {
+        println!(
+            "  obs {:<28}: {}",
+            counter,
+            snapshot.counters.get(counter).copied().unwrap_or(0)
+        );
+    }
+    println!(
+        "  trials completed: {} of {}",
+        report.trials - report.failures,
+        report.trials
+    );
+
+    if !report.survived() {
+        return Err(CliError::ChaosUnsurvived {
+            failed: report.failures,
+            trials: report.trials,
+        });
+    }
+    println!("  survived: every injected fault was recovered");
     Ok(())
 }
 

@@ -38,6 +38,8 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub use ansatz;
 pub use arch;
 pub use chem;
@@ -45,6 +47,7 @@ pub use circuit;
 pub use compiler;
 pub use numeric;
 pub use pauli;
+pub use resilience;
 pub use sim;
 pub use vqe;
 

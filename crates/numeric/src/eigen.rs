@@ -100,7 +100,7 @@ pub fn jacobi_eigen(a: &RealMatrix) -> Eigen {
 
     // Sort eigenpairs ascending.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).expect("NaN eigenvalue"));
+    order.sort_by(|&i, &j| m[(i, i)].total_cmp(&m[(j, j)]));
     let values: Vec<f64> = order.iter().map(|&k| m[(k, k)]).collect();
     let vectors = RealMatrix::from_fn(n, n, |i, k| v[(i, order[k])]);
     Eigen { values, vectors }

@@ -150,9 +150,9 @@ pub fn lanczos_ground_state_with_vector(
         }
 
         let beta = norm(&w);
-        let ritz = *tridiagonal_eigenvalues(&alphas, &betas)
-            .first()
-            .expect("non-empty Ritz spectrum");
+        let Some(&ritz) = tridiagonal_eigenvalues(&alphas, &betas).first() else {
+            unreachable!("Ritz spectrum has at least one eigenvalue");
+        };
 
         if (prev_ritz - ritz).abs() < options.tol || beta < 1e-13 {
             let vector = ritz_vector(&basis, &alphas, &betas, dim);

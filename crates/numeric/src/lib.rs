@@ -26,6 +26,8 @@
 //! assert_eq!(a.mul(&a), a);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod complex;
 pub mod eigen;
 pub mod lanczos;

@@ -74,10 +74,12 @@ pub fn lu_solve(a: &RealMatrix, b: &[f64]) -> Result<Vec<f64>, LinSolveError> {
 
     for col in 0..n {
         // Partial pivot.
-        let (pivot_row, pivot_val) = (col..n)
+        let Some((pivot_row, pivot_val)) = (col..n)
             .map(|r| (r, lu[(r, col)].abs()))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN pivot"))
-            .expect("non-empty pivot range");
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+        else {
+            unreachable!("pivot range col..n is non-empty");
+        };
         if pivot_val <= 1e-13 * scale {
             return Err(LinSolveError::Singular);
         }

@@ -45,6 +45,8 @@
 //! obs::disable();
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod json;
 mod summary;
 

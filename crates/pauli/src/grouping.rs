@@ -58,14 +58,7 @@ pub fn qubit_wise_commute(a: &PauliString, b: &PauliString) -> bool {
 pub fn group_qubit_wise(sum: &WeightedPauliSum) -> Vec<MeasurementGroup> {
     let n = sum.num_qubits();
     let mut order: Vec<usize> = (0..sum.len()).collect();
-    order.sort_by(|&i, &j| {
-        sum[j]
-            .0
-            .abs()
-            .partial_cmp(&sum[i].0.abs())
-            .expect("finite weights")
-            .then(i.cmp(&j))
-    });
+    order.sort_by(|&i, &j| sum[j].0.abs().total_cmp(&sum[i].0.abs()).then(i.cmp(&j)));
 
     let mut groups: Vec<MeasurementGroup> = Vec::new();
     for idx in order {

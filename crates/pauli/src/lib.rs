@@ -28,6 +28,8 @@
 //! # Ok::<(), pauli::ParsePauliError>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod grouping;
 pub mod string;
 pub mod sum;

@@ -1,0 +1,79 @@
+//! Property-based tests for Pauli-string parsing: display/parse round
+//! trips and the typed [`ParsePauliError`] taxonomy (proptest).
+
+use proptest::prelude::*;
+
+use pauli::{ParsePauliError, PauliString};
+
+/// Strategy: a valid Pauli text of 1–64 characters.
+fn valid_pauli_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![Just("I"), Just("X"), Just("Y"), Just("Z")],
+        1..65,
+    )
+    .prop_map(|chars| chars.concat())
+}
+
+/// Characters that are not Pauli operators in either case.
+const INVALID_CHARS: &[char] = &['A', 'B', 'Q', 'W', 'P', 'a', 'q', 'w', '0', '9', '*', ' '];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// display(parse(s)) == s for every valid uppercase Pauli text.
+    #[test]
+    fn parse_then_display_round_trips(s in valid_pauli_text()) {
+        let p: PauliString = s.parse().expect("valid text parses");
+        prop_assert_eq!(p.to_string(), s);
+    }
+
+    /// parse(display(p)) == p: the textual form is a faithful encoding.
+    #[test]
+    fn display_then_parse_round_trips(s in valid_pauli_text()) {
+        let p: PauliString = s.parse().expect("valid text parses");
+        let q: PauliString = p.to_string().parse().expect("display re-parses");
+        prop_assert_eq!(p, q);
+    }
+
+    /// Lowercase input parses to the same operator as uppercase.
+    #[test]
+    fn parsing_is_case_insensitive(s in valid_pauli_text()) {
+        let upper: PauliString = s.parse().expect("uppercase parses");
+        let lower: PauliString = s.to_lowercase().parse().expect("lowercase parses");
+        prop_assert_eq!(upper, lower);
+    }
+
+    /// Any character outside IXYZ (either case) yields InvalidChar carrying
+    /// exactly the offending character, and the error Display names it.
+    #[test]
+    fn invalid_char_is_reported_with_the_culprit(
+        prefix in prop::collection::vec(prop_oneof![Just("I"), Just("X"), Just("Y"), Just("Z")], 0..8),
+        bad_idx in 0usize..12,
+    ) {
+        let bad = INVALID_CHARS[bad_idx];
+        let text = format!("{}{}", prefix.concat(), bad);
+        let err = text.parse::<PauliString>().expect_err("must fail");
+        prop_assert_eq!(err.clone(), ParsePauliError::InvalidChar(bad));
+        prop_assert!(
+            err.to_string().contains(bad),
+            "Display must name the culprit"
+        );
+    }
+
+    /// Oversized strings fail with TooLong carrying the length.
+    #[test]
+    fn too_long_is_reported_with_the_length(extra in 1usize..40) {
+        let text = "Z".repeat(64 + extra);
+        let err = text.parse::<PauliString>().expect_err("must fail");
+        prop_assert_eq!(err, ParsePauliError::TooLong(64 + extra));
+    }
+}
+
+#[test]
+fn empty_input_is_a_typed_error() {
+    assert_eq!(
+        "".parse::<PauliString>().expect_err("empty must fail"),
+        ParsePauliError::Empty
+    );
+    assert_eq!(ParsePauliError::Empty.to_string(), "empty Pauli string");
+}

@@ -1,0 +1,189 @@
+//! The workspace error taxonomy: one typed, source-chained error per
+//! pipeline stage, plus the process exit-code convention the `pcd` CLI
+//! maps them onto.
+
+use std::error::Error;
+use std::fmt;
+
+use chem::scf::ScfError;
+use chem::ChemError;
+use compiler::CompileError;
+use vqe::VqeError;
+
+/// A failure anywhere in the chem → encoding → compile → VQE pipeline.
+///
+/// Every variant wraps the originating stage's typed error (available via
+/// [`Error::source`]), so callers can match on the stage for policy
+/// decisions and still drill into the leaf cause for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PcdError {
+    /// Electronic-structure failure outside the SCF loop (bad geometry,
+    /// invalid active space).
+    Chem(ChemError),
+    /// The self-consistent-field loop failed (non-convergence, non-finite
+    /// energy) even after any retry ladder the caller ran.
+    Scf(ScfError),
+    /// The fermion → qubit encoding stage failed.
+    Encoding(String),
+    /// Circuit compilation failed (non-tree topology, disconnected
+    /// coupling graph, layout mismatch) after any fallback the caller ran.
+    Compile(CompileError),
+    /// The VQE stage failed (register mismatch, non-finite objective)
+    /// after any restart policy the caller ran.
+    Vqe(VqeError),
+    /// A recovery policy exhausted its budget without producing a result.
+    Unrecovered {
+        /// Pipeline stage that gave up (`"scf"`, `"compile"`, `"vqe"`).
+        stage: &'static str,
+        /// Attempts spent, including the original one.
+        attempts: usize,
+        /// The error seen on the final attempt.
+        last: Box<PcdError>,
+    },
+}
+
+impl PcdError {
+    /// The process exit code the `pcd` CLI uses for this error: 10 chem,
+    /// 11 SCF, 12 encoding, 13 compile, 14 VQE. [`PcdError::Unrecovered`]
+    /// reports the code of its final underlying error.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            PcdError::Chem(_) => 10,
+            PcdError::Scf(_) => 11,
+            PcdError::Encoding(_) => 12,
+            PcdError::Compile(_) => 13,
+            PcdError::Vqe(_) => 14,
+            PcdError::Unrecovered { last, .. } => last.exit_code(),
+        }
+    }
+
+    /// Short stage label for metrics and log fields.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            PcdError::Chem(_) => "chem",
+            PcdError::Scf(_) => "scf",
+            PcdError::Encoding(_) => "encoding",
+            PcdError::Compile(_) => "compile",
+            PcdError::Vqe(_) => "vqe",
+            PcdError::Unrecovered { stage, .. } => stage,
+        }
+    }
+}
+
+impl fmt::Display for PcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcdError::Chem(e) => write!(f, "chemistry stage failed: {e}"),
+            PcdError::Scf(e) => write!(f, "SCF stage failed: {e}"),
+            PcdError::Encoding(msg) => write!(f, "encoding stage failed: {msg}"),
+            PcdError::Compile(e) => write!(f, "compile stage failed: {e}"),
+            PcdError::Vqe(e) => write!(f, "VQE stage failed: {e}"),
+            PcdError::Unrecovered {
+                stage,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "{stage} stage unrecovered after {attempts} attempts: {last}"
+            ),
+        }
+    }
+}
+
+impl Error for PcdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PcdError::Chem(e) => Some(e),
+            PcdError::Scf(e) => Some(e),
+            PcdError::Encoding(_) => None,
+            PcdError::Compile(e) => Some(e),
+            PcdError::Vqe(e) => Some(e),
+            PcdError::Unrecovered { last, .. } => Some(last.as_ref()),
+        }
+    }
+}
+
+impl From<ChemError> for PcdError {
+    fn from(e: ChemError) -> Self {
+        // SCF failures get their own stage (and exit code) even though the
+        // chem crate surfaces them wrapped.
+        match e {
+            ChemError::Scf(scf) => PcdError::Scf(scf),
+            other => PcdError::Chem(other),
+        }
+    }
+}
+
+impl From<ScfError> for PcdError {
+    fn from(e: ScfError) -> Self {
+        PcdError::Scf(e)
+    }
+}
+
+impl From<CompileError> for PcdError {
+    fn from(e: CompileError) -> Self {
+        PcdError::Compile(e)
+    }
+}
+
+impl From<VqeError> for PcdError {
+    fn from(e: VqeError) -> Self {
+        PcdError::Vqe(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_the_stage_convention() {
+        let scf = ScfError::NotConverged {
+            iterations: 5,
+            delta_e: 1.0,
+        };
+        assert_eq!(PcdError::from(ChemError::Scf(scf.clone())).exit_code(), 11);
+        assert_eq!(
+            PcdError::Chem(ChemError::DegenerateGeometry {
+                atoms: (0, 1),
+                distance: 0.0
+            })
+            .exit_code(),
+            10
+        );
+        assert_eq!(PcdError::Encoding("oops".into()).exit_code(), 12);
+        assert_eq!(
+            PcdError::Compile(CompileError::NotATree {
+                qubits: 4,
+                edges: 4
+            })
+            .exit_code(),
+            13
+        );
+        assert_eq!(PcdError::Vqe(VqeError::EmptyPool).exit_code(), 14);
+        let unrecovered = PcdError::Unrecovered {
+            stage: "scf",
+            attempts: 4,
+            last: Box::new(PcdError::Scf(scf)),
+        };
+        assert_eq!(unrecovered.exit_code(), 11);
+    }
+
+    #[test]
+    fn source_chain_reaches_the_leaf() {
+        let e = PcdError::Unrecovered {
+            stage: "vqe",
+            attempts: 2,
+            last: Box::new(PcdError::Vqe(VqeError::EmptyPool)),
+        };
+        let mid = e.source().expect("has source");
+        assert!(mid.source().is_some(), "chains through to the VqeError");
+    }
+
+    #[test]
+    fn scf_errors_are_promoted_out_of_chem() {
+        let e: PcdError = ChemError::Scf(ScfError::OddElectronCount(3)).into();
+        assert!(matches!(e, PcdError::Scf(_)));
+        assert_eq!(e.stage(), "scf");
+    }
+}

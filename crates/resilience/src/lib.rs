@@ -1,0 +1,50 @@
+//! Resilience layer for the pauli-codesign pipeline: error taxonomy,
+//! deterministic fault injection, and retry/fallback recovery policies.
+//!
+//! The paper's pipeline is a chain of numerically fragile stages — SCF
+//! can diverge, geometries can degenerate, coupling graphs can violate
+//! Merge-to-Root's tree precondition, optimizers can hit NaN or stall.
+//! This crate gives each failure a typed home ([`PcdError`]), a way to
+//! provoke it on demand ([`FaultPlan`]), and a policy that survives it
+//! ([`recover`]):
+//!
+//! | failure | typed error | recovery policy |
+//! |---|---|---|
+//! | SCF non-convergence / NaN | `ScfError` | retry ladder: damping → damping+shift → strong shift, restarted DIIS |
+//! | degenerate geometry | `ChemError::DegenerateGeometry` | rebuild from the clean geometry |
+//! | non-tree coupling graph | `CompileError::NotATree` | degrade MtR → SABRE |
+//! | NaN objective / stall | `OptimizeError` / unconverged | restart from perturbed parameters |
+//!
+//! The [`chaos`] harness runs the whole pipeline under a seeded fault
+//! plan and checks every injected fault was recovered — the `pcd chaos`
+//! subcommand is a thin CLI over it. All retries, fallbacks, and
+//! injections are counted in obs (`resilience.retries`,
+//! `resilience.fallbacks`, `resilience.faults_injected`) and emitted as
+//! events, so a trace shows the full fault/recovery story.
+//!
+//! ```
+//! use resilience::{run_chaos, ChaosOptions};
+//!
+//! let report = run_chaos(&ChaosOptions {
+//!     fault_rate: 1.0,
+//!     trials: 1,
+//!     ..Default::default()
+//! });
+//! assert!(report.survived());
+//! assert!(report.all_policy_classes_recovered());
+//! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod chaos;
+pub mod error;
+pub mod fault;
+pub mod recover;
+
+pub use chaos::{run_chaos, ChaosOptions, ChaosReport, TrialOutcome};
+pub use error::PcdError;
+pub use fault::{FaultKind, FaultPlan, InjectedFault};
+pub use recover::{
+    build_system_with_ladder, build_system_with_recovery, compile_with_fallback,
+    run_vqe_with_restart, CompileStrategy,
+};

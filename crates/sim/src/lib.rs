@@ -27,6 +27,8 @@
 //! assert!((sv.probability(0b11) - 0.5).abs() < 1e-12);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod density;
 pub mod noise;
 pub mod statevector;

@@ -17,6 +17,7 @@ use ansatz::uccsd::Excitation;
 use ansatz::{IrEntry, PauliIr};
 use chem::fermion::antihermitian_pauli_terms;
 
+use crate::error::VqeError;
 use crate::optimize::{lbfgs, OptimizeControls};
 use crate::state::{energy_and_gradient, prepare_state};
 
@@ -120,14 +121,35 @@ pub fn pool_gradient(state_amps: &[Complex64], h_psi: &[Complex64], op: &PoolOpe
 ///
 /// # Panics
 ///
-/// Panics if the pool is empty or register widths differ.
+/// Panics if the pool is empty or the inner optimizer fails. Use
+/// [`try_run_adapt_vqe`] for a typed error instead.
 pub fn run_adapt_vqe(
     hamiltonian: &WeightedPauliSum,
     initial_state: u64,
     pool: &[PoolOperator],
     options: AdaptOptions,
 ) -> AdaptResult {
-    assert!(!pool.is_empty(), "operator pool must be non-empty");
+    match try_run_adapt_vqe(hamiltonian, initial_state, pool, options) {
+        Ok(result) => result,
+        Err(e) => panic!("run_adapt_vqe: {e}"),
+    }
+}
+
+/// Fallible [`run_adapt_vqe`].
+///
+/// # Errors
+///
+/// [`VqeError::EmptyPool`] for an empty operator pool,
+/// [`VqeError::Optimize`] if an inner VQE loop hits a non-finite objective.
+pub fn try_run_adapt_vqe(
+    hamiltonian: &WeightedPauliSum,
+    initial_state: u64,
+    pool: &[PoolOperator],
+    options: AdaptOptions,
+) -> Result<AdaptResult, VqeError> {
+    if pool.is_empty() {
+        return Err(VqeError::EmptyPool);
+    }
     let n = hamiltonian.num_qubits();
     let mut ir = PauliIr::new(n, initial_state);
     let mut params: Vec<f64> = Vec::new();
@@ -148,16 +170,20 @@ pub fn run_adapt_vqe(
             .sum();
         energy_trace.push(current_energy);
 
-        // Pick the pool operator with the largest gradient magnitude.
-        let (best_idx, best_grad) = pool
+        // Pick the pool operator with the largest gradient magnitude
+        // (total_cmp gives a NaN-safe total order; the pool was checked
+        // non-empty on entry).
+        let Some((best_idx, best_grad)) = pool
             .iter()
             .enumerate()
             .map(|(i, op)| (i, pool_gradient(sv.amplitudes(), &h_psi, op)))
-            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite gradients"))
-            .expect("non-empty pool");
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+        else {
+            unreachable!("non-empty pool")
+        };
 
         if best_grad.abs() < options.gradient_tolerance {
-            return AdaptResult {
+            return Ok(AdaptResult {
                 energy: current_energy,
                 ir,
                 params,
@@ -165,7 +191,7 @@ pub fn run_adapt_vqe(
                 energy_trace,
                 total_iterations,
                 converged: true,
-            };
+            });
         }
 
         // Append the operator as a fresh parameter and re-optimize all.
@@ -184,14 +210,14 @@ pub fn run_adapt_vqe(
             |theta| energy_and_gradient(hamiltonian, &ir, theta),
             &params,
             options.vqe_controls,
-        );
+        )?;
         params = outcome.params;
         total_iterations += outcome.iterations;
     }
 
     let final_energy = crate::state::energy(hamiltonian, &ir, &params);
     energy_trace.push(final_energy);
-    AdaptResult {
+    Ok(AdaptResult {
         energy: final_energy,
         ir,
         params,
@@ -199,7 +225,7 @@ pub fn run_adapt_vqe(
         energy_trace,
         total_iterations,
         converged: false,
-    }
+    })
 }
 
 #[cfg(test)]

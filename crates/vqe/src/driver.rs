@@ -6,6 +6,7 @@ use sim::{DensityMatrix, NoiseModel};
 use ansatz::PauliIr;
 use compiler::synthesis::synthesize_chain;
 
+use crate::error::VqeError;
 use crate::optimize::{lbfgs, nelder_mead, spsa, OptimizeControls, OptimizeOutcome, OptimizerKind};
 use crate::state::energy_and_gradient;
 
@@ -62,9 +63,23 @@ impl From<OptimizeOutcome> for VqeResult {
 ///
 /// # Panics
 ///
-/// Panics if the Hamiltonian and IR registers differ.
+/// Panics if the Hamiltonian and IR registers differ or the objective goes
+/// non-finite. Use [`try_run_vqe`] for a typed error instead.
 pub fn run_vqe(hamiltonian: &WeightedPauliSum, ir: &PauliIr, options: VqeOptions) -> VqeResult {
     run_vqe_from(hamiltonian, ir, &vec![0.0; ir.num_parameters()], options)
+}
+
+/// Fallible [`run_vqe`].
+///
+/// # Errors
+///
+/// Returns [`VqeError`] on register mismatches or optimizer failure.
+pub fn try_run_vqe(
+    hamiltonian: &WeightedPauliSum,
+    ir: &PauliIr,
+    options: VqeOptions,
+) -> Result<VqeResult, VqeError> {
+    try_run_vqe_from(hamiltonian, ir, &vec![0.0; ir.num_parameters()], options)
 }
 
 fn optimizer_name(kind: OptimizerKind) -> &'static str {
@@ -105,23 +120,44 @@ fn record_vqe_outcome(span: &mut obs::SpanGuard, options: &VqeOptions, result: &
 ///
 /// # Panics
 ///
-/// Panics if the registers differ or `x0` has the wrong length.
+/// Panics if the registers differ, `x0` has the wrong length, or the
+/// objective goes non-finite. Use [`try_run_vqe_from`] for a typed error.
 pub fn run_vqe_from(
     hamiltonian: &WeightedPauliSum,
     ir: &PauliIr,
     x0: &[f64],
     options: VqeOptions,
 ) -> VqeResult {
-    assert_eq!(
-        hamiltonian.num_qubits(),
-        ir.num_qubits(),
-        "register mismatch"
-    );
-    assert_eq!(
-        x0.len(),
-        ir.num_parameters(),
-        "starting point has wrong length"
-    );
+    match try_run_vqe_from(hamiltonian, ir, x0, options) {
+        Ok(result) => result,
+        Err(e) => panic!("run_vqe: {e}"),
+    }
+}
+
+/// Fallible [`run_vqe_from`].
+///
+/// # Errors
+///
+/// Returns [`VqeError`] on register/parameter mismatches or when the
+/// optimizer hits a non-finite objective.
+pub fn try_run_vqe_from(
+    hamiltonian: &WeightedPauliSum,
+    ir: &PauliIr,
+    x0: &[f64],
+    options: VqeOptions,
+) -> Result<VqeResult, VqeError> {
+    if hamiltonian.num_qubits() != ir.num_qubits() {
+        return Err(VqeError::RegisterMismatch {
+            hamiltonian: hamiltonian.num_qubits(),
+            ansatz: ir.num_qubits(),
+        });
+    }
+    if x0.len() != ir.num_parameters() {
+        return Err(VqeError::StartingPointLength {
+            expected: ir.num_parameters(),
+            actual: x0.len(),
+        });
+    }
     let mut span = obs::span("vqe.run");
     span.record("parameters", ir.num_parameters());
     let x0 = x0.to_vec();
@@ -130,25 +166,25 @@ pub fn run_vqe_from(
             |theta| energy_and_gradient(hamiltonian, ir, theta),
             &x0,
             options.controls,
-        )
+        )?
         .into(),
         OptimizerKind::NelderMead => nelder_mead(
             |theta| crate::state::energy(hamiltonian, ir, theta),
             &x0,
             0.1,
             options.controls,
-        )
+        )?
         .into(),
         OptimizerKind::Spsa(seed) => spsa(
             |theta| crate::state::energy(hamiltonian, ir, theta),
             &x0,
             seed,
             options.controls,
-        )
+        )?
         .into(),
     };
     record_vqe_outcome(&mut span, &options, &result);
-    result
+    Ok(result)
 }
 
 /// How to evaluate noisy energies for the Fig 10 case studies.
@@ -173,18 +209,37 @@ pub enum NoisyEvaluator {
 ///
 /// # Panics
 ///
-/// Panics if the registers differ.
+/// Panics if the registers differ or the objective goes non-finite. Use
+/// [`try_run_vqe_noisy`] for a typed error instead.
 pub fn run_vqe_noisy(
     hamiltonian: &WeightedPauliSum,
     ir: &PauliIr,
     evaluator: NoisyEvaluator,
     options: VqeOptions,
 ) -> VqeResult {
-    assert_eq!(
-        hamiltonian.num_qubits(),
-        ir.num_qubits(),
-        "register mismatch"
-    );
+    match try_run_vqe_noisy(hamiltonian, ir, evaluator, options) {
+        Ok(result) => result,
+        Err(e) => panic!("run_vqe_noisy: {e}"),
+    }
+}
+
+/// Fallible [`run_vqe_noisy`].
+///
+/// # Errors
+///
+/// Returns [`VqeError`] on register mismatches or optimizer failure.
+pub fn try_run_vqe_noisy(
+    hamiltonian: &WeightedPauliSum,
+    ir: &PauliIr,
+    evaluator: NoisyEvaluator,
+    options: VqeOptions,
+) -> Result<VqeResult, VqeError> {
+    if hamiltonian.num_qubits() != ir.num_qubits() {
+        return Err(VqeError::RegisterMismatch {
+            hamiltonian: hamiltonian.num_qubits(),
+            ansatz: ir.num_qubits(),
+        });
+    }
     let mut span = obs::span("vqe.run");
     span.record("parameters", ir.num_parameters());
     span.record("noisy", true);
@@ -205,7 +260,7 @@ pub fn run_vqe_noisy(
                     },
                     &x0,
                     options.controls,
-                )
+                )?
                 .into(),
                 OptimizerKind::NelderMead => nelder_mead(
                     |theta| {
@@ -215,7 +270,7 @@ pub fn run_vqe_noisy(
                     &x0,
                     0.1,
                     options.controls,
-                )
+                )?
                 .into(),
                 OptimizerKind::Spsa(seed) => spsa(
                     |theta| {
@@ -225,22 +280,22 @@ pub fn run_vqe_noisy(
                     &x0,
                     seed,
                     options.controls,
-                )
+                )?
                 .into(),
             }
         }
         NoisyEvaluator::DensityMatrix(noise) => {
             let objective = |theta: &[f64]| noisy_energy_density(hamiltonian, ir, theta, &noise);
             match options.optimizer {
-                OptimizerKind::Spsa(seed) => spsa(objective, &x0, seed, options.controls).into(),
+                OptimizerKind::Spsa(seed) => spsa(objective, &x0, seed, options.controls)?.into(),
                 // L-BFGS has no analytic gradient here; default to
                 // Nelder–Mead for the density path.
-                _ => nelder_mead(objective, &x0, 0.1, options.controls).into(),
+                _ => nelder_mead(objective, &x0, 0.1, options.controls)?.into(),
             }
         }
     };
     record_vqe_outcome(&mut span, &options, &result);
-    result
+    Ok(result)
 }
 
 /// One noisy energy evaluation via density-matrix simulation of the

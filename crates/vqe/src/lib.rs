@@ -25,8 +25,11 @@
 //! # Ok::<(), chem::ChemError>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod adapt;
 pub mod driver;
+pub mod error;
 pub mod measurement;
 pub mod mitigation;
 pub mod optimize;
@@ -34,13 +37,18 @@ pub mod state;
 pub mod vqd;
 
 pub use adapt::{
-    pool_from_excitations, run_adapt_vqe, uccsd_pool, AdaptOptions, AdaptResult, PoolOperator,
+    pool_from_excitations, run_adapt_vqe, try_run_adapt_vqe, uccsd_pool, AdaptOptions, AdaptResult,
+    PoolOperator,
 };
-pub use driver::{run_vqe, run_vqe_from, run_vqe_noisy, NoisyEvaluator, VqeOptions, VqeResult};
+pub use driver::{
+    run_vqe, run_vqe_from, run_vqe_noisy, try_run_vqe, try_run_vqe_from, try_run_vqe_noisy,
+    NoisyEvaluator, VqeOptions, VqeResult,
+};
+pub use error::VqeError;
 pub use measurement::{estimate_energy_sampled, measurement_basis_circuit, SampledEnergy};
 pub use mitigation::{
     fold_cnots, richardson_extrapolate, zne_energy, MitigatedEnergy, NoiseScaling,
 };
-pub use optimize::{OptimizeOutcome, OptimizerKind};
+pub use optimize::{OptimizeError, OptimizeOutcome, OptimizerKind};
 pub use state::{energy, energy_and_gradient, overlap_and_gradient, prepare_state};
-pub use vqd::{run_vqd, VqdOptions, VqdState};
+pub use vqd::{run_vqd, try_run_vqd, VqdOptions, VqdState};

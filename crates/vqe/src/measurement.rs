@@ -54,7 +54,7 @@ fn sample_outcomes(state: &Statevector, shots: usize, rng: &mut StdRng) -> Vec<u
     (0..shots)
         .map(|_| {
             let r: f64 = rng.random::<f64>() * total;
-            match cdf.binary_search_by(|x| x.partial_cmp(&r).expect("finite probabilities")) {
+            match cdf.binary_search_by(|x| x.total_cmp(&r)) {
                 Ok(i) | Err(i) => (i.min(cdf.len() - 1)) as u64,
             }
         })

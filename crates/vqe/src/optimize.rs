@@ -6,8 +6,38 @@
 //! convergence metric, Fig 9 bottom) are preserved. Nelder–Mead and SPSA are
 //! provided for noisy objectives.
 
+use std::error::Error;
+use std::fmt;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Error from an optimizer run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizeError {
+    /// The objective (or its gradient) returned NaN/±∞. Raised the first
+    /// time a non-finite value appears so callers can restart from fresh
+    /// parameters instead of wandering on a NaN plateau.
+    NonFiniteObjective {
+        /// Outer iteration at which the value appeared (0 = initial point).
+        iteration: usize,
+        /// The offending objective value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeError::NonFiniteObjective { iteration, value } => write!(
+                f,
+                "objective became non-finite ({value}) at iteration {iteration}"
+            ),
+        }
+    }
+}
+
+impl Error for OptimizeError {}
 
 /// Which optimizer to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,21 +89,37 @@ impl Default for OptimizeControls {
     }
 }
 
+/// Fails with [`OptimizeError::NonFiniteObjective`] unless `value` and every
+/// gradient component are finite.
+fn check_finite(iteration: usize, value: f64, gradient: &[f64]) -> Result<(), OptimizeError> {
+    if value.is_finite() && gradient.iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(OptimizeError::NonFiniteObjective { iteration, value })
+    }
+}
+
 /// Minimizes `f` (with gradient `fg`) by L-BFGS.
 ///
 /// `fg` returns `(value, gradient)`; `evaluations` counts `fg` calls plus
 /// the line search's value-only probes.
+///
+/// # Errors
+///
+/// [`OptimizeError::NonFiniteObjective`] the first time the objective or
+/// gradient is NaN/±∞.
 pub fn lbfgs(
     mut fg: impl FnMut(&[f64]) -> (f64, Vec<f64>),
     x0: &[f64],
     controls: OptimizeControls,
-) -> OptimizeOutcome {
+) -> Result<OptimizeOutcome, OptimizeError> {
     let n = x0.len();
     let memory = 8usize;
     let mut x = x0.to_vec();
     let mut evaluations = 0usize;
     let (mut f, mut g) = fg(&x);
     evaluations += 1;
+    check_finite(0, f, &g)?;
     let mut trace = vec![f];
     let mut s_list: Vec<Vec<f64>> = Vec::new();
     let mut y_list: Vec<Vec<f64>> = Vec::new();
@@ -82,26 +128,26 @@ pub fn lbfgs(
     let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(p, q)| p * q).sum::<f64>();
 
     if n == 0 {
-        return OptimizeOutcome {
+        return Ok(OptimizeOutcome {
             params: x,
             value: f,
             iterations: 0,
             evaluations,
             trace,
             converged: true,
-        };
+        });
     }
 
     for it in 1..=controls.max_iterations {
         if norm(&g) < controls.gradient_tolerance {
-            return OptimizeOutcome {
+            return Ok(OptimizeOutcome {
                 params: x,
                 value: f,
                 iterations: it - 1,
                 evaluations,
                 trace,
                 converged: true,
-            };
+            });
         }
 
         // Two-loop recursion for the search direction d = -H·g.
@@ -148,6 +194,7 @@ pub fn lbfgs(
             let (ft, gt) = fg(&xt);
             evaluations += 1;
             probes += 1;
+            check_finite(it, ft, &gt)?;
             if ft <= f + c1 * step * dg0 && dot(&d, &gt).abs() <= c2 * dg0.abs() {
                 accepted = Some((ft, gt, xt));
                 break;
@@ -167,16 +214,17 @@ pub fn lbfgs(
                 let xt: Vec<f64> = x.iter().zip(&d).map(|(xi, di)| xi + step * di).collect();
                 let (ft, gt) = fg(&xt);
                 evaluations += 1;
+                check_finite(it, ft, &gt)?;
                 if ft >= f {
                     // No progress possible along d.
-                    return OptimizeOutcome {
+                    return Ok(OptimizeOutcome {
                         params: x,
                         value: f,
                         iterations: it,
                         evaluations,
                         trace,
                         converged: true,
-                    };
+                    });
                 }
                 (ft, gt, xt)
             }
@@ -199,46 +247,52 @@ pub fn lbfgs(
         g = gt;
         trace.push(f);
         if improvement.abs() < controls.value_tolerance {
-            return OptimizeOutcome {
+            return Ok(OptimizeOutcome {
                 params: x,
                 value: f,
                 iterations: it,
                 evaluations,
                 trace,
                 converged: true,
-            };
+            });
         }
     }
 
-    OptimizeOutcome {
+    Ok(OptimizeOutcome {
         params: x,
         value: f,
         iterations: controls.max_iterations,
         evaluations,
         trace,
         converged: false,
-    }
+    })
 }
 
 /// Minimizes `f` with the Nelder–Mead simplex method.
+///
+/// # Errors
+///
+/// [`OptimizeError::NonFiniteObjective`] the first time the objective is
+/// NaN/±∞.
 pub fn nelder_mead(
     mut f: impl FnMut(&[f64]) -> f64,
     x0: &[f64],
     initial_step: f64,
     controls: OptimizeControls,
-) -> OptimizeOutcome {
+) -> Result<OptimizeOutcome, OptimizeError> {
     let n = x0.len();
     let mut evaluations = 0usize;
     if n == 0 {
         let v = f(x0);
-        return OptimizeOutcome {
+        check_finite(0, v, &[])?;
+        return Ok(OptimizeOutcome {
             params: x0.to_vec(),
             value: v,
             iterations: 0,
             evaluations: 1,
             trace: vec![v],
             converged: true,
-        };
+        });
     }
     let mut simplex: Vec<Vec<f64>> = vec![x0.to_vec()];
     for k in 0..n {
@@ -246,32 +300,32 @@ pub fn nelder_mead(
         v[k] += initial_step;
         simplex.push(v);
     }
-    let mut values: Vec<f64> = simplex
-        .iter()
-        .map(|v| {
-            evaluations += 1;
-            f(v)
-        })
-        .collect();
+    let mut values = Vec::with_capacity(simplex.len());
+    for v in &simplex {
+        evaluations += 1;
+        let fv = f(v);
+        check_finite(0, fv, &[])?;
+        values.push(fv);
+    }
     let mut trace = Vec::new();
 
     for it in 1..=controls.max_iterations {
-        // Order ascending.
+        // Order ascending (values stay finite thanks to the eval guards).
         let mut idx: Vec<usize> = (0..simplex.len()).collect();
-        idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite objective"));
+        idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
         simplex = idx.iter().map(|&i| simplex[i].clone()).collect();
         values = idx.iter().map(|&i| values[i]).collect();
         trace.push(values[0]);
 
         if (values[n] - values[0]).abs() < controls.value_tolerance {
-            return OptimizeOutcome {
+            return Ok(OptimizeOutcome {
                 params: simplex[0].clone(),
                 value: values[0],
                 iterations: it,
                 evaluations,
                 trace,
                 converged: true,
-            };
+            });
         }
 
         let centroid: Vec<f64> = (0..n)
@@ -285,6 +339,7 @@ pub fn nelder_mead(
             .collect();
         evaluations += 1;
         let fr = f(&reflect);
+        check_finite(it, fr, &[])?;
         if fr < values[0] {
             let expand: Vec<f64> = centroid
                 .iter()
@@ -293,6 +348,7 @@ pub fn nelder_mead(
                 .collect();
             evaluations += 1;
             let fe = f(&expand);
+            check_finite(it, fe, &[])?;
             if fe < fr {
                 simplex[n] = expand;
                 values[n] = fe;
@@ -311,6 +367,7 @@ pub fn nelder_mead(
                 .collect();
             evaluations += 1;
             let fc = f(&contract);
+            check_finite(it, fc, &[])?;
             if fc < values[n] {
                 simplex[n] = contract;
                 values[n] = fc;
@@ -322,41 +379,52 @@ pub fn nelder_mead(
                         .map(|(b, v)| b + 0.5 * (v - b))
                         .collect();
                     evaluations += 1;
-                    values[j] = f(&shrunk);
+                    let fs = f(&shrunk);
+                    check_finite(it, fs, &[])?;
+                    values[j] = fs;
                     simplex[j] = shrunk;
                 }
             }
         }
     }
 
-    let best = values
+    // The simplex has n + 1 ≥ 2 vertices.
+    let Some(best) = values
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite objective"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
-        .expect("non-empty simplex");
-    OptimizeOutcome {
+    else {
+        unreachable!("non-empty simplex")
+    };
+    Ok(OptimizeOutcome {
         params: simplex[best].clone(),
         value: values[best],
         iterations: controls.max_iterations,
         evaluations,
         trace,
         converged: false,
-    }
+    })
 }
 
 /// Minimizes `f` with SPSA (deterministic for a fixed seed).
+///
+/// # Errors
+///
+/// [`OptimizeError::NonFiniteObjective`] the first time the objective is
+/// NaN/±∞.
 pub fn spsa(
     mut f: impl FnMut(&[f64]) -> f64,
     x0: &[f64],
     seed: u64,
     controls: OptimizeControls,
-) -> OptimizeOutcome {
+) -> Result<OptimizeOutcome, OptimizeError> {
     let n = x0.len();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut x = x0.to_vec();
     let mut evaluations = 1usize;
     let mut best_f = f(&x);
+    check_finite(0, best_f, &[])?;
     let mut best_x = x.clone();
     let mut trace = vec![best_f];
     let (a0, c0, big_a, alpha, gamma) = (0.2, 0.1, 10.0, 0.602, 0.101);
@@ -372,11 +440,14 @@ pub fn spsa(
         let fp = f(&xp);
         let fm = f(&xm);
         evaluations += 2;
+        check_finite(it, fp, &[])?;
+        check_finite(it, fm, &[])?;
         for j in 0..n {
             x[j] -= ak * (fp - fm) / (2.0 * ck * delta[j]);
         }
         let fx = f(&x);
         evaluations += 1;
+        check_finite(it, fx, &[])?;
         if fx < best_f {
             best_f = fx;
             best_x = x.clone();
@@ -384,14 +455,14 @@ pub fn spsa(
         trace.push(best_f);
     }
 
-    OptimizeOutcome {
+    Ok(OptimizeOutcome {
         params: best_x,
         value: best_f,
         iterations: controls.max_iterations,
         evaluations,
         trace,
         converged: true,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -416,7 +487,8 @@ mod tests {
             quadratic_grad,
             &[0.0, 0.0, 0.0],
             OptimizeControls::default(),
-        );
+        )
+        .unwrap();
         assert!(out.converged);
         assert!((out.value - 1.5).abs() < 1e-8, "value {}", out.value);
         assert!((out.params[0] - 1.0).abs() < 1e-5);
@@ -434,7 +506,7 @@ mod tests {
             ];
             (f, g)
         };
-        let out = lbfgs(fg, &[-1.2, 1.0], OptimizeControls::default());
+        let out = lbfgs(fg, &[-1.2, 1.0], OptimizeControls::default()).unwrap();
         assert!(out.value < 1e-8, "rosenbrock value {}", out.value);
     }
 
@@ -444,7 +516,7 @@ mod tests {
             max_iterations: 2000,
             ..Default::default()
         };
-        let out = nelder_mead(quadratic, &[0.0, 0.0, 0.0], 0.5, controls);
+        let out = nelder_mead(quadratic, &[0.0, 0.0, 0.0], 0.5, controls).unwrap();
         assert!((out.value - 1.5).abs() < 1e-6, "value {}", out.value);
     }
 
@@ -454,10 +526,10 @@ mod tests {
             max_iterations: 4000,
             ..Default::default()
         };
-        let out = spsa(quadratic, &[0.0, 0.0, 0.0], 7, controls);
+        let out = spsa(quadratic, &[0.0, 0.0, 0.0], 7, controls).unwrap();
         assert!(out.value < 1.7, "value {}", out.value);
         // Deterministic for the same seed.
-        let out2 = spsa(quadratic, &[0.0, 0.0, 0.0], 7, controls);
+        let out2 = spsa(quadratic, &[0.0, 0.0, 0.0], 7, controls).unwrap();
         assert_eq!(out.value, out2.value);
     }
 
@@ -467,7 +539,8 @@ mod tests {
             quadratic_grad,
             &[4.0, 4.0, 4.0],
             OptimizeControls::default(),
-        );
+        )
+        .unwrap();
         for w in out.trace.windows(2) {
             assert!(w[1] <= w[0] + 1e-12);
         }
@@ -475,8 +548,29 @@ mod tests {
 
     #[test]
     fn empty_parameter_vector_is_handled() {
-        let out = lbfgs(|_| (2.5, vec![]), &[], OptimizeControls::default());
+        let out = lbfgs(|_| (2.5, vec![]), &[], OptimizeControls::default()).unwrap();
         assert_eq!(out.value, 2.5);
         assert!(out.converged);
+    }
+
+    #[test]
+    fn nan_objective_is_a_typed_error() {
+        let err = lbfgs(
+            |x| (f64::NAN, vec![0.0; x.len()]),
+            &[1.0, 2.0],
+            OptimizeControls::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OptimizeError::NonFiniteObjective { .. }));
+
+        let err =
+            nelder_mead(|_| f64::INFINITY, &[1.0], 0.5, OptimizeControls::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            OptimizeError::NonFiniteObjective { iteration: 0, .. }
+        ));
+
+        let err = spsa(|_| f64::NAN, &[1.0], 3, OptimizeControls::default()).unwrap_err();
+        assert!(matches!(err, OptimizeError::NonFiniteObjective { .. }));
     }
 }

@@ -11,6 +11,7 @@ use pauli::WeightedPauliSum;
 
 use ansatz::PauliIr;
 
+use crate::error::VqeError;
 use crate::optimize::{lbfgs, OptimizeControls};
 use crate::state::{energy_and_gradient, overlap_and_gradient, prepare_state};
 
@@ -54,19 +55,41 @@ pub struct VqdState {
 ///
 /// # Panics
 ///
-/// Panics if `num_states` is zero or registers differ.
+/// Panics if `num_states` is zero, registers differ, or the optimizer
+/// fails. Use [`try_run_vqd`] for a typed error instead.
 pub fn run_vqd(
     hamiltonian: &WeightedPauliSum,
     ir: &PauliIr,
     num_states: usize,
     options: VqdOptions,
 ) -> Vec<VqdState> {
-    assert!(num_states >= 1, "at least one state required");
-    assert_eq!(
-        hamiltonian.num_qubits(),
-        ir.num_qubits(),
-        "register mismatch"
-    );
+    match try_run_vqd(hamiltonian, ir, num_states, options) {
+        Ok(states) => states,
+        Err(e) => panic!("run_vqd: {e}"),
+    }
+}
+
+/// Fallible [`run_vqd`].
+///
+/// # Errors
+///
+/// Returns [`VqeError`] on register mismatches, zero states, or optimizer
+/// failure.
+pub fn try_run_vqd(
+    hamiltonian: &WeightedPauliSum,
+    ir: &PauliIr,
+    num_states: usize,
+    options: VqdOptions,
+) -> Result<Vec<VqdState>, VqeError> {
+    if num_states == 0 {
+        return Err(VqeError::NoStatesRequested);
+    }
+    if hamiltonian.num_qubits() != ir.num_qubits() {
+        return Err(VqeError::RegisterMismatch {
+            hamiltonian: hamiltonian.num_qubits(),
+            ansatz: ir.num_qubits(),
+        });
+    }
     let n_params = ir.num_parameters();
     let mut found: Vec<Vec<Complex64>> = Vec::new();
     let mut out = Vec::with_capacity(num_states);
@@ -90,7 +113,7 @@ pub fn run_vqd(
             },
             &x0,
             options.controls,
-        );
+        )?;
 
         // Report the bare energy and the residual overlaps.
         let psi = prepare_state(ir, &outcome.params);
@@ -113,7 +136,7 @@ pub fn run_vqd(
             iterations: outcome.iterations,
         });
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
