@@ -237,9 +237,17 @@ pub struct YieldEstimate {
     pub mean_collisions: f64,
 }
 
+/// Samples per independently-seeded Monte-Carlo chunk. Fixed — never
+/// derived from the thread count — so the RNG stream assigned to each
+/// sample is identical at every thread count.
+const YIELD_CHUNK: usize = 64;
+
 /// Monte-Carlo yield of a topology at fabrication precision `sigma` (GHz).
 ///
-/// Deterministic for a fixed `seed`.
+/// Deterministic for a fixed `seed` *at any thread count*: samples are
+/// grouped into fixed [`YIELD_CHUNK`]-sized chunks, each with its own RNG
+/// seeded from `seed` and the chunk index, and the per-chunk tallies are
+/// integers, so the reduction is exact regardless of scheduling.
 ///
 /// # Panics
 ///
@@ -254,20 +262,30 @@ pub fn simulate_yield(
     assert!(sigma >= 0.0, "sigma must be non-negative");
     assert!(samples > 0, "at least one sample required");
     let targets = allocate_frequencies(topology, model);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut good = 0usize;
-    let mut total_collisions = 0usize;
-    let mut fabricated = vec![0.0f64; targets.len()];
-    for _ in 0..samples {
-        for (f, &t) in fabricated.iter_mut().zip(&targets) {
-            *f = t + sigma * gaussian(&mut rng);
+    let n_chunks = samples.div_ceil(YIELD_CHUNK);
+    let tallies = par::map_indexed(n_chunks, |chunk| {
+        let chunk_samples = YIELD_CHUNK.min(samples - chunk * YIELD_CHUNK);
+        let mut rng = StdRng::seed_from_u64(
+            seed.wrapping_add((chunk as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let mut good = 0usize;
+        let mut total_collisions = 0usize;
+        let mut fabricated = vec![0.0f64; targets.len()];
+        for _ in 0..chunk_samples {
+            for (f, &t) in fabricated.iter_mut().zip(&targets) {
+                *f = t + sigma * gaussian(&mut rng);
+            }
+            let c = model.count_collisions(topology, &fabricated);
+            total_collisions += c;
+            if c == 0 {
+                good += 1;
+            }
         }
-        let c = model.count_collisions(topology, &fabricated);
-        total_collisions += c;
-        if c == 0 {
-            good += 1;
-        }
-    }
+        (good, total_collisions)
+    });
+    let (good, total_collisions) = tallies
+        .into_iter()
+        .fold((0usize, 0usize), |(g, t), (cg, ct)| (g + cg, t + ct));
     YieldEstimate {
         yield_rate: good as f64 / samples as f64,
         samples,

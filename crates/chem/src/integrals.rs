@@ -343,24 +343,46 @@ impl EriTensor {
 
     /// Builds a tensor by evaluating `f(p,q,r,s)` on the canonical octant
     /// and mirroring. Exposed for the MO transform.
+    ///
+    /// The canonical quadruples are enumerated up front and `f` — the
+    /// expensive part, a primitive-quartet contraction or MO contraction —
+    /// is evaluated in parallel; the 8-fold mirroring stays serial. Each
+    /// canonical value lands in exactly the same slot regardless of thread
+    /// count, so the tensor is bit-identical to a serial build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `n⁴` element count overflows `usize`.
     pub fn from_fn_symmetric(
         n: usize,
-        mut f: impl FnMut(usize, usize, usize, usize) -> f64,
+        f: impl Fn(usize, usize, usize, usize) -> f64 + Sync,
     ) -> Self {
+        let len = n
+            .checked_mul(n)
+            .and_then(|m| m.checked_mul(n))
+            .and_then(|m| m.checked_mul(n));
+        let len = match len {
+            Some(len) => len,
+            None => panic!("ERI tensor with {n}^4 elements overflows usize on this platform"),
+        };
         let mut t = EriTensor {
             n,
-            data: vec![0.0; n * n * n * n],
+            data: vec![0.0; len],
         };
+        let mut quads = Vec::new();
         for p in 0..n {
             for q in 0..=p {
                 for r in 0..=p {
                     let s_max = if r == p { q } else { r };
                     for s in 0..=s_max {
-                        let v = f(p, q, r, s);
-                        t.set_sym(p, q, r, s, v);
+                        quads.push((p, q, r, s));
                     }
                 }
             }
+        }
+        let values = par::map_slice(&quads, |&(p, q, r, s)| f(p, q, r, s));
+        for (&(p, q, r, s), v) in quads.iter().zip(values) {
+            t.set_sym(p, q, r, s, v);
         }
         t
     }

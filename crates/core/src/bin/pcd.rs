@@ -125,6 +125,11 @@ commands:
                                       fault-injection chaos harness: run the
                                       pipeline under injected faults and
                                       verify every one is recovered
+  bench [--smoke] [--out FILE] [--qubits N]
+                                      benchmark the parallel hot paths
+                                      (serial vs parallel; PCD_THREADS sets
+                                      the worker count) and write a JSON
+                                      report (default BENCH_pipeline.json)
   help                                this message
 
 observability (any command):
@@ -154,6 +159,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "qasm" => cmd_qasm(&flags),
         "yield" => cmd_yield(&flags),
         "chaos" => cmd_chaos(&flags),
+        "bench" => cmd_bench(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -181,7 +187,7 @@ struct Flags {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["metrics"];
+const BOOLEAN_FLAGS: &[&str] = &["metrics", "smoke"];
 
 impl Flags {
     fn is_set(&self, key: &str) -> bool {
@@ -598,6 +604,219 @@ fn cmd_chaos(flags: &Flags) -> Result<(), CliError> {
         });
     }
     println!("  survived: every injected fault was recovered");
+    Ok(())
+}
+
+/// One benchmark measurement destined for the JSON report.
+struct BenchRecord {
+    name: String,
+    median_ns: u64,
+    threads: usize,
+    n_qubits: usize,
+}
+
+/// Deterministic pseudo-random Pauli sum (no chemistry needed for kernels).
+fn synthetic_hamiltonian(n: usize, terms: usize) -> pauli_codesign::pauli::WeightedPauliSum {
+    use pauli_codesign::pauli::{PauliString, WeightedPauliSum};
+    let mut h = WeightedPauliSum::new(n);
+    let mut state = 0x1234_5678_9abc_def0u64;
+    for k in 0..terms {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let x = state & ((1 << n) - 1);
+        state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let z = state & ((1 << n) - 1);
+        h.push(
+            0.01 * (k as f64 + 1.0),
+            PauliString::from_symplectic(n, x, z),
+        );
+    }
+    h
+}
+
+/// Deterministic normalized pseudo-random statevector.
+fn synthetic_state(n_qubits: usize) -> pauli_codesign::sim::Statevector {
+    use pauli_codesign::numeric::Complex64;
+    let mut s = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let amps: Vec<Complex64> = (0..1usize << n_qubits)
+        .map(|_| Complex64::new(next(), next()))
+        .collect();
+    let norm = amps.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+    pauli_codesign::sim::Statevector::from_amplitudes(amps.into_iter().map(|z| z / norm).collect())
+}
+
+fn write_bench_json(path: &str, records: &[BenchRecord]) -> Result<(), String> {
+    let mut json = String::from("{\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "  \"{}\": {{\"median_ns\": {}, \"threads\": {}, \"n_qubits\": {}}}{}\n",
+            r.name,
+            r.median_ns,
+            r.threads,
+            r.n_qubits,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("}\n");
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
+    use pauli_codesign::chem::integrals::EriTensor;
+    use pauli_codesign::circuit::Gate;
+    use pauli_codesign::pauli::PauliString;
+    use pauli_codesign::{par, vqe};
+
+    let smoke = flags.is_set("smoke");
+    let out_path = flags
+        .get("out")
+        .unwrap_or("BENCH_pipeline.json")
+        .to_string();
+    let n_qubits = flags.get_usize("qubits", if smoke { 12 } else { 14 })?;
+    if !(2..=24).contains(&n_qubits) {
+        return Err(CliError::Usage("--qubits must be in 2..=24".to_string()));
+    }
+    let (warmup, samples) = if smoke { (1, 3) } else { (3, 15) };
+    let yield_samples = if smoke { 2_000 } else { 20_000 };
+    let threads = par::num_threads();
+    obs::enable();
+
+    println!(
+        "pcd bench — {n_qubits}-qubit kernels, {threads} worker thread(s){}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:<28} {:>14} {:>14} {:>9}",
+        "benchmark", "serial (ns)", "parallel (ns)", "speedup"
+    );
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let pair = |records: &mut Vec<BenchRecord>,
+                name: &str,
+                size: usize,
+                serial: criterion::Measurement,
+                parallel: criterion::Measurement| {
+        println!(
+            "{name:<28} {:>14} {:>14} {:>8.2}x",
+            serial.median_ns,
+            parallel.median_ns,
+            serial.median_ns as f64 / parallel.median_ns.max(1) as f64
+        );
+        records.push(BenchRecord {
+            name: format!("{name}_serial"),
+            median_ns: serial.median_ns,
+            threads: 1,
+            n_qubits: size,
+        });
+        records.push(BenchRecord {
+            name: format!("{name}_parallel"),
+            median_ns: parallel.median_ns,
+            threads,
+            n_qubits: size,
+        });
+    };
+
+    // Hamiltonian expectation on a statevector: the VQE inner loop.
+    let h = synthetic_hamiltonian(n_qubits, 64);
+    let sv = synthetic_state(n_qubits);
+    let serial = criterion::measure(warmup, samples, || {
+        par::with_threads(1, || sv.expectation(&h))
+    });
+    let parallel = criterion::measure(warmup, samples, || sv.expectation(&h));
+    pair(&mut records, "expectation", n_qubits, serial, parallel);
+
+    // Pauli-string evolution spanning the full register.
+    let ops = ["X", "Y", "Z"];
+    let label: String = (0..n_qubits).map(|q| ops[q % 3]).collect();
+    let p: PauliString = match label.parse() {
+        Ok(p) => p,
+        Err(_) => unreachable!("XYZ cycle always parses"),
+    };
+    let mut evolved = sv.clone();
+    let serial = criterion::measure(warmup, samples, || {
+        par::with_threads(1, || evolved.apply_pauli_evolution(&p, 0.137))
+    });
+    let parallel = criterion::measure(warmup, samples, || evolved.apply_pauli_evolution(&p, 0.137));
+    pair(&mut records, "pauli_evolution", n_qubits, serial, parallel);
+
+    // Single-qubit gate kernel.
+    let mut rotated = sv.clone();
+    let gate = Gate::Rx(n_qubits / 2, 0.21);
+    let serial = criterion::measure(warmup, samples, || {
+        par::with_threads(1, || rotated.apply_gate(&gate))
+    });
+    let parallel = criterion::measure(warmup, samples, || rotated.apply_gate(&gate));
+    pair(
+        &mut records,
+        "single_qubit_gate",
+        n_qubits,
+        serial,
+        parallel,
+    );
+
+    // Symmetric ERI-tensor build with a synthetic integrand standing in
+    // for the primitive-quartet contraction.
+    let nb = if smoke { 8 } else { 10 };
+    let integrand = |p: usize, q: usize, r: usize, s: usize| {
+        let mut acc = 0.0f64;
+        for k in 0..200 {
+            acc += ((p + 1) * (q + 2) * (r + 3) * (s + 4)) as f64 / ((k + 1) as f64 * 7.3).sqrt();
+        }
+        acc
+    };
+    let serial = criterion::measure(warmup, samples, || {
+        par::with_threads(1, || EriTensor::from_fn_symmetric(nb, integrand))
+    });
+    let parallel = criterion::measure(warmup, samples, || {
+        EriTensor::from_fn_symmetric(nb, integrand)
+    });
+    pair(&mut records, "eri_build", nb, serial, parallel);
+
+    // Fabrication-yield Monte Carlo on the 17-qubit X-Tree.
+    let topo = Topology::xtree(17);
+    let model = CollisionModel::default();
+    let serial = criterion::measure(warmup, samples, || {
+        par::with_threads(1, || simulate_yield(&topo, &model, 0.04, yield_samples, 17))
+    });
+    let parallel = criterion::measure(warmup, samples, || {
+        simulate_yield(&topo, &model, 0.04, yield_samples, 17)
+    });
+    pair(&mut records, "yield_xtree17", 17, serial, parallel);
+
+    // Finite-difference gradient of the H2 VQE energy.
+    let system = Benchmark::H2.build(Benchmark::H2.equilibrium_bond_length())?;
+    let ir = UccsdAnsatz::for_system(&system).into_ir();
+    let params = vec![0.05; ir.num_parameters()];
+    let energy = |x: &[f64]| vqe::energy(system.qubit_hamiltonian(), &ir, x);
+    let serial = criterion::measure(warmup, samples, || {
+        par::with_threads(1, || vqe::fd_gradient(energy, &params, 1e-6))
+    });
+    let parallel = criterion::measure(warmup, samples, || vqe::fd_gradient(energy, &params, 1e-6));
+    pair(
+        &mut records,
+        "fd_gradient_h2",
+        system.num_qubits(),
+        serial,
+        parallel,
+    );
+
+    write_bench_json(&out_path, &records)?;
+    let snapshot = obs::snapshot();
+    for counter in ["par.tasks", "par.threads"] {
+        println!(
+            "obs {:<24}: {}",
+            counter,
+            snapshot.counters.get(counter).copied().unwrap_or(0)
+        );
+    }
+    println!("report written to {out_path}");
     Ok(())
 }
 

@@ -46,6 +46,7 @@ pub use chem;
 pub use circuit;
 pub use compiler;
 pub use numeric;
+pub use par;
 pub use pauli;
 pub use resilience;
 pub use sim;

@@ -12,6 +12,47 @@ use numeric::{lanczos_ground_state, Complex64, LanczosOptions};
 
 use crate::string::PauliString;
 
+/// The Hilbert-space dimension `2^num_qubits`, with an explicit panic when
+/// the shift would overflow `usize` instead of the silent wrap `1 << n` gives.
+fn checked_dim(num_qubits: usize) -> usize {
+    match 1usize.checked_shl(num_qubits as u32) {
+        Some(dim) => dim,
+        None => panic!("Pauli-sum dimension 2^{num_qubits} overflows usize on this platform"),
+    }
+}
+
+/// One term's contribution `w·Re⟨ψ|P|ψ⟩`, accumulated over fixed
+/// [`par::DEFAULT_CHUNK`]-sized chunks folded in ascending order. The chunk
+/// grid never depends on the thread count, so this returns bit-identical
+/// floats whether it runs serially (inside a per-term worker, which is
+/// pinned to one thread) or parallelized over chunks on the calling thread.
+fn term_expectation(state: &[Complex64], w: f64, p: PauliString) -> f64 {
+    let x = p.x_mask();
+    let z = p.z_mask();
+    let ny = (x & z).count_ones();
+    let base = crate::string::Phase::from_power_of_i(ny).to_complex();
+    let acc = par::map_reduce(
+        state.len(),
+        par::DEFAULT_CHUNK,
+        Complex64::ZERO,
+        |range| {
+            let mut acc = Complex64::ZERO;
+            for b in range {
+                let bu = b as u64;
+                let sign = if (bu & z).count_ones().is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                };
+                acc += state[(bu ^ x) as usize].conj() * state[b] * (base * sign);
+            }
+            acc
+        },
+        |a, b| a + b,
+    );
+    w * acc.re
+}
+
 /// A weighted sum of Pauli strings, `H = Σ_j w_j P_j`, with real weights.
 ///
 /// Terms with the same string are combined on insertion via [`simplify`];
@@ -143,7 +184,7 @@ impl WeightedPauliSum {
     ///
     /// Panics if the vector lengths are not `2^num_qubits`.
     pub fn apply(&self, state: &[Complex64], out: &mut [Complex64]) {
-        let dim = 1usize << self.num_qubits;
+        let dim = checked_dim(self.num_qubits);
         assert_eq!(state.len(), dim, "state length must be 2^n");
         assert_eq!(out.len(), dim, "output length must be 2^n");
         out.fill(Complex64::ZERO);
@@ -153,7 +194,7 @@ impl WeightedPauliSum {
             let base = crate::string::Phase::from_power_of_i(ny).to_complex() * w;
             let z = p.z_mask();
             for b in 0..dim as u64 {
-                let sign = if (b & z).count_ones() % 2 == 0 {
+                let sign = if (b & z).count_ones().is_multiple_of(2) {
                     1.0
                 } else {
                     -1.0
@@ -169,26 +210,22 @@ impl WeightedPauliSum {
     ///
     /// Panics if `state.len() != 2^num_qubits`.
     pub fn expectation(&self, state: &[Complex64]) -> f64 {
-        let dim = 1usize << self.num_qubits;
+        let dim = checked_dim(self.num_qubits);
         assert_eq!(state.len(), dim, "state length must be 2^n");
-        let mut total = 0.0;
-        for &(w, p) in &self.terms {
-            let x = p.x_mask();
-            let z = p.z_mask();
-            let ny = (x & z).count_ones();
-            let base = crate::string::Phase::from_power_of_i(ny).to_complex();
-            let mut acc = Complex64::ZERO;
-            for b in 0..dim as u64 {
-                let sign = if (b & z).count_ones() % 2 == 0 {
-                    1.0
-                } else {
-                    -1.0
-                };
-                acc += state[(b ^ x) as usize].conj() * state[b as usize] * (base * sign);
-            }
-            total += w * acc.re;
-        }
-        total
+        // Parallelize over terms when there are enough to keep every worker
+        // busy; otherwise each term's amplitude sweep parallelizes over
+        // chunks internally. Both strategies fold the same fixed chunk grid
+        // in the same order, so the result is bit-identical either way (and
+        // identical at any thread count).
+        let per_term: Vec<f64> = if self.terms.len() >= 2 * par::num_threads() {
+            par::map_slice(&self.terms, |&(w, p)| term_expectation(state, w, p))
+        } else {
+            self.terms
+                .iter()
+                .map(|&(w, p)| term_expectation(state, w, p))
+                .collect()
+        };
+        per_term.into_iter().sum()
     }
 
     /// Applies the exact time evolution `|ψ⟩ ← exp(-i·H·t)|ψ⟩` by a
@@ -199,7 +236,7 @@ impl WeightedPauliSum {
     ///
     /// Panics if `state.len() != 2^num_qubits`.
     pub fn evolve_exact(&self, t: f64, state: &mut [Complex64]) {
-        let dim = 1usize << self.num_qubits;
+        let dim = checked_dim(self.num_qubits);
         assert_eq!(state.len(), dim, "state length must be 2^n");
         let norm_bound = self.one_norm().max(1e-12);
         let substeps = (norm_bound * t.abs()).ceil().max(1.0) as usize;
@@ -238,7 +275,7 @@ impl WeightedPauliSum {
     ///
     /// Panics if `state.len() != 2^num_qubits`.
     pub fn variance(&self, state: &[Complex64]) -> f64 {
-        let dim = 1usize << self.num_qubits;
+        let dim = checked_dim(self.num_qubits);
         assert_eq!(state.len(), dim, "state length must be 2^n");
         let mut h_psi = vec![Complex64::ZERO; dim];
         self.apply(state, &mut h_psi);
@@ -256,7 +293,7 @@ impl WeightedPauliSum {
     /// This regenerates the paper's "Ground State" reference curves. The
     /// computation is deterministic for a given `seed`.
     pub fn ground_state_energy(&self) -> f64 {
-        let dim = 1usize << self.num_qubits;
+        let dim = checked_dim(self.num_qubits);
         let r = lanczos_ground_state(
             dim,
             |x, y| self.apply(x, y),
@@ -268,7 +305,7 @@ impl WeightedPauliSum {
 
     /// Exact ground state energy *and* normalized eigenvector.
     pub fn ground_state(&self) -> (f64, Vec<Complex64>) {
-        let dim = 1usize << self.num_qubits;
+        let dim = checked_dim(self.num_qubits);
         let (r, v) = numeric::lanczos_ground_state_with_vector(
             dim,
             |x, y| self.apply(x, y),
@@ -291,7 +328,7 @@ impl WeightedPauliSum {
     ///
     /// Panics if `k` is zero or exceeds the space dimension.
     pub fn lowest_eigenvalues(&self, k: usize) -> Vec<f64> {
-        let dim = 1usize << self.num_qubits;
+        let dim = checked_dim(self.num_qubits);
         assert!(k >= 1 && k <= dim, "k must be in 1..=2^n");
         let shift = 10.0 * self.one_norm().max(1.0);
         let mut deflated: Vec<Vec<Complex64>> = Vec::new();

@@ -123,21 +123,26 @@ pub fn run_chaos(options: &ChaosOptions) -> ChaosReport {
         .bond_length
         .unwrap_or_else(|| options.benchmark.equilibrium_bond_length());
 
-    let mut outcomes = Vec::with_capacity(options.trials);
-    let mut injected_by_kind: BTreeMap<FaultKind, usize> = BTreeMap::new();
-    let mut recovered_by_class: BTreeMap<&'static str, usize> = BTreeMap::new();
-    let mut faults_injected = 0usize;
-    let mut failures = 0usize;
-
-    for trial in 0..options.trials {
+    // Trials are fully independent (each derives its own seed and fault
+    // plan from the trial index), so they run in parallel; `map_indexed`
+    // returns them in trial order, keeping the aggregation below — and the
+    // whole report — identical at any thread count.
+    let outcomes = par::map_indexed(options.trials, |trial| {
         // Per-trial seed: SplitMix64-style odd-constant mix keeps trials
         // decorrelated while staying reproducible from the base seed.
         let trial_seed = options
             .seed
             .wrapping_add((trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut plan = FaultPlan::new(trial_seed, options.fault_rate);
-        let outcome = run_trial(trial, bond, options, &mut plan);
+        run_trial(trial, bond, options, &mut plan)
+    });
 
+    let mut injected_by_kind: BTreeMap<FaultKind, usize> = BTreeMap::new();
+    let mut recovered_by_class: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut faults_injected = 0usize;
+    let mut failures = 0usize;
+
+    for outcome in &outcomes {
         faults_injected += outcome.faults.len();
         for &kind in &outcome.faults {
             *injected_by_kind.entry(kind).or_insert(0) += 1;
@@ -150,14 +155,13 @@ pub fn run_chaos(options: &ChaosOptions) -> ChaosReport {
         }
         obs::event!(
             "resilience.chaos_trial",
-            trial = trial,
+            trial = outcome.trial,
             faults = outcome.faults.len(),
             completed = outcome.completed(),
             scf_retries = outcome.scf_retries,
             vqe_restarts = outcome.vqe_restarts,
             sabre_fallback = outcome.sabre_fallback
         );
-        outcomes.push(outcome);
     }
 
     chaos_span.record("faults_injected", faults_injected);

@@ -41,7 +41,10 @@ impl Statevector {
     /// beyond the register.
     pub fn basis_state(num_qubits: usize, b: u64) -> Self {
         assert!((1..=24).contains(&num_qubits), "1..=24 qubits supported");
-        let dim = 1usize << num_qubits;
+        let dim = match 1usize.checked_shl(num_qubits as u32) {
+            Some(dim) => dim,
+            None => panic!("statevector dimension 2^{num_qubits} overflows usize"),
+        };
         assert!((b as usize) < dim, "basis index outside register");
         let mut amps = vec![Complex64::ZERO; dim];
         amps[b as usize] = Complex64::ONE;
@@ -145,18 +148,25 @@ impl Statevector {
     pub fn apply_single_qubit_matrix(&mut self, q: usize, m: &[Complex64; 4]) {
         assert!(q < self.num_qubits, "qubit out of range");
         let stride = 1usize << q;
-        let dim = self.amps.len();
-        let mut base = 0;
-        while base < dim {
-            for lo in base..base + stride {
-                let hi = lo + stride;
-                let a0 = self.amps[lo];
-                let a1 = self.amps[hi];
-                self.amps[lo] = m[0] * a0 + m[1] * a1;
-                self.amps[hi] = m[2] * a0 + m[3] * a1;
+        let block = stride << 1;
+        // Chunks are a fixed power-of-two multiple of the pair block, so
+        // every (lo, hi) pair lives in one chunk and results are identical
+        // at every thread count (see the `par` crate docs).
+        let chunk_len = par::DEFAULT_CHUNK.max(block);
+        let m = *m;
+        par::for_each_chunk_mut(&mut self.amps, chunk_len, move |_, amps| {
+            let mut base = 0;
+            while base < amps.len() {
+                for lo in base..base + stride {
+                    let hi = lo + stride;
+                    let a0 = amps[lo];
+                    let a1 = amps[hi];
+                    amps[lo] = m[0] * a0 + m[1] * a1;
+                    amps[hi] = m[2] * a0 + m[3] * a1;
+                }
+                base += block;
             }
-            base += stride << 1;
-        }
+        });
     }
 
     fn apply_cnot(&mut self, control: usize, target: usize) {
@@ -165,13 +175,18 @@ impl Statevector {
             "qubit out of range"
         );
         assert_ne!(control, target, "control equals target");
-        let cbit = 1u64 << control;
-        let tbit = 1u64 << target;
-        for b in 0..self.amps.len() as u64 {
-            // Swap amplitudes of (b, b^t) once per pair, only when control set.
-            if b & cbit != 0 && b & tbit == 0 {
-                self.amps.swap(b as usize, (b | tbit) as usize);
-            }
+        let cbit = 1usize << control;
+        let tbit = 1usize << target;
+        let (p, q) = (control.min(target), control.max(target));
+        // Enumerate only the dim/4 pairs with control=1, target=0: spread
+        // each quarter-subspace index k across the bit positions p and q.
+        for k in 0..self.amps.len() >> 2 {
+            let low = k & ((1 << p) - 1);
+            let mid = (k >> p) & ((1 << (q - 1 - p)) - 1);
+            let high = k >> (q - 1);
+            let base = (high << (q + 1)) | (mid << (p + 1)) | low;
+            let i = base | cbit;
+            self.amps.swap(i, i | tbit);
         }
     }
 
@@ -181,12 +196,17 @@ impl Statevector {
             "qubit out of range"
         );
         assert_ne!(a, b, "swap of identical qubits");
-        let abit = 1u64 << a;
-        let bbit = 1u64 << b;
-        for idx in 0..self.amps.len() as u64 {
-            if idx & abit != 0 && idx & bbit == 0 {
-                self.amps.swap(idx as usize, ((idx ^ abit) | bbit) as usize);
-            }
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        let (p, q) = (a.min(b), a.max(b));
+        // Enumerate only the dim/4 pairs with qubit a=1, qubit b=0 and
+        // exchange them with their (a=0, b=1) partners.
+        for k in 0..self.amps.len() >> 2 {
+            let low = k & ((1 << p) - 1);
+            let mid = (k >> p) & ((1 << (q - 1 - p)) - 1);
+            let high = k >> (q - 1);
+            let base = (high << (q + 1)) | (mid << (p + 1)) | low;
+            self.amps.swap(base | abit, base | bbit);
         }
     }
 
@@ -213,39 +233,60 @@ impl Statevector {
         let base_phase = pauli::Phase::from_power_of_i(ny).to_complex();
 
         if x == 0 {
-            // Diagonal: amp[b] *= exp(-i·θ/2·s_b) with s_b = ±1.
-            for b in 0..self.amps.len() as u64 {
-                let sgn = if (b & z).count_ones().is_multiple_of(2) {
-                    1.0
-                } else {
-                    -1.0
-                };
-                let factor = cc + mis * sgn;
-                self.amps[b as usize] *= factor;
-            }
-        } else {
-            for b in 0..self.amps.len() as u64 {
-                let partner = b ^ x;
-                if b < partner {
-                    // P|b⟩ = ph_b |partner⟩, P|partner⟩ = ph_p |b⟩.
-                    let sign_b = if (b & z).count_ones().is_multiple_of(2) {
-                        1.0
+            // Diagonal phase kernel: amp[b] *= exp(-i·θ/2·s_b), s_b = ±1.
+            let plus = cc + mis;
+            let minus = cc - mis;
+            par::for_each_chunk_mut(&mut self.amps, par::DEFAULT_CHUNK, move |offset, amps| {
+                for (i, amp) in amps.iter_mut().enumerate() {
+                    let b = (offset + i) as u64;
+                    let factor = if (b & z).count_ones().is_multiple_of(2) {
+                        plus
                     } else {
-                        -1.0
+                        minus
                     };
-                    let sign_p = if (partner & z).count_ones().is_multiple_of(2) {
-                        1.0
-                    } else {
-                        -1.0
-                    };
-                    let ph_b = base_phase * sign_b;
-                    let ph_p = base_phase * sign_p;
-                    let ab = self.amps[b as usize];
-                    let ap = self.amps[partner as usize];
-                    self.amps[b as usize] = cc * ab + mis * (ph_p * ap);
-                    self.amps[partner as usize] = cc * ap + mis * (ph_b * ab);
+                    *amp *= factor;
                 }
-            }
+            });
+        } else {
+            // Off-diagonal: each index pairs with b ^ x. The highest set
+            // bit of x defines blocks of 2·stride in which the partner of
+            // every first-half index sits in the second half, so chunks
+            // aligned to whole blocks never split a pair.
+            let h = u64::BITS - 1 - x.leading_zeros();
+            let stride = 1usize << h;
+            let block = stride << 1;
+            let chunk_len = par::DEFAULT_CHUNK.max(block);
+            let xs = x as usize;
+            par::for_each_chunk_mut(&mut self.amps, chunk_len, move |offset, amps| {
+                let mut base = 0;
+                while base < amps.len() {
+                    for lo in base..base + stride {
+                        // Chunk offsets are multiples of the block, so the
+                        // global pair (b, b^x) is local (lo, lo^x).
+                        let hi = lo ^ xs;
+                        let b = (offset + lo) as u64;
+                        let partner = b ^ x;
+                        // P|b⟩ = ph_b |partner⟩, P|partner⟩ = ph_p |b⟩.
+                        let sign_b = if (b & z).count_ones().is_multiple_of(2) {
+                            1.0
+                        } else {
+                            -1.0
+                        };
+                        let sign_p = if (partner & z).count_ones().is_multiple_of(2) {
+                            1.0
+                        } else {
+                            -1.0
+                        };
+                        let ph_b = base_phase * sign_b;
+                        let ph_p = base_phase * sign_p;
+                        let ab = amps[lo];
+                        let ap = amps[hi];
+                        amps[lo] = cc * ab + mis * (ph_p * ap);
+                        amps[hi] = cc * ap + mis * (ph_b * ab);
+                    }
+                    base += block;
+                }
+            });
         }
     }
 
@@ -333,6 +374,95 @@ mod tests {
             b.apply_gate(g);
         }
         assert!(a.fidelity(&b) > 1.0 - 1e-12);
+    }
+
+    /// Applies a two-qubit gate the slow way: build the full 2ⁿ×2ⁿ action
+    /// from the 4×4 matrix (row/col order `|q_hi q_lo⟩` = bits `(b, a)`).
+    fn apply_two_qubit_dense(
+        sv: &Statevector,
+        a: usize,
+        b: usize,
+        m: &[[f64; 4]; 4],
+    ) -> Vec<Complex64> {
+        let dim = sv.amplitudes().len();
+        let mut out = vec![Complex64::ZERO; dim];
+        for (row, o) in out.iter_mut().enumerate() {
+            let ra = (row >> a) & 1;
+            let rb = (row >> b) & 1;
+            for (col, amp) in sv.amplitudes().iter().enumerate() {
+                if row & !((1 << a) | (1 << b)) != col & !((1 << a) | (1 << b)) {
+                    continue;
+                }
+                let ca = (col >> a) & 1;
+                let cb = (col >> b) & 1;
+                *o += Complex64::from_real(m[rb << 1 | ra][cb << 1 | ca]) * *amp;
+            }
+        }
+        out
+    }
+
+    fn random_state(num_qubits: usize, seed: u64) -> Statevector {
+        let dim = 1usize << num_qubits;
+        let mut s = seed | 1;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let amps: Vec<Complex64> = (0..dim).map(|_| Complex64::new(next(), next())).collect();
+        let norm = amps.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        Statevector::from_amplitudes(amps.into_iter().map(|z| z / norm).collect())
+    }
+
+    #[test]
+    fn cnot_matches_dense_reference_on_random_states() {
+        // CNOT in the (control=c, target=t) ordering: |c t⟩, basis index
+        // bit a = target, bit b = control below.
+        let m = [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+            [0.0, 0.0, 1.0, 0.0],
+        ];
+        for (n, control, target, seed) in [
+            (3, 0, 2, 7),
+            (3, 2, 0, 8),
+            (5, 1, 4, 9),
+            (5, 3, 2, 10),
+            (2, 1, 0, 11),
+        ] {
+            let mut sv = random_state(n, seed);
+            let expected = apply_two_qubit_dense(&sv, target, control, &m);
+            sv.apply_gate(&Gate::Cnot { control, target });
+            for (got, want) in sv.amplitudes().iter().zip(&expected) {
+                assert!(
+                    got.approx_eq(*want, 1e-14),
+                    "n={n} c={control} t={target}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swap_matches_dense_reference_on_random_states() {
+        let m = [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ];
+        for (n, a, b, seed) in [(3, 0, 2, 21), (4, 3, 1, 22), (5, 2, 4, 23), (2, 0, 1, 24)] {
+            let mut sv = random_state(n, seed);
+            let expected = apply_two_qubit_dense(&sv, a, b, &m);
+            sv.apply_gate(&Gate::Swap(a, b));
+            for (got, want) in sv.amplitudes().iter().zip(&expected) {
+                assert!(
+                    got.approx_eq(*want, 1e-14),
+                    "n={n} swap({a},{b}): {got} vs {want}"
+                );
+            }
+        }
     }
 
     #[test]

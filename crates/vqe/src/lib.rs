@@ -49,6 +49,8 @@ pub use measurement::{estimate_energy_sampled, measurement_basis_circuit, Sample
 pub use mitigation::{
     fold_cnots, richardson_extrapolate, zne_energy, MitigatedEnergy, NoiseScaling,
 };
-pub use optimize::{OptimizeError, OptimizeOutcome, OptimizerKind};
+pub use optimize::{
+    fd_gradient, parameter_shift_gradient, OptimizeError, OptimizeOutcome, OptimizerKind,
+};
 pub use state::{energy, energy_and_gradient, overlap_and_gradient, prepare_state};
 pub use vqd::{run_vqd, try_run_vqd, VqdOptions, VqdState};

@@ -42,21 +42,51 @@ pub fn measurement_basis_circuit(basis: &PauliString) -> Circuit {
 
 /// Samples `shots` computational-basis outcomes from a state (CDF
 /// inversion; deterministic for a fixed RNG).
+///
+/// Outcome `i` owns the half-open interval `[cdf[i-1], cdf[i])` of the
+/// explicitly renormalized CDF, so zero-probability outcomes own empty
+/// intervals and are never emitted — even when the uniform draw lands
+/// exactly on a CDF plateau value.
+///
+/// # Panics
+///
+/// Panics if the state has zero norm.
 fn sample_outcomes(state: &Statevector, shots: usize, rng: &mut StdRng) -> Vec<u64> {
     let probs: Vec<f64> = state.amplitudes().iter().map(|a| a.norm_sqr()).collect();
+    let total: f64 = probs.iter().sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "cannot sample from a state with zero or non-finite norm"
+    );
     let mut cdf = Vec::with_capacity(probs.len());
     let mut acc = 0.0;
     for p in &probs {
-        acc += p;
+        acc += p / total;
         cdf.push(acc);
     }
-    let total = acc.max(1e-300);
+    let last_nonzero = match probs.iter().rposition(|&p| p > 0.0) {
+        Some(i) => i,
+        // total > 0 guarantees at least one positive probability.
+        None => unreachable!("positive total with no positive probability"),
+    };
     (0..shots)
         .map(|_| {
-            let r: f64 = rng.random::<f64>() * total;
-            match cdf.binary_search_by(|x| x.total_cmp(&r)) {
-                Ok(i) | Err(i) => (i.min(cdf.len() - 1)) as u64,
+            let r: f64 = rng.random();
+            // An exact hit on cdf[i] belongs to the *next* outcome (Ok
+            // advances past it); Err already names the first index with
+            // cdf > r.
+            let mut i = match cdf.binary_search_by(|x| x.total_cmp(&r)) {
+                Ok(i) => i + 1,
+                Err(i) => i,
+            };
+            // An exact hit can land at the start of a zero-probability
+            // plateau (cdf[i] == cdf[i-1]); walk past those empty
+            // intervals. Rounding can also push r past the final CDF
+            // entry — clamp to the last outcome with weight.
+            while i < probs.len() && probs[i] == 0.0 {
+                i += 1;
             }
+            i.min(last_nonzero) as u64
         })
         .collect()
 }
@@ -208,6 +238,42 @@ mod tests {
         assert_eq!(est.num_groups, 1);
         // Diagonal terms on a basis state are deterministic: exact answer.
         assert!((est.energy - sv.expectation(&h)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_probability_outcomes_are_never_sampled() {
+        use numeric::Complex64;
+        // Zeros at the front, in the middle, and at the back of the
+        // distribution: |ψ⟩ = (|001⟩ + |011⟩ + |101⟩)/√3 on 3 qubits.
+        let w = Complex64::from_real(1.0 / 3.0f64.sqrt());
+        let mut amps = vec![Complex64::ZERO; 8];
+        amps[0b001] = w;
+        amps[0b011] = w;
+        amps[0b101] = w;
+        let sv = Statevector::from_amplitudes(amps);
+        let mut rng = StdRng::seed_from_u64(123);
+        let outcomes = sample_outcomes(&sv, 10_000, &mut rng);
+        for &b in &outcomes {
+            assert!(
+                [0b001, 0b011, 0b101].contains(&b),
+                "sampled zero-probability outcome {b:#05b}"
+            );
+        }
+        // All three supported outcomes show up in 10k shots.
+        for want in [0b001u64, 0b011, 0b101] {
+            assert!(outcomes.contains(&want), "outcome {want:#05b} never drawn");
+        }
+    }
+
+    #[test]
+    fn basis_state_sampling_is_exact() {
+        // A deterministic distribution: every draw must return the single
+        // supported outcome even when the uniform draw is exactly 0.
+        let sv = Statevector::basis_state(4, 0b1010);
+        let mut rng = StdRng::seed_from_u64(7);
+        for b in sample_outcomes(&sv, 256, &mut rng) {
+            assert_eq!(b, 0b1010);
+        }
     }
 
     #[test]

@@ -104,6 +104,47 @@ impl Bencher {
     }
 }
 
+/// A programmatic warmup + median-of-k wall-clock measurement, for
+/// harnesses (like `pcd bench`) that need the numbers rather than a
+/// printed report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// Median per-call wall time in nanoseconds.
+    pub median_ns: u64,
+    /// Minimum per-call wall time in nanoseconds.
+    pub min_ns: u64,
+    /// Timed samples taken (after warmup).
+    pub samples: usize,
+}
+
+/// Runs `routine` `warmup` times untimed, then `samples` timed calls, and
+/// returns the median/min per-call wall time. One call per sample — meant
+/// for routines in the ≥ 10 µs range; batch shorter routines yourself.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+pub fn measure<O>(warmup: usize, samples: usize, mut routine: impl FnMut() -> O) -> Measurement {
+    assert!(samples > 0, "at least one timed sample required");
+    for _ in 0..warmup {
+        black_box(routine());
+    }
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed().as_nanos();
+            u64::try_from(dt).unwrap_or(u64::MAX)
+        })
+        .collect();
+    times.sort_unstable();
+    Measurement {
+        median_ns: times[times.len() / 2],
+        min_ns: times[0],
+        samples,
+    }
+}
+
 /// Declares a benchmark group: a configuration plus target functions.
 #[macro_export]
 macro_rules! criterion_group {
