@@ -26,4 +26,7 @@ pub mod topology;
 pub mod yield_sim;
 
 pub use topology::Topology;
-pub use yield_sim::{simulate_yield, CollisionModel, YieldEstimate};
+pub use yield_sim::{
+    simulate_yield, simulate_yield_resumable, CollisionModel, YieldCheckpoint, YieldEstimate,
+    YieldRun,
+};

@@ -242,6 +242,38 @@ pub struct YieldEstimate {
 /// sample is identical at every thread count.
 const YIELD_CHUNK: usize = 64;
 
+/// Chunks processed between two budget polls. The wave boundary is the
+/// checkpoint granularity: an interrupted run records how many whole chunks
+/// are tallied and resumes at the next one.
+const YIELD_WAVE: usize = 8;
+
+/// A yield Monte Carlo frozen at a chunk-wave boundary. Chunks
+/// `[0, next_chunk)` are folded into the integer tallies; resuming re-runs
+/// nothing and re-seeds chunk RNGs from their absolute indices, so the
+/// final estimate is bit-identical to an uninterrupted run at any thread
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct YieldCheckpoint {
+    /// Total samples the interrupted run was asked for. Resuming must use
+    /// the same count — the chunk layout depends on it.
+    pub samples: usize,
+    /// First chunk index not yet tallied.
+    pub next_chunk: usize,
+    /// Collision-free chips among the tallied chunks.
+    pub good: usize,
+    /// Total collisions among the tallied chunks.
+    pub total_collisions: usize,
+}
+
+/// Outcome of a budget-aware yield simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum YieldRun {
+    /// All samples were drawn.
+    Done(YieldEstimate),
+    /// The budget expired; resume later from the checkpoint.
+    Interrupted(Box<YieldCheckpoint>),
+}
+
 /// Monte-Carlo yield of a topology at fabrication precision `sigma` (GHz).
 ///
 /// Deterministic for a fixed `seed` *at any thread count*: samples are
@@ -259,38 +291,110 @@ pub fn simulate_yield(
     samples: usize,
     seed: u64,
 ) -> YieldEstimate {
+    match simulate_yield_resumable(
+        topology,
+        model,
+        sigma,
+        samples,
+        seed,
+        None,
+        &par::Budget::unlimited(),
+    ) {
+        YieldRun::Done(estimate) => estimate,
+        YieldRun::Interrupted(_) => unreachable!("unlimited budget cannot expire"),
+    }
+}
+
+/// Budget-aware [`simulate_yield`]: processes chunks in waves of
+/// [`YIELD_WAVE`], polling `budget` once per wave, and returns
+/// [`YieldRun::Interrupted`] with the integer tallies when it expires.
+/// Resuming continues at the next chunk; because every chunk's RNG is
+/// seeded from its absolute index (counter mode) and the tallies are
+/// integers, the resumed estimate equals the uninterrupted one bit-for-bit
+/// at any thread count.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative, `samples` is zero, or the checkpoint was
+/// taken for a different `samples` count (the chunk layout depends on it).
+pub fn simulate_yield_resumable(
+    topology: &Topology,
+    model: &CollisionModel,
+    sigma: f64,
+    samples: usize,
+    seed: u64,
+    resume: Option<YieldCheckpoint>,
+    budget: &par::Budget,
+) -> YieldRun {
     assert!(sigma >= 0.0, "sigma must be non-negative");
     assert!(samples > 0, "at least one sample required");
     let targets = allocate_frequencies(topology, model);
     let n_chunks = samples.div_ceil(YIELD_CHUNK);
-    let tallies = par::map_indexed(n_chunks, |chunk| {
-        let chunk_samples = YIELD_CHUNK.min(samples - chunk * YIELD_CHUNK);
-        let mut rng = StdRng::seed_from_u64(
-            seed.wrapping_add((chunk as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-        );
-        let mut good = 0usize;
-        let mut total_collisions = 0usize;
-        let mut fabricated = vec![0.0f64; targets.len()];
-        for _ in 0..chunk_samples {
-            for (f, &t) in fabricated.iter_mut().zip(&targets) {
-                *f = t + sigma * gaussian(&mut rng);
-            }
-            let c = model.count_collisions(topology, &fabricated);
-            total_collisions += c;
-            if c == 0 {
-                good += 1;
-            }
+    let (start_chunk, mut good, mut total_collisions) = match resume {
+        Some(ck) => {
+            assert!(
+                ck.samples == samples,
+                "checkpoint was taken for {} samples, not {samples}",
+                ck.samples
+            );
+            assert!(
+                ck.next_chunk <= n_chunks,
+                "checkpoint chunk {} exceeds chunk count {n_chunks}",
+                ck.next_chunk
+            );
+            (ck.next_chunk, ck.good, ck.total_collisions)
         }
-        (good, total_collisions)
-    });
-    let (good, total_collisions) = tallies
-        .into_iter()
-        .fold((0usize, 0usize), |(g, t), (cg, ct)| (g + cg, t + ct));
-    YieldEstimate {
+        None => (0, 0, 0),
+    };
+
+    let mut wave_start = start_chunk;
+    while wave_start < n_chunks {
+        if !budget.tick() {
+            obs::event!(
+                "arch.yield.interrupted",
+                chunk = wave_start,
+                total_chunks = n_chunks
+            );
+            return YieldRun::Interrupted(Box::new(YieldCheckpoint {
+                samples,
+                next_chunk: wave_start,
+                good,
+                total_collisions,
+            }));
+        }
+        let wave_len = YIELD_WAVE.min(n_chunks - wave_start);
+        let tallies = par::map_indexed(wave_len, |i| {
+            let chunk = wave_start + i;
+            let chunk_samples = YIELD_CHUNK.min(samples - chunk * YIELD_CHUNK);
+            let mut rng = StdRng::seed_from_u64(
+                seed.wrapping_add((chunk as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            let mut good = 0usize;
+            let mut total_collisions = 0usize;
+            let mut fabricated = vec![0.0f64; targets.len()];
+            for _ in 0..chunk_samples {
+                for (f, &t) in fabricated.iter_mut().zip(&targets) {
+                    *f = t + sigma * gaussian(&mut rng);
+                }
+                let c = model.count_collisions(topology, &fabricated);
+                total_collisions += c;
+                if c == 0 {
+                    good += 1;
+                }
+            }
+            (good, total_collisions)
+        });
+        for (g, t) in tallies {
+            good += g;
+            total_collisions += t;
+        }
+        wave_start += wave_len;
+    }
+    YieldRun::Done(YieldEstimate {
         yield_rate: good as f64 / samples as f64,
         samples,
         mean_collisions: total_collisions as f64 / samples as f64,
-    }
+    })
 }
 
 /// Standard normal via Box–Muller.
@@ -367,6 +471,48 @@ mod tests {
         let a = simulate_yield(&t, &m, 0.25, 500, 99);
         let b = simulate_yield(&t, &m, 0.25, 500, 99);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interrupted_yield_resumes_bit_identically_at_any_thread_count() {
+        let t = Topology::xtree(8);
+        let m = CollisionModel::default();
+        let full = simulate_yield(&t, &m, 0.25, 1500, 99);
+        for threads in [1, 4] {
+            let segmented = par::with_threads(threads, || {
+                let mut resume = None;
+                loop {
+                    // One wave per segment: the tightest interruption grain.
+                    let budget = par::Budget::max_ticks(1);
+                    match simulate_yield_resumable(&t, &m, 0.25, 1500, 99, resume.take(), &budget) {
+                        YieldRun::Done(e) => break e,
+                        YieldRun::Interrupted(ck) => resume = Some(*ck),
+                    }
+                }
+            });
+            assert_eq!(full, segmented, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_budget_yield_interrupts_with_empty_tallies() {
+        let t = Topology::xtree(8);
+        let m = CollisionModel::default();
+        let budget = par::Budget::max_ticks(0);
+        match simulate_yield_resumable(&t, &m, 0.25, 500, 1, None, &budget) {
+            YieldRun::Interrupted(ck) => {
+                assert_eq!(
+                    *ck,
+                    YieldCheckpoint {
+                        samples: 500,
+                        next_chunk: 0,
+                        good: 0,
+                        total_collisions: 0
+                    }
+                );
+            }
+            YieldRun::Done(_) => panic!("zero budget must interrupt immediately"),
+        }
     }
 
     #[test]

@@ -54,7 +54,8 @@ fn main() {
                         ..Default::default()
                     },
                 };
-                let run = run_vqe_noisy(system.qubit_hamiltonian(), &ir, evaluator, options);
+                let run = run_vqe_noisy(system.qubit_hamiltonian(), &ir, evaluator, options)
+                    .expect("noisy VQE run");
                 println!(
                     "{bond:<9.2} {:<7} {:>12.6} {:>11.2e} {:>6}",
                     format!("{:.0}%", ratio * 100.0),

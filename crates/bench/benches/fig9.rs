@@ -47,7 +47,8 @@ fn main() {
             let exact = system.exact_ground_state_energy();
             let full_ir = UccsdAnsatz::for_system(&system).into_ir();
 
-            let full_run = run_vqe(system.qubit_hamiltonian(), &full_ir, VqeOptions::default());
+            let full_run = run_vqe(system.qubit_hamiltonian(), &full_ir, VqeOptions::default())
+                .expect("full-ansatz VQE run");
             println!(
                 "{bond:<9.2} {:<8} {:>12.6} {:>11.2e} {:>6}",
                 "100%",
@@ -61,7 +62,8 @@ fn main() {
                     continue; // large molecules: 10/50/90% only by default
                 }
                 let (ir, _) = compress(&full_ir, system.qubit_hamiltonian(), ratio);
-                let run = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
+                let run = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default())
+                    .expect("compressed VQE run");
                 println!(
                     "{bond:<9.2} {:<8} {:>12.6} {:>11.2e} {:>6}",
                     format!("{:.0}%", ratio * 100.0),
@@ -80,7 +82,9 @@ fn main() {
             let energies: Vec<f64> = (0..random_seeds)
                 .map(|seed| {
                     let (ir, _) = compress_random(&full_ir, 0.5, seed);
-                    run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default()).energy
+                    run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default())
+                        .expect("random-baseline VQE run")
+                        .energy
                 })
                 .collect();
             let (mean, std) = mean_std(&energies);

@@ -45,7 +45,8 @@ pub fn vqe_at_ratio(system: &MolecularSystem, ratio: Option<f64>) -> (VqeResult,
         Some(r) => compress(&full, system.qubit_hamiltonian(), r).0,
         None => full,
     };
-    let result = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
+    let result = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default())
+        .unwrap_or_else(|e| panic!("VQE failed for {}: {e}", system.name()));
     (result, ir)
 }
 

@@ -13,19 +13,30 @@
 //!
 //! `0` success · `1` usage error · `10` chemistry · `11` SCF · `12`
 //! encoding · `13` compile · `14` VQE · `20` chaos run had unrecovered
-//! trials. Codes 10–14 follow [`PcdError::exit_code`].
+//! trials · `21` bench regressed against `--baseline` · `30` budget
+//! expired, checkpoint saved (rerun with `--resume`) · `31` checkpoint
+//! unreadable or corrupt. Codes 10–14 and 30–31 follow
+//! [`PcdError::exit_code`].
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use pauli_codesign::ansatz::compress;
 use pauli_codesign::ansatz::uccsd::UccsdAnsatz;
-use pauli_codesign::arch::{simulate_yield, CollisionModel, Topology};
+use pauli_codesign::arch::{
+    simulate_yield, simulate_yield_resumable, CollisionModel, Topology, YieldRun,
+};
 use pauli_codesign::chem::{Benchmark, ChemError};
 use pauli_codesign::compiler::pipeline::{compile_mtr, compile_sabre};
 use pauli_codesign::compiler::synthesis::synthesize_chain_nominal;
+use pauli_codesign::par::Budget;
 use pauli_codesign::pauli::group_qubit_wise;
-use pauli_codesign::resilience::{run_chaos, ChaosOptions, FaultKind, PcdError};
-use pauli_codesign::vqe::driver::{run_vqe, VqeOptions};
+use pauli_codesign::resilience::{
+    decode_vqe, decode_vqe_result, decode_yield, encode_vqe, encode_vqe_result, encode_yield,
+    f64_to_hex, run_chaos, ChaosOptions, Checkpoint, DegradationLadder, DegradationPolicy,
+    FaultKind, PcdError,
+};
+use pauli_codesign::vqe::driver::{run_vqe, run_vqe_resumable, VqeOptions, VqeResult, VqeRun};
 
 /// A CLI failure: either bad usage (exit 1, prints usage) or a typed
 /// pipeline error carrying its own exit code.
@@ -42,18 +53,24 @@ enum CliError {
         /// Trials executed.
         trials: usize,
     },
+    /// `bench --baseline` found benchmarks slower than the tolerance.
+    BenchRegression(Vec<String>),
 }
 
 /// Exit code for a chaos run with unrecovered trials.
 const EXIT_CHAOS_UNSURVIVED: u8 = 20;
 
+/// Exit code for a bench run that regressed against its baseline.
+const EXIT_BENCH_REGRESSION: u8 = 21;
+
 impl CliError {
     fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 1,
-            // PcdError codes are 10..=14, always in u8 range.
+            // PcdError codes are 10..=14 and 30..=31, always in u8 range.
             CliError::Pipeline(e) => e.exit_code() as u8,
             CliError::ChaosUnsurvived { .. } => EXIT_CHAOS_UNSURVIVED,
+            CliError::BenchRegression(_) => EXIT_BENCH_REGRESSION,
         }
     }
 }
@@ -65,6 +82,17 @@ impl std::fmt::Display for CliError {
             CliError::Pipeline(e) => write!(f, "{e}"),
             CliError::ChaosUnsurvived { failed, trials } => {
                 write!(f, "chaos: {failed} of {trials} trials did not recover")
+            }
+            CliError::BenchRegression(regressions) => {
+                writeln!(
+                    f,
+                    "bench: {} benchmark(s) regressed beyond tolerance:",
+                    regressions.len()
+                )?;
+                for r in regressions {
+                    writeln!(f, "  {r}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -110,6 +138,10 @@ commands:
   info <molecule>                     benchmark statistics (Table I view)
   vqe <molecule> [--bond Å] [--ratio R]
                                       run compressed-ansatz VQE
+  run <molecule> [--bond Å] [--ratio R] [--samples N]
+                                      durable pipeline: compressed VQE then
+                                      fabrication-yield Monte Carlo, under
+                                      the budget/checkpoint options below
   adapt <molecule> [--bond Å] [--pool plain|generalized]
                                       run ADAPT-VQE
   excited <molecule> [--states K]     run a VQD excited-state ladder
@@ -125,12 +157,37 @@ commands:
                                       fault-injection chaos harness: run the
                                       pipeline under injected faults and
                                       verify every one is recovered
-  bench [--smoke] [--out FILE] [--qubits N]
+  chaos --kill-resume [molecule] [--kill-every K] [--checkpoint DIR]
+                                      kill-and-resume trial: interrupt the
+                                      VQE and yield stages every K budget
+                                      ticks, resume from checkpoint files,
+                                      and verify the results match an
+                                      uninterrupted run bit-for-bit
+  bench [--smoke] [--out FILE] [--qubits N] [--baseline FILE]
+        [--tolerance PCT]
                                       benchmark the parallel hot paths
                                       (serial vs parallel; PCD_THREADS sets
                                       the worker count) and write a JSON
-                                      report (default BENCH_pipeline.json)
+                                      report (default BENCH_pipeline.json);
+                                      with --baseline, exit 21 if any
+                                      benchmark is >10% slower than FILE
+                                      (--tolerance overrides the 10%, for
+                                      noisy shared runners)
   help                                this message
+
+durability (pcd run):
+  --deadline SECS       wall-clock budget; on expiry the interrupted stage
+                        checkpoints and the run exits 30
+  --budget-iters N      deterministic iteration budget (composes with
+                        --deadline; the scarcer limit wins)
+  --checkpoint DIR      directory for stage checkpoints (vqe.ckpt,
+                        yield.ckpt), written atomically with a CRC trailer
+  --resume              restore interrupted stages from --checkpoint DIR;
+                        pass the same molecule/bond/ratio/samples as the
+                        original run
+  --degrade-threshold F shed yield samples down a 1×/4×/20× ladder once the
+                        remaining budget fraction drops below F
+                        (default 0.25; each downgrade is an obs event)
 
 observability (any command):
   --trace FILE    write a JSONL trace of spans/events/counters/histograms
@@ -152,6 +209,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
     let result = match command {
         "info" => cmd_info(&flags),
         "vqe" => cmd_vqe(&flags),
+        "run" => cmd_run(&flags),
         "adapt" => cmd_adapt(&flags),
         "excited" => cmd_excited(&flags),
         "scan" => cmd_scan(&flags),
@@ -167,7 +225,13 @@ fn run(args: &[String]) -> Result<(), CliError> {
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     };
 
-    if result.is_ok() {
+    // A budget expiry (exit 30) is a scheduled stop, not a failure: the
+    // trace of what ran up to the checkpoint is still worth keeping.
+    let interrupted = matches!(
+        &result,
+        Err(CliError::Pipeline(PcdError::Interrupted { .. }))
+    );
+    if result.is_ok() || interrupted {
         if let Some(path) = &trace_path {
             obs::write_jsonl(path).map_err(|e| format!("writing trace {path}: {e}"))?;
             eprintln!("trace written to {path}");
@@ -187,7 +251,7 @@ struct Flags {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["metrics", "smoke"];
+const BOOLEAN_FLAGS: &[&str] = &["metrics", "smoke", "resume", "kill-resume"];
 
 impl Flags {
     fn is_set(&self, key: &str) -> bool {
@@ -325,7 +389,8 @@ fn cmd_vqe(flags: &Flags) -> Result<(), CliError> {
     let system = molecule.build(bond)?;
     let full = UccsdAnsatz::for_system(&system).into_ir();
     let (ir, report) = compress(&full, system.qubit_hamiltonian(), ratio);
-    let run = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
+    let run =
+        run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default()).map_err(PcdError::from)?;
     let exact = system.exact_ground_state_energy();
 
     println!(
@@ -342,6 +407,220 @@ fn cmd_vqe(flags: &Flags) -> Result<(), CliError> {
     println!("  error        : {:+.2e} Ha", run.energy - exact);
     println!("  iterations   : {}", run.iterations);
     println!("  evaluations  : {}", run.evaluations);
+    Ok(())
+}
+
+/// Builds the run budget from `--deadline` / `--budget-iters` (unlimited
+/// when neither is given; the scarcer limit wins when both are).
+fn parse_budget(flags: &Flags) -> Result<Budget, CliError> {
+    let mut budget = match flags.get("deadline") {
+        None => Budget::unlimited(),
+        Some(_) => {
+            let secs = flags.get_f64("deadline", 0.0)?;
+            if secs.is_nan() || secs <= 0.0 {
+                return Err(CliError::Usage("--deadline must be positive".to_string()));
+            }
+            Budget::wall_clock(Duration::from_secs_f64(secs))
+        }
+    };
+    if flags.get("budget-iters").is_some() {
+        budget = budget.with_max_ticks(flags.get_u64("budget-iters", 0)?);
+    }
+    Ok(budget)
+}
+
+/// Reads `DIR/<file>` as a checkpoint of the given kind-specific decoder,
+/// returning `None` when the file does not exist yet (a fresh run).
+fn load_checkpoint(dir: &str, file: &str) -> Result<Option<Checkpoint>, CliError> {
+    let path = format!("{dir}/{file}");
+    if !std::path::Path::new(&path).exists() {
+        return Ok(None);
+    }
+    let ck = Checkpoint::read(&path).map_err(PcdError::from)?;
+    eprintln!("resuming from {path}");
+    Ok(Some(ck))
+}
+
+/// Writes a stage checkpoint into `dir` (when configured) and returns the
+/// `Interrupted` error the CLI maps to exit 30.
+fn interrupt(
+    stage: &'static str,
+    dir: Option<&str>,
+    file: &str,
+    ck: &Checkpoint,
+) -> Result<(), CliError> {
+    let saved = match dir {
+        None => None,
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("creating checkpoint dir {dir}: {e}"))?;
+            let path = format!("{dir}/{file}");
+            ck.write(&path).map_err(PcdError::from)?;
+            eprintln!("checkpoint saved to {path}");
+            Some(path)
+        }
+    };
+    Err(PcdError::Interrupted {
+        stage,
+        checkpoint: saved,
+    }
+    .into())
+}
+
+/// The durable pipeline: compressed VQE then fabrication-yield Monte
+/// Carlo, both budget-aware and resumable. Completed stages are
+/// deterministic, so a resumed run recomputes them bit-identically and
+/// restores only the interrupted stage from its checkpoint.
+fn cmd_run(flags: &Flags) -> Result<(), CliError> {
+    let molecule = flags.molecule()?;
+    let bond = flags.get_f64("bond", molecule.equilibrium_bond_length())?;
+    let ratio = flags.get_f64("ratio", 0.5)?;
+    if !(0.0..=1.0).contains(&ratio) || ratio == 0.0 {
+        return Err(CliError::Usage("--ratio must be in (0, 1]".to_string()));
+    }
+    let base_samples = flags.get_usize("samples", 20_000)?;
+    if base_samples == 0 {
+        return Err(CliError::Usage("--samples must be positive".to_string()));
+    }
+    let threshold = flags.get_f64("degrade-threshold", 0.25)?;
+    if !(threshold > 0.0 && threshold <= 1.0) {
+        return Err(CliError::Usage(
+            "--degrade-threshold must be in (0, 1]".to_string(),
+        ));
+    }
+    let ckpt_dir = flags.get("checkpoint").map(str::to_string);
+    let resume = flags.is_set("resume");
+    if resume && ckpt_dir.is_none() {
+        return Err(CliError::Usage(
+            "--resume requires --checkpoint DIR".to_string(),
+        ));
+    }
+    let budget = parse_budget(flags)?;
+    let dir = ckpt_dir.as_deref();
+
+    // Chemistry + ansatz: fast and deterministic, always recomputed.
+    let system = molecule.build(bond)?;
+    let full = UccsdAnsatz::for_system(&system).into_ir();
+    let (ir, report) = compress(&full, system.qubit_hamiltonian(), ratio);
+    let x0 = vec![0.0; ir.num_parameters()];
+
+    // VQE stage, resumable at optimizer-iteration grain. A run that
+    // already finished VQE left a done-marker; resuming skips the stage
+    // instead of re-spending budget on it.
+    let vqe_done = match (dir, resume) {
+        (Some(d), true) => match load_checkpoint(d, "vqe.done")? {
+            Some(ck) => Some(decode_vqe_result(&ck).map_err(PcdError::from)?),
+            None => None,
+        },
+        _ => None,
+    };
+    let result: VqeResult = match vqe_done {
+        Some(r) => r,
+        None => {
+            let vqe_resume = match (dir, resume) {
+                (Some(d), true) => match load_checkpoint(d, "vqe.ckpt")? {
+                    Some(ck) => Some(decode_vqe(&ck).map_err(PcdError::from)?),
+                    None => None,
+                },
+                _ => None,
+            };
+            let r = match run_vqe_resumable(
+                system.qubit_hamiltonian(),
+                &ir,
+                &x0,
+                VqeOptions::default(),
+                vqe_resume,
+                &budget,
+            )
+            .map_err(PcdError::from)?
+            {
+                VqeRun::Done(r) => r,
+                VqeRun::Interrupted(ck) => {
+                    return interrupt("vqe", dir, "vqe.ckpt", &encode_vqe(&ck));
+                }
+            };
+            if let Some(d) = dir {
+                std::fs::create_dir_all(d)
+                    .map_err(|e| format!("creating checkpoint dir {d}: {e}"))?;
+                encode_vqe_result(&r)
+                    .write(format!("{d}/vqe.done"))
+                    .map_err(PcdError::from)?;
+                let _ = std::fs::remove_file(format!("{d}/vqe.ckpt"));
+            }
+            r
+        }
+    };
+
+    // Yield stage, resumable at chunk-wave grain. A fresh start may shed
+    // samples down the ladder when the budget is nearly spent; a resumed
+    // run is pinned to the sample count its checkpoint was taken for.
+    let yield_resume = match (dir, resume) {
+        (Some(d), true) => match load_checkpoint(d, "yield.ckpt")? {
+            Some(ck) => Some(decode_yield(&ck).map_err(PcdError::from)?),
+            None => None,
+        },
+        _ => None,
+    };
+    let samples = match &yield_resume {
+        Some(ck) => ck.samples,
+        None => {
+            let mut levels = vec![base_samples];
+            for div in [4usize, 20] {
+                let l = base_samples / div;
+                if l >= 1 && l < levels[levels.len() - 1] {
+                    levels.push(l);
+                }
+            }
+            DegradationPolicy::new(DegradationLadder::new("yield.samples", levels), threshold)
+                .select(&budget)
+        }
+    };
+    let topology = Topology::xtree(17);
+    let estimate = match simulate_yield_resumable(
+        &topology,
+        &CollisionModel::default(),
+        0.04,
+        samples,
+        17,
+        yield_resume,
+        &budget,
+    ) {
+        YieldRun::Done(e) => e,
+        YieldRun::Interrupted(ck) => {
+            return interrupt("yield", dir, "yield.ckpt", &encode_yield(&ck));
+        }
+    };
+
+    // The run completed: stale stage checkpoints must not leak into the
+    // next invocation.
+    if let Some(d) = dir {
+        for file in ["vqe.ckpt", "vqe.done", "yield.ckpt"] {
+            let _ = std::fs::remove_file(format!("{d}/{file}"));
+        }
+    }
+
+    let exact = system.exact_ground_state_energy();
+    println!(
+        "{} @ {bond} Å, ratio {:.0}%",
+        molecule.name(),
+        ratio * 100.0
+    );
+    println!(
+        "  parameters   : {} of {}",
+        report.kept_parameters, report.original_parameters
+    );
+    println!("  VQE energy   : {:.6} Ha", result.energy);
+    println!("  energy bits  : 0x{}", f64_to_hex(result.energy));
+    println!("  exact energy : {exact:.6} Ha");
+    println!("  error        : {:+.2e} Ha", result.energy - exact);
+    println!("  iterations   : {}", result.iterations);
+    if samples != base_samples {
+        println!("  yield samples: {samples} (degraded from {base_samples})");
+    } else {
+        println!("  yield samples: {samples}");
+    }
+    println!("  yield (xtree): {:.4}", estimate.yield_rate);
+    println!("  budget ticks : {}", budget.ticks_used());
     Ok(())
 }
 
@@ -364,7 +643,8 @@ fn cmd_scan(flags: &Flags) -> Result<(), CliError> {
         let system = molecule.build(bond)?;
         let full = UccsdAnsatz::for_system(&system).into_ir();
         let (ir, _) = compress(&full, system.qubit_hamiltonian(), ratio);
-        let run = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
+        let run = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default())
+            .map_err(PcdError::from)?;
         println!(
             "{bond:<9.2}  {:>11.6}   {:>11.6}",
             run.energy,
@@ -522,7 +802,144 @@ fn cmd_yield(flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The kill-and-resume chaos trial: interrupt the VQE and yield stages
+/// every `--kill-every` budget ticks, persist the checkpoint, resume from
+/// the file, and verify the final results equal an uninterrupted run
+/// bit-for-bit. This is the durability layer's end-to-end proof.
+fn cmd_kill_resume(flags: &Flags) -> Result<(), CliError> {
+    let molecule = if flags.positional.is_empty() {
+        Benchmark::H2
+    } else {
+        flags.molecule()?
+    };
+    let bond = flags.get_f64("bond", molecule.equilibrium_bond_length())?;
+    let ratio = flags.get_f64("ratio", 0.5)?;
+    let kill_every = flags.get_u64("kill-every", 2)?;
+    if kill_every == 0 {
+        return Err(CliError::Usage("--kill-every must be positive".to_string()));
+    }
+    let samples = flags.get_usize("samples", 2_000)?;
+    if samples == 0 {
+        return Err(CliError::Usage("--samples must be positive".to_string()));
+    }
+    let (dir, ephemeral) = match flags.get("checkpoint") {
+        Some(d) => (d.to_string(), false),
+        None => (
+            std::env::temp_dir()
+                .join(format!("pcd-kill-resume-{}", std::process::id()))
+                .to_string_lossy()
+                .into_owned(),
+            true,
+        ),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating checkpoint dir {dir}: {e}"))?;
+
+    println!(
+        "chaos --kill-resume: {} @ {bond} Å, killing every {kill_every} tick(s)",
+        molecule.name()
+    );
+
+    // VQE: uninterrupted baseline, then the kill/resume gauntlet through
+    // the on-disk checkpoint file.
+    let system = molecule.build(bond)?;
+    let full = UccsdAnsatz::for_system(&system).into_ir();
+    let (ir, _) = compress(&full, system.qubit_hamiltonian(), ratio);
+    let x0 = vec![0.0; ir.num_parameters()];
+    let baseline =
+        run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default()).map_err(PcdError::from)?;
+    let vqe_path = format!("{dir}/vqe.ckpt");
+    let _ = std::fs::remove_file(&vqe_path);
+    let mut vqe_kills = 0usize;
+    let resumed = loop {
+        let resume = match std::path::Path::new(&vqe_path).exists() {
+            true => Some(
+                decode_vqe(&Checkpoint::read(&vqe_path).map_err(PcdError::from)?)
+                    .map_err(PcdError::from)?,
+            ),
+            false => None,
+        };
+        let budget = Budget::max_ticks(kill_every);
+        match run_vqe_resumable(
+            system.qubit_hamiltonian(),
+            &ir,
+            &x0,
+            VqeOptions::default(),
+            resume,
+            &budget,
+        )
+        .map_err(PcdError::from)?
+        {
+            VqeRun::Done(r) => break r,
+            VqeRun::Interrupted(ck) => {
+                vqe_kills += 1;
+                encode_vqe(&ck).write(&vqe_path).map_err(PcdError::from)?;
+            }
+        }
+    };
+    let vqe_ok = resumed.energy.to_bits() == baseline.energy.to_bits();
+    println!(
+        "  vqe   : {} kills, energy 0x{} vs baseline 0x{} — {}",
+        vqe_kills,
+        f64_to_hex(resumed.energy),
+        f64_to_hex(baseline.energy),
+        if vqe_ok { "bit-identical" } else { "MISMATCH" }
+    );
+
+    // Yield Monte Carlo: same gauntlet at chunk-wave grain.
+    let topology = Topology::xtree(17);
+    let model = CollisionModel::default();
+    let y_baseline = simulate_yield(&topology, &model, 0.04, samples, 17);
+    let yield_path = format!("{dir}/yield.ckpt");
+    let _ = std::fs::remove_file(&yield_path);
+    let mut yield_kills = 0usize;
+    let y_resumed = loop {
+        let resume = match std::path::Path::new(&yield_path).exists() {
+            true => Some(
+                decode_yield(&Checkpoint::read(&yield_path).map_err(PcdError::from)?)
+                    .map_err(PcdError::from)?,
+            ),
+            false => None,
+        };
+        let budget = Budget::max_ticks(kill_every);
+        match simulate_yield_resumable(&topology, &model, 0.04, samples, 17, resume, &budget) {
+            YieldRun::Done(e) => break e,
+            YieldRun::Interrupted(ck) => {
+                yield_kills += 1;
+                encode_yield(&ck)
+                    .write(&yield_path)
+                    .map_err(PcdError::from)?;
+            }
+        }
+    };
+    let yield_ok = y_resumed.yield_rate.to_bits() == y_baseline.yield_rate.to_bits()
+        && y_resumed.mean_collisions.to_bits() == y_baseline.mean_collisions.to_bits();
+    println!(
+        "  yield : {} kills, rate 0x{} vs baseline 0x{} — {}",
+        yield_kills,
+        f64_to_hex(y_resumed.yield_rate),
+        f64_to_hex(y_baseline.yield_rate),
+        if yield_ok {
+            "bit-identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let failed = [vqe_ok, yield_ok].iter().filter(|ok| !**ok).count();
+    if failed > 0 {
+        return Err(CliError::ChaosUnsurvived { failed, trials: 2 });
+    }
+    println!("  survived: every interrupted run resumed bit-for-bit");
+    Ok(())
+}
+
 fn cmd_chaos(flags: &Flags) -> Result<(), CliError> {
+    if flags.is_set("kill-resume") {
+        return cmd_kill_resume(flags);
+    }
     let molecule = if flags.positional.is_empty() {
         Benchmark::H2
     } else {
@@ -665,7 +1082,47 @@ fn write_bench_json(path: &str, records: &[BenchRecord]) -> Result<(), String> {
         ));
     }
     json.push_str("}\n");
-    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))
+    // Atomic rename: a crash mid-bench must not leave a truncated report
+    // for a later --baseline comparison to choke on.
+    obs::atomic_write(path, json.as_bytes()).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Relative slowdown beyond which `--baseline` fails the run.
+const BENCH_TOLERANCE: f64 = 0.10;
+
+/// Compares fresh measurements against a parsed baseline report and
+/// returns one line per benchmark slower than `tolerance` (relative).
+/// Benchmarks missing from the baseline are skipped — a new benchmark
+/// cannot regress.
+fn bench_regressions(
+    baseline: &obs::json::JsonValue,
+    records: &[BenchRecord],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for r in records {
+        let Some(base) = baseline
+            .get(&r.name)
+            .and_then(|e| e.get("median_ns"))
+            .and_then(|v| v.as_u64())
+        else {
+            continue;
+        };
+        if base == 0 {
+            continue;
+        }
+        let ratio = r.median_ns as f64 / base as f64;
+        if ratio > 1.0 + tolerance {
+            regressions.push(format!(
+                "{}: {} ns vs baseline {} ns (+{:.1}%)",
+                r.name,
+                r.median_ns,
+                base,
+                (ratio - 1.0) * 100.0
+            ));
+        }
+    }
+    regressions
 }
 
 fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
@@ -817,6 +1274,25 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
         );
     }
     println!("report written to {out_path}");
+
+    if let Some(baseline_path) = flags.get("baseline") {
+        let tolerance = flags.get_f64("tolerance", BENCH_TOLERANCE * 100.0)? / 100.0;
+        if tolerance.is_nan() || tolerance <= 0.0 {
+            return Err(CliError::Usage("--tolerance must be positive".to_string()));
+        }
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+        let baseline = obs::json::parse(&text)
+            .map_err(|e| format!("parsing baseline {baseline_path}: {e}"))?;
+        let regressions = bench_regressions(&baseline, &records, tolerance);
+        if !regressions.is_empty() {
+            return Err(CliError::BenchRegression(regressions));
+        }
+        println!(
+            "baseline check: no benchmark more than {:.0}% slower than {baseline_path}",
+            tolerance * 100.0
+        );
+    }
     Ok(())
 }
 
@@ -872,5 +1348,68 @@ mod tests {
     #[test]
     fn unknown_command_is_an_error() {
         assert!(run(&["frobnicate".to_string()]).is_err());
+    }
+
+    #[test]
+    fn resume_without_checkpoint_dir_is_a_usage_error() {
+        let r = cmd_run(&flags(&["H2", "--resume"]));
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bench_gate_flags_synthetic_slowdown_over_tolerance() {
+        let baseline = obs::json::parse(
+            r#"{"expectation_serial": {"median_ns": 1000, "threads": 1, "n_qubits": 12},
+                "eri_build_parallel": {"median_ns": 500, "threads": 4, "n_qubits": 8}}"#,
+        )
+        .unwrap();
+        let records = vec![
+            BenchRecord {
+                name: "expectation_serial".to_string(),
+                median_ns: 1200, // +20%: over the 10% tolerance
+                threads: 1,
+                n_qubits: 12,
+            },
+            BenchRecord {
+                name: "eri_build_parallel".to_string(),
+                median_ns: 540, // +8%: within tolerance
+                threads: 4,
+                n_qubits: 8,
+            },
+            BenchRecord {
+                name: "brand_new_bench".to_string(), // absent from baseline
+                median_ns: 9999,
+                threads: 1,
+                n_qubits: 2,
+            },
+        ];
+        let regressions = bench_regressions(&baseline, &records, 0.10);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].starts_with("expectation_serial:"));
+        let err = CliError::BenchRegression(regressions);
+        assert_eq!(err.exit_code(), EXIT_BENCH_REGRESSION);
+    }
+
+    #[test]
+    fn bench_gate_passes_when_faster_or_equal() {
+        let baseline =
+            obs::json::parse(r#"{"yield_xtree17_serial": {"median_ns": 1000}}"#).unwrap();
+        let records = vec![BenchRecord {
+            name: "yield_xtree17_serial".to_string(),
+            median_ns: 900,
+            threads: 1,
+            n_qubits: 17,
+        }];
+        assert!(bench_regressions(&baseline, &records, 0.10).is_empty());
+    }
+
+    #[test]
+    fn interrupted_pipeline_error_exits_30() {
+        let e = CliError::Pipeline(PcdError::Interrupted {
+            stage: "vqe",
+            checkpoint: Some("ckpt/vqe.ckpt".to_string()),
+        });
+        assert_eq!(e.exit_code(), 30);
+        assert!(e.to_string().contains("--resume"));
     }
 }

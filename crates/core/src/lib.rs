@@ -27,7 +27,7 @@
 //! use pauli_codesign::CoDesignPipeline;
 //! use pauli_codesign::chem::Benchmark;
 //!
-//! # fn main() -> Result<(), pauli_codesign::chem::ChemError> {
+//! # fn main() -> Result<(), pauli_codesign::resilience::PcdError> {
 //! let report = CoDesignPipeline::new(Benchmark::LiH)
 //!     .bond_length(1.6)
 //!     .compression_ratio(0.5)
@@ -55,8 +55,9 @@ pub use vqe;
 use ansatz::uccsd::UccsdAnsatz;
 use ansatz::{compress, PauliIr};
 use arch::Topology;
-use chem::{Benchmark, ChemError, MolecularSystem};
+use chem::{Benchmark, MolecularSystem};
 use compiler::pipeline::{compile_mtr, CompiledProgram};
+use resilience::PcdError;
 use sim::NoiseModel;
 use vqe::driver::{run_vqe, run_vqe_noisy, NoisyEvaluator, VqeOptions, VqeResult};
 
@@ -131,8 +132,9 @@ impl CoDesignPipeline {
     ///
     /// # Errors
     ///
-    /// Returns [`ChemError`] if the electronic-structure stage fails.
-    pub fn run(&self) -> Result<CoDesignReport, ChemError> {
+    /// Returns [`PcdError`] if the electronic-structure stage or the VQE
+    /// optimizer fails.
+    pub fn run(&self) -> Result<CoDesignReport, PcdError> {
         let mut run_span = obs::span("pipeline.run");
         run_span.record("compression_ratio", self.compression_ratio);
         run_span.record("noisy", self.noise.is_some());
@@ -162,13 +164,13 @@ impl CoDesignPipeline {
         let vqe_result = {
             let _stage = obs::span("pipeline.vqe");
             match self.noise {
-                None => run_vqe(system.qubit_hamiltonian(), &ir, self.vqe_options),
+                None => run_vqe(system.qubit_hamiltonian(), &ir, self.vqe_options)?,
                 Some(noise) => run_vqe_noisy(
                     system.qubit_hamiltonian(),
                     &ir,
                     NoisyEvaluator::GlobalDepolarizing(noise),
                     self.vqe_options,
-                ),
+                )?,
             }
         };
         let measurement_groups = {

@@ -540,15 +540,46 @@ pub fn export_snapshot_jsonl(snap: &Snapshot) -> String {
     out
 }
 
-/// Writes [`export_jsonl`] output to `path`.
+/// Writes `contents` to `path` atomically: the bytes go to a sibling
+/// temporary file (`<name>.tmp` in the same directory, so the rename never
+/// crosses filesystems), are flushed and synced, and the temp file is then
+/// renamed over `path`. A reader — or a process killed mid-write — therefore
+/// sees either the complete old file or the complete new one, never a
+/// truncated artifact. Shared by trace export, `pcd bench` reports, and the
+/// resilience checkpoint writer.
+///
+/// # Errors
+///
+/// Propagates any I/O error from writing, syncing, or renaming.
+pub fn atomic_write(path: impl AsRef<Path>, contents: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.flush()?;
+        f.sync_all()?;
+    }
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Leave no stray temp file behind on failure.
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Writes [`export_jsonl`] output to `path` via [`atomic_write`], so an
+/// interrupted run never leaves a truncated trace.
 ///
 /// # Errors
 ///
 /// Propagates any I/O error from creating or writing the file.
 pub fn write_jsonl(path: impl AsRef<Path>) -> std::io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(export_jsonl().as_bytes())?;
-    f.flush()
+    atomic_write(path, export_jsonl().as_bytes())
 }
 
 /// One line of a trace file, parsed back from JSONL.

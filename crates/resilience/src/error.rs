@@ -10,6 +10,8 @@ use chem::ChemError;
 use compiler::CompileError;
 use vqe::VqeError;
 
+use crate::checkpoint::CheckpointError;
+
 /// A failure anywhere in the chem → encoding → compile → VQE pipeline.
 ///
 /// Every variant wraps the originating stage's typed error (available via
@@ -40,11 +42,23 @@ pub enum PcdError {
         /// The error seen on the final attempt.
         last: Box<PcdError>,
     },
+    /// The run's budget (deadline or iteration cap) expired before the
+    /// pipeline finished. Not a failure: progress was checkpointed (when a
+    /// checkpoint directory was configured) and the run can be resumed.
+    Interrupted {
+        /// Stage that was interrupted (`"scf"`, `"vqe"`, `"yield"`).
+        stage: &'static str,
+        /// Where the checkpoint was persisted, if anywhere.
+        checkpoint: Option<String>,
+    },
+    /// Reading, validating, or writing a checkpoint failed.
+    Checkpoint(CheckpointError),
 }
 
 impl PcdError {
     /// The process exit code the `pcd` CLI uses for this error: 10 chem,
-    /// 11 SCF, 12 encoding, 13 compile, 14 VQE. [`PcdError::Unrecovered`]
+    /// 11 SCF, 12 encoding, 13 compile, 14 VQE, 30 interrupted by budget
+    /// expiry, 31 checkpoint I/O or validation. [`PcdError::Unrecovered`]
     /// reports the code of its final underlying error.
     pub fn exit_code(&self) -> i32 {
         match self {
@@ -54,6 +68,8 @@ impl PcdError {
             PcdError::Compile(_) => 13,
             PcdError::Vqe(_) => 14,
             PcdError::Unrecovered { last, .. } => last.exit_code(),
+            PcdError::Interrupted { .. } => 30,
+            PcdError::Checkpoint(_) => 31,
         }
     }
 
@@ -66,6 +82,8 @@ impl PcdError {
             PcdError::Compile(_) => "compile",
             PcdError::Vqe(_) => "vqe",
             PcdError::Unrecovered { stage, .. } => stage,
+            PcdError::Interrupted { stage, .. } => stage,
+            PcdError::Checkpoint(_) => "checkpoint",
         }
     }
 }
@@ -86,6 +104,19 @@ impl fmt::Display for PcdError {
                 f,
                 "{stage} stage unrecovered after {attempts} attempts: {last}"
             ),
+            PcdError::Interrupted { stage, checkpoint } => match checkpoint {
+                Some(path) => write!(
+                    f,
+                    "{stage} stage interrupted by budget expiry; checkpoint saved to {path} — \
+                     rerun with --resume to continue"
+                ),
+                None => write!(
+                    f,
+                    "{stage} stage interrupted by budget expiry; no checkpoint directory was \
+                     configured, progress was discarded"
+                ),
+            },
+            PcdError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
 }
@@ -99,6 +130,8 @@ impl Error for PcdError {
             PcdError::Compile(e) => Some(e),
             PcdError::Vqe(e) => Some(e),
             PcdError::Unrecovered { last, .. } => Some(last.as_ref()),
+            PcdError::Interrupted { .. } => None,
+            PcdError::Checkpoint(e) => Some(e),
         }
     }
 }
@@ -129,6 +162,12 @@ impl From<CompileError> for PcdError {
 impl From<VqeError> for PcdError {
     fn from(e: VqeError) -> Self {
         PcdError::Vqe(e)
+    }
+}
+
+impl From<CheckpointError> for PcdError {
+    fn from(e: CheckpointError) -> Self {
+        PcdError::Checkpoint(e)
     }
 }
 

@@ -37,11 +37,20 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod chaos;
+pub mod checkpoint;
+pub mod codec;
+pub mod degrade;
 pub mod error;
 pub mod fault;
 pub mod recover;
 
 pub use chaos::{run_chaos, ChaosOptions, ChaosReport, TrialOutcome};
+pub use checkpoint::{crc32, f64_from_hex, f64_to_hex, Checkpoint, CheckpointError};
+pub use codec::{
+    decode_scf, decode_vqe, decode_vqe_result, decode_yield, encode_scf, encode_vqe,
+    encode_vqe_result, encode_yield, KIND_SCF, KIND_VQE, KIND_VQE_RESULT, KIND_YIELD,
+};
+pub use degrade::{DegradationLadder, DegradationPolicy};
 pub use error::PcdError;
 pub use fault::{FaultKind, FaultPlan, InjectedFault};
 pub use recover::{

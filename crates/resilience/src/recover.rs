@@ -24,7 +24,7 @@ use chem::scf::ScfOptions;
 use chem::{Benchmark, ChemError, MolecularSystem};
 use compiler::pipeline::{try_compile_mtr, try_compile_sabre, CompiledProgram};
 use pauli::WeightedPauliSum;
-use vqe::driver::{try_run_vqe_from, VqeOptions, VqeResult};
+use vqe::driver::{run_vqe_from, VqeOptions, VqeResult};
 
 use crate::error::PcdError;
 use crate::fault::{FaultKind, FaultPlan};
@@ -278,7 +278,7 @@ pub fn run_vqe_with_restart(
     let mut stalled: Option<VqeResult> = None;
 
     loop {
-        match try_run_vqe_from(hamiltonian, ir, &current, current_options) {
+        match run_vqe_from(hamiltonian, ir, &current, current_options) {
             Ok(result) if result.converged => {
                 if attempt > 0 {
                     obs::event!(

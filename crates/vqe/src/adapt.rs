@@ -307,7 +307,8 @@ mod tests {
         assert!(r.converged);
         // Compare against full-UCCSD VQE on the same problem.
         let full = ansatz::uccsd::UccsdAnsatz::new(2, 2).into_ir();
-        let full_run = crate::driver::run_vqe(&h, &full, crate::driver::VqeOptions::default());
+        let full_run =
+            crate::driver::run_vqe(&h, &full, crate::driver::VqeOptions::default()).unwrap();
         assert!(
             (r.energy - full_run.energy).abs() < 1e-6,
             "adapt {} vs full {}",

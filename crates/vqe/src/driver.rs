@@ -7,7 +7,10 @@ use ansatz::PauliIr;
 use compiler::synthesis::synthesize_chain;
 
 use crate::error::VqeError;
-use crate::optimize::{lbfgs, nelder_mead, spsa, OptimizeControls, OptimizeOutcome, OptimizerKind};
+use crate::optimize::{
+    lbfgs, lbfgs_resumable, nelder_mead, nelder_mead_resumable, spsa, spsa_resumable, OptRun,
+    OptimizeControls, OptimizeOutcome, OptimizerKind, OptimizerState,
+};
 use crate::state::energy_and_gradient;
 
 /// Options for a VQE run.
@@ -58,28 +61,37 @@ impl From<OptimizeOutcome> for VqeResult {
     }
 }
 
-/// Runs noise-free VQE: minimizes `⟨ψ(θ)|H|ψ(θ)⟩` from `θ = 0` (the
-/// Hartree-Fock point).
-///
-/// # Panics
-///
-/// Panics if the Hamiltonian and IR registers differ or the objective goes
-/// non-finite. Use [`try_run_vqe`] for a typed error instead.
-pub fn run_vqe(hamiltonian: &WeightedPauliSum, ir: &PauliIr, options: VqeOptions) -> VqeResult {
-    run_vqe_from(hamiltonian, ir, &vec![0.0; ir.num_parameters()], options)
+/// A VQE run frozen at an optimizer iteration boundary, ready to be
+/// serialized and resumed. The caller must resume with the *same*
+/// Hamiltonian, IR, starting point, and options — the checkpoint carries
+/// only the optimizer loop state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VqeCheckpoint {
+    /// Loop state of the optimizer the run uses.
+    pub optimizer: OptimizerState,
 }
 
-/// Fallible [`run_vqe`].
+/// Outcome of a budget-aware VQE run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VqeRun {
+    /// The run finished.
+    Done(VqeResult),
+    /// The budget expired; resume later from the checkpoint.
+    Interrupted(Box<VqeCheckpoint>),
+}
+
+/// Runs noise-free VQE: minimizes `⟨ψ(θ)|H|ψ(θ)⟩` from `θ = 0` (the
+/// Hartree-Fock point).
 ///
 /// # Errors
 ///
 /// Returns [`VqeError`] on register mismatches or optimizer failure.
-pub fn try_run_vqe(
+pub fn run_vqe(
     hamiltonian: &WeightedPauliSum,
     ir: &PauliIr,
     options: VqeOptions,
 ) -> Result<VqeResult, VqeError> {
-    try_run_vqe_from(hamiltonian, ir, &vec![0.0; ir.num_parameters()], options)
+    run_vqe_from(hamiltonian, ir, &vec![0.0; ir.num_parameters()], options)
 }
 
 fn optimizer_name(kind: OptimizerKind) -> &'static str {
@@ -118,34 +130,46 @@ fn record_vqe_outcome(span: &mut obs::SpanGuard, options: &VqeOptions, result: &
 /// where the on-site interaction is diagonal in the site basis): a small
 /// symmetry-breaking start lets gradient descent leave the plateau.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the registers differ, `x0` has the wrong length, or the
-/// objective goes non-finite. Use [`try_run_vqe_from`] for a typed error.
+/// Returns [`VqeError`] on register/parameter mismatches or when the
+/// optimizer hits a non-finite objective.
 pub fn run_vqe_from(
     hamiltonian: &WeightedPauliSum,
     ir: &PauliIr,
     x0: &[f64],
     options: VqeOptions,
-) -> VqeResult {
-    match try_run_vqe_from(hamiltonian, ir, x0, options) {
-        Ok(result) => result,
-        Err(e) => panic!("run_vqe: {e}"),
+) -> Result<VqeResult, VqeError> {
+    match run_vqe_resumable(
+        hamiltonian,
+        ir,
+        x0,
+        options,
+        None,
+        &par::Budget::unlimited(),
+    )? {
+        VqeRun::Done(result) => Ok(result),
+        VqeRun::Interrupted(_) => unreachable!("unlimited budget cannot expire"),
     }
 }
 
-/// Fallible [`run_vqe_from`].
+/// Budget-aware [`run_vqe_from`]: polls `budget` once per optimizer
+/// iteration and returns [`VqeRun::Interrupted`] with a [`VqeCheckpoint`]
+/// when it expires. Resuming with that checkpoint (and identical inputs)
+/// reproduces the uninterrupted run bit-for-bit.
 ///
 /// # Errors
 ///
-/// Returns [`VqeError`] on register/parameter mismatches or when the
-/// optimizer hits a non-finite objective.
-pub fn try_run_vqe_from(
+/// Returns [`VqeError`] on register/parameter mismatches, a checkpoint from
+/// a different optimizer, or a non-finite objective.
+pub fn run_vqe_resumable(
     hamiltonian: &WeightedPauliSum,
     ir: &PauliIr,
     x0: &[f64],
     options: VqeOptions,
-) -> Result<VqeResult, VqeError> {
+    resume: Option<VqeCheckpoint>,
+    budget: &par::Budget,
+) -> Result<VqeRun, VqeError> {
     if hamiltonian.num_qubits() != ir.num_qubits() {
         return Err(VqeError::RegisterMismatch {
             hamiltonian: hamiltonian.num_qubits(),
@@ -158,33 +182,89 @@ pub fn try_run_vqe_from(
             actual: x0.len(),
         });
     }
+    let expected = optimizer_name(options.optimizer);
+    if let Some(ck) = &resume {
+        if ck.optimizer.kind() != expected {
+            return Err(VqeError::CheckpointOptimizerMismatch {
+                expected,
+                found: ck.optimizer.kind(),
+            });
+        }
+    }
     let mut span = obs::span("vqe.run");
     span.record("parameters", ir.num_parameters());
+    if resume.is_some() {
+        span.record("resumed", true);
+    }
     let x0 = x0.to_vec();
-    let result: VqeResult = match options.optimizer {
-        OptimizerKind::Lbfgs => lbfgs(
-            |theta| energy_and_gradient(hamiltonian, ir, theta),
-            &x0,
-            options.controls,
-        )?
-        .into(),
-        OptimizerKind::NelderMead => nelder_mead(
-            |theta| crate::state::energy(hamiltonian, ir, theta),
-            &x0,
-            0.1,
-            options.controls,
-        )?
-        .into(),
-        OptimizerKind::Spsa(seed) => spsa(
-            |theta| crate::state::energy(hamiltonian, ir, theta),
-            &x0,
-            seed,
-            options.controls,
-        )?
-        .into(),
+    let run = match options.optimizer {
+        OptimizerKind::Lbfgs => {
+            let st = match resume {
+                Some(VqeCheckpoint {
+                    optimizer: OptimizerState::Lbfgs(st),
+                }) => Some(st),
+                _ => None,
+            };
+            match lbfgs_resumable(
+                |theta| energy_and_gradient(hamiltonian, ir, theta),
+                &x0,
+                options.controls,
+                st,
+                budget,
+            )? {
+                OptRun::Done(out) => VqeRun::Done(out.into()),
+                OptRun::Interrupted(st) => VqeRun::Interrupted(Box::new(VqeCheckpoint {
+                    optimizer: OptimizerState::Lbfgs(*st),
+                })),
+            }
+        }
+        OptimizerKind::NelderMead => {
+            let st = match resume {
+                Some(VqeCheckpoint {
+                    optimizer: OptimizerState::NelderMead(st),
+                }) => Some(st),
+                _ => None,
+            };
+            match nelder_mead_resumable(
+                |theta| crate::state::energy(hamiltonian, ir, theta),
+                &x0,
+                0.1,
+                options.controls,
+                st,
+                budget,
+            )? {
+                OptRun::Done(out) => VqeRun::Done(out.into()),
+                OptRun::Interrupted(st) => VqeRun::Interrupted(Box::new(VqeCheckpoint {
+                    optimizer: OptimizerState::NelderMead(*st),
+                })),
+            }
+        }
+        OptimizerKind::Spsa(seed) => {
+            let st = match resume {
+                Some(VqeCheckpoint {
+                    optimizer: OptimizerState::Spsa(st),
+                }) => Some(st),
+                _ => None,
+            };
+            match spsa_resumable(
+                |theta| crate::state::energy(hamiltonian, ir, theta),
+                &x0,
+                seed,
+                options.controls,
+                st,
+                budget,
+            )? {
+                OptRun::Done(out) => VqeRun::Done(out.into()),
+                OptRun::Interrupted(st) => VqeRun::Interrupted(Box::new(VqeCheckpoint {
+                    optimizer: OptimizerState::Spsa(*st),
+                })),
+            }
+        }
     };
-    record_vqe_outcome(&mut span, &options, &result);
-    Ok(result)
+    if let VqeRun::Done(result) = &run {
+        record_vqe_outcome(&mut span, &options, result);
+    }
+    Ok(run)
 }
 
 /// How to evaluate noisy energies for the Fig 10 case studies.
@@ -207,28 +287,10 @@ pub enum NoisyEvaluator {
 /// global-depolarizing path keeps exact gradients (the fidelity factor is
 /// parameter-independent).
 ///
-/// # Panics
-///
-/// Panics if the registers differ or the objective goes non-finite. Use
-/// [`try_run_vqe_noisy`] for a typed error instead.
-pub fn run_vqe_noisy(
-    hamiltonian: &WeightedPauliSum,
-    ir: &PauliIr,
-    evaluator: NoisyEvaluator,
-    options: VqeOptions,
-) -> VqeResult {
-    match try_run_vqe_noisy(hamiltonian, ir, evaluator, options) {
-        Ok(result) => result,
-        Err(e) => panic!("run_vqe_noisy: {e}"),
-    }
-}
-
-/// Fallible [`run_vqe_noisy`].
-///
 /// # Errors
 ///
 /// Returns [`VqeError`] on register mismatches or optimizer failure.
-pub fn try_run_vqe_noisy(
+pub fn run_vqe_noisy(
     hamiltonian: &WeightedPauliSum,
     ir: &PauliIr,
     evaluator: NoisyEvaluator,
@@ -346,7 +408,7 @@ mod tests {
         // [[0.5, 0.4], [0.4, -0.5]] with eigenvalue −√0.41.
         let (h, ir) = toy();
         let sector_min = -(0.41f64).sqrt();
-        let r = run_vqe(&h, &ir, VqeOptions::default());
+        let r = run_vqe(&h, &ir, VqeOptions::default()).unwrap();
         assert!(r.converged);
         assert!(
             (r.energy - sector_min).abs() < 1e-7,
@@ -361,7 +423,7 @@ mod tests {
     #[test]
     fn optimizers_agree_on_toy() {
         let (h, ir) = toy();
-        let lb = run_vqe(&h, &ir, VqeOptions::default());
+        let lb = run_vqe(&h, &ir, VqeOptions::default()).unwrap();
         let nm = run_vqe(
             &h,
             &ir,
@@ -372,7 +434,8 @@ mod tests {
                     ..Default::default()
                 },
             },
-        );
+        )
+        .unwrap();
         assert!((lb.energy - nm.energy).abs() < 1e-5);
     }
 
@@ -405,7 +468,7 @@ mod tests {
     #[test]
     fn noise_raises_minimum_energy() {
         let (h, ir) = toy();
-        let clean = run_vqe(&h, &ir, VqeOptions::default());
+        let clean = run_vqe(&h, &ir, VqeOptions::default()).unwrap();
         let noisy = run_vqe_noisy(
             &h,
             &ir,
@@ -417,7 +480,8 @@ mod tests {
                     ..Default::default()
                 },
             },
-        );
+        )
+        .unwrap();
         assert!(
             noisy.energy > clean.energy,
             "noisy {} clean {}",
@@ -436,7 +500,7 @@ mod tests {
         h.push(0.15, "XXXX".parse().unwrap());
         h.push(0.15, "YYXX".parse().unwrap());
         let e0 = crate::state::energy(&h, &ir, &vec![0.0; ir.num_parameters()]);
-        let r = run_vqe(&h, &ir, VqeOptions::default());
+        let r = run_vqe(&h, &ir, VqeOptions::default()).unwrap();
         assert!(r.converged);
         // The XXXX/YYXX couplings connect |0101⟩ ↔ |1010⟩ (degenerate at
         // 1.2), so the double excitation buys ~0.3 of energy.
@@ -445,9 +509,58 @@ mod tests {
     }
 
     #[test]
+    fn vqe_resume_is_bit_identical() {
+        let (h, ir) = toy();
+        let full = run_vqe(&h, &ir, VqeOptions::default()).unwrap();
+        let x0 = vec![0.0; ir.num_parameters()];
+        let mut resume = None;
+        let segmented = loop {
+            let budget = par::Budget::max_ticks(2);
+            match run_vqe_resumable(&h, &ir, &x0, VqeOptions::default(), resume.take(), &budget)
+                .unwrap()
+            {
+                VqeRun::Done(r) => break r,
+                VqeRun::Interrupted(ck) => resume = Some(*ck),
+            }
+        };
+        assert_eq!(full, segmented);
+    }
+
+    #[test]
+    fn checkpoint_from_wrong_optimizer_is_a_typed_error() {
+        let (h, ir) = toy();
+        let x0 = vec![0.0; ir.num_parameters()];
+        let budget = par::Budget::max_ticks(1);
+        let ck =
+            match run_vqe_resumable(&h, &ir, &x0, VqeOptions::default(), None, &budget).unwrap() {
+                VqeRun::Interrupted(ck) => *ck,
+                VqeRun::Done(_) => panic!("one tick cannot finish the toy"),
+            };
+        let err = run_vqe_resumable(
+            &h,
+            &ir,
+            &x0,
+            VqeOptions {
+                optimizer: OptimizerKind::Spsa(1),
+                ..Default::default()
+            },
+            Some(ck),
+            &par::Budget::unlimited(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            VqeError::CheckpointOptimizerMismatch {
+                expected: "spsa",
+                found: "lbfgs"
+            }
+        ));
+    }
+
+    #[test]
     fn iteration_trace_is_nonincreasing() {
         let (h, ir) = toy();
-        let r = run_vqe(&h, &ir, VqeOptions::default());
+        let r = run_vqe(&h, &ir, VqeOptions::default()).unwrap();
         for w in r.trace.windows(2) {
             assert!(w[1] <= w[0] + 1e-12);
         }

@@ -28,6 +28,14 @@ pub enum VqeError {
     EmptyPool,
     /// VQD was asked for zero states.
     NoStatesRequested,
+    /// A resumed checkpoint carries state for a different optimizer than the
+    /// run was configured with.
+    CheckpointOptimizerMismatch {
+        /// Optimizer the options select.
+        expected: &'static str,
+        /// Optimizer the checkpoint state belongs to.
+        found: &'static str,
+    },
 }
 
 impl fmt::Display for VqeError {
@@ -47,6 +55,10 @@ impl fmt::Display for VqeError {
             VqeError::Optimize(e) => write!(f, "optimizer failure: {e}"),
             VqeError::EmptyPool => write!(f, "ADAPT-VQE requires a non-empty operator pool"),
             VqeError::NoStatesRequested => write!(f, "VQD requires at least one state"),
+            VqeError::CheckpointOptimizerMismatch { expected, found } => write!(
+                f,
+                "checkpoint holds {found} optimizer state but the run is configured for {expected}"
+            ),
         }
     }
 }

@@ -19,10 +19,10 @@
 //!
 //! let system = Benchmark::H2.build(0.74)?;
 //! let ir = UccsdAnsatz::for_system(&system).into_ir();
-//! let result = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
+//! let result = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default())?;
 //! let exact = system.exact_ground_state_energy();
 //! assert!((result.energy - exact).abs() < 1e-6);
-//! # Ok::<(), chem::ChemError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
@@ -41,8 +41,8 @@ pub use adapt::{
     PoolOperator,
 };
 pub use driver::{
-    run_vqe, run_vqe_from, run_vqe_noisy, try_run_vqe, try_run_vqe_from, try_run_vqe_noisy,
-    NoisyEvaluator, VqeOptions, VqeResult,
+    run_vqe, run_vqe_from, run_vqe_noisy, run_vqe_resumable, NoisyEvaluator, VqeCheckpoint,
+    VqeOptions, VqeResult, VqeRun,
 };
 pub use error::VqeError;
 pub use measurement::{estimate_energy_sampled, measurement_basis_circuit, SampledEnergy};
@@ -50,7 +50,8 @@ pub use mitigation::{
     fold_cnots, richardson_extrapolate, zne_energy, MitigatedEnergy, NoiseScaling,
 };
 pub use optimize::{
-    fd_gradient, parameter_shift_gradient, OptimizeError, OptimizeOutcome, OptimizerKind,
+    fd_gradient, parameter_shift_gradient, LbfgsState, NelderMeadState, OptRun, OptimizeError,
+    OptimizeOutcome, OptimizerKind, OptimizerState, SpsaState,
 };
 pub use state::{energy, energy_and_gradient, overlap_and_gradient, prepare_state};
 pub use vqd::{run_vqd, try_run_vqd, VqdOptions, VqdState};

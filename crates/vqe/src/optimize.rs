@@ -89,6 +89,103 @@ impl Default for OptimizeControls {
     }
 }
 
+/// L-BFGS loop state at an iteration boundary — everything the next
+/// iteration reads: iterate, value, gradient, curvature memory, and the
+/// bookkeeping counters. Restoring it resumes the run bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LbfgsState {
+    /// The 1-based outer iteration the resumed loop executes next.
+    pub next_iteration: usize,
+    /// Current iterate.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub f: f64,
+    /// Gradient at `x`.
+    pub g: Vec<f64>,
+    /// Curvature memory: parameter steps.
+    pub s_list: Vec<Vec<f64>>,
+    /// Curvature memory: gradient differences, parallel to `s_list`.
+    pub y_list: Vec<Vec<f64>>,
+    /// Objective value after each completed outer iteration.
+    pub trace: Vec<f64>,
+    /// Objective evaluations consumed so far.
+    pub evaluations: usize,
+}
+
+/// Nelder–Mead loop state at an iteration boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadState {
+    /// The 1-based outer iteration the resumed loop executes next.
+    pub next_iteration: usize,
+    /// Simplex vertices.
+    pub simplex: Vec<Vec<f64>>,
+    /// Objective values, parallel to `simplex`.
+    pub values: Vec<f64>,
+    /// Best value after each completed outer iteration.
+    pub trace: Vec<f64>,
+    /// Objective evaluations consumed so far.
+    pub evaluations: usize,
+}
+
+/// SPSA loop state at an iteration boundary. The perturbation RNG is
+/// counter-mode — re-seeded from `(seed, iteration)` every iteration — so
+/// no generator state needs to be captured: the iteration index *is* the
+/// RNG counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpsaState {
+    /// The 1-based outer iteration the resumed loop executes next.
+    pub next_iteration: usize,
+    /// Base RNG seed (per-iteration generators derive from it).
+    pub seed: u64,
+    /// Current iterate.
+    pub x: Vec<f64>,
+    /// Best iterate seen.
+    pub best_x: Vec<f64>,
+    /// Best objective value seen.
+    pub best_f: f64,
+    /// Best value after each completed outer iteration.
+    pub trace: Vec<f64>,
+    /// Objective evaluations consumed so far.
+    pub evaluations: usize,
+}
+
+/// Loop state of whichever optimizer a VQE run uses, for checkpointing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerState {
+    /// L-BFGS state.
+    Lbfgs(LbfgsState),
+    /// Nelder–Mead state.
+    NelderMead(NelderMeadState),
+    /// SPSA state.
+    Spsa(SpsaState),
+}
+
+impl OptimizerState {
+    /// Short label for diagnostics and checkpoint headers.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OptimizerState::Lbfgs(_) => "lbfgs",
+            OptimizerState::NelderMead(_) => "nelder-mead",
+            OptimizerState::Spsa(_) => "spsa",
+        }
+    }
+}
+
+/// Outcome of a budget-aware optimizer run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptRun<S> {
+    /// The optimizer finished (converged or hit its iteration cap).
+    Done(OptimizeOutcome),
+    /// The budget expired first; resume later from the state.
+    Interrupted(Box<S>),
+}
+
+/// SplitMix64-style odd-constant mix used to derive per-iteration SPSA
+/// seeds — the same scheme the yield Monte Carlo uses for per-chunk RNGs.
+fn counter_seed(seed: u64, counter: u64) -> u64 {
+    seed.wrapping_add(counter.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
 /// Fails with [`OptimizeError::NonFiniteObjective`] unless `value` and every
 /// gradient component are finite.
 fn check_finite(iteration: usize, value: f64, gradient: &[f64]) -> Result<(), OptimizeError> {
@@ -109,45 +206,95 @@ fn check_finite(iteration: usize, value: f64, gradient: &[f64]) -> Result<(), Op
 /// [`OptimizeError::NonFiniteObjective`] the first time the objective or
 /// gradient is NaN/±∞.
 pub fn lbfgs(
-    mut fg: impl FnMut(&[f64]) -> (f64, Vec<f64>),
+    fg: impl FnMut(&[f64]) -> (f64, Vec<f64>),
     x0: &[f64],
     controls: OptimizeControls,
 ) -> Result<OptimizeOutcome, OptimizeError> {
+    match lbfgs_resumable(fg, x0, controls, None, &par::Budget::unlimited())? {
+        OptRun::Done(out) => Ok(out),
+        OptRun::Interrupted(_) => unreachable!("unlimited budget cannot expire"),
+    }
+}
+
+/// Budget-aware L-BFGS: polls `budget` once per outer iteration and returns
+/// [`OptRun::Interrupted`] with the loop state when it expires. Passing the
+/// state back as `resume` continues the run bit-identically — the resumed
+/// trajectory matches an uninterrupted run exactly (same callable required).
+///
+/// # Errors
+///
+/// [`OptimizeError::NonFiniteObjective`] the first time the objective or
+/// gradient is NaN/±∞.
+pub fn lbfgs_resumable(
+    mut fg: impl FnMut(&[f64]) -> (f64, Vec<f64>),
+    x0: &[f64],
+    controls: OptimizeControls,
+    resume: Option<LbfgsState>,
+    budget: &par::Budget,
+) -> Result<OptRun<LbfgsState>, OptimizeError> {
     let n = x0.len();
     let memory = 8usize;
-    let mut x = x0.to_vec();
-    let mut evaluations = 0usize;
-    let (mut f, mut g) = fg(&x);
-    evaluations += 1;
-    check_finite(0, f, &g)?;
-    let mut trace = vec![f];
-    let mut s_list: Vec<Vec<f64>> = Vec::new();
-    let mut y_list: Vec<Vec<f64>> = Vec::new();
+    let (start_iteration, mut x, mut f, mut g, mut s_list, mut y_list, mut trace, mut evaluations) =
+        match resume {
+            Some(st) => (
+                st.next_iteration,
+                st.x,
+                st.f,
+                st.g,
+                st.s_list,
+                st.y_list,
+                st.trace,
+                st.evaluations,
+            ),
+            None => {
+                let x = x0.to_vec();
+                let (f, g) = fg(&x);
+                check_finite(0, f, &g)?;
+                (1, x, f, g, Vec::new(), Vec::new(), vec![f], 1)
+            }
+        };
 
     let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
     let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(p, q)| p * q).sum::<f64>();
 
     if n == 0 {
-        return Ok(OptimizeOutcome {
+        return Ok(OptRun::Done(OptimizeOutcome {
             params: x,
             value: f,
             iterations: 0,
             evaluations,
             trace,
             converged: true,
-        });
+        }));
     }
 
-    for it in 1..=controls.max_iterations {
+    for it in start_iteration..=controls.max_iterations {
+        if !budget.tick() {
+            obs::event!(
+                "vqe.optimize.interrupted",
+                optimizer = "lbfgs",
+                iteration = it
+            );
+            return Ok(OptRun::Interrupted(Box::new(LbfgsState {
+                next_iteration: it,
+                x,
+                f,
+                g,
+                s_list,
+                y_list,
+                trace,
+                evaluations,
+            })));
+        }
         if norm(&g) < controls.gradient_tolerance {
-            return Ok(OptimizeOutcome {
+            return Ok(OptRun::Done(OptimizeOutcome {
                 params: x,
                 value: f,
                 iterations: it - 1,
                 evaluations,
                 trace,
                 converged: true,
-            });
+            }));
         }
 
         // Two-loop recursion for the search direction d = -H·g.
@@ -217,14 +364,14 @@ pub fn lbfgs(
                 check_finite(it, ft, &gt)?;
                 if ft >= f {
                     // No progress possible along d.
-                    return Ok(OptimizeOutcome {
+                    return Ok(OptRun::Done(OptimizeOutcome {
                         params: x,
                         value: f,
                         iterations: it,
                         evaluations,
                         trace,
                         converged: true,
-                    });
+                    }));
                 }
                 (ft, gt, xt)
             }
@@ -247,25 +394,25 @@ pub fn lbfgs(
         g = gt;
         trace.push(f);
         if improvement.abs() < controls.value_tolerance {
-            return Ok(OptimizeOutcome {
+            return Ok(OptRun::Done(OptimizeOutcome {
                 params: x,
                 value: f,
                 iterations: it,
                 evaluations,
                 trace,
                 converged: true,
-            });
+            }));
         }
     }
 
-    Ok(OptimizeOutcome {
+    Ok(OptRun::Done(OptimizeOutcome {
         params: x,
         value: f,
         iterations: controls.max_iterations,
         evaluations,
         trace,
         converged: false,
-    })
+    }))
 }
 
 /// Minimizes `f` with the Nelder–Mead simplex method.
@@ -275,41 +422,95 @@ pub fn lbfgs(
 /// [`OptimizeError::NonFiniteObjective`] the first time the objective is
 /// NaN/±∞.
 pub fn nelder_mead(
-    mut f: impl FnMut(&[f64]) -> f64,
+    f: impl FnMut(&[f64]) -> f64,
     x0: &[f64],
     initial_step: f64,
     controls: OptimizeControls,
 ) -> Result<OptimizeOutcome, OptimizeError> {
+    match nelder_mead_resumable(
+        f,
+        x0,
+        initial_step,
+        controls,
+        None,
+        &par::Budget::unlimited(),
+    )? {
+        OptRun::Done(out) => Ok(out),
+        OptRun::Interrupted(_) => unreachable!("unlimited budget cannot expire"),
+    }
+}
+
+/// Budget-aware Nelder–Mead: polls `budget` once per outer iteration and
+/// returns [`OptRun::Interrupted`] with the simplex when it expires. Passing
+/// the state back as `resume` continues the run bit-identically.
+///
+/// # Errors
+///
+/// [`OptimizeError::NonFiniteObjective`] the first time the objective is
+/// NaN/±∞.
+pub fn nelder_mead_resumable(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    initial_step: f64,
+    controls: OptimizeControls,
+    resume: Option<NelderMeadState>,
+    budget: &par::Budget,
+) -> Result<OptRun<NelderMeadState>, OptimizeError> {
     let n = x0.len();
-    let mut evaluations = 0usize;
     if n == 0 {
         let v = f(x0);
         check_finite(0, v, &[])?;
-        return Ok(OptimizeOutcome {
+        return Ok(OptRun::Done(OptimizeOutcome {
             params: x0.to_vec(),
             value: v,
             iterations: 0,
             evaluations: 1,
             trace: vec![v],
             converged: true,
-        });
+        }));
     }
-    let mut simplex: Vec<Vec<f64>> = vec![x0.to_vec()];
-    for k in 0..n {
-        let mut v = x0.to_vec();
-        v[k] += initial_step;
-        simplex.push(v);
-    }
-    let mut values = Vec::with_capacity(simplex.len());
-    for v in &simplex {
-        evaluations += 1;
-        let fv = f(v);
-        check_finite(0, fv, &[])?;
-        values.push(fv);
-    }
-    let mut trace = Vec::new();
+    let (start_iteration, mut simplex, mut values, mut trace, mut evaluations) = match resume {
+        Some(st) => (
+            st.next_iteration,
+            st.simplex,
+            st.values,
+            st.trace,
+            st.evaluations,
+        ),
+        None => {
+            let mut simplex: Vec<Vec<f64>> = vec![x0.to_vec()];
+            for k in 0..n {
+                let mut v = x0.to_vec();
+                v[k] += initial_step;
+                simplex.push(v);
+            }
+            let mut evaluations = 0usize;
+            let mut values = Vec::with_capacity(simplex.len());
+            for v in &simplex {
+                evaluations += 1;
+                let fv = f(v);
+                check_finite(0, fv, &[])?;
+                values.push(fv);
+            }
+            (1, simplex, values, Vec::new(), evaluations)
+        }
+    };
 
-    for it in 1..=controls.max_iterations {
+    for it in start_iteration..=controls.max_iterations {
+        if !budget.tick() {
+            obs::event!(
+                "vqe.optimize.interrupted",
+                optimizer = "nelder-mead",
+                iteration = it
+            );
+            return Ok(OptRun::Interrupted(Box::new(NelderMeadState {
+                next_iteration: it,
+                simplex,
+                values,
+                trace,
+                evaluations,
+            })));
+        }
         // Order ascending (values stay finite thanks to the eval guards).
         let mut idx: Vec<usize> = (0..simplex.len()).collect();
         idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
@@ -318,14 +519,14 @@ pub fn nelder_mead(
         trace.push(values[0]);
 
         if (values[n] - values[0]).abs() < controls.value_tolerance {
-            return Ok(OptimizeOutcome {
+            return Ok(OptRun::Done(OptimizeOutcome {
                 params: simplex[0].clone(),
                 value: values[0],
                 iterations: it,
                 evaluations,
                 trace,
                 converged: true,
-            });
+            }));
         }
 
         let centroid: Vec<f64> = (0..n)
@@ -397,14 +598,14 @@ pub fn nelder_mead(
     else {
         unreachable!("non-empty simplex")
     };
-    Ok(OptimizeOutcome {
+    Ok(OptRun::Done(OptimizeOutcome {
         params: simplex[best].clone(),
         value: values[best],
         iterations: controls.max_iterations,
         evaluations,
         trace,
         converged: false,
-    })
+    }))
 }
 
 /// Minimizes `f` with SPSA (deterministic for a fixed seed).
@@ -414,24 +615,76 @@ pub fn nelder_mead(
 /// [`OptimizeError::NonFiniteObjective`] the first time the objective is
 /// NaN/±∞.
 pub fn spsa(
-    mut f: impl FnMut(&[f64]) -> f64,
+    f: impl FnMut(&[f64]) -> f64,
     x0: &[f64],
     seed: u64,
     controls: OptimizeControls,
 ) -> Result<OptimizeOutcome, OptimizeError> {
+    match spsa_resumable(f, x0, seed, controls, None, &par::Budget::unlimited())? {
+        OptRun::Done(out) => Ok(out),
+        OptRun::Interrupted(_) => unreachable!("unlimited budget cannot expire"),
+    }
+}
+
+/// Budget-aware SPSA: polls `budget` once per outer iteration and returns
+/// [`OptRun::Interrupted`] with the loop state when it expires. The
+/// perturbation RNG is re-seeded per iteration from `(seed, iteration)`
+/// (counter mode), so a resumed run draws exactly the deltas an
+/// uninterrupted run would — the iteration index is the RNG counter and is
+/// part of [`SpsaState`].
+///
+/// # Errors
+///
+/// [`OptimizeError::NonFiniteObjective`] the first time the objective is
+/// NaN/±∞.
+pub fn spsa_resumable(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    seed: u64,
+    controls: OptimizeControls,
+    resume: Option<SpsaState>,
+    budget: &par::Budget,
+) -> Result<OptRun<SpsaState>, OptimizeError> {
     let n = x0.len();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut x = x0.to_vec();
-    let mut evaluations = 1usize;
-    let mut best_f = f(&x);
-    check_finite(0, best_f, &[])?;
-    let mut best_x = x.clone();
-    let mut trace = vec![best_f];
+    let (start_iteration, mut x, mut best_x, mut best_f, mut trace, mut evaluations) = match resume
+    {
+        Some(st) => (
+            st.next_iteration,
+            st.x,
+            st.best_x,
+            st.best_f,
+            st.trace,
+            st.evaluations,
+        ),
+        None => {
+            let x = x0.to_vec();
+            let best_f = f(&x);
+            check_finite(0, best_f, &[])?;
+            (1, x.clone(), x, best_f, vec![best_f], 1)
+        }
+    };
     let (a0, c0, big_a, alpha, gamma) = (0.2, 0.1, 10.0, 0.602, 0.101);
 
-    for it in 1..=controls.max_iterations {
+    for it in start_iteration..=controls.max_iterations {
+        if !budget.tick() {
+            obs::event!(
+                "vqe.optimize.interrupted",
+                optimizer = "spsa",
+                iteration = it
+            );
+            return Ok(OptRun::Interrupted(Box::new(SpsaState {
+                next_iteration: it,
+                seed,
+                x,
+                best_x,
+                best_f,
+                trace,
+                evaluations,
+            })));
+        }
         let ak = a0 / ((it as f64 + big_a).powf(alpha));
         let ck = c0 / (it as f64).powf(gamma);
+        let mut rng = StdRng::seed_from_u64(counter_seed(seed, it as u64));
         let delta: Vec<f64> = (0..n)
             .map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 })
             .collect();
@@ -455,14 +708,14 @@ pub fn spsa(
         trace.push(best_f);
     }
 
-    Ok(OptimizeOutcome {
+    Ok(OptRun::Done(OptimizeOutcome {
         params: best_x,
         value: best_f,
         iterations: controls.max_iterations,
         evaluations,
         trace,
         converged: true,
-    })
+    }))
 }
 
 /// Central finite-difference gradient of `f` at `x`, with the per-parameter
@@ -702,5 +955,94 @@ mod tests {
 
         let err = spsa(|_| f64::NAN, &[1.0], 3, OptimizeControls::default()).unwrap_err();
         assert!(matches!(err, OptimizeError::NonFiniteObjective { .. }));
+    }
+
+    /// Drives a resumable optimizer to completion in budget-limited segments
+    /// of `ticks` iterations each, chaining the interrupted state.
+    fn run_segmented<S>(
+        mut step: impl FnMut(Option<S>, &par::Budget) -> Result<OptRun<S>, OptimizeError>,
+        ticks: u64,
+    ) -> OptimizeOutcome {
+        let mut state = None;
+        loop {
+            match step(state.take(), &par::Budget::max_ticks(ticks)).unwrap() {
+                OptRun::Done(out) => return out,
+                OptRun::Interrupted(st) => state = Some(*st),
+            }
+        }
+    }
+
+    #[test]
+    fn lbfgs_resume_is_bit_identical() {
+        let x0 = [0.0, 0.0, 0.0];
+        let full = lbfgs(quadratic_grad, &x0, OptimizeControls::default()).unwrap();
+        for ticks in [1, 2, 3] {
+            let segmented = run_segmented(
+                |resume, budget| {
+                    lbfgs_resumable(
+                        quadratic_grad,
+                        &x0,
+                        OptimizeControls::default(),
+                        resume,
+                        budget,
+                    )
+                },
+                ticks,
+            );
+            assert_eq!(full, segmented, "segment length {ticks}");
+        }
+    }
+
+    #[test]
+    fn nelder_mead_resume_is_bit_identical() {
+        let x0 = [0.0, 0.0, 0.0];
+        let controls = OptimizeControls {
+            max_iterations: 2000,
+            ..Default::default()
+        };
+        let full = nelder_mead(quadratic, &x0, 0.5, controls).unwrap();
+        let segmented = run_segmented(
+            |resume, budget| nelder_mead_resumable(quadratic, &x0, 0.5, controls, resume, budget),
+            7,
+        );
+        assert_eq!(full, segmented);
+    }
+
+    #[test]
+    fn spsa_resume_is_bit_identical() {
+        let x0 = [0.0, 0.0, 0.0];
+        let controls = OptimizeControls {
+            max_iterations: 300,
+            ..Default::default()
+        };
+        let full = spsa(quadratic, &x0, 7, controls).unwrap();
+        for ticks in [1, 13] {
+            let segmented = run_segmented(
+                |resume, budget| spsa_resumable(quadratic, &x0, 7, controls, resume, budget),
+                ticks,
+            );
+            assert_eq!(full, segmented, "segment length {ticks}");
+        }
+    }
+
+    #[test]
+    fn interrupted_optimizer_reports_loop_state() {
+        let budget = par::Budget::max_ticks(2);
+        let run = lbfgs_resumable(
+            quadratic_grad,
+            &[0.0, 0.0, 0.0],
+            OptimizeControls::default(),
+            None,
+            &budget,
+        )
+        .unwrap();
+        match run {
+            OptRun::Interrupted(st) => {
+                assert_eq!(st.next_iteration, 3);
+                assert!(st.evaluations >= 3);
+                assert_eq!(st.trace.len(), 3);
+            }
+            OptRun::Done(_) => panic!("two ticks cannot finish the quadratic"),
+        }
     }
 }

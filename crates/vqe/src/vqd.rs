@@ -195,7 +195,7 @@ mod tests {
     fn first_state_matches_plain_vqe() {
         let (h, ir) = toy();
         let vqd = run_vqd(&h, &ir, 1, VqdOptions::default());
-        let vqe = crate::driver::run_vqe(&h, &ir, crate::driver::VqeOptions::default());
+        let vqe = crate::driver::run_vqe(&h, &ir, crate::driver::VqeOptions::default()).unwrap();
         assert!((vqd[0].energy - vqe.energy).abs() < 1e-6);
     }
 

@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = UccsdAnsatz::for_system(&system).into_ir();
     for ratio in [0.3, 0.5] {
         let (ir, _) = compress(&full, h, ratio);
-        let run = run_vqe(h, &ir, VqeOptions::default());
+        let run = run_vqe(h, &ir, VqeOptions::default()).unwrap();
         println!(
             "compression {:>3.0}%     {:>5}   {:>11.6}   {:>8.2e}   {:>6}",
             ratio * 100.0,

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for ratio in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let (ir, report) = compress(&full, system.qubit_hamiltonian(), ratio);
-        let vqe = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
+        let vqe = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default()).unwrap();
         println!(
             "importance {:3.0}%   {:>5}   {:>11.6}   {:>9.2e}   {:>6}",
             ratio * 100.0,
@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut energies = Vec::new();
     for seed in 0..5 {
         let (ir, _) = compress_random(&full, 0.5, seed);
-        let vqe = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
+        let vqe = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default()).unwrap();
         energies.push(vqe.energy);
     }
     let mean = energies.iter().sum::<f64>() / energies.len() as f64;

@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (ir, _) = compress(&full, h, 0.5);
 
     // Optimize noiselessly, then study the noisy evaluation of the optimum.
-    let run = run_vqe(h, &ir, VqeOptions::default());
+    let run = run_vqe(h, &ir, VqeOptions::default()).unwrap();
     let ideal = energy(h, &ir, &run.params);
     println!("noise-free energy at the optimum : {ideal:.6} Ha");
 

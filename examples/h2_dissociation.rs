@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let bond = 0.3 + 0.1 * k as f64;
         let system = Benchmark::H2.build(bond)?;
         let ir = UccsdAnsatz::for_system(&system).into_ir();
-        let vqe = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
+        let vqe = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default()).unwrap();
         obs::event!(
             "scan.point",
             bond = bond,

@@ -51,7 +51,7 @@ fn main() {
     for ratio in [0.3, 0.5, 1.0] {
         let (ir, _) = compress(ansatz.ir(), &h, ratio);
         let x0 = vec![0.02; ir.num_parameters()];
-        let run = run_vqe_from(&h, &ir, &x0, VqeOptions::default());
+        let run = run_vqe_from(&h, &ir, &x0, VqeOptions::default()).unwrap();
         println!(
             "{:>4.0}%   {:>9.6}   {:>9.2e}   {:>5}",
             ratio * 100.0,

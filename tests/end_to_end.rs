@@ -18,7 +18,7 @@ use pauli_codesign::CoDesignPipeline;
 fn h2_vqe_reaches_fci() {
     let system = Benchmark::H2.build(0.7414).expect("H2 chemistry");
     let ir = UccsdAnsatz::for_system(&system).into_ir();
-    let result = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
+    let result = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default()).unwrap();
     let exact = system.exact_ground_state_energy();
     assert!(
         (result.energy - exact).abs() < 1e-7,
@@ -38,9 +38,9 @@ fn lih_compression_tradeoff() {
     let full = UccsdAnsatz::for_system(&system).into_ir();
     let h = system.qubit_hamiltonian();
 
-    let full_run = run_vqe(h, &full, VqeOptions::default());
+    let full_run = run_vqe(h, &full, VqeOptions::default()).unwrap();
     let (half_ir, report) = compress(&full, h, 0.5);
-    let half_run = run_vqe(h, &half_ir, VqeOptions::default());
+    let half_run = run_vqe(h, &half_ir, VqeOptions::default()).unwrap();
 
     assert_eq!(report.kept_parameters, 4);
     assert!(half_run.iterations <= full_run.iterations);
@@ -61,7 +61,7 @@ fn vqe_traces_are_variational() {
     let full = UccsdAnsatz::for_system(&system).into_ir();
     for ratio in [0.1, 0.5, 0.9] {
         let (ir, _) = compress(&full, system.qubit_hamiltonian(), ratio);
-        let run = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
+        let run = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default()).unwrap();
         for &e in &run.trace {
             assert!(e >= exact - 1e-9, "trace dipped below exact: {e} < {exact}");
         }
@@ -77,7 +77,7 @@ fn compiled_circuit_reproduces_vqe_energy() {
     let h = system.qubit_hamiltonian();
     let full = UccsdAnsatz::for_system(&system).into_ir();
     let (ir, _) = compress(&full, h, 0.5);
-    let run = run_vqe(h, &ir, VqeOptions::default());
+    let run = run_vqe(h, &ir, VqeOptions::default()).unwrap();
 
     let topology = Topology::xtree(8);
     let layout = hierarchical_initial_layout(&ir, &topology);
@@ -178,7 +178,7 @@ fn pipeline_facade_consistency() {
         .expect("pipeline");
     let system = Benchmark::H2.build(0.74).expect("chemistry");
     let ir = UccsdAnsatz::for_system(&system).into_ir();
-    let manual = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
+    let manual = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default()).unwrap();
     assert!((report.energy - manual.energy).abs() < 1e-10);
     assert_eq!(report.iterations, manual.iterations);
 }
@@ -194,7 +194,7 @@ fn vqe_state_symmetries_and_diagnostics() {
     let system = Benchmark::H2.build(0.74).expect("H2 chemistry");
     let h = system.qubit_hamiltonian();
     let ir = UccsdAnsatz::for_system(&system).into_ir();
-    let run = run_vqe(h, &ir, VqeOptions::default());
+    let run = run_vqe(h, &ir, VqeOptions::default()).unwrap();
     let psi = pauli_codesign::vqe::state::prepare_state(&ir, &run.params);
     let amps = psi.amplitudes();
 
@@ -235,6 +235,6 @@ fn nah_active_space_is_consistent() {
         system.qubit_hamiltonian(),
         0.5,
     );
-    let run = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default());
+    let run = run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default()).unwrap();
     assert!(run.energy < system.hartree_fock_energy());
 }

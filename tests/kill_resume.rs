@@ -1,0 +1,176 @@
+//! Kill-and-resume integration tests: the durability layer's headline
+//! guarantee, end to end through the *on-disk* checkpoint format.
+//!
+//! A run that is interrupted by a tight budget, persisted to a checkpoint
+//! file (CRC trailer, hex-encoded floats, atomic rename), read back, and
+//! resumed — possibly many times — must finish with results bit-identical
+//! to a never-interrupted run. And because the `par` layer's decomposition
+//! is thread-count-invariant, that must hold at 1 and 4 worker threads.
+
+use pauli_codesign::ansatz::{compress, uccsd::UccsdAnsatz};
+use pauli_codesign::arch::{
+    simulate_yield, simulate_yield_resumable, CollisionModel, Topology, YieldRun,
+};
+use pauli_codesign::chem::Benchmark;
+use pauli_codesign::par::{self, Budget};
+use pauli_codesign::resilience::{decode_vqe, decode_yield, encode_vqe, encode_yield, Checkpoint};
+use pauli_codesign::vqe::driver::{run_vqe, run_vqe_resumable, VqeOptions, VqeResult, VqeRun};
+
+/// A scratch directory for one test's checkpoint files, removed on drop.
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("pcd-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        ScratchDir(dir)
+    }
+
+    fn path(&self, file: &str) -> std::path::PathBuf {
+        self.0.join(file)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs LiH VQE killed every `kill_every` optimizer iterations, with each
+/// interruption round-tripped through a checkpoint file.
+fn vqe_through_kills(kill_every: u64, ckpt: &std::path::Path) -> (VqeResult, usize) {
+    let system = Benchmark::LiH
+        .build(Benchmark::LiH.equilibrium_bond_length())
+        .expect("LiH builds");
+    let full = UccsdAnsatz::for_system(&system).into_ir();
+    let (ir, _) = compress(&full, system.qubit_hamiltonian(), 0.5);
+    let x0 = vec![0.0; ir.num_parameters()];
+    let _ = std::fs::remove_file(ckpt);
+    let mut kills = 0;
+    let result = loop {
+        let resume = ckpt.exists().then(|| {
+            decode_vqe(&Checkpoint::read(ckpt).expect("read checkpoint")).expect("decode")
+        });
+        let budget = Budget::max_ticks(kill_every);
+        match run_vqe_resumable(
+            system.qubit_hamiltonian(),
+            &ir,
+            &x0,
+            VqeOptions::default(),
+            resume,
+            &budget,
+        )
+        .expect("vqe runs")
+        {
+            VqeRun::Done(r) => break r,
+            VqeRun::Interrupted(state) => {
+                kills += 1;
+                encode_vqe(&state).write(ckpt).expect("write checkpoint");
+            }
+        }
+    };
+    (result, kills)
+}
+
+#[test]
+fn vqe_kill_and_resume_is_bit_identical_at_1_and_4_threads() {
+    let scratch = ScratchDir::new("kill-resume-vqe");
+    let system = Benchmark::LiH
+        .build(Benchmark::LiH.equilibrium_bond_length())
+        .expect("LiH builds");
+    let full = UccsdAnsatz::for_system(&system).into_ir();
+    let (ir, _) = compress(&full, system.qubit_hamiltonian(), 0.5);
+    let baseline =
+        run_vqe(system.qubit_hamiltonian(), &ir, VqeOptions::default()).expect("baseline");
+
+    for threads in [1, 4] {
+        let ckpt = scratch.path(&format!("vqe-{threads}.ckpt"));
+        let (resumed, kills) = par::with_threads(threads, || vqe_through_kills(2, &ckpt));
+        assert!(kills >= 1, "a 2-tick budget must actually interrupt");
+        assert_eq!(
+            resumed.energy.to_bits(),
+            baseline.energy.to_bits(),
+            "threads {threads}: {} vs {}",
+            resumed.energy,
+            baseline.energy
+        );
+        assert_eq!(resumed.iterations, baseline.iterations, "threads {threads}");
+        for (i, (a, b)) in resumed.params.iter().zip(&baseline.params).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "threads {threads}: parameter {i} drifted"
+            );
+        }
+        for (i, (a, b)) in resumed.trace.iter().zip(&baseline.trace).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "threads {threads}: trace entry {i} drifted"
+            );
+        }
+    }
+}
+
+#[test]
+fn yield_kill_and_resume_is_bit_identical_at_1_and_4_threads() {
+    let scratch = ScratchDir::new("kill-resume-yield");
+    let topology = Topology::xtree(17);
+    let model = CollisionModel::default();
+    let (sigma, samples, seed) = (0.04, 3_000, 17);
+    let baseline = simulate_yield(&topology, &model, sigma, samples, seed);
+
+    for threads in [1, 4] {
+        let ckpt = scratch.path(&format!("yield-{threads}.ckpt"));
+        let _ = std::fs::remove_file(&ckpt);
+        let (resumed, kills) = par::with_threads(threads, || {
+            let mut kills = 0;
+            let estimate = loop {
+                let resume = ckpt.exists().then(|| {
+                    decode_yield(&Checkpoint::read(&ckpt).expect("read checkpoint"))
+                        .expect("decode")
+                });
+                // One chunk wave per segment: the tightest interruption grain.
+                let budget = Budget::max_ticks(1);
+                match simulate_yield_resumable(
+                    &topology, &model, sigma, samples, seed, resume, &budget,
+                ) {
+                    YieldRun::Done(e) => break e,
+                    YieldRun::Interrupted(state) => {
+                        kills += 1;
+                        encode_yield(&state).write(&ckpt).expect("write checkpoint");
+                    }
+                }
+            };
+            (estimate, kills)
+        });
+        assert!(kills >= 1, "a 1-tick budget must actually interrupt");
+        assert_eq!(
+            resumed.yield_rate.to_bits(),
+            baseline.yield_rate.to_bits(),
+            "threads {threads}: {} vs {}",
+            resumed.yield_rate,
+            baseline.yield_rate
+        );
+        assert_eq!(
+            resumed.mean_collisions.to_bits(),
+            baseline.mean_collisions.to_bits(),
+            "threads {threads}"
+        );
+        assert_eq!(resumed.samples, baseline.samples);
+    }
+}
+
+#[test]
+fn resume_after_checkpoint_loss_still_recovers_from_scratch() {
+    // Losing the checkpoint file is not fatal — the run restarts clean and
+    // still lands on the same answer (determinism is the backstop).
+    let scratch = ScratchDir::new("kill-resume-loss");
+    let ckpt = scratch.path("vqe.ckpt");
+    let (first, _) = vqe_through_kills(3, &ckpt);
+    std::fs::remove_file(scratch.path("nonexistent")).ok();
+    let _ = std::fs::remove_file(&ckpt);
+    let (second, _) = vqe_through_kills(3, &ckpt);
+    assert_eq!(first.energy.to_bits(), second.energy.to_bits());
+}

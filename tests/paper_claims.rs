@@ -50,12 +50,12 @@ fn importance_selection_beats_random() {
     let h = system.qubit_hamiltonian();
     let full = UccsdAnsatz::for_system(&system).into_ir();
     let (smart, _) = compress(&full, h, 0.5);
-    let smart_energy = run_vqe(h, &smart, VqeOptions::default()).energy;
+    let smart_energy = run_vqe(h, &smart, VqeOptions::default()).unwrap().energy;
 
     let mut random_energies = Vec::new();
     for seed in 0..3 {
         let (ir, _) = compress_random(&full, 0.5, seed);
-        random_energies.push(run_vqe(h, &ir, VqeOptions::default()).energy);
+        random_energies.push(run_vqe(h, &ir, VqeOptions::default()).unwrap().energy);
     }
     let random_mean = random_energies.iter().sum::<f64>() / random_energies.len() as f64;
     assert!(
@@ -71,7 +71,7 @@ fn half_ratio_error_is_tiny() {
     let system = Benchmark::LiH.build(1.6).expect("LiH chemistry");
     let h = system.qubit_hamiltonian();
     let (ir, _) = compress(&UccsdAnsatz::for_system(&system).into_ir(), h, 0.5);
-    let run = run_vqe(h, &ir, VqeOptions::default());
+    let run = run_vqe(h, &ir, VqeOptions::default()).unwrap();
     let exact = system.exact_ground_state_energy();
     let relative = ((run.energy - exact) / exact).abs();
     assert!(relative < 5e-4, "relative error {relative}");
@@ -134,7 +134,7 @@ fn compression_speeds_convergence() {
     let mut last = usize::MAX;
     for ratio in [0.9, 0.5, 0.1] {
         let (ir, _) = compress(&full, h, ratio);
-        let run = run_vqe(h, &ir, VqeOptions::default());
+        let run = run_vqe(h, &ir, VqeOptions::default()).unwrap();
         assert!(
             run.iterations <= last,
             "iterations should not grow as parameters shrink"
