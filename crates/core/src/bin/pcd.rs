@@ -13,9 +13,11 @@
 //!
 //! `0` success · `1` usage error · `10` chemistry · `11` SCF · `12`
 //! encoding · `13` compile · `14` VQE · `20` chaos run had unrecovered
-//! trials · `21` bench regressed against `--baseline` · `30` budget
-//! expired, checkpoint saved (rerun with `--resume`) · `31` checkpoint
-//! unreadable or corrupt. Codes 10–14 and 30–31 follow
+//! trials · `21` bench regressed against `--baseline` or crept past the
+//! `--history` window drift · `30` budget expired, checkpoint saved
+//! (rerun with `--resume`; also a drained `pcd batch` with its manifest
+//! saved) · `31` checkpoint unreadable or corrupt · `32` batch finished
+//! but degraded (jobs quarantined or shed). Codes 10–14 and 30–31 follow
 //! [`PcdError::exit_code`].
 
 use std::process::ExitCode;
@@ -36,6 +38,10 @@ use pauli_codesign::resilience::{
     f64_to_hex, run_chaos, ChaosOptions, Checkpoint, DegradationLadder, DegradationPolicy,
     FaultKind, PcdError,
 };
+use pauli_codesign::supervisor::{
+    parse_jobs, run_batch_resumed, run_supervised_chaos, BatchReport, InjectionPlan, JobState,
+    ShedPolicy, SupervisedChaosOptions, SupervisorConfig, SupervisorError,
+};
 use pauli_codesign::vqe::driver::{run_vqe, run_vqe_resumable, VqeOptions, VqeResult, VqeRun};
 
 /// A CLI failure: either bad usage (exit 1, prints usage) or a typed
@@ -55,6 +61,20 @@ enum CliError {
     },
     /// `bench --baseline` found benchmarks slower than the tolerance.
     BenchRegression(Vec<String>),
+    /// The supervisor itself failed (bad jobs file, manifest mismatch).
+    Batch(SupervisorError),
+    /// A batch drain stopped the run; the manifest is saved for --resume.
+    BatchDrained {
+        /// Jobs still pending in the manifest.
+        pending: usize,
+    },
+    /// The batch finished but some jobs were quarantined or shed.
+    BatchDegraded {
+        /// Jobs quarantined after exhausting retries.
+        quarantined: usize,
+        /// Jobs shed by admission control.
+        shed: usize,
+    },
 }
 
 /// Exit code for a chaos run with unrecovered trials.
@@ -62,6 +82,13 @@ const EXIT_CHAOS_UNSURVIVED: u8 = 20;
 
 /// Exit code for a bench run that regressed against its baseline.
 const EXIT_BENCH_REGRESSION: u8 = 21;
+
+/// Exit code for a drained batch (same meaning as a budget expiry: the
+/// work is checkpointed, rerun with `--resume`).
+const EXIT_BATCH_DRAINED: u8 = 30;
+
+/// Exit code for a batch that completed with quarantined or shed jobs.
+const EXIT_BATCH_DEGRADED: u8 = 32;
 
 impl CliError {
     fn exit_code(&self) -> u8 {
@@ -71,6 +98,10 @@ impl CliError {
             CliError::Pipeline(e) => e.exit_code() as u8,
             CliError::ChaosUnsurvived { .. } => EXIT_CHAOS_UNSURVIVED,
             CliError::BenchRegression(_) => EXIT_BENCH_REGRESSION,
+            CliError::Batch(SupervisorError::Spec(_)) => 1,
+            CliError::Batch(_) => 31,
+            CliError::BatchDrained { .. } => EXIT_BATCH_DRAINED,
+            CliError::BatchDegraded { .. } => EXIT_BATCH_DEGRADED,
         }
     }
 }
@@ -94,7 +125,22 @@ impl std::fmt::Display for CliError {
                 }
                 Ok(())
             }
+            CliError::Batch(e) => write!(f, "{e}"),
+            CliError::BatchDrained { pending } => write!(
+                f,
+                "batch drained: {pending} job(s) pending, manifest saved (rerun with --resume)"
+            ),
+            CliError::BatchDegraded { quarantined, shed } => write!(
+                f,
+                "batch degraded: {quarantined} job(s) quarantined, {shed} shed"
+            ),
         }
+    }
+}
+
+impl From<SupervisorError> for CliError {
+    fn from(e: SupervisorError) -> Self {
+        CliError::Batch(e)
     }
 }
 
@@ -163,8 +209,27 @@ commands:
                                       ticks, resume from checkpoint files,
                                       and verify the results match an
                                       uninterrupted run bit-for-bit
+  chaos --supervised [--trials N] [--jobs N] [--workers N] [--seed N]
+        [--fault-rate R]              supervised-batch chaos: run whole
+                                      batches under injected panics, hangs,
+                                      and transients; assert no job is lost
+                                      or double-counted, records are
+                                      worker-count invariant, and a drained
+                                      batch resumes bit-identically
+  batch <JOBS.jsonl> [--workers N] [--seed N] [--max-retries K]
+        [--queue-cap Q] [--shed reject-new|drop-oldest] [--job-timeout S]
+        [--slice-ticks T] [--max-slices M] [--breaker N] [--backoff-ms B]
+        [--fault-rate R] [--deadline SECS] [--drain-after-ticks T]
+        [--checkpoint DIR] [--resume]
+                                      run a batch of pipeline jobs (one
+                                      JSON object per line: molecule, bond,
+                                      ratio, id) over supervised workers;
+                                      exit 0 all done, 30 drained with a
+                                      resumable manifest, 32 degraded
+                                      (quarantined/shed jobs)
   bench [--smoke] [--out FILE] [--qubits N] [--baseline FILE]
-        [--tolerance PCT]
+        [--tolerance PCT] [--history FILE] [--window K]
+        [--drift-tolerance PCT]
                                       benchmark the parallel hot paths
                                       (serial vs parallel; PCD_THREADS sets
                                       the worker count) and write a JSON
@@ -172,7 +237,12 @@ commands:
                                       with --baseline, exit 21 if any
                                       benchmark is >10% slower than FILE
                                       (--tolerance overrides the 10%, for
-                                      noisy shared runners)
+                                      noisy shared runners); with --history,
+                                      keep a rolling window of the last K
+                                      reports (default 8) and exit 21 on
+                                      cumulative creep beyond
+                                      --drift-tolerance (default 25%) over
+                                      the window
   help                                this message
 
 durability (pcd run):
@@ -217,6 +287,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "qasm" => cmd_qasm(&flags),
         "yield" => cmd_yield(&flags),
         "chaos" => cmd_chaos(&flags),
+        "batch" => cmd_batch(&flags),
         "bench" => cmd_bench(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -229,7 +300,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
     // trace of what ran up to the checkpoint is still worth keeping.
     let interrupted = matches!(
         &result,
-        Err(CliError::Pipeline(PcdError::Interrupted { .. }))
+        Err(CliError::Pipeline(PcdError::Interrupted { .. })) | Err(CliError::BatchDrained { .. })
     );
     if result.is_ok() || interrupted {
         if let Some(path) = &trace_path {
@@ -251,7 +322,7 @@ struct Flags {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["metrics", "smoke", "resume", "kill-resume"];
+const BOOLEAN_FLAGS: &[&str] = &["metrics", "smoke", "resume", "kill-resume", "supervised"];
 
 impl Flags {
     fn is_set(&self, key: &str) -> bool {
@@ -940,6 +1011,9 @@ fn cmd_chaos(flags: &Flags) -> Result<(), CliError> {
     if flags.is_set("kill-resume") {
         return cmd_kill_resume(flags);
     }
+    if flags.is_set("supervised") {
+        return cmd_supervised_chaos(flags);
+    }
     let molecule = if flags.positional.is_empty() {
         Benchmark::H2
     } else {
@@ -1021,6 +1095,230 @@ fn cmd_chaos(flags: &Flags) -> Result<(), CliError> {
         });
     }
     println!("  survived: every injected fault was recovered");
+    Ok(())
+}
+
+fn cmd_supervised_chaos(flags: &Flags) -> Result<(), CliError> {
+    let seed = flags.get_u64("seed", 42)?;
+    let trials = flags.get_usize("trials", 20)?;
+    if trials == 0 {
+        return Err(CliError::Usage("--trials must be positive".to_string()));
+    }
+    let jobs = flags.get_usize("jobs", 6)?;
+    if jobs == 0 {
+        return Err(CliError::Usage("--jobs must be positive".to_string()));
+    }
+    let workers = flags.get_usize("workers", 2)?.max(1);
+    let fault_rate = flags.get_f64("fault-rate", 0.25)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(CliError::Usage(
+            "--fault-rate must be in [0, 1]".to_string(),
+        ));
+    }
+
+    obs::enable();
+    let report = run_supervised_chaos(&SupervisedChaosOptions {
+        seed,
+        trials,
+        jobs,
+        workers,
+        fault_rate,
+        ..SupervisedChaosOptions::default()
+    });
+
+    println!(
+        "chaos --supervised: {trials} trials × {jobs} jobs at {workers} workers, \
+         fault rate {:.0}%, seed {seed}",
+        fault_rate * 100.0
+    );
+    let (done, quarantined, shed, retries) = report
+        .outcomes
+        .iter()
+        .fold((0, 0, 0, 0), |(d, q, s, r), o| {
+            (d + o.done, q + o.quarantined, s + o.shed, r + o.retries)
+        });
+    println!("  jobs done        : {done}");
+    println!("  jobs quarantined : {quarantined}");
+    println!("  jobs shed        : {shed}");
+    println!("  retries spent    : {retries}");
+    let snapshot = obs::snapshot();
+    for counter in [
+        "supervisor.panics_caught",
+        "supervisor.timeouts",
+        "supervisor.jobs_shed",
+        "supervisor.breaker_opened",
+    ] {
+        println!(
+            "  obs {:<28}: {}",
+            counter,
+            snapshot.counters.get(counter).copied().unwrap_or(0)
+        );
+    }
+    for outcome in &report.outcomes {
+        for violation in &outcome.violations {
+            eprintln!("  trial {}: VIOLATION: {violation}", outcome.trial);
+        }
+    }
+    if !report.survived() {
+        return Err(CliError::ChaosUnsurvived {
+            failed: report.failures(),
+            trials,
+        });
+    }
+    println!(
+        "  survived: every job in exactly one terminal state, records \
+         worker-count invariant, drain/resume bit-identical"
+    );
+    Ok(())
+}
+
+fn print_batch_report(report: &BatchReport) {
+    println!(
+        "{:<4} {:<14} {:<12} {:>12} {:>8}  detail",
+        "#", "job", "state", "energy", "retries"
+    );
+    for record in &report.records {
+        let (energy, detail) = match &record.state {
+            JobState::Done {
+                iterations,
+                scf_retries,
+                sabre_fallback,
+                ..
+            } => (
+                record
+                    .energy()
+                    .map(|e| format!("{e:.6}"))
+                    .unwrap_or_default(),
+                format!(
+                    "{iterations} iters{}{}",
+                    if *scf_retries > 0 {
+                        format!(", {scf_retries} scf retries")
+                    } else {
+                        String::new()
+                    },
+                    if *sabre_fallback { ", sabre" } else { "" }
+                ),
+            ),
+            JobState::Quarantined { stage, error, .. } => {
+                (String::new(), format!("{stage}: {error}"))
+            }
+            JobState::Shed => (String::new(), "shed by admission control".to_string()),
+            JobState::Pending { attempt, .. } => {
+                (String::new(), format!("pending at attempt {attempt}"))
+            }
+        };
+        println!(
+            "{:<4} {:<14} {:<12} {:>12} {:>8}  {}",
+            record.index,
+            record.id,
+            record.state.label(),
+            energy,
+            record.retries,
+            detail
+        );
+    }
+    println!(
+        "batch: {} done, {} quarantined, {} shed, {} pending",
+        report.done(),
+        report.quarantined(),
+        report.shed(),
+        report.pending()
+    );
+}
+
+fn cmd_batch(flags: &Flags) -> Result<(), CliError> {
+    let jobs_path = flags
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Usage("a JOBS.jsonl file is required".to_string()))?;
+    let text = std::fs::read_to_string(jobs_path)
+        .map_err(|e| CliError::Usage(format!("reading {jobs_path}: {e}")))?;
+    let jobs = parse_jobs(&text).map_err(CliError::Usage)?;
+
+    let mut config = SupervisorConfig {
+        workers: flags.get_usize("workers", 2)?.max(1),
+        batch_seed: flags.get_u64("seed", 42)?,
+        max_retries: flags.get_usize("max-retries", 3)?,
+        queue_cap: flags.get_usize("queue-cap", 0)?,
+        shed: ShedPolicy::parse(flags.get("shed").unwrap_or("reject-new"))?,
+        slice_ticks: flags.get_u64("slice-ticks", 0)?,
+        breaker_threshold: flags.get_usize("breaker", 3)?,
+        pipeline_fault_rate: flags.get_f64("fault-rate", 0.0)?,
+        ..SupervisorConfig::default()
+    };
+    if !(0.0..=1.0).contains(&config.pipeline_fault_rate) {
+        return Err(CliError::Usage(
+            "--fault-rate must be in [0, 1]".to_string(),
+        ));
+    }
+    if config.pipeline_fault_rate > 0.0 {
+        config.injection = InjectionPlan::chaos(config.pipeline_fault_rate);
+    }
+    config.backoff.base_ms = flags.get_u64("backoff-ms", 0)?;
+    if let Some(secs) = flags.get("job-timeout") {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--job-timeout expects seconds, got `{secs}`")))?;
+        if secs.is_nan() || secs <= 0.0 {
+            return Err(CliError::Usage(
+                "--job-timeout must be positive".to_string(),
+            ));
+        }
+        config.slice_wall = Some(Duration::from_secs_f64(secs));
+        // One wall-clock slice per attempt unless the caller asked for a
+        // finer slicing explicitly.
+        config.max_slices = flags.get_usize("max-slices", 1)?;
+    } else {
+        config.max_slices = flags.get_usize("max-slices", 64)?;
+    }
+    if let Some(secs) = flags.get("deadline") {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--deadline expects seconds, got `{secs}`")))?;
+        config.deadline = Some(Duration::from_secs_f64(secs));
+    }
+    if flags.is_set("drain-after-ticks") {
+        config.drain_after_ticks = Some(flags.get_u64("drain-after-ticks", 0)?);
+    }
+    if let Some(dir) = flags.get("checkpoint") {
+        config.ckpt_dir = Some(std::path::PathBuf::from(dir));
+    }
+
+    let report = if flags.is_set("resume") {
+        let dir = config
+            .ckpt_dir
+            .clone()
+            .ok_or_else(|| CliError::Usage("--resume needs --checkpoint DIR".to_string()))?;
+        let manifest_path = dir.join("batch.manifest");
+        let ck = Checkpoint::read(&manifest_path).map_err(PcdError::from)?;
+        let (meta, prior) =
+            pauli_codesign::supervisor::decode_manifest(&ck).map_err(PcdError::from)?;
+        // The manifest is authoritative for the determinism keys: resume
+        // with its seed and fault rate, whatever the flags say.
+        config.batch_seed = meta.batch_seed;
+        config.pipeline_fault_rate = meta.pipeline_fault_rate;
+        config.injection = if meta.pipeline_fault_rate > 0.0 {
+            InjectionPlan::chaos(meta.pipeline_fault_rate)
+        } else {
+            InjectionPlan::none()
+        };
+        run_batch_resumed(&jobs, &config, Some(&prior))?
+    } else {
+        run_batch_resumed(&jobs, &config, None)?
+    };
+
+    print_batch_report(&report);
+    if report.pending() > 0 {
+        return Err(CliError::BatchDrained {
+            pending: report.pending(),
+        });
+    }
+    if report.quarantined() + report.shed() > 0 {
+        return Err(CliError::BatchDegraded {
+            quarantined: report.quarantined(),
+            shed: report.shed(),
+        });
+    }
     Ok(())
 }
 
@@ -1123,6 +1421,80 @@ fn bench_regressions(
         }
     }
     regressions
+}
+
+/// Parses a `--history` file: `{"reports": [{name: median_ns, ...}, ...]}`
+/// with the oldest report first. A missing file is an empty history.
+fn parse_bench_history(text: &str) -> Result<Vec<std::collections::BTreeMap<String, u64>>, String> {
+    let root = obs::json::parse(text).map_err(|e| format!("parsing history: {e}"))?;
+    let Some(obs::json::JsonValue::Array(entries)) = root.get("reports") else {
+        return Err("history: missing `reports` array".to_string());
+    };
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| match entry {
+            obs::json::JsonValue::Object(fields) => fields
+                .iter()
+                .map(|(name, v)| {
+                    v.as_u64()
+                        .map(|ns| (name.clone(), ns))
+                        .ok_or_else(|| format!("history report {i}: `{name}` is not an integer"))
+                })
+                .collect(),
+            _ => Err(format!("history report {i} is not an object")),
+        })
+        .collect()
+}
+
+fn write_bench_history(
+    path: &str,
+    reports: &[std::collections::BTreeMap<String, u64>],
+) -> Result<(), String> {
+    let mut json = String::from("{\"reports\": [\n");
+    for (i, report) in reports.iter().enumerate() {
+        json.push_str("  {");
+        for (j, (name, ns)) in report.iter().enumerate() {
+            json.push_str(&format!(
+                "\"{name}\": {ns}{}",
+                if j + 1 < report.len() { ", " } else { "" }
+            ));
+        }
+        json.push_str(if i + 1 < reports.len() { "},\n" } else { "}\n" });
+    }
+    json.push_str("]}\n");
+    obs::atomic_write(path, json.as_bytes()).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Cumulative-drift check over the rolling window: the newest report
+/// (last) is compared against the *oldest* in the window, so a sequence of
+/// small slowdowns that each pass the per-run `--tolerance` still fails
+/// once their product creeps past `tolerance`.
+fn bench_drift(window: &[std::collections::BTreeMap<String, u64>], tolerance: f64) -> Vec<String> {
+    let (Some(oldest), Some(newest)) = (window.first(), window.last()) else {
+        return Vec::new();
+    };
+    if window.len() < 2 {
+        return Vec::new();
+    }
+    let mut drifts = Vec::new();
+    for (name, &now) in newest {
+        let Some(&base) = oldest.get(name) else {
+            continue;
+        };
+        if base == 0 {
+            continue;
+        }
+        let ratio = now as f64 / base as f64;
+        if ratio > 1.0 + tolerance {
+            drifts.push(format!(
+                "{name}: {now} ns vs {base} ns {} report(s) ago (+{:.1}% cumulative)",
+                window.len() - 1,
+                (ratio - 1.0) * 100.0
+            ));
+        }
+    }
+    drifts
 }
 
 fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
@@ -1291,6 +1663,44 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
         println!(
             "baseline check: no benchmark more than {:.0}% slower than {baseline_path}",
             tolerance * 100.0
+        );
+    }
+
+    if let Some(history_path) = flags.get("history") {
+        let window = flags.get_usize("window", 8)?;
+        if window < 2 {
+            return Err(CliError::Usage("--window must be at least 2".to_string()));
+        }
+        let drift_tolerance = flags.get_f64("drift-tolerance", 25.0)? / 100.0;
+        if drift_tolerance.is_nan() || drift_tolerance <= 0.0 {
+            return Err(CliError::Usage(
+                "--drift-tolerance must be positive".to_string(),
+            ));
+        }
+        let mut reports = match std::fs::read_to_string(history_path) {
+            Ok(text) => {
+                parse_bench_history(&text).map_err(|e| format!("history {history_path}: {e}"))?
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(format!("reading history {history_path}: {e}").into()),
+        };
+        reports.push(
+            records
+                .iter()
+                .map(|r| (r.name.clone(), r.median_ns))
+                .collect(),
+        );
+        let excess = reports.len().saturating_sub(window);
+        reports.drain(..excess);
+        write_bench_history(history_path, &reports)?;
+        let drifts = bench_drift(&reports, drift_tolerance);
+        if !drifts.is_empty() {
+            return Err(CliError::BenchRegression(drifts));
+        }
+        println!(
+            "history check: no cumulative creep beyond {:.0}% across {} report(s) in {history_path}",
+            drift_tolerance * 100.0,
+            reports.len()
         );
     }
     Ok(())

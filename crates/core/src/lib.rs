@@ -50,6 +50,7 @@ pub use par;
 pub use pauli;
 pub use resilience;
 pub use sim;
+pub use supervisor;
 pub use vqe;
 
 use ansatz::uccsd::UccsdAnsatz;

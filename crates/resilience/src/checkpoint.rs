@@ -3,7 +3,7 @@
 //! A checkpoint is a small JSONL file:
 //!
 //! ```text
-//! {"kind":"scf","lines":3,"magic":"pcd-ckpt","version":1}   ← header
+//! {"kind":"scf","lines":3,"magic":"pcd-ckpt","version":2}   ← header
 //! {...}                                                      ← payload ×N
 //! {"crc32":3735928559}                                       ← trailer
 //! ```
@@ -14,6 +14,19 @@
 //! or a silently wrong resume. Files are written via temp-file +
 //! atomic-rename ([`obs::atomic_write`]), so a kill mid-write leaves either
 //! the old checkpoint or the new one, never a torn file.
+//!
+//! # Versioning and migration
+//!
+//! The header's `version` field is the **format version**. New files are
+//! written at [`CHECKPOINT_VERSION`]; files at any version from
+//! [`MIN_CHECKPOINT_VERSION`] up are read through a chain of per-version
+//! migration hooks ([`migrate`]) instead of being rejected, so growing the
+//! schema never invalidates checkpoints already on disk. Version history:
+//!
+//! - **1** — header is `magic`/`version`/`kind`/`lines`.
+//! - **2** — adds the optional `job` header field: the batch-supervisor
+//!   job id a per-job checkpoint or manifest belongs to. v1 files migrate
+//!   by defaulting `job` to absent; payloads are unchanged.
 //!
 //! Floating-point payload fields are encoded as 16-digit hex of their IEEE
 //! bit pattern ([`f64_to_hex`]), so a round-trip is bit-exact and resumed
@@ -29,8 +42,12 @@ use obs::json::{self, JsonValue};
 /// Magic string identifying a checkpoint file.
 pub const CHECKPOINT_MAGIC: &str = "pcd-ckpt";
 
-/// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// Current checkpoint format version (what new files are written at).
+pub const CHECKPOINT_VERSION: u64 = 2;
+
+/// Oldest checkpoint format version this build can still read (via the
+/// [`migrate`] chain).
+pub const MIN_CHECKPOINT_VERSION: u64 = 1;
 
 /// A failure reading or validating a checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,9 +71,10 @@ pub enum CheckpointError {
     },
     /// The header is not a pcd checkpoint header.
     NotACheckpoint(String),
-    /// The file was written by an incompatible format version.
+    /// The file was written by an incompatible format version — newer than
+    /// this build writes, or older than the migration chain reaches.
     VersionMismatch {
-        /// Version this build reads.
+        /// Newest version this build understands ([`CHECKPOINT_VERSION`]).
         expected: u64,
         /// Version found in the header.
         found: u64,
@@ -143,8 +161,47 @@ pub fn f64_from_hex(s: &str) -> Result<f64, CheckpointError> {
 pub struct Checkpoint {
     /// Which stage's state this is (`"scf"`, `"vqe"`, `"yield"`, ...).
     pub kind: String,
+    /// Batch-supervisor job id this checkpoint belongs to, when it was
+    /// written as part of a supervised batch (format v2+; `None` for
+    /// standalone runs and for migrated v1 files).
+    pub job: Option<String>,
     /// One JSON record per payload line.
     pub payload: Vec<JsonValue>,
+}
+
+/// Migrates a checkpoint parsed at on-disk `version` up to
+/// [`CHECKPOINT_VERSION`], one version step at a time. Each step owns the
+/// payload/field rewrites its version introduced; v1→v2 is field-additive
+/// (the `job` header field defaults to absent), so it is a no-op here.
+///
+/// # Errors
+///
+/// [`CheckpointError::VersionMismatch`] when `version` is outside
+/// `MIN_CHECKPOINT_VERSION..=CHECKPOINT_VERSION`.
+pub fn migrate(version: u64, ck: Checkpoint) -> Result<Checkpoint, CheckpointError> {
+    if !(MIN_CHECKPOINT_VERSION..=CHECKPOINT_VERSION).contains(&version) {
+        return Err(CheckpointError::VersionMismatch {
+            expected: CHECKPOINT_VERSION,
+            found: version,
+        });
+    }
+    let mut ck = ck;
+    for v in version..CHECKPOINT_VERSION {
+        ck = match v {
+            // v1 → v2: the `job` header field was introduced; v1 files
+            // simply have none. Payload records are untouched.
+            1 => ck,
+            // Future versions add their rewrite step here.
+            _ => ck,
+        };
+        obs::event!(
+            "checkpoint.migrated",
+            kind = ck.kind.as_str(),
+            from = v,
+            to = v + 1
+        );
+    }
+    Ok(ck)
 }
 
 impl Checkpoint {
@@ -152,8 +209,16 @@ impl Checkpoint {
     pub fn new(kind: impl Into<String>, payload: Vec<JsonValue>) -> Self {
         Checkpoint {
             kind: kind.into(),
+            job: None,
             payload,
         }
+    }
+
+    /// Tags the checkpoint with the batch job id it belongs to (written
+    /// into the v2 header).
+    pub fn with_job(mut self, job: impl Into<String>) -> Self {
+        self.job = Some(job.into());
+        self
     }
 
     /// Serializes to the on-disk JSONL format (header, payload, CRC
@@ -169,6 +234,9 @@ impl Checkpoint {
             JsonValue::Number(CHECKPOINT_VERSION as f64),
         );
         header.insert("kind".to_string(), JsonValue::String(self.kind.clone()));
+        if let Some(job) = &self.job {
+            header.insert("job".to_string(), JsonValue::String(job.clone()));
+        }
         header.insert(
             "lines".to_string(),
             JsonValue::Number(self.payload.len() as f64),
@@ -233,7 +301,7 @@ impl Checkpoint {
             .get("version")
             .and_then(JsonValue::as_u64)
             .ok_or_else(|| CheckpointError::NotACheckpoint("header has no version".to_string()))?;
-        if version != CHECKPOINT_VERSION {
+        if !(MIN_CHECKPOINT_VERSION..=CHECKPOINT_VERSION).contains(&version) {
             return Err(CheckpointError::VersionMismatch {
                 expected: CHECKPOINT_VERSION,
                 found: version,
@@ -264,7 +332,11 @@ impl Checkpoint {
                 payload.len()
             )));
         }
-        Ok(Checkpoint { kind, payload })
+        let job = header
+            .get("job")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string);
+        migrate(version, Checkpoint { kind, job, payload })
     }
 
     /// Writes the checkpoint to `path` via temp-file + atomic rename.
@@ -379,23 +451,52 @@ mod tests {
         }
     }
 
-    #[test]
-    fn version_mismatch_is_typed() {
-        let ck = sample();
+    /// Rewrites the header's version field and recomputes the trailer so
+    /// only the version differs from a well-formed file.
+    fn rebuild_at_version(ck: &Checkpoint, version: &str) -> Vec<u8> {
         let text = String::from_utf8(ck.to_bytes()).unwrap();
-        let bumped = text.replace("\"version\":1", "\"version\":2");
-        // Recompute a valid trailer so only the version differs.
+        let bumped = text.replace(
+            &format!("\"version\":{CHECKPOINT_VERSION}"),
+            &format!("\"version\":{version}"),
+        );
         let stripped = bumped.strip_suffix('\n').unwrap();
         let trailer_start = stripped.rfind('\n').unwrap() + 1;
         let body = &bumped[..trailer_start];
-        let fixed = format!("{body}{{\"crc32\":{}}}\n", crc32(body.as_bytes()));
-        match Checkpoint::from_bytes(fixed.as_bytes()) {
+        format!("{body}{{\"crc32\":{}}}\n", crc32(body.as_bytes())).into_bytes()
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let too_new = rebuild_at_version(&sample(), "99");
+        match Checkpoint::from_bytes(&too_new) {
             Err(CheckpointError::VersionMismatch {
-                expected: 1,
-                found: 2,
+                expected: CHECKPOINT_VERSION,
+                found: 99,
             }) => {}
             other => panic!("expected VersionMismatch, got {other:?}"),
         }
+        let too_old = rebuild_at_version(&sample(), "0");
+        match Checkpoint::from_bytes(&too_old) {
+            Err(CheckpointError::VersionMismatch { found: 0, .. }) => {}
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_files_migrate_and_decode() {
+        let v1 = rebuild_at_version(&sample(), "1");
+        let ck = Checkpoint::from_bytes(&v1).expect("v1 migrates");
+        assert_eq!(ck.kind, "scf");
+        assert_eq!(ck.job, None, "v1 files have no job tag");
+        assert_eq!(ck.payload, sample().payload);
+    }
+
+    #[test]
+    fn job_tag_round_trips_in_v2_header() {
+        let ck = sample().with_job("job-007");
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(back.job.as_deref(), Some("job-007"));
+        assert_eq!(ck, back);
     }
 
     #[test]

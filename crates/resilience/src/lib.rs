@@ -55,5 +55,5 @@ pub use error::PcdError;
 pub use fault::{FaultKind, FaultPlan, InjectedFault};
 pub use recover::{
     build_system_with_ladder, build_system_with_recovery, compile_with_fallback,
-    run_vqe_with_restart, CompileStrategy,
+    run_vqe_with_restart, scf_ladder, CompileStrategy,
 };

@@ -49,7 +49,11 @@ fn record_recovery(policy: &str, stage: &str, attempt: usize, cause: &str) {
 /// The SCF retry ladder's rungs, most conservative last. Each rung also
 /// restores a full iteration budget (an injected `ScfConvergence` fault
 /// slashes it on the first attempt only).
-fn scf_ladder(base: ScfOptions) -> [ScfOptions; 3] {
+///
+/// Public so that a batch resume can rebuild a system with the *exact*
+/// rung that succeeded originally — a clean-options rebuild would land on
+/// a slightly different SCF fixed point and break bit-identical resume.
+pub fn scf_ladder(base: ScfOptions) -> [ScfOptions; 3] {
     let restored = ScfOptions {
         max_iter: base.max_iter.max(200),
         damping: 0.0,
@@ -120,10 +124,17 @@ pub fn build_system_with_recovery(
         let retry_bond = bond_length;
         match benchmark.build_with_scf(retry_bond, rung) {
             Ok(system) => {
+                // Report the *final* converged energy, not whatever the
+                // poisoned first attempt last saw: downstream metrics key
+                // off this histogram, and a pre-retry value would make a
+                // successfully recovered run look wrong.
+                let energy = system.hartree_fock_energy();
+                obs::histogram_record("resilience.scf.final_energy", energy);
                 obs::event!(
                     "resilience.recovered",
                     policy = "scf_retry",
-                    attempt = attempt
+                    attempt = attempt,
+                    energy = energy
                 );
                 return Ok((system, attempt));
             }

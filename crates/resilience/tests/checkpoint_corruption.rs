@@ -50,14 +50,20 @@ fn version_bump_is_a_version_mismatch() {
     let text = String::from_utf8(bytes).unwrap();
     // Rewrite the header's version and re-seal the CRC so the mismatch is
     // reached at all (the checksum is verified first).
-    let bumped = text.replacen("\"version\":1", "\"version\":2", 1);
+    let future = resilience::checkpoint::CHECKPOINT_VERSION + 1;
+    let bumped = text.replacen(
+        &format!("\"version\":{}", resilience::checkpoint::CHECKPOINT_VERSION),
+        &format!("\"version\":{future}"),
+        1,
+    );
+    assert_ne!(bumped, text, "version field must be present to bump");
     let body_end = bumped.trim_end_matches('\n').rfind('\n').unwrap() + 1;
     let crc = resilience::crc32(&bumped.as_bytes()[..body_end]);
     let resealed = format!("{}{{\"crc32\":{crc}}}\n", &bumped[..body_end]);
     match Checkpoint::from_bytes(resealed.as_bytes()) {
         Err(CheckpointError::VersionMismatch { expected, found }) => {
-            assert_eq!(expected, 1);
-            assert_eq!(found, 2);
+            assert_eq!(expected, resilience::checkpoint::CHECKPOINT_VERSION);
+            assert_eq!(found, future);
         }
         other => panic!("expected VersionMismatch, got {other:?}"),
     }

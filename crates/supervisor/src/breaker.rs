@@ -1,0 +1,181 @@
+//! Per-stage circuit breaker.
+//!
+//! A job that keeps dying at the same pipeline stage is not going to be
+//! saved by more retries — it is burning worker time the rest of the
+//! queue needs. The breaker counts *consecutive* failures per stage
+//! (SCF / compile / VQE); crossing the threshold opens the breaker and
+//! the supervisor fails the job fast into quarantine instead of running
+//! its remaining retry budget.
+//!
+//! The gating breaker is **per job**: batch-wide gating on live
+//! completion order would make one job's fate depend on scheduling, which
+//! breaks the supervisor's worker-count determinism guarantee. Batch-wide
+//! failure statistics are instead folded post-hoc in job-index order (see
+//! the engine's report).
+
+/// Pipeline stage a breaker guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Chemistry / SCF (including geometry faults).
+    Scf,
+    /// Circuit compilation.
+    Compile,
+    /// VQE optimization — also where panics and timeouts are attributed,
+    /// since the worker boundary wraps the whole attempt.
+    Vqe,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 3] = [Stage::Scf, Stage::Compile, Stage::Vqe];
+
+    /// Maps an error's stage label onto a breaker stage. Unknown labels
+    /// (panics, transients, timeouts) charge the VQE stage: the attempt
+    /// boundary is the VQE slice loop.
+    pub fn from_label(label: &str) -> Stage {
+        match label {
+            "chem" | "scf" => Stage::Scf,
+            "compile" | "encoding" => Stage::Compile,
+            _ => Stage::Vqe,
+        }
+    }
+
+    /// Short name for events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Scf => "scf",
+            Stage::Compile => "compile",
+            Stage::Vqe => "vqe",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Scf => 0,
+            Stage::Compile => 1,
+            Stage::Vqe => 2,
+        }
+    }
+}
+
+/// Consecutive-failure circuit breaker over the three pipeline stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    threshold: usize,
+    consecutive: [usize; 3],
+    open: [bool; 3],
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens a stage after `threshold` consecutive
+    /// failures there (`0` disables the breaker).
+    pub fn new(threshold: usize) -> Self {
+        CircuitBreaker {
+            threshold,
+            consecutive: [0; 3],
+            open: [false; 3],
+        }
+    }
+
+    /// Records a successful pass through `stage`, resetting its count.
+    pub fn record_success(&mut self, stage: Stage) {
+        self.consecutive[stage.index()] = 0;
+    }
+
+    /// Records a failure at `stage`. Returns `true` when this failure
+    /// just opened the breaker.
+    pub fn record_failure(&mut self, stage: Stage) -> bool {
+        let i = stage.index();
+        self.consecutive[i] += 1;
+        if self.threshold > 0 && !self.open[i] && self.consecutive[i] >= self.threshold {
+            self.open[i] = true;
+            obs::counter_add("supervisor.breaker_opened", 1);
+            obs::event!(
+                "supervisor.breaker_open",
+                stage = stage.name(),
+                consecutive = self.consecutive[i]
+            );
+            return true;
+        }
+        false
+    }
+
+    /// The consecutive-failure counts per stage, in [`Stage::ALL`] order
+    /// — what a drained job's manifest records.
+    pub fn snapshot(&self) -> [usize; 3] {
+        self.consecutive
+    }
+
+    /// Rebuilds a breaker from a manifest snapshot. A `Pending` job never
+    /// has an open breaker (opening quarantines immediately), so the
+    /// counts are all that needs restoring.
+    pub fn restore(threshold: usize, consecutive: [usize; 3]) -> Self {
+        CircuitBreaker {
+            threshold,
+            consecutive,
+            open: [false; 3],
+        }
+    }
+
+    /// Whether `stage`'s breaker has opened.
+    pub fn is_open(&self, stage: Stage) -> bool {
+        self.open[stage.index()]
+    }
+
+    /// The first open stage, if any — open means fail fast.
+    pub fn open_stage(&self) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| self.is_open(*s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3);
+        assert!(!b.record_failure(Stage::Scf));
+        assert!(!b.record_failure(Stage::Scf));
+        assert!(b.record_failure(Stage::Scf), "third consecutive opens");
+        assert!(b.is_open(Stage::Scf));
+        assert_eq!(b.open_stage(), Some(Stage::Scf));
+        assert!(!b.is_open(Stage::Vqe));
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = CircuitBreaker::new(2);
+        b.record_failure(Stage::Vqe);
+        b.record_success(Stage::Vqe);
+        assert!(!b.record_failure(Stage::Vqe), "streak was reset");
+        assert!(!b.is_open(Stage::Vqe));
+    }
+
+    #[test]
+    fn stages_are_independent() {
+        let mut b = CircuitBreaker::new(2);
+        b.record_failure(Stage::Scf);
+        b.record_failure(Stage::Compile);
+        b.record_failure(Stage::Vqe);
+        assert_eq!(b.open_stage(), None, "no stage has two consecutive");
+    }
+
+    #[test]
+    fn zero_threshold_disables() {
+        let mut b = CircuitBreaker::new(0);
+        for _ in 0..100 {
+            assert!(!b.record_failure(Stage::Vqe));
+        }
+        assert_eq!(b.open_stage(), None);
+    }
+
+    #[test]
+    fn label_mapping_charges_unknowns_to_vqe() {
+        assert_eq!(Stage::from_label("scf"), Stage::Scf);
+        assert_eq!(Stage::from_label("chem"), Stage::Scf);
+        assert_eq!(Stage::from_label("compile"), Stage::Compile);
+        assert_eq!(Stage::from_label("panic"), Stage::Vqe);
+        assert_eq!(Stage::from_label("timeout"), Stage::Vqe);
+    }
+}

@@ -1,0 +1,68 @@
+//! Supervised batch job execution for the pauli-codesign pipeline.
+//!
+//! One `pcd` invocation used to mean exactly one pipeline run: a single
+//! panicking kernel, a hung SCF, or one pathological molecule took the
+//! whole process down. This crate is the missing serving layer — it runs
+//! many pipeline jobs (molecule × bond × compression configurations) over
+//! a pool of supervised workers and keeps the fleet alive when individual
+//! jobs fail:
+//!
+//! - **Backpressure and load-shedding** ([`queue`]) — a bounded,
+//!   seed-deterministic job queue; when more jobs arrive than the cap
+//!   allows, the configured [`ShedPolicy`] (reject-new or drop-oldest)
+//!   decides deterministically which jobs are shed, and every shed is an
+//!   obs event.
+//! - **Panic isolation** ([`engine`]) — each job attempt runs inside
+//!   `catch_unwind` at the worker boundary; a panic is a per-job failure,
+//!   never a process abort, and a job that keeps failing is *quarantined*
+//!   after its retry budget so one bad input cannot wedge the queue.
+//! - **Timeouts, backoff, and circuit breaking** ([`backoff`],
+//!   [`breaker`]) — job attempts run in budget slices on [`par::Budget`];
+//!   a seedable exponential-backoff-plus-jitter ladder spaces retries, and
+//!   a per-job, per-stage (SCF / compile / VQE) circuit breaker trips on
+//!   consecutive failures and fails the job fast.
+//! - **Graceful drain** ([`manifest`]) — on deadline or drain request,
+//!   in-flight jobs checkpoint through the resilience container (format
+//!   v2, tagged with the job id) and the supervisor emits a resumable
+//!   manifest; a drained-then-resumed batch finishes **bit-identically**
+//!   to an uninterrupted one.
+//!
+//! Determinism is the design axis everything bends around: a job's
+//! outcome is a pure function of `(batch_seed, job_index, spec)` — never
+//! of which worker ran it, how many workers exist, or where the drain cut
+//! — so the per-job results of a batch are identical at 1, 2, or 4
+//! workers, and the [`chaos`] harness can assert bit-for-bit equality
+//! between interrupted and uninterrupted batches while injecting panics,
+//! hangs, and transient faults.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod backoff;
+pub mod breaker;
+pub mod chaos;
+pub mod engine;
+pub mod job;
+pub mod manifest;
+pub mod queue;
+
+pub use backoff::BackoffPolicy;
+pub use breaker::{CircuitBreaker, Stage};
+pub use chaos::{
+    run_supervised_chaos, SupervisedChaosOptions, SupervisedChaosReport, SupervisedTrialOutcome,
+};
+pub use engine::{
+    run_batch, run_batch_resumed, BatchReport, InjectionPlan, SupervisorConfig, SupervisorError,
+};
+pub use job::{attempt_seed, job_seed, parse_jobs, JobRecord, JobSpec, JobState};
+pub use manifest::{decode_manifest, encode_manifest, BatchMeta, KIND_BATCH_MANIFEST};
+pub use queue::{admit, Admission, JobQueue, ShedPolicy};
+
+/// SplitMix64 finalizer used to derive per-job and per-attempt seeds from
+/// the batch seed. Identical constants to the resilience fault plan's
+/// mixer, so the whole fleet shares one notion of "decorrelate this key".
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}

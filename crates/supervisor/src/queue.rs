@@ -1,0 +1,251 @@
+//! Bounded job queue with explicit backpressure and load-shedding.
+//!
+//! Two layers:
+//!
+//! - [`admit`] — deterministic admission control over a batch's arrival
+//!   order. Which jobs are shed is a pure function of `(arrival order,
+//!   cap, policy)`, never of timing, so a shed decision replays
+//!   identically at any worker count. `RejectNew` keeps the first `cap`
+//!   arrivals (the queue is full, newcomers bounce); `DropOldest` keeps
+//!   the last `cap` (newcomers push the oldest waiting jobs out).
+//! - [`JobQueue`] — the runtime bounded queue workers pull from:
+//!   `try_push` surfaces backpressure to the producer, `pop` blocks until
+//!   work or close. The supervisor preloads it with the admitted set, so
+//!   the runtime path never sheds on its own.
+//!
+//! Every shed is recorded as a `supervisor.shed` obs event and counted in
+//! `supervisor.jobs_shed`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// What to do when more jobs arrive than the queue cap allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Keep the oldest `cap` jobs; reject later arrivals.
+    RejectNew,
+    /// Keep the newest `cap` jobs; drop the oldest waiting ones.
+    DropOldest,
+}
+
+impl ShedPolicy {
+    /// Parses the CLI spelling (`reject-new` / `drop-oldest`).
+    ///
+    /// # Errors
+    ///
+    /// A usage message on anything else.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "reject-new" => Ok(ShedPolicy::RejectNew),
+            "drop-oldest" => Ok(ShedPolicy::DropOldest),
+            other => Err(format!(
+                "unknown shed policy `{other}` (expected reject-new or drop-oldest)"
+            )),
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedPolicy::RejectNew => "reject-new",
+            ShedPolicy::DropOldest => "drop-oldest",
+        }
+    }
+}
+
+/// The outcome of admission control: which arrival indices run and which
+/// are shed, both in arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Admission {
+    /// Indices admitted to the queue.
+    pub admitted: Vec<usize>,
+    /// Indices shed under the policy.
+    pub shed: Vec<usize>,
+}
+
+/// Deterministic admission control: of `n_jobs` arrivals, admit at most
+/// `cap` under `policy` (`cap == 0` means unbounded). Emits one
+/// `supervisor.shed` event per shed job.
+pub fn admit(n_jobs: usize, cap: usize, policy: ShedPolicy) -> Admission {
+    if cap == 0 || n_jobs <= cap {
+        return Admission {
+            admitted: (0..n_jobs).collect(),
+            shed: Vec::new(),
+        };
+    }
+    let (admitted, shed): (Vec<usize>, Vec<usize>) = match policy {
+        ShedPolicy::RejectNew => ((0..cap).collect(), (cap..n_jobs).collect()),
+        ShedPolicy::DropOldest => (
+            (n_jobs - cap..n_jobs).collect(),
+            (0..n_jobs - cap).collect(),
+        ),
+    };
+    for &index in &shed {
+        obs::counter_add("supervisor.jobs_shed", 1);
+        obs::event!(
+            "supervisor.shed",
+            job = index,
+            policy = policy.name(),
+            cap = cap
+        );
+    }
+    Admission { admitted, shed }
+}
+
+struct QueueState {
+    items: VecDeque<usize>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue of job indices.
+#[derive(Debug)]
+pub struct JobQueue {
+    cap: usize,
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl std::fmt::Debug for QueueState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueState")
+            .field("len", &self.items.len())
+            .field("closed", &self.closed)
+            .finish()
+    }
+}
+
+impl JobQueue {
+    /// A queue holding at most `cap` waiting jobs (`0` = unbounded).
+    pub fn bounded(cap: usize) -> Self {
+        JobQueue {
+            cap,
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        // A worker panicking while holding the lock leaves structurally
+        // valid state; the supervisor's whole job is to outlive panics.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues a job if there is room. `Err(index)` hands the job back —
+    /// that is the backpressure signal.
+    pub fn try_push(&self, index: usize) -> Result<(), usize> {
+        let mut state = self.lock();
+        if state.closed || (self.cap > 0 && state.items.len() >= self.cap) {
+            return Err(index);
+        }
+        state.items.push_back(index);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available or the queue is closed and empty.
+    pub fn pop(&self) -> Option<usize> {
+        let mut state = self.lock();
+        loop {
+            if let Some(index) = state.items.pop_front() {
+                return Some(index);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: no new pushes; `pop` drains what remains, then
+    /// returns `None` to every worker.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_admits_everything() {
+        let a = admit(5, 0, ShedPolicy::RejectNew);
+        assert_eq!(a.admitted, vec![0, 1, 2, 3, 4]);
+        assert!(a.shed.is_empty());
+    }
+
+    #[test]
+    fn reject_new_keeps_the_head() {
+        let a = admit(5, 3, ShedPolicy::RejectNew);
+        assert_eq!(a.admitted, vec![0, 1, 2]);
+        assert_eq!(a.shed, vec![3, 4]);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_the_tail() {
+        let a = admit(5, 3, ShedPolicy::DropOldest);
+        assert_eq!(a.admitted, vec![2, 3, 4]);
+        assert_eq!(a.shed, vec![0, 1]);
+    }
+
+    #[test]
+    fn admission_is_deterministic() {
+        for policy in [ShedPolicy::RejectNew, ShedPolicy::DropOldest] {
+            assert_eq!(admit(17, 5, policy), admit(17, 5, policy));
+        }
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(
+            ShedPolicy::parse("reject-new").unwrap(),
+            ShedPolicy::RejectNew
+        );
+        assert_eq!(
+            ShedPolicy::parse("drop-oldest").unwrap(),
+            ShedPolicy::DropOldest
+        );
+        assert!(ShedPolicy::parse("coin-flip").is_err());
+        assert_eq!(ShedPolicy::DropOldest.name(), "drop-oldest");
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        let q = JobQueue::bounded(2);
+        assert!(q.try_push(0).is_ok());
+        assert!(q.try_push(1).is_ok());
+        assert_eq!(q.try_push(2), Err(2), "full queue hands the job back");
+        assert_eq!(q.pop(), Some(0));
+        assert!(q.try_push(2).is_ok(), "space freed by pop");
+        q.close();
+        assert_eq!(q.try_push(9), Err(9), "closed queue rejects pushes");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = std::sync::Arc::new(JobQueue::bounded(0));
+        let q2 = q.clone();
+        let handle = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(handle.join().unwrap(), None);
+    }
+}

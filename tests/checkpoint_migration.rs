@@ -1,0 +1,72 @@
+//! Checkpoint format-version migration: a committed, byte-frozen v1
+//! checkpoint file must keep decoding through the v1→v2 migration hook
+//! forever, and freshly written checkpoints must carry the current
+//! version (with the v2 job tag when one is set).
+
+use pauli_codesign::resilience::checkpoint::{migrate, CHECKPOINT_VERSION, MIN_CHECKPOINT_VERSION};
+use pauli_codesign::resilience::{decode_scf, encode_scf, Checkpoint, CheckpointError};
+
+const V1_FIXTURE: &[u8] = include_bytes!("fixtures/checkpoint-v1.ckpt");
+
+#[test]
+fn committed_v1_fixture_decodes_through_migration() {
+    let ck = Checkpoint::from_bytes(V1_FIXTURE).expect("v1 fixture parses");
+    assert_eq!(ck.kind, "scf");
+    assert_eq!(ck.job, None, "v1 has no job tag");
+    let state = decode_scf(&ck).expect("migrated v1 payload decodes as SCF state");
+    assert_eq!(state.next_iteration, 3);
+    assert_eq!(state.energy.to_bits(), 0xbff1_8cde_3df2_0c12);
+    assert_eq!(state.fock.rows(), 2);
+    assert_eq!(state.fock.cols(), 2);
+    assert!(state.fock_history.is_empty());
+}
+
+#[test]
+fn v1_fixture_reencodes_at_the_current_version() {
+    // Migration is decode-time only; anything written back is current.
+    let ck = Checkpoint::from_bytes(V1_FIXTURE).expect("v1 fixture parses");
+    let state = decode_scf(&ck).expect("decodes");
+    let fresh = encode_scf(&state).to_bytes();
+    let header = String::from_utf8_lossy(&fresh);
+    let header = header.lines().next().unwrap_or("");
+    assert!(
+        header.contains(&format!("\"version\":{CHECKPOINT_VERSION}")),
+        "rewritten header: {header}"
+    );
+    let reread = Checkpoint::from_bytes(&fresh).expect("rewritten checkpoint parses");
+    let state2 = decode_scf(&reread).expect("decodes again");
+    assert_eq!(state2.energy.to_bits(), state.energy.to_bits());
+}
+
+#[test]
+fn job_tag_survives_a_disk_round_trip() {
+    let ck = Checkpoint::from_bytes(V1_FIXTURE).expect("v1 fixture parses");
+    let state = decode_scf(&ck).expect("decodes");
+    let tagged = encode_scf(&state).with_job("h2-3");
+    let bytes = tagged.to_bytes();
+    let back = Checkpoint::from_bytes(&bytes).expect("tagged checkpoint parses");
+    assert_eq!(back.job.as_deref(), Some("h2-3"));
+    assert!(
+        decode_scf(&back).is_ok(),
+        "payload decoding ignores the tag"
+    );
+}
+
+#[test]
+fn versions_outside_the_supported_range_are_rejected() {
+    let ck = Checkpoint::from_bytes(V1_FIXTURE).expect("v1 fixture parses");
+    for bad in [MIN_CHECKPOINT_VERSION - 1, CHECKPOINT_VERSION + 1] {
+        match migrate(bad, ck.clone()) {
+            Err(CheckpointError::VersionMismatch { expected, found }) => {
+                assert_eq!(expected, CHECKPOINT_VERSION);
+                assert_eq!(found, bad);
+            }
+            other => panic!("version {bad}: expected VersionMismatch, got {other:?}"),
+        }
+    }
+    // In-range versions pass through unchanged in content.
+    for good in MIN_CHECKPOINT_VERSION..=CHECKPOINT_VERSION {
+        let migrated = migrate(good, ck.clone()).expect("in-range version migrates");
+        assert_eq!(migrated.payload, ck.payload);
+    }
+}

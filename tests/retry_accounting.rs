@@ -1,0 +1,60 @@
+//! Regression test for the SCF retry-ladder accounting fix: when the
+//! ladder recovers from an injected fault, the energy reported to obs
+//! (the `resilience.scf.final_energy` histogram and the
+//! `resilience.recovered` event) must be the *final converged* SCF
+//! energy, not whatever the poisoned first attempt last saw.
+//!
+//! Lives in its own integration-test binary because obs state is a
+//! process-wide global.
+
+use pauli_codesign::chem::scf::ScfOptions;
+use pauli_codesign::chem::Benchmark;
+use pauli_codesign::resilience::{build_system_with_recovery, FaultPlan};
+
+#[test]
+fn recovered_scf_reports_the_final_converged_energy() {
+    obs::enable();
+
+    // Rate 1.0 injects every chemistry fault, so the first attempt is
+    // guaranteed to fail and the ladder must fire.
+    let mut plan = FaultPlan::new(9, 1.0);
+    let (system, retries) =
+        build_system_with_recovery(Benchmark::H2, 0.74, ScfOptions::default(), &mut plan)
+            .expect("ladder recovers H2");
+    assert!(retries > 0, "rate-1.0 plan must force at least one retry");
+
+    let converged = system.hartree_fock_energy();
+    assert!(
+        converged.is_finite() && converged < -1.0,
+        "recovered H2 SCF energy is physical: {converged}"
+    );
+
+    let snap = obs::snapshot();
+    let samples = snap
+        .histograms
+        .get("resilience.scf.final_energy")
+        .expect("recovery records the final-energy histogram");
+    let reported = *samples.last().expect("at least one sample");
+    assert_eq!(
+        reported.to_bits(),
+        converged.to_bits(),
+        "obs must see the converged energy ({converged}), not a \
+         pre-retry value ({reported})"
+    );
+
+    // The recovered event carries the same energy, so a trace reader and
+    // the metrics pipeline agree.
+    let recovered: Vec<_> = snap
+        .events
+        .iter()
+        .filter(|e| e.name == "resilience.recovered")
+        .collect();
+    assert!(!recovered.is_empty(), "a recovery event was emitted");
+    let has_energy_field = recovered.iter().any(|e| {
+        matches!(e.field("energy"), Some(obs::Value::Float(f)) if f.to_bits() == converged.to_bits())
+    });
+    assert!(
+        has_energy_field,
+        "resilience.recovered event carries the converged energy"
+    );
+}
