@@ -210,23 +210,45 @@ commands:
                                       and verify the results match an
                                       uninterrupted run bit-for-bit
   chaos --supervised [--trials N] [--jobs N] [--workers N] [--seed N]
-        [--fault-rate R]              supervised-batch chaos: run whole
+        [--fault-rate R] [--flight-dir DIR]
+                                      supervised-batch chaos: run whole
                                       batches under injected panics, hangs,
                                       and transients; assert no job is lost
                                       or double-counted, records are
                                       worker-count invariant, and a drained
-                                      batch resumes bit-identically
+                                      batch resumes bit-identically; with
+                                      --flight-dir, quarantines and faults
+                                      dump flight-recorder rings there
   batch <JOBS.jsonl> [--workers N] [--seed N] [--max-retries K]
         [--queue-cap Q] [--shed reject-new|drop-oldest] [--job-timeout S]
         [--slice-ticks T] [--max-slices M] [--breaker N] [--backoff-ms B]
         [--fault-rate R] [--deadline SECS] [--drain-after-ticks T]
-        [--checkpoint DIR] [--resume]
+        [--checkpoint DIR] [--resume] [--progress]
+        [--progress-interval-ms MS] [--flight-dir DIR]
                                       run a batch of pipeline jobs (one
                                       JSON object per line: molecule, bond,
                                       ratio, id) over supervised workers;
                                       exit 0 all done, 30 drained with a
                                       resumable manifest, 32 degraded
-                                      (quarantined/shed jobs)
+                                      (quarantined/shed jobs); --progress
+                                      renders a live stderr status line
+                                      (snapshots also land in --trace
+                                      JSONL); --flight-dir arms the flight
+                                      recorder so quarantines, deadline
+                                      expiries, and faults dump
+                                      flight-<job>.jsonl rings there
+  report <FILE|DIR> ... [--baseline FILE] [--drift-tolerance PCT]
+         [--out FILE]                 aggregate observability artifacts
+                                      (--trace JSONL, flight-*.jsonl dumps,
+                                      batch.manifest, BENCH_pipeline.json;
+                                      classified by content, directories
+                                      scanned) into per-stage latency
+                                      quantiles, counter totals, the
+                                      slowest-span critical path, the
+                                      quarantine/fault breakdown, and bench
+                                      drift vs --baseline (default
+                                      BENCH_pipeline.json); corrupt inputs
+                                      degrade to warnings, exit stays 0
   bench [--smoke] [--out FILE] [--qubits N] [--baseline FILE]
         [--tolerance PCT] [--history FILE] [--window K]
         [--drift-tolerance PCT]
@@ -242,7 +264,14 @@ commands:
                                       reports (default 8) and exit 21 on
                                       cumulative creep beyond
                                       --drift-tolerance (default 25%) over
-                                      the window
+                                      the window; reports carry a _meta
+                                      block (threads, cores, git rev)
+  bench --obs-overhead [--budget-ns NS]
+                                      measure the disabled-tracing fast
+                                      path (span/event/counter with obs
+                                      off, flight ring still recording);
+                                      exit 21 if any op exceeds the
+                                      per-call budget (default 2000 ns)
   help                                this message
 
 durability (pcd run):
@@ -289,6 +318,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "chaos" => cmd_chaos(&flags),
         "batch" => cmd_batch(&flags),
         "bench" => cmd_bench(&flags),
+        "report" => cmd_report(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -296,11 +326,14 @@ fn run(args: &[String]) -> Result<(), CliError> {
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     };
 
-    // A budget expiry (exit 30) is a scheduled stop, not a failure: the
-    // trace of what ran up to the checkpoint is still worth keeping.
+    // A budget expiry (exit 30) is a scheduled stop and a degraded batch
+    // (exit 32) ran to completion: the trace of what happened is still
+    // worth keeping — for a degraded batch it is the primary evidence.
     let interrupted = matches!(
         &result,
-        Err(CliError::Pipeline(PcdError::Interrupted { .. })) | Err(CliError::BatchDrained { .. })
+        Err(CliError::Pipeline(PcdError::Interrupted { .. }))
+            | Err(CliError::BatchDrained { .. })
+            | Err(CliError::BatchDegraded { .. })
     );
     if result.is_ok() || interrupted {
         if let Some(path) = &trace_path {
@@ -322,7 +355,15 @@ struct Flags {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["metrics", "smoke", "resume", "kill-resume", "supervised"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "metrics",
+    "smoke",
+    "resume",
+    "kill-resume",
+    "supervised",
+    "progress",
+    "obs-overhead",
+];
 
 impl Flags {
     fn is_set(&self, key: &str) -> bool {
@@ -1116,6 +1157,12 @@ fn cmd_supervised_chaos(flags: &Flags) -> Result<(), CliError> {
         ));
     }
 
+    let flight_dir = flags.get("flight-dir").map(std::path::PathBuf::from);
+    if let Some(dir) = &flight_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("creating flight dir {}: {e}", dir.display()))?;
+    }
+
     obs::enable();
     let report = run_supervised_chaos(&SupervisedChaosOptions {
         seed,
@@ -1123,6 +1170,7 @@ fn cmd_supervised_chaos(flags: &Flags) -> Result<(), CliError> {
         jobs,
         workers,
         fault_rate,
+        flight_dir: flight_dir.clone(),
         ..SupervisedChaosOptions::default()
     });
 
@@ -1153,6 +1201,16 @@ fn cmd_supervised_chaos(flags: &Flags) -> Result<(), CliError> {
             counter,
             snapshot.counters.get(counter).copied().unwrap_or(0)
         );
+    }
+    if let Some(dir) = &flight_dir {
+        let dumps = std::fs::read_dir(dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.file_name().to_string_lossy().starts_with("flight-"))
+                    .count()
+            })
+            .unwrap_or(0);
+        println!("  flight dumps     : {dumps} in {}", dir.display());
     }
     for outcome in &report.outcomes {
         for violation in &outcome.violations {
@@ -1283,6 +1341,21 @@ fn cmd_batch(flags: &Flags) -> Result<(), CliError> {
     if let Some(dir) = flags.get("checkpoint") {
         config.ckpt_dir = Some(std::path::PathBuf::from(dir));
     }
+    if let Some(dir) = flags.get("flight-dir") {
+        config.flight_dir = Some(std::path::PathBuf::from(dir));
+    }
+    // The monitor thread only observes (it cannot influence job
+    // outcomes), so it is always on for `pcd batch`: snapshots land in
+    // the --trace JSONL, and --progress additionally renders the live
+    // stderr line.
+    let interval_ms = flags.get_u64("progress-interval-ms", 500)?;
+    if interval_ms == 0 {
+        return Err(CliError::Usage(
+            "--progress-interval-ms must be positive".to_string(),
+        ));
+    }
+    config.progress_interval = Some(Duration::from_millis(interval_ms));
+    config.progress_stderr = flags.is_set("progress");
 
     let report = if flags.is_set("resume") {
         let dir = config
@@ -1367,8 +1440,27 @@ fn synthetic_state(n_qubits: usize) -> pauli_codesign::sim::Statevector {
     pauli_codesign::sim::Statevector::from_amplitudes(amps.into_iter().map(|z| z / norm).collect())
 }
 
-fn write_bench_json(path: &str, records: &[BenchRecord]) -> Result<(), String> {
+/// Host metadata pinned into bench artifacts, so the drift gate can tell
+/// a hardware change from a real regression: worker threads the run used,
+/// cores the host offers, and the git revision that produced the numbers.
+fn bench_meta_json(threads: usize) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    format!("{{\"threads\": {threads}, \"cores\": {cores}, \"git_rev\": \"{git_rev}\"}}")
+}
+
+fn write_bench_json(path: &str, records: &[BenchRecord], meta: &str) -> Result<(), String> {
     let mut json = String::from("{\n");
+    json.push_str(&format!("  \"_meta\": {meta},\n"));
     for (i, r) in records.iter().enumerate() {
         json.push_str(&format!(
             "  \"{}\": {{\"median_ns\": {}, \"threads\": {}, \"n_qubits\": {}}}{}\n",
@@ -1450,8 +1542,9 @@ fn parse_bench_history(text: &str) -> Result<Vec<std::collections::BTreeMap<Stri
 fn write_bench_history(
     path: &str,
     reports: &[std::collections::BTreeMap<String, u64>],
+    meta: &str,
 ) -> Result<(), String> {
-    let mut json = String::from("{\"reports\": [\n");
+    let mut json = format!("{{\"_meta\": {meta},\n\"reports\": [\n");
     for (i, report) in reports.iter().enumerate() {
         json.push_str("  {");
         for (j, (name, ns)) in report.iter().enumerate() {
@@ -1502,6 +1595,10 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
     use pauli_codesign::circuit::Gate;
     use pauli_codesign::pauli::PauliString;
     use pauli_codesign::{par, vqe};
+
+    if flags.is_set("obs-overhead") {
+        return cmd_obs_overhead(flags);
+    }
 
     let smoke = flags.is_set("smoke");
     let out_path = flags
@@ -1636,7 +1733,8 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
         parallel,
     );
 
-    write_bench_json(&out_path, &records)?;
+    let meta = bench_meta_json(threads);
+    write_bench_json(&out_path, &records, &meta)?;
     let snapshot = obs::snapshot();
     for counter in ["par.tasks", "par.threads"] {
         println!(
@@ -1692,7 +1790,7 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
         );
         let excess = reports.len().saturating_sub(window);
         reports.drain(..excess);
-        write_bench_history(history_path, &reports)?;
+        write_bench_history(history_path, &reports, &meta)?;
         let drifts = bench_drift(&reports, drift_tolerance);
         if !drifts.is_empty() {
             return Err(CliError::BenchRegression(drifts));
@@ -1702,6 +1800,160 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
             drift_tolerance * 100.0,
             reports.len()
         );
+    }
+    Ok(())
+}
+
+/// Per-call budget (ns) for the disabled-tracing fast path.
+const OBS_OVERHEAD_BUDGET_NS: f64 = 2000.0;
+
+/// `pcd bench --obs-overhead`: measures span/event/counter/histogram calls
+/// with tracing *disabled* — the state every always-on hook (flight ring
+/// included) runs in during production batches — and fails with exit 21
+/// if any op's per-call cost exceeds the budget.
+fn cmd_obs_overhead(flags: &Flags) -> Result<(), CliError> {
+    let budget_ns = flags.get_f64("budget-ns", OBS_OVERHEAD_BUDGET_NS)?;
+    if budget_ns.is_nan() || budget_ns <= 0.0 {
+        return Err(CliError::Usage("--budget-ns must be positive".to_string()));
+    }
+    // Each op is far below the vendored harness's ~10µs floor, so batch
+    // calls per sample and divide.
+    const CALLS: usize = 10_000;
+    let (warmup, samples) = (3, 15);
+    obs::reset();
+    obs::disable();
+
+    println!(
+        "pcd bench --obs-overhead — disabled-tracing fast path, \
+         {CALLS} calls/sample, budget {budget_ns:.0} ns/call"
+    );
+    println!("{:<28} {:>12}", "op", "ns/call");
+    let mut over: Vec<String> = Vec::new();
+    let mut check = |name: &str, m: criterion::Measurement| {
+        let per_call = m.median_ns as f64 / CALLS as f64;
+        println!("{name:<28} {per_call:>12.1}");
+        if per_call > budget_ns {
+            over.push(format!(
+                "{name}: {per_call:.1} ns/call exceeds the {budget_ns:.0} ns budget"
+            ));
+        }
+    };
+
+    let m = criterion::measure(warmup, samples, || {
+        for i in 0..CALLS {
+            let span = obs::span("bench.overhead.span");
+            std::hint::black_box(i);
+            drop(span);
+        }
+    });
+    check("span open+drop", m);
+
+    let m = criterion::measure(warmup, samples, || {
+        for i in 0..CALLS {
+            obs::event!("bench.overhead.event");
+            std::hint::black_box(i);
+        }
+    });
+    check("event", m);
+
+    let m = criterion::measure(warmup, samples, || {
+        for i in 0..CALLS {
+            obs::counter_add("bench.overhead.counter", 1);
+            std::hint::black_box(i);
+        }
+    });
+    check("counter_add", m);
+
+    let m = criterion::measure(warmup, samples, || {
+        for i in 0..CALLS {
+            obs::histogram_record("bench.overhead.hist", i as f64);
+            std::hint::black_box(i);
+        }
+    });
+    check("histogram_record", m);
+
+    if !over.is_empty() {
+        return Err(CliError::BenchRegression(over));
+    }
+    println!("obs overhead within budget");
+    Ok(())
+}
+
+/// Files worth scanning when a `pcd report` input is a directory.
+fn report_dir_entries(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let Ok(read) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<_> = read
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_file()
+                && matches!(
+                    p.extension().and_then(|e| e.to_str()),
+                    Some("jsonl" | "json" | "manifest")
+                )
+        })
+        .collect();
+    paths.sort();
+    paths
+}
+
+fn cmd_report(flags: &Flags) -> Result<(), CliError> {
+    use pauli_codesign::report::{classify, parse_bench_medians, ReportBuilder};
+
+    if flags.positional.is_empty() {
+        return Err(CliError::Usage(
+            "report needs at least one trace/flight/manifest/bench file or directory".to_string(),
+        ));
+    }
+    let drift_tolerance = flags.get_f64("drift-tolerance", BENCH_TOLERANCE * 100.0)? / 100.0;
+    if drift_tolerance.is_nan() || drift_tolerance <= 0.0 {
+        return Err(CliError::Usage(
+            "--drift-tolerance must be positive".to_string(),
+        ));
+    }
+
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    for arg in &flags.positional {
+        let path = std::path::PathBuf::from(arg);
+        if path.is_dir() {
+            paths.extend(report_dir_entries(&path));
+        } else {
+            paths.push(path);
+        }
+    }
+
+    // Post-mortem tooling must not die on the evidence: unreadable or
+    // corrupt inputs become warnings in the report, and the exit stays 0.
+    let mut builder = ReportBuilder::new();
+    for path in &paths {
+        let display = path.display().to_string();
+        match std::fs::read_to_string(path) {
+            Ok(text) => match classify(&text) {
+                Ok(artifact) => builder.add(&display, artifact),
+                Err(e) => builder.add_warning(&display, e),
+            },
+            Err(e) => builder.add_warning(&display, e.to_string()),
+        }
+    }
+
+    let baseline_path = flags.get("baseline").unwrap_or("BENCH_pipeline.json");
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => {
+            parse_bench_medians(&text).map_err(|e| format!("baseline {baseline_path}: {e}"))?
+        }
+        // No baseline on disk simply skips the drift section (the
+        // default path is a convenience, not a requirement).
+        Err(_) => std::collections::BTreeMap::new(),
+    };
+
+    let report = builder.finish(&baseline, drift_tolerance);
+    print!("{}", report.render());
+    if let Some(out) = flags.get("out") {
+        let json = format!("{}\n", report.to_json());
+        obs::atomic_write(out, json.as_bytes()).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("report JSON written to {out}");
     }
     Ok(())
 }

@@ -53,6 +53,8 @@ pub use sim;
 pub use supervisor;
 pub use vqe;
 
+pub mod report;
+
 use ansatz::uccsd::UccsdAnsatz;
 use ansatz::{compress, PauliIr};
 use arch::Topology;

@@ -13,22 +13,32 @@
 //! - **Counters** — monotonic `u64` totals, e.g. objective evaluations or
 //!   SWAPs inserted. Bumped with [`counter_add`].
 //! - **Histograms** — `f64` sample distributions, e.g. per-pass timings or
-//!   line-search step sizes. Fed with [`histogram_record`].
+//!   line-search step sizes. Fed with [`histogram_record`] into a
+//!   bounded-memory [`stream::StreamingHistogram`] (~1% relative-error
+//!   quantiles), so long batches run in O(1) telemetry memory. The
+//!   `exact-histograms` feature additionally retains raw samples for
+//!   verification in tests.
 //!
 //! # Disabled fast path
 //!
 //! Recording is **off by default**. Every entry point first checks a single
-//! relaxed [`AtomicBool`]; when disabled, nothing is allocated, no lock is
-//! taken, and no clock is read, so instrumented library code pays one
-//! predictable branch. Call [`enable`] (the `pcd` CLI does this for
-//! `--trace`/`--metrics`) to start recording.
+//! relaxed [`AtomicBool`]; when disabled, no allocation happens and no
+//! registry lock is taken. Independently of that flag, every span
+//! completion, event, and counter delta is also pushed into the always-on
+//! per-thread [`flight`] ring buffer (fixed-size copy plus one monotonic
+//! clock read per span — a few tens of ns, pinned by the
+//! `pcd bench --obs-overhead` budget), so a crash dump has recent telemetry
+//! even when tracing was off. Call [`enable`] (the `pcd` CLI does this for
+//! `--trace`/`--metrics`) to start full recording.
 //!
 //! # Export
 //!
 //! [`export_jsonl`] serializes the registry as JSON Lines — one object per
 //! span/event/counter/histogram — and [`parse_jsonl`] reads that format
 //! back into typed [`Record`]s (the crate ships its own small JSON layer in
-//! [`json`]). [`summary`] renders a human-readable table of span timings,
+//! [`json`]). Unknown record types are skipped (and counted by
+//! [`parse_jsonl_stats`]) so older binaries can read traces written by
+//! newer ones. [`summary`] renders a human-readable table of span timings,
 //! counters, and histogram statistics for end-of-run reporting.
 //!
 //! ```
@@ -47,7 +57,9 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod flight;
 pub mod json;
+pub mod stream;
 mod summary;
 
 use std::cell::RefCell;
@@ -60,7 +72,22 @@ use std::time::Instant;
 
 use json::JsonValue;
 
+pub use stream::{RollingHistogram, StreamingHistogram};
 pub use summary::summary_from_snapshot;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes` — the
+/// checksum sealing flight dumps and (via `resilience`) checkpoints.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// A field value attached to a span or event.
 #[derive(Debug, Clone, PartialEq)]
@@ -223,8 +250,8 @@ pub struct Snapshot {
     pub events: Vec<EventRecord>,
     /// Counter totals by name.
     pub counters: BTreeMap<String, u64>,
-    /// Raw histogram samples by name.
-    pub histograms: BTreeMap<String, Vec<f64>>,
+    /// Streaming histograms by name (bounded memory; see [`stream`]).
+    pub histograms: BTreeMap<String, StreamingHistogram>,
 }
 
 impl Snapshot {
@@ -244,13 +271,16 @@ impl Snapshot {
     }
 
     /// Summary statistics for the named histogram, if it has samples.
+    /// `count`/`min`/`max` are exact; `mean`/percentiles carry the
+    /// [`stream::ALPHA`] relative-error bound.
     pub fn histogram_stats(&self, name: &str) -> Option<HistogramStats> {
-        let samples = self.histograms.get(name)?;
-        stats_of(samples)
+        self.histograms.get(name)?.stats()
     }
 }
 
-fn stats_of(samples: &[f64]) -> Option<HistogramStats> {
+/// Exact [`HistogramStats`] of a raw sample slice — the reference the
+/// streaming estimator is tested against (same nearest-rank convention).
+pub fn exact_stats_of(samples: &[f64]) -> Option<HistogramStats> {
     if samples.is_empty() {
         return None;
     }
@@ -276,7 +306,7 @@ struct Inner {
     spans: Vec<SpanRecord>,
     events: Vec<EventRecord>,
     counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Vec<f64>>,
+    histograms: BTreeMap<String, StreamingHistogram>,
 }
 
 impl Inner {
@@ -330,22 +360,28 @@ pub fn reset() {
     *lock() = Inner::new();
 }
 
-/// Starts a timed span. The span records itself when the guard drops;
-/// when recording is disabled this is a no-op that reads no clock.
+/// Starts a timed span. The span records itself when the guard drops.
+/// When recording is disabled, no allocation happens and no registry lock
+/// is taken on drop, but the monotonic clock is still read and the span's
+/// completion is noted in the thread's [`flight`] ring (a fixed-size copy;
+/// the per-call cost is pinned by the `pcd bench --obs-overhead` budget).
 #[must_use = "a span records on Drop; binding it to `_` drops it immediately"]
 pub fn span(name: &str) -> SpanGuard {
-    if !is_enabled() {
-        return SpanGuard {
-            name: String::new(),
-            start: None,
-            fields: Vec::new(),
-        };
-    }
-    let name = name.to_string();
-    SPAN_STACK.with(|s| s.borrow_mut().push(name.clone()));
+    let fname = flight::SmallName::new(name);
+    let start = Instant::now();
+    let enabled = is_enabled();
+    let name = if enabled {
+        let name = name.to_string();
+        SPAN_STACK.with(|s| s.borrow_mut().push(name.clone()));
+        name
+    } else {
+        String::new()
+    };
     SpanGuard {
         name,
-        start: Some(Instant::now()),
+        enabled,
+        start,
+        fname,
         fields: Vec::new(),
     }
 }
@@ -354,14 +390,16 @@ pub fn span(name: &str) -> SpanGuard {
 #[derive(Debug)]
 pub struct SpanGuard {
     name: String,
-    start: Option<Instant>,
+    enabled: bool,
+    start: Instant,
+    fname: flight::SmallName,
     fields: Vec<(String, Value)>,
 }
 
 impl SpanGuard {
     /// Attaches a key/value field to the span.
     pub fn record(&mut self, key: &str, value: impl Into<Value>) {
-        if self.start.is_some() {
+        if self.enabled {
             self.fields.push((key.to_string(), value.into()));
         }
     }
@@ -369,8 +407,12 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(start) = self.start else { return };
         let end = Instant::now();
+        let duration_us = end.saturating_duration_since(self.start).as_secs_f64() * 1e6;
+        flight::note_span(self.fname.as_str(), duration_us);
+        if !self.enabled {
+            return;
+        }
         // Pop our own frame; out-of-order drops remove the most recent
         // matching name instead.
         SPAN_STACK.with(|s| {
@@ -381,8 +423,11 @@ impl Drop for SpanGuard {
         });
         let parent = SPAN_STACK.with(|s| s.borrow().last().cloned());
         let mut inner = lock();
-        let start_us = start.saturating_duration_since(inner.epoch).as_secs_f64() * 1e6;
-        let duration_us = end.saturating_duration_since(start).as_secs_f64() * 1e6;
+        let start_us = self
+            .start
+            .saturating_duration_since(inner.epoch)
+            .as_secs_f64()
+            * 1e6;
         inner.spans.push(SpanRecord {
             name: std::mem::take(&mut self.name),
             parent,
@@ -394,8 +439,10 @@ impl Drop for SpanGuard {
 }
 
 /// Emits an event with pre-built fields. Prefer the [`event!`] macro, which
-/// skips building the field vector entirely when recording is disabled.
+/// skips building the field vector entirely when recording is disabled
+/// (the event is still noted in the [`flight`] ring either way).
 pub fn event_fields(name: &str, fields: Vec<(String, Value)>) {
+    flight::note_event(name);
     if !is_enabled() {
         return;
     }
@@ -417,7 +464,8 @@ pub fn event_fields(name: &str, fields: Vec<(String, Value)>) {
 /// obs::event!("vqe.iter", iter = 3u64, energy = -1.1, accepted = true);
 /// ```
 ///
-/// Field expressions are not evaluated when recording is disabled.
+/// Field expressions are not evaluated when recording is disabled; the
+/// event name is still noted in the [`flight`] ring.
 #[macro_export]
 macro_rules! event {
     ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
@@ -426,12 +474,16 @@ macro_rules! event {
                 $name,
                 vec![$((stringify!($key).to_string(), $crate::Value::from($val))),*],
             );
+        } else {
+            $crate::flight::note_event($name);
         }
     };
 }
 
-/// Adds `delta` to the named monotonic counter.
+/// Adds `delta` to the named monotonic counter. The delta is noted in the
+/// [`flight`] ring even when recording is disabled.
 pub fn counter_add(name: &str, delta: u64) {
+    flight::note_counter(name, delta);
     if !is_enabled() {
         return;
     }
@@ -439,7 +491,7 @@ pub fn counter_add(name: &str, delta: u64) {
     *inner.counters.entry(name.to_string()).or_insert(0) += delta;
 }
 
-/// Records one sample into the named histogram.
+/// Records one sample into the named streaming histogram.
 pub fn histogram_record(name: &str, value: f64) {
     if !is_enabled() {
         return;
@@ -449,7 +501,7 @@ pub fn histogram_record(name: &str, value: f64) {
         .histograms
         .entry(name.to_string())
         .or_default()
-        .push(value);
+        .record(value);
 }
 
 /// Copies out everything recorded so far.
@@ -642,14 +694,36 @@ fn json_to_fields(v: Option<&JsonValue>) -> Vec<(String, Value)> {
         .collect()
 }
 
+/// A parsed trace plus forward-compatibility accounting.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParsedTrace {
+    /// All records of known types, in file order.
+    pub records: Vec<Record>,
+    /// Lines whose `"type"` this build does not know (written by a newer
+    /// binary) that were skipped rather than rejected.
+    pub skipped_unknown: usize,
+}
+
 /// Parses JSONL produced by [`export_jsonl`] back into typed records.
-/// Blank lines are skipped.
+/// Blank lines are skipped. Lines with an unknown `"type"` are skipped
+/// for forward compatibility; use [`parse_jsonl_stats`] to learn how many.
 ///
 /// # Errors
 ///
 /// Returns a message naming the first malformed line (1-based).
 pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, String> {
-    let mut records = Vec::new();
+    parse_jsonl_stats(text).map(|p| p.records)
+}
+
+/// [`parse_jsonl`], also reporting how many unknown-type lines were
+/// skipped. A line must still be valid JSON with a string `"type"` to be
+/// skippable; anything else is an error.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line (1-based).
+pub fn parse_jsonl_stats(text: &str) -> Result<ParsedTrace, String> {
+    let mut parsed = ParsedTrace::default();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -659,6 +733,10 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, String> {
             .get("type")
             .and_then(JsonValue::as_str)
             .ok_or_else(|| format!("line {}: missing \"type\"", lineno + 1))?;
+        if !matches!(kind, "span" | "event" | "counter" | "histogram") {
+            parsed.skipped_unknown += 1;
+            continue;
+        }
         let name = v
             .get("name")
             .and_then(JsonValue::as_str)
@@ -689,7 +767,7 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, String> {
                 name,
                 value: num("value")? as u64,
             },
-            "histogram" => Record::Histogram {
+            _ => Record::Histogram {
                 name,
                 stats: HistogramStats {
                     count: num("count")? as u64,
@@ -701,11 +779,10 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, String> {
                     p99: num("p99")?,
                 },
             },
-            other => return Err(format!("line {}: unknown type \"{other}\"", lineno + 1)),
         };
-        records.push(record);
+        parsed.records.push(record);
     }
-    Ok(records)
+    Ok(parsed)
 }
 
 /// Renders the current registry as a human-readable summary table: span

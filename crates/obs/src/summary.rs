@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::{stats_of, Snapshot};
+use crate::Snapshot;
 
 fn fmt_us(us: f64) -> String {
     if us >= 1e6 {
@@ -57,7 +57,7 @@ pub fn summary_from_snapshot(snap: &Snapshot) -> String {
     let histograms: Vec<_> = snap
         .histograms
         .iter()
-        .filter_map(|(name, samples)| stats_of(samples).map(|st| (name, st)))
+        .filter_map(|(name, hist)| hist.stats().map(|st| (name, st)))
         .collect();
     if !histograms.is_empty() {
         out.push_str("histograms\n");

@@ -122,16 +122,9 @@ impl fmt::Display for CheckpointError {
 impl Error for CheckpointError {}
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`.
+/// Same checksum the obs flight recorder seals its dumps with.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
+    obs::crc32(bytes)
 }
 
 /// Encodes an `f64` as the 16-digit lowercase hex of its IEEE-754 bits —

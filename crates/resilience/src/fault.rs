@@ -175,6 +175,9 @@ impl FaultPlan {
                 visit = visit,
                 policy_class = kind.policy_class()
             );
+            // Always-on flight note (with the site name even when tracing
+            // is off); dumps the ring if a flight dir is armed.
+            let _ = obs::flight::note_fault(kind.site(), visit);
         }
         hit
     }

@@ -44,6 +44,9 @@ pub struct SupervisedChaosOptions {
     /// Scratch directory for drain manifests (defaults to the system
     /// temp directory).
     pub scratch_dir: Option<PathBuf>,
+    /// When set, every trial arms the flight recorder so quarantines and
+    /// injected faults dump `flight-<job>.jsonl` rings here.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for SupervisedChaosOptions {
@@ -56,6 +59,7 @@ impl Default for SupervisedChaosOptions {
             fault_rate: 0.25,
             check_drain: true,
             scratch_dir: None,
+            flight_dir: None,
         }
     }
 }
@@ -138,6 +142,7 @@ fn trial_config(trial: usize, opts: &SupervisedChaosOptions) -> SupervisorConfig
         breaker_threshold: 3,
         pipeline_fault_rate: opts.fault_rate * 0.5,
         injection: InjectionPlan::chaos(opts.fault_rate),
+        flight_dir: opts.flight_dir.clone(),
         ..SupervisorConfig::default()
     }
 }

@@ -26,8 +26,9 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, Once};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ansatz::compress;
 use ansatz::uccsd::UccsdAnsatz;
@@ -46,6 +47,7 @@ use crate::backoff::BackoffPolicy;
 use crate::breaker::{CircuitBreaker, Stage};
 use crate::job::{attempt_seed, job_seed, JobRecord, JobSpec, JobState};
 use crate::manifest::{encode_manifest, BatchMeta};
+use crate::progress::ProgressTracker;
 use crate::queue::{admit, JobQueue, ShedPolicy};
 use crate::splitmix64;
 
@@ -197,6 +199,15 @@ pub struct SupervisorConfig {
     /// it a drain still stops cleanly but in-flight progress is
     /// discarded (jobs restart their attempt on resume).
     pub ckpt_dir: Option<PathBuf>,
+    /// Directory for flight-recorder dumps (`flight-<job>.jsonl`). When
+    /// set, the ring is dumped on every quarantine (panic, timeout,
+    /// breaker trip), on drain/deadline interruptions, and — via the
+    /// armed process-global hook — whenever a resilience fault fires.
+    pub flight_dir: Option<PathBuf>,
+    /// Emit a progress snapshot this often (`None` = no progress thread).
+    pub progress_interval: Option<Duration>,
+    /// Render each progress snapshot as an in-place stderr status line.
+    pub progress_stderr: bool,
 }
 
 impl Default for SupervisorConfig {
@@ -217,6 +228,9 @@ impl Default for SupervisorConfig {
             drain_after_ticks: None,
             deadline: None,
             ckpt_dir: None,
+            flight_dir: None,
+            progress_interval: None,
+            progress_stderr: false,
         }
     }
 }
@@ -337,6 +351,14 @@ pub fn run_batch_resumed(
             message: e.to_string(),
         })?;
     }
+    if let Some(dir) = &config.flight_dir {
+        std::fs::create_dir_all(dir).map_err(|e| SupervisorError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        // Arm fault-triggered dumps for the duration of the batch.
+        obs::flight::arm_dump_dir(Some(dir.clone()));
+    }
 
     let mut batch_span = obs::span("supervisor.batch");
     batch_span.record("jobs", jobs.len());
@@ -388,26 +410,74 @@ pub fn run_batch_resumed(
     }
     queue.close();
 
+    let tracker = ProgressTracker::new(jobs.len());
+    for slot in slots.iter().flatten() {
+        tracker.job_skipped(slot.state.label());
+    }
+
     let results: Mutex<Vec<Option<JobRecord>>> = Mutex::new(vec![None; jobs.len()]);
     let workers = config.workers.max(1).min(to_run.len().max(1));
+    let monitor_stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                while let Some(index) = queue.pop() {
-                    let start = start_state(index, prior, config);
-                    let record = if drain.as_ref().is_some_and(Budget::is_expired) {
-                        // The drain hit before this job started: it goes
-                        // back to the manifest exactly as it stood.
-                        pending_record(index, &jobs[index], &start)
-                    } else {
-                        run_supervised_job(index, &jobs[index], config, drain.as_ref(), start)
-                    };
-                    let mut slot = results.lock().unwrap_or_else(|e| e.into_inner());
-                    slot[index] = Some(record);
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    while let Some(index) = queue.pop() {
+                        let start = start_state(index, prior, config);
+                        let record = if drain.as_ref().is_some_and(Budget::is_expired) {
+                            // The drain hit before this job started: it goes
+                            // back to the manifest exactly as it stood.
+                            let record = pending_record(index, &jobs[index], &start);
+                            tracker.job_skipped(record.state.label());
+                            record
+                        } else {
+                            tracker.job_started();
+                            let t0 = Instant::now();
+                            let record = run_supervised_job(
+                                index,
+                                &jobs[index],
+                                config,
+                                drain.as_ref(),
+                                start,
+                                &tracker,
+                            );
+                            tracker.job_finished(
+                                record.state.label(),
+                                t0.elapsed().as_secs_f64() * 1e6,
+                            );
+                            record
+                        };
+                        let mut slot = results.lock().unwrap_or_else(|e| e.into_inner());
+                        slot[index] = Some(record);
+                    }
+                })
+            })
+            .collect();
+        if let Some(interval) = config.progress_interval {
+            let stop = &monitor_stop;
+            let tracker = &tracker;
+            let stderr = config.progress_stderr;
+            scope.spawn(move || loop {
+                let mut slept = Duration::ZERO;
+                while slept < interval && !stop.load(Ordering::Relaxed) {
+                    let chunk = (interval - slept).min(Duration::from_millis(25));
+                    std::thread::sleep(chunk);
+                    slept += chunk;
+                }
+                tracker.emit(stderr);
+                if stop.load(Ordering::Relaxed) {
+                    break;
                 }
             });
         }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        monitor_stop.store(true, Ordering::Relaxed);
     });
+    if config.progress_interval.is_some() && config.progress_stderr {
+        eprintln!(); // terminate the in-place status line
+    }
 
     let finished = results.into_inner().unwrap_or_else(|e| e.into_inner());
     for (slot, fresh) in slots.iter_mut().zip(finished) {
@@ -457,6 +527,9 @@ pub fn run_batch_resumed(
             .write(&path)
             .map_err(SupervisorError::from)?;
         obs::event!("supervisor.manifest_written", pending = report.pending());
+    }
+    if config.flight_dir.is_some() {
+        obs::flight::arm_dump_dir(None);
     }
     Ok(report)
 }
@@ -552,6 +625,7 @@ fn run_supervised_job(
     config: &SupervisorConfig,
     drain: Option<&Budget>,
     start: StartState,
+    progress: &ProgressTracker,
 ) -> JobRecord {
     par::with_threads(1, || {
         let jseed = job_seed(config.batch_seed, index);
@@ -560,6 +634,9 @@ fn run_supervised_job(
         let mut resume_ck = start.resume_ck;
         let mut slices_base = start.slices_used;
         let mut attempt = start.attempt;
+        // Fresh flight ring for this job: a later dump holds only this
+        // job's telemetry (the worker thread is pinned for the job body).
+        obs::flight::set_job(&spec.id);
         obs::event!("supervisor.job_start", job = index, attempt = attempt);
 
         let quarantine = |attempt: usize, stage: String, error: String, backoff_ms: u64| {
@@ -570,6 +647,9 @@ fn run_supervised_job(
                 attempts = attempt + 1,
                 stage = stage.as_str()
             );
+            if let Some(dir) = &config.flight_dir {
+                let _ = obs::flight::dump(dir, &spec.id, &stage);
+            }
             JobRecord {
                 index,
                 id: spec.id.clone(),
@@ -585,6 +665,7 @@ fn run_supervised_job(
 
         loop {
             if let Some(stage) = breaker.open_stage() {
+                progress.breaker_trip();
                 return quarantine(
                     attempt,
                     stage.name().to_string(),
@@ -600,6 +681,7 @@ fn run_supervised_job(
             let start_slices = slices_base;
             slices_base = 0;
 
+            let t_attempt = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 if inject_panic {
                     panic!("injected panic (job {index} attempt {attempt})");
@@ -613,8 +695,10 @@ fn run_supervised_job(
                     start_slices,
                     config,
                     drain,
+                    progress,
                 )
             }));
+            progress.stage_us("attempt", t_attempt.elapsed().as_secs_f64() * 1e6);
 
             let failure = match outcome {
                 Err(_) => {
@@ -666,6 +750,14 @@ fn run_supervised_job(
                         attempt = attempt,
                         checkpointed = ck_name.is_some()
                     );
+                    if let Some(dir) = &config.flight_dir {
+                        let reason = if config.deadline.is_some() {
+                            "deadline"
+                        } else {
+                            "drain"
+                        };
+                        let _ = obs::flight::dump(dir, &spec.id, reason);
+                    }
                     return JobRecord {
                         index,
                         id: spec.id.clone(),
@@ -689,6 +781,7 @@ fn run_supervised_job(
             let stage = Stage::from_label(&stage_label);
             let opened = breaker.record_failure(stage);
             obs::counter_add("supervisor.retries", 1);
+            progress.retry();
             obs::event!(
                 "supervisor.job_retry",
                 job = index,
@@ -696,6 +789,7 @@ fn run_supervised_job(
                 stage = stage_label.as_str()
             );
             if opened {
+                progress.breaker_trip();
                 return quarantine(attempt, stage_label, error, backoff_ms);
             }
             if attempt >= config.max_retries {
@@ -724,6 +818,7 @@ fn attempt_job(
     start_slices: usize,
     config: &SupervisorConfig,
     drain: Option<&Budget>,
+    progress: &ProgressTracker,
 ) -> AttemptOutcome {
     if inject_transient {
         return AttemptOutcome::Failed {
@@ -733,12 +828,15 @@ fn attempt_job(
     }
 
     let mut plan = FaultPlan::new(aseed, config.pipeline_fault_rate);
-    let (system, scf_retries) = match build_system_with_recovery(
+    let t_chem = Instant::now();
+    let built = build_system_with_recovery(
         spec.benchmark,
         spec.bond_length(),
         ScfOptions::default(),
         &mut plan,
-    ) {
+    );
+    progress.stage_us("chem", t_chem.elapsed().as_secs_f64() * 1e6);
+    let (system, scf_retries) = match built {
         Ok(built) => built,
         Err(e) => return failed(&e),
     };
@@ -751,6 +849,7 @@ fn attempt_job(
 
     let mut resume = resume_ck;
     let mut slices = start_slices;
+    let t_vqe = Instant::now();
     let result = loop {
         if drain.is_some_and(Budget::is_expired) {
             return AttemptOutcome::Drained {
@@ -800,9 +899,13 @@ fn attempt_job(
             Err(e) => return failed(&PcdError::from(e)),
         }
     };
+    progress.stage_us("vqe", t_vqe.elapsed().as_secs_f64() * 1e6);
 
     let topology = Topology::xtree(system.num_qubits().max(5) + 1);
-    match compile_with_fallback(&ir, &topology, &mut plan) {
+    let t_compile = Instant::now();
+    let compiled = compile_with_fallback(&ir, &topology, &mut plan);
+    progress.stage_us("compile", t_compile.elapsed().as_secs_f64() * 1e6);
+    match compiled {
         Ok((_, strategy)) => AttemptOutcome::Done {
             energy_bits: result.energy.to_bits(),
             iterations: result.iterations,

@@ -43,6 +43,7 @@ pub mod chaos;
 pub mod engine;
 pub mod job;
 pub mod manifest;
+pub mod progress;
 pub mod queue;
 
 pub use backoff::BackoffPolicy;
@@ -55,6 +56,7 @@ pub use engine::{
 };
 pub use job::{attempt_seed, job_seed, parse_jobs, JobRecord, JobSpec, JobState};
 pub use manifest::{decode_manifest, encode_manifest, BatchMeta, KIND_BATCH_MANIFEST};
+pub use progress::{ProgressSnapshot, ProgressTracker};
 pub use queue::{admit, Admission, JobQueue, ShedPolicy};
 
 /// SplitMix64 finalizer used to derive per-job and per-attempt seeds from

@@ -1,0 +1,114 @@
+//! The flight-recorder ring must be bit-identical across worker-thread
+//! counts: a dump taken after the same logical workload at 1, 2, and 4
+//! `PCD_THREADS` carries the same entries (sequence, kind, name, value —
+//! the wall-clock fields, `at_us` and a span entry's measured duration,
+//! are documented as excluded). This is what makes
+//! a flight dump evidence about the *job*, not about the machine that
+//! happened to run it. The `par.*` counter carve-out is what earns the
+//! property: `par` only records its task accounting when a region
+//! actually goes parallel, so those deltas are excluded from the ring.
+//!
+//! Runs in its own integration binary: the ring is thread-local and the
+//! test needs sole ownership of its thread's ring.
+
+use obs::flight::{FlightEntry, FlightKind};
+use pauli_codesign::par;
+
+/// A workload mixing ring-visible telemetry with genuinely parallel
+/// numeric work (large enough to clear `par::SERIAL_CUTOFF`, so the
+/// `par.*` counters really do fire at 2+ threads).
+fn workload() {
+    let data: Vec<f64> = (0..2 * par::SERIAL_CUTOFF)
+        .map(|k| k as f64 * 0.5)
+        .collect();
+    for i in 0..8u64 {
+        let mut span = obs::span("det.stage");
+        span.record("iteration", i);
+        obs::counter_add("det.items", i + 1);
+        let sums = par::map_reduce(
+            data.len(),
+            par::DEFAULT_CHUNK,
+            0.0f64,
+            |range| data[range].iter().sum::<f64>(),
+            |a, b| a + b,
+        );
+        std::hint::black_box(sums);
+        obs::event!("det.tick");
+        drop(span);
+    }
+}
+
+fn ring_after_workload(threads: usize) -> Vec<FlightEntry> {
+    // set_job clears the ring, so each run starts from sequence 0.
+    obs::flight::set_job(&format!("det-{threads}"));
+    par::with_threads(threads, workload);
+    let snapshot = obs::flight::ring_snapshot();
+    obs::flight::clear_job();
+    snapshot
+}
+
+/// The determinism key of one entry — everything but the wall clock: a
+/// span's `value` is its measured duration, so it is masked like `at_us`.
+fn key(e: &FlightEntry) -> (u64, FlightKind, String, u64) {
+    let value_bits = match e.kind() {
+        FlightKind::Span => 0,
+        _ => e.value().to_bits(),
+    };
+    (e.seq(), e.kind(), e.name().to_string(), value_bits)
+}
+
+#[test]
+fn ring_is_bit_identical_across_thread_counts() {
+    let baseline: Vec<_> = ring_after_workload(1).iter().map(key).collect();
+    assert!(
+        !baseline.is_empty(),
+        "the workload must leave entries in the ring"
+    );
+    // 8 iterations × (span + counter + event).
+    assert_eq!(baseline.len(), 24);
+    assert!(
+        baseline
+            .iter()
+            .all(|(_, _, name, _)| !name.starts_with("par.")),
+        "par.* accounting must never reach the ring: {baseline:?}"
+    );
+    for threads in [2, 4] {
+        let ring: Vec<_> = ring_after_workload(threads).iter().map(key).collect();
+        assert_eq!(
+            baseline, ring,
+            "ring content differs between 1 and {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn dumps_of_the_same_workload_agree_across_thread_counts() {
+    let dir = std::env::temp_dir().join(format!("pcd-flight-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let mut parsed = Vec::new();
+    for threads in [1usize, 2, 4] {
+        obs::flight::set_job("det-dump");
+        par::with_threads(threads, workload);
+        let path =
+            obs::flight::dump(&dir, &format!("det-dump-{threads}"), "test").expect("dump writes");
+        obs::flight::clear_job();
+        let text = std::fs::read_to_string(&path).expect("dump reads back");
+        parsed.push(obs::flight::parse_dump(&text).expect("CRC seal verifies"));
+    }
+    let strip = |d: &obs::flight::FlightDump| -> Vec<(u64, String, String, u64)> {
+        d.entries
+            .iter()
+            .map(|r| {
+                let value_bits = if r.kind == "span" {
+                    0
+                } else {
+                    r.value.to_bits()
+                };
+                (r.seq, r.kind.clone(), r.name.clone(), value_bits)
+            })
+            .collect()
+    };
+    assert_eq!(strip(&parsed[0]), strip(&parsed[1]));
+    assert_eq!(strip(&parsed[0]), strip(&parsed[2]));
+    let _ = std::fs::remove_dir_all(&dir);
+}

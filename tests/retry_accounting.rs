@@ -30,11 +30,12 @@ fn recovered_scf_reports_the_final_converged_energy() {
     );
 
     let snap = obs::snapshot();
-    let samples = snap
+    let hist = snap
         .histograms
         .get("resilience.scf.final_energy")
         .expect("recovery records the final-energy histogram");
-    let reported = *samples.last().expect("at least one sample");
+    // The streaming histogram keeps the last recorded value exactly.
+    let reported = hist.last().expect("at least one sample");
     assert_eq!(
         reported.to_bits(),
         converged.to_bits(),

@@ -1,0 +1,137 @@
+//! Property tests for the streaming quantile estimator (`obs::stream`).
+//!
+//! The documented contract: `count`/`min`/`max` are exact, and quantile
+//! estimates stay within the [`ALPHA`] *relative* error bound of the
+//! exact nearest-rank quantiles ([`obs::exact_stats_of`], the same rank
+//! convention). The distributions here are chosen to be adversarial for
+//! bucketed estimators: constant (all mass in one bucket), bimodal (two
+//! spikes far apart, quantiles jump between them), and heavy-tailed
+//! (nine decades of dynamic range).
+
+use obs::stream::ALPHA;
+use obs::{exact_stats_of, StreamingHistogram};
+use proptest::prelude::*;
+
+/// One violation message, or `None` when every estimate is in bound.
+fn check_bound(samples: &[f64]) -> Option<String> {
+    let mut hist = StreamingHistogram::new();
+    for &s in samples {
+        hist.record(s);
+    }
+    let est = hist.stats().expect("non-empty");
+    let exact = exact_stats_of(samples).expect("non-empty");
+
+    if est.count != exact.count {
+        return Some(format!("count {} != exact {}", est.count, exact.count));
+    }
+    if est.min != exact.min || est.max != exact.max {
+        return Some(format!(
+            "min/max ({}, {}) != exact ({}, {})",
+            est.min, est.max, exact.min, exact.max
+        ));
+    }
+    for (name, got, want) in [
+        ("p50", est.p50, exact.p50),
+        ("p90", est.p90, exact.p90),
+        ("p99", est.p99, exact.p99),
+    ] {
+        if (got - want).abs() > ALPHA * want.abs() + 1e-9 {
+            return Some(format!(
+                "{name}: estimate {got} vs exact {want} breaks the {ALPHA} relative bound \
+                 over {} samples",
+                samples.len()
+            ));
+        }
+    }
+    None
+}
+
+fn constant() -> impl Strategy<Value = Vec<f64>> {
+    ((1e-3f64..1e6), 1usize..300).prop_map(|(v, n)| vec![v; n])
+}
+
+fn bimodal() -> impl Strategy<Value = Vec<f64>> {
+    (
+        (0.5f64..5.0),
+        (1e3f64..1e5),
+        prop::collection::vec(prop_oneof![Just(false), Just(true)], 10..300),
+    )
+        .prop_map(|(lo, hi, picks)| {
+            picks
+                .into_iter()
+                .map(|high| if high { hi } else { lo })
+                .collect()
+        })
+}
+
+fn heavy_tailed() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-3.0f64..6.0, 10..300)
+        .prop_map(|exponents| exponents.into_iter().map(|e| 10f64.powf(e)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn constant_distribution_stays_in_bound(samples in constant()) {
+        let violation = check_bound(&samples);
+        prop_assert!(violation.is_none(), "{}", violation.unwrap_or_default());
+    }
+
+    #[test]
+    fn bimodal_distribution_stays_in_bound(samples in bimodal()) {
+        let violation = check_bound(&samples);
+        prop_assert!(violation.is_none(), "{}", violation.unwrap_or_default());
+    }
+
+    #[test]
+    fn heavy_tailed_distribution_stays_in_bound(samples in heavy_tailed()) {
+        let violation = check_bound(&samples);
+        prop_assert!(violation.is_none(), "{}", violation.unwrap_or_default());
+    }
+
+    /// Merging shards must agree with recording the concatenation — the
+    /// property `pcd report` relies on when folding many jobs together.
+    #[test]
+    fn merge_agrees_with_concatenation(a in heavy_tailed(), b in bimodal()) {
+        let mut merged = StreamingHistogram::new();
+        for &s in &a {
+            merged.record(s);
+        }
+        let mut other = StreamingHistogram::new();
+        for &s in &b {
+            other.record(s);
+        }
+        merged.merge(&other);
+
+        let mut single = StreamingHistogram::new();
+        for &s in a.iter().chain(&b) {
+            single.record(s);
+        }
+        let m = merged.stats().expect("non-empty");
+        let s = single.stats().expect("non-empty");
+        prop_assert_eq!(m.count, s.count);
+        prop_assert_eq!(m.min, s.min);
+        prop_assert_eq!(m.max, s.max);
+        prop_assert_eq!(m.p50, s.p50);
+        prop_assert_eq!(m.p99, s.p99);
+    }
+
+    /// Memory stays bounded by the bucket universe, not the sample count:
+    /// the whole point of replacing the raw `Vec<f64>`.
+    #[test]
+    fn bucket_count_is_independent_of_sample_count(samples in heavy_tailed()) {
+        let mut small = StreamingHistogram::new();
+        for &s in &samples {
+            small.record(s);
+        }
+        let mut large = StreamingHistogram::new();
+        for _ in 0..50 {
+            for &s in &samples {
+                large.record(s);
+            }
+        }
+        prop_assert_eq!(large.bucket_count(), small.bucket_count());
+        prop_assert_eq!(large.count(), 50 * small.count());
+    }
+}

@@ -1,0 +1,75 @@
+//! Forward compatibility of the trace reader: a JSONL trace written by a
+//! *newer* binary may contain record `type`s this build has never heard
+//! of. `obs::parse_jsonl` must skip them (and `parse_jsonl_stats` must
+//! count them) rather than erroring, so an old `pcd report` can still
+//! aggregate the records it does understand. The fixture mixes current
+//! record types with three invented future ones.
+
+use obs::Record;
+
+const FIXTURE: &str = include_str!("fixtures/trace-v2-mixed.jsonl");
+
+#[test]
+fn mixed_version_trace_parses_and_counts_unknown_types() {
+    let parsed = obs::parse_jsonl_stats(FIXTURE).expect("mixed trace parses");
+    assert_eq!(
+        parsed.skipped_unknown, 3,
+        "progress_v3, flight_index, and gauge lines are skipped"
+    );
+    let names: Vec<&str> = parsed.records.iter().map(Record::name).collect();
+    assert_eq!(
+        names,
+        [
+            "pipeline.run",
+            "pipeline.vqe",
+            "resilience.fault",
+            "resilience.retries",
+            "vqe.energy",
+            "supervisor.progress.stage",
+        ],
+        "known records survive in file order"
+    );
+    // The skipped lines lose no known data: the span parent chain and the
+    // histogram statistics parse exactly.
+    let Record::Span(vqe) = &parsed.records[1] else {
+        panic!("second record is the vqe span");
+    };
+    assert_eq!(vqe.parent.as_deref(), Some("pipeline.run"));
+    let Record::Histogram { stats, .. } = &parsed.records[4] else {
+        panic!("fifth record is the histogram");
+    };
+    assert_eq!(stats.count, 12);
+    assert_eq!(stats.p99, -0.92);
+}
+
+#[test]
+fn legacy_entry_point_agrees_with_the_counting_one() {
+    let records = obs::parse_jsonl(FIXTURE).expect("legacy entry point parses");
+    let parsed = obs::parse_jsonl_stats(FIXTURE).expect("counting entry point parses");
+    assert_eq!(records, parsed.records);
+}
+
+#[test]
+fn malformed_lines_still_error() {
+    // Forward compatibility is for *well-formed* lines of unknown type;
+    // garbage must still be reported, with its line number.
+    let err = obs::parse_jsonl_stats("{\"type\":\"future_thing\"}\nnot json")
+        .expect_err("garbage errors");
+    assert!(err.contains("line 2"), "{err}");
+    // A line with a non-string type is malformed, not future-versioned.
+    let err =
+        obs::parse_jsonl_stats("{\"type\":42,\"name\":\"x\"}").expect_err("numeric type errors");
+    assert!(err.contains("line 1"), "{err}");
+}
+
+#[test]
+fn report_classifier_reports_the_skip_count() {
+    let artifact = pauli_codesign::report::classify(FIXTURE).expect("classifies as a trace");
+    let mut builder = pauli_codesign::report::ReportBuilder::new();
+    builder.add("trace-v2-mixed.jsonl", artifact);
+    let report = builder.finish(&std::collections::BTreeMap::new(), 0.10);
+    assert_eq!(report.skipped_unknown, 3);
+    assert!(report
+        .render()
+        .contains("3 unknown-type trace line(s) skipped"));
+}
