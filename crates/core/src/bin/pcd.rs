@@ -39,8 +39,9 @@ use pauli_codesign::resilience::{
     FaultKind, PcdError,
 };
 use pauli_codesign::supervisor::{
-    parse_jobs, run_batch_resumed, run_supervised_chaos, BatchReport, InjectionPlan, JobState,
-    ShedPolicy, SupervisedChaosOptions, SupervisorConfig, SupervisorError,
+    merge_shards, parse_jobs, run_batch_resumed, run_kill_shard_chaos, run_shard,
+    run_supervised_chaos, BatchReport, InjectionPlan, JobState, KillShardOptions, MergeError,
+    ShardSpec, ShedPolicy, SupervisedChaosOptions, SupervisorConfig, SupervisorError,
 };
 use pauli_codesign::vqe::driver::{run_vqe, run_vqe_resumable, VqeOptions, VqeResult, VqeRun};
 
@@ -75,6 +76,14 @@ enum CliError {
         /// Jobs shed by admission control.
         shed: usize,
     },
+    /// `batch merge` hit a record conflict or a batch-identity mismatch
+    /// (quarantinable corruption does NOT land here — it degrades).
+    MergeFailed(MergeError),
+    /// `report --strict` found warnings (corrupt/unreadable artifacts).
+    ReportStrict {
+        /// Warnings the report collected.
+        warnings: usize,
+    },
 }
 
 /// Exit code for a chaos run with unrecovered trials.
@@ -90,6 +99,13 @@ const EXIT_BATCH_DRAINED: u8 = 30;
 /// Exit code for a batch that completed with quarantined or shed jobs.
 const EXIT_BATCH_DEGRADED: u8 = 32;
 
+/// Exit code for a manifest merge that found conflicting records or a
+/// batch-identity mismatch (determinism-contract violation).
+const EXIT_MERGE_CONFLICT: u8 = 33;
+
+/// Exit code for `report --strict` when the report carries warnings.
+const EXIT_REPORT_STRICT: u8 = 34;
+
 impl CliError {
     fn exit_code(&self) -> u8 {
         match self {
@@ -102,6 +118,8 @@ impl CliError {
             CliError::Batch(_) => 31,
             CliError::BatchDrained { .. } => EXIT_BATCH_DRAINED,
             CliError::BatchDegraded { .. } => EXIT_BATCH_DEGRADED,
+            CliError::MergeFailed(_) => EXIT_MERGE_CONFLICT,
+            CliError::ReportStrict { .. } => EXIT_REPORT_STRICT,
         }
     }
 }
@@ -134,6 +152,10 @@ impl std::fmt::Display for CliError {
                 f,
                 "batch degraded: {quarantined} job(s) quarantined, {shed} shed"
             ),
+            CliError::MergeFailed(e) => write!(f, "{e}"),
+            CliError::ReportStrict { warnings } => {
+                write!(f, "report --strict: {warnings} warning(s) in the evidence")
+            }
         }
     }
 }
@@ -209,6 +231,16 @@ commands:
                                       ticks, resume from checkpoint files,
                                       and verify the results match an
                                       uninterrupted run bit-for-bit
+  chaos --kill-shard [--trials N] [--jobs N] [--shards N] [--workers N]
+        [--seed N] [--fault-rate R] [--flight-dir DIR]
+                                      kill-shard chaos: launch real sharded
+                                      pcd batch subprocesses, SIGKILL a
+                                      seeded victim mid-batch, let the
+                                      survivors (or a rescue re-run) take
+                                      the orphaned shard over, merge, and
+                                      assert the sealed batch.manifest is
+                                      bit-identical to a 1-shard reference
+                                      with no job lost or duplicated
   chaos --supervised [--trials N] [--jobs N] [--workers N] [--seed N]
         [--fault-rate R] [--flight-dir DIR]
                                       supervised-batch chaos: run whole
@@ -237,18 +269,39 @@ commands:
                                       recorder so quarantines, deadline
                                       expiries, and faults dump
                                       flight-<job>.jsonl rings there
+  batch <JOBS.jsonl> --shards N --shard-id K --checkpoint DIR [...]
+                                      run one shard of a batch (jobs with
+                                      index % N == K): heartbeats a lease,
+                                      seals shard-K.manifest, and adopts
+                                      dead sibling shards after finishing;
+                                      rerunning the same shard resumes or
+                                      takes over automatically (exit 31 if
+                                      a live process holds the lease)
+  batch merge <JOBS.jsonl> --checkpoint DIR
+                                      union the shard manifests in DIR into
+                                      a sealed batch.manifest (bit-identical
+                                      to a 1-shard run when complete) plus
+                                      merge.lineage provenance; corrupt
+                                      shard manifests are quarantined
+                                      aside; exit 30 if jobs are missing or
+                                      pending (resumable), 33 on a record
+                                      conflict or batch-identity mismatch
   report <FILE|DIR> ... [--baseline FILE] [--drift-tolerance PCT]
-         [--out FILE]                 aggregate observability artifacts
+         [--out FILE] [--strict]      aggregate observability artifacts
                                       (--trace JSONL, flight-*.jsonl dumps,
                                       batch.manifest, BENCH_pipeline.json;
                                       classified by content, directories
                                       scanned) into per-stage latency
                                       quantiles, counter totals, the
                                       slowest-span critical path, the
-                                      quarantine/fault breakdown, and bench
-                                      drift vs --baseline (default
+                                      quarantine/fault breakdown, shard and
+                                      takeover lineage (shard-*.manifest,
+                                      merge.lineage), and bench drift vs
+                                      --baseline (default
                                       BENCH_pipeline.json); corrupt inputs
-                                      degrade to warnings, exit stays 0
+                                      degrade to warnings, exit stays 0 —
+                                      unless --strict, which exits 34 when
+                                      any warning was recorded
   bench [--smoke] [--out FILE] [--qubits N] [--baseline FILE]
         [--tolerance PCT] [--history FILE] [--window K]
         [--drift-tolerance PCT]
@@ -361,8 +414,10 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "resume",
     "kill-resume",
     "supervised",
+    "kill-shard",
     "progress",
     "obs-overhead",
+    "strict",
 ];
 
 impl Flags {
@@ -1055,6 +1110,9 @@ fn cmd_chaos(flags: &Flags) -> Result<(), CliError> {
     if flags.is_set("supervised") {
         return cmd_supervised_chaos(flags);
     }
+    if flags.is_set("kill-shard") {
+        return cmd_kill_shard_chaos(flags);
+    }
     let molecule = if flags.positional.is_empty() {
         Benchmark::H2
     } else {
@@ -1230,6 +1288,101 @@ fn cmd_supervised_chaos(flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_kill_shard_chaos(flags: &Flags) -> Result<(), CliError> {
+    let seed = flags.get_u64("seed", 42)?;
+    let trials = flags.get_usize("trials", 2)?;
+    if trials == 0 {
+        return Err(CliError::Usage("--trials must be positive".to_string()));
+    }
+    let jobs = flags.get_usize("jobs", 6)?;
+    if jobs == 0 {
+        return Err(CliError::Usage("--jobs must be positive".to_string()));
+    }
+    let shards = flags.get_usize("shards", 3)?;
+    if shards < 2 {
+        return Err(CliError::Usage(
+            "--kill-shard needs --shards of at least 2 (someone must survive)".to_string(),
+        ));
+    }
+    let workers = flags.get_usize("workers", 2)?.max(1);
+    let fault_rate = flags.get_f64("fault-rate", 0.25)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(CliError::Usage(
+            "--fault-rate must be in [0, 1]".to_string(),
+        ));
+    }
+    let flight_dir = flags.get("flight-dir").map(std::path::PathBuf::from);
+    if let Some(dir) = &flight_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("creating flight dir {}: {e}", dir.display()))?;
+    }
+    let pcd_exe = std::env::current_exe()
+        .map_err(|e| CliError::Usage(format!("locating the pcd binary: {e}")))?;
+
+    obs::enable();
+    let report = run_kill_shard_chaos(&KillShardOptions {
+        seed,
+        trials,
+        jobs,
+        shards,
+        workers,
+        fault_rate,
+        pcd_exe,
+        flight_dir: flight_dir.clone(),
+        ..KillShardOptions::default()
+    });
+
+    println!(
+        "chaos --kill-shard: {trials} trials × {jobs} jobs over {shards} shards, \
+         fault rate {:.0}%, seed {seed}",
+        fault_rate * 100.0
+    );
+    for outcome in &report.outcomes {
+        println!(
+            "  trial {} : victim shard {} ({}), {} takeover(s){}",
+            outcome.trial,
+            outcome.victim,
+            if outcome.killed_mid_run {
+                "killed mid-run"
+            } else {
+                "finished before the kill"
+            },
+            outcome.takeovers,
+            if outcome.rescued {
+                ", rescued by re-run"
+            } else {
+                ""
+            }
+        );
+        for violation in &outcome.violations {
+            eprintln!("  trial {}: VIOLATION: {violation}", outcome.trial);
+        }
+    }
+    let snapshot = obs::snapshot();
+    for counter in [
+        "supervisor.takeovers",
+        "supervisor.shards",
+        "supervisor.lease_write_failures",
+    ] {
+        println!(
+            "  obs {:<28}: {}",
+            counter,
+            snapshot.counters.get(counter).copied().unwrap_or(0)
+        );
+    }
+    if !report.survived() {
+        return Err(CliError::ChaosUnsurvived {
+            failed: report.failures(),
+            trials,
+        });
+    }
+    println!(
+        "  survived: every merged batch.manifest bit-identical to the 1-shard \
+         reference; no job lost, duplicated, or silently degraded"
+    );
+    Ok(())
+}
+
 fn print_batch_report(report: &BatchReport) {
     println!(
         "{:<4} {:<14} {:<12} {:>12} {:>8}  detail",
@@ -1284,7 +1437,124 @@ fn print_batch_report(report: &BatchReport) {
     );
 }
 
+fn print_shard_report(report: &pauli_codesign::supervisor::ShardRunReport) {
+    match &report.taken_over_from {
+        Some(from) => println!(
+            "shard {}/{}: epoch {} (took over from {from})",
+            report.shard_id, report.shards, report.epoch
+        ),
+        None => println!(
+            "shard {}/{}: epoch {}",
+            report.shard_id, report.shards, report.epoch
+        ),
+    }
+    println!("  own records      : {}", report.records.len());
+    for takeover in &report.takeovers {
+        println!(
+            "  took over shard {} from {} at epoch {} ({} records)",
+            takeover.shard_id,
+            takeover.from,
+            takeover.epoch,
+            takeover.records.len()
+        );
+    }
+    println!(
+        "shard: {} done, {} quarantined, {} shed, {} pending",
+        report.done(),
+        report.quarantined(),
+        report.shed(),
+        report.pending()
+    );
+}
+
+/// `pcd batch merge JOBS.jsonl --checkpoint DIR`: union the shard
+/// manifests in DIR into a sealed `batch.manifest` (bit-identical to a
+/// 1-shard run when complete) plus a `merge.lineage` provenance record.
+fn cmd_batch_merge(flags: &Flags) -> Result<(), CliError> {
+    let jobs_path = flags
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::Usage("batch merge needs a JOBS.jsonl file".to_string()))?;
+    let text = std::fs::read_to_string(jobs_path)
+        .map_err(|e| CliError::Usage(format!("reading {jobs_path}: {e}")))?;
+    let jobs = parse_jobs(&text).map_err(CliError::Usage)?;
+    let dir = flags
+        .get("checkpoint")
+        .map(std::path::PathBuf::from)
+        .ok_or_else(|| CliError::Usage("batch merge needs --checkpoint DIR".to_string()))?;
+
+    let outcome = merge_shards(&dir, &jobs).map_err(|e| match e {
+        MergeError::Conflict { .. } | MergeError::MetaMismatch(_) => CliError::MergeFailed(e),
+        MergeError::NoShards(dir) => CliError::Usage(format!("no shard manifests found in {dir}")),
+        MergeError::Io { path, message } => CliError::Batch(SupervisorError::Io { path, message }),
+    })?;
+
+    println!(
+        "merge: {} shard manifest(s) → {}",
+        outcome.shards.len(),
+        outcome.sealed_path.display()
+    );
+    for shard in &outcome.shards {
+        match &shard.taken_over_from {
+            Some(from) => println!(
+                "  shard {} : {} records, epoch {}, owner {} (took over from {from})",
+                shard.shard_id, shard.records, shard.epoch, shard.owner
+            ),
+            None => println!(
+                "  shard {} : {} records, epoch {}, owner {}",
+                shard.shard_id, shard.records, shard.epoch, shard.owner
+            ),
+        }
+    }
+    for (path, reason) in &outcome.quarantined {
+        eprintln!("  quarantined {} : {reason}", path.display());
+    }
+    if outcome.duplicates_deduped > 0 {
+        println!(
+            "  deduplicated {} bit-identical takeover record(s)",
+            outcome.duplicates_deduped
+        );
+    }
+    let pending = outcome
+        .records
+        .iter()
+        .filter(|r| !r.state.is_terminal())
+        .count();
+    let quarantined_jobs = outcome
+        .records
+        .iter()
+        .filter(|r| r.state.label() == "quarantined")
+        .count();
+    let shed_jobs = outcome
+        .records
+        .iter()
+        .filter(|r| r.state.label() == "shed")
+        .count();
+    println!(
+        "merge: {} job(s) total, {} pending, {} missing (lineage in {})",
+        outcome.records.len(),
+        pending,
+        outcome.missing.len(),
+        dir.join("merge.lineage").display()
+    );
+    if pending > 0 {
+        // The sealed union is exactly a drained manifest: finish it with
+        // `pcd batch --resume`, or rerun the dead shards.
+        return Err(CliError::BatchDrained { pending });
+    }
+    if quarantined_jobs + shed_jobs > 0 {
+        return Err(CliError::BatchDegraded {
+            quarantined: quarantined_jobs,
+            shed: shed_jobs,
+        });
+    }
+    Ok(())
+}
+
 fn cmd_batch(flags: &Flags) -> Result<(), CliError> {
+    if flags.positional.first().map(String::as_str) == Some("merge") {
+        return cmd_batch_merge(flags);
+    }
     let jobs_path = flags
         .positional
         .first()
@@ -1356,6 +1626,35 @@ fn cmd_batch(flags: &Flags) -> Result<(), CliError> {
     }
     config.progress_interval = Some(Duration::from_millis(interval_ms));
     config.progress_stderr = flags.is_set("progress");
+
+    // Sharded execution: this process runs only `index % shards ==
+    // shard-id` and seals shard-<id>.manifest. A re-run of the same shard
+    // resumes (or takes over) automatically — no --resume needed.
+    if flags.is_set("shards") || flags.is_set("shard-id") {
+        if flags.is_set("resume") {
+            return Err(CliError::Usage(
+                "--resume is implicit for sharded runs: rerun the same --shard-id".to_string(),
+            ));
+        }
+        let spec = ShardSpec {
+            shards: flags.get_usize("shards", 1)?,
+            shard_id: flags.get_usize("shard-id", 0)?,
+        };
+        let report = run_shard(&jobs, &config, spec)?;
+        print_shard_report(&report);
+        if report.pending() > 0 {
+            return Err(CliError::BatchDrained {
+                pending: report.pending(),
+            });
+        }
+        if report.quarantined() + report.shed() > 0 {
+            return Err(CliError::BatchDegraded {
+                quarantined: report.quarantined(),
+                shed: report.shed(),
+            });
+        }
+        return Ok(());
+    }
 
     let report = if flags.is_set("resume") {
         let dir = config
@@ -1891,7 +2190,7 @@ fn report_dir_entries(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
             p.is_file()
                 && matches!(
                     p.extension().and_then(|e| e.to_str()),
-                    Some("jsonl" | "json" | "manifest")
+                    Some("jsonl" | "json" | "manifest" | "lineage")
                 )
         })
         .collect();
@@ -1954,6 +2253,13 @@ fn cmd_report(flags: &Flags) -> Result<(), CliError> {
         let json = format!("{}\n", report.to_json());
         obs::atomic_write(out, json.as_bytes()).map_err(|e| format!("writing {out}: {e}"))?;
         eprintln!("report JSON written to {out}");
+    }
+    // --strict turns degraded evidence into a failure: CI gates on it so
+    // corrupt or missing artifacts cannot pass silently.
+    if flags.is_set("strict") && !report.warnings.is_empty() {
+        return Err(CliError::ReportStrict {
+            warnings: report.warnings.len(),
+        });
     }
     Ok(())
 }

@@ -32,7 +32,10 @@ use obs::flight::FlightDump;
 use obs::json::JsonValue;
 use obs::{Record, StreamingHistogram};
 use resilience::Checkpoint;
-use supervisor::{decode_manifest, BatchMeta, JobRecord, JobState};
+use supervisor::{
+    decode_manifest, decode_shard_manifest, BatchMeta, JobRecord, JobState, ShardMeta,
+    KIND_MERGE_LINEAGE, KIND_SHARD_MANIFEST,
+};
 
 /// One input file, classified by content.
 #[derive(Debug)]
@@ -53,8 +56,43 @@ pub enum Artifact {
         /// Per-job records.
         records: Vec<JobRecord>,
     },
+    /// A per-shard manifest checkpoint (`shard-<id>.manifest`).
+    Shard {
+        /// Shard header: batch identity plus lineage.
+        meta: ShardMeta,
+        /// The shard's records (sparse global indices).
+        records: Vec<JobRecord>,
+    },
+    /// A merge lineage checkpoint (`merge.lineage`).
+    Lineage(LineageSummary),
     /// A bench report: benchmark name → median ns.
     Bench(BTreeMap<String, u64>),
+}
+
+/// One shard's line in a parsed `merge.lineage` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineageEntry {
+    /// Shard id.
+    pub shard_id: usize,
+    /// Owner descriptor that sealed the shard.
+    pub owner: String,
+    /// Lease epoch it sealed under.
+    pub epoch: u64,
+    /// Dead owner it took over from, when the seal was a takeover.
+    pub taken_over_from: Option<String>,
+    /// Records the shard contributed.
+    pub records: u64,
+}
+
+/// A parsed `merge.lineage` checkpoint.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LineageSummary {
+    /// Per-shard lineage lines.
+    pub shards: Vec<LineageEntry>,
+    /// Shard manifests the merge quarantined.
+    pub quarantined: usize,
+    /// Jobs no shard covered (sealed as pending placeholders).
+    pub missing: usize,
 }
 
 impl Artifact {
@@ -64,9 +102,46 @@ impl Artifact {
             Artifact::Trace { .. } => "trace",
             Artifact::Flight(_) => "flight",
             Artifact::Manifest { .. } => "manifest",
+            Artifact::Shard { .. } => "shard",
+            Artifact::Lineage(_) => "lineage",
             Artifact::Bench(_) => "bench",
         }
     }
+}
+
+fn parse_lineage(ck: &Checkpoint) -> Result<LineageSummary, String> {
+    let mut summary = LineageSummary::default();
+    // Payload line 0 is the batch header; the rest are typed lines.
+    for line in ck.payload.iter().skip(1) {
+        match line.get("kind").and_then(JsonValue::as_str) {
+            Some("shard") => summary.shards.push(LineageEntry {
+                shard_id: line
+                    .get("shard_id")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("lineage: shard line without shard_id")?
+                    as usize,
+                owner: line
+                    .get("owner")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("lineage: shard line without owner")?
+                    .to_string(),
+                epoch: line
+                    .get("epoch")
+                    .and_then(JsonValue::as_str)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("lineage: shard line without epoch")?,
+                taken_over_from: line
+                    .get("taken_over_from")
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_string),
+                records: line.get("records").and_then(JsonValue::as_u64).unwrap_or(0),
+            }),
+            Some("quarantined") => summary.quarantined += 1,
+            Some("missing") => summary.missing += 1,
+            _ => {}
+        }
+    }
+    Ok(summary)
 }
 
 /// Classifies `text` by content and parses it into an [`Artifact`].
@@ -84,8 +159,18 @@ pub fn classify(text: &str) -> Result<Artifact, String> {
     let first = text.lines().next().unwrap_or("").trim();
     if first.contains("\"magic\"") && first.contains("pcd-ckpt") {
         let ck = Checkpoint::from_bytes(text.as_bytes()).map_err(|e| format!("checkpoint: {e}"))?;
-        let (meta, records) = decode_manifest(&ck).map_err(|e| format!("manifest: {e}"))?;
-        return Ok(Artifact::Manifest { meta, records });
+        return match ck.kind.as_str() {
+            KIND_SHARD_MANIFEST => {
+                let (meta, records) =
+                    decode_shard_manifest(&ck).map_err(|e| format!("shard manifest: {e}"))?;
+                Ok(Artifact::Shard { meta, records })
+            }
+            KIND_MERGE_LINEAGE => parse_lineage(&ck).map(Artifact::Lineage),
+            _ => {
+                let (meta, records) = decode_manifest(&ck).map_err(|e| format!("manifest: {e}"))?;
+                Ok(Artifact::Manifest { meta, records })
+            }
+        };
     }
     if first.contains("\"flight_header\"") {
         return obs::flight::parse_dump(text)
@@ -179,6 +264,16 @@ pub struct Report {
     pub flight_by_reason: BTreeMap<String, u64>,
     /// Job totals across manifests: done / quarantined / shed / pending.
     pub jobs: (u64, u64, u64, u64),
+    /// Per-shard breakdown from shard manifests, by shard id: `(shard_id,
+    /// owner, epoch, done, quarantined, shed, pending)`.
+    pub shards: Vec<(usize, String, u64, u64, u64, u64, u64)>,
+    /// Takeovers visible in shard manifests and merge lineage:
+    /// `(shard_id, dead owner, adopting owner)`.
+    pub takeovers: Vec<(usize, String, String)>,
+    /// Jobs the merge found uncovered (from lineage).
+    pub merge_missing: usize,
+    /// Shard manifests the merge quarantined (from lineage).
+    pub merge_quarantined: usize,
     /// Benchmarks drifting beyond the tolerance, worst first.
     pub drift: Vec<DriftLine>,
     /// Benchmarks compared against the baseline.
@@ -199,6 +294,10 @@ pub struct ReportBuilder {
     faults_by_site: BTreeMap<String, u64>,
     flight_by_reason: BTreeMap<String, u64>,
     jobs: (u64, u64, u64, u64),
+    shards: Vec<(usize, String, u64, u64, u64, u64, u64)>,
+    takeovers: Vec<(usize, String, String)>,
+    merge_missing: usize,
+    merge_quarantined: usize,
     bench: BTreeMap<String, u64>,
     skipped_unknown: usize,
 }
@@ -267,6 +366,49 @@ impl ReportBuilder {
                     }
                 }
             }
+            Artifact::Shard { meta, records } => {
+                let mut counts = (0u64, 0u64, 0u64, 0u64);
+                for record in &records {
+                    match &record.state {
+                        JobState::Done { .. } => counts.0 += 1,
+                        JobState::Quarantined { stage, .. } => {
+                            counts.1 += 1;
+                            *self.quarantined_by_stage.entry(stage.clone()).or_insert(0) += 1;
+                        }
+                        JobState::Shed => counts.2 += 1,
+                        JobState::Pending { .. } => counts.3 += 1,
+                    }
+                }
+                // Shard records contribute to the job totals too — a
+                // directory of shard manifests with no merged
+                // batch.manifest still reports its fleet.
+                self.jobs.0 += counts.0;
+                self.jobs.1 += counts.1;
+                self.jobs.2 += counts.2;
+                self.jobs.3 += counts.3;
+                if let Some(from) = &meta.taken_over_from {
+                    self.takeovers
+                        .push((meta.shard_id, from.clone(), meta.owner.clone()));
+                }
+                self.shards.push((
+                    meta.shard_id,
+                    meta.owner,
+                    meta.epoch,
+                    counts.0,
+                    counts.1,
+                    counts.2,
+                    counts.3,
+                ));
+            }
+            Artifact::Lineage(summary) => {
+                for entry in summary.shards {
+                    if let Some(from) = entry.taken_over_from {
+                        self.takeovers.push((entry.shard_id, from, entry.owner));
+                    }
+                }
+                self.merge_missing += summary.missing;
+                self.merge_quarantined += summary.quarantined;
+            }
             Artifact::Bench(records) => {
                 // Later reports win on name collisions (newest artifact
                 // is usually listed last).
@@ -328,6 +470,14 @@ impl ReportBuilder {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
 
+        let mut shards = self.shards;
+        shards.sort_by_key(|a| a.0);
+        // Takeovers can surface in both a shard manifest and the merge
+        // lineage — report each once.
+        let mut takeovers = self.takeovers;
+        takeovers.sort();
+        takeovers.dedup();
+
         Report {
             inputs: self.inputs,
             warnings: self.warnings,
@@ -338,6 +488,10 @@ impl ReportBuilder {
             faults_by_site: self.faults_by_site,
             flight_by_reason: self.flight_by_reason,
             jobs: self.jobs,
+            shards,
+            takeovers,
+            merge_missing: self.merge_missing,
+            merge_quarantined: self.merge_quarantined,
             drift,
             bench_compared: compared,
             skipped_unknown: self.skipped_unknown,
@@ -427,6 +581,29 @@ impl Report {
             let _ = writeln!(
                 out,
                 "\njobs: {done} done, {quarantined} quarantined, {shed} shed, {pending} pending"
+            );
+        }
+        if !self.shards.is_empty() {
+            let _ = writeln!(out, "shards:");
+            for (id, owner, epoch, done, quarantined, shed, pending) in &self.shards {
+                let _ = writeln!(
+                    out,
+                    "  shard {id:<3} epoch {epoch:<3} {done} done, {quarantined} quarantined, \
+                     {shed} shed, {pending} pending  (owner {owner})"
+                );
+            }
+        }
+        if !self.takeovers.is_empty() {
+            let _ = writeln!(out, "takeovers:");
+            for (shard, from, by) in &self.takeovers {
+                let _ = writeln!(out, "  shard {shard:<3} {from} → {by}");
+            }
+        }
+        if self.merge_missing + self.merge_quarantined > 0 {
+            let _ = writeln!(
+                out,
+                "merge: {} job(s) uncovered, {} shard manifest(s) quarantined",
+                self.merge_missing, self.merge_quarantined
             );
         }
         if !self.quarantined_by_stage.is_empty() {
@@ -559,6 +736,47 @@ impl Report {
         jobs.insert("shed".to_string(), JsonValue::Number(shed as f64));
         jobs.insert("pending".to_string(), JsonValue::Number(pending as f64));
         root.insert("jobs".to_string(), JsonValue::Object(jobs));
+        if !self.shards.is_empty() {
+            root.insert(
+                "shards".to_string(),
+                JsonValue::Array(
+                    self.shards
+                        .iter()
+                        .map(|(id, owner, epoch, done, quarantined, shed, pending)| {
+                            let mut o = BTreeMap::new();
+                            o.insert("shard_id".to_string(), JsonValue::Number(*id as f64));
+                            o.insert("owner".to_string(), JsonValue::String(owner.clone()));
+                            o.insert("epoch".to_string(), JsonValue::Number(*epoch as f64));
+                            o.insert("done".to_string(), JsonValue::Number(*done as f64));
+                            o.insert(
+                                "quarantined".to_string(),
+                                JsonValue::Number(*quarantined as f64),
+                            );
+                            o.insert("shed".to_string(), JsonValue::Number(*shed as f64));
+                            o.insert("pending".to_string(), JsonValue::Number(*pending as f64));
+                            JsonValue::Object(o)
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        if !self.takeovers.is_empty() {
+            root.insert(
+                "takeovers".to_string(),
+                JsonValue::Array(
+                    self.takeovers
+                        .iter()
+                        .map(|(shard, from, by)| {
+                            let mut o = BTreeMap::new();
+                            o.insert("shard_id".to_string(), JsonValue::Number(*shard as f64));
+                            o.insert("from".to_string(), JsonValue::String(from.clone()));
+                            o.insert("by".to_string(), JsonValue::String(by.clone()));
+                            JsonValue::Object(o)
+                        })
+                        .collect(),
+                ),
+            );
+        }
         root.insert(
             "stages".to_string(),
             JsonValue::Array(

@@ -593,20 +593,25 @@ pub fn export_snapshot_jsonl(snap: &Snapshot) -> String {
 }
 
 /// Writes `contents` to `path` atomically: the bytes go to a sibling
-/// temporary file (`<name>.tmp` in the same directory, so the rename never
-/// crosses filesystems), are flushed and synced, and the temp file is then
-/// renamed over `path`. A reader — or a process killed mid-write — therefore
-/// sees either the complete old file or the complete new one, never a
-/// truncated artifact. Shared by trace export, `pcd bench` reports, and the
-/// resilience checkpoint writer.
+/// temporary file (`<name>.tmp.<pid>` in the same directory, so the rename
+/// never crosses filesystems and two processes writing adjacent artifacts
+/// never race on the same temp name), are flushed and synced, and the temp
+/// file is then renamed over `path`. On Unix the parent directory is fsynced
+/// after the rename so the new directory entry itself survives power loss. A
+/// reader — or a process killed mid-write — therefore sees either the
+/// complete old file or the complete new one, never a truncated artifact.
+/// Shared by trace export, `pcd bench` reports, the resilience checkpoint
+/// writer, and the supervisor's shard manifests and lease files.
 ///
 /// # Errors
 ///
-/// Propagates any I/O error from writing, syncing, or renaming.
+/// Propagates any I/O error from writing, syncing, or renaming. A failure to
+/// fsync the parent directory after a successful rename is ignored: the data
+/// rename already happened, and some filesystems reject directory fsync.
 pub fn atomic_write(path: impl AsRef<Path>, contents: &[u8]) -> std::io::Result<()> {
     let path = path.as_ref();
     let mut tmp = path.as_os_str().to_os_string();
-    tmp.push(".tmp");
+    tmp.push(format!(".tmp.{}", std::process::id()));
     let tmp = std::path::PathBuf::from(tmp);
     {
         let mut f = std::fs::File::create(&tmp)?;
@@ -615,7 +620,20 @@ pub fn atomic_write(path: impl AsRef<Path>, contents: &[u8]) -> std::io::Result<
         f.sync_all()?;
     }
     match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
+        Ok(()) => {
+            #[cfg(unix)]
+            if let Some(parent) = path.parent() {
+                let dir = if parent.as_os_str().is_empty() {
+                    Path::new(".")
+                } else {
+                    parent
+                };
+                if let Ok(d) = std::fs::File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+            Ok(())
+        }
         Err(e) => {
             // Leave no stray temp file behind on failure.
             let _ = std::fs::remove_file(&tmp);

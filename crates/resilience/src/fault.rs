@@ -27,17 +27,22 @@ pub enum FaultKind {
     VqeObjective,
     /// Optimizer iteration budget slashed so the first attempt stalls.
     OptimizerStall,
+    /// Shard lease heartbeat write fails (disk full, permission flip).
+    /// Leases are advisory liveness signals, so the shard must survive a
+    /// failed write — count it and keep running, never abort the batch.
+    LeaseWrite,
 }
 
 impl FaultKind {
     /// Every injection point, in a stable order.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 7] = [
         FaultKind::ScfConvergence,
         FaultKind::ScfEnergy,
         FaultKind::Geometry,
         FaultKind::CouplingGraph,
         FaultKind::VqeObjective,
         FaultKind::OptimizerStall,
+        FaultKind::LeaseWrite,
     ];
 
     /// The dotted site name used in obs events and reports.
@@ -49,16 +54,19 @@ impl FaultKind {
             FaultKind::CouplingGraph => "compile.coupling_graph",
             FaultKind::VqeObjective => "vqe.objective",
             FaultKind::OptimizerStall => "vqe.optimizer_stall",
+            FaultKind::LeaseWrite => "supervisor.lease_write",
         }
     }
 
     /// The recovery policy class responsible for this fault:
-    /// `"scf_retry"`, `"compiler_fallback"`, or `"vqe_restart"`.
+    /// `"scf_retry"`, `"compiler_fallback"`, `"vqe_restart"`, or
+    /// `"lease_retry"`.
     pub fn policy_class(self) -> &'static str {
         match self {
             FaultKind::ScfConvergence | FaultKind::ScfEnergy | FaultKind::Geometry => "scf_retry",
             FaultKind::CouplingGraph => "compiler_fallback",
             FaultKind::VqeObjective | FaultKind::OptimizerStall => "vqe_restart",
+            FaultKind::LeaseWrite => "lease_retry",
         }
     }
 
@@ -70,6 +78,7 @@ impl FaultKind {
             FaultKind::CouplingGraph => 3,
             FaultKind::VqeObjective => 4,
             FaultKind::OptimizerStall => 5,
+            FaultKind::LeaseWrite => 6,
         }
     }
 }
@@ -105,7 +114,7 @@ pub struct InjectedFault {
 pub struct FaultPlan {
     seed: u64,
     fault_rate: f64,
-    visits: [u64; 6],
+    visits: [u64; 7],
     injected: Vec<InjectedFault>,
 }
 
@@ -130,7 +139,7 @@ impl FaultPlan {
         FaultPlan {
             seed,
             fault_rate: rate,
-            visits: [0; 6],
+            visits: [0; 7],
             injected: Vec::new(),
         }
     }
@@ -209,7 +218,7 @@ mod tests {
         for kind in FaultKind::ALL {
             assert!(plan.should_inject(kind));
         }
-        assert_eq!(plan.injected().len(), 6);
+        assert_eq!(plan.injected().len(), 7);
         assert_eq!(plan.injected()[0].kind, FaultKind::ScfConvergence);
     }
 
@@ -262,7 +271,7 @@ mod tests {
                 }
             }
         }
-        let observed = hits as f64 / (draws * 6) as f64;
+        let observed = hits as f64 / (draws * 7) as f64;
         assert!(
             (observed - 0.25).abs() < 0.02,
             "observed rate {observed} too far from 0.25"
@@ -274,14 +283,14 @@ mod tests {
         // At rate 0.5 the per-site sequences must not be identical copies
         // of each other.
         let mut plan = FaultPlan::new(5, 0.5);
-        let mut seq: Vec<Vec<bool>> = vec![Vec::new(); 6];
+        let mut seq: Vec<Vec<bool>> = vec![Vec::new(); 7];
         for _ in 0..64 {
             for kind in FaultKind::ALL {
                 seq[kind.index()].push(plan.should_inject(kind));
             }
         }
-        for i in 0..6 {
-            for j in (i + 1)..6 {
+        for i in 0..7 {
+            for j in (i + 1)..7 {
                 assert_ne!(seq[i], seq[j], "sites {i} and {j} correlated");
             }
         }

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use resilience::{FaultKind, FaultPlan};
 
-/// Strategy: an arbitrary query sequence over the six injection sites.
+/// Strategy: an arbitrary query sequence over the seven injection sites.
 fn site_sequence() -> impl Strategy<Value = Vec<FaultKind>> {
     prop::collection::vec(
         prop_oneof![
@@ -16,6 +16,7 @@ fn site_sequence() -> impl Strategy<Value = Vec<FaultKind>> {
             Just(FaultKind::CouplingGraph),
             Just(FaultKind::VqeObjective),
             Just(FaultKind::OptimizerStall),
+            Just(FaultKind::LeaseWrite),
         ],
         1..200,
     )
@@ -79,7 +80,7 @@ proptest! {
     ) {
         let mut plan = FaultPlan::new(seed, 0.5);
         let mut hits = Vec::new();
-        let mut visits = [0u64; 6];
+        let mut visits = [0u64; 7];
         for &kind in &queries {
             let visit = visits[FaultKind::ALL.iter().position(|&k| k == kind).expect("site")];
             visits[FaultKind::ALL.iter().position(|&k| k == kind).expect("site")] += 1;

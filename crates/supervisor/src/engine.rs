@@ -48,7 +48,7 @@ use crate::breaker::{CircuitBreaker, Stage};
 use crate::job::{attempt_seed, job_seed, JobRecord, JobSpec, JobState};
 use crate::manifest::{encode_manifest, BatchMeta};
 use crate::progress::ProgressTracker;
-use crate::queue::{admit, JobQueue, ShedPolicy};
+use crate::queue::{admit, admit_plan, JobQueue, ShedPolicy};
 use crate::splitmix64;
 
 /// A failure of the supervisor itself (not of a job — job failures end in
@@ -57,6 +57,9 @@ use crate::splitmix64;
 pub enum SupervisorError {
     /// A bad jobs file or configuration.
     Spec(String),
+    /// Another live process holds the shard's lease (or already claimed
+    /// the epoch we tried to acquire) — contention, not misuse.
+    LeaseHeld(String),
     /// Filesystem I/O on the checkpoint directory or manifest.
     Io {
         /// Path involved.
@@ -75,6 +78,7 @@ impl std::fmt::Display for SupervisorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SupervisorError::Spec(msg) => write!(f, "batch spec: {msg}"),
+            SupervisorError::LeaseHeld(msg) => write!(f, "shard lease held: {msg}"),
             SupervisorError::Io { path, message } => {
                 write!(f, "batch I/O on {path}: {message}")
             }
@@ -317,14 +321,6 @@ pub fn run_batch_resumed(
     config: &SupervisorConfig,
     prior: Option<&[JobRecord]>,
 ) -> Result<BatchReport, SupervisorError> {
-    if jobs.is_empty() {
-        return Err(SupervisorError::Spec("batch has no jobs".to_string()));
-    }
-    if config.max_slices == 0 {
-        return Err(SupervisorError::Spec(
-            "max_slices must be positive (a hung attempt must eventually time out)".to_string(),
-        ));
-    }
     if let Some(prior) = prior {
         if prior.len() != jobs.len() {
             return Err(SupervisorError::ManifestMismatch(format!(
@@ -340,6 +336,88 @@ pub fn run_batch_resumed(
                     record.index, record.id, spec.id
                 )));
             }
+        }
+    }
+    let records = run_scoped(jobs, config, prior, None)?;
+    let report = BatchReport {
+        records,
+        batch_seed: config.batch_seed,
+    };
+    obs::counter_add("supervisor.batches", 1);
+
+    if let Some(dir) = &config.ckpt_dir {
+        let meta = BatchMeta {
+            batch_seed: config.batch_seed,
+            jobs: jobs.len(),
+            pipeline_fault_rate: config.pipeline_fault_rate,
+        };
+        let path = dir.join("batch.manifest");
+        encode_manifest(&meta, &report.records)
+            .write(&path)
+            .map_err(SupervisorError::from)?;
+        obs::event!("supervisor.manifest_written", pending = report.pending());
+    }
+    Ok(report)
+}
+
+/// The shared execution core under [`run_batch_resumed`] and the shard
+/// runner ([`crate::shard::run_shard`]): runs the job indices in
+/// `scope_indices` (`None` = all of them) and returns their records, in
+/// ascending index order, *without* writing any manifest.
+///
+/// `prior` may be sparse here (a shard manifest carries only its own
+/// partition); records are matched by their global index. Admission
+/// control is always evaluated over the *full* arrival order — which jobs
+/// are shed is a batch-level decision every shard replays identically —
+/// but shed obs events fire only on fresh runs, never when replaying a
+/// prior decision.
+pub(crate) fn run_scoped(
+    jobs: &[JobSpec],
+    config: &SupervisorConfig,
+    prior: Option<&[JobRecord]>,
+    scope_indices: Option<&[usize]>,
+) -> Result<Vec<JobRecord>, SupervisorError> {
+    if jobs.is_empty() {
+        return Err(SupervisorError::Spec("batch has no jobs".to_string()));
+    }
+    if config.max_slices == 0 {
+        return Err(SupervisorError::Spec(
+            "max_slices must be positive (a hung attempt must eventually time out)".to_string(),
+        ));
+    }
+    let owned: Vec<usize> = match scope_indices {
+        Some(indices) => {
+            let mut owned = indices.to_vec();
+            owned.sort_unstable();
+            owned.dedup();
+            if owned.iter().any(|&i| i >= jobs.len()) {
+                return Err(SupervisorError::Spec(format!(
+                    "scope index out of range (batch has {} jobs)",
+                    jobs.len()
+                )));
+            }
+            owned
+        }
+        None => (0..jobs.len()).collect(),
+    };
+    let mut prior_map: std::collections::BTreeMap<usize, &JobRecord> =
+        std::collections::BTreeMap::new();
+    if let Some(prior) = prior {
+        for record in prior {
+            if record.index >= jobs.len() {
+                return Err(SupervisorError::ManifestMismatch(format!(
+                    "manifest record index {} out of range (batch has {} jobs)",
+                    record.index,
+                    jobs.len()
+                )));
+            }
+            if jobs[record.index].id != record.id {
+                return Err(SupervisorError::ManifestMismatch(format!(
+                    "job {} is `{}` in the manifest but `{}` in the batch",
+                    record.index, record.id, jobs[record.index].id
+                )));
+            }
+            prior_map.insert(record.index, record);
         }
     }
     if config.injection.panics {
@@ -362,36 +440,49 @@ pub fn run_batch_resumed(
 
     let mut batch_span = obs::span("supervisor.batch");
     batch_span.record("jobs", jobs.len());
+    batch_span.record("scope", owned.len());
     batch_span.record("workers", config.workers.max(1));
     batch_span.record("resumed", prior.is_some());
 
-    // Seed every slot: terminal prior records carry over untouched; shed
-    // decisions (fresh batches only) are made up-front by deterministic
-    // admission control; everything else goes to the queue.
+    // Seed every owned slot: terminal prior records carry over untouched;
+    // shed decisions are made up-front by deterministic admission control
+    // over the *full* arrival order (so every shard agrees with the
+    // 1-shard run); everything else goes to the queue. On a fresh full
+    // run `admit` emits the shed events; when prior records exist the
+    // original run already counted its shed, so the replay is silent.
+    let shed_record = |index: usize| JobRecord {
+        index,
+        id: jobs[index].id.clone(),
+        state: JobState::Shed,
+        retries: 0,
+        backoff_ms: 0,
+    };
     let mut slots: Vec<Option<JobRecord>> = vec![None; jobs.len()];
     let mut to_run: Vec<usize> = Vec::new();
-    match prior {
-        Some(prior) => {
-            for record in prior {
-                if record.state.is_terminal() {
-                    slots[record.index] = Some(record.clone());
-                } else {
-                    to_run.push(record.index);
-                }
+    if prior.is_none() {
+        let admission = admit(jobs.len(), config.queue_cap, config.shed);
+        let shed: std::collections::BTreeSet<usize> = admission.shed.into_iter().collect();
+        for &index in &owned {
+            if shed.contains(&index) {
+                slots[index] = Some(shed_record(index));
+            } else {
+                to_run.push(index);
             }
         }
-        None => {
-            let admission = admit(jobs.len(), config.queue_cap, config.shed);
-            for &index in &admission.shed {
-                slots[index] = Some(JobRecord {
-                    index,
-                    id: jobs[index].id.clone(),
-                    state: JobState::Shed,
-                    retries: 0,
-                    backoff_ms: 0,
-                });
+    } else {
+        let admission = admit_plan(jobs.len(), config.queue_cap, config.shed);
+        let shed: std::collections::BTreeSet<usize> = admission.shed.into_iter().collect();
+        for &index in &owned {
+            match prior_map.get(&index) {
+                Some(record) if record.state.is_terminal() => {
+                    slots[index] = Some((*record).clone());
+                }
+                Some(_) => to_run.push(index),
+                // No record at all: the prior run died before this job was
+                // ever scheduled. Replay the admission decision for it.
+                None if shed.contains(&index) => slots[index] = Some(shed_record(index)),
+                None => to_run.push(index),
             }
-            to_run = admission.admitted;
         }
     }
 
@@ -410,7 +501,7 @@ pub fn run_batch_resumed(
     }
     queue.close();
 
-    let tracker = ProgressTracker::new(jobs.len());
+    let tracker = ProgressTracker::new(owned.len());
     for slot in slots.iter().flatten() {
         tracker.job_skipped(slot.state.label());
     }
@@ -423,7 +514,7 @@ pub fn run_batch_resumed(
             .map(|_| {
                 scope.spawn(|| {
                     while let Some(index) = queue.pop() {
-                        let start = start_state(index, prior, config);
+                        let start = start_state(prior_map.get(&index).copied(), config);
                         let record = if drain.as_ref().is_some_and(Budget::is_expired) {
                             // The drain hit before this job started: it goes
                             // back to the manifest exactly as it stood.
@@ -485,53 +576,34 @@ pub fn run_batch_resumed(
             *slot = Some(record);
         }
     }
-    let records: Vec<JobRecord> = slots
-        .into_iter()
-        .enumerate()
-        .map(|(index, slot)| {
-            // Every queued index was popped by exactly one worker (the
-            // queue drains before close returns None), so a hole cannot
-            // occur; a defensive record beats a panic in the supervisor.
-            slot.unwrap_or_else(|| JobRecord {
-                index,
-                id: jobs[index].id.clone(),
-                state: JobState::Quarantined {
-                    attempts: 0,
-                    stage: "supervisor".to_string(),
-                    error: "job was never scheduled".to_string(),
-                },
-                retries: 0,
-                backoff_ms: 0,
-            })
-        })
-        .collect();
-
-    let report = BatchReport {
-        records,
-        batch_seed: config.batch_seed,
-    };
-    batch_span.record("done", report.done());
-    batch_span.record("quarantined", report.quarantined());
-    batch_span.record("shed", report.shed());
-    batch_span.record("pending", report.pending());
-    obs::counter_add("supervisor.batches", 1);
-
-    if let Some(dir) = &config.ckpt_dir {
-        let meta = BatchMeta {
-            batch_seed: config.batch_seed,
-            jobs: jobs.len(),
-            pipeline_fault_rate: config.pipeline_fault_rate,
-        };
-        let path = dir.join("batch.manifest");
-        encode_manifest(&meta, &report.records)
-            .write(&path)
-            .map_err(SupervisorError::from)?;
-        obs::event!("supervisor.manifest_written", pending = report.pending());
+    let mut records: Vec<JobRecord> = Vec::with_capacity(owned.len());
+    for &index in &owned {
+        // Every queued index was popped by exactly one worker (the
+        // queue drains before close returns None), so a hole cannot
+        // occur; a defensive record beats a panic in the supervisor.
+        records.push(slots[index].take().unwrap_or_else(|| JobRecord {
+            index,
+            id: jobs[index].id.clone(),
+            state: JobState::Quarantined {
+                attempts: 0,
+                stage: "supervisor".to_string(),
+                error: "job was never scheduled".to_string(),
+            },
+            retries: 0,
+            backoff_ms: 0,
+        }));
     }
+
+    let label_count = |label: &str| records.iter().filter(|r| r.state.label() == label).count();
+    batch_span.record("done", label_count("done"));
+    batch_span.record("quarantined", label_count("quarantined"));
+    batch_span.record("shed", label_count("shed"));
+    batch_span.record("pending", label_count("pending"));
+
     if config.flight_dir.is_some() {
         obs::flight::arm_dump_dir(None);
     }
-    Ok(report)
+    Ok(records)
 }
 
 /// Where a job starts: attempt 0 for fresh jobs, the recorded position
@@ -545,7 +617,7 @@ struct StartState {
     backoff_ms: u64,
 }
 
-fn start_state(index: usize, prior: Option<&[JobRecord]>, config: &SupervisorConfig) -> StartState {
+fn start_state(record: Option<&JobRecord>, config: &SupervisorConfig) -> StartState {
     let fresh = StartState {
         attempt: 0,
         slices_used: 0,
@@ -554,7 +626,7 @@ fn start_state(index: usize, prior: Option<&[JobRecord]>, config: &SupervisorCon
         breaker_counts: [0; 3],
         backoff_ms: 0,
     };
-    let Some(record) = prior.and_then(|p| p.get(index)) else {
+    let Some(record) = record else {
         return fresh;
     };
     let JobState::Pending {

@@ -1,0 +1,408 @@
+//! Shard leases: advisory liveness files that let a sibling shard or a
+//! re-run detect a dead shard and take over its unfinished jobs.
+//!
+//! Each running shard owns `shard-<id>.lease` in the checkpoint
+//! directory — a single-line JSON file rewritten atomically on every
+//! heartbeat. Leases are *outside* the determinism domain: job records
+//! never depend on lease contents, so a lost heartbeat (or an injected
+//! [`FaultKind::LeaseWrite`] failure) degrades liveness reporting but can
+//! never change a batch's outcome. That is also why a failed lease write
+//! is counted (`supervisor.lease_write_failures`) and survived, never
+//! fatal.
+//!
+//! # Liveness and mutual exclusion
+//!
+//! A lease holds its owner's pid. On Unix the primary liveness check is
+//! `/proc/<pid>` existence — immediate and heartbeat-independent; where
+//! that is unavailable the fallback is file-mtime staleness against
+//! [`STALE_AFTER`]. Atomic rename is not compare-and-swap, so takeover
+//! arbitration between concurrent claimants uses `File::create_new` on an
+//! epoch-named claim file (`shard-<id>.claim.<epoch>`): exactly one
+//! process wins the right to run a shard at a given epoch.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use obs::json::JsonValue;
+use resilience::{CheckpointError, FaultKind, FaultPlan};
+
+use crate::manifest::{get_str, get_u64_str, get_usize, num, obj, string};
+
+/// Mtime-staleness horizon for the non-Unix liveness fallback.
+pub const STALE_AFTER: Duration = Duration::from_secs(30);
+
+/// One shard's liveness record, as persisted in `shard-<id>.lease`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// Which shard this lease covers.
+    pub shard_id: usize,
+    /// Pid of the owning process.
+    pub owner_pid: u32,
+    /// Per-acquisition nonce, so two incarnations of the same pid are
+    /// distinguishable in lineage.
+    pub owner_nonce: u64,
+    /// Ownership epoch: bumped by one on every (re-)acquisition, so a
+    /// takeover of a takeover claims a fresh, never-contended token.
+    pub epoch: u64,
+    /// Heartbeats written so far under this ownership.
+    pub beats: u64,
+    /// Whether the owner finished the shard (manifest sealed).
+    pub done: bool,
+    /// Owner descriptor of the dead shard this acquisition took over, if
+    /// this ownership began as a takeover.
+    pub taken_over_from: Option<String>,
+}
+
+impl Lease {
+    /// The lease file path for `shard_id` under `dir`.
+    pub fn path(dir: &Path, shard_id: usize) -> PathBuf {
+        dir.join(format!("shard-{shard_id}.lease"))
+    }
+
+    /// `pid:<pid>/<nonce-hex>` — the owner descriptor used in lineage.
+    pub fn owner(&self) -> String {
+        format!("pid:{}/{:08x}", self.owner_pid, self.owner_nonce)
+    }
+
+    /// Serializes to a single JSON line.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            ("shard_id", num(self.shard_id)),
+            ("owner_pid", string(&self.owner_pid.to_string())),
+            ("owner_nonce", string(&self.owner_nonce.to_string())),
+            ("epoch", string(&self.epoch.to_string())),
+            ("beats", string(&self.beats.to_string())),
+            ("state", string(if self.done { "done" } else { "running" })),
+        ];
+        if let Some(from) = &self.taken_over_from {
+            fields.push(("taken_over_from", string(from)));
+        }
+        obj(fields).to_string()
+    }
+
+    /// Parses a lease line.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] on missing or mistyped fields.
+    pub fn parse(text: &str) -> Result<Lease, CheckpointError> {
+        let value = obs::json::parse(text.trim())
+            .map_err(|e| CheckpointError::Malformed(format!("lease: {e}")))?;
+        let owner_pid = get_u64_str(&value, "owner_pid")?;
+        let owner_pid = u32::try_from(owner_pid)
+            .map_err(|_| CheckpointError::Malformed("lease: pid out of range".to_string()))?;
+        let done = match get_str(&value, "state")? {
+            "done" => true,
+            "running" => false,
+            other => {
+                return Err(CheckpointError::Malformed(format!(
+                    "lease: unknown state `{other}`"
+                )))
+            }
+        };
+        Ok(Lease {
+            shard_id: get_usize(&value, "shard_id")?,
+            owner_pid,
+            owner_nonce: get_u64_str(&value, "owner_nonce")?,
+            epoch: get_u64_str(&value, "epoch")?,
+            beats: get_u64_str(&value, "beats")?,
+            done,
+            taken_over_from: value
+                .get("taken_over_from")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+        })
+    }
+
+    /// Reads and parses `shard_id`'s lease. `None` when the file does not
+    /// exist *or* does not parse — a torn lease carries no liveness
+    /// information, so it is treated exactly like a missing one.
+    pub fn read(dir: &Path, shard_id: usize) -> Option<Lease> {
+        let text = std::fs::read_to_string(Lease::path(dir, shard_id)).ok()?;
+        Lease::parse(&text).ok()
+    }
+}
+
+/// What a lease file says about a shard's liveness right now.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseHealth {
+    /// No (readable) lease: the shard never started here.
+    Missing,
+    /// The owner sealed the shard's manifest and exited cleanly.
+    Done(Lease),
+    /// The owner still looks alive.
+    Alive(Lease),
+    /// The owner is gone mid-run — the shard is up for takeover.
+    Dead(Lease),
+}
+
+/// Classifies `shard_id`'s lease in `dir`. Our own pid is always alive;
+/// on Unix other pids are checked via `/proc/<pid>`; elsewhere the lease
+/// file's mtime must be younger than `stale_after`.
+pub fn classify(dir: &Path, shard_id: usize, stale_after: Duration) -> LeaseHealth {
+    let Some(lease) = Lease::read(dir, shard_id) else {
+        return LeaseHealth::Missing;
+    };
+    if lease.done {
+        return LeaseHealth::Done(lease);
+    }
+    if lease.owner_pid == std::process::id() {
+        return LeaseHealth::Alive(lease);
+    }
+    if owner_alive(&lease, dir, stale_after) {
+        LeaseHealth::Alive(lease)
+    } else {
+        LeaseHealth::Dead(lease)
+    }
+}
+
+#[cfg(unix)]
+fn owner_alive(lease: &Lease, _dir: &Path, _stale_after: Duration) -> bool {
+    Path::new(&format!("/proc/{}", lease.owner_pid)).exists()
+}
+
+#[cfg(not(unix))]
+fn owner_alive(lease: &Lease, dir: &Path, stale_after: Duration) -> bool {
+    let Ok(meta) = std::fs::metadata(Lease::path(dir, lease.shard_id)) else {
+        return false;
+    };
+    let Ok(modified) = meta.modified() else {
+        return false;
+    };
+    modified
+        .elapsed()
+        .map(|age| age < stale_after)
+        .unwrap_or(true)
+}
+
+/// Claims the right to run `shard_id` at `epoch` via `File::create_new`
+/// on `shard-<id>.claim.<epoch>`. Returns `true` exactly once per
+/// `(shard, epoch)` across all processes sharing `dir`.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than "claim already exists".
+pub fn try_claim(dir: &Path, shard_id: usize, epoch: u64) -> std::io::Result<bool> {
+    let path = dir.join(format!("shard-{shard_id}.claim.{epoch}"));
+    match std::fs::File::create_new(&path) {
+        Ok(_) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// The running shard's handle on its own lease: heartbeats, completion,
+/// and injected-fault-tolerant writes.
+pub struct LeaseKeeper {
+    dir: PathBuf,
+    lease: Mutex<Lease>,
+    plan: Mutex<FaultPlan>,
+}
+
+impl LeaseKeeper {
+    /// Wraps a freshly acquired lease and persists it immediately.
+    /// `plan` drives [`FaultKind::LeaseWrite`] injection (pass
+    /// [`FaultPlan::none`] outside chaos runs).
+    pub fn new(dir: &Path, lease: Lease, plan: FaultPlan) -> LeaseKeeper {
+        let keeper = LeaseKeeper {
+            dir: dir.to_path_buf(),
+            lease: Mutex::new(lease),
+            plan: Mutex::new(plan),
+        };
+        keeper.persist();
+        keeper
+    }
+
+    /// The current lease state (a snapshot).
+    pub fn lease(&self) -> Lease {
+        self.lock().clone()
+    }
+
+    /// Bumps the heartbeat counter and rewrites the lease file. A failed
+    /// or injected-to-fail write is counted and survived: the records of
+    /// the batch never depend on a heartbeat landing.
+    pub fn beat(&self) {
+        self.lock().beats += 1;
+        if self.persist() {
+            obs::counter_add("supervisor.lease_beats", 1);
+        }
+    }
+
+    /// Marks the shard finished and rewrites the lease one last time.
+    pub fn mark_done(&self) {
+        self.lock().done = true;
+        self.persist();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Lease> {
+        self.lease.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn persist(&self) -> bool {
+        let injected = self
+            .plan
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .should_inject(FaultKind::LeaseWrite);
+        let (path, text) = {
+            let lease = self.lock();
+            (Lease::path(&self.dir, lease.shard_id), lease.to_json())
+        };
+        let result = if injected {
+            Err(std::io::Error::other("injected lease-write failure"))
+        } else {
+            obs::atomic_write(&path, text.as_bytes())
+        };
+        match result {
+            Ok(()) => true,
+            Err(e) => {
+                obs::counter_add("supervisor.lease_write_failures", 1);
+                obs::event!(
+                    "supervisor.lease_write_failed",
+                    shard = self.lock().shard_id,
+                    error = e.to_string()
+                );
+                false
+            }
+        }
+    }
+}
+
+/// A fresh owner identity for this process: pid plus a time-derived
+/// nonce, so lineage can tell two incarnations of a recycled pid apart.
+pub fn new_owner(shard_id: usize) -> (u32, u64) {
+    let pid = std::process::id();
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    let nonce = crate::splitmix64(u64::from(pid) ^ nanos.rotate_left(17) ^ shard_id as u64);
+    (pid, nonce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pcd-lease-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(shard_id: usize) -> Lease {
+        Lease {
+            shard_id,
+            owner_pid: std::process::id(),
+            owner_nonce: 0xDEAD_BEEF,
+            epoch: 2,
+            beats: 7,
+            done: false,
+            taken_over_from: Some("pid:99/0000002a".to_string()),
+        }
+    }
+
+    #[test]
+    fn lease_round_trips() {
+        let lease = sample(3);
+        assert_eq!(Lease::parse(&lease.to_json()).unwrap(), lease);
+        let mut done = lease.clone();
+        done.done = true;
+        done.taken_over_from = None;
+        assert_eq!(Lease::parse(&done.to_json()).unwrap(), done);
+    }
+
+    #[test]
+    fn torn_lease_reads_as_missing() {
+        let dir = scratch("torn");
+        std::fs::write(Lease::path(&dir, 0), b"{\"shard_id\":").unwrap();
+        assert_eq!(Lease::read(&dir, 0), None);
+        assert_eq!(classify(&dir, 0, STALE_AFTER), LeaseHealth::Missing);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn own_pid_is_alive_and_dead_pid_is_dead() {
+        let dir = scratch("alive");
+        let lease = sample(1);
+        obs::atomic_write(Lease::path(&dir, 1), lease.to_json().as_bytes()).unwrap();
+        assert_eq!(classify(&dir, 1, STALE_AFTER), LeaseHealth::Alive(lease));
+
+        // A pid that cannot exist: pid_max on Linux never exceeds 2^22,
+        // and the mtime fallback is fresh, so only the /proc check can
+        // (and on Unix must) call this dead.
+        #[cfg(unix)]
+        {
+            let mut dead = sample(2);
+            dead.owner_pid = u32::MAX - 1;
+            obs::atomic_write(Lease::path(&dir, 2), dead.to_json().as_bytes()).unwrap();
+            assert_eq!(classify(&dir, 2, STALE_AFTER), LeaseHealth::Dead(dead));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn done_lease_is_done_even_with_dead_owner() {
+        let dir = scratch("done");
+        let mut lease = sample(0);
+        lease.owner_pid = u32::MAX - 1;
+        lease.done = true;
+        obs::atomic_write(Lease::path(&dir, 0), lease.to_json().as_bytes()).unwrap();
+        assert_eq!(classify(&dir, 0, STALE_AFTER), LeaseHealth::Done(lease));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn claim_token_is_granted_exactly_once() {
+        let dir = scratch("claim");
+        assert!(try_claim(&dir, 4, 9).unwrap());
+        assert!(!try_claim(&dir, 4, 9).unwrap());
+        assert!(try_claim(&dir, 4, 10).unwrap(), "next epoch is fresh");
+        assert!(try_claim(&dir, 5, 9).unwrap(), "other shard is fresh");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_lease_write_failure_is_survived() {
+        let dir = scratch("inject");
+        obs::enable();
+        let before = obs::snapshot()
+            .counters
+            .get("supervisor.lease_write_failures")
+            .copied()
+            .unwrap_or(0);
+        // Rate 1.0: every write (including the initial persist) fails.
+        let mut fresh = sample(6);
+        fresh.beats = 0;
+        let keeper = LeaseKeeper::new(&dir, fresh, FaultPlan::new(7, 1.0));
+        keeper.beat();
+        keeper.beat();
+        keeper.mark_done();
+        assert_eq!(Lease::read(&dir, 6), None, "no write ever landed");
+        let after = obs::snapshot()
+            .counters
+            .get("supervisor.lease_write_failures")
+            .copied()
+            .unwrap_or(0);
+        assert!(after >= before + 4, "init + 2 beats + done all counted");
+        assert_eq!(keeper.lease().beats, 2, "state advances despite failures");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn healthy_keeper_heartbeats_to_disk() {
+        let dir = scratch("beat");
+        let mut fresh = sample(0);
+        fresh.beats = 0;
+        let keeper = LeaseKeeper::new(&dir, fresh, FaultPlan::none());
+        keeper.beat();
+        keeper.beat();
+        keeper.mark_done();
+        let lease = Lease::read(&dir, 0).unwrap();
+        assert_eq!(lease.beats, 2);
+        assert!(lease.done);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -34,6 +34,15 @@
 //! workers, and the [`chaos`] harness can assert bit-for-bit equality
 //! between interrupted and uninterrupted batches while injecting panics,
 //! hangs, and transient faults.
+//!
+//! Determinism is also what makes the batch **horizontally shardable**
+//! ([`shard`], [`lease`], [`merge`]): `--shards N --shard-id K` splits a
+//! batch across processes by `index % N`, each shard heartbeats a lease
+//! and seals its own CRC-guarded manifest, a surviving sibling (or a
+//! re-run) takes over a dead shard's slice by claiming its lease epoch,
+//! and `pcd batch merge` unions the shard manifests into a sealed
+//! `batch.manifest` that is bit-identical to a 1-shard run's — takeover
+//! provenance recorded beside it in `merge.lineage`, never inside it.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
@@ -42,22 +51,33 @@ pub mod breaker;
 pub mod chaos;
 pub mod engine;
 pub mod job;
+pub mod lease;
 pub mod manifest;
+pub mod merge;
 pub mod progress;
 pub mod queue;
+pub mod shard;
 
 pub use backoff::BackoffPolicy;
 pub use breaker::{CircuitBreaker, Stage};
 pub use chaos::{
-    run_supervised_chaos, SupervisedChaosOptions, SupervisedChaosReport, SupervisedTrialOutcome,
+    run_kill_shard_chaos, run_supervised_chaos, KillShardOptions, KillShardReport,
+    KillShardTrialOutcome, SupervisedChaosOptions, SupervisedChaosReport, SupervisedTrialOutcome,
 };
 pub use engine::{
     run_batch, run_batch_resumed, BatchReport, InjectionPlan, SupervisorConfig, SupervisorError,
 };
 pub use job::{attempt_seed, job_seed, parse_jobs, JobRecord, JobSpec, JobState};
+pub use lease::{classify, try_claim, Lease, LeaseHealth, LeaseKeeper, STALE_AFTER};
 pub use manifest::{decode_manifest, encode_manifest, BatchMeta, KIND_BATCH_MANIFEST};
+pub use merge::{merge_shards, MergeError, MergeOutcome, ShardLineage, KIND_MERGE_LINEAGE};
 pub use progress::{ProgressSnapshot, ProgressTracker};
-pub use queue::{admit, Admission, JobQueue, ShedPolicy};
+pub use queue::{admit, admit_plan, Admission, JobQueue, ShedPolicy};
+pub use shard::{
+    decode_shard_manifest, encode_shard_manifest, job_shard, run_shard, shard_indices,
+    shard_manifest_path, ShardMeta, ShardRunReport, ShardSpec, TakeoverOutcome,
+    KIND_SHARD_MANIFEST,
+};
 
 /// SplitMix64 finalizer used to derive per-job and per-attempt seeds from
 /// the batch seed. Identical constants to the resilience fault plan's

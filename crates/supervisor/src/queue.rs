@@ -51,6 +51,15 @@ impl ShedPolicy {
             ShedPolicy::DropOldest => "drop-oldest",
         }
     }
+
+    /// The per-policy shed counter, so reports can tell "queue was full and
+    /// newcomers bounced" apart from "newcomers evicted waiting jobs".
+    pub fn shed_counter(self) -> &'static str {
+        match self {
+            ShedPolicy::RejectNew => "supervisor.shed.reject_new",
+            ShedPolicy::DropOldest => "supervisor.shed.drop_oldest",
+        }
+    }
 }
 
 /// The outcome of admission control: which arrival indices run and which
@@ -63,10 +72,10 @@ pub struct Admission {
     pub shed: Vec<usize>,
 }
 
-/// Deterministic admission control: of `n_jobs` arrivals, admit at most
-/// `cap` under `policy` (`cap == 0` means unbounded). Emits one
-/// `supervisor.shed` event per shed job.
-pub fn admit(n_jobs: usize, cap: usize, policy: ShedPolicy) -> Admission {
+/// Pure admission decision: the same partition as [`admit`] with no obs
+/// side effects. Used when a prior run's admission must be replayed (shard
+/// takeover, sparse resume) without double-counting the original shed.
+pub fn admit_plan(n_jobs: usize, cap: usize, policy: ShedPolicy) -> Admission {
     if cap == 0 || n_jobs <= cap {
         return Admission {
             admitted: (0..n_jobs).collect(),
@@ -80,8 +89,19 @@ pub fn admit(n_jobs: usize, cap: usize, policy: ShedPolicy) -> Admission {
             (0..n_jobs - cap).collect(),
         ),
     };
-    for &index in &shed {
+    Admission { admitted, shed }
+}
+
+/// Deterministic admission control: of `n_jobs` arrivals, admit at most
+/// `cap` under `policy` (`cap == 0` means unbounded). Emits one
+/// `supervisor.shed` event per shed job and counts it both in the total
+/// `supervisor.jobs_shed` and in the per-policy split
+/// (`supervisor.shed.reject_new` / `supervisor.shed.drop_oldest`).
+pub fn admit(n_jobs: usize, cap: usize, policy: ShedPolicy) -> Admission {
+    let admission = admit_plan(n_jobs, cap, policy);
+    for &index in &admission.shed {
         obs::counter_add("supervisor.jobs_shed", 1);
+        obs::counter_add(policy.shed_counter(), 1);
         obs::event!(
             "supervisor.shed",
             job = index,
@@ -89,7 +109,7 @@ pub fn admit(n_jobs: usize, cap: usize, policy: ShedPolicy) -> Admission {
             cap = cap
         );
     }
-    Admission { admitted, shed }
+    admission
 }
 
 struct QueueState {
@@ -222,6 +242,40 @@ mod tests {
         );
         assert!(ShedPolicy::parse("coin-flip").is_err());
         assert_eq!(ShedPolicy::DropOldest.name(), "drop-oldest");
+    }
+
+    #[test]
+    fn shed_counters_split_by_policy() {
+        // Counters are process-global and other tests in this binary also
+        // shed, so assert deltas (>=) rather than absolute values.
+        obs::enable();
+        let before = obs::snapshot();
+        let count =
+            |snap: &obs::Snapshot, name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        admit(5, 3, ShedPolicy::RejectNew); // sheds 2
+        admit(6, 2, ShedPolicy::DropOldest); // sheds 4
+        let after = obs::snapshot();
+        assert!(
+            count(&after, "supervisor.shed.reject_new")
+                >= count(&before, "supervisor.shed.reject_new") + 2,
+            "reject-new sheds must land in supervisor.shed.reject_new"
+        );
+        assert!(
+            count(&after, "supervisor.shed.drop_oldest")
+                >= count(&before, "supervisor.shed.drop_oldest") + 4,
+            "drop-oldest sheds must land in supervisor.shed.drop_oldest"
+        );
+        assert!(
+            count(&after, "supervisor.jobs_shed") >= count(&before, "supervisor.jobs_shed") + 6,
+            "the total shed counter still counts both policies"
+        );
+    }
+
+    #[test]
+    fn admit_plan_matches_admit_and_is_silent() {
+        for policy in [ShedPolicy::RejectNew, ShedPolicy::DropOldest] {
+            assert_eq!(admit_plan(9, 4, policy), admit(9, 4, policy));
+        }
     }
 
     #[test]

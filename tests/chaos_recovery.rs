@@ -145,13 +145,13 @@ fn fault_plan_obs_events_match_injections() {
     let snap = obs::snapshot();
     assert_eq!(
         snap.counters.get("resilience.faults_injected").copied(),
-        Some(6)
+        Some(FaultKind::ALL.len() as u64)
     );
     assert_eq!(
         snap.events
             .iter()
             .filter(|e| e.name == "resilience.fault")
             .count(),
-        6
+        FaultKind::ALL.len()
     );
 }
