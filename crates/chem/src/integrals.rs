@@ -380,8 +380,23 @@ impl EriTensor {
                 }
             }
         }
-        let values = par::map_slice(&quads, |&(p, q, r, s)| f(p, q, r, s));
-        for (&(p, q, r, s), v) in quads.iter().zip(values) {
+        // One parallel task per quadruple made the build ~10% slower than
+        // serial at a thread budget of 1 (per-task queue traffic and
+        // closure dispatch dominate a cheap contraction). Batch quadruples
+        // into fixed-size runs so dispatch amortizes over QUAD_BATCH
+        // evaluations; batches are enumerated and flattened in canonical
+        // order, so the tensor stays bit-identical at every thread count.
+        const QUAD_BATCH: usize = 64;
+        let n_batches = quads.len().div_ceil(QUAD_BATCH);
+        let batches = par::map_indexed(n_batches, |b| {
+            let lo = b * QUAD_BATCH;
+            let hi = (lo + QUAD_BATCH).min(quads.len());
+            quads[lo..hi]
+                .iter()
+                .map(|&(p, q, r, s)| f(p, q, r, s))
+                .collect::<Vec<f64>>()
+        });
+        for (&(p, q, r, s), v) in quads.iter().zip(batches.into_iter().flatten()) {
             t.set_sym(p, q, r, s, v);
         }
         t

@@ -1,0 +1,298 @@
+//! Cluster-diagonalization synthesis: exponentiate whole commuting runs
+//! under one Clifford conjugation.
+//!
+//! The chain plan (see [`crate::synthesis`]) pays a basis change and a
+//! CNOT parity ladder *per entry*. But consecutive IR entries that mutually
+//! commute can share a single diagonalizing Clifford `U` (built by
+//! [`pauli::DiagonalFrame`]): the run lowers to `U† · (Π_k exp(-i·φ_k/2·
+//! ±Z_{z'_k})) · U`, where each diagonal exponential is just a Z-parity
+//! ladder and one `Rz` — no per-entry basis change at all. Runs are kept
+//! *consecutive* so program order (and hence the Trotter ordering the
+//! ansatz relies on) is untouched; within a run the factors commute, so
+//! regrouping them under one conjugation is exact, not approximate.
+//!
+//! CZ gates from the frame lower through the existing `{H, CNOT}`
+//! vocabulary as `H(b)·CNOT(a→b)·H(b)`, so every downstream pass (layout,
+//! routing, peephole) keeps working unchanged. Singleton runs fall back to
+//! the chain plan — clustering only changes multi-member runs.
+
+use circuit::{Circuit, Gate};
+use pauli::cluster::{CliffordOp, DiagonalFrame};
+use pauli::PauliString;
+
+use ansatz::PauliIr;
+
+use crate::synthesis::chain_pauli_evolution;
+
+/// Appends one frame gate, lowering CZ to `H·CNOT·H`.
+fn push_clifford(circuit: &mut Circuit, op: CliffordOp) {
+    match op {
+        CliffordOp::H(q) => circuit.push(Gate::H(q as usize)),
+        CliffordOp::S(q) => circuit.push(Gate::S(q as usize)),
+        CliffordOp::Sdg(q) => circuit.push(Gate::Sdg(q as usize)),
+        CliffordOp::Cnot { control, target } => circuit.push(Gate::Cnot {
+            control: control as usize,
+            target: target as usize,
+        }),
+        CliffordOp::Cz(a, b) => {
+            circuit.push(Gate::H(b as usize));
+            circuit.push(Gate::Cnot {
+                control: a as usize,
+                target: b as usize,
+            });
+            circuit.push(Gate::H(b as usize));
+        }
+    }
+}
+
+/// Appends the diagonal exponential `exp(-i·angle/2·Z_{zmask})`: a CNOT
+/// parity ladder into the highest support qubit, `Rz`, and the mirror.
+fn push_diagonal_evolution(circuit: &mut Circuit, zmask: u64, angle: f64) {
+    let support: Vec<usize> = (0..64).filter(|q| (zmask >> q) & 1 == 1).collect();
+    let Some(&root) = support.last() else {
+        // Identity in the diagonal frame: a global phase, no gates.
+        return;
+    };
+    for w in support.windows(2) {
+        circuit.push(Gate::Cnot {
+            control: w[0],
+            target: w[1],
+        });
+    }
+    circuit.push(Gate::Rz(root, angle));
+    for w in support.windows(2).rev() {
+        circuit.push(Gate::Cnot {
+            control: w[0],
+            target: w[1],
+        });
+    }
+}
+
+/// Splits the IR's entry list into maximal consecutive runs of mutually
+/// commuting strings. Consecutiveness preserves program order exactly.
+fn commuting_runs(strings: &[PauliString]) -> Vec<std::ops::Range<usize>> {
+    let mut runs = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=strings.len() {
+        let extend = i < strings.len()
+            && strings[start..i]
+                .iter()
+                .all(|p| p.commutes_with(&strings[i]));
+        if !extend {
+            runs.push(start..i);
+            start = i;
+        }
+    }
+    runs
+}
+
+/// Synthesizes a whole Pauli IR with the cluster-diagonalization plan at
+/// the given parameter values: initial-state X gates, then each maximal
+/// consecutive commuting run conjugated once.
+///
+/// Exactly equivalent (not just Trotter-equivalent) to the chain plan:
+/// factors inside a run commute, so the product is unchanged.
+///
+/// # Panics
+///
+/// Panics if `params.len()` differs from the IR's parameter count.
+pub fn synthesize_clustered(ir: &PauliIr, params: &[f64]) -> Circuit {
+    assert_eq!(
+        params.len(),
+        ir.num_parameters(),
+        "parameter count mismatch"
+    );
+    let mut c = Circuit::new(ir.num_qubits());
+    for q in 0..ir.num_qubits() {
+        if (ir.initial_state() >> q) & 1 == 1 {
+            c.push(Gate::X(q));
+        }
+    }
+
+    let strings: Vec<PauliString> = ir.entries().iter().map(|e| e.string).collect();
+    for run in commuting_runs(&strings) {
+        let entries = &ir.entries()[run.clone()];
+        if entries.len() == 1 {
+            let e = &entries[0];
+            chain_pauli_evolution(&mut c, &e.string, e.rotation_angle(params[e.param]));
+            continue;
+        }
+        // Diagonal forms first: if any member fails to diagonalize (it
+        // cannot, for a commuting run — defensive), keep the chain plan
+        // for the whole run rather than emit a half-conjugated block.
+        let frame = match DiagonalFrame::for_commuting(ir.num_qubits(), &strings[run.clone()]) {
+            Ok(f) => f,
+            Err(_) => {
+                for e in entries {
+                    chain_pauli_evolution(&mut c, &e.string, e.rotation_angle(params[e.param]));
+                }
+                continue;
+            }
+        };
+        let diag: Option<Vec<(u64, f64)>> = entries
+            .iter()
+            .map(|e| frame.diagonalize(&e.string))
+            .collect();
+        let Some(diag) = diag else {
+            for e in entries {
+                chain_pauli_evolution(&mut c, &e.string, e.rotation_angle(params[e.param]));
+            }
+            continue;
+        };
+
+        for &op in frame.ops() {
+            push_clifford(&mut c, op);
+        }
+        for (e, &(zmask, sign)) in entries.iter().zip(&diag) {
+            push_diagonal_evolution(&mut c, zmask, sign * e.rotation_angle(params[e.param]));
+        }
+        for &op in frame.ops().iter().rev() {
+            push_clifford(&mut c, op.inverse());
+        }
+    }
+    c
+}
+
+/// Synthesizes with all parameters at a nominal non-zero value — gate
+/// counts are parameter-independent.
+pub fn synthesize_clustered_nominal(ir: &PauliIr) -> Circuit {
+    synthesize_clustered(ir, &vec![0.1; ir.num_parameters()])
+}
+
+/// Structure of the cluster partition of an IR, for reports: how many
+/// runs, how many entries share a conjugation, and the Clifford overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterPassStats {
+    /// Maximal consecutive commuting runs.
+    pub runs: usize,
+    /// Runs with at least two members (those actually conjugated).
+    pub clustered_runs: usize,
+    /// Entries inside multi-member runs.
+    pub clustered_entries: usize,
+    /// Largest run length.
+    pub largest_run: usize,
+}
+
+/// Computes the run structure of an IR without synthesizing.
+pub fn cluster_pass_stats(ir: &PauliIr) -> ClusterPassStats {
+    let strings: Vec<PauliString> = ir.entries().iter().map(|e| e.string).collect();
+    let runs = commuting_runs(&strings);
+    let mut s = ClusterPassStats {
+        runs: runs.len(),
+        clustered_runs: 0,
+        clustered_entries: 0,
+        largest_run: 0,
+    };
+    for r in &runs {
+        s.largest_run = s.largest_run.max(r.len());
+        if r.len() > 1 {
+            s.clustered_runs += 1;
+            s.clustered_entries += r.len();
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ansatz::uccsd::UccsdAnsatz;
+    use ansatz::IrEntry;
+    use numeric::Complex64;
+    use sim::Statevector;
+
+    use crate::synthesis::{synthesize_chain, synthesize_chain_nominal};
+
+    fn toy_ir() -> PauliIr {
+        // XY/YX commute (two anti-commuting positions), ZY starts a new
+        // run; exercises both the conjugated and the chain path.
+        let mut ir = PauliIr::new(3, 0b011);
+        for (s, param, coeff) in [
+            ("IXY", 0usize, 0.5),
+            ("IYX", 0, -0.5),
+            ("IZY", 1, 0.25),
+            ("ZZI", 1, -0.75),
+            ("IIZ", 2, 1.0),
+        ] {
+            ir.push(IrEntry {
+                string: s.parse().unwrap(),
+                param,
+                coefficient: coeff,
+            });
+        }
+        ir
+    }
+
+    /// The clustered circuit prepares exactly the same state as applying
+    /// each entry's Pauli evolution directly.
+    fn assert_equals_direct(ir: &PauliIr, params: &[f64]) {
+        let c = synthesize_clustered(ir, params);
+        let mut via_circuit = Statevector::zero_state(ir.num_qubits());
+        via_circuit.apply_circuit(&c);
+
+        let mut direct = Statevector::basis_state(ir.num_qubits(), ir.initial_state());
+        for e in ir.entries() {
+            direct.apply_pauli_evolution(&e.string, e.rotation_angle(params[e.param]));
+        }
+        let overlap = direct.inner(&via_circuit);
+        assert!(
+            overlap.approx_eq(Complex64::ONE, 1e-10),
+            "overlap {overlap}"
+        );
+    }
+
+    #[test]
+    fn clustered_synthesis_is_unitarily_exact_on_toy_ir() {
+        assert_equals_direct(&toy_ir(), &[0.37, -0.81, 0.44]);
+    }
+
+    #[test]
+    fn clustered_synthesis_is_unitarily_exact_on_uccsd() {
+        // UCCSD doubles are 8 mutually commuting strings sharing one
+        // parameter — the natural cluster.
+        let ir = UccsdAnsatz::new(2, 2).into_ir();
+        assert_equals_direct(&ir, &[0.21, -0.4, 0.63]);
+    }
+
+    #[test]
+    fn uccsd_doubles_form_multi_entry_runs() {
+        let ir = UccsdAnsatz::new(2, 2).into_ir();
+        let stats = cluster_pass_stats(&ir);
+        assert!(stats.clustered_runs >= 1, "{stats:?}");
+        assert!(stats.largest_run >= 8, "{stats:?}");
+        assert!(stats.runs < ir.entries().len(), "{stats:?}");
+    }
+
+    #[test]
+    fn clustered_cnot_count_beats_chain_on_uccsd() {
+        for (occ, virt) in [(2usize, 2usize), (3, 2)] {
+            let ir = UccsdAnsatz::new(occ, virt).into_ir();
+            let clustered = synthesize_clustered_nominal(&ir);
+            let chain = synthesize_chain_nominal(&ir);
+            assert!(
+                clustered.cnot_count() < chain.cnot_count(),
+                "({occ},{virt}): clustered {} vs chain {}",
+                clustered.cnot_count(),
+                chain.cnot_count()
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_runs_match_chain_exactly() {
+        // All-anticommuting entries: every run is a singleton, so the two
+        // plans emit identical circuits.
+        let mut ir = PauliIr::new(2, 0b01);
+        for (s, param) in [("XI", 0usize), ("ZI", 1), ("YI", 2)] {
+            ir.push(IrEntry {
+                string: s.parse().unwrap(),
+                param,
+                coefficient: 1.0,
+            });
+        }
+        let params = [0.3, -0.2, 0.9];
+        let a = synthesize_clustered(&ir, &params);
+        let b = synthesize_chain(&ir, &params);
+        assert_eq!(a.gates(), b.gates());
+    }
+}

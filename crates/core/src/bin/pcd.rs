@@ -43,7 +43,9 @@ use pauli_codesign::supervisor::{
     run_supervised_chaos, BatchReport, InjectionPlan, JobState, KillShardOptions, MergeError,
     ShardSpec, ShedPolicy, SupervisedChaosOptions, SupervisorConfig, SupervisorError,
 };
-use pauli_codesign::vqe::driver::{run_vqe, run_vqe_resumable, VqeOptions, VqeResult, VqeRun};
+use pauli_codesign::vqe::driver::{
+    run_vqe, run_vqe_resumable, ExpectationStrategy, VqeOptions, VqeResult, VqeRun,
+};
 
 /// A CLI failure: either bad usage (exit 1, prints usage) or a typed
 /// pipeline error carrying its own exit code.
@@ -207,9 +209,16 @@ commands:
   vqe <molecule> [--bond Å] [--ratio R]
                                       run compressed-ansatz VQE
   run <molecule> [--bond Å] [--ratio R] [--samples N]
+      [--expectation terms|clustered]
                                       durable pipeline: compressed VQE then
                                       fabrication-yield Monte Carlo, under
-                                      the budget/checkpoint options below
+                                      the budget/checkpoint options below;
+                                      --expectation picks the energy
+                                      evaluator for objective-only
+                                      optimizers (terms = per-term sweeps,
+                                      clustered = one fused sweep per
+                                      commuting cluster) and the result is
+                                      cross-checked with both
   adapt <molecule> [--bond Å] [--pool plain|generalized]
                                       run ADAPT-VQE
   excited <molecule> [--states K]     run a VQD excited-state ladder
@@ -307,8 +316,13 @@ commands:
         [--drift-tolerance PCT]
                                       benchmark the parallel hot paths
                                       (serial vs parallel; PCD_THREADS sets
-                                      the worker count) and write a JSON
-                                      report (default BENCH_pipeline.json);
+                                      the worker count) plus the clustered
+                                      Hamiltonian evaluator (which must
+                                      beat the per-term serial sweep, else
+                                      exit 21; cluster structure lands in
+                                      the report's _clusters block) and
+                                      write a JSON report (default
+                                      BENCH_pipeline.json);
                                       with --baseline, exit 21 if any
                                       benchmark is >10% slower than FILE
                                       (--tolerance overrides the 10%, for
@@ -525,6 +539,15 @@ fn cmd_info(flags: &Flags) -> Result<(), CliError> {
         system.qubit_hamiltonian().len()
     );
     println!("  measurement groups     : {}", groups.len());
+    let cstats = pauli_codesign::pauli::ClusteredSum::build(system.qubit_hamiltonian()).stats();
+    println!(
+        "  commuting clusters     : {} ({} singleton, {} fused)",
+        cstats.clusters, cstats.singletons, cstats.fused
+    );
+    println!(
+        "  cluster Clifford cost  : {} ops, depth {}",
+        cstats.clifford_ops, cstats.clifford_depth
+    );
     println!(
         "  UCCSD parameters       : {}",
         ansatz.ir().num_parameters()
@@ -655,6 +678,15 @@ fn cmd_run(flags: &Flags) -> Result<(), CliError> {
             "--degrade-threshold must be in (0, 1]".to_string(),
         ));
     }
+    let expectation = match flags.get("expectation").unwrap_or("terms") {
+        "terms" => ExpectationStrategy::PerTerm,
+        "clustered" => ExpectationStrategy::Clustered,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--expectation must be `terms` or `clustered`, got `{other}`"
+            )));
+        }
+    };
     let ckpt_dir = flags.get("checkpoint").map(str::to_string);
     let resume = flags.is_set("resume");
     if resume && ckpt_dir.is_none() {
@@ -695,7 +727,10 @@ fn cmd_run(flags: &Flags) -> Result<(), CliError> {
                 system.qubit_hamiltonian(),
                 &ir,
                 &x0,
-                VqeOptions::default(),
+                VqeOptions {
+                    expectation,
+                    ..Default::default()
+                },
                 vqe_resume,
                 &budget,
             )
@@ -778,6 +813,28 @@ fn cmd_run(flags: &Flags) -> Result<(), CliError> {
     );
     println!("  VQE energy   : {:.6} Ha", result.energy);
     println!("  energy bits  : 0x{}", f64_to_hex(result.energy));
+    // Cross-check the converged energy with both evaluators: the clustered
+    // and per-term paths must agree at the optimum regardless of which one
+    // drove the optimizer.
+    {
+        use pauli_codesign::pauli::ClusteredSum;
+        let final_state = pauli_codesign::vqe::prepare_state(&ir, &result.params);
+        let per_term = final_state.expectation(system.qubit_hamiltonian());
+        let clustered_sum = ClusteredSum::build(system.qubit_hamiltonian());
+        let clustered = final_state.expectation_with(&clustered_sum);
+        let stats = clustered_sum.stats();
+        let label = match expectation {
+            ExpectationStrategy::PerTerm => "terms",
+            ExpectationStrategy::Clustered => "clustered",
+        };
+        println!(
+            "  evaluator    : {label} (cross-check terms {per_term:.9} / clustered {clustered:.9})"
+        );
+        println!(
+            "  H clusters   : {} over {} terms (largest {}, fused {}, Clifford depth {})",
+            stats.clusters, stats.terms, stats.largest, stats.fused, stats.clifford_depth
+        );
+    }
     println!("  exact energy : {exact:.6} Ha");
     println!("  error        : {:+.2e} Ha", result.energy - exact);
     println!("  iterations   : {}", result.iterations);
@@ -1757,9 +1814,17 @@ fn bench_meta_json(threads: usize) -> String {
     format!("{{\"threads\": {threads}, \"cores\": {cores}, \"git_rev\": \"{git_rev}\"}}")
 }
 
-fn write_bench_json(path: &str, records: &[BenchRecord], meta: &str) -> Result<(), String> {
+fn write_bench_json(
+    path: &str,
+    records: &[BenchRecord],
+    meta: &str,
+    clusters: Option<&str>,
+) -> Result<(), String> {
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"_meta\": {meta},\n"));
+    if let Some(c) = clusters {
+        json.push_str(&format!("  \"_clusters\": {c},\n"));
+    }
     for (i, r) in records.iter().enumerate() {
         json.push_str(&format!(
             "  \"{}\": {{\"median_ns\": {}, \"threads\": {}, \"n_qubits\": {}}}{}\n",
@@ -1954,8 +2019,38 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
     let serial = criterion::measure(warmup, samples, || {
         par::with_threads(1, || sv.expectation(&h))
     });
+    let serial_expectation_ns = serial.median_ns;
     let parallel = criterion::measure(warmup, samples, || sv.expectation(&h));
     pair(&mut records, "expectation", n_qubits, serial, parallel);
+
+    // Cluster-diagonalized expectation on the same Hamiltonian and state.
+    // The partition build is measured inside the closure — it is a
+    // per-Hamiltonian cost a caller pays once, dwarfed by the sweeps.
+    let clustered = criterion::measure(warmup, samples, || sv.expectation_clustered(&h));
+    let cluster_stats = pauli_codesign::pauli::ClusteredSum::build(&h).stats();
+    println!(
+        "{:<28} {:>14} {:>14} {:>8.2}x",
+        "expectation_clustered",
+        serial_expectation_ns,
+        clustered.median_ns,
+        serial_expectation_ns as f64 / clustered.median_ns.max(1) as f64
+    );
+    let clustered_ns = clustered.median_ns;
+    records.push(BenchRecord {
+        name: "expectation_clustered".to_string(),
+        median_ns: clustered_ns,
+        threads,
+        n_qubits,
+    });
+    // In-bench gate: the whole point of the clustered evaluator is to beat
+    // the per-term serial sweep on this Hamiltonian. Falling behind it is
+    // a regression regardless of any --baseline file.
+    if clustered_ns >= serial_expectation_ns {
+        return Err(CliError::BenchRegression(vec![format!(
+            "expectation_clustered: {clustered_ns} ns not faster than expectation_serial \
+             {serial_expectation_ns} ns"
+        )]));
+    }
 
     // Pauli-string evolution spanning the full register.
     let ops = ["X", "Y", "Z"];
@@ -2033,7 +2128,18 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
     );
 
     let meta = bench_meta_json(threads);
-    write_bench_json(&out_path, &records, &meta)?;
+    let clusters_json = format!(
+        "{{\"clusters\": {}, \"terms\": {}, \"largest\": {}, \"singletons\": {}, \
+         \"fused\": {}, \"clifford_ops\": {}, \"clifford_depth\": {}}}",
+        cluster_stats.clusters,
+        cluster_stats.terms,
+        cluster_stats.largest,
+        cluster_stats.singletons,
+        cluster_stats.fused,
+        cluster_stats.clifford_ops,
+        cluster_stats.clifford_depth,
+    );
+    write_bench_json(&out_path, &records, &meta, Some(&clusters_json))?;
     let snapshot = obs::snapshot();
     for counter in ["par.tasks", "par.threads"] {
         println!(

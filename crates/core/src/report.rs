@@ -65,8 +65,15 @@ pub enum Artifact {
     },
     /// A merge lineage checkpoint (`merge.lineage`).
     Lineage(LineageSummary),
-    /// A bench report: benchmark name → median ns.
-    Bench(BTreeMap<String, u64>),
+    /// A bench report: benchmark name → median ns, plus any cluster
+    /// partition stats the bench recorded under `_clusters`.
+    Bench {
+        /// Benchmark name → median ns.
+        medians: BTreeMap<String, u64>,
+        /// Cluster partition stats (e.g. `clusters`, `largest`,
+        /// `clifford_depth`) from the report's `_clusters` block.
+        clusters: BTreeMap<String, u64>,
+    },
 }
 
 /// One shard's line in a parsed `merge.lineage` artifact.
@@ -104,7 +111,7 @@ impl Artifact {
             Artifact::Manifest { .. } => "manifest",
             Artifact::Shard { .. } => "shard",
             Artifact::Lineage(_) => "lineage",
-            Artifact::Bench(_) => "bench",
+            Artifact::Bench { .. } => "bench",
         }
     }
 }
@@ -179,10 +186,22 @@ pub fn classify(text: &str) -> Result<Artifact, String> {
     }
     // A bench report is one JSON object spanning the whole file whose
     // entries carry `median_ns` (root keys starting with `_` are
-    // metadata, not benchmarks).
+    // metadata, not benchmarks). `_clusters`, when present, holds the
+    // Hamiltonian cluster-partition stats the bench recorded.
     if let Ok(JsonValue::Object(fields)) = obs::json::parse(text) {
         let mut bench = BTreeMap::new();
+        let mut clusters = BTreeMap::new();
         for (name, entry) in &fields {
+            if name == "_clusters" {
+                if let JsonValue::Object(stats) = entry {
+                    for (key, value) in stats {
+                        if let Some(v) = value.as_u64() {
+                            clusters.insert(key.clone(), v);
+                        }
+                    }
+                }
+                continue;
+            }
             if name.starts_with('_') {
                 continue;
             }
@@ -191,7 +210,10 @@ pub fn classify(text: &str) -> Result<Artifact, String> {
             }
         }
         if !bench.is_empty() {
-            return Ok(Artifact::Bench(bench));
+            return Ok(Artifact::Bench {
+                medians: bench,
+                clusters,
+            });
         }
     }
     let parsed = obs::parse_jsonl_stats(text).map_err(|e| format!("trace: {e}"))?;
@@ -278,6 +300,9 @@ pub struct Report {
     pub drift: Vec<DriftLine>,
     /// Benchmarks compared against the baseline.
     pub bench_compared: usize,
+    /// Hamiltonian cluster-partition stats from bench `_clusters` blocks
+    /// (e.g. `clusters`, `terms`, `largest`, `clifford_depth`).
+    pub clusters: BTreeMap<String, u64>,
     /// Unknown-type trace lines skipped (forward compatibility).
     pub skipped_unknown: usize,
 }
@@ -299,6 +324,7 @@ pub struct ReportBuilder {
     merge_missing: usize,
     merge_quarantined: usize,
     bench: BTreeMap<String, u64>,
+    clusters: BTreeMap<String, u64>,
     skipped_unknown: usize,
 }
 
@@ -409,10 +435,11 @@ impl ReportBuilder {
                 self.merge_missing += summary.missing;
                 self.merge_quarantined += summary.quarantined;
             }
-            Artifact::Bench(records) => {
+            Artifact::Bench { medians, clusters } => {
                 // Later reports win on name collisions (newest artifact
                 // is usually listed last).
-                self.bench.extend(records);
+                self.bench.extend(medians);
+                self.clusters.extend(clusters);
             }
         }
     }
@@ -494,6 +521,7 @@ impl ReportBuilder {
             merge_quarantined: self.merge_quarantined,
             drift,
             bench_compared: compared,
+            clusters: self.clusters,
             skipped_unknown: self.skipped_unknown,
         }
     }
@@ -667,6 +695,13 @@ impl Report {
             }
         }
 
+        if !self.clusters.is_empty() {
+            let _ = writeln!(out, "\nhamiltonian cluster partition (bench):");
+            for (name, value) in &self.clusters {
+                let _ = writeln!(out, "  {name:<32} {value}");
+            }
+        }
+
         if self.bench_compared > 0 {
             if self.drift.is_empty() {
                 let _ = writeln!(
@@ -833,6 +868,9 @@ impl Report {
             "flight_by_reason".to_string(),
             count_map(&self.flight_by_reason),
         );
+        if !self.clusters.is_empty() {
+            root.insert("clusters".to_string(), count_map(&self.clusters));
+        }
         root.insert(
             "drift".to_string(),
             JsonValue::Array(
@@ -920,6 +958,7 @@ mod tests {
     fn classifies_a_bench_report_and_flags_drift() {
         let text = r#"{
             "_meta": {"threads": 4},
+            "_clusters": {"clusters": 13, "terms": 64, "largest": 7, "clifford_depth": 21},
             "expectation_serial": {"median_ns": 1500, "threads": 1, "n_qubits": 12},
             "eri_build_parallel": {"median_ns": 500, "threads": 4, "n_qubits": 8}
         }"#;
@@ -938,6 +977,11 @@ mod tests {
         assert_eq!(report.drift.len(), 1);
         assert_eq!(report.drift[0].name, "expectation_serial");
         assert!((report.drift[0].ratio - 1.5).abs() < 1e-9);
+        assert_eq!(report.clusters.get("clusters"), Some(&13));
+        assert_eq!(report.clusters.get("clifford_depth"), Some(&21));
+        let rendered = report.render();
+        assert!(rendered.contains("hamiltonian cluster partition"));
+        assert!(report.to_json().get("clusters").is_some());
     }
 
     #[test]

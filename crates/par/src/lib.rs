@@ -168,7 +168,13 @@ fn run_tasks<A: Send>(n_tasks: usize, threads: usize, task: impl Fn(usize) -> A 
 /// Carlo trials, Hamiltonian terms, ERI quadruples, gradient components);
 /// fine-grained index spaces should use [`map_reduce`] instead.
 pub fn map_indexed<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
-    run_tasks(n, num_threads().min(n.max(1)), f)
+    // Explicit serial short-circuit: at a budget of 1 (or a single task)
+    // the call must stay on the calling thread with no scope/queue setup —
+    // the no-spawn regression tests below pin this.
+    if n <= 1 || num_threads() <= 1 {
+        return (0..n).map(f).collect();
+    }
+    run_tasks(n, num_threads().min(n), f)
 }
 
 /// Maps `f` over a slice in parallel, preserving order. Same granularity
@@ -201,6 +207,8 @@ where
     }
     let n_chunks = len.div_ceil(chunk_len);
     let chunk_range = |i: usize| i * chunk_len..((i + 1) * chunk_len).min(len);
+    // Serial short-circuit: below the cutoff, at a budget of 1, or with a
+    // single chunk, fold on the calling thread — no scope/queue setup.
     let threads = threads_for(len);
     if threads <= 1 || n_chunks <= 1 {
         return (0..n_chunks).fold(init, |acc, i| fold(acc, map(chunk_range(i))));
@@ -385,6 +393,99 @@ mod tests {
         for c in inner_counts {
             assert_eq!(c, 1, "worker threads must not nest parallelism");
         }
+    }
+
+    /// Asserts every invocation of the instrumented closure ran on the
+    /// calling thread — i.e. the primitive spawned no workers.
+    fn assert_caller_thread_only(run: impl FnOnce(&(dyn Fn() + Sync))) {
+        use std::sync::Mutex;
+        let caller = std::thread::current().id();
+        let seen = Mutex::new(Vec::new());
+        run(&|| {
+            if let Ok(mut v) = seen.lock() {
+                v.push(std::thread::current().id());
+            }
+        });
+        let seen = seen.into_inner().unwrap();
+        assert!(!seen.is_empty(), "closure never ran");
+        for id in seen {
+            assert_eq!(id, caller, "work escaped to a spawned thread");
+        }
+    }
+
+    #[test]
+    fn single_thread_budget_never_spawns() {
+        assert_caller_thread_only(|probe| {
+            with_threads(1, || {
+                map_indexed(100, |i| {
+                    probe();
+                    i
+                });
+            })
+        });
+        assert_caller_thread_only(|probe| {
+            with_threads(1, || {
+                let items: Vec<usize> = (0..50).collect();
+                map_slice(&items, |&x| {
+                    probe();
+                    x
+                });
+            })
+        });
+        assert_caller_thread_only(|probe| {
+            with_threads(1, || {
+                map_reduce(
+                    2 * SERIAL_CUTOFF,
+                    64,
+                    0usize,
+                    |r| {
+                        probe();
+                        r.len()
+                    },
+                    |a, b| a + b,
+                );
+            })
+        });
+        assert_caller_thread_only(|probe| {
+            with_threads(1, || {
+                let mut data = vec![0u8; 2 * SERIAL_CUTOFF];
+                for_each_chunk_mut(&mut data, 64, |_, _| probe());
+            })
+        });
+    }
+
+    #[test]
+    fn small_work_never_spawns_even_with_budget() {
+        // A single task / sub-cutoff range must stay on the caller even
+        // when the thread budget would allow spawning.
+        assert_caller_thread_only(|probe| {
+            with_threads(4, || {
+                map_indexed(1, |i| {
+                    probe();
+                    i
+                });
+            })
+        });
+        assert_caller_thread_only(|probe| {
+            with_threads(4, || {
+                map_reduce(
+                    SERIAL_CUTOFF - 1,
+                    64,
+                    0usize,
+                    |r| {
+                        probe();
+                        r.len()
+                    },
+                    |a, b| a + b,
+                );
+            })
+        });
+        assert_caller_thread_only(|probe| {
+            with_threads(4, || {
+                let mut data = vec![0u8; SERIAL_CUTOFF - 1];
+                for_each_chunk_mut(&mut data, 64, |_, _| probe());
+            })
+        });
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //!   group algebra (products, commutation, phases);
 //! * [`WeightedPauliSum`] — weighted sums of Pauli strings, i.e. Hermitian
 //!   observables such as molecular Hamiltonians, with fast statevector
-//!   action, expectation values, and exact ground states via Lanczos.
+//!   action, expectation values, and exact ground states via Lanczos;
+//! * [`ClusteredSum`] — the same sum partitioned into general-commuting
+//!   clusters, each simultaneously diagonalized by one Clifford circuit,
+//!   with a fused diagonal-frame expectation evaluator.
 //!
 //! # Examples
 //!
@@ -30,10 +33,12 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cluster;
 pub mod grouping;
 pub mod string;
 pub mod sum;
 
+pub use cluster::{CliffordOp, ClusterError, ClusterStats, ClusteredSum, DiagonalFrame};
 pub use grouping::{group_qubit_wise, qubit_wise_commute, MeasurementGroup};
 pub use string::{ParsePauliError, Pauli, PauliString, Phase};
 pub use sum::WeightedPauliSum;

@@ -26,7 +26,7 @@ fn checked_dim(num_qubits: usize) -> usize {
 /// grid never depends on the thread count, so this returns bit-identical
 /// floats whether it runs serially (inside a per-term worker, which is
 /// pinned to one thread) or parallelized over chunks on the calling thread.
-fn term_expectation(state: &[Complex64], w: f64, p: PauliString) -> f64 {
+pub(crate) fn term_expectation(state: &[Complex64], w: f64, p: PauliString) -> f64 {
     let x = p.x_mask();
     let z = p.z_mask();
     let ny = (x & z).count_ones();
@@ -226,6 +226,23 @@ impl WeightedPauliSum {
                 .collect()
         };
         per_term.into_iter().sum()
+    }
+
+    /// The real expectation value `⟨state|H|state⟩` via commuting-cluster
+    /// simultaneous diagonalization: one Clifford rotation per cluster
+    /// instead of one amplitude sweep per term (see [`crate::cluster`]).
+    ///
+    /// Agrees with [`expectation`](Self::expectation) to floating-point
+    /// tolerance (the summation order differs). This convenience entry
+    /// point rebuilds the cluster partition on every call; loops that
+    /// evaluate the same sum repeatedly should hold a
+    /// [`ClusteredSum`](crate::ClusteredSum) instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != 2^num_qubits`.
+    pub fn expectation_clustered(&self, state: &[Complex64]) -> f64 {
+        crate::cluster::ClusteredSum::build(self).expectation(state)
     }
 
     /// Applies the exact time evolution `|ψ⟩ ← exp(-i·H·t)|ψ⟩` by a

@@ -294,6 +294,25 @@ impl Statevector {
     pub fn expectation(&self, observable: &WeightedPauliSum) -> f64 {
         observable.expectation(&self.amps)
     }
+
+    /// Expectation value via commuting-cluster simultaneous
+    /// diagonalization: one Clifford rotation per cluster instead of one
+    /// amplitude sweep per term. Agrees with [`expectation`] to
+    /// floating-point tolerance.
+    ///
+    /// Rebuilds the cluster partition per call; hot loops should hold a
+    /// prebuilt [`pauli::ClusteredSum`] and use [`expectation_with`].
+    ///
+    /// [`expectation`]: Self::expectation
+    /// [`expectation_with`]: Self::expectation_with
+    pub fn expectation_clustered(&self, observable: &WeightedPauliSum) -> f64 {
+        observable.expectation_clustered(&self.amps)
+    }
+
+    /// Expectation value of a prebuilt clustered observable.
+    pub fn expectation_with(&self, observable: &pauli::ClusteredSum) -> f64 {
+        observable.expectation(&self.amps)
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,26 @@ use crate::optimize::{
 };
 use crate::state::energy_and_gradient;
 
+/// How objective-only optimizers evaluate `⟨ψ(θ)|H|ψ(θ)⟩`.
+///
+/// The L-BFGS path computes energy and gradient together with the adjoint
+/// sweep and is unaffected by this choice; it applies to the
+/// derivative-free optimizers (Nelder-Mead, SPSA), which call the energy
+/// many times against a fixed Hamiltonian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExpectationStrategy {
+    /// Per-term evaluation: every Hamiltonian term sweeps the full
+    /// statevector independently.
+    #[default]
+    PerTerm,
+    /// Cluster-diagonalized evaluation: the Hamiltonian is partitioned
+    /// once, up front, into general-commuting clusters
+    /// ([`pauli::ClusteredSum`]) and every energy call reuses the
+    /// partition, paying one fused diagonal-frame sweep per cluster
+    /// instead of one sweep per term.
+    Clustered,
+}
+
 /// Options for a VQE run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VqeOptions {
@@ -20,6 +40,8 @@ pub struct VqeOptions {
     pub optimizer: OptimizerKind,
     /// Convergence controls.
     pub controls: OptimizeControls,
+    /// Energy evaluator for objective-only optimizers.
+    pub expectation: ExpectationStrategy,
 }
 
 impl Default for VqeOptions {
@@ -27,6 +49,7 @@ impl Default for VqeOptions {
         VqeOptions {
             optimizer: OptimizerKind::Lbfgs,
             controls: OptimizeControls::default(),
+            expectation: ExpectationStrategy::default(),
         }
     }
 }
@@ -197,6 +220,15 @@ pub fn run_vqe_resumable(
         span.record("resumed", true);
     }
     let x0 = x0.to_vec();
+    // Partition once; every objective call below reuses it.
+    let clustered = match options.expectation {
+        ExpectationStrategy::Clustered => Some(pauli::ClusteredSum::build(hamiltonian)),
+        ExpectationStrategy::PerTerm => None,
+    };
+    let objective = |theta: &[f64]| match &clustered {
+        Some(cs) => crate::state::prepare_state(ir, theta).expectation_with(cs),
+        None => crate::state::energy(hamiltonian, ir, theta),
+    };
     let run = match options.optimizer {
         OptimizerKind::Lbfgs => {
             let st = match resume {
@@ -225,14 +257,7 @@ pub fn run_vqe_resumable(
                 }) => Some(st),
                 _ => None,
             };
-            match nelder_mead_resumable(
-                |theta| crate::state::energy(hamiltonian, ir, theta),
-                &x0,
-                0.1,
-                options.controls,
-                st,
-                budget,
-            )? {
+            match nelder_mead_resumable(objective, &x0, 0.1, options.controls, st, budget)? {
                 OptRun::Done(out) => VqeRun::Done(out.into()),
                 OptRun::Interrupted(st) => VqeRun::Interrupted(Box::new(VqeCheckpoint {
                     optimizer: OptimizerState::NelderMead(*st),
@@ -246,14 +271,7 @@ pub fn run_vqe_resumable(
                 }) => Some(st),
                 _ => None,
             };
-            match spsa_resumable(
-                |theta| crate::state::energy(hamiltonian, ir, theta),
-                &x0,
-                seed,
-                options.controls,
-                st,
-                budget,
-            )? {
+            match spsa_resumable(objective, &x0, seed, options.controls, st, budget)? {
                 OptRun::Done(out) => VqeRun::Done(out.into()),
                 OptRun::Interrupted(st) => VqeRun::Interrupted(Box::new(VqeCheckpoint {
                     optimizer: OptimizerState::Spsa(*st),
@@ -433,10 +451,40 @@ mod tests {
                     max_iterations: 2000,
                     ..Default::default()
                 },
+                ..Default::default()
             },
         )
         .unwrap();
         assert!((lb.energy - nm.energy).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clustered_strategy_agrees_with_per_term() {
+        let (h, ir) = toy();
+        let base = VqeOptions {
+            optimizer: OptimizerKind::NelderMead,
+            controls: OptimizeControls {
+                max_iterations: 2000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let per_term = run_vqe(&h, &ir, base).unwrap();
+        let clustered = run_vqe(
+            &h,
+            &ir,
+            VqeOptions {
+                expectation: ExpectationStrategy::Clustered,
+                ..base
+            },
+        )
+        .unwrap();
+        assert!(
+            (per_term.energy - clustered.energy).abs() < 1e-6,
+            "per-term {} vs clustered {}",
+            per_term.energy,
+            clustered.energy
+        );
     }
 
     #[test]
@@ -479,6 +527,7 @@ mod tests {
                     max_iterations: 400,
                     ..Default::default()
                 },
+                ..Default::default()
             },
         )
         .unwrap();

@@ -737,35 +737,22 @@ pub fn fd_gradient(f: impl Fn(&[f64]) -> f64 + Sync, x: &[f64], eps: f64) -> Vec
     })
 }
 
-/// `E(θ)` with entry `entry_idx`'s rotation angle shifted by `shift`.
-fn energy_with_entry_shift(
-    hamiltonian: &pauli::WeightedPauliSum,
-    ir: &ansatz::PauliIr,
-    params: &[f64],
-    entry_idx: usize,
-    shift: f64,
-) -> f64 {
-    let mut sv = sim::Statevector::basis_state(ir.num_qubits(), ir.initial_state());
-    for (k, e) in ir.entries().iter().enumerate() {
-        let mut angle = e.rotation_angle(params[e.param]);
-        if k == entry_idx {
-            angle += shift;
-        }
-        sv.apply_pauli_evolution(&e.string, angle);
-    }
-    sv.expectation(hamiltonian)
-}
-
-/// Exact gradient `∂E/∂θ` by the parameter-shift rule, with the per-entry
-/// shifted-circuit evaluations running in parallel.
+/// Exact gradient `∂E/∂θ` by the parameter-shift rule, evaluated in
+/// closed form with one backward sweep.
 ///
 /// Each IR entry applies `exp(-i·a/2·P)` with `a = rotation_angle(θ_p) =
 /// -2·c·θ_p`, so `∂E/∂a = [E(a+π/2) − E(a−π/2)]/2` and the chain rule
 /// contributes `−2c` per entry; shared parameters accumulate their entries'
-/// contributions in IR program order. Noticeably costlier than the adjoint
-/// sweep (`2·|entries|` full circuit executions vs 2 sweeps) but matches
-/// what shot-based hardware can measure, and serves as an independent
-/// cross-check of the adjoint gradient.
+/// contributions. On a statevector the shifted-energy difference has an
+/// exact closed form — `∂E/∂a_k = Im⟨U_k†…U_E†·HΨ | P_k·φ_{k-1}⟩` — so
+/// instead of rebuilding `2·|entries|` full circuits (quadratic in the
+/// ansatz length) both bra and ket peel backward through the entries once,
+/// like the adjoint sweep in [`crate::state::energy_and_gradient`]. Unlike
+/// the adjoint recurrence, entry `k` is unapplied from *both* states
+/// before its bracket is taken: the shift rule differentiates through
+/// `U_k`, so the bracket straddles it. Numerically identical to the
+/// literal shifted-circuit evaluation (pinned by tests) and still serves
+/// as an independent cross-check of the adjoint gradient.
 ///
 /// # Panics
 ///
@@ -785,15 +772,25 @@ pub fn parameter_shift_gradient(
         ir.num_qubits(),
         "register mismatch"
     );
-    let entries = ir.entries();
-    let per_entry = par::map_indexed(entries.len(), |k| {
-        let ep = energy_with_entry_shift(hamiltonian, ir, params, k, std::f64::consts::FRAC_PI_2);
-        let em = energy_with_entry_shift(hamiltonian, ir, params, k, -std::f64::consts::FRAC_PI_2);
-        (ep - em) / 2.0
-    });
+    let mut phi = crate::state::prepare_state(ir, params);
+    let dim = phi.amplitudes().len();
+    let mut h_psi = vec![numeric::Complex64::ZERO; dim];
+    hamiltonian.apply(phi.amplitudes(), &mut h_psi);
+    let mut lambda = sim::Statevector::from_amplitudes(h_psi);
+    let mut scratch = vec![numeric::Complex64::ZERO; dim];
+
     let mut grad = vec![0.0; ir.num_parameters()];
-    for (e, d) in entries.iter().zip(per_entry) {
-        grad[e.param] += -2.0 * e.coefficient * d;
+    for e_k in ir.entries().iter().rev() {
+        let angle = e_k.rotation_angle(params[e_k.param]);
+        phi.apply_pauli_evolution(&e_k.string, -angle);
+        lambda.apply_pauli_evolution(&e_k.string, -angle);
+        crate::state::apply_pauli(&e_k.string, phi.amplitudes(), &mut scratch);
+        let d: f64 = -scratch
+            .iter()
+            .zip(lambda.amplitudes())
+            .map(|(s, l)| (s.conj() * *l).im)
+            .sum::<f64>();
+        grad[e_k.param] += -2.0 * e_k.coefficient * d;
     }
     grad
 }
@@ -933,6 +930,50 @@ mod tests {
                     "threads {t}: adjoint {a} vs shift {b}"
                 );
             }
+        }
+    }
+
+    /// `E(θ)` with entry `entry_idx`'s rotation angle shifted by `shift` —
+    /// the literal (quadratic-cost) evaluation the closed form replaces.
+    fn energy_with_entry_shift(
+        hamiltonian: &pauli::WeightedPauliSum,
+        ir: &ansatz::PauliIr,
+        params: &[f64],
+        entry_idx: usize,
+        shift: f64,
+    ) -> f64 {
+        let mut sv = sim::Statevector::basis_state(ir.num_qubits(), ir.initial_state());
+        for (k, e) in ir.entries().iter().enumerate() {
+            let mut angle = e.rotation_angle(params[e.param]);
+            if k == entry_idx {
+                angle += shift;
+            }
+            sv.apply_pauli_evolution(&e.string, angle);
+        }
+        sv.expectation(hamiltonian)
+    }
+
+    #[test]
+    fn parameter_shift_matches_literal_shifted_circuits() {
+        use ansatz::uccsd::UccsdAnsatz;
+        use pauli::WeightedPauliSum;
+
+        let ir = UccsdAnsatz::new(2, 2).into_ir();
+        let mut h = WeightedPauliSum::new(4);
+        h.push(0.4, "ZIIZ".parse().unwrap());
+        h.push(-0.7, "XXII".parse().unwrap());
+        h.push(0.1, "YZZY".parse().unwrap());
+        let theta = [0.21, -0.4, 0.63];
+
+        let closed = parameter_shift_gradient(&h, &ir, &theta);
+        let mut literal = vec![0.0; ir.num_parameters()];
+        for (k, e) in ir.entries().iter().enumerate() {
+            let ep = energy_with_entry_shift(&h, &ir, &theta, k, std::f64::consts::FRAC_PI_2);
+            let em = energy_with_entry_shift(&h, &ir, &theta, k, -std::f64::consts::FRAC_PI_2);
+            literal[e.param] += -2.0 * e.coefficient * (ep - em) / 2.0;
+        }
+        for (c, l) in closed.iter().zip(&literal) {
+            assert!((c - l).abs() < 1e-10, "closed {c} vs literal {l}");
         }
     }
 

@@ -149,7 +149,7 @@ pub fn overlap_and_gradient(phi: &[Complex64], ir: &PauliIr, params: &[f64]) -> 
 }
 
 /// Applies a bare Pauli string: `out = P·state`.
-fn apply_pauli(p: &pauli::PauliString, state: &[Complex64], out: &mut [Complex64]) {
+pub(crate) fn apply_pauli(p: &pauli::PauliString, state: &[Complex64], out: &mut [Complex64]) {
     let x = p.x_mask();
     let z = p.z_mask();
     let base = pauli::Phase::from_power_of_i((x & z).count_ones()).to_complex();
