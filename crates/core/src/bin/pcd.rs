@@ -16,9 +16,13 @@
 //! trials · `21` bench regressed against `--baseline` or crept past the
 //! `--history` window drift · `30` budget expired, checkpoint saved
 //! (rerun with `--resume`; also a drained `pcd batch` with its manifest
-//! saved) · `31` checkpoint unreadable or corrupt · `32` batch finished
-//! but degraded (jobs quarantined or shed). Codes 10–14 and 30–31 follow
-//! [`PcdError::exit_code`].
+//! saved, and a drained `pcd serve` with its restart state sealed) ·
+//! `31` checkpoint unreadable or corrupt (also a sealed serve manifest
+//! that belongs to a different configuration) · `32` batch finished but
+//! degraded (jobs quarantined or shed) · `33` `batch merge` record
+//! conflict or batch-identity mismatch · `34` `report --strict` found
+//! warnings · `35` serve transport failure (socket or state-dir I/O).
+//! Codes 10–14 and 30–31 follow [`PcdError::exit_code`].
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -37,6 +41,9 @@ use pauli_codesign::resilience::{
     decode_vqe, decode_vqe_result, decode_yield, encode_vqe, encode_vqe_result, encode_yield,
     f64_to_hex, run_chaos, ChaosOptions, Checkpoint, DegradationLadder, DegradationPolicy,
     FaultKind, PcdError,
+};
+use pauli_codesign::serve::{
+    run_serve, run_serve_chaos, ServeChaosOptions, ServeConfig, ServeError,
 };
 use pauli_codesign::supervisor::{
     merge_shards, parse_jobs, run_batch_resumed, run_kill_shard_chaos, run_shard,
@@ -86,6 +93,21 @@ enum CliError {
         /// Warnings the report collected.
         warnings: usize,
     },
+    /// `pcd serve` drained gracefully (SIGTERM or `drain` op); restart
+    /// state is sealed, so this is the serve analogue of a drained batch.
+    ServeDrained {
+        /// Requests left pending in the sealed manifest.
+        pending: usize,
+    },
+    /// The serve daemon itself failed: socket/state-dir I/O is a
+    /// transport failure (exit 35), a sealed manifest from a different
+    /// configuration is a checkpoint-class failure (exit 31).
+    Serve(ServeError),
+    /// `chaos --serve` observed broken daemon promises.
+    ServeChaosFailed {
+        /// Violations the campaign recorded.
+        violations: usize,
+    },
 }
 
 /// Exit code for a chaos run with unrecovered trials.
@@ -108,6 +130,11 @@ const EXIT_MERGE_CONFLICT: u8 = 33;
 /// Exit code for `report --strict` when the report carries warnings.
 const EXIT_REPORT_STRICT: u8 = 34;
 
+/// Exit code for a serve transport failure (socket bind/accept or
+/// state-dir I/O — the daemon could not run, as opposed to a job
+/// failing, which is a typed response, or a drain, which is exit 30).
+const EXIT_SERVE_TRANSPORT: u8 = 35;
+
 impl CliError {
     fn exit_code(&self) -> u8 {
         match self {
@@ -122,6 +149,10 @@ impl CliError {
             CliError::BatchDegraded { .. } => EXIT_BATCH_DEGRADED,
             CliError::MergeFailed(_) => EXIT_MERGE_CONFLICT,
             CliError::ReportStrict { .. } => EXIT_REPORT_STRICT,
+            CliError::ServeDrained { .. } => EXIT_BATCH_DRAINED,
+            CliError::Serve(ServeError::Io { .. }) => EXIT_SERVE_TRANSPORT,
+            CliError::Serve(_) => 31,
+            CliError::ServeChaosFailed { .. } => EXIT_CHAOS_UNSURVIVED,
         }
     }
 }
@@ -158,7 +189,22 @@ impl std::fmt::Display for CliError {
             CliError::ReportStrict { warnings } => {
                 write!(f, "report --strict: {warnings} warning(s) in the evidence")
             }
+            CliError::ServeDrained { pending } => write!(
+                f,
+                "serve drained: {pending} request(s) pending, restart state sealed \
+                 (restart `pcd serve` with the same --state-dir to resume)"
+            ),
+            CliError::Serve(e) => write!(f, "{e}"),
+            CliError::ServeChaosFailed { violations } => {
+                write!(f, "chaos --serve: {violations} violation(s) observed")
+            }
         }
+    }
+}
+
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        CliError::Serve(e)
     }
 }
 
@@ -250,6 +296,18 @@ commands:
                                       assert the sealed batch.manifest is
                                       bit-identical to a 1-shard reference
                                       with no job lost or duplicated
+  chaos --serve [--trials N] [--requests N] [--workers N] [--seed N]
+        [--fault-rate R] [--scratch-dir DIR] [--flight-dir DIR]
+                                      serve chaos: seeded kill/corrupt/
+                                      disconnect storms against in-process
+                                      daemons plus a real pcd serve
+                                      subprocess; asserts the daemon never
+                                      wedges, never serves a corrupt cached
+                                      result (CRC-quarantined and
+                                      recomputed instead), sheds with typed
+                                      responses, and a SIGTERM + restart
+                                      replays bit-identically to the
+                                      in-process reference
   chaos --supervised [--trials N] [--jobs N] [--workers N] [--seed N]
         [--fault-rate R] [--flight-dir DIR]
                                       supervised-batch chaos: run whole
@@ -295,6 +353,27 @@ commands:
                                       aside; exit 30 if jobs are missing or
                                       pending (resumable), 33 on a record
                                       conflict or batch-identity mismatch
+  serve [--state-dir DIR] [--socket PATH] [--workers N] [--seed N]
+        [--queue-cap Q] [--shed reject-new|drop-oldest] [--max-retries K]
+        [--slice-ticks T] [--max-slices M] [--breaker N] [--fault-rate R]
+        [--deadline-ms MS] [--max-requests N] [--idle-exit-ms MS]
+        [--flight-dir DIR]
+                                      always-on co-design daemon: accept
+                                      JSONL job requests (batch spec lines)
+                                      over a Unix socket (default
+                                      DIR/serve.sock), run each through the
+                                      supervised engine, and answer from a
+                                      CRC-sealed content-addressed result
+                                      cache on repeat traffic; over-cap
+                                      arrivals get typed shed responses per
+                                      --shed; SIGTERM (or a drain op)
+                                      drains gracefully, seals restart
+                                      state into DIR/serve.manifest, and
+                                      exits 30 — a restart with the same
+                                      --state-dir resumes the pending tail
+                                      bit-identically; corrupt cache
+                                      entries and manifests are quarantined
+                                      aside, never trusted
   report <FILE|DIR> ... [--baseline FILE] [--drift-tolerance PCT]
          [--out FILE] [--strict]      aggregate observability artifacts
                                       (--trace JSONL, flight-*.jsonl dumps,
@@ -384,6 +463,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "yield" => cmd_yield(&flags),
         "chaos" => cmd_chaos(&flags),
         "batch" => cmd_batch(&flags),
+        "serve" => cmd_serve(&flags),
         "bench" => cmd_bench(&flags),
         "report" => cmd_report(&flags),
         "help" | "--help" | "-h" => {
@@ -429,6 +509,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "kill-resume",
     "supervised",
     "kill-shard",
+    "serve",
     "progress",
     "obs-overhead",
     "strict",
@@ -1170,6 +1251,9 @@ fn cmd_chaos(flags: &Flags) -> Result<(), CliError> {
     if flags.is_set("kill-shard") {
         return cmd_kill_shard_chaos(flags);
     }
+    if flags.is_set("serve") {
+        return cmd_serve_chaos(flags);
+    }
     let molecule = if flags.positional.is_empty() {
         Benchmark::H2
     } else {
@@ -1436,6 +1520,170 @@ fn cmd_kill_shard_chaos(flags: &Flags) -> Result<(), CliError> {
     println!(
         "  survived: every merged batch.manifest bit-identical to the 1-shard \
          reference; no job lost, duplicated, or silently degraded"
+    );
+    Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
+    let state_dir = std::path::PathBuf::from(flags.get("state-dir").unwrap_or("serve-state"));
+    let socket = flags.get("socket").map(std::path::PathBuf::from);
+    let workers = flags.get_usize("workers", 2)?.max(1);
+    let seed = flags.get_u64("seed", 42)?;
+    let queue_cap = flags.get_usize("queue-cap", 0)?;
+    let shed = ShedPolicy::parse(flags.get("shed").unwrap_or("reject-new"))?;
+    let max_retries = flags.get_usize("max-retries", 3)?;
+    let slice_ticks = flags.get_u64("slice-ticks", 0)?;
+    let max_slices = flags.get_usize("max-slices", 64)?;
+    let breaker_threshold = flags.get_usize("breaker", 3)?;
+    let fault_rate = flags.get_f64("fault-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(CliError::Usage(
+            "--fault-rate must be in [0, 1]".to_string(),
+        ));
+    }
+    let request_deadline = match flags.get_u64("deadline-ms", 0)? {
+        0 => None,
+        ms => Some(std::time::Duration::from_millis(ms)),
+    };
+    let max_requests = match flags.get_usize("max-requests", 0)? {
+        0 => None,
+        n => Some(n),
+    };
+    let idle_exit = match flags.get_u64("idle-exit-ms", 0)? {
+        0 => None,
+        ms => Some(std::time::Duration::from_millis(ms)),
+    };
+    let flight_dir = flags.get("flight-dir").map(std::path::PathBuf::from);
+    if let Some(dir) = &flight_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("creating flight dir {}: {e}", dir.display()))?;
+    }
+
+    let config = ServeConfig {
+        state_dir,
+        socket,
+        workers,
+        seed,
+        queue_cap,
+        shed,
+        max_retries,
+        slice_ticks,
+        max_slices,
+        breaker_threshold,
+        fault_rate,
+        request_deadline,
+        max_requests,
+        idle_exit,
+        flight_dir,
+    };
+    eprintln!(
+        "pcd serve: listening on {} ({} worker(s), seed {seed}, state in {})",
+        config.socket_path().display(),
+        config.workers,
+        config.state_dir.display()
+    );
+
+    let summary = run_serve(&config)?;
+    println!(
+        "serve: {} accepted, {} done ({} cache hit(s), {} miss(es)), \
+         {} shed, {} cancelled, {} quarantined, {} resumed",
+        summary.accepted,
+        summary.done,
+        summary.cache_hits,
+        summary.cache_misses,
+        summary.shed,
+        summary.cancelled,
+        summary.quarantined,
+        summary.resumed,
+    );
+    if summary.cache_quarantined > 0 {
+        println!(
+            "  {} corrupt cache entrie(s) quarantined aside and recomputed",
+            summary.cache_quarantined
+        );
+    }
+    if summary.drained {
+        println!(
+            "  drained: restart state sealed in {}",
+            config.manifest_path().display()
+        );
+        return Err(CliError::ServeDrained {
+            pending: summary.pending,
+        });
+    }
+    Ok(())
+}
+
+fn cmd_serve_chaos(flags: &Flags) -> Result<(), CliError> {
+    let seed = flags.get_u64("seed", 7)?;
+    let trials = flags.get_usize("trials", 2)?;
+    if trials == 0 {
+        return Err(CliError::Usage("--trials must be positive".to_string()));
+    }
+    let requests = flags.get_usize("requests", 10)?;
+    if requests == 0 {
+        return Err(CliError::Usage("--requests must be positive".to_string()));
+    }
+    let workers = flags.get_usize("workers", 2)?.max(1);
+    let fault_rate = flags.get_f64("fault-rate", 0.05)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(CliError::Usage(
+            "--fault-rate must be in [0, 1]".to_string(),
+        ));
+    }
+    let scratch_dir = flags
+        .get("scratch-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("pcd-serve-chaos"));
+    let flight_dir = flags.get("flight-dir").map(std::path::PathBuf::from);
+    if let Some(dir) = &flight_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("creating flight dir {}: {e}", dir.display()))?;
+    }
+    let pcd_exe = std::env::current_exe()
+        .map_err(|e| CliError::Usage(format!("locating the pcd binary: {e}")))?;
+
+    obs::enable();
+    let report = run_serve_chaos(&ServeChaosOptions {
+        seed,
+        trials,
+        requests,
+        workers,
+        fault_rate,
+        scratch_dir,
+        flight_dir,
+        pcd_exe: Some(pcd_exe),
+    });
+
+    println!(
+        "chaos --serve: {trials} in-process trial(s) × {requests} requests + subprocess \
+         SIGTERM/restart phase, fault rate {:.0}%, seed {seed}",
+        fault_rate * 100.0
+    );
+    println!(
+        "  {} request(s) sent: {} done ({} from cache), {} shed (typed)",
+        report.requests_sent, report.done_responses, report.cached_responses, report.shed_responses
+    );
+    println!(
+        "  {} cache corruption(s) injected; daemon cache: {} hit(s) / {} miss(es) \
+         ({:.0}% hit ratio)",
+        report.corruptions_injected,
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_hit_ratio() * 100.0
+    );
+    println!("  {} SIGTERM → restart cycle(s) survived", report.restarts);
+    for violation in &report.violations {
+        eprintln!("  VIOLATION: {violation}");
+    }
+    if !report.pass() {
+        return Err(CliError::ServeChaosFailed {
+            violations: report.violations.len(),
+        });
+    }
+    println!(
+        "  survived: never wedged, never served a corrupt cached result, every shed \
+         typed, restart replayed bit-identically to the in-process reference"
     );
     Ok(())
 }
@@ -2485,5 +2733,42 @@ mod tests {
         });
         assert_eq!(e.exit_code(), 30);
         assert!(e.to_string().contains("--resume"));
+    }
+
+    /// Doc-sync: the README's chaos documentation must name every fault
+    /// site the code can inject. Adding a `FaultKind` variant without
+    /// documenting it fails here, not in a reader's mental model.
+    #[test]
+    fn readme_documents_every_fault_site() {
+        let readme =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+                .expect("README.md readable");
+        for kind in FaultKind::ALL {
+            assert!(
+                readme.contains(&format!("`{}`", kind.site())),
+                "README fault-site docs are stale: `{}` is injectable but undocumented",
+                kind.site()
+            );
+        }
+    }
+
+    /// Doc-sync: the README's exit-code table must carry a row for every
+    /// code the CLI can return.
+    #[test]
+    fn readme_exit_code_table_is_complete() {
+        let readme =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+                .expect("README.md readable");
+        let documented: Vec<u32> = readme
+            .lines()
+            .filter(|line| line.starts_with("| "))
+            .filter_map(|line| line.split('|').nth(1)?.trim().parse().ok())
+            .collect();
+        for code in [0, 1, 10, 11, 12, 13, 14, 20, 21, 30, 31, 32, 33, 34, 35] {
+            assert!(
+                documented.contains(&code),
+                "README exit-code table is stale: exit {code} is undocumented"
+            );
+        }
     }
 }

@@ -49,6 +49,7 @@ pub use numeric;
 pub use par;
 pub use pauli;
 pub use resilience;
+pub use serve;
 pub use sim;
 pub use supervisor;
 pub use vqe;

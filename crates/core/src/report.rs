@@ -32,9 +32,10 @@ use obs::flight::FlightDump;
 use obs::json::JsonValue;
 use obs::{Record, StreamingHistogram};
 use resilience::Checkpoint;
+use serve::KIND_SERVE_MANIFEST;
 use supervisor::{
     decode_manifest, decode_shard_manifest, BatchMeta, JobRecord, JobState, ShardMeta,
-    KIND_MERGE_LINEAGE, KIND_SHARD_MANIFEST,
+    KIND_BATCH_MANIFEST, KIND_MERGE_LINEAGE, KIND_SHARD_MANIFEST,
 };
 
 /// One input file, classified by content.
@@ -61,6 +62,14 @@ pub enum Artifact {
         /// Shard header: batch identity plus lineage.
         meta: ShardMeta,
         /// The shard's records (sparse global indices).
+        records: Vec<JobRecord>,
+    },
+    /// A sealed serve-daemon restart manifest (`serve.manifest`) — the
+    /// batch-manifest payload schema under a serve kind tag.
+    Serve {
+        /// Serve metadata (batch_seed is the serve seed).
+        meta: BatchMeta,
+        /// Per-request records in admission order.
         records: Vec<JobRecord>,
     },
     /// A merge lineage checkpoint (`merge.lineage`).
@@ -110,6 +119,7 @@ impl Artifact {
             Artifact::Flight(_) => "flight",
             Artifact::Manifest { .. } => "manifest",
             Artifact::Shard { .. } => "shard",
+            Artifact::Serve { .. } => "serve",
             Artifact::Lineage(_) => "lineage",
             Artifact::Bench { .. } => "bench",
         }
@@ -165,7 +175,8 @@ fn parse_lineage(ck: &Checkpoint) -> Result<LineageSummary, String> {
 pub fn classify(text: &str) -> Result<Artifact, String> {
     let first = text.lines().next().unwrap_or("").trim();
     if first.contains("\"magic\"") && first.contains("pcd-ckpt") {
-        let ck = Checkpoint::from_bytes(text.as_bytes()).map_err(|e| format!("checkpoint: {e}"))?;
+        let mut ck =
+            Checkpoint::from_bytes(text.as_bytes()).map_err(|e| format!("checkpoint: {e}"))?;
         return match ck.kind.as_str() {
             KIND_SHARD_MANIFEST => {
                 let (meta, records) =
@@ -173,6 +184,14 @@ pub fn classify(text: &str) -> Result<Artifact, String> {
                 Ok(Artifact::Shard { meta, records })
             }
             KIND_MERGE_LINEAGE => parse_lineage(&ck).map(Artifact::Lineage),
+            KIND_SERVE_MANIFEST => {
+                // Serve manifests reuse the batch-manifest payload under
+                // their own kind tag; rewrap so the decoder accepts it.
+                ck.kind = KIND_BATCH_MANIFEST.to_string();
+                let (meta, records) =
+                    decode_manifest(&ck).map_err(|e| format!("serve manifest: {e}"))?;
+                Ok(Artifact::Serve { meta, records })
+            }
             _ => {
                 let (meta, records) = decode_manifest(&ck).map_err(|e| format!("manifest: {e}"))?;
                 Ok(Artifact::Manifest { meta, records })
@@ -286,6 +305,10 @@ pub struct Report {
     pub flight_by_reason: BTreeMap<String, u64>,
     /// Job totals across manifests: done / quarantined / shed / pending.
     pub jobs: (u64, u64, u64, u64),
+    /// Serve request totals across sealed serve manifests: done /
+    /// quarantined / shed / pending (kept apart from batch `jobs` — a
+    /// daemon's traffic is not a batch's workload).
+    pub serve: (u64, u64, u64, u64),
     /// Per-shard breakdown from shard manifests, by shard id: `(shard_id,
     /// owner, epoch, done, quarantined, shed, pending)`.
     pub shards: Vec<(usize, String, u64, u64, u64, u64, u64)>,
@@ -319,6 +342,7 @@ pub struct ReportBuilder {
     faults_by_site: BTreeMap<String, u64>,
     flight_by_reason: BTreeMap<String, u64>,
     jobs: (u64, u64, u64, u64),
+    serve: (u64, u64, u64, u64),
     shards: Vec<(usize, String, u64, u64, u64, u64, u64)>,
     takeovers: Vec<(usize, String, String)>,
     merge_missing: usize,
@@ -389,6 +413,19 @@ impl ReportBuilder {
                         }
                         JobState::Shed => self.jobs.2 += 1,
                         JobState::Pending { .. } => self.jobs.3 += 1,
+                    }
+                }
+            }
+            Artifact::Serve { records, .. } => {
+                for record in &records {
+                    match &record.state {
+                        JobState::Done { .. } => self.serve.0 += 1,
+                        JobState::Quarantined { stage, .. } => {
+                            self.serve.1 += 1;
+                            *self.quarantined_by_stage.entry(stage.clone()).or_insert(0) += 1;
+                        }
+                        JobState::Shed => self.serve.2 += 1,
+                        JobState::Pending { .. } => self.serve.3 += 1,
                     }
                 }
             }
@@ -515,6 +552,7 @@ impl ReportBuilder {
             faults_by_site: self.faults_by_site,
             flight_by_reason: self.flight_by_reason,
             jobs: self.jobs,
+            serve: self.serve,
             shards,
             takeovers,
             merge_missing: self.merge_missing,
@@ -609,6 +647,14 @@ impl Report {
             let _ = writeln!(
                 out,
                 "\njobs: {done} done, {quarantined} quarantined, {shed} shed, {pending} pending"
+            );
+        }
+        if self.serve != (0, 0, 0, 0) {
+            let (done, quarantined, shed, pending) = self.serve;
+            let _ = writeln!(
+                out,
+                "\nserve requests: {done} done, {quarantined} quarantined, {shed} shed, \
+                 {pending} pending"
             );
         }
         if !self.shards.is_empty() {
@@ -771,6 +817,18 @@ impl Report {
         jobs.insert("shed".to_string(), JsonValue::Number(shed as f64));
         jobs.insert("pending".to_string(), JsonValue::Number(pending as f64));
         root.insert("jobs".to_string(), JsonValue::Object(jobs));
+        if self.serve != (0, 0, 0, 0) {
+            let (done, quarantined, shed, pending) = self.serve;
+            let mut serve = BTreeMap::new();
+            serve.insert("done".to_string(), JsonValue::Number(done as f64));
+            serve.insert(
+                "quarantined".to_string(),
+                JsonValue::Number(quarantined as f64),
+            );
+            serve.insert("shed".to_string(), JsonValue::Number(shed as f64));
+            serve.insert("pending".to_string(), JsonValue::Number(pending as f64));
+            root.insert("serve".to_string(), JsonValue::Object(serve));
+        }
         if !self.shards.is_empty() {
             root.insert(
                 "shards".to_string(),

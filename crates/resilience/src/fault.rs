@@ -31,11 +31,20 @@ pub enum FaultKind {
     /// Leases are advisory liveness signals, so the shard must survive a
     /// failed write — count it and keep running, never abort the batch.
     LeaseWrite,
+    /// Serve result-cache seal is corrupted mid-write (torn write, disk
+    /// fault). The cache is an accelerator, not a source of truth: the
+    /// daemon must detect the bad seal on the next read (CRC), quarantine
+    /// the entry aside, and recompute — never serve the corrupt bytes.
+    CacheWrite,
+    /// Serve accept path forced to shed an admissible request (fd
+    /// pressure, accept storm). The daemon must answer with a typed shed
+    /// response, never a silent drop or a wedged connection.
+    Accept,
 }
 
 impl FaultKind {
     /// Every injection point, in a stable order.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 9] = [
         FaultKind::ScfConvergence,
         FaultKind::ScfEnergy,
         FaultKind::Geometry,
@@ -43,6 +52,8 @@ impl FaultKind {
         FaultKind::VqeObjective,
         FaultKind::OptimizerStall,
         FaultKind::LeaseWrite,
+        FaultKind::CacheWrite,
+        FaultKind::Accept,
     ];
 
     /// The dotted site name used in obs events and reports.
@@ -55,18 +66,22 @@ impl FaultKind {
             FaultKind::VqeObjective => "vqe.objective",
             FaultKind::OptimizerStall => "vqe.optimizer_stall",
             FaultKind::LeaseWrite => "supervisor.lease_write",
+            FaultKind::CacheWrite => "serve.cache_write",
+            FaultKind::Accept => "serve.accept",
         }
     }
 
     /// The recovery policy class responsible for this fault:
-    /// `"scf_retry"`, `"compiler_fallback"`, `"vqe_restart"`, or
-    /// `"lease_retry"`.
+    /// `"scf_retry"`, `"compiler_fallback"`, `"vqe_restart"`,
+    /// `"lease_retry"`, `"cache_quarantine"`, or `"admission_shed"`.
     pub fn policy_class(self) -> &'static str {
         match self {
             FaultKind::ScfConvergence | FaultKind::ScfEnergy | FaultKind::Geometry => "scf_retry",
             FaultKind::CouplingGraph => "compiler_fallback",
             FaultKind::VqeObjective | FaultKind::OptimizerStall => "vqe_restart",
             FaultKind::LeaseWrite => "lease_retry",
+            FaultKind::CacheWrite => "cache_quarantine",
+            FaultKind::Accept => "admission_shed",
         }
     }
 
@@ -79,6 +94,8 @@ impl FaultKind {
             FaultKind::VqeObjective => 4,
             FaultKind::OptimizerStall => 5,
             FaultKind::LeaseWrite => 6,
+            FaultKind::CacheWrite => 7,
+            FaultKind::Accept => 8,
         }
     }
 }
@@ -110,11 +127,14 @@ pub struct InjectedFault {
 /// }
 /// assert_eq!(a.injected(), b.injected());
 /// ```
+/// Number of injection sites (`FaultKind::ALL.len()`).
+const SITES: usize = FaultKind::ALL.len();
+
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     seed: u64,
     fault_rate: f64,
-    visits: [u64; 7],
+    visits: [u64; SITES],
     injected: Vec<InjectedFault>,
 }
 
@@ -139,7 +159,7 @@ impl FaultPlan {
         FaultPlan {
             seed,
             fault_rate: rate,
-            visits: [0; 7],
+            visits: [0; SITES],
             injected: Vec::new(),
         }
     }
@@ -218,7 +238,7 @@ mod tests {
         for kind in FaultKind::ALL {
             assert!(plan.should_inject(kind));
         }
-        assert_eq!(plan.injected().len(), 7);
+        assert_eq!(plan.injected().len(), SITES);
         assert_eq!(plan.injected()[0].kind, FaultKind::ScfConvergence);
     }
 
@@ -271,7 +291,7 @@ mod tests {
                 }
             }
         }
-        let observed = hits as f64 / (draws * 7) as f64;
+        let observed = hits as f64 / (draws * SITES) as f64;
         assert!(
             (observed - 0.25).abs() < 0.02,
             "observed rate {observed} too far from 0.25"
@@ -283,14 +303,14 @@ mod tests {
         // At rate 0.5 the per-site sequences must not be identical copies
         // of each other.
         let mut plan = FaultPlan::new(5, 0.5);
-        let mut seq: Vec<Vec<bool>> = vec![Vec::new(); 7];
+        let mut seq: Vec<Vec<bool>> = vec![Vec::new(); SITES];
         for _ in 0..64 {
             for kind in FaultKind::ALL {
                 seq[kind.index()].push(plan.should_inject(kind));
             }
         }
-        for i in 0..7 {
-            for j in (i + 1)..7 {
+        for i in 0..SITES {
+            for j in (i + 1)..SITES {
                 assert_ne!(seq[i], seq[j], "sites {i} and {j} correlated");
             }
         }

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use resilience::{FaultKind, FaultPlan};
 
-/// Strategy: an arbitrary query sequence over the seven injection sites.
+/// Strategy: an arbitrary query sequence over every injection site.
 fn site_sequence() -> impl Strategy<Value = Vec<FaultKind>> {
     prop::collection::vec(
         prop_oneof![
@@ -80,7 +80,7 @@ proptest! {
     ) {
         let mut plan = FaultPlan::new(seed, 0.5);
         let mut hits = Vec::new();
-        let mut visits = [0u64; 7];
+        let mut visits = [0u64; FaultKind::ALL.len()];
         for &kind in &queries {
             let visit = visits[FaultKind::ALL.iter().position(|&k| k == kind).expect("site")];
             visits[FaultKind::ALL.iter().position(|&k| k == kind).expect("site")] += 1;

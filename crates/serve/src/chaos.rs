@@ -1,0 +1,813 @@
+//! The serve chaos campaign behind `pcd chaos --serve`.
+//!
+//! Two layers, both seeded and replayable:
+//!
+//! - **In-process trials** run a real daemon on a scratch socket and
+//!   throw a seeded storm at it: normal requests, clients that vanish
+//!   after sending, and cache entries corrupted on disk between
+//!   requests — all under the configured fault rate, so the `Accept`
+//!   and `CacheWrite` injection sites fire too. Every `done` response is
+//!   compared bit-for-bit against an in-process reference computed
+//!   through the same content-keyed engine path.
+//! - **A subprocess phase** (when the `pcd` binary path is provided)
+//!   exercises what only a real process can: a burst of requests, then
+//!   SIGTERM mid-compute — the daemon must exit 30 with a sealed
+//!   manifest — then a restart that resumes the pending tail, serves
+//!   repeats from the cache (no SCF, no VQE in the response trace),
+//!   survives an on-disk cache corruption, and finally drains; the
+//!   sealed manifest's records must match the reference bit-for-bit,
+//!   which is the zero-downtime-restart contract.
+//!
+//! The campaign never panics on a misbehaving daemon: every broken
+//! promise is a line in [`ServeChaosReport::violations`], and an empty
+//! list is the pass criterion.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use chem::Benchmark;
+use obs::json::{self, JsonValue};
+use resilience::Checkpoint;
+use supervisor::{decode_manifest, JobSpec, JobState, KIND_BATCH_MANIFEST};
+
+use crate::cache::{cache_key, CACHE_EXT};
+use crate::daemon::{compute_record, run_serve, ServeConfig, KIND_SERVE_MANIFEST};
+use crate::splitmix64;
+use crate::sys;
+
+/// Bond lengths the storm draws from. Four distinct computations, so
+/// any storm longer than four requests is guaranteed repeat traffic.
+const BONDS: [f64; 4] = [0.70, 0.74, 0.78, 0.82];
+
+/// How long to wait for a daemon's socket file to appear.
+const SOCKET_WAIT: Duration = Duration::from_secs(30);
+
+/// How long a client waits to connect once the socket exists.
+const CONNECT_WAIT: Duration = Duration::from_secs(10);
+
+/// How long a client waits for its response line. A daemon that blows
+/// this budget counts as wedged — the violation the campaign exists to
+/// catch.
+const RESPONSE_WAIT: Duration = Duration::from_secs(60);
+
+/// How long to wait for a subprocess daemon to exit after SIGTERM.
+const EXIT_WAIT: Duration = Duration::from_secs(30);
+
+/// Serve chaos campaign configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeChaosOptions {
+    /// Campaign seed; trial seeds derive from it.
+    pub seed: u64,
+    /// In-process storm trials.
+    pub trials: usize,
+    /// Requests per in-process trial.
+    pub requests: usize,
+    /// Daemon worker threads for in-process trials.
+    pub workers: usize,
+    /// Fault rate for in-process trials (pipeline + serve sites).
+    pub fault_rate: f64,
+    /// Scratch directory for daemon state dirs.
+    pub scratch_dir: PathBuf,
+    /// Flight-recorder dump directory for the daemons under test.
+    pub flight_dir: Option<PathBuf>,
+    /// Path to the `pcd` binary. When set, the SIGTERM/restart
+    /// subprocess phase runs too; `pcd chaos --serve` passes its own
+    /// path here.
+    pub pcd_exe: Option<PathBuf>,
+}
+
+impl Default for ServeChaosOptions {
+    fn default() -> Self {
+        ServeChaosOptions {
+            seed: 7,
+            trials: 2,
+            requests: 12,
+            workers: 2,
+            fault_rate: 0.05,
+            scratch_dir: std::env::temp_dir().join("pcd-serve-chaos"),
+            flight_dir: None,
+            pcd_exe: None,
+        }
+    }
+}
+
+/// What the campaign observed. `violations` empty is the pass criterion;
+/// everything else is evidence for the summary line and CI assertions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeChaosReport {
+    /// In-process trials run.
+    pub trials: usize,
+    /// Requests sent across all phases.
+    pub requests_sent: usize,
+    /// `done` responses received.
+    pub done_responses: usize,
+    /// `done` responses served from the cache.
+    pub cached_responses: usize,
+    /// Typed shed responses received.
+    pub shed_responses: usize,
+    /// Cache entries deliberately corrupted on disk.
+    pub corruptions_injected: usize,
+    /// SIGTERM → restart cycles survived (subprocess phase).
+    pub restarts: usize,
+    /// Daemon-side cache hits (from summaries / stats ops).
+    pub cache_hits: usize,
+    /// Daemon-side cache misses.
+    pub cache_misses: usize,
+    /// Every broken promise, in the order observed.
+    pub violations: Vec<String>,
+}
+
+impl ServeChaosReport {
+    /// Whether the campaign passed: no violations.
+    pub fn pass(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Cache hits over all cache lookups (0.0 when nothing was looked
+    /// up). CI asserts this is positive: repeat traffic must hit.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Runs the campaign. In-process trials always run; the subprocess
+/// SIGTERM/restart phase runs when
+/// [`pcd_exe`](ServeChaosOptions::pcd_exe) is set.
+pub fn run_serve_chaos(options: &ServeChaosOptions) -> ServeChaosReport {
+    let mut report = ServeChaosReport {
+        trials: options.trials,
+        ..ServeChaosReport::default()
+    };
+    for trial in 0..options.trials {
+        let trial_seed = options
+            .seed
+            .wrapping_add((trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        run_trial_in_process(options, trial, trial_seed, &mut report);
+    }
+    if let Some(exe) = options.pcd_exe.clone() {
+        run_subprocess_phase(options, &exe, &mut report);
+    }
+    report
+}
+
+fn h2_spec(id: String, bond: f64) -> JobSpec {
+    JobSpec {
+        id,
+        benchmark: Benchmark::H2,
+        bond: Some(bond),
+        ratio: 1.0,
+    }
+}
+
+fn next(rng: &mut u64) -> u64 {
+    *rng = splitmix64(*rng);
+    *rng
+}
+
+/// Reference outcomes per bond: `Some(energy_bits)` for a converged
+/// reference, `None` when the reference itself quarantines under the
+/// configured fault rate (the daemon must then quarantine too).
+fn reference_outcomes(config: &ServeConfig) -> HashMap<u64, Option<u64>> {
+    let mut reference = HashMap::new();
+    for (i, bond) in BONDS.iter().enumerate() {
+        let spec = h2_spec(format!("ref{i}"), *bond);
+        let record = compute_record(&spec, 0, config, None);
+        let outcome = match record.state {
+            JobState::Done { energy_bits, .. } => Some(energy_bits),
+            _ => None,
+        };
+        reference.insert(bond.to_bits(), outcome);
+    }
+    reference
+}
+
+fn run_trial_in_process(
+    options: &ServeChaosOptions,
+    trial: usize,
+    trial_seed: u64,
+    report: &mut ServeChaosReport,
+) {
+    let state_dir = options.scratch_dir.join(format!("trial{trial}"));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let config = ServeConfig {
+        state_dir: state_dir.clone(),
+        workers: options.workers.max(1),
+        seed: trial_seed,
+        fault_rate: options.fault_rate,
+        flight_dir: options.flight_dir.clone(),
+        ..ServeConfig::default()
+    };
+    let reference = reference_outcomes(&config);
+    let socket = config.socket_path();
+    let daemon = std::thread::spawn({
+        let config = config.clone();
+        move || run_serve(&config)
+    });
+    if !wait_for_path(&socket, SOCKET_WAIT) {
+        report
+            .violations
+            .push(format!("trial {trial}: socket never appeared"));
+    }
+    let mut rng = splitmix64(trial_seed ^ 0x000C_4A05);
+    for i in 0..options.requests {
+        let bond = BONDS[(next(&mut rng) % BONDS.len() as u64) as usize];
+        let spec = h2_spec(format!("t{trial}-r{i}"), bond);
+        report.requests_sent += 1;
+        match next(&mut rng) % 5 {
+            0 => {
+                // The client vanishes right after sending: the daemon
+                // must cancel or absorb it, never wedge.
+                if let Some(mut stream) = connect_socket(&socket, CONNECT_WAIT) {
+                    let _ = writeln!(stream, "{}", spec.to_json_line());
+                }
+                continue;
+            }
+            1 => {
+                // Corrupt this request's sealed cache entry (if any)
+                // before asking again: the daemon must quarantine it and
+                // recompute the same bits.
+                let key = cache_key(&spec, config.seed, config.fault_rate);
+                let entry = state_dir
+                    .join("cache")
+                    .join(format!("{key:016x}.{CACHE_EXT}"));
+                if corrupt_file(&entry, next(&mut rng)) {
+                    report.corruptions_injected += 1;
+                }
+            }
+            _ => {}
+        }
+        match roundtrip(&socket, &spec.to_json_line()) {
+            None => report.violations.push(format!(
+                "trial {trial} request {i}: no response within {RESPONSE_WAIT:?} (wedged?)"
+            )),
+            Some(line) => check_response(trial, i, &line, bond, &reference, report),
+        }
+    }
+    // Drain (the op itself can be shed by an injected accept fault —
+    // retry until acknowledged).
+    let mut drained = false;
+    for _ in 0..50 {
+        match roundtrip(&socket, "{\"op\":\"drain\"}") {
+            Some(line) if response_status(&line).as_deref() == Some("draining") => {
+                drained = true;
+                break;
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+    if !drained {
+        report
+            .violations
+            .push(format!("trial {trial}: drain op never acknowledged"));
+    }
+    match daemon.join() {
+        Ok(Ok(summary)) => {
+            if !summary.drained {
+                report
+                    .violations
+                    .push(format!("trial {trial}: daemon exited without draining"));
+            }
+            report.cache_hits += summary.cache_hits;
+            report.cache_misses += summary.cache_misses;
+        }
+        Ok(Err(e)) => report
+            .violations
+            .push(format!("trial {trial}: daemon error: {e}")),
+        Err(_) => report
+            .violations
+            .push(format!("trial {trial}: daemon thread panicked")),
+    }
+    // The sealed manifest must decode under the serve kind.
+    match Checkpoint::read(config.manifest_path()) {
+        Ok(mut ck) if ck.kind == KIND_SERVE_MANIFEST => {
+            ck.kind = KIND_BATCH_MANIFEST.to_string();
+            match decode_manifest(&ck) {
+                Ok((meta, _)) => {
+                    if meta.batch_seed != config.seed {
+                        report.violations.push(format!(
+                            "trial {trial}: sealed seed {} != {}",
+                            meta.batch_seed, config.seed
+                        ));
+                    }
+                }
+                Err(e) => report
+                    .violations
+                    .push(format!("trial {trial}: sealed manifest undecodable: {e}")),
+            }
+        }
+        Ok(ck) => report.violations.push(format!(
+            "trial {trial}: manifest kind `{}`, expected `{KIND_SERVE_MANIFEST}`",
+            ck.kind
+        )),
+        Err(e) => report
+            .violations
+            .push(format!("trial {trial}: sealed manifest unreadable: {e}")),
+    }
+}
+
+fn check_response(
+    trial: usize,
+    i: usize,
+    line: &str,
+    bond: f64,
+    reference: &HashMap<u64, Option<u64>>,
+    report: &mut ServeChaosReport,
+) {
+    let Ok(v) = json::parse(line.trim()) else {
+        report.violations.push(format!(
+            "trial {trial} request {i}: unparseable response {line:?}"
+        ));
+        return;
+    };
+    match v.get("status").and_then(JsonValue::as_str) {
+        Some("done") => {
+            report.done_responses += 1;
+            let cached = v
+                .get("cached")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false);
+            if cached {
+                report.cached_responses += 1;
+                if stages_contain(&v, "scf") || stages_contain(&v, "vqe") {
+                    report.violations.push(format!(
+                        "trial {trial} request {i}: cache hit ran pipeline stages"
+                    ));
+                }
+            }
+            let bits = v
+                .get("energy_bits")
+                .and_then(JsonValue::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok());
+            match reference.get(&bond.to_bits()) {
+                Some(Some(expected)) if bits != Some(*expected) => {
+                    report.violations.push(format!(
+                        "trial {trial} request {i}: energy bits {bits:?} diverge from reference {expected:016x}"
+                    ));
+                }
+                Some(None) => report.violations.push(format!(
+                    "trial {trial} request {i}: daemon served done where reference quarantines"
+                )),
+                _ => {}
+            }
+        }
+        Some("shed") => report.shed_responses += 1,
+        Some("quarantined") => {
+            if matches!(reference.get(&bond.to_bits()), Some(Some(_))) {
+                report.violations.push(format!(
+                    "trial {trial} request {i}: daemon quarantined where reference converges"
+                ));
+            }
+        }
+        Some("pending") | Some("deadline") => {}
+        other => report.violations.push(format!(
+            "trial {trial} request {i}: unexpected response status {other:?}"
+        )),
+    }
+}
+
+fn stages_contain(v: &JsonValue, stage: &str) -> bool {
+    match v.get("stages") {
+        Some(JsonValue::Array(stages)) => stages.iter().any(|s| s.as_str() == Some(stage)),
+        _ => false,
+    }
+}
+
+fn response_status(line: &str) -> Option<String> {
+    let v = json::parse(line.trim()).ok()?;
+    Some(v.get("status")?.as_str()?.to_string())
+}
+
+fn response_field(line: &str, field: &str) -> Option<f64> {
+    let v = json::parse(line.trim()).ok()?;
+    match v.get(field)? {
+        JsonValue::Number(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn wait_for_path(path: &Path, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while !path.exists() {
+        if Instant::now() > deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    true
+}
+
+fn connect_socket(path: &Path, timeout: Duration) -> Option<UnixStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match UnixStream::connect(path) {
+            Ok(stream) => return Some(stream),
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+fn roundtrip(socket: &Path, line: &str) -> Option<String> {
+    let mut stream = connect_socket(socket, CONNECT_WAIT)?;
+    stream.set_read_timeout(Some(RESPONSE_WAIT)).ok()?;
+    writeln!(stream, "{line}").ok()?;
+    let mut reader = BufReader::new(stream);
+    let mut out = String::new();
+    match reader.read_line(&mut out) {
+        Ok(n) if n > 0 => Some(out),
+        _ => None,
+    }
+}
+
+/// Flips one seeded byte of `path` in place. Returns whether a file was
+/// actually corrupted (a missing entry is not).
+fn corrupt_file(path: &Path, salt: u64) -> bool {
+    let Ok(mut bytes) = std::fs::read(path) else {
+        return false;
+    };
+    if bytes.is_empty() {
+        return false;
+    }
+    let idx = (splitmix64(salt) as usize) % bytes.len();
+    bytes[idx] ^= 0x20;
+    std::fs::write(path, &bytes).is_ok()
+}
+
+// ---------------------------------------------------------------------
+// Subprocess phase: SIGTERM, restart, cache-hit and corruption checks
+// against a real `pcd serve` process.
+// ---------------------------------------------------------------------
+
+fn spawn_serve(exe: &Path, config: &ServeConfig) -> Option<Child> {
+    Command::new(exe)
+        .arg("serve")
+        .arg("--state-dir")
+        .arg(&config.state_dir)
+        .arg("--seed")
+        .arg(config.seed.to_string())
+        .arg("--workers")
+        .arg(config.workers.to_string())
+        .arg("--fault-rate")
+        .arg(config.fault_rate.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .ok()
+}
+
+fn wait_child(child: &mut Child, timeout: Duration) -> Option<i32> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return status.code(),
+            Ok(None) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            _ => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return None;
+            }
+        }
+    }
+}
+
+/// Decodes the sealed manifest: pending-record count plus the bonds of
+/// every journaled request (by id, via `sent`). Journaled bonds are the
+/// ones whose repeats must be cache hits after restart.
+fn sealed_state(
+    config: &ServeConfig,
+    sent: &HashMap<String, f64>,
+    report: &mut ServeChaosReport,
+) -> (usize, HashSet<u64>) {
+    let mut pending = 0;
+    let mut sealed = HashSet::new();
+    match Checkpoint::read(config.manifest_path()) {
+        Ok(mut ck) if ck.kind == KIND_SERVE_MANIFEST => {
+            ck.kind = KIND_BATCH_MANIFEST.to_string();
+            match decode_manifest(&ck) {
+                Ok((_, records)) => {
+                    for record in records {
+                        if !record.state.is_terminal() {
+                            pending += 1;
+                        }
+                        if let Some(bond) = sent.get(&record.id) {
+                            sealed.insert(bond.to_bits());
+                        }
+                    }
+                }
+                Err(e) => report
+                    .violations
+                    .push(format!("subprocess: sealed manifest undecodable: {e}")),
+            }
+        }
+        Ok(ck) => report.violations.push(format!(
+            "subprocess: manifest kind `{}`, expected `{KIND_SERVE_MANIFEST}`",
+            ck.kind
+        )),
+        Err(e) => report.violations.push(format!(
+            "subprocess: sealed manifest unreadable after SIGTERM: {e}"
+        )),
+    }
+    (pending, sealed)
+}
+
+fn run_subprocess_phase(options: &ServeChaosOptions, exe: &Path, report: &mut ServeChaosReport) {
+    let state_dir = options.scratch_dir.join("subprocess");
+    let _ = std::fs::remove_dir_all(&state_dir);
+    // Fault rate 0 here: the in-process trials own fault injection; this
+    // phase isolates the kill/restart/cache contracts so an injected
+    // accept shed cannot mask a missing cache hit.
+    let config = ServeConfig {
+        state_dir: state_dir.clone(),
+        workers: 1,
+        seed: splitmix64(options.seed ^ 0x5AB5),
+        fault_rate: 0.0,
+        ..ServeConfig::default()
+    };
+    let reference = reference_outcomes(&config);
+    let socket = config.socket_path();
+    let mut sent: HashMap<String, f64> = HashMap::new();
+
+    // --- Lifetime 1: burst, then SIGTERM mid-compute. ---
+    let Some(mut child) = spawn_serve(exe, &config) else {
+        report
+            .violations
+            .push("subprocess: failed to spawn pcd serve".to_string());
+        return;
+    };
+    if !wait_for_path(&socket, SOCKET_WAIT) {
+        report
+            .violations
+            .push("subprocess: socket never appeared".to_string());
+        let _ = child.kill();
+        let _ = child.wait();
+        return;
+    }
+    // Hold the streams open: a vanished client is *cancelled*, a held
+    // one caught by the drain is *pended* — the restart path under test.
+    let mut held = Vec::new();
+    for (i, bond) in BONDS.iter().enumerate() {
+        let spec = h2_spec(format!("s1-{i}"), *bond);
+        sent.insert(spec.id.clone(), *bond);
+        if let Some(mut stream) = connect_socket(&socket, CONNECT_WAIT) {
+            if writeln!(stream, "{}", spec.to_json_line()).is_ok() {
+                held.push(stream);
+                report.requests_sent += 1;
+            }
+        }
+    }
+    // Let the accept loop journal the burst, then pull the plug.
+    std::thread::sleep(Duration::from_millis(150));
+    if !sys::send_sigterm(child.id()) {
+        report
+            .violations
+            .push("subprocess: SIGTERM delivery failed".to_string());
+    }
+    match wait_child(&mut child, EXIT_WAIT) {
+        Some(30) => {}
+        code => report.violations.push(format!(
+            "subprocess: SIGTERM exit code {code:?}, expected 30 (drained)"
+        )),
+    }
+    drop(held);
+    report.restarts += 1;
+    let (pending, sealed) = sealed_state(&config, &sent, report);
+    if sealed.is_empty() {
+        report
+            .violations
+            .push("subprocess: no requests journaled before SIGTERM".to_string());
+    }
+
+    // --- Lifetime 2: resume, repeats hit the cache, survive corruption,
+    // drain cleanly. ---
+    let Some(mut child) = spawn_serve(exe, &config) else {
+        report
+            .violations
+            .push("subprocess: failed to respawn pcd serve".to_string());
+        return;
+    };
+    if !wait_for_path(&socket, SOCKET_WAIT) {
+        report
+            .violations
+            .push("subprocess: socket never reappeared after restart".to_string());
+        let _ = child.kill();
+        let _ = child.wait();
+        return;
+    }
+    // Wait until the resumed tail has recomputed (its results seal the
+    // cache the repeats below must hit).
+    let deadline = Instant::now() + RESPONSE_WAIT;
+    loop {
+        let resumed = roundtrip(&socket, "{\"op\":\"stats\"}")
+            .and_then(|line| response_field(&line, "resumed"))
+            .unwrap_or(0.0) as usize;
+        if resumed >= pending {
+            break;
+        }
+        if Instant::now() > deadline {
+            report
+                .violations
+                .push("subprocess: resumed tail never completed".to_string());
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Repeats of journaled requests must be O(1) cache hits.
+    for (i, bond) in BONDS.iter().enumerate() {
+        let spec = h2_spec(format!("s2-{i}"), *bond);
+        sent.insert(spec.id.clone(), *bond);
+        report.requests_sent += 1;
+        let Some(line) = roundtrip(&socket, &spec.to_json_line()) else {
+            report
+                .violations
+                .push(format!("subprocess repeat {i}: no response (wedged?)"));
+            continue;
+        };
+        let Ok(v) = json::parse(line.trim()) else {
+            report
+                .violations
+                .push(format!("subprocess repeat {i}: unparseable response"));
+            continue;
+        };
+        if v.get("status").and_then(JsonValue::as_str) != Some("done") {
+            report
+                .violations
+                .push(format!("subprocess repeat {i}: not done: {}", line.trim()));
+            continue;
+        }
+        report.done_responses += 1;
+        let cached = v
+            .get("cached")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false);
+        if cached {
+            report.cached_responses += 1;
+        } else if sealed.contains(&bond.to_bits()) {
+            report.violations.push(format!(
+                "subprocess repeat {i}: journaled request recomputed instead of hitting the cache"
+            ));
+        }
+        if cached && (stages_contain(&v, "scf") || stages_contain(&v, "vqe")) {
+            report.violations.push(format!(
+                "subprocess repeat {i}: cache hit ran pipeline stages"
+            ));
+        }
+        let bits = v
+            .get("energy_bits")
+            .and_then(JsonValue::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok());
+        if let Some(Some(expected)) = reference.get(&bond.to_bits()) {
+            if bits != Some(*expected) {
+                report.violations.push(format!(
+                    "subprocess repeat {i}: energy bits diverge from reference"
+                ));
+            }
+        }
+    }
+    // Corrupt a sealed entry on disk; the daemon must quarantine it and
+    // recompute the same bits — never serve the corrupt seal.
+    let bond = BONDS[0];
+    let corrupt_spec = h2_spec("s2-corrupt".to_string(), bond);
+    sent.insert(corrupt_spec.id.clone(), bond);
+    let key = cache_key(&corrupt_spec, config.seed, config.fault_rate);
+    let entry = state_dir
+        .join("cache")
+        .join(format!("{key:016x}.{CACHE_EXT}"));
+    if corrupt_file(&entry, options.seed ^ 0x0B17_F11B) {
+        report.corruptions_injected += 1;
+        report.requests_sent += 1;
+        match roundtrip(&socket, &corrupt_spec.to_json_line()) {
+            None => report
+                .violations
+                .push("subprocess corruption probe: no response (wedged?)".to_string()),
+            Some(line) => {
+                check_response(usize::MAX, 0, &line, bond, &reference, report);
+                let mut quarantined = entry.as_os_str().to_os_string();
+                quarantined.push(".quarantined");
+                if !PathBuf::from(quarantined).exists() {
+                    report.violations.push(
+                        "subprocess corruption probe: corrupt entry not quarantined aside"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+    // Grab the daemon-side cache stats before draining.
+    if let Some(line) = roundtrip(&socket, "{\"op\":\"stats\"}") {
+        report.cache_hits += response_field(&line, "cache_hits").unwrap_or(0.0) as usize;
+        report.cache_misses += response_field(&line, "cache_misses").unwrap_or(0.0) as usize;
+    }
+    // Final drain via the op, then the sealed record-level replay check.
+    let mut acked = false;
+    for _ in 0..10 {
+        if let Some(line) = roundtrip(&socket, "{\"op\":\"drain\"}") {
+            if response_status(&line).as_deref() == Some("draining") {
+                acked = true;
+                break;
+            }
+        }
+    }
+    if !acked {
+        report
+            .violations
+            .push("subprocess: final drain never acknowledged".to_string());
+    }
+    match wait_child(&mut child, EXIT_WAIT) {
+        Some(30) => {}
+        code => report.violations.push(format!(
+            "subprocess: final drain exit code {code:?}, expected 30"
+        )),
+    }
+    report.restarts += 1;
+    // Every sealed Done record — including the resumed tail — must match
+    // the in-process reference bit-for-bit: the restart replay contract.
+    match Checkpoint::read(config.manifest_path()) {
+        Ok(mut ck) if ck.kind == KIND_SERVE_MANIFEST => {
+            ck.kind = KIND_BATCH_MANIFEST.to_string();
+            match decode_manifest(&ck) {
+                Ok((_, records)) => {
+                    for record in &records {
+                        let JobState::Done { energy_bits, .. } = record.state else {
+                            continue;
+                        };
+                        let Some(bond) = sent.get(&record.id) else {
+                            continue;
+                        };
+                        if reference.get(&bond.to_bits()) != Some(&Some(energy_bits)) {
+                            report.violations.push(format!(
+                                "subprocess: sealed record `{}` diverges from reference",
+                                record.id
+                            ));
+                        }
+                    }
+                }
+                Err(e) => report
+                    .violations
+                    .push(format!("subprocess: final manifest undecodable: {e}")),
+            }
+        }
+        Ok(ck) => report.violations.push(format!(
+            "subprocess: final manifest kind `{}`, expected `{KIND_SERVE_MANIFEST}`",
+            ck.kind
+        )),
+        Err(e) => report
+            .violations
+            .push(format!("subprocess: final manifest unreadable: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_campaign_passes_clean() {
+        let options = ServeChaosOptions {
+            seed: 11,
+            trials: 1,
+            requests: 6,
+            workers: 2,
+            fault_rate: 0.0,
+            scratch_dir: std::env::temp_dir()
+                .join(format!("pcd-serve-chaos-clean-{}", std::process::id())),
+            flight_dir: None,
+            pcd_exe: None,
+        };
+        let report = run_serve_chaos(&options);
+        assert!(report.pass(), "violations: {:?}", report.violations);
+        assert!(report.done_responses > 0, "storm produced no answers");
+        let _ = std::fs::remove_dir_all(&options.scratch_dir);
+    }
+
+    #[test]
+    fn in_process_campaign_survives_fault_injection() {
+        let options = ServeChaosOptions {
+            seed: 23,
+            trials: 1,
+            requests: 8,
+            workers: 2,
+            fault_rate: 0.15,
+            scratch_dir: std::env::temp_dir()
+                .join(format!("pcd-serve-chaos-faulty-{}", std::process::id())),
+            flight_dir: None,
+            pcd_exe: None,
+        };
+        let report = run_serve_chaos(&options);
+        assert!(report.pass(), "violations: {:?}", report.violations);
+        let _ = std::fs::remove_dir_all(&options.scratch_dir);
+    }
+}

@@ -1,0 +1,65 @@
+//! The always-on co-design daemon behind `pcd serve`.
+//!
+//! The supervisor crate made one *batch* survivable; this crate makes the
+//! *process* survivable. `pcd serve` listens on a Unix socket for JSONL
+//! job requests (the same spec lines `pcd batch` reads), runs each one
+//! through the supervised engine, and is hardened for continuous
+//! operation:
+//!
+//! - **Admission control** ([`daemon`]) — a bounded two-lane request
+//!   queue reusing the supervisor's [`ShedPolicy`](supervisor::ShedPolicy)
+//!   and [`Lane`](supervisor::Lane): interactive requests ride the fast
+//!   lane, resumed backlog the slow lane, and when arrivals exceed the
+//!   cap the daemon answers with a *typed* shed response — never a silent
+//!   drop. Per-request deadlines propagate into the engine's wall-clock
+//!   drain, and a client that disconnects while queued is cancelled
+//!   before its job spends any compute.
+//! - **Content-addressed result cache** ([`cache`]) — a request's
+//!   identity (molecule, basis, bond bits, compression ratio bits,
+//!   topology, serve seed, fault rate) hashes to a CRC-sealed cache
+//!   entry. Repeat traffic is O(1): a hit answers from the sealed entry
+//!   without touching SCF or VQE. A truncated or bit-flipped entry fails
+//!   its CRC *before* being trusted, is quarantined aside as
+//!   `*.quarantined` (mirroring shard-manifest handling), and the request
+//!   is recomputed — corruption degrades throughput, never correctness.
+//! - **Zero-downtime restart** ([`daemon`]) — SIGTERM (or a `drain` op)
+//!   gracefully drains: in-flight jobs finish, queued requests are
+//!   journaled as `pending`, and the daemon seals a `serve.manifest` in
+//!   the batch-manifest schema. A restarted daemon replays the manifest,
+//!   recomputes the pending tail through the same content-keyed path, and
+//!   produces records bit-identical to an uninterrupted run.
+//! - **Chaos campaign** ([`chaos`]) — `pcd chaos --serve` runs seeded
+//!   kill/corrupt/disconnect storms against real daemon subprocesses and
+//!   asserts the daemon never wedges, never serves a corrupt cached
+//!   result, and replays bit-identically to an in-process reference.
+//!
+//! Determinism carries over from the batch engine, but keyed by
+//! *content* instead of arrival order: a request's outcome is a pure
+//! function of `(serve seed, spec)`, so a cache hit, a recompute after
+//! quarantine, and a post-restart resume all produce the same bits.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod cache;
+pub mod chaos;
+pub mod daemon;
+pub mod protocol;
+pub mod sys;
+
+pub use cache::{cache_key, Cache, CacheProbe, CachedResult, CACHE_EXT, KIND_SERVE_CACHE};
+pub use chaos::{run_serve_chaos, ServeChaosOptions, ServeChaosReport};
+pub use daemon::{
+    compute_record, request_seed, run_serve, ServeConfig, ServeError, ServeSummary,
+    KIND_SERVE_MANIFEST,
+};
+pub use protocol::{parse_request, Request};
+
+/// SplitMix64 finalizer — the same constants as the supervisor's and the
+/// fault plan's mixers, so the whole fleet shares one notion of
+/// "decorrelate this key".
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}

@@ -496,8 +496,10 @@ pub(crate) fn run_scoped(
     let queue = JobQueue::bounded(0);
     for &index in &to_run {
         // The runtime queue is preloaded with the already-admitted set,
-        // so this cannot shed; admission owns that decision.
-        let _ = queue.try_push(index);
+        // so this cannot shed; admission owns that decision. Short jobs
+        // ride the fast lane so they are not stuck behind long VQE runs;
+        // outcomes are index-keyed, so lane order never changes records.
+        let _ = queue.try_push_lane(index, jobs[index].lane());
     }
     queue.close();
 

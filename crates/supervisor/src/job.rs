@@ -33,6 +33,13 @@ impl JobSpec {
             .unwrap_or_else(|| self.benchmark.equilibrium_bond_length())
     }
 
+    /// Which priority lane this job rides in: small molecules are quick
+    /// and go fast-lane so a burst of long VQE runs cannot head-of-line
+    /// block them.
+    pub fn lane(&self) -> crate::queue::Lane {
+        crate::queue::Lane::for_qubits(self.benchmark.expected_qubits())
+    }
+
     /// Serializes to one JSONL line (without trailing newline).
     pub fn to_json_line(&self) -> String {
         let mut fields = BTreeMap::new();

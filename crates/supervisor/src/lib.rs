@@ -72,7 +72,7 @@ pub use lease::{classify, try_claim, Lease, LeaseHealth, LeaseKeeper, STALE_AFTE
 pub use manifest::{decode_manifest, encode_manifest, BatchMeta, KIND_BATCH_MANIFEST};
 pub use merge::{merge_shards, MergeError, MergeOutcome, ShardLineage, KIND_MERGE_LINEAGE};
 pub use progress::{ProgressSnapshot, ProgressTracker};
-pub use queue::{admit, admit_plan, Admission, JobQueue, ShedPolicy};
+pub use queue::{admit, admit_plan, Admission, JobQueue, Lane, ShedPolicy, FAST_LANE_MAX_QUBITS};
 pub use shard::{
     decode_shard_manifest, encode_shard_manifest, job_shard, run_shard, shard_indices,
     shard_manifest_path, ShardMeta, ShardRunReport, ShardSpec, TakeoverOutcome,

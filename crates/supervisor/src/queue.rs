@@ -112,24 +112,74 @@ pub fn admit(n_jobs: usize, cap: usize, policy: ShedPolicy) -> Admission {
     admission
 }
 
+/// Fast-lane threshold: jobs whose molecule is expected to need at most
+/// this many qubits ride the fast lane (H2 and LiH under the paper's
+/// Table I sizes). Everything larger is a long VQE run and takes the slow
+/// lane so it cannot head-of-line-block the short jobs.
+pub const FAST_LANE_MAX_QUBITS: usize = 6;
+
+/// Which of the two priority lanes a job rides in.
+///
+/// Lane choice affects *scheduling latency only*: every job outcome is a
+/// pure function of its arrival index and spec, so records are
+/// bit-identical whichever lane ran first — the worker-count-invariance
+/// test pins this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Short jobs, drained before any slow-lane work.
+    Fast,
+    /// Long VQE runs (and the default for unclassified pushes).
+    Slow,
+}
+
+impl Lane {
+    /// Lane label used in events and counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Fast => "fast",
+            Lane::Slow => "slow",
+        }
+    }
+
+    /// Classifies a job by its expected qubit count.
+    pub fn for_qubits(expected_qubits: usize) -> Self {
+        if expected_qubits <= FAST_LANE_MAX_QUBITS {
+            Lane::Fast
+        } else {
+            Lane::Slow
+        }
+    }
+}
+
 struct QueueState {
-    items: VecDeque<usize>,
+    fast: VecDeque<usize>,
+    slow: VecDeque<usize>,
     closed: bool,
 }
 
-/// A bounded multi-producer multi-consumer queue of job indices.
-#[derive(Debug)]
+impl QueueState {
+    fn len(&self) -> usize {
+        self.fast.len() + self.slow.len()
+    }
+}
+
+/// A bounded multi-producer multi-consumer queue of job indices with two
+/// priority lanes: `pop` always drains the fast lane first, FIFO within
+/// each lane, and the capacity bounds the two lanes together.
 pub struct JobQueue {
     cap: usize,
     state: Mutex<QueueState>,
     ready: Condvar,
 }
 
-impl std::fmt::Debug for QueueState {
+impl std::fmt::Debug for JobQueue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("QueueState")
-            .field("len", &self.items.len())
-            .field("closed", &self.closed)
+        let state = self.lock();
+        f.debug_struct("JobQueue")
+            .field("cap", &self.cap)
+            .field("fast", &state.fast.len())
+            .field("slow", &state.slow.len())
+            .field("closed", &state.closed)
             .finish()
     }
 }
@@ -140,7 +190,8 @@ impl JobQueue {
         JobQueue {
             cap,
             state: Mutex::new(QueueState {
-                items: VecDeque::new(),
+                fast: VecDeque::new(),
+                slow: VecDeque::new(),
                 closed: false,
             }),
             ready: Condvar::new(),
@@ -153,24 +204,38 @@ impl JobQueue {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Enqueues a job if there is room. `Err(index)` hands the job back —
-    /// that is the backpressure signal.
+    /// Enqueues a job in the slow lane if there is room. `Err(index)`
+    /// hands the job back — that is the backpressure signal.
     pub fn try_push(&self, index: usize) -> Result<(), usize> {
+        self.try_push_lane(index, Lane::Slow)
+    }
+
+    /// Enqueues a job in `lane` if there is room. `Err(index)` hands the
+    /// job back — that is the backpressure signal.
+    pub fn try_push_lane(&self, index: usize, lane: Lane) -> Result<(), usize> {
         let mut state = self.lock();
-        if state.closed || (self.cap > 0 && state.items.len() >= self.cap) {
+        if state.closed || (self.cap > 0 && state.len() >= self.cap) {
             return Err(index);
         }
-        state.items.push_back(index);
+        match lane {
+            Lane::Fast => state.fast.push_back(index),
+            Lane::Slow => state.slow.push_back(index),
+        }
         drop(state);
         self.ready.notify_one();
         Ok(())
     }
 
     /// Blocks until a job is available or the queue is closed and empty.
+    /// The fast lane drains completely before any slow-lane job is handed
+    /// out.
     pub fn pop(&self) -> Option<usize> {
         let mut state = self.lock();
         loop {
-            if let Some(index) = state.items.pop_front() {
+            if let Some(index) = state.fast.pop_front() {
+                return Some(index);
+            }
+            if let Some(index) = state.slow.pop_front() {
                 return Some(index);
             }
             if state.closed {
@@ -187,9 +252,9 @@ impl JobQueue {
         self.ready.notify_all();
     }
 
-    /// Jobs currently waiting.
+    /// Jobs currently waiting across both lanes.
     pub fn len(&self) -> usize {
-        self.lock().items.len()
+        self.lock().len()
     }
 
     /// Whether no jobs are waiting.
@@ -291,6 +356,41 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn fast_lane_drains_before_slow() {
+        let q = JobQueue::bounded(0);
+        assert!(q.try_push_lane(0, Lane::Slow).is_ok());
+        assert!(q.try_push_lane(1, Lane::Fast).is_ok());
+        assert!(q.try_push_lane(2, Lane::Slow).is_ok());
+        assert!(q.try_push_lane(3, Lane::Fast).is_ok());
+        q.close();
+        // Fast lane FIFO first, then slow lane FIFO — deterministic
+        // regardless of the interleaved arrival order.
+        assert_eq!(
+            std::iter::from_fn(|| q.pop()).collect::<Vec<_>>(),
+            vec![1, 3, 0, 2]
+        );
+    }
+
+    #[test]
+    fn capacity_bounds_both_lanes_together() {
+        let q = JobQueue::bounded(2);
+        assert!(q.try_push_lane(0, Lane::Fast).is_ok());
+        assert!(q.try_push_lane(1, Lane::Slow).is_ok());
+        assert_eq!(q.try_push_lane(2, Lane::Fast), Err(2));
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn lane_classification_by_qubits() {
+        assert_eq!(Lane::for_qubits(4), Lane::Fast);
+        assert_eq!(Lane::for_qubits(FAST_LANE_MAX_QUBITS), Lane::Fast);
+        assert_eq!(Lane::for_qubits(FAST_LANE_MAX_QUBITS + 1), Lane::Slow);
+        assert_eq!(Lane::Fast.name(), "fast");
+        assert_eq!(Lane::Slow.name(), "slow");
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Property tests for the serve daemon's content-addressed cache keys.
+//!
+//! The daemon's whole restart/replay story leans on one invariant: a
+//! request's cache key is a pure function of its content and the serve
+//! configuration — not of the request id, arrival order, thread that
+//! computed it, or process that ran it. These tests pin that down:
+//! golden keys guard cross-run (cross-process) stability, and proptest
+//! sweeps guard purity and thread invariance.
+
+use proptest::prelude::*;
+
+use pauli_codesign::chem::Benchmark;
+use pauli_codesign::serve::{cache_key, request_seed};
+use pauli_codesign::supervisor::JobSpec;
+
+const BENCHMARKS: [Benchmark; 6] = [
+    Benchmark::H2,
+    Benchmark::LiH,
+    Benchmark::NaH,
+    Benchmark::HF,
+    Benchmark::BeH2,
+    Benchmark::H2O,
+];
+
+/// Builds a spec from raw integer draws (the vendored proptest only
+/// samples integer ranges; the mapping to floats is deterministic).
+fn spec_from(bench: usize, bond_raw: u32, ratio_raw: u32, id: &str) -> JobSpec {
+    JobSpec {
+        id: id.to_string(),
+        benchmark: BENCHMARKS[bench % BENCHMARKS.len()],
+        // bond_raw 0 means "no bond override" — exercises the None arm.
+        bond: (bond_raw > 0).then(|| 0.4 + f64::from(bond_raw) / 1250.0),
+        ratio: 0.1 + f64::from(ratio_raw % 900) / 1000.0,
+    }
+}
+
+/// Cross-run stability: these literals were captured from a separate
+/// process. If the key derivation ever picks up per-process state (a
+/// seeded `HashMap`, pointer hashing, build-time randomness), a fresh
+/// run disagrees with the old one and a restarted daemon would recompute
+/// its whole cache — this test turns that silent regression into a loud
+/// one.
+#[test]
+fn cache_key_matches_golden_values_from_a_previous_run() {
+    let h2 = JobSpec {
+        id: "golden".to_string(),
+        benchmark: Benchmark::H2,
+        bond: Some(0.74),
+        ratio: 0.5,
+    };
+    assert_eq!(cache_key(&h2, 42, 0.0), 0x3873_3056_b9f8_f37b);
+
+    let lih = JobSpec {
+        id: "golden-lih".to_string(),
+        benchmark: Benchmark::LiH,
+        bond: None,
+        ratio: 1.0,
+    };
+    assert_eq!(cache_key(&lih, 7, 0.25), 0x93e7_a3a2_4b37_3221);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The key is deterministic and ignores the request id: two requests
+    /// for the same chemistry must share a cache entry no matter who
+    /// asked.
+    #[test]
+    fn cache_key_is_pure_and_id_independent(
+        bench in 0usize..6,
+        bond_raw in 0u32..2000,
+        ratio_raw in 0u32..1000,
+        seed in 0u64..u64::MAX,
+        fault_bits in 0u32..1000,
+    ) {
+        let fault_rate = f64::from(fault_bits) / 1000.0;
+        let spec = spec_from(bench, bond_raw, ratio_raw, "prop");
+        let first = cache_key(&spec, seed, fault_rate);
+        prop_assert_eq!(cache_key(&spec, seed, fault_rate), first);
+
+        let renamed = spec_from(bench, bond_raw, ratio_raw, "prop-renamed");
+        prop_assert_eq!(cache_key(&renamed, seed, fault_rate), first);
+
+        // And the derived engine seed inherits the same purity.
+        prop_assert_eq!(
+            request_seed(seed, first),
+            request_seed(seed, cache_key(&renamed, seed, fault_rate))
+        );
+    }
+
+    /// Thread invariance: keys computed concurrently from many threads
+    /// agree with the single-threaded value. Guards against any sneaky
+    /// thread-local state in the derivation.
+    #[test]
+    fn cache_key_is_stable_across_thread_counts(
+        bench in 0usize..6,
+        bond_raw in 0u32..2000,
+        seed in 0u64..u64::MAX,
+        threads in 1usize..8,
+    ) {
+        let spec = spec_from(bench, bond_raw, 500, "threads");
+        let expected = cache_key(&spec, seed, 0.1);
+        let computed: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| cache_key(&spec, seed, 0.1)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("key thread joins"))
+                .collect()
+        });
+        for key in computed {
+            prop_assert_eq!(key, expected);
+        }
+    }
+
+    /// Different chemistry must (except for vanishing hash collisions
+    /// over this tiny domain) get different keys — bond bits are part of
+    /// the identity, so two bonds never alias a cache entry.
+    #[test]
+    fn distinct_bonds_get_distinct_keys(
+        bond_raw in 1u32..1000,
+        delta_raw in 1u32..1000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let near = spec_from(0, bond_raw, 500, "bond");
+        let far = spec_from(0, bond_raw + delta_raw, 500, "bond");
+        prop_assert!(
+            cache_key(&near, seed, 0.0) != cache_key(&far, seed, 0.0),
+            "two different bonds aliased one cache key"
+        );
+    }
+}

@@ -5,7 +5,7 @@
 //! and numerical faults inside the pipeline stages.
 
 use pauli_codesign::chem::Benchmark;
-use pauli_codesign::supervisor::{run_batch, InjectionPlan, JobSpec, SupervisorConfig};
+use pauli_codesign::supervisor::{run_batch, InjectionPlan, JobSpec, Lane, SupervisorConfig};
 use proptest::prelude::*;
 
 fn jobs(n: usize) -> Vec<JobSpec> {
@@ -69,6 +69,45 @@ fn faulty_batch_still_terminates_every_job() {
         report.records.iter().any(|r| r.retries > 0) || report.quarantined() > 0,
         "expected at least one retry or quarantine at fault rate 0.4"
     );
+}
+
+/// Priority lanes reorder *scheduling*, never *results*: a batch mixing
+/// fast-lane (H2) and slow-lane (NaH) jobs produces bit-identical records
+/// at every worker count, even though the fast lane drains first and the
+/// interleaving of lanes across workers differs run to run.
+#[test]
+fn mixed_lane_batch_is_worker_count_invariant() {
+    let jobs = vec![
+        JobSpec {
+            id: "nah-long".to_string(),
+            benchmark: Benchmark::NaH,
+            bond: None,
+            ratio: 0.2,
+        },
+        JobSpec {
+            id: "h2-short-a".to_string(),
+            benchmark: Benchmark::H2,
+            bond: Some(0.70),
+            ratio: 1.0,
+        },
+        JobSpec {
+            id: "h2-short-b".to_string(),
+            benchmark: Benchmark::H2,
+            bond: Some(0.74),
+            ratio: 1.0,
+        },
+    ];
+    assert_eq!(jobs[0].lane(), Lane::Slow, "NaH is a long VQE run");
+    assert_eq!(jobs[1].lane(), Lane::Fast, "H2 is a short job");
+    let base = run_batch(&jobs, &chaos_config(13, 0.0, 1)).expect("batch runs");
+    assert!(base.records.iter().all(|r| r.state.is_terminal()));
+    for workers in [2usize, 3] {
+        let other = run_batch(&jobs, &chaos_config(13, 0.0, workers)).expect("batch runs");
+        assert_eq!(
+            base.records, other.records,
+            "lane scheduling must be invisible at {workers} workers"
+        );
+    }
 }
 
 #[test]
