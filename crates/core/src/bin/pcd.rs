@@ -46,9 +46,10 @@ use pauli_codesign::serve::{
     run_serve, run_serve_chaos, ServeChaosOptions, ServeConfig, ServeError,
 };
 use pauli_codesign::supervisor::{
-    merge_shards, parse_jobs, run_batch_resumed, run_kill_shard_chaos, run_shard,
-    run_supervised_chaos, BatchReport, InjectionPlan, JobState, KillShardOptions, MergeError,
-    ShardSpec, ShedPolicy, SupervisedChaosOptions, SupervisorConfig, SupervisorError,
+    merge_shards, parse_jobs, run_batch_resumed, run_kill_shard_chaos, run_net_chaos, run_shard,
+    run_supervised_chaos, run_worker, BatchReport, Coordinator, CoordinatorOptions, InjectionPlan,
+    JobState, KillShardOptions, MergeError, NetChaosOptions, RemoteError, ShardSpec, ShedPolicy,
+    SupervisedChaosOptions, SupervisorConfig, SupervisorError, WorkerOptions,
 };
 use pauli_codesign::vqe::driver::{
     run_vqe, run_vqe_resumable, ExpectationStrategy, VqeOptions, VqeResult, VqeRun,
@@ -108,6 +109,11 @@ enum CliError {
         /// Violations the campaign recorded.
         violations: usize,
     },
+    /// A net coordinator or worker failed: transport exhaustion is
+    /// resumable (exit 36, any partial progress sealed locally), a
+    /// protocol mismatch is operator error (exit 37), and a supervisor
+    /// failure inside granted jobs keeps the batch taxonomy.
+    Remote(RemoteError),
 }
 
 /// Exit code for a chaos run with unrecovered trials.
@@ -135,6 +141,16 @@ const EXIT_REPORT_STRICT: u8 = 34;
 /// failing, which is a typed response, or a drain, which is exit 30).
 const EXIT_SERVE_TRANSPORT: u8 = 35;
 
+/// Exit code for a net worker/coordinator whose transport died for good
+/// (retry budget exhausted). Resumable: a worker seals what it computed
+/// as `shard-<id>.manifest.partial` first, and rerunning the same
+/// command reconnects and resumes.
+const EXIT_NET_TRANSPORT: u8 = 36;
+
+/// Exit code for a net protocol mismatch (version skew or a nonsensical
+/// reply) — operator error, retrying cannot help.
+const EXIT_NET_PROTOCOL: u8 = 37;
+
 impl CliError {
     fn exit_code(&self) -> u8 {
         match self {
@@ -153,6 +169,10 @@ impl CliError {
             CliError::Serve(ServeError::Io { .. }) => EXIT_SERVE_TRANSPORT,
             CliError::Serve(_) => 31,
             CliError::ServeChaosFailed { .. } => EXIT_CHAOS_UNSURVIVED,
+            CliError::Remote(RemoteError::TransportLost(_)) => EXIT_NET_TRANSPORT,
+            CliError::Remote(RemoteError::Protocol(_)) => EXIT_NET_PROTOCOL,
+            CliError::Remote(RemoteError::Supervisor(SupervisorError::Spec(_))) => 1,
+            CliError::Remote(RemoteError::Supervisor(_)) => 31,
         }
     }
 }
@@ -198,7 +218,14 @@ impl std::fmt::Display for CliError {
             CliError::ServeChaosFailed { violations } => {
                 write!(f, "chaos --serve: {violations} violation(s) observed")
             }
+            CliError::Remote(e) => write!(f, "{e}"),
         }
+    }
+}
+
+impl From<RemoteError> for CliError {
+    fn from(e: RemoteError) -> Self {
+        CliError::Remote(e)
     }
 }
 
@@ -296,6 +323,23 @@ commands:
                                       assert the sealed batch.manifest is
                                       bit-identical to a 1-shard reference
                                       with no job lost or duplicated
+  chaos --net [--trials N] [--jobs N] [--workers N] [--threads N]
+        [--seed N] [--fault-rate R] [--net-fault-rate R] [--scratch-dir DIR]
+                                      net chaos: bind an in-process
+                                      coordinator, stand a frame-granular
+                                      fault proxy in front of it
+                                      (net.accept refusals, net.partition
+                                      mid-message severs, net.frame_write
+                                      drop/bit-flip/duplicate/delay/
+                                      reorder), launch real pcd batch
+                                      --connect worker subprocesses
+                                      through the proxy, SIGKILL a seeded
+                                      victim while it holds a grant, and
+                                      assert the sealed batch.manifest is
+                                      bit-identical to a single-machine
+                                      reference — CRC framing rejects
+                                      damage, dedup collapses resends,
+                                      lease epochs absorb the kill
   chaos --serve [--trials N] [--requests N] [--workers N] [--seed N]
         [--fault-rate R] [--scratch-dir DIR] [--flight-dir DIR]
                                       serve chaos: seeded kill/corrupt/
@@ -344,6 +388,40 @@ commands:
                                       rerunning the same shard resumes or
                                       takes over automatically (exit 31 if
                                       a live process holds the lease)
+  batch <JOBS.jsonl> --listen ADDR --shards N --checkpoint DIR
+        [--lease-ms MS] [--heartbeat-ms MS] [--net-deadline SECS]
+        [--no-rescue]
+                                      coordinate a multi-machine batch
+                                      over TCP: workers connect with
+                                      `batch --connect`, claim shards
+                                      under monotonic lease epochs, and
+                                      stream records back (CRC-framed,
+                                      at-least-once, content-deduped); a
+                                      worker silent past --lease-ms is
+                                      re-granted at the next epoch; when
+                                      the whole fleet dies the
+                                      coordinator finishes unfinished
+                                      shards in-process (unless
+                                      --no-rescue); seals the same
+                                      batch.manifest a single-machine
+                                      run would, bit for bit
+  batch --connect ADDR [--worker-id NAME] [--workers N] [--local-dir DIR]
+        [--max-reconnects K] [--backoff-ms B]
+                                      join a coordinated batch as a
+                                      worker (no jobs file — the batch
+                                      identity arrives over the wire):
+                                      claim shards, compute, stream
+                                      records, heartbeat on a side
+                                      connection; reconnects follow the
+                                      worker-id-seeded backoff ladder
+                                      (replayable bit-for-bit); when the
+                                      transport dies for good, any
+                                      undelivered records seal into
+                                      --local-dir as
+                                      shard-<id>.manifest.partial and the
+                                      worker exits 36 (resumable — rerun
+                                      the same command); version skew
+                                      exits 37
   batch merge <JOBS.jsonl> --checkpoint DIR
                                       union the shard manifests in DIR into
                                       a sealed batch.manifest (bit-identical
@@ -357,7 +435,7 @@ commands:
         [--queue-cap Q] [--shed reject-new|drop-oldest] [--max-retries K]
         [--slice-ticks T] [--max-slices M] [--breaker N] [--fault-rate R]
         [--deadline-ms MS] [--max-requests N] [--idle-exit-ms MS]
-        [--flight-dir DIR]
+        [--flight-dir DIR] [--cache-max-bytes B]
                                       always-on co-design daemon: accept
                                       JSONL job requests (batch spec lines)
                                       over a Unix socket (default
@@ -373,7 +451,10 @@ commands:
                                       --state-dir resumes the pending tail
                                       bit-identically; corrupt cache
                                       entries and manifests are quarantined
-                                      aside, never trusted
+                                      aside, never trusted;
+                                      --cache-max-bytes caps the result
+                                      cache, evicting by deterministic
+                                      second chance (0 = unbounded)
   report <FILE|DIR> ... [--baseline FILE] [--drift-tolerance PCT]
          [--out FILE] [--strict]      aggregate observability artifacts
                                       (--trace JSONL, flight-*.jsonl dumps,
@@ -510,6 +591,8 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "supervised",
     "kill-shard",
     "serve",
+    "net",
+    "no-rescue",
     "progress",
     "obs-overhead",
     "strict",
@@ -1251,6 +1334,9 @@ fn cmd_chaos(flags: &Flags) -> Result<(), CliError> {
     if flags.is_set("kill-shard") {
         return cmd_kill_shard_chaos(flags);
     }
+    if flags.is_set("net") {
+        return cmd_net_chaos(flags);
+    }
     if flags.is_set("serve") {
         return cmd_serve_chaos(flags);
     }
@@ -1524,6 +1610,106 @@ fn cmd_kill_shard_chaos(flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_net_chaos(flags: &Flags) -> Result<(), CliError> {
+    let seed = flags.get_u64("seed", 42)?;
+    let trials = flags.get_usize("trials", 2)?;
+    if trials == 0 {
+        return Err(CliError::Usage("--trials must be positive".to_string()));
+    }
+    let jobs = flags.get_usize("jobs", 6)?;
+    if jobs == 0 {
+        return Err(CliError::Usage("--jobs must be positive".to_string()));
+    }
+    let workers = flags.get_usize("workers", 3)?;
+    if workers < 2 {
+        return Err(CliError::Usage(
+            "--net needs --workers of at least 2 (someone must survive the kill)".to_string(),
+        ));
+    }
+    let threads = flags.get_usize("threads", 2)?.max(1);
+    let fault_rate = flags.get_f64("fault-rate", 0.25)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(CliError::Usage(
+            "--fault-rate must be in [0, 1]".to_string(),
+        ));
+    }
+    let net_fault_rate = flags.get_f64("net-fault-rate", 0.05)?;
+    if !(0.0..=1.0).contains(&net_fault_rate) {
+        return Err(CliError::Usage(
+            "--net-fault-rate must be in [0, 1]".to_string(),
+        ));
+    }
+    let scratch_dir = flags.get("scratch-dir").map(std::path::PathBuf::from);
+    let pcd_exe = std::env::current_exe()
+        .map_err(|e| CliError::Usage(format!("locating the pcd binary: {e}")))?;
+
+    obs::enable();
+    let report = run_net_chaos(&NetChaosOptions {
+        seed,
+        trials,
+        jobs,
+        workers,
+        threads,
+        fault_rate,
+        net_fault_rate,
+        pcd_exe,
+        scratch_dir,
+        ..NetChaosOptions::default()
+    });
+
+    println!(
+        "chaos --net: {trials} trials × {jobs} jobs over {workers} TCP workers, \
+         pipeline faults {:.0}%, net faults {:.0}%, seed {seed}",
+        fault_rate * 100.0,
+        net_fault_rate * 100.0
+    );
+    for outcome in &report.outcomes {
+        println!(
+            "  trial {} : victim {} ({}), {} takeover(s), {} rescued shard(s), {} dedup(s)",
+            outcome.trial,
+            outcome.victim.as_deref().unwrap_or("none"),
+            if outcome.killed_mid_run {
+                "killed mid-run"
+            } else {
+                "finished before the kill"
+            },
+            outcome.takeovers,
+            outcome.rescued,
+            outcome.deduped
+        );
+        for violation in &outcome.violations {
+            eprintln!("  trial {}: VIOLATION: {violation}", outcome.trial);
+        }
+    }
+    let snapshot = obs::snapshot();
+    for counter in [
+        "net.coord.takeovers",
+        "net.coord.results_deduped",
+        "net.proxy.dropped",
+        "net.proxy.corrupted",
+        "net.proxy.duplicated",
+        "net.proxy.severed",
+        "net.proxy.refused",
+    ] {
+        println!(
+            "  obs {:<28}: {}",
+            counter,
+            snapshot.counters.get(counter).copied().unwrap_or(0)
+        );
+    }
+    if !report.survived() {
+        return Err(CliError::ChaosUnsurvived {
+            failed: report.failures(),
+            trials,
+        });
+    }
+    println!(
+        "  survived: every coordinator batch.manifest bit-identical to the \
+         single-machine reference through drops, corruption, partitions, and the kill"
+    );
+    Ok(())
+}
+
 fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     let state_dir = std::path::PathBuf::from(flags.get("state-dir").unwrap_or("serve-state"));
     let socket = flags.get("socket").map(std::path::PathBuf::from);
@@ -1558,6 +1744,10 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("creating flight dir {}: {e}", dir.display()))?;
     }
+    let cache_max_bytes = match flags.get_u64("cache-max-bytes", 0)? {
+        0 => None,
+        bytes => Some(bytes),
+    };
 
     let config = ServeConfig {
         state_dir,
@@ -1575,6 +1765,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         max_requests,
         idle_exit,
         flight_dir,
+        cache_max_bytes,
     };
     eprintln!(
         "pcd serve: listening on {} ({} worker(s), seed {seed}, state in {})",
@@ -1860,6 +2051,11 @@ fn cmd_batch(flags: &Flags) -> Result<(), CliError> {
     if flags.positional.first().map(String::as_str) == Some("merge") {
         return cmd_batch_merge(flags);
     }
+    // Worker mode has no jobs file: the batch identity (jobs, seed,
+    // fault rate) arrives over the wire in the coordinator's welcome.
+    if flags.is_set("connect") {
+        return cmd_batch_worker(flags);
+    }
     let jobs_path = flags
         .positional
         .first()
@@ -1932,6 +2128,12 @@ fn cmd_batch(flags: &Flags) -> Result<(), CliError> {
     config.progress_interval = Some(Duration::from_millis(interval_ms));
     config.progress_stderr = flags.is_set("progress");
 
+    // Coordinator mode: serve the batch to TCP workers. Checked before
+    // the sharded gate because a coordinator also takes --shards.
+    if flags.is_set("listen") {
+        return cmd_batch_coordinator(flags, &jobs, &config);
+    }
+
     // Sharded execution: this process runs only `index % shards ==
     // shard-id` and seals shard-<id>.manifest. A re-run of the same shard
     // resumes (or takes over) automatically — no --resume needed.
@@ -1997,6 +2199,131 @@ fn cmd_batch(flags: &Flags) -> Result<(), CliError> {
         });
     }
     Ok(())
+}
+
+/// `pcd batch JOBS.jsonl --listen ADDR --shards N --checkpoint DIR`:
+/// coordinate a multi-machine batch over TCP and seal the same
+/// `batch.manifest` a single-machine run would.
+fn cmd_batch_coordinator(
+    flags: &Flags,
+    jobs: &[pauli_codesign::supervisor::JobSpec],
+    config: &SupervisorConfig,
+) -> Result<(), CliError> {
+    let listen = parse_addr(flags, "listen")?;
+    let opts = CoordinatorOptions {
+        listen,
+        shards: flags.get_usize("shards", 2)?,
+        lease_ms: flags.get_u64("lease-ms", 500)?,
+        heartbeat_ms: flags.get_u64("heartbeat-ms", 100)?,
+        deadline: Duration::from_secs(flags.get_u64("net-deadline", 120)?.max(1)),
+        rescue: !flags.is_set("no-rescue"),
+    };
+    let coordinator = Coordinator::bind(jobs, config, opts).map_err(CliError::Remote)?;
+    eprintln!(
+        "pcd batch: coordinating {} job(s) as {} shard(s) on {}",
+        jobs.len(),
+        flags.get_usize("shards", 2)?,
+        coordinator.addr()
+    );
+    let report = coordinator.run().map_err(CliError::Remote)?;
+
+    for takeover in &report.takeovers {
+        println!(
+            "  took over shard {} from {} at epoch {}",
+            takeover.shard_id, takeover.from, takeover.epoch
+        );
+    }
+    for shard in &report.rescued {
+        println!("  rescued shard {shard} in-process after losing its workers");
+    }
+    if report.deduped > 0 {
+        println!(
+            "  deduplicated {} bit-identical resent record(s)",
+            report.deduped
+        );
+    }
+    let (done, quarantined, shed, pending) =
+        report
+            .records
+            .iter()
+            .fold((0, 0, 0, 0), |(d, q, s, p), r| match r.state.label() {
+                "done" => (d + 1, q, s, p),
+                "quarantined" => (d, q + 1, s, p),
+                "shed" => (d, q, s + 1, p),
+                _ => (d, q, s, p + 1),
+            });
+    println!("batch: {done} done, {quarantined} quarantined, {shed} shed, {pending} pending");
+    if pending > 0 {
+        return Err(CliError::BatchDrained { pending });
+    }
+    if quarantined + shed > 0 {
+        return Err(CliError::BatchDegraded { quarantined, shed });
+    }
+    Ok(())
+}
+
+/// `pcd batch --connect ADDR`: join a coordinated batch as a worker.
+fn cmd_batch_worker(flags: &Flags) -> Result<(), CliError> {
+    if !flags.positional.is_empty() {
+        return Err(CliError::Usage(
+            "--connect takes no jobs file: the batch identity arrives over the wire".to_string(),
+        ));
+    }
+    let connect = parse_addr(flags, "connect")?;
+    let worker_id = flags
+        .get("worker-id")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    let mut opts = WorkerOptions {
+        connect,
+        worker_id,
+        threads: flags.get_usize("workers", 2)?.max(1),
+        max_reconnects: flags.get_usize("max-reconnects", 8)?,
+        local_dir: flags.get("local-dir").map(std::path::PathBuf::from),
+        ..WorkerOptions::default()
+    };
+    if flags.is_set("backoff-ms") {
+        opts.backoff.base_ms = flags.get_u64("backoff-ms", 10)?;
+    }
+    eprintln!(
+        "pcd batch: worker {} connecting to {}",
+        opts.worker_id, opts.connect
+    );
+    let report = run_worker(&opts).map_err(|e| {
+        if let (RemoteError::TransportLost(_), Some(dir)) = (&e, &opts.local_dir) {
+            eprintln!(
+                "transport lost: partial progress (if any) sealed under {} — \
+                 rerun the same command to resume",
+                dir.display()
+            );
+        }
+        CliError::Remote(e)
+    })?;
+    println!(
+        "worker {}: {} shard(s) run {:?}, {} record(s) delivered, {} reconnect(s)",
+        report.worker_id,
+        report.shards_run.len(),
+        report.shards_run,
+        report.records_sent,
+        report.reconnects
+    );
+    if !report.reconnect_delays_ms.is_empty() {
+        println!(
+            "  reconnect backoff ladder (ms): {:?}",
+            report.reconnect_delays_ms
+        );
+    }
+    Ok(())
+}
+
+/// Parses `--<key> HOST:PORT` as a socket address.
+fn parse_addr(flags: &Flags, key: &str) -> Result<std::net::SocketAddr, CliError> {
+    let value = flags
+        .get(key)
+        .ok_or_else(|| CliError::Usage(format!("--{key} needs HOST:PORT")))?;
+    value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("--{key} expects HOST:PORT, got `{value}`")))
 }
 
 /// One benchmark measurement destined for the JSON report.
@@ -2541,11 +2868,20 @@ fn report_dir_entries(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
         .filter_map(Result::ok)
         .map(|e| e.path())
         .filter(|p| {
-            p.is_file()
-                && matches!(
-                    p.extension().and_then(|e| e.to_str()),
-                    Some("jsonl" | "json" | "manifest" | "lineage")
-                )
+            if !p.is_file() {
+                return false;
+            }
+            if matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("jsonl" | "json" | "manifest" | "lineage")
+            ) {
+                return true;
+            }
+            // Transport forensics: partial shard manifests sealed by
+            // degraded workers, and artifacts the merge or serve cache
+            // set aside as corrupt.
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            name.ends_with(".manifest.partial") || name.ends_with(".quarantined")
         })
         .collect();
     paths.sort();
@@ -2553,7 +2889,7 @@ fn report_dir_entries(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
 }
 
 fn cmd_report(flags: &Flags) -> Result<(), CliError> {
-    use pauli_codesign::report::{classify, parse_bench_medians, ReportBuilder};
+    use pauli_codesign::report::{classify_named, parse_bench_medians, ReportBuilder};
 
     if flags.positional.is_empty() {
         return Err(CliError::Usage(
@@ -2582,8 +2918,11 @@ fn cmd_report(flags: &Flags) -> Result<(), CliError> {
     let mut builder = ReportBuilder::new();
     for path in &paths {
         let display = path.display().to_string();
-        match std::fs::read_to_string(path) {
-            Ok(text) => match classify(&text) {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        // Bytes, not a string: quarantined artifacts are often exactly
+        // the files that stopped being valid UTF-8.
+        match std::fs::read(path) {
+            Ok(bytes) => match classify_named(name, &bytes) {
                 Ok(artifact) => builder.add(&display, artifact),
                 Err(e) => builder.add_warning(&display, e),
             },
@@ -2764,11 +3103,45 @@ mod tests {
             .filter(|line| line.starts_with("| "))
             .filter_map(|line| line.split('|').nth(1)?.trim().parse().ok())
             .collect();
-        for code in [0, 1, 10, 11, 12, 13, 14, 20, 21, 30, 31, 32, 33, 34, 35] {
+        for code in [
+            0, 1, 10, 11, 12, 13, 14, 20, 21, 30, 31, 32, 33, 34, 35, 36, 37,
+        ] {
             assert!(
                 documented.contains(&code),
                 "README exit-code table is stale: exit {code} is undocumented"
             );
         }
+    }
+
+    #[test]
+    fn report_dir_scan_includes_transport_artifacts() {
+        let dir = std::env::temp_dir().join(format!("pcd-report-scan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        for name in [
+            "trace.jsonl",
+            "batch.manifest",
+            "shard-0.manifest.partial",
+            "shard-1.manifest.quarantined",
+            "0011223344556677.cache.quarantined",
+            "notes.txt",
+            "core.partial", // `.partial` alone is not a transport artifact
+        ] {
+            std::fs::write(dir.join(name), b"x").expect("write fixture");
+        }
+        let names: Vec<String> = report_dir_entries(&dir)
+            .into_iter()
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(
+            names,
+            [
+                "0011223344556677.cache.quarantined",
+                "batch.manifest",
+                "shard-0.manifest.partial",
+                "shard-1.manifest.quarantined",
+                "trace.jsonl",
+            ]
+        );
     }
 }

@@ -4,8 +4,9 @@
 //! traces from `--trace`, `flight-<job>.jsonl` ring dumps from the
 //! flight recorder, the `batch.manifest` checkpoint of a drained or
 //! finished batch, and `BENCH_pipeline.json` reports. This module
-//! classifies each input file *by content* (never by filename), folds
-//! them into one [`Report`], and renders it as text or JSON:
+//! classifies each input file *by content* (filename only breaks ties
+//! where the name itself is the evidence — see [`classify_named`]),
+//! folds them into one [`Report`], and renders it as text or JSON:
 //!
 //! - **per-stage latency quantiles** — every span duration across every
 //!   trace feeds a [`StreamingHistogram`] keyed by span name, so the
@@ -74,6 +75,25 @@ pub enum Artifact {
     },
     /// A merge lineage checkpoint (`merge.lineage`).
     Lineage(LineageSummary),
+    /// A partial shard manifest (`shard-<id>.manifest.partial`) a worker
+    /// sealed after losing its coordinator transport for good — the same
+    /// CRC-sealed codec as [`Artifact::Shard`], under a name the merge
+    /// scan deliberately ignores. Forensic evidence, never workload: the
+    /// coordinator re-granted the shard after the worker vanished, so
+    /// these records are also in whichever manifest the rescuer sealed.
+    PartialShard {
+        /// Shard header: batch identity plus lineage.
+        meta: ShardMeta,
+        /// Records delivered before the transport died.
+        records: Vec<JobRecord>,
+    },
+    /// A `*.quarantined` file — a shard manifest or serve cache entry
+    /// set aside because its CRC or schema failed validation. The content
+    /// is possibly arbitrary corrupt bytes, so only the size is kept.
+    Quarantined {
+        /// File size in bytes.
+        bytes: u64,
+    },
     /// A bench report: benchmark name → median ns, plus any cluster
     /// partition stats the bench recorded under `_clusters`.
     Bench {
@@ -121,6 +141,8 @@ impl Artifact {
             Artifact::Shard { .. } => "shard",
             Artifact::Serve { .. } => "serve",
             Artifact::Lineage(_) => "lineage",
+            Artifact::PartialShard { .. } => "partial",
+            Artifact::Quarantined { .. } => "quarantined",
             Artifact::Bench { .. } => "bench",
         }
     }
@@ -242,6 +264,40 @@ pub fn classify(text: &str) -> Result<Artifact, String> {
     })
 }
 
+/// Classifies a file by name first, then content.
+///
+/// Two transport artifacts are recognizable only by suffix: a
+/// `*.quarantined` file was set aside precisely *because* its content
+/// failed validation (it may not even be UTF-8), and a
+/// `*.manifest.partial` is a byte-ordinary shard manifest whose name is
+/// the whole point — it marks progress a degraded worker sealed after
+/// losing transport, which must never be mistaken for a complete shard.
+/// Every other name defers to [`classify`] on content alone.
+///
+/// # Errors
+///
+/// As [`classify`]; additionally when a `*.manifest.partial` does not
+/// decode as a shard-manifest checkpoint, or when a non-quarantined
+/// input is not UTF-8.
+pub fn classify_named(name: &str, bytes: &[u8]) -> Result<Artifact, String> {
+    if name.ends_with(".quarantined") {
+        return Ok(Artifact::Quarantined {
+            bytes: bytes.len() as u64,
+        });
+    }
+    let text = std::str::from_utf8(bytes).map_err(|_| "not UTF-8".to_string())?;
+    if name.ends_with(".manifest.partial") {
+        return match classify(text)? {
+            Artifact::Shard { meta, records } => Ok(Artifact::PartialShard { meta, records }),
+            other => Err(format!(
+                "partial shard manifest: decoded as {}, expected a shard-manifest checkpoint",
+                other.kind()
+            )),
+        };
+    }
+    classify(text)
+}
+
 /// One hop of the slowest-span critical path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CriticalSpan {
@@ -319,6 +375,13 @@ pub struct Report {
     pub merge_missing: usize,
     /// Shard manifests the merge quarantined (from lineage).
     pub merge_quarantined: usize,
+    /// Partial shard manifests from degraded workers, by shard id:
+    /// `(shard_id, owner, epoch, records delivered, records assigned)`.
+    /// Kept out of the job totals — the re-granted shard's sealed
+    /// manifest covers the same jobs.
+    pub partial_shards: Vec<(usize, String, u64, u64, u64)>,
+    /// `*.quarantined` files seen: `(count, total bytes)`.
+    pub quarantined_files: (u64, u64),
     /// Benchmarks drifting beyond the tolerance, worst first.
     pub drift: Vec<DriftLine>,
     /// Benchmarks compared against the baseline.
@@ -347,6 +410,8 @@ pub struct ReportBuilder {
     takeovers: Vec<(usize, String, String)>,
     merge_missing: usize,
     merge_quarantined: usize,
+    partial_shards: Vec<(usize, String, u64, u64, u64)>,
+    quarantined_files: (u64, u64),
     bench: BTreeMap<String, u64>,
     clusters: BTreeMap<String, u64>,
     skipped_unknown: usize,
@@ -472,6 +537,30 @@ impl ReportBuilder {
                 self.merge_missing += summary.missing;
                 self.merge_quarantined += summary.quarantined;
             }
+            Artifact::PartialShard { meta, records } => {
+                // Deliberately NOT folded into the job totals: the
+                // coordinator re-granted this shard after the worker
+                // vanished, so every record here is also in a sealed
+                // manifest — counting both would double-report the fleet.
+                let jobs = meta.batch.jobs;
+                let shards = meta.shards.max(1);
+                let assigned = (jobs / shards + usize::from(meta.shard_id < jobs % shards)) as u64;
+                if let Some(from) = &meta.taken_over_from {
+                    self.takeovers
+                        .push((meta.shard_id, from.clone(), meta.owner.clone()));
+                }
+                self.partial_shards.push((
+                    meta.shard_id,
+                    meta.owner,
+                    meta.epoch,
+                    records.len() as u64,
+                    assigned,
+                ));
+            }
+            Artifact::Quarantined { bytes } => {
+                self.quarantined_files.0 += 1;
+                self.quarantined_files.1 += bytes;
+            }
             Artifact::Bench { medians, clusters } => {
                 // Later reports win on name collisions (newest artifact
                 // is usually listed last).
@@ -536,6 +625,8 @@ impl ReportBuilder {
 
         let mut shards = self.shards;
         shards.sort_by_key(|a| a.0);
+        let mut partial_shards = self.partial_shards;
+        partial_shards.sort();
         // Takeovers can surface in both a shard manifest and the merge
         // lineage — report each once.
         let mut takeovers = self.takeovers;
@@ -557,6 +648,8 @@ impl ReportBuilder {
             takeovers,
             merge_missing: self.merge_missing,
             merge_quarantined: self.merge_quarantined,
+            partial_shards,
+            quarantined_files: self.quarantined_files,
             drift,
             bench_compared: compared,
             clusters: self.clusters,
@@ -679,6 +772,23 @@ impl Report {
                 "merge: {} job(s) uncovered, {} shard manifest(s) quarantined",
                 self.merge_missing, self.merge_quarantined
             );
+        }
+        if !self.partial_shards.is_empty() || self.quarantined_files.0 > 0 {
+            let _ = writeln!(out, "transport artifacts:");
+            for (id, owner, epoch, delivered, assigned) in &self.partial_shards {
+                let _ = writeln!(
+                    out,
+                    "  partial shard {id:<3} epoch {epoch:<3} {delivered}/{assigned} record(s) \
+                     sealed before transport loss  (owner {owner})"
+                );
+            }
+            if self.quarantined_files.0 > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {} quarantined file(s) ({} bytes) held for forensics",
+                    self.quarantined_files.0, self.quarantined_files.1
+                );
+            }
         }
         if !self.quarantined_by_stage.is_empty() {
             let _ = writeln!(out, "quarantined by stage:");
@@ -869,6 +979,38 @@ impl Report {
                         .collect(),
                 ),
             );
+        }
+        if !self.partial_shards.is_empty() || self.quarantined_files.0 > 0 {
+            let mut transport = BTreeMap::new();
+            transport.insert(
+                "partial_shards".to_string(),
+                JsonValue::Array(
+                    self.partial_shards
+                        .iter()
+                        .map(|(id, owner, epoch, delivered, assigned)| {
+                            let mut o = BTreeMap::new();
+                            o.insert("shard_id".to_string(), JsonValue::Number(*id as f64));
+                            o.insert("owner".to_string(), JsonValue::String(owner.clone()));
+                            o.insert("epoch".to_string(), JsonValue::Number(*epoch as f64));
+                            o.insert(
+                                "delivered".to_string(),
+                                JsonValue::Number(*delivered as f64),
+                            );
+                            o.insert("assigned".to_string(), JsonValue::Number(*assigned as f64));
+                            JsonValue::Object(o)
+                        })
+                        .collect(),
+                ),
+            );
+            transport.insert(
+                "quarantined_files".to_string(),
+                JsonValue::Number(self.quarantined_files.0 as f64),
+            );
+            transport.insert(
+                "quarantined_bytes".to_string(),
+                JsonValue::Number(self.quarantined_files.1 as f64),
+            );
+            root.insert("transport".to_string(), JsonValue::Object(transport));
         }
         root.insert(
             "stages".to_string(),
@@ -1065,5 +1207,94 @@ mod tests {
     #[test]
     fn garbage_input_is_an_error_not_a_panic() {
         assert!(classify("not json at all {{{").is_err());
+    }
+
+    fn partial_fixture() -> Vec<u8> {
+        let meta = ShardMeta {
+            batch: BatchMeta {
+                batch_seed: 7,
+                jobs: 5,
+                pipeline_fault_rate: 0.0,
+            },
+            shards: 2,
+            shard_id: 0,
+            owner: "w0".to_string(),
+            epoch: 2,
+            taken_over_from: None,
+        };
+        let records = vec![JobRecord {
+            index: 0,
+            id: "h2-0".to_string(),
+            state: JobState::Done {
+                energy_bits: (-1.1f64).to_bits(),
+                iterations: 3,
+                evaluations: 9,
+                scf_retries: 0,
+                sabre_fallback: false,
+            },
+            retries: 0,
+            backoff_ms: 0,
+        }];
+        supervisor::encode_shard_manifest(&meta, &records).to_bytes()
+    }
+
+    #[test]
+    fn partial_shard_manifest_classifies_by_name_not_as_a_live_shard() {
+        let bytes = partial_fixture();
+        // Content alone says "shard"; the name says "partial" — and a
+        // partial must never be counted as fleet workload.
+        assert_eq!(
+            classify_named("shard-0.manifest", &bytes)
+                .expect("shard")
+                .kind(),
+            "shard"
+        );
+        let artifact =
+            classify_named("shard-0.manifest.partial", &bytes).expect("classifies partial");
+        assert_eq!(artifact.kind(), "partial");
+        let mut b = ReportBuilder::new();
+        b.add("w0/shard-0.manifest.partial", artifact);
+        let report = b.finish(&BTreeMap::new(), 0.10);
+        assert_eq!(
+            report.jobs,
+            (0, 0, 0, 0),
+            "partials must not inflate job totals"
+        );
+        assert!(report.shards.is_empty());
+        // jobs=5 over 2 shards: shard 0 owns indices 0, 2, 4 — 1 of 3
+        // records made it out before the transport died.
+        assert_eq!(report.partial_shards, vec![(0, "w0".to_string(), 2, 1, 3)]);
+        let rendered = report.render();
+        assert!(rendered.contains("transport artifacts:"));
+        assert!(rendered.contains("1/3 record(s) sealed before transport loss"));
+        assert!(report.to_json().get("transport").is_some());
+    }
+
+    #[test]
+    fn quarantined_files_classify_by_name_even_when_not_utf8() {
+        let artifact = classify_named("shard-1.manifest.quarantined", &[0xFF, 0xFE, 0x00, 0x01])
+            .expect("quarantined classifies");
+        assert_eq!(artifact.kind(), "quarantined");
+        let mut b = ReportBuilder::new();
+        b.add("ckpt/shard-1.manifest.quarantined", artifact);
+        let cache = classify_named("0011223344556677.cache.quarantined", b"torn frame")
+            .expect("cache quarantine classifies");
+        b.add("cache/0011223344556677.cache.quarantined", cache);
+        let report = b.finish(&BTreeMap::new(), 0.10);
+        assert!(
+            report.warnings.is_empty(),
+            "quarantine is evidence, not a warning"
+        );
+        assert_eq!(report.quarantined_files, (2, 14));
+        assert!(report
+            .render()
+            .contains("2 quarantined file(s) (14 bytes) held for forensics"));
+    }
+
+    #[test]
+    fn partial_suffix_on_a_non_shard_checkpoint_is_an_error() {
+        let err = classify_named("batch.manifest.partial", trace_fixture().as_bytes())
+            .expect_err("a trace under a partial name must not classify");
+        assert!(err.contains("partial shard manifest"), "{err}");
     }
 }

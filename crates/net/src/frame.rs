@@ -1,0 +1,290 @@
+//! The wire frame: `magic ∥ length ∥ payload ∥ crc32(payload)`.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! +------+----------+-----------------+----------+
+//! | PCDN | len: u32 | payload (len B) | crc: u32 |
+//! +------+----------+-----------------+----------+
+//! ```
+//!
+//! The CRC-32 (IEEE) is verified **before** the payload is handed to the
+//! message layer, so a bit flip anywhere in the payload is a typed
+//! [`FrameError::ChecksumMismatch`] carrying the damaged bytes (for
+//! quarantine-aside), never a misparsed message. A wrong magic or an
+//! oversized length means the stream itself has lost framing — both are
+//! connection-fatal by design: the peer reconnects and the at-least-once
+//! delivery layer re-sends.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Magic prefix of every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"PCDN";
+
+/// Upper bound on a frame payload; a length above this means the stream
+/// has lost framing (or a peer is hostile), not that a message is big.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Bytes of header before the payload (magic + length).
+const HEADER_LEN: usize = 8;
+
+/// Bytes of trailer after the payload (CRC-32).
+const TRAILER_LEN: usize = 4;
+
+/// A failure decoding a frame from the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The stream does not start with [`FRAME_MAGIC`] — framing is lost.
+    BadMagic([u8; 4]),
+    /// The declared payload length exceeds [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+    /// The payload CRC does not match the trailer. Carries the damaged
+    /// frame bytes (header through trailer) so the receiver can
+    /// quarantine them aside.
+    ChecksumMismatch {
+        /// CRC recorded in the trailer.
+        expected: u32,
+        /// CRC computed over the received payload.
+        actual: u32,
+        /// The damaged frame, byte for byte as received.
+        frame: Vec<u8>,
+    },
+    /// The underlying stream failed or closed mid-frame.
+    Io(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic(found) => {
+                write!(f, "frame magic mismatch: found {found:02x?}")
+            }
+            FrameError::TooLarge(len) => {
+                write!(f, "frame length {len} exceeds max {MAX_FRAME_LEN}")
+            }
+            FrameError::ChecksumMismatch {
+                expected, actual, ..
+            } => write!(
+                f,
+                "frame checksum mismatch: trailer {expected:#010x}, payload {actual:#010x}"
+            ),
+            FrameError::Io(msg) => write!(f, "frame I/O: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one payload as a complete wire frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&obs::crc32(payload).to_be_bytes());
+    frame
+}
+
+/// Writes one framed payload to `w` and flushes.
+///
+/// # Errors
+///
+/// The underlying [`io::Error`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_frame(payload))?;
+    w.flush()?;
+    obs::counter_add("net.frames_sent", 1);
+    Ok(())
+}
+
+/// Reads exactly one frame from `r`, blocking until it is complete.
+///
+/// # Errors
+///
+/// [`FrameError::Io`] on EOF or stream failure (including a close
+/// mid-frame), otherwise the codec errors of [`FrameReader`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)
+        .map_err(|e| FrameError::Io(e.to_string()))?;
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&header[..4]);
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let len = u32::from_be_bytes([header[4], header[5], header[6], header[7]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut rest = vec![0u8; len + TRAILER_LEN];
+    r.read_exact(&mut rest)
+        .map_err(|e| FrameError::Io(e.to_string()))?;
+    let expected = u32::from_be_bytes([rest[len], rest[len + 1], rest[len + 2], rest[len + 3]]);
+    rest.truncate(len);
+    let actual = obs::crc32(&rest);
+    if actual != expected {
+        let mut frame = header.to_vec();
+        frame.extend_from_slice(&rest);
+        frame.extend_from_slice(&expected.to_be_bytes());
+        obs::counter_add("net.frame_crc_rejected", 1);
+        return Err(FrameError::ChecksumMismatch {
+            expected,
+            actual,
+            frame,
+        });
+    }
+    obs::counter_add("net.frames_received", 1);
+    Ok(rest)
+}
+
+/// Incremental frame reassembler: feed it bytes in any granularity (one
+/// byte at a time included) and pull complete payloads out.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reassembler.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends raw bytes from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete payload, `Ok(None)` when more bytes are
+    /// needed. A codec error (bad magic, oversize, CRC mismatch) leaves
+    /// the reassembler positioned *after* the damaged region when that
+    /// is well-defined (CRC mismatch) and is otherwise connection-fatal.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`] except `Io`.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(&self.buf[..4]);
+        if magic != FRAME_MAGIC {
+            return Err(FrameError::BadMagic(magic));
+        }
+        let len = u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::TooLarge(len));
+        }
+        let total = HEADER_LEN + len + TRAILER_LEN;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame: Vec<u8> = self.buf.drain(..total).collect();
+        let payload = &frame[HEADER_LEN..HEADER_LEN + len];
+        let expected = u32::from_be_bytes([
+            frame[total - 4],
+            frame[total - 3],
+            frame[total - 2],
+            frame[total - 1],
+        ]);
+        let actual = obs::crc32(payload);
+        if actual != expected {
+            obs::counter_add("net.frame_crc_rejected", 1);
+            return Err(FrameError::ChecksumMismatch {
+                expected,
+                actual,
+                frame,
+            });
+        }
+        obs::counter_add("net.frames_received", 1);
+        Ok(Some(payload.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_blocking_reader() {
+        let payloads: [&[u8]; 3] = [b"", b"x", b"hello frames"];
+        let mut wire = Vec::new();
+        for p in payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        let mut cursor = io::Cursor::new(wire);
+        for p in payloads {
+            assert_eq!(read_frame(&mut cursor).unwrap(), p);
+        }
+        // Stream exhausted: EOF is a typed Io error, not a panic.
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn one_byte_feeds_reassemble() {
+        let frame = encode_frame(b"dribble");
+        let mut reader = FrameReader::new();
+        for (i, byte) in frame.iter().enumerate() {
+            reader.feed(std::slice::from_ref(byte));
+            let got = reader.next_frame().unwrap();
+            if i + 1 < frame.len() {
+                assert!(got.is_none(), "frame complete early at byte {i}");
+            } else {
+                assert_eq!(got.unwrap(), b"dribble");
+            }
+        }
+        assert_eq!(reader.pending(), 0);
+    }
+
+    #[test]
+    fn bit_flip_is_a_checksum_mismatch_with_the_bytes() {
+        let mut frame = encode_frame(b"payload under test");
+        frame[HEADER_LEN + 3] ^= 0x20;
+        let mut reader = FrameReader::new();
+        reader.feed(&frame);
+        match reader.next_frame() {
+            Err(FrameError::ChecksumMismatch { frame: damaged, .. }) => {
+                assert_eq!(damaged, frame, "damaged bytes preserved for quarantine");
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc_mismatch_resyncs_to_the_next_frame() {
+        let mut bad = encode_frame(b"first");
+        let len = bad.len();
+        bad[len - 1] ^= 0xFF; // damage the trailer itself
+        let good = encode_frame(b"second");
+        let mut reader = FrameReader::new();
+        reader.feed(&bad);
+        reader.feed(&good);
+        assert!(matches!(
+            reader.next_frame(),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"second");
+    }
+
+    #[test]
+    fn bad_magic_and_oversize_are_typed() {
+        let mut reader = FrameReader::new();
+        reader.feed(b"NOPExxxxxxxx");
+        assert!(matches!(
+            reader.next_frame(),
+            Err(FrameError::BadMagic(m)) if &m == b"NOPE"
+        ));
+        let mut oversize = FRAME_MAGIC.to_vec();
+        oversize.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut reader = FrameReader::new();
+        reader.feed(&oversize);
+        assert!(matches!(reader.next_frame(), Err(FrameError::TooLarge(_))));
+    }
+}

@@ -40,11 +40,25 @@ pub enum FaultKind {
     /// pressure, accept storm). The daemon must answer with a typed shed
     /// response, never a silent drop or a wedged connection.
     Accept,
+    /// A transport frame is damaged in flight (bit flip, truncation,
+    /// duplication, reorder). The receiver must reject the frame on its
+    /// CRC and rely on at-least-once redelivery — a damaged frame may
+    /// cost a retry, never a wrong or missing record.
+    FrameWrite,
+    /// Coordinator accept path drops an incoming worker connection
+    /// (fd pressure, SYN storm). The worker must treat it as any other
+    /// connect failure: seeded backoff and reconnect.
+    NetAccept,
+    /// The link between coordinator and worker is severed mid-message
+    /// (partition, NAT timeout, cable pull). Both sides must survive:
+    /// the worker reconnects or degrades to a local partial seal, the
+    /// coordinator expires the lease and reassigns the shard.
+    Partition,
 }
 
 impl FaultKind {
     /// Every injection point, in a stable order.
-    pub const ALL: [FaultKind; 9] = [
+    pub const ALL: [FaultKind; 12] = [
         FaultKind::ScfConvergence,
         FaultKind::ScfEnergy,
         FaultKind::Geometry,
@@ -54,6 +68,9 @@ impl FaultKind {
         FaultKind::LeaseWrite,
         FaultKind::CacheWrite,
         FaultKind::Accept,
+        FaultKind::FrameWrite,
+        FaultKind::NetAccept,
+        FaultKind::Partition,
     ];
 
     /// The dotted site name used in obs events and reports.
@@ -68,12 +85,16 @@ impl FaultKind {
             FaultKind::LeaseWrite => "supervisor.lease_write",
             FaultKind::CacheWrite => "serve.cache_write",
             FaultKind::Accept => "serve.accept",
+            FaultKind::FrameWrite => "net.frame_write",
+            FaultKind::NetAccept => "net.accept",
+            FaultKind::Partition => "net.partition",
         }
     }
 
     /// The recovery policy class responsible for this fault:
     /// `"scf_retry"`, `"compiler_fallback"`, `"vqe_restart"`,
-    /// `"lease_retry"`, `"cache_quarantine"`, or `"admission_shed"`.
+    /// `"lease_retry"`, `"cache_quarantine"`, `"admission_shed"`, or
+    /// `"transport_retry"`.
     pub fn policy_class(self) -> &'static str {
         match self {
             FaultKind::ScfConvergence | FaultKind::ScfEnergy | FaultKind::Geometry => "scf_retry",
@@ -82,6 +103,9 @@ impl FaultKind {
             FaultKind::LeaseWrite => "lease_retry",
             FaultKind::CacheWrite => "cache_quarantine",
             FaultKind::Accept => "admission_shed",
+            FaultKind::FrameWrite | FaultKind::NetAccept | FaultKind::Partition => {
+                "transport_retry"
+            }
         }
     }
 
@@ -96,6 +120,9 @@ impl FaultKind {
             FaultKind::LeaseWrite => 6,
             FaultKind::CacheWrite => 7,
             FaultKind::Accept => 8,
+            FaultKind::FrameWrite => 9,
+            FaultKind::NetAccept => 10,
+            FaultKind::Partition => 11,
         }
     }
 }

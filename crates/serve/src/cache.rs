@@ -144,14 +144,26 @@ pub enum CacheProbe {
     Quarantined,
 }
 
-/// The on-disk cache: one sealed entry per key under `dir`.
+/// The clock state behind second-chance eviction: which keys were
+/// referenced since the sweep last passed them, and where the sweep
+/// hand stands. Shared across clones so every handle sees one clock.
+#[derive(Debug, Default)]
+struct ClockState {
+    referenced: std::collections::BTreeSet<u64>,
+    hand: u64,
+}
+
+/// The on-disk cache: one sealed entry per key under `dir`, optionally
+/// capped by total bytes with deterministic second-chance eviction.
 #[derive(Debug, Clone)]
 pub struct Cache {
     dir: PathBuf,
+    max_bytes: Option<u64>,
+    clock: std::sync::Arc<std::sync::Mutex<ClockState>>,
 }
 
 impl Cache {
-    /// Opens (creating if needed) the cache directory.
+    /// Opens (creating if needed) the cache directory, uncapped.
     ///
     /// # Errors
     ///
@@ -159,7 +171,25 @@ impl Cache {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Cache> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Cache { dir })
+        Ok(Cache {
+            dir,
+            max_bytes: None,
+            clock: std::sync::Arc::default(),
+        })
+    }
+
+    /// Caps the cache at `max_bytes` total sealed bytes (`None` =
+    /// unbounded). Over-cap stores trigger a second-chance sweep: keys
+    /// are visited in ascending order from a persistent hand; a key
+    /// probed since the hand last passed it is spared once (its
+    /// reference bit clears), an unreferenced key is evicted. The sweep
+    /// is a pure function of the operation sequence — no clocks, no
+    /// randomness — so two daemons replaying the same requests evict
+    /// the same entries.
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: Option<u64>) -> Cache {
+        self.max_bytes = max_bytes;
+        self
     }
 
     /// The entry path for `key`.
@@ -185,6 +215,7 @@ impl Cache {
         match Self::decode_entry(&path, key) {
             Ok(result) => {
                 obs::counter_add("serve.cache.hit", 1);
+                self.lock_clock().referenced.insert(key);
                 CacheProbe::Hit(result)
             }
             Err(reason) => {
@@ -298,6 +329,7 @@ impl Cache {
         match ck.write(&path) {
             Ok(()) => {
                 obs::counter_add("serve.cache.sealed", 1);
+                self.enforce_cap(key);
                 true
             }
             Err(e) => {
@@ -309,6 +341,78 @@ impl Cache {
                     error = e.to_string()
                 );
                 false
+            }
+        }
+    }
+
+    fn lock_clock(&self) -> std::sync::MutexGuard<'_, ClockState> {
+        self.clock.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Every sealed entry on disk, ascending by key: `(key, bytes)`.
+    /// Only canonical `<16-hex>.cache` names count — quarantined files
+    /// are forensics, not cache contents.
+    fn sealed_entries(&self) -> Vec<(u64, u64)> {
+        let Ok(read) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut entries: Vec<(u64, u64)> = read
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name();
+                let name = name.to_str()?;
+                let hex = name.strip_suffix(&format!(".{CACHE_EXT}"))?;
+                if hex.len() != 16 {
+                    return None;
+                }
+                let key = u64::from_str_radix(hex, 16).ok()?;
+                Some((key, e.metadata().ok()?.len()))
+            })
+            .collect();
+        entries.sort_unstable();
+        entries
+    }
+
+    /// Second-chance sweep bringing the cache back under `max_bytes`.
+    /// `just_stored` is never evicted (the entry the caller is about to
+    /// rely on), which also guarantees the sweep terminates: every other
+    /// key is evicted after at most two visits.
+    fn enforce_cap(&self, just_stored: u64) {
+        let Some(cap) = self.max_bytes else { return };
+        let entries = self.sealed_entries();
+        let mut total: u64 = entries.iter().map(|(_, bytes)| bytes).sum();
+        if total <= cap {
+            return;
+        }
+        let mut clock = self.lock_clock();
+        let keys: Vec<u64> = entries.iter().map(|(k, _)| *k).collect();
+        let sizes: std::collections::BTreeMap<u64, u64> = entries.into_iter().collect();
+        let mut idx = keys.partition_point(|&k| k < clock.hand);
+        for _ in 0..keys.len() * 2 {
+            if total <= cap {
+                break;
+            }
+            if idx >= keys.len() {
+                idx = 0;
+            }
+            let key = keys[idx];
+            idx += 1;
+            clock.hand = key.wrapping_add(1);
+            if key == just_stored {
+                continue;
+            }
+            if clock.referenced.remove(&key) {
+                // Referenced since the hand last passed: one more chance.
+                continue;
+            }
+            if std::fs::remove_file(self.entry_path(key)).is_ok() {
+                total -= sizes.get(&key).copied().unwrap_or(0);
+                obs::counter_add("serve.cache_evicted", 1);
+                obs::event!(
+                    "serve.cache_evict",
+                    key = format!("{key:016x}"),
+                    total_bytes = total
+                );
             }
         }
     }
@@ -420,6 +524,105 @@ mod tests {
         assert_eq!(cache.load(key), None, "poison must not serve");
         assert!(!cache.entry_path(key).exists(), "poison quarantined");
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    /// Total sealed bytes currently in `cache`'s directory.
+    fn sealed_bytes(cache: &Cache) -> u64 {
+        cache.sealed_entries().iter().map(|(_, b)| b).sum()
+    }
+
+    #[test]
+    fn capped_cache_stays_under_cap_across_a_storm() {
+        obs::enable();
+        let uncapped = Cache::open(scratch("capsize")).unwrap();
+        let probe_key = cache_key(&spec(0.5), 0, 0.0);
+        assert!(uncapped.store(probe_key, sample(), &mut FaultPlan::none()));
+        let entry_bytes = sealed_bytes(&uncapped);
+        let _ = std::fs::remove_dir_all(uncapped.dir());
+
+        let cap = entry_bytes * 4;
+        let cache = Cache::open(scratch("storm"))
+            .unwrap()
+            .with_max_bytes(Some(cap));
+        let before = obs::snapshot()
+            .counters
+            .get("serve.cache_evicted")
+            .copied()
+            .unwrap_or(0);
+        for i in 0..32 {
+            let key = cache_key(&spec(0.5 + 0.01 * i as f64), 1, 0.0);
+            assert!(cache.store(key, sample(), &mut FaultPlan::none()));
+            assert!(
+                sealed_bytes(&cache) <= cap,
+                "store {i} left {} bytes over the {cap}-byte cap",
+                sealed_bytes(&cache)
+            );
+        }
+        let after = obs::snapshot()
+            .counters
+            .get("serve.cache_evicted")
+            .copied()
+            .unwrap_or(0);
+        assert!(after >= before + 28, "32 stores into 4 slots must evict");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn second_chance_spares_the_recently_probed_entry() {
+        // Cap sized for two entries: store two, probe the first (setting
+        // its reference bit), then store a third. The sweep must clear
+        // the probed entry's bit and spare it, evicting the unprobed one.
+        let sizing = Cache::open(scratch("chance-size")).unwrap();
+        let k = cache_key(&spec(0.9), 2, 0.0);
+        assert!(sizing.store(k, sample(), &mut FaultPlan::none()));
+        let entry_bytes = sealed_bytes(&sizing);
+        let _ = std::fs::remove_dir_all(sizing.dir());
+
+        let cache = Cache::open(scratch("chance"))
+            .unwrap()
+            .with_max_bytes(Some(entry_bytes * 2));
+        let k1 = cache_key(&spec(0.6), 2, 0.0);
+        let k2 = cache_key(&spec(0.7), 2, 0.0);
+        let k3 = cache_key(&spec(0.8), 2, 0.0);
+        assert!(cache.store(k1, sample(), &mut FaultPlan::none()));
+        assert!(cache.store(k2, sample(), &mut FaultPlan::none()));
+        assert_eq!(cache.load(k1), Some(sample()), "probe marks k1 referenced");
+        assert!(cache.store(k3, sample(), &mut FaultPlan::none()));
+        assert_eq!(cache.load(k1), Some(sample()), "referenced entry spared");
+        assert_eq!(cache.load(k3), Some(sample()), "fresh store never evicted");
+        assert_eq!(cache.load(k2), None, "unreferenced entry evicted");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn eviction_is_deterministic_across_replays() {
+        let run = |tag: &str| -> Vec<String> {
+            let sizing = Cache::open(scratch(&format!("{tag}-size"))).unwrap();
+            let k = cache_key(&spec(0.9), 3, 0.0);
+            assert!(sizing.store(k, sample(), &mut FaultPlan::none()));
+            let entry_bytes = sealed_bytes(&sizing);
+            let _ = std::fs::remove_dir_all(sizing.dir());
+
+            let cache = Cache::open(scratch(tag))
+                .unwrap()
+                .with_max_bytes(Some(entry_bytes * 3));
+            for i in 0..12 {
+                let key = cache_key(&spec(0.5 + 0.02 * i as f64), 3, 0.0);
+                assert!(cache.store(key, sample(), &mut FaultPlan::none()));
+                if i % 3 == 0 {
+                    let _ = cache.load(key);
+                }
+            }
+            let mut survivors: Vec<String> = cache
+                .sealed_entries()
+                .iter()
+                .map(|(k, _)| format!("{k:016x}"))
+                .collect();
+            survivors.sort();
+            let _ = std::fs::remove_dir_all(cache.dir());
+            survivors
+        };
+        assert_eq!(run("replay-a"), run("replay-b"));
     }
 
     #[test]

@@ -107,6 +107,9 @@ pub struct ServeConfig {
     pub idle_exit: Option<Duration>,
     /// Directory for flight-recorder dumps.
     pub flight_dir: Option<PathBuf>,
+    /// Result-cache size cap in bytes (`None` = the cache only grows).
+    /// Over-cap seals trigger deterministic second-chance eviction.
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -127,6 +130,7 @@ impl Default for ServeConfig {
             max_requests: None,
             idle_exit: None,
             flight_dir: None,
+            cache_max_bytes: None,
         }
     }
 }
@@ -485,7 +489,8 @@ pub fn run_serve(config: &ServeConfig) -> Result<ServeSummary, ServeError> {
         std::fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
     }
     let cache = Cache::open(config.state_dir.join("cache"))
-        .map_err(|e| io_err(&config.state_dir.join("cache"), &e))?;
+        .map_err(|e| io_err(&config.state_dir.join("cache"), &e))?
+        .with_max_bytes(config.cache_max_bytes);
 
     let shared = Shared {
         config: config.clone(),

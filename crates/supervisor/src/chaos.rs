@@ -104,7 +104,7 @@ impl SupervisedChaosReport {
     }
 }
 
-fn trial_jobs(n: usize) -> Vec<JobSpec> {
+pub(crate) fn trial_jobs(n: usize) -> Vec<JobSpec> {
     (0..n)
         .map(|i| JobSpec {
             id: format!("h2-{i}"),

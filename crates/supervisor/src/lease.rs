@@ -12,13 +12,23 @@
 //!
 //! # Liveness and mutual exclusion
 //!
-//! A lease holds its owner's pid. On Unix the primary liveness check is
-//! `/proc/<pid>` existence — immediate and heartbeat-independent; where
-//! that is unavailable the fallback is file-mtime staleness against
-//! [`STALE_AFTER`]. Atomic rename is not compare-and-swap, so takeover
-//! arbitration between concurrent claimants uses `File::create_new` on an
-//! epoch-named claim file (`shard-<id>.claim.<epoch>`): exactly one
-//! process wins the right to run a shard at a given epoch.
+//! A lease holds its owner's pid **and host**. On Unix the primary
+//! liveness check is `/proc/<pid>` existence — immediate and
+//! heartbeat-independent; where that is unavailable the fallback is
+//! file-mtime staleness against [`STALE_AFTER`]. Both checks are only
+//! meaningful on the machine that wrote the lease: `/proc/<pid>` on a
+//! different host describes an unrelated process, and mtime staleness
+//! compares the writer's clock against the reader's — unsound under
+//! cross-machine clock skew (a sibling whose clock runs minutes behind
+//! would judge every healthy lease stale and steal live shards). So both
+//! fallbacks are gated on `lease.host == local_host()`: a cross-host
+//! lease is conservatively [`Alive`](LeaseHealth::Alive) — cross-machine
+//! death detection belongs to the wire protocol's epoched leases
+//! ([`crate::remote`]), never to file forensics. Atomic rename is not
+//! compare-and-swap, so takeover arbitration between concurrent claimants
+//! uses `File::create_new` on an epoch-named claim file
+//! (`shard-<id>.claim.<epoch>`): exactly one process wins the right to
+//! run a shard at a given epoch.
 
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -39,6 +49,10 @@ pub struct Lease {
     pub shard_id: usize,
     /// Pid of the owning process.
     pub owner_pid: u32,
+    /// Hostname of the owning process. Pid and mtime liveness are only
+    /// consulted when this matches [`local_host`]; empty = written by a
+    /// pre-host build, treated as local (its pids were always local).
+    pub host: String,
     /// Per-acquisition nonce, so two incarnations of the same pid are
     /// distinguishable in lineage.
     pub owner_nonce: u64,
@@ -70,6 +84,7 @@ impl Lease {
         let mut fields = vec![
             ("shard_id", num(self.shard_id)),
             ("owner_pid", string(&self.owner_pid.to_string())),
+            ("host", string(&self.host)),
             ("owner_nonce", string(&self.owner_nonce.to_string())),
             ("epoch", string(&self.epoch.to_string())),
             ("beats", string(&self.beats.to_string())),
@@ -104,6 +119,11 @@ impl Lease {
         Ok(Lease {
             shard_id: get_usize(&value, "shard_id")?,
             owner_pid,
+            host: value
+                .get("host")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_string(),
             owner_nonce: get_u64_str(&value, "owner_nonce")?,
             epoch: get_u64_str(&value, "epoch")?,
             beats: get_u64_str(&value, "beats")?,
@@ -137,15 +157,24 @@ pub enum LeaseHealth {
     Dead(Lease),
 }
 
-/// Classifies `shard_id`'s lease in `dir`. Our own pid is always alive;
-/// on Unix other pids are checked via `/proc/<pid>`; elsewhere the lease
-/// file's mtime must be younger than `stale_after`.
+/// Classifies `shard_id`'s lease in `dir`. A lease written on a
+/// different host is never judged by local evidence — `/proc/<pid>`
+/// there describes an unrelated local process and mtime staleness is
+/// clock-skew-unsound — so it classifies `Alive` until its owner (or
+/// the wire protocol's epoch expiry) says otherwise. On this host, our
+/// own pid is always alive; on Unix other pids are checked via
+/// `/proc/<pid>`; elsewhere the lease file's mtime must be younger than
+/// `stale_after`.
 pub fn classify(dir: &Path, shard_id: usize, stale_after: Duration) -> LeaseHealth {
     let Some(lease) = Lease::read(dir, shard_id) else {
         return LeaseHealth::Missing;
     };
     if lease.done {
         return LeaseHealth::Done(lease);
+    }
+    if !lease.host.is_empty() && lease.host != local_host() {
+        obs::counter_add("supervisor.lease_cross_host_skipped", 1);
+        return LeaseHealth::Alive(lease);
     }
     if lease.owner_pid == std::process::id() {
         return LeaseHealth::Alive(lease);
@@ -154,6 +183,22 @@ pub fn classify(dir: &Path, shard_id: usize, stale_after: Duration) -> LeaseHeal
         LeaseHealth::Alive(lease)
     } else {
         LeaseHealth::Dead(lease)
+    }
+}
+
+/// This machine's hostname, as recorded in leases it writes: the kernel
+/// hostname where readable, else `$HOSTNAME`, else `"localhost"`. Never
+/// empty, so a written lease always carries a comparable host.
+pub fn local_host() -> String {
+    if let Ok(name) = std::fs::read_to_string("/proc/sys/kernel/hostname") {
+        let name = name.trim();
+        if !name.is_empty() {
+            return name.to_string();
+        }
+    }
+    match std::env::var("HOSTNAME") {
+        Ok(name) if !name.trim().is_empty() => name.trim().to_string(),
+        _ => "localhost".to_string(),
     }
 }
 
@@ -296,6 +341,7 @@ mod tests {
         Lease {
             shard_id,
             owner_pid: std::process::id(),
+            host: local_host(),
             owner_nonce: 0xDEAD_BEEF,
             epoch: 2,
             beats: 7,
@@ -340,6 +386,63 @@ mod tests {
             obs::atomic_write(Lease::path(&dir, 2), dead.to_json().as_bytes()).unwrap();
             assert_eq!(classify(&dir, 2, STALE_AFTER), LeaseHealth::Dead(dead));
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cross_host_lease_is_immune_to_local_liveness_and_clock_skew() {
+        let dir = scratch("skew");
+        // A lease written on another machine, whose pid happens to be
+        // unkillable-dead *here* and whose file mtime is hours stale by
+        // our clock (exactly what cross-machine clock skew on a shared
+        // filesystem looks like).
+        let mut lease = sample(0);
+        lease.owner_pid = u32::MAX - 1;
+        lease.host = "some-other-machine".to_string();
+        let path = Lease::path(&dir, 0);
+        obs::atomic_write(&path, lease.to_json().as_bytes()).unwrap();
+        let skewed = std::time::SystemTime::now() - Duration::from_secs(6 * 3600);
+        std::fs::File::options()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_modified(skewed)
+            .unwrap();
+        // Neither the dead local pid nor the stale mtime may kill it:
+        // local evidence says nothing about a remote owner.
+        assert_eq!(
+            classify(&dir, 0, STALE_AFTER),
+            LeaseHealth::Alive(lease.clone()),
+            "cross-host lease must never be judged dead by local evidence"
+        );
+        // The same lease written by *this* host is fair game again.
+        lease.host = local_host();
+        obs::atomic_write(&path, lease.to_json().as_bytes()).unwrap();
+        #[cfg(unix)]
+        assert_eq!(classify(&dir, 0, STALE_AFTER), LeaseHealth::Dead(lease));
+        // A done cross-host lease is still Done, not Alive.
+        let mut done = sample(1);
+        done.host = "some-other-machine".to_string();
+        done.done = true;
+        obs::atomic_write(Lease::path(&dir, 1), done.to_json().as_bytes()).unwrap();
+        assert_eq!(classify(&dir, 1, STALE_AFTER), LeaseHealth::Done(done));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_hostless_lease_keeps_local_semantics() {
+        let dir = scratch("legacy");
+        // Leases written before the host field existed parse with an
+        // empty host and keep their original local liveness behavior.
+        let mut lease = sample(2);
+        lease.host = String::new();
+        lease.owner_pid = u32::MAX - 1;
+        let line = lease.to_json();
+        let reparsed = Lease::parse(&line).unwrap();
+        assert_eq!(reparsed.host, "");
+        obs::atomic_write(Lease::path(&dir, 2), line.as_bytes()).unwrap();
+        #[cfg(unix)]
+        assert_eq!(classify(&dir, 2, STALE_AFTER), LeaseHealth::Dead(lease));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -56,6 +56,7 @@ pub mod manifest;
 pub mod merge;
 pub mod progress;
 pub mod queue;
+pub mod remote;
 pub mod shard;
 
 pub use backoff::BackoffPolicy;
@@ -68,11 +69,16 @@ pub use engine::{
     run_batch, run_batch_resumed, BatchReport, InjectionPlan, SupervisorConfig, SupervisorError,
 };
 pub use job::{attempt_seed, job_seed, parse_jobs, JobRecord, JobSpec, JobState};
-pub use lease::{classify, try_claim, Lease, LeaseHealth, LeaseKeeper, STALE_AFTER};
+pub use lease::{classify, local_host, try_claim, Lease, LeaseHealth, LeaseKeeper, STALE_AFTER};
 pub use manifest::{decode_manifest, encode_manifest, BatchMeta, KIND_BATCH_MANIFEST};
 pub use merge::{merge_shards, MergeError, MergeOutcome, ShardLineage, KIND_MERGE_LINEAGE};
 pub use progress::{ProgressSnapshot, ProgressTracker};
 pub use queue::{admit, admit_plan, Admission, JobQueue, Lane, ShedPolicy, FAST_LANE_MAX_QUBITS};
+pub use remote::{
+    partial_manifest_path, reconnect_schedule, run_net_chaos, run_worker, Coordinator,
+    CoordinatorOptions, CoordinatorReport, CoordinatorWatch, NetChaosOptions, NetChaosReport,
+    NetChaosTrialOutcome, RemoteError, RemoteTakeover, WorkerOptions, WorkerReport,
+};
 pub use shard::{
     decode_shard_manifest, encode_shard_manifest, job_shard, run_shard, shard_indices,
     shard_manifest_path, ShardMeta, ShardRunReport, ShardSpec, TakeoverOutcome,

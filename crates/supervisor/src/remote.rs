@@ -1,0 +1,1759 @@
+//! True multi-machine sharding: a coordinator/worker protocol over TCP.
+//!
+//! The shard layer ([`crate::shard`]) assumes every process shares one
+//! checkpoint directory — liveness is a lease file, takeover is a claim
+//! token. This module removes that assumption: only the **coordinator**
+//! touches the checkpoint directory; workers hold nothing but a socket.
+//!
+//! - The coordinator owns the jobs file, the batch identity, and every
+//!   lease. Workers [`net::message::Message::Claim`] shards and are
+//!   granted them under **monotonic epochs**; a worker that stops
+//!   heartbeating for the lease interval is presumed dead and its shard
+//!   is re-granted at `epoch + 1` to the next claimant (the wire twin of
+//!   [`crate::lease::try_claim`]'s epoch tokens). Pid and mtime
+//!   liveness fallbacks are never consulted — they are meaningless
+//!   across machines.
+//! - Delivery is **at-least-once with content-keyed dedup**: workers
+//!   resend every record of the active shard after a reconnect, and the
+//!   coordinator collapses bit-identical duplicates (counting them) while
+//!   rejecting divergent ones — the determinism contract (a record is a
+//!   pure function of `(batch_seed, index, spec)`) is what makes blind
+//!   resend safe.
+//! - Worker reconnects reuse the supervisor's seeded
+//!   [`BackoffPolicy`](crate::backoff::BackoffPolicy): the retry
+//!   schedule is a pure function of `(worker id, attempt)` and replays
+//!   bit-for-bit.
+//! - Degradation is graceful on both ends: a worker that exhausts its
+//!   transport budget mid-shard seals what it has as a local
+//!   `shard-<id>.manifest.partial` (same CRC-sealed codec, a name the
+//!   merge scan ignores) and exits resumable; a coordinator that loses
+//!   every worker rescues unfinished shards in-process, exactly like the
+//!   re-run takeover flow a human operator would perform.
+//!
+//! After the last job lands the coordinator seals one ordinary
+//! `shard-<id>.manifest` per shard and reuses [`crate::merge`] verbatim,
+//! so a multi-machine batch's `batch.manifest` is bit-identical to a
+//! single-machine run's.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use net::{read_frame, write_frame, Message, PROTOCOL_VERSION};
+
+use crate::backoff::BackoffPolicy;
+use crate::engine::{run_scoped, InjectionPlan, SupervisorConfig, SupervisorError};
+use crate::job::{parse_jobs, JobRecord, JobSpec};
+use crate::manifest::{decode_record_sparse, encode_record, BatchMeta};
+use crate::merge::merge_shards;
+use crate::shard::{encode_shard_manifest, shard_indices, ShardMeta, ShardSpec};
+use crate::splitmix64;
+
+/// A remote-batch failure, split by exit taxonomy: transport exhaustion
+/// is resumable (exit 36), a protocol mismatch is operator error
+/// (exit 37), everything else is the usual supervisor failure.
+#[derive(Debug)]
+pub enum RemoteError {
+    /// The transport died and the retry budget ran out. Partial progress
+    /// (when any) was sealed locally; re-running the worker resumes.
+    TransportLost(String),
+    /// The peer speaks a different protocol (version skew, wrong batch,
+    /// or a reply that makes no sense at this point in the exchange).
+    Protocol(String),
+    /// A local supervisor failure while running granted jobs.
+    Supervisor(SupervisorError),
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::TransportLost(msg) => write!(f, "transport lost: {msg}"),
+            RemoteError::Protocol(msg) => write!(f, "protocol mismatch: {msg}"),
+            RemoteError::Supervisor(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<SupervisorError> for RemoteError {
+    fn from(e: SupervisorError) -> Self {
+        RemoteError::Supervisor(e)
+    }
+}
+
+/// FNV-1a of a worker id — the stable seed root of its reconnect ladder.
+fn worker_seed(worker_id: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in worker_id.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    splitmix64(h)
+}
+
+/// The deterministic reconnect schedule for a worker: delay before
+/// reconnect attempt `1..=attempts`. Pure function of the inputs — the
+/// replay guarantee `pcd chaos --net` asserts.
+pub fn reconnect_schedule(worker_id: &str, policy: &BackoffPolicy, attempts: usize) -> Vec<u64> {
+    let seed = worker_seed(worker_id);
+    (1..=attempts).map(|a| policy.delay_ms(seed, a)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+/// Coordinator knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinatorOptions {
+    /// Address to listen on (port 0 = ephemeral, for tests).
+    pub listen: SocketAddr,
+    /// Number of net shards the batch is split into.
+    pub shards: usize,
+    /// A shard whose worker is silent this long is presumed dead and
+    /// re-granted at the next epoch.
+    pub lease_ms: u64,
+    /// Heartbeat cadence workers are told to keep.
+    pub heartbeat_ms: u64,
+    /// Overall wall-clock bound on the run.
+    pub deadline: Duration,
+    /// When the whole fleet goes silent (or the deadline hits), finish
+    /// unfinished shards in-process instead of failing.
+    pub rescue: bool,
+}
+
+impl Default for CoordinatorOptions {
+    fn default() -> Self {
+        CoordinatorOptions {
+            listen: SocketAddr::from(([127, 0, 0, 1], 0)),
+            shards: 2,
+            lease_ms: 500,
+            heartbeat_ms: 100,
+            deadline: Duration::from_secs(120),
+            rescue: true,
+        }
+    }
+}
+
+/// One wire-level takeover: a shard re-granted past a dead worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteTakeover {
+    /// The shard re-granted.
+    pub shard_id: usize,
+    /// Owner that went silent.
+    pub from: String,
+    /// Epoch the new grant runs under.
+    pub epoch: u64,
+}
+
+/// What a coordinator run accomplished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinatorReport {
+    /// The full merged record set, ascending indices.
+    pub records: Vec<JobRecord>,
+    /// The sealed `batch.manifest` bytes — bit-identical to a
+    /// single-machine run of the same batch.
+    pub sealed: Vec<u8>,
+    /// Epoch takeovers performed over the wire.
+    pub takeovers: Vec<RemoteTakeover>,
+    /// Shards the coordinator finished in-process after losing the fleet.
+    pub rescued: Vec<usize>,
+    /// Bit-identical duplicate records collapsed (reconnect resends).
+    pub deduped: usize,
+}
+
+/// Per-shard book-keeping on the coordinator.
+struct ShardSlot {
+    granted: bool,
+    epoch: u64,
+    owner: Option<String>,
+    taken_over_from: Option<String>,
+    last_seen: Instant,
+    done: bool,
+    /// Global index → (wire record JSON, decoded record).
+    records: BTreeMap<usize, (String, JobRecord)>,
+}
+
+struct CoordState {
+    slots: Vec<ShardSlot>,
+    takeovers: Vec<RemoteTakeover>,
+    deduped: usize,
+    last_activity: Instant,
+    draining: bool,
+}
+
+impl CoordState {
+    fn all_done(&self) -> bool {
+        self.slots.iter().all(|s| s.done)
+    }
+}
+
+/// Shared context every connection handler needs.
+struct CoordCtx {
+    state: Mutex<CoordState>,
+    jobs_jsonl: String,
+    n_jobs: usize,
+    batch_seed: u64,
+    fault_rate: f64,
+    shards: usize,
+    lease_ms: u64,
+    heartbeat_ms: u64,
+    active_conns: AtomicUsize,
+    stop: AtomicBool,
+}
+
+/// A read-only view on a running coordinator's state, for harnesses that
+/// need to time a kill against a grant.
+#[derive(Clone)]
+pub struct CoordinatorWatch {
+    ctx: Arc<CoordCtx>,
+}
+
+impl CoordinatorWatch {
+    /// The current owner of `shard_id`, if granted.
+    pub fn owner_of(&self, shard_id: usize) -> Option<String> {
+        let state = self.ctx.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.slots.get(shard_id).and_then(|s| s.owner.clone())
+    }
+
+    /// Whether any shard is currently granted to `worker`.
+    pub fn granted_to(&self, worker: &str) -> bool {
+        let state = self.ctx.state.lock().unwrap_or_else(|e| e.into_inner());
+        state
+            .slots
+            .iter()
+            .any(|s| s.granted && !s.done && s.owner.as_deref() == Some(worker))
+    }
+}
+
+/// A bound-but-not-yet-running coordinator. Binding is split from
+/// running so callers learn the (possibly ephemeral) address before the
+/// blocking serve loop starts.
+pub struct Coordinator {
+    listener: TcpListener,
+    addr: SocketAddr,
+    jobs: Vec<JobSpec>,
+    config: SupervisorConfig,
+    dir: PathBuf,
+    opts: CoordinatorOptions,
+    ctx: Arc<CoordCtx>,
+}
+
+impl Coordinator {
+    /// Binds the listen address and prepares the shard table.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Supervisor`] on a bad spec (no jobs, no checkpoint
+    /// directory, zero shards) or a bind failure.
+    pub fn bind(
+        jobs: &[JobSpec],
+        config: &SupervisorConfig,
+        opts: CoordinatorOptions,
+    ) -> Result<Coordinator, RemoteError> {
+        if jobs.is_empty() {
+            return Err(SupervisorError::Spec("batch has no jobs".to_string()).into());
+        }
+        if opts.shards == 0 {
+            return Err(SupervisorError::Spec("--shards must be at least 1".to_string()).into());
+        }
+        let Some(dir) = config.ckpt_dir.clone() else {
+            return Err(SupervisorError::Spec(
+                "a coordinator needs --checkpoint (shard manifests seal there)".to_string(),
+            )
+            .into());
+        };
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            RemoteError::Supervisor(SupervisorError::Io {
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            })
+        })?;
+        let listener = TcpListener::bind(opts.listen)
+            .map_err(|e| RemoteError::TransportLost(format!("bind {}: {e}", opts.listen)))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| RemoteError::TransportLost(e.to_string()))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| RemoteError::TransportLost(e.to_string()))?;
+        let now = Instant::now();
+        let slots = (0..opts.shards)
+            .map(|_| ShardSlot {
+                granted: false,
+                epoch: 0,
+                owner: None,
+                taken_over_from: None,
+                last_seen: now,
+                done: false,
+                records: BTreeMap::new(),
+            })
+            .collect();
+        let jobs_jsonl: String = jobs.iter().map(|j| j.to_json_line() + "\n").collect();
+        let ctx = Arc::new(CoordCtx {
+            state: Mutex::new(CoordState {
+                slots,
+                takeovers: Vec::new(),
+                deduped: 0,
+                last_activity: now,
+                draining: false,
+            }),
+            jobs_jsonl,
+            n_jobs: jobs.len(),
+            batch_seed: config.batch_seed,
+            fault_rate: config.pipeline_fault_rate,
+            shards: opts.shards,
+            lease_ms: opts.lease_ms,
+            heartbeat_ms: opts.heartbeat_ms,
+            active_conns: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+        });
+        Ok(Coordinator {
+            listener,
+            addr,
+            jobs: jobs.to_vec(),
+            config: config.clone(),
+            dir,
+            opts,
+            ctx,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live view on grant state, usable while [`run`](Self::run)
+    /// blocks on another thread.
+    pub fn watch(&self) -> CoordinatorWatch {
+        CoordinatorWatch {
+            ctx: Arc::clone(&self.ctx),
+        }
+    }
+
+    /// Serves the batch to completion: accepts workers, grants shards,
+    /// expires silent leases into epoch takeovers, collects records,
+    /// seals per-shard manifests, and merges them into `batch.manifest`.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::TransportLost`] when the deadline passes with
+    /// rescue disabled, otherwise supervisor/merge failures.
+    pub fn run(self) -> Result<CoordinatorReport, RemoteError> {
+        let mut span = obs::span("net.coordinator");
+        span.record("shards", self.opts.shards);
+        span.record("jobs", self.jobs.len());
+        let accept = std::thread::spawn({
+            let ctx = Arc::clone(&self.ctx);
+            let listener = self
+                .listener
+                .try_clone()
+                .map_err(|e| RemoteError::TransportLost(e.to_string()))?;
+            move || accept_loop(&listener, &ctx)
+        });
+
+        let deadline = Instant::now() + self.opts.deadline;
+        let lease = Duration::from_millis(self.opts.lease_ms.max(1));
+        let mut rescued = Vec::new();
+        loop {
+            std::thread::sleep(Duration::from_millis(20));
+            let (done, idle) = {
+                let state = self.ctx.state.lock().unwrap_or_else(|e| e.into_inner());
+                (state.all_done(), state.last_activity.elapsed())
+            };
+            if done {
+                break;
+            }
+            let fleet_lost = idle > lease.saturating_mul(4).max(Duration::from_millis(500));
+            let out_of_time = Instant::now() >= deadline;
+            if out_of_time && !self.opts.rescue {
+                self.ctx.stop.store(true, Ordering::SeqCst);
+                let _ = accept.join();
+                return Err(RemoteError::TransportLost(format!(
+                    "deadline passed with unfinished shards and rescue disabled \
+                     (idle {idle:?})"
+                )));
+            }
+            if self.opts.rescue && (fleet_lost || out_of_time) {
+                rescued = self.rescue()?;
+                break;
+            }
+        }
+
+        let report = self.seal(rescued);
+        // Linger until connected workers have drained (they exit on the
+        // Drain reply to their next claim), bounded so a wedged peer
+        // cannot hold the coordinator open.
+        {
+            let mut state = self.ctx.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.draining = true;
+        }
+        let grace = Instant::now() + Duration::from_secs(3);
+        while self.ctx.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < grace {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.ctx.stop.store(true, Ordering::SeqCst);
+        let _ = accept.join();
+        let report = report?;
+        span.record("takeovers", report.takeovers.len());
+        span.record("deduped", report.deduped);
+        Ok(report)
+    }
+
+    /// Finishes every unfinished shard in-process — the fleet is gone.
+    fn rescue(&self) -> Result<Vec<usize>, RemoteError> {
+        let unfinished: Vec<usize> = {
+            let state = self.ctx.state.lock().unwrap_or_else(|e| e.into_inner());
+            (0..self.opts.shards)
+                .filter(|&s| !state.slots[s].done)
+                .collect()
+        };
+        let mut rescued = Vec::new();
+        for shard_id in unfinished {
+            let (prior, from) = {
+                let state = self.ctx.state.lock().unwrap_or_else(|e| e.into_inner());
+                let slot = &state.slots[shard_id];
+                (
+                    slot.records
+                        .values()
+                        .map(|(_, r)| r.clone())
+                        .collect::<Vec<_>>(),
+                    slot.owner.clone(),
+                )
+            };
+            let owned = shard_indices(
+                self.jobs.len(),
+                &ShardSpec {
+                    shards: self.opts.shards,
+                    shard_id,
+                },
+            );
+            let records = run_scoped(
+                &self.jobs,
+                &self.config,
+                if prior.is_empty() { None } else { Some(&prior) },
+                Some(&owned),
+            )?;
+            obs::counter_add("net.coord.rescues", 1);
+            obs::event!(
+                "net.rescue",
+                shard = shard_id,
+                from = from.clone().unwrap_or_default()
+            );
+            let mut state = self.ctx.state.lock().unwrap_or_else(|e| e.into_inner());
+            let slot = &mut state.slots[shard_id];
+            slot.epoch += if slot.granted { 1 } else { 0 };
+            if let Some(dead) = slot.owner.replace("net:coordinator".to_string()) {
+                slot.taken_over_from = Some(dead);
+            }
+            slot.records = records
+                .iter()
+                .map(|r| (r.index, (encode_record(r).to_string(), r.clone())))
+                .collect();
+            slot.done = true;
+            rescued.push(shard_id);
+        }
+        Ok(rescued)
+    }
+
+    /// Seals one manifest per shard and merges — the exact same path a
+    /// directory-sharing batch takes, so the sealed bytes are identical.
+    fn seal(&self, rescued: Vec<usize>) -> Result<CoordinatorReport, RemoteError> {
+        let meta = BatchMeta {
+            batch_seed: self.config.batch_seed,
+            jobs: self.jobs.len(),
+            pipeline_fault_rate: self.config.pipeline_fault_rate,
+        };
+        let (takeovers, deduped) = {
+            let state = self.ctx.state.lock().unwrap_or_else(|e| e.into_inner());
+            for (shard_id, slot) in state.slots.iter().enumerate() {
+                let records: Vec<JobRecord> =
+                    slot.records.values().map(|(_, r)| r.clone()).collect();
+                let shard_meta = ShardMeta {
+                    batch: meta,
+                    shards: self.opts.shards,
+                    shard_id,
+                    owner: slot
+                        .owner
+                        .clone()
+                        .unwrap_or_else(|| "net:coordinator".to_string()),
+                    epoch: slot.epoch,
+                    taken_over_from: slot.taken_over_from.clone(),
+                };
+                encode_shard_manifest(&shard_meta, &records)
+                    .write(crate::shard::shard_manifest_path(&self.dir, shard_id))
+                    .map_err(SupervisorError::from)?;
+            }
+            (state.takeovers.clone(), state.deduped)
+        };
+        let merged = merge_shards(&self.dir, &self.jobs)
+            .map_err(|e| RemoteError::Supervisor(SupervisorError::Spec(format!("merge: {e}"))))?;
+        Ok(CoordinatorReport {
+            records: merged.records,
+            sealed: merged.sealed,
+            takeovers,
+            rescued,
+            deduped,
+        })
+    }
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &Arc<CoordCtx>) {
+    while !ctx.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                ctx.active_conns.fetch_add(1, Ordering::SeqCst);
+                let ctx = Arc::clone(ctx);
+                std::thread::spawn(move || {
+                    handle_conn(stream, &ctx);
+                    ctx.active_conns.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// One connection: strict one-request/one-response framing. Any read or
+/// write failure closes the connection — the worker reconnects and the
+/// at-least-once layer absorbs the gap.
+fn handle_conn(mut stream: TcpStream, ctx: &Arc<CoordCtx>) {
+    // Bounded reads so a severed peer cannot pin this handler forever;
+    // generous enough that a worker quietly computing between results
+    // (heartbeats travel on their own connection) is never cut off.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    while let Ok(payload) = read_frame(&mut stream) {
+        let reply = match Message::decode(&payload) {
+            Ok(msg) => respond(msg, ctx),
+            Err(e) => Message::Reject {
+                reason: format!("undecodable message: {e}"),
+            },
+        };
+        {
+            let mut state = ctx.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.last_activity = Instant::now();
+        }
+        if write_frame(&mut stream, &reply.encode()).is_err() {
+            break;
+        }
+    }
+}
+
+fn respond(msg: Message, ctx: &Arc<CoordCtx>) -> Message {
+    match msg {
+        Message::Hello { worker, version } => {
+            if version != PROTOCOL_VERSION {
+                obs::counter_add("net.coord.version_rejected", 1);
+                return Message::Reject {
+                    reason: format!(
+                        "protocol version {version} unsupported (coordinator speaks \
+                         {PROTOCOL_VERSION})"
+                    ),
+                };
+            }
+            obs::event!("net.hello", worker = worker);
+            Message::Welcome {
+                batch_seed: ctx.batch_seed,
+                fault_rate_bits: ctx.fault_rate.to_bits(),
+                shards: ctx.shards,
+                jobs_jsonl: ctx.jobs_jsonl.clone(),
+                lease_ms: ctx.lease_ms,
+                heartbeat_ms: ctx.heartbeat_ms,
+            }
+        }
+        Message::Claim { worker } => {
+            let mut state = ctx.state.lock().unwrap_or_else(|e| e.into_inner());
+            if state.draining || state.all_done() {
+                return Message::Drain;
+            }
+            let lease = Duration::from_millis(ctx.lease_ms.max(1));
+            for shard_id in 0..ctx.shards {
+                let slot = &mut state.slots[shard_id];
+                if slot.done {
+                    continue;
+                }
+                if !slot.granted {
+                    slot.granted = true;
+                    slot.owner = Some(worker.clone());
+                    slot.last_seen = Instant::now();
+                    obs::counter_add("net.coord.grants", 1);
+                    return Message::Grant {
+                        shard_id,
+                        epoch: slot.epoch,
+                        taken_over_from: slot.taken_over_from.clone(),
+                    };
+                }
+                if slot.last_seen.elapsed() > lease {
+                    // Epoch takeover: the incumbent is presumed dead.
+                    let from = slot.owner.clone().unwrap_or_default();
+                    slot.epoch += 1;
+                    slot.taken_over_from = Some(from.clone());
+                    slot.owner = Some(worker.clone());
+                    slot.last_seen = Instant::now();
+                    let epoch = slot.epoch;
+                    state.takeovers.push(RemoteTakeover {
+                        shard_id,
+                        from: from.clone(),
+                        epoch,
+                    });
+                    obs::counter_add("net.coord.takeovers", 1);
+                    obs::event!("net.takeover", shard = shard_id, from = from, epoch = epoch);
+                    return Message::Grant {
+                        shard_id,
+                        epoch,
+                        taken_over_from: state.slots[shard_id].taken_over_from.clone(),
+                    };
+                }
+            }
+            Message::Wait {
+                backoff_ms: ctx.heartbeat_ms.max(1),
+            }
+        }
+        Message::JobResult {
+            shard_id,
+            epoch,
+            index,
+            record_json,
+        } => {
+            let mut state = ctx.state.lock().unwrap_or_else(|e| e.into_inner());
+            let Some(slot) = state.slots.get_mut(shard_id) else {
+                return Message::Reject {
+                    reason: format!("shard {shard_id} out of range"),
+                };
+            };
+            if epoch < slot.epoch {
+                obs::counter_add("net.coord.stale_epoch_rejected", 1);
+                return Message::Reject {
+                    reason: format!(
+                        "stale epoch {epoch} for shard {shard_id} (current {})",
+                        slot.epoch
+                    ),
+                };
+            }
+            if index >= ctx.n_jobs || crate::shard::job_shard(index, ctx.shards) != shard_id {
+                return Message::Reject {
+                    reason: format!("index {index} does not belong to shard {shard_id}"),
+                };
+            }
+            let record = match obs::json::parse(&record_json)
+                .map_err(|e| e.to_string())
+                .and_then(|v| decode_record_sparse(&v).map_err(|e| e.to_string()))
+            {
+                Ok(r) if r.index == index => r,
+                Ok(r) => {
+                    return Message::Reject {
+                        reason: format!("record index {} disagrees with envelope {index}", r.index),
+                    }
+                }
+                Err(e) => {
+                    return Message::Reject {
+                        reason: format!("undecodable record: {e}"),
+                    }
+                }
+            };
+            slot.last_seen = Instant::now();
+            if let Some((existing, _)) = slot.records.get(&index) {
+                if *existing == record_json {
+                    state.deduped += 1;
+                    obs::counter_add("net.coord.results_deduped", 1);
+                    return Message::Ack { epoch };
+                }
+                obs::counter_add("net.coord.result_conflicts", 1);
+                return Message::Reject {
+                    reason: format!(
+                        "divergent duplicate for job {index}: determinism contract violated"
+                    ),
+                };
+            }
+            slot.records.insert(index, (record_json, record));
+            obs::counter_add("net.coord.results_received", 1);
+            let owned = shard_indices(
+                ctx.n_jobs,
+                &ShardSpec {
+                    shards: ctx.shards,
+                    shard_id,
+                },
+            )
+            .len();
+            if slot.records.len() >= owned {
+                slot.done = true;
+                obs::event!("net.shard_complete", shard = shard_id);
+            }
+            Message::Ack { epoch }
+        }
+        Message::Heartbeat {
+            shard_id, epoch, ..
+        }
+        | Message::LeaseRenew { shard_id, epoch } => {
+            let mut state = ctx.state.lock().unwrap_or_else(|e| e.into_inner());
+            let Some(slot) = state.slots.get_mut(shard_id) else {
+                return Message::Reject {
+                    reason: format!("shard {shard_id} out of range"),
+                };
+            };
+            if epoch < slot.epoch {
+                obs::counter_add("net.coord.stale_epoch_rejected", 1);
+                return Message::Reject {
+                    reason: format!("stale epoch {epoch} for shard {shard_id}"),
+                };
+            }
+            slot.last_seen = Instant::now();
+            obs::counter_add("net.coord.heartbeats", 1);
+            Message::Ack { epoch }
+        }
+        other => Message::Reject {
+            reason: format!("unexpected {} from a worker", other.tag()),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+/// Worker knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerOptions {
+    /// Coordinator (or proxy) address.
+    pub connect: SocketAddr,
+    /// Stable worker identity — the seed root of the reconnect ladder
+    /// and the owner string in grant lineage.
+    pub worker_id: String,
+    /// Local worker threads for granted shards.
+    pub threads: usize,
+    /// Reconnect spacing (the supervisor's seeded ladder).
+    pub backoff: BackoffPolicy,
+    /// Reconnect attempts per outage before giving up.
+    pub max_reconnects: usize,
+    /// Where to seal a partial shard manifest when the transport dies
+    /// for good mid-shard. `None` = the progress is simply lost (the
+    /// coordinator re-grants; determinism makes the re-run identical).
+    pub local_dir: Option<PathBuf>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            connect: SocketAddr::from(([127, 0, 0, 1], 0)),
+            worker_id: "worker".to_string(),
+            threads: 2,
+            backoff: BackoffPolicy {
+                base_ms: 10,
+                factor: 2.0,
+                cap_ms: 500,
+                jitter: 0.5,
+            },
+            max_reconnects: 8,
+            local_dir: None,
+        }
+    }
+}
+
+/// What one worker run accomplished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerReport {
+    /// The worker's identity.
+    pub worker_id: String,
+    /// Shards granted and fully delivered, in grant order.
+    pub shards_run: Vec<usize>,
+    /// Records delivered (acks received), including resends.
+    pub records_sent: usize,
+    /// Reconnects performed across the run.
+    pub reconnects: usize,
+    /// Delay (ms) before each reconnect, in order — bit-for-bit
+    /// reproducible for a given worker id and backoff policy.
+    pub reconnect_delays_ms: Vec<u64>,
+    /// Partial manifest sealed on transport exhaustion, when one was.
+    pub partial_sealed: Option<PathBuf>,
+}
+
+/// The batch identity a worker learns from `welcome`.
+struct WelcomeInfo {
+    jobs: Vec<JobSpec>,
+    config: SupervisorConfig,
+    shards: usize,
+    heartbeat_ms: u64,
+}
+
+/// One request/response exchange. Any failure is a transport error —
+/// the caller reconnects.
+fn call(stream: &mut TcpStream, msg: &Message) -> Result<Message, String> {
+    write_frame(stream, &msg.encode()).map_err(|e| e.to_string())?;
+    let payload = read_frame(stream).map_err(|e| e.to_string())?;
+    Message::decode(&payload).map_err(|e| e.to_string())
+}
+
+/// Connects (with the seeded ladder) and completes the hello/welcome
+/// handshake. `attempt` persists across outages so the ladder keeps
+/// climbing instead of restarting.
+fn connect_and_hello(
+    opts: &WorkerOptions,
+    report: &mut WorkerReport,
+    attempt: &mut usize,
+) -> Result<(TcpStream, Message), RemoteError> {
+    let seed = worker_seed(&opts.worker_id);
+    loop {
+        if let Ok(mut stream) = TcpStream::connect_timeout(&opts.connect, Duration::from_secs(2)) {
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(20)));
+            let hello = Message::Hello {
+                worker: opts.worker_id.clone(),
+                version: PROTOCOL_VERSION,
+            };
+            match call(&mut stream, &hello) {
+                Ok(welcome @ Message::Welcome { .. }) => return Ok((stream, welcome)),
+                Ok(Message::Reject { reason }) => {
+                    // A reject of *hello* is version/identity skew —
+                    // retrying cannot help.
+                    return Err(RemoteError::Protocol(reason));
+                }
+                Ok(other) => {
+                    return Err(RemoteError::Protocol(format!(
+                        "expected welcome, got {}",
+                        other.tag()
+                    )))
+                }
+                Err(_) => {} // fall through to the retry ladder
+            }
+        }
+        *attempt += 1;
+        if *attempt > opts.max_reconnects {
+            return Err(RemoteError::TransportLost(format!(
+                "coordinator {} unreachable after {} attempts",
+                opts.connect, opts.max_reconnects
+            )));
+        }
+        let delay = opts.backoff.delay_ms(seed, *attempt);
+        report.reconnects += 1;
+        report.reconnect_delays_ms.push(delay);
+        obs::counter_add("net.worker.reconnects", 1);
+        std::thread::sleep(Duration::from_millis(delay));
+    }
+}
+
+fn parse_welcome(welcome: Message, opts: &WorkerOptions) -> Result<WelcomeInfo, RemoteError> {
+    let Message::Welcome {
+        batch_seed,
+        fault_rate_bits,
+        shards,
+        jobs_jsonl,
+        heartbeat_ms,
+        ..
+    } = welcome
+    else {
+        return Err(RemoteError::Protocol("welcome expected".to_string()));
+    };
+    let jobs = parse_jobs(&jobs_jsonl)
+        .map_err(|e| RemoteError::Protocol(format!("jobs in welcome: {e}")))?;
+    let fault_rate = f64::from_bits(fault_rate_bits);
+    let config = SupervisorConfig {
+        workers: opts.threads.max(1),
+        batch_seed,
+        pipeline_fault_rate: fault_rate,
+        injection: if fault_rate > 0.0 {
+            InjectionPlan::chaos(fault_rate)
+        } else {
+            InjectionPlan::none()
+        },
+        ..SupervisorConfig::default()
+    };
+    Ok(WelcomeInfo {
+        jobs,
+        config,
+        shards,
+        heartbeat_ms,
+    })
+}
+
+/// The path a worker seals partial progress to: the ordinary shard
+/// manifest name plus `.partial`, which the merge scan deliberately
+/// ignores — partial seals are for `pcd report` forensics and manual
+/// resume, never for silent inclusion in a merge.
+pub fn partial_manifest_path(dir: &Path, shard_id: usize) -> PathBuf {
+    dir.join(format!("shard-{shard_id}.manifest.partial"))
+}
+
+/// Heartbeat loop on its own connection, so a long-computing worker
+/// never starves its lease. Sets `stale` when the coordinator rejects
+/// the epoch (the shard was taken over — stop working on it).
+fn heartbeat_loop(
+    addr: SocketAddr,
+    shard_id: usize,
+    epoch: u64,
+    interval: Duration,
+    stop: &AtomicBool,
+    stale: &AtomicBool,
+) {
+    let mut stream: Option<TcpStream> = None;
+    let mut beats = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        beats += 1;
+        if stream.is_none() {
+            stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500))
+                .ok()
+                .inspect(|s| {
+                    let _ = s.set_read_timeout(Some(interval.saturating_mul(4)));
+                });
+        }
+        let Some(s) = stream.as_mut() else { continue };
+        match call(
+            s,
+            &Message::Heartbeat {
+                shard_id,
+                epoch,
+                beats,
+            },
+        ) {
+            Ok(Message::Ack { .. }) => obs::counter_add("net.worker.heartbeats", 1),
+            Ok(Message::Reject { .. }) => {
+                stale.store(true, Ordering::SeqCst);
+                return;
+            }
+            Ok(_) | Err(_) => stream = None, // reconnect next tick
+        }
+    }
+}
+
+/// Runs a worker against a coordinator: hello, claim, run granted
+/// shards locally, stream records back (at-least-once), repeat until
+/// drained.
+///
+/// # Errors
+///
+/// [`RemoteError::TransportLost`] when the reconnect budget runs out
+/// (partial progress sealed to `local_dir` when set),
+/// [`RemoteError::Protocol`] on version/handshake skew, or a local
+/// [`RemoteError::Supervisor`] failure.
+pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerReport, RemoteError> {
+    let mut span = obs::span("net.worker");
+    span.record("worker", opts.worker_id.clone());
+    let mut report = WorkerReport {
+        worker_id: opts.worker_id.clone(),
+        shards_run: Vec::new(),
+        records_sent: 0,
+        reconnects: 0,
+        reconnect_delays_ms: Vec::new(),
+        partial_sealed: None,
+    };
+    let mut attempt = 0usize;
+    let (mut stream, welcome) = connect_and_hello(opts, &mut report, &mut attempt)?;
+    let info = parse_welcome(welcome, opts)?;
+
+    loop {
+        let claim = Message::Claim {
+            worker: opts.worker_id.clone(),
+        };
+        let reply = match call(&mut stream, &claim) {
+            Ok(r) => r,
+            Err(_) => {
+                let (s, w) = connect_and_hello(opts, &mut report, &mut attempt)?;
+                parse_welcome(w, opts)?; // re-validate identity
+                stream = s;
+                continue;
+            }
+        };
+        match reply {
+            Message::Drain => break,
+            Message::Wait { backoff_ms } => {
+                std::thread::sleep(Duration::from_millis(backoff_ms.clamp(1, 1000)));
+            }
+            Message::Grant {
+                shard_id,
+                epoch,
+                taken_over_from,
+            } => {
+                if let Some(from) = &taken_over_from {
+                    obs::event!(
+                        "net.worker.takeover_grant",
+                        shard = shard_id,
+                        from = from.clone(),
+                        epoch = epoch
+                    );
+                }
+                match run_granted_shard(
+                    opts,
+                    &info,
+                    &mut stream,
+                    &mut report,
+                    &mut attempt,
+                    shard_id,
+                    epoch,
+                ) {
+                    Ok(ShardDelivery::Delivered) => report.shards_run.push(shard_id),
+                    Ok(ShardDelivery::Superseded) => {
+                        // Our lease expired mid-run; the shard belongs to
+                        // someone else now. Claim fresh work.
+                        obs::counter_add("net.worker.superseded", 1);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Message::Reject { reason } => return Err(RemoteError::Protocol(reason)),
+            other => {
+                return Err(RemoteError::Protocol(format!(
+                    "unexpected {} to a claim",
+                    other.tag()
+                )))
+            }
+        }
+    }
+    span.record("shards_run", report.shards_run.len());
+    span.record("reconnects", report.reconnects);
+    Ok(report)
+}
+
+enum ShardDelivery {
+    /// Every record acked.
+    Delivered,
+    /// The coordinator rejected our epoch — the shard was re-granted.
+    Superseded,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_granted_shard(
+    opts: &WorkerOptions,
+    info: &WelcomeInfo,
+    stream: &mut TcpStream,
+    report: &mut WorkerReport,
+    attempt: &mut usize,
+    shard_id: usize,
+    epoch: u64,
+) -> Result<ShardDelivery, RemoteError> {
+    let spec = ShardSpec {
+        shards: info.shards,
+        shard_id,
+    };
+    let owned = shard_indices(info.jobs.len(), &spec);
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let hb_stale = Arc::new(AtomicBool::new(false));
+    let hb = std::thread::spawn({
+        let (stop, stale) = (Arc::clone(&hb_stop), Arc::clone(&hb_stale));
+        let addr = opts.connect;
+        let interval = Duration::from_millis(info.heartbeat_ms.max(1));
+        move || heartbeat_loop(addr, shard_id, epoch, interval, &stop, &stale)
+    });
+    let finish_hb = |outcome| {
+        hb_stop.store(true, Ordering::SeqCst);
+        let _ = hb.join();
+        outcome
+    };
+
+    let records = match run_scoped(&info.jobs, &info.config, None, Some(&owned)) {
+        Ok(r) => r,
+        Err(e) => return finish_hb(Err(e.into())),
+    };
+
+    // Deliver every record; at-least-once, so after any reconnect the
+    // whole shard is resent from the top and the coordinator dedups.
+    let mut cursor = 0usize;
+    while cursor < records.len() {
+        if hb_stale.load(Ordering::SeqCst) {
+            return finish_hb(Ok(ShardDelivery::Superseded));
+        }
+        let record = &records[cursor];
+        let msg = Message::JobResult {
+            shard_id,
+            epoch,
+            index: record.index,
+            record_json: encode_record(record).to_string(),
+        };
+        match call(stream, &msg) {
+            Ok(Message::Ack { .. }) => {
+                report.records_sent += 1;
+                obs::counter_add("net.worker.results_sent", 1);
+                cursor += 1;
+            }
+            Ok(Message::Reject { .. }) => return finish_hb(Ok(ShardDelivery::Superseded)),
+            Ok(other) => {
+                return finish_hb(Err(RemoteError::Protocol(format!(
+                    "unexpected {} to a job-result",
+                    other.tag()
+                ))))
+            }
+            Err(_) => {
+                obs::event!("net.worker.disconnected", shard = shard_id, at = cursor);
+                match connect_and_hello(opts, report, attempt) {
+                    Ok((s, w)) => {
+                        if parse_welcome(w, opts).is_err() {
+                            return finish_hb(Err(RemoteError::Protocol(
+                                "welcome changed across reconnect".to_string(),
+                            )));
+                        }
+                        *stream = s;
+                        cursor = 0; // resend from the top
+                    }
+                    Err(RemoteError::TransportLost(msg)) => {
+                        let sealed = seal_partial(opts, info, shard_id, epoch, &records);
+                        report.partial_sealed = sealed;
+                        return finish_hb(Err(RemoteError::TransportLost(format!(
+                            "{msg}; shard {shard_id} progress {} locally",
+                            if report.partial_sealed.is_some() {
+                                "sealed"
+                            } else {
+                                "discarded"
+                            }
+                        ))));
+                    }
+                    Err(e) => return finish_hb(Err(e)),
+                }
+            }
+        }
+    }
+    finish_hb(Ok(ShardDelivery::Delivered))
+}
+
+/// Seals the computed-but-undelivered records as a CRC'd partial shard
+/// manifest. Best-effort: a seal failure only loses forensics, never
+/// correctness (the coordinator re-runs the shard deterministically).
+fn seal_partial(
+    opts: &WorkerOptions,
+    info: &WelcomeInfo,
+    shard_id: usize,
+    epoch: u64,
+    records: &[JobRecord],
+) -> Option<PathBuf> {
+    let dir = opts.local_dir.as_ref()?;
+    if std::fs::create_dir_all(dir).is_err() {
+        return None;
+    }
+    let meta = ShardMeta {
+        batch: BatchMeta {
+            batch_seed: info.config.batch_seed,
+            jobs: info.jobs.len(),
+            pipeline_fault_rate: info.config.pipeline_fault_rate,
+        },
+        shards: info.shards,
+        shard_id,
+        owner: format!("net:{}", opts.worker_id),
+        epoch,
+        taken_over_from: None,
+    };
+    let path = partial_manifest_path(dir, shard_id);
+    match encode_shard_manifest(&meta, records).write(&path) {
+        Ok(()) => {
+            obs::counter_add("net.worker.partial_seals", 1);
+            obs::event!(
+                "net.partial_seal",
+                shard = shard_id,
+                path = path.display().to_string()
+            );
+            Some(path)
+        }
+        Err(_) => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Net chaos: run a real coordinator + worker subprocesses through the
+// fault proxy, SIGKILL a worker mid-grant, and verify the sealed batch
+// manifest is still bit-identical to an uninterrupted in-process run.
+// ---------------------------------------------------------------------------
+
+/// Net-chaos campaign configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetChaosOptions {
+    /// Campaign seed; trial `t` derives its batch seed from it, and the
+    /// victim worker is drawn from it too.
+    pub seed: u64,
+    /// Number of trials.
+    pub trials: usize,
+    /// Jobs per trial batch.
+    pub jobs: usize,
+    /// Worker subprocesses per trial (the coordinator splits the batch
+    /// into this many net shards).
+    pub workers: usize,
+    /// Worker threads inside each worker process.
+    pub threads: usize,
+    /// Pipeline fault-injection rate (panics/hangs/transients inside the
+    /// jobs themselves), exercising transport recovery under concurrent
+    /// compute faults.
+    pub fault_rate: f64,
+    /// Proxy injection rate per fault site per frame — drop, bit-flip,
+    /// duplicate, delay, reorder, partition, connection refusal.
+    pub net_fault_rate: f64,
+    /// SIGKILL a seeded victim worker the moment it holds a grant.
+    pub kill_worker: bool,
+    /// The `pcd` binary to spawn workers with.
+    pub pcd_exe: PathBuf,
+    /// Scratch parent directory (defaults to the system temp directory).
+    pub scratch_dir: Option<PathBuf>,
+}
+
+impl Default for NetChaosOptions {
+    fn default() -> Self {
+        NetChaosOptions {
+            seed: 42,
+            trials: 2,
+            jobs: 6,
+            workers: 3,
+            threads: 2,
+            fault_rate: 0.25,
+            net_fault_rate: 0.05,
+            kill_worker: true,
+            pcd_exe: PathBuf::from("pcd"),
+            scratch_dir: None,
+        }
+    }
+}
+
+/// One net-chaos trial's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetChaosTrialOutcome {
+    /// Trial index.
+    pub trial: usize,
+    /// The worker id that was SIGKILLed, when one was.
+    pub victim: Option<String>,
+    /// Whether the kill actually landed mid-run (a fast victim may
+    /// deliver its whole shard and exit before the signal).
+    pub killed_mid_run: bool,
+    /// Epoch takeovers the coordinator performed over the wire.
+    pub takeovers: usize,
+    /// Shards the coordinator rescued in-process.
+    pub rescued: usize,
+    /// Bit-identical duplicate records the coordinator collapsed
+    /// (reconnect resends surviving the proxy).
+    pub deduped: usize,
+    /// Invariant violations (empty = the trial survived).
+    pub violations: Vec<String>,
+}
+
+/// The whole net-chaos campaign's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetChaosReport {
+    /// Per-trial outcomes.
+    pub outcomes: Vec<NetChaosTrialOutcome>,
+}
+
+impl NetChaosReport {
+    /// Trials that violated an invariant.
+    pub fn failures(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.violations.is_empty())
+            .count()
+    }
+
+    /// Whether every trial upheld every invariant.
+    pub fn survived(&self) -> bool {
+        self.failures() == 0
+    }
+
+    /// Wire takeovers observed across the campaign.
+    pub fn takeovers(&self) -> usize {
+        self.outcomes.iter().map(|o| o.takeovers).sum()
+    }
+}
+
+/// Runs the net-chaos campaign: per trial, binds an in-process
+/// coordinator, stands a [`net::FaultProxy`] in front of it, launches
+/// `workers` real `pcd batch --connect` subprocesses through the proxy,
+/// SIGKILLs a seeded victim as soon as it holds a grant, and asserts the
+/// coordinator's sealed `batch.manifest` is bit-identical to an
+/// uninterrupted in-process reference — no record lost, duplicated, or
+/// silently corrupted by the damaged link.
+pub fn run_net_chaos(opts: &NetChaosOptions) -> NetChaosReport {
+    let mut span = obs::span("net.chaos");
+    span.record("trials", opts.trials);
+    span.record("workers", opts.workers);
+
+    let jobs = crate::chaos::trial_jobs(opts.jobs.max(1));
+    let mut outcomes = Vec::with_capacity(opts.trials);
+    for trial in 0..opts.trials {
+        let batch_seed = opts
+            .seed
+            .wrapping_add((trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let scratch = opts
+            .scratch_dir
+            .clone()
+            .unwrap_or_else(std::env::temp_dir)
+            .join(format!("pcd-netchaos-{}-{trial}", std::process::id()));
+        let mut outcome = NetChaosTrialOutcome {
+            trial,
+            victim: None,
+            killed_mid_run: false,
+            takeovers: 0,
+            rescued: 0,
+            deduped: 0,
+            violations: Vec::new(),
+        };
+        if let Err(v) = net_chaos_trial(batch_seed, &jobs, &scratch, opts, &mut outcome) {
+            outcome.violations.push(v);
+        }
+        if !outcome.violations.is_empty() {
+            obs::counter_add("supervisor.chaos_failures", 1);
+        }
+        obs::event!(
+            "net.chaos_trial",
+            trial = trial,
+            killed_mid_run = outcome.killed_mid_run,
+            takeovers = outcome.takeovers,
+            rescued = outcome.rescued,
+            deduped = outcome.deduped,
+            violations = outcome.violations.len()
+        );
+        let _ = std::fs::remove_dir_all(&scratch);
+        outcomes.push(outcome);
+    }
+
+    let report = NetChaosReport { outcomes };
+    span.record("failures", report.failures());
+    span.record("takeovers", report.takeovers());
+    report
+}
+
+fn net_chaos_trial(
+    batch_seed: u64,
+    jobs: &[JobSpec],
+    scratch: &Path,
+    opts: &NetChaosOptions,
+    outcome: &mut NetChaosTrialOutcome,
+) -> Result<(), String> {
+    use crate::engine::run_batch;
+    use crate::manifest::encode_manifest;
+    use net::{FaultProxy, ProxyOptions};
+    use std::process::{Command, Stdio};
+
+    let _ = std::fs::remove_dir_all(scratch);
+    std::fs::create_dir_all(scratch).map_err(|e| format!("scratch dir: {e}"))?;
+
+    // Uninterrupted in-process reference: the sealed manifest every
+    // proxied + killed + merged run must reproduce bit-for-bit.
+    let config = SupervisorConfig {
+        workers: opts.threads.max(1),
+        batch_seed,
+        pipeline_fault_rate: opts.fault_rate,
+        injection: if opts.fault_rate > 0.0 {
+            InjectionPlan::chaos(opts.fault_rate)
+        } else {
+            InjectionPlan::none()
+        },
+        ..SupervisorConfig::default()
+    };
+    let reference = run_batch(jobs, &config).map_err(|e| format!("reference run: {e}"))?;
+    let meta = BatchMeta {
+        batch_seed,
+        jobs: jobs.len(),
+        pipeline_fault_rate: config.pipeline_fault_rate,
+    };
+    let reference_bytes = encode_manifest(&meta, &reference.records).to_bytes();
+
+    // Coordinator behind the fault proxy.
+    let coord_config = SupervisorConfig {
+        ckpt_dir: Some(scratch.join("ckpt")),
+        ..config
+    };
+    let coordinator = Coordinator::bind(
+        jobs,
+        &coord_config,
+        CoordinatorOptions {
+            shards: opts.workers.max(1),
+            deadline: Duration::from_secs(60),
+            ..CoordinatorOptions::default()
+        },
+    )
+    .map_err(|e| format!("coordinator bind: {e}"))?;
+    let watch = coordinator.watch();
+    let proxy = FaultProxy::start(ProxyOptions {
+        listen: SocketAddr::from(([127, 0, 0, 1], 0)),
+        target: coordinator.addr(),
+        seed: splitmix64(batch_seed ^ 0x5EA_F007),
+        fault_rate: opts.net_fault_rate,
+    })
+    .map_err(|e| format!("proxy start: {e}"))?;
+    let proxy_addr = proxy.addr();
+    let coord_thread = std::thread::spawn(move || coordinator.run());
+
+    // The fleet, each worker connecting through the damaged link.
+    let mut children = Vec::new();
+    for w in 0..opts.workers.max(1) {
+        let worker_id = format!("w{w}");
+        let child = Command::new(&opts.pcd_exe)
+            .arg("batch")
+            .args(["--connect", &proxy_addr.to_string()])
+            .args(["--worker-id", &worker_id])
+            .args(["--workers", &opts.threads.max(1).to_string()])
+            .arg("--local-dir")
+            .arg(scratch.join(&worker_id))
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("spawning worker {worker_id}: {e}"))?;
+        children.push((worker_id, child));
+    }
+
+    // SIGKILL the victim the moment it holds a live grant (mid-run by
+    // construction... unless it delivers the whole shard faster than the
+    // poll, which the exit status below detects).
+    let victim = opts.kill_worker.then(|| {
+        format!(
+            "w{}",
+            splitmix64(batch_seed ^ 0xFEED) % opts.workers.max(1) as u64
+        )
+    });
+    if let Some(victim_id) = &victim {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !watch.granted_to(victim_id) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        outcome.victim = Some(victim_id.clone());
+    }
+
+    let mut statuses = Vec::new();
+    for (worker_id, mut child) in children {
+        if Some(&worker_id) == victim.as_ref() {
+            let _ = child.kill();
+        }
+        let status = child
+            .wait()
+            .map_err(|e| format!("waiting for worker {worker_id}: {e}"))?;
+        statuses.push((worker_id, status));
+    }
+    if let Some(victim_id) = &victim {
+        let victim_status = statuses
+            .iter()
+            .find(|(id, _)| id == victim_id)
+            .map(|(_, st)| *st)
+            .ok_or_else(|| "victim status missing".to_string())?;
+        // `killed_mid_run` = the signal actually cut the run short; a
+        // victim that beat the poll to completion exits 0.
+        outcome.killed_mid_run = !victim_status.success();
+    }
+    // Survivors must end in the exit taxonomy: 0 (drained clean) or 36
+    // (transport exhausted, sealed partial, resumable). Anything else —
+    // a panic, a protocol error, a usage failure — is a violation.
+    for (worker_id, status) in &statuses {
+        if Some(worker_id) == victim.as_ref() {
+            continue;
+        }
+        match status.code() {
+            Some(0) | Some(36) => {}
+            code => outcome
+                .violations
+                .push(format!("worker {worker_id} exited {code:?} (want 0 or 36)")),
+        }
+    }
+
+    let report = coord_thread
+        .join()
+        .map_err(|_| "coordinator thread panicked".to_string())?
+        .map_err(|e| format!("coordinator run: {e}"))?;
+    proxy.stop();
+
+    outcome.takeovers = report.takeovers.len();
+    outcome.rescued = report.rescued.len();
+    outcome.deduped = report.deduped;
+
+    // The invariants: every job terminal exactly once, and the sealed
+    // manifest bit-identical to the uninterrupted reference — whatever
+    // the proxy dropped, flipped, duplicated, or severed.
+    if report.records.len() != jobs.len() {
+        outcome.violations.push(format!(
+            "coordinator merged {} records for {} jobs",
+            report.records.len(),
+            jobs.len()
+        ));
+    }
+    if report.sealed != reference_bytes {
+        outcome.violations.push(
+            "coordinator batch.manifest differs from the single-machine reference manifest"
+                .to_string(),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::trial_jobs;
+    use crate::engine::run_batch;
+    use crate::manifest::encode_manifest;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pcd-remote-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn config(batch_seed: u64, dir: &Path) -> SupervisorConfig {
+        SupervisorConfig {
+            batch_seed,
+            ckpt_dir: Some(dir.to_path_buf()),
+            ..SupervisorConfig::default()
+        }
+    }
+
+    fn reference_bytes(jobs: &[JobSpec], config: &SupervisorConfig) -> Vec<u8> {
+        let reference = run_batch(jobs, config).unwrap();
+        let meta = BatchMeta {
+            batch_seed: config.batch_seed,
+            jobs: jobs.len(),
+            pipeline_fault_rate: config.pipeline_fault_rate,
+        };
+        encode_manifest(&meta, &reference.records).to_bytes()
+    }
+
+    fn worker_opts(addr: SocketAddr, id: &str) -> WorkerOptions {
+        WorkerOptions {
+            connect: addr,
+            worker_id: id.to_string(),
+            backoff: BackoffPolicy {
+                base_ms: 1,
+                factor: 2.0,
+                cap_ms: 20,
+                jitter: 0.5,
+            },
+            ..WorkerOptions::default()
+        }
+    }
+
+    #[test]
+    fn three_workers_over_loopback_match_the_single_machine_manifest() {
+        let dir = scratch("loopback");
+        let jobs = trial_jobs(7);
+        let config = config(41, &dir.join("ckpt"));
+        let expected = reference_bytes(&jobs, &config);
+
+        let coordinator = Coordinator::bind(
+            &jobs,
+            &config,
+            CoordinatorOptions {
+                shards: 3,
+                ..CoordinatorOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = coordinator.addr();
+        let coord = std::thread::spawn(move || coordinator.run());
+        let workers: Vec<_> = (0..3)
+            .map(|i| {
+                let opts = worker_opts(addr, &format!("w{i}"));
+                std::thread::spawn(move || run_worker(&opts))
+            })
+            .collect();
+        for w in workers {
+            let report = w.join().unwrap().unwrap();
+            assert!(report.partial_sealed.is_none());
+        }
+        let report = coord.join().unwrap().unwrap();
+        assert_eq!(
+            report.sealed, expected,
+            "multi-machine merge must be bit-identical"
+        );
+        assert_eq!(report.records.len(), jobs.len());
+        assert!(report.rescued.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn vanished_worker_is_taken_over_at_the_next_epoch() {
+        let dir = scratch("takeover");
+        let jobs = trial_jobs(6);
+        let config = config(43, &dir.join("ckpt"));
+        let expected = reference_bytes(&jobs, &config);
+
+        let coordinator = Coordinator::bind(
+            &jobs,
+            &config,
+            CoordinatorOptions {
+                shards: 2,
+                lease_ms: 120,
+                heartbeat_ms: 40,
+                ..CoordinatorOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = coordinator.addr();
+        let coord = std::thread::spawn(move || coordinator.run());
+
+        // A "worker" that claims shard 0 and silently dies: hello, claim,
+        // then drop the connection without a single heartbeat or record.
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let hello = Message::Hello {
+                worker: "ghost".to_string(),
+                version: PROTOCOL_VERSION,
+            };
+            assert!(matches!(
+                call(&mut stream, &hello).unwrap(),
+                Message::Welcome { .. }
+            ));
+            let claim = Message::Claim {
+                worker: "ghost".to_string(),
+            };
+            assert!(matches!(
+                call(&mut stream, &claim).unwrap(),
+                Message::Grant {
+                    shard_id: 0,
+                    epoch: 0,
+                    ..
+                }
+            ));
+        }
+
+        // A healthy worker absorbs both shards — shard 0 via takeover.
+        let report = run_worker(&worker_opts(addr, "healthy")).unwrap();
+        assert!(report.shards_run.contains(&0), "takeover grant ran");
+        let coord_report = coord.join().unwrap().unwrap();
+        assert_eq!(coord_report.sealed, expected);
+        let takeover = coord_report
+            .takeovers
+            .iter()
+            .find(|t| t.shard_id == 0)
+            .expect("epoch takeover recorded");
+        assert_eq!(takeover.from, "ghost");
+        assert_eq!(takeover.epoch, 1, "monotonic epoch bump");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coordinator_rescues_when_the_whole_fleet_dies() {
+        let dir = scratch("rescue");
+        let jobs = trial_jobs(5);
+        let config = config(47, &dir.join("ckpt"));
+        let expected = reference_bytes(&jobs, &config);
+
+        let coordinator = Coordinator::bind(
+            &jobs,
+            &config,
+            CoordinatorOptions {
+                shards: 2,
+                lease_ms: 80,
+                heartbeat_ms: 30,
+                deadline: Duration::from_secs(30),
+                ..CoordinatorOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = coordinator.addr();
+        let coord = std::thread::spawn(move || coordinator.run());
+        // One ghost claims a shard and dies; nobody else ever connects.
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let hello = Message::Hello {
+                worker: "ghost".to_string(),
+                version: PROTOCOL_VERSION,
+            };
+            let _ = call(&mut stream, &hello).unwrap();
+            let claim = Message::Claim {
+                worker: "ghost".to_string(),
+            };
+            let _ = call(&mut stream, &claim).unwrap();
+        }
+        let report = coord.join().unwrap().unwrap();
+        assert_eq!(report.sealed, expected, "rescued batch still bit-identical");
+        assert!(!report.rescued.is_empty(), "rescue path exercised");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_skew_is_rejected_as_protocol_error() {
+        let dir = scratch("version");
+        let jobs = trial_jobs(2);
+        let config = config(3, &dir.join("ckpt"));
+        let coordinator = Coordinator::bind(&jobs, &config, CoordinatorOptions::default()).unwrap();
+        let addr = coordinator.addr();
+        let watch = coordinator.watch();
+        let coord = std::thread::spawn(move || coordinator.run());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let bad_hello = Message::Hello {
+            worker: "time-traveler".to_string(),
+            version: PROTOCOL_VERSION + 1,
+        };
+        assert!(matches!(
+            call(&mut stream, &bad_hello).unwrap(),
+            Message::Reject { .. }
+        ));
+        assert!(watch.owner_of(0).is_none());
+        drop(stream);
+
+        // Finish the batch so the coordinator thread exits.
+        run_worker(&worker_opts(addr, "w0")).unwrap();
+        coord.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reconnect_ladder_replays_bit_for_bit() {
+        // No listener at this address: every attempt fails, exhausting
+        // the budget and recording the full delay ladder.
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let opts = WorkerOptions {
+            max_reconnects: 5,
+            ..worker_opts(dead, "replay-me")
+        };
+        let runs: Vec<Vec<u64>> = (0..2)
+            .map(|_| {
+                let mut report = WorkerReport {
+                    worker_id: opts.worker_id.clone(),
+                    shards_run: Vec::new(),
+                    records_sent: 0,
+                    reconnects: 0,
+                    reconnect_delays_ms: Vec::new(),
+                    partial_sealed: None,
+                };
+                let mut attempt = 0;
+                let err = connect_and_hello(&opts, &mut report, &mut attempt).unwrap_err();
+                assert!(matches!(err, RemoteError::TransportLost(_)));
+                report.reconnect_delays_ms
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "same worker id, same ladder");
+        assert_eq!(
+            runs[0],
+            reconnect_schedule("replay-me", &opts.backoff, 5),
+            "ladder is the published pure function"
+        );
+        assert_ne!(
+            runs[0],
+            reconnect_schedule("someone-else", &opts.backoff, 5),
+            "ladders decorrelate by worker id"
+        );
+    }
+
+    #[test]
+    fn partial_seal_writes_a_decodable_manifest_the_merge_ignores() {
+        let dir = scratch("partial");
+        let jobs = trial_jobs(4);
+        let info = WelcomeInfo {
+            jobs: jobs.clone(),
+            config: SupervisorConfig {
+                batch_seed: 9,
+                ..SupervisorConfig::default()
+            },
+            shards: 2,
+            heartbeat_ms: 50,
+        };
+        let opts = WorkerOptions {
+            local_dir: Some(dir.clone()),
+            ..worker_opts("127.0.0.1:1".parse().unwrap(), "sealer")
+        };
+        let records = run_scoped(&jobs, &info.config, None, Some(&[0, 2])).unwrap();
+        let owned: Vec<JobRecord> = records.into_iter().filter(|r| r.index % 2 == 0).collect();
+        let path = seal_partial(&opts, &info, 0, 3, &owned).expect("seal lands");
+        assert!(path.ends_with("shard-0.manifest.partial"));
+        let ck = resilience::Checkpoint::read(&path).unwrap();
+        let (meta, back) = crate::shard::decode_shard_manifest(&ck).unwrap();
+        assert_eq!(meta.owner, "net:sealer");
+        assert_eq!(meta.epoch, 3);
+        assert_eq!(back, owned);
+        // The merge scan must not pick the partial up as a shard.
+        let err = merge_shards(&dir, &jobs).unwrap_err();
+        assert!(matches!(err, crate::merge::MergeError::NoShards(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -449,6 +449,7 @@ pub fn run_shard(
         Lease {
             shard_id: spec.shard_id,
             owner_pid: pid,
+            host: crate::lease::local_host(),
             owner_nonce: nonce,
             epoch,
             beats: 0,
@@ -524,6 +525,7 @@ pub fn run_shard(
                         Lease {
                             shard_id: sibling,
                             owner_pid: sib_pid,
+                            host: crate::lease::local_host(),
                             owner_nonce: sib_nonce,
                             epoch: sib_epoch,
                             beats: 0,

@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use pauli_codesign::chem::Benchmark;
 use pauli_codesign::report::{classify as classify_artifact, Artifact, ReportBuilder};
 use pauli_codesign::supervisor::{
-    encode_manifest, encode_shard_manifest, merge_shards, run_batch, run_shard,
+    encode_manifest, encode_shard_manifest, local_host, merge_shards, run_batch, run_shard,
     shard_manifest_path, BatchMeta, JobRecord, JobSpec, JobState, Lease, ShardMeta, ShardSpec,
     SupervisorConfig,
 };
@@ -195,6 +195,7 @@ fn survivor_takes_over_dead_shard_and_merge_matches_reference() {
         beats: 3,
         done: false,
         taken_over_from: None,
+        host: local_host(),
     };
     std::fs::write(Lease::path(&dir, 1), dead.to_json()).unwrap();
 
@@ -246,6 +247,7 @@ fn rerun_of_dead_shard_resumes_and_records_takeover() {
         beats: 17,
         done: false,
         taken_over_from: None,
+        host: local_host(),
     };
     std::fs::write(Lease::path(&dir, 0), dead.to_json()).unwrap();
     // Re-running the same shard id claims epoch 5 and records provenance.
@@ -279,6 +281,7 @@ fn live_lease_blocks_a_second_claimant() {
         beats: 1,
         done: false,
         taken_over_from: None,
+        host: local_host(),
     };
     std::fs::write(Lease::path(&dir, 0), alive.to_json()).unwrap();
     let err = run_shard(
